@@ -1,0 +1,106 @@
+//===--- BenchCommon.cpp - shared bench harness --------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace olpp;
+using namespace olpp::bench;
+
+std::vector<PreparedWorkload> olpp::bench::prepareAll() {
+  std::vector<PreparedWorkload> Out;
+  for (const Workload &W : allWorkloads()) {
+    CompileResult CR = compileMiniC(W.Source);
+    if (!CR.ok()) {
+      std::fprintf(stderr, "workload %s failed to compile:\n%s\n",
+                   W.Name.c_str(), CR.diagText().c_str());
+      std::exit(1);
+    }
+    PreparedWorkload P;
+    P.W = &W;
+    P.M = std::move(CR.M);
+    P.Limits = computeDegreeLimits(*P.M, /*CallBreaking=*/true);
+    P.LoopLimits = computeDegreeLimits(*P.M, /*CallBreaking=*/false);
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+PipelineResult olpp::bench::runPrepared(const PreparedWorkload &P,
+                                        const InstrumentOptions &O,
+                                        bool Precision) {
+  PipelineConfig C;
+  C.Instr = O;
+  C.Args = Precision ? P.W->PrecisionArgs : P.W->OverheadArgs;
+  C.CollectGroundTruth = Precision;
+  C.Run.MaxSteps = 2'000'000'000;
+  PipelineResult R = runPipeline(*P.M, C);
+  if (!R.ok()) {
+    std::fprintf(stderr, "workload %s failed: %s\n", P.W->Name.c_str(),
+                 R.Errors[0].c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+EstimationResult olpp::bench::estimate(const PipelineResult &R) {
+  ModuleEstimator Est(*R.InstrModule, R.MI, *R.Prof);
+  EstimationResult Out;
+  Out.Loops = Est.estimateLoops(&R.GT);
+  if (R.MI.Opts.CallBreaking) {
+    Out.Interproc = Est.estimateTypeI(&R.GT);
+    Out.Interproc.add(Est.estimateTypeII(&R.GT));
+  }
+  Out.All = Out.Loops;
+  Out.All.add(Out.Interproc);
+  if (Out.All.SoundnessViolated) {
+    std::fprintf(stderr, "estimator soundness violated\n");
+    std::exit(1);
+  }
+  return Out;
+}
+
+InstrumentOptions olpp::bench::sweepOptions(int K) {
+  InstrumentOptions O;
+  if (K < 0) {
+    O.CallBreaking = true; // plain BL profiles, but with call-site breaks so
+                           // the interprocedural baseline is computable
+    return O;
+  }
+  O.LoopOverlap = true;
+  O.LoopDegree = static_cast<uint32_t>(K);
+  O.Interproc = true;
+  O.InterprocDegree = static_cast<uint32_t>(K);
+  return O;
+}
+
+std::vector<int> olpp::bench::sweepDegrees(const PreparedWorkload &P,
+                                           uint32_t Cap) {
+  uint32_t Max = std::min(P.maxDegree(), Cap);
+  std::vector<int> Ks = {-1};
+  uint32_t Step = 1;
+  for (uint32_t K = 0; K <= Max; K += Step) {
+    Ks.push_back(static_cast<int>(K));
+    if (K >= 8)
+      Step = 4;
+    else if (K >= 4)
+      Step = 2;
+  }
+  if (Ks.back() != static_cast<int>(Max))
+    Ks.push_back(static_cast<int>(Max));
+  return Ks;
+}
+
+void olpp::bench::printTable(const std::string &Title, const TableWriter &T,
+                             const std::string &Notes) {
+  std::printf("== %s ==\n", Title.c_str());
+  std::fputs(T.renderText().c_str(), stdout);
+  if (!Notes.empty())
+    std::printf("%s\n", Notes.c_str());
+  std::printf("\n");
+}

@@ -1,0 +1,85 @@
+//===--- BenchCommon.h - shared bench harness --------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the bench binaries that regenerate the paper's
+/// tables and figures: compiling workloads once, running instrumented
+/// configurations, degree sweeps, and result aggregation.
+///
+/// Conventions mirroring the paper:
+///   - overlap degree -1 denotes the plain Ball-Larus baseline,
+///   - "k chosen" is one third of the maximum useful degree (at least 1),
+///   - overhead% is probe cost over base cost (interp/CostModel.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_BENCH_BENCHCOMMON_H
+#define OLPP_BENCH_BENCHCOMMON_H
+
+#include "driver/Pipeline.h"
+#include "estimate/Estimators.h"
+#include "frontend/Compiler.h"
+#include "support/TableWriter.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olpp {
+namespace bench {
+
+/// A compiled workload plus its degree limits.
+struct PreparedWorkload {
+  const Workload *W = nullptr;
+  std::unique_ptr<Module> M;
+  DegreeLimits Limits;      // with call breaking
+  DegreeLimits LoopLimits;  // without call breaking
+
+  uint32_t maxDegree() const {
+    return std::max(Limits.MaxLoopDegree, Limits.MaxInterprocDegree);
+  }
+  /// The paper's "k chosen": about a third of the maximum.
+  uint32_t chosenDegree() const {
+    uint32_t K = maxDegree() / 3;
+    return K == 0 ? 1 : K;
+  }
+};
+
+/// Compiles every workload (aborts the bench on failure).
+std::vector<PreparedWorkload> prepareAll();
+
+/// Runs \p P under \p O. Precision runs use PrecisionArgs and collect
+/// ground truth; overhead runs use OverheadArgs without tracing.
+PipelineResult runPrepared(const PreparedWorkload &P,
+                           const InstrumentOptions &O, bool Precision);
+
+/// Estimation results of one configuration (loops + Type I + Type II).
+struct EstimationResult {
+  EstimateMetrics Loops;
+  EstimateMetrics Interproc; // Type I + Type II
+  EstimateMetrics All;
+};
+
+/// Runs the full estimation stack against a finished precision pipeline.
+EstimationResult estimate(const PipelineResult &R);
+
+/// Instrumentation options for one sweep point. K == -1 is the BL
+/// baseline: call-breaking profiles without any overlap instrumentation.
+InstrumentOptions sweepOptions(int K);
+
+/// The degree sample points for a workload: -1 (BL), then 0,1,2,... with
+/// wider steps as k grows, ending at the workload's maximum.
+std::vector<int> sweepDegrees(const PreparedWorkload &P, uint32_t Cap = 24);
+
+/// Prints a rendered table with a title banner.
+void printTable(const std::string &Title, const TableWriter &T,
+                const std::string &Notes = "");
+
+} // namespace bench
+} // namespace olpp
+
+#endif // OLPP_BENCH_BENCHCOMMON_H

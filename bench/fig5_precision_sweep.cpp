@@ -1,0 +1,50 @@
+//===--- fig5_precision_sweep.cpp - reproduce paper Figure 5 ---------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Figure 5: estimated total flow of the interesting paths (definite and
+// potential) as the allowed overlap degree grows, per benchmark. Degree -1
+// is the plain Ball-Larus baseline. The paper plots one chart per
+// benchmark; this binary prints the same series as a table and as CSV.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace olpp;
+using namespace olpp::bench;
+
+int main(int Argc, char **Argv) {
+  bool Csv = Argc > 1 && std::string(Argv[1]) == "--csv";
+  std::vector<PreparedWorkload> Suite = prepareAll();
+  TableWriter T({"Benchmark", "Overlap k", "Real Flow", "Definite",
+                 "Potential", "Definite Err", "Potential Err"});
+
+  for (const PreparedWorkload &P : Suite) {
+    for (int K : sweepDegrees(P)) {
+      PipelineResult R = runPrepared(P, sweepOptions(K), /*Precision=*/true);
+      EstimationResult E = estimate(R);
+      const EstimateMetrics &A = E.All;
+      T.addRow({P.W->Name, K < 0 ? "BL" : std::to_string(K),
+                formatInt(static_cast<int64_t>(A.Real)),
+                formatInt(static_cast<int64_t>(A.Definite)),
+                formatInt(static_cast<int64_t>(A.Potential)),
+                formatSignedPercent(A.definiteErrorPercent()),
+                formatSignedPercent(A.potentialErrorPercent())});
+    }
+  }
+
+  if (Csv) {
+    std::fputs(T.renderCsv().c_str(), stdout);
+    return 0;
+  }
+  printTable("Figure 5: definite/potential flow vs degree of overlap", T,
+             "(expected shape: wide BL bounds collapsing toward the real\n"
+             " flow as k grows, with most of the gain in the first few\n"
+             " degrees; pass --csv for plottable output)");
+  return 0;
+}

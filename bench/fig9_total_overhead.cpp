@@ -1,0 +1,41 @@
+//===--- fig9_total_overhead.cpp - reproduce paper Figure 9 ----------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Figure 9: overhead of collecting *all* overlapping path profiles (loop +
+// Type I + Type II) as the degree grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace olpp;
+using namespace olpp::bench;
+
+int main(int Argc, char **Argv) {
+  bool Csv = Argc > 1 && std::string(Argv[1]) == "--csv";
+  std::vector<PreparedWorkload> Suite = prepareAll();
+  TableWriter T({"Benchmark", "Overlap k", "Overhead"});
+
+  for (const PreparedWorkload &P : Suite) {
+    uint32_t Max = std::min(P.maxDegree(), 24u);
+    for (uint32_t K = 0; K <= Max; K += (K >= 8 ? 4 : (K >= 4 ? 2 : 1))) {
+      PipelineResult R = runPrepared(P, sweepOptions(static_cast<int>(K)),
+                                     /*Precision=*/false);
+      T.addRow({P.W->Name, std::to_string(K),
+                formatFixed(R.overheadPercent(), 1) + " %"});
+    }
+  }
+
+  if (Csv) {
+    std::fputs(T.renderCsv().c_str(), stdout);
+    return 0;
+  }
+  printTable("Figure 9: overhead of profiling all overlapping paths", T,
+             "(roughly the sum of Figures 7 and 8 per benchmark)");
+  return 0;
+}

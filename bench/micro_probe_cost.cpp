@@ -1,0 +1,119 @@
+//===--- micro_probe_cost.cpp - wall-clock micro benchmarks ----------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// google-benchmark timings of the actual interpreter machinery: baseline
+// instruction dispatch, probe execution at the three instrumentation
+// levels, and the raw counter-store operations. These are wall-clock
+// numbers for this host; the paper-shaped results use the deterministic
+// cost model instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "interp/ProfileRuntime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace olpp;
+
+namespace {
+
+const char *HotLoop = R"(
+  fn spin(n) {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+      if (i % 3 == 0) { s = s + i; }
+      else if (i % 5 == 0) { s = s - i; }
+      else { s = s ^ i; }
+    }
+    return s;
+  }
+  fn main(n) { return spin(n) + spin(n / 2); })";
+
+struct Prepared {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<ProfileRuntime> Prof;
+};
+
+Prepared prepare(const InstrumentOptions *O) {
+  CompileResult CR = compileMiniC(HotLoop);
+  Prepared P;
+  P.M = std::move(CR.M);
+  if (O) {
+    ModuleInstrumentation MI = instrumentModule(*P.M, *O);
+    if (!MI.ok())
+      std::abort();
+    P.Prof = std::make_unique<ProfileRuntime>(P.M->numFunctions());
+  }
+  return P;
+}
+
+void runOnce(benchmark::State &State, const InstrumentOptions *O) {
+  Prepared P = prepare(O);
+  const Function *Main = P.M->findFunction("main");
+  Interpreter I(*P.M, P.Prof.get());
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    RunResult R = I.run(*Main, {3000});
+    benchmark::DoNotOptimize(R.ReturnValue);
+    Steps += R.Counts.Steps;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Steps));
+}
+
+void BM_Uninstrumented(benchmark::State &State) { runOnce(State, nullptr); }
+
+void BM_PlainBL(benchmark::State &State) {
+  InstrumentOptions O;
+  runOnce(State, &O);
+}
+
+void BM_LoopOverlapK2(benchmark::State &State) {
+  InstrumentOptions O;
+  O.LoopOverlap = true;
+  O.LoopDegree = 2;
+  runOnce(State, &O);
+}
+
+void BM_FullInterprocK2(benchmark::State &State) {
+  InstrumentOptions O;
+  O.LoopOverlap = true;
+  O.LoopDegree = 2;
+  O.Interproc = true;
+  O.InterprocDegree = 2;
+  runOnce(State, &O);
+}
+
+void BM_PathCounterBump(benchmark::State &State) {
+  ProfileRuntime Prof(1);
+  int64_t Id = 0;
+  for (auto _ : State) {
+    ++Prof.PathCounts[0][Id];
+    Id = (Id + 7919) & 0xFFFF;
+    benchmark::DoNotOptimize(Prof.PathCounts[0]);
+  }
+}
+
+void BM_TupleCounterBump(benchmark::State &State) {
+  ProfileRuntime Prof(1);
+  int64_t Id = 0;
+  for (auto _ : State) {
+    ++Prof.TypeIICounts[{1, 2, Id, Id + 1}];
+    Id = (Id + 7919) & 0xFFFF;
+    benchmark::DoNotOptimize(Prof.TypeIICounts);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Uninstrumented)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlainBL)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoopOverlapK2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullInterprocK2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PathCounterBump);
+BENCHMARK(BM_TupleCounterBump);
+
+BENCHMARK_MAIN();

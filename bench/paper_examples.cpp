@@ -1,0 +1,226 @@
+//===--- paper_examples.cpp - the paper's worked examples (Tables 2-7) ----------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Regenerates the paper's illustrative tables from our machinery:
+//   Table 2: the 12 Ball-Larus paths of the example CFG,
+//   Table 3: overlapping path counts per degree,
+//   Tables 4/5: estimated bounds for the worked loop execution,
+//   Tables 6/7: Type I / Type II overlapping path counts for the
+//               interprocedural example of section 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimate/IntervalSolver.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "overlap/RegionNumbering.h"
+#include "profile/PathGraph.h"
+#include "profile/ProfileDecode.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace olpp;
+
+namespace {
+
+const char *BlockNames[] = {"En", "P1", "B1", "P2", "B2", "B3", "P3", "Ex"};
+
+std::unique_ptr<Module> makePaperLoop() {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("paper_loop", 3);
+  IRBuilder B(*F);
+  BasicBlock *Blocks[8];
+  for (int I = 0; I < 8; ++I)
+    Blocks[I] = F->addBlock(BlockNames[I]);
+  B.setBlock(Blocks[0]);
+  B.br(Blocks[1]);
+  B.setBlock(Blocks[1]);
+  B.condBr(0, Blocks[2], Blocks[3]);
+  B.setBlock(Blocks[2]);
+  B.br(Blocks[6]);
+  B.setBlock(Blocks[3]);
+  B.condBr(1, Blocks[4], Blocks[5]);
+  B.setBlock(Blocks[4]);
+  B.br(Blocks[6]);
+  B.setBlock(Blocks[5]);
+  B.br(Blocks[6]);
+  B.setBlock(Blocks[6]);
+  B.condBr(2, Blocks[1], Blocks[7]);
+  B.setBlock(Blocks[7]);
+  B.ret(NoReg);
+  F->renumberBlocks();
+  return M;
+}
+
+std::string pathString(const DecodedEntry &D) {
+  std::string S;
+  for (uint32_t B : D.White.Blocks) {
+    if (!S.empty())
+      S += " => ";
+    S += BlockNames[B];
+  }
+  if (D.End == PathEnd::Backedge) {
+    S += " !";
+    for (uint32_t B : D.Suffix) {
+      S += " ";
+      S += BlockNames[B];
+    }
+  }
+  return S;
+}
+
+void printBLPaths() {
+  auto M = makePaperLoop();
+  const Function &F = *M->function(0);
+  CfgView Cfg = CfgView::build(F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  std::string Error;
+  auto PG = PathGraph::build(F, Cfg, LI, {}, Error);
+  TableWriter T({"Id", "Ball-Larus Path"});
+  for (int64_t Id = 0; Id < static_cast<int64_t>(PG->numPaths()); ++Id)
+    T.addRow({std::to_string(Id), pathString(decodePathId(*PG, Id))});
+  std::printf("== Table 2: Ball-Larus paths of the example CFG ==\n");
+  std::fputs(T.renderText().c_str(), stdout);
+  std::printf("(the paper lists 12 paths; we number %llu)\n\n",
+              static_cast<unsigned long long>(PG->numPaths()));
+}
+
+void printOLPathCounts() {
+  auto M = makePaperLoop();
+  const Function &F = *M->function(0);
+  CfgView Cfg = CfgView::build(F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  TableWriter T({"Degree k", "Crossing Paths", "Example"});
+  for (uint32_t K = 0; K <= 2; ++K) {
+    PathGraphOptions Opts;
+    Opts.LoopOverlap = true;
+    Opts.Degree = K;
+    std::string Error;
+    auto PG = PathGraph::build(F, Cfg, LI, Opts, Error);
+    uint64_t Crossing = 0;
+    std::string Example;
+    for (int64_t Id = 0; Id < static_cast<int64_t>(PG->numPaths()); ++Id) {
+      DecodedEntry D = decodePathId(*PG, Id);
+      if (D.End != PathEnd::Backedge)
+        continue;
+      ++Crossing;
+      if (Example.empty())
+        Example = pathString(D);
+    }
+    T.addRow({std::to_string(K), std::to_string(Crossing), Example});
+  }
+  std::printf("== Table 3: overlapping paths in the example CFG ==\n");
+  std::fputs(T.renderText().c_str(), stdout);
+  std::printf("(paper: 6 / 12 / 12 pure-degree paths; our counts include\n"
+              " the shorter flush-early paths each degree also profiles)\n\n");
+}
+
+// The worked execution of section 2.2.3 (Tables 4/5).
+void printLoopBoundsExample() {
+  constexpr uint32_t NumPairs = 9;
+  auto Cell = [](int P, int Q) { return static_cast<uint32_t>(P * 3 + Q); };
+  const uint64_t Real[NumPairs] = {250, 0, 250, 0, 250, 250, 0, 0, 0};
+  const uint64_t RowTotal[3] = {500, 500, 0};
+  const uint64_t ColCap[3] = {250, 250, 500};
+
+  auto Base = [&] {
+    std::vector<SumConstraint> Cs;
+    for (int P = 0; P < 3; ++P)
+      Cs.push_back({RowTotal[P], true, {Cell(P, 0), Cell(P, 1), Cell(P, 2)}});
+    for (int Q = 0; Q < 3; ++Q)
+      Cs.push_back(
+          {ColCap[Q], false, {Cell(0, Q), Cell(1, Q), Cell(2, Q)}});
+    return Cs;
+  };
+
+  BoundsResult OL0 = solveBounds(NumPairs, Base());
+
+  std::vector<SumConstraint> Cs1 = Base();
+  Cs1.push_back({250, true, {Cell(0, 0)}});
+  Cs1.push_back({250, true, {Cell(0, 1), Cell(0, 2)}});
+  Cs1.push_back({0, true, {Cell(1, 0)}});
+  Cs1.push_back({500, true, {Cell(1, 1), Cell(1, 2)}});
+  Cs1.push_back({0, true, {Cell(2, 0)}});
+  Cs1.push_back({0, true, {Cell(2, 1), Cell(2, 2)}});
+  BoundsResult OL1 = solveBounds(NumPairs, Cs1);
+
+  TableWriter T({"Interesting Path", "Real", "L (OL-0)", "L (OL-1)",
+                 "U (OL-0)", "U (OL-1)"});
+  for (int P = 0; P < 3; ++P)
+    for (int Q = 0; Q < 3; ++Q) {
+      uint32_t C = Cell(P, Q);
+      T.addRow({std::to_string(P + 1) + " ! " + std::to_string(Q + 1),
+                std::to_string(Real[C]), std::to_string(OL0.Lower[C]),
+                std::to_string(OL1.Lower[C]), std::to_string(OL0.Upper[C]),
+                std::to_string(OL1.Upper[C])});
+    }
+  std::printf("== Tables 4/5: bounds for the worked loop execution ==\n");
+  std::fputs(T.renderText().c_str(), stdout);
+  std::printf("definite/potential: OL-0 %llu/%llu, OL-1 %llu/%llu "
+              "(real 1000; paper: 0/2000 and exact at OL-2)\n\n",
+              static_cast<unsigned long long>(OL0.sumLower()),
+              static_cast<unsigned long long>(OL0.sumUpper()),
+              static_cast<unsigned long long>(OL1.sumLower()),
+              static_cast<unsigned long long>(OL1.sumUpper()));
+}
+
+// The interprocedural example of section 3.2.3: 3 caller paths, 5 callee
+// paths, 100 calls, only 1!1 real.
+void printInterprocExample() {
+  auto Cell = [](int P, int Q) { return static_cast<uint32_t>(P * 5 + Q); };
+  std::vector<SumConstraint> Bl;
+  SumConstraint Total{100, true, {}};
+  for (int P = 0; P < 3; ++P)
+    for (int Q = 0; Q < 5; ++Q)
+      Total.Cells.push_back(Cell(P, Q));
+  Bl.push_back(Total);
+  for (int P = 0; P < 3; ++P) {
+    SumConstraint Row{200, false, {}};
+    for (int Q = 0; Q < 5; ++Q)
+      Row.Cells.push_back(Cell(P, Q));
+    Bl.push_back(Row);
+  }
+  for (int Q = 0; Q < 5; ++Q) {
+    SumConstraint Col{200, false, {}};
+    for (int P = 0; P < 3; ++P)
+      Col.Cells.push_back(Cell(P, Q));
+    Bl.push_back(Col);
+  }
+  BoundsResult RBl = solveBounds(15, Bl);
+
+  std::vector<SumConstraint> Ol;
+  Ol.push_back({100, true, {Cell(0, 0)}});
+  Ol.push_back({0, true, {Cell(0, 1), Cell(0, 2), Cell(0, 3), Cell(0, 4)}});
+  for (int P = 1; P < 3; ++P) {
+    Ol.push_back({0, true, {Cell(P, 0)}});
+    Ol.push_back({0, true, {Cell(P, 1), Cell(P, 2), Cell(P, 3), Cell(P, 4)}});
+  }
+  BoundsResult ROl = solveBounds(15, Ol);
+
+  std::printf("== Section 3.2.3: interprocedural example ==\n");
+  std::printf("BL-only bounds:   every pair in [%llu, %llu]\n",
+              static_cast<unsigned long long>(RBl.Lower[0]),
+              static_cast<unsigned long long>(RBl.Upper[0]));
+  std::printf("I-OL-1 bounds:    1!1 = [%llu, %llu], all other pairs "
+              "[%llu, %llu]\n",
+              static_cast<unsigned long long>(ROl.Lower[0]),
+              static_cast<unsigned long long>(ROl.Upper[0]),
+              static_cast<unsigned long long>(ROl.Lower[1]),
+              static_cast<unsigned long long>(ROl.Upper[1]));
+  std::printf("(paper: BL gives 0..100 for all 15 pairs; I-OL-1 is exact)\n\n");
+}
+
+} // namespace
+
+int main() {
+  printBLPaths();
+  printOLPathCounts();
+  printLoopBoundsExample();
+  printInterprocExample();
+  return 0;
+}

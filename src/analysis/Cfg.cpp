@@ -1,0 +1,57 @@
+//===--- Cfg.cpp - CFG adjacency snapshot ------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include "ir/Function.h"
+
+using namespace olpp;
+
+CfgView CfgView::build(const Function &F) {
+  CfgView V;
+  uint32_t N = static_cast<uint32_t>(F.numBlocks());
+  V.Succs.resize(N);
+  V.Preds.resize(N);
+  V.Reachable.assign(N, false);
+  V.RpoIndex.assign(N, UINT32_MAX);
+
+  for (uint32_t B = 0; B < N; ++B) {
+    assert(F.block(B)->Id == B && "stale block ids; call renumberBlocks()");
+    for (BasicBlock *S : F.block(B)->successors()) {
+      V.Succs[B].push_back(S->Id);
+      V.Preds[S->Id].push_back(B);
+    }
+  }
+
+  // Iterative postorder DFS from the entry.
+  std::vector<uint32_t> Post;
+  Post.reserve(N);
+  std::vector<uint8_t> State(N, 0); // 0 = unseen, 1 = on stack, 2 = done
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  V.Reachable[0] = true;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    if (NextSucc < V.Succs[B].size()) {
+      uint32_t S = V.Succs[B][NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        V.Reachable[S] = true;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    State[B] = 2;
+    Post.push_back(B);
+    Stack.pop_back();
+  }
+
+  V.Rpo.assign(Post.rbegin(), Post.rend());
+  for (uint32_t I = 0; I < V.Rpo.size(); ++I)
+    V.RpoIndex[V.Rpo[I]] = I;
+  return V;
+}

@@ -1,0 +1,51 @@
+//===--- Cfg.h - CFG adjacency snapshot -------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An immutable adjacency snapshot of a function's CFG, indexed by block id.
+/// Analyses and the profiling graph builders consume this instead of chasing
+/// block pointers. Rebuild after any CFG mutation (renumberBlocks first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_CFG_H
+#define OLPP_ANALYSIS_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+class Function;
+
+/// Adjacency lists plus entry-reachability and orders for one function.
+class CfgView {
+public:
+  /// Builds the snapshot. Block ids must be fresh (renumberBlocks).
+  static CfgView build(const Function &F);
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Succs.size()); }
+  const std::vector<uint32_t> &succs(uint32_t B) const { return Succs[B]; }
+  const std::vector<uint32_t> &preds(uint32_t B) const { return Preds[B]; }
+  bool isReachable(uint32_t B) const { return Reachable[B]; }
+
+  /// Reverse postorder over reachable blocks, starting at the entry.
+  const std::vector<uint32_t> &rpo() const { return Rpo; }
+
+  /// Position of each block in rpo(); UINT32_MAX for unreachable blocks.
+  uint32_t rpoIndex(uint32_t B) const { return RpoIndex[B]; }
+
+private:
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<std::vector<uint32_t>> Preds;
+  std::vector<bool> Reachable;
+  std::vector<uint32_t> Rpo;
+  std::vector<uint32_t> RpoIndex;
+};
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_CFG_H

@@ -1,0 +1,68 @@
+//===--- Dominators.cpp - Dominator tree -------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace olpp;
+
+DomTree DomTree::compute(const CfgView &Cfg) {
+  DomTree T;
+  uint32_t N = Cfg.numBlocks();
+  T.Idom.assign(N, UINT32_MAX);
+  T.RpoIndex.assign(N, UINT32_MAX);
+  for (uint32_t B = 0; B < N; ++B)
+    T.RpoIndex[B] = Cfg.rpoIndex(B);
+
+  const std::vector<uint32_t> &Rpo = Cfg.rpo();
+  assert(!Rpo.empty() && Rpo[0] == 0 && "entry must head the RPO");
+  T.Idom[0] = 0;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (T.RpoIndex[A] > T.RpoIndex[B])
+        A = T.Idom[A];
+      while (T.RpoIndex[B] > T.RpoIndex[A])
+        B = T.Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t I = 1; I < Rpo.size(); ++I) {
+      uint32_t B = Rpo[I];
+      uint32_t NewIdom = UINT32_MAX;
+      for (uint32_t P : Cfg.preds(B)) {
+        if (!Cfg.isReachable(P) || T.Idom[P] == UINT32_MAX)
+          continue;
+        NewIdom = NewIdom == UINT32_MAX ? P : Intersect(NewIdom, P);
+      }
+      assert(NewIdom != UINT32_MAX && "reachable block with no processed pred");
+      if (T.Idom[B] != NewIdom) {
+        T.Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  return T;
+}
+
+bool DomTree::dominates(uint32_t A, uint32_t B) const {
+  assert(Idom[A] != UINT32_MAX && Idom[B] != UINT32_MAX &&
+         "dominance query on unreachable block");
+  // Walk up the tree from B; the entry is its own idom.
+  while (true) {
+    if (A == B)
+      return true;
+    uint32_t Up = Idom[B];
+    if (Up == B)
+      return false; // reached the entry
+    B = Up;
+  }
+}

@@ -1,0 +1,40 @@
+//===--- Dominators.h - Dominator tree --------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the iterative Cooper-Harvey-Kennedy algorithm over the
+/// reverse postorder. Needed to identify natural-loop backedges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_DOMINATORS_H
+#define OLPP_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+namespace olpp {
+
+class DomTree {
+public:
+  /// Computes immediate dominators for all entry-reachable blocks.
+  static DomTree compute(const CfgView &Cfg);
+
+  /// Immediate dominator of \p B; the entry's idom is itself. UINT32_MAX for
+  /// unreachable blocks.
+  uint32_t idom(uint32_t B) const { return Idom[B]; }
+
+  /// Returns true if \p A dominates \p B (reflexive). Both blocks must be
+  /// reachable.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<uint32_t> Idom;
+  std::vector<uint32_t> RpoIndex;
+};
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,31 @@
+//===--- EdgeSplit.cpp - CFG edge splitting ------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/EdgeSplit.h"
+
+#include "ir/Function.h"
+
+using namespace olpp;
+
+BasicBlock *olpp::splitEdge(Function &F, BasicBlock *From, BasicBlock *To) {
+  Instruction &T = From->terminator();
+  assert((T.Target0 == To || T.Target1 == To) && "not an edge");
+  assert(!(T.Target0 == To && T.Target1 == To) &&
+         "both CondBr targets alias; normalize to Br first");
+
+  BasicBlock *Mid =
+      F.addBlock(From->Name + ".to." + To->Name);
+  Instruction Br;
+  Br.Op = Opcode::Br;
+  Br.Target0 = To;
+  Mid->Instrs.push_back(Br);
+
+  if (T.Target0 == To)
+    T.Target0 = Mid;
+  else
+    T.Target1 = Mid;
+  return Mid;
+}

@@ -1,0 +1,29 @@
+//===--- EdgeSplit.h - CFG edge splitting -----------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits a CFG edge by inserting a fresh block containing only a Br. The
+/// instrumenters use this to give edge probes a home when the edge is
+/// critical. Callers must renumberBlocks() and rebuild analyses afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_EDGESPLIT_H
+#define OLPP_ANALYSIS_EDGESPLIT_H
+
+namespace olpp {
+
+class BasicBlock;
+class Function;
+
+/// Inserts a block on the edge From -> To and returns it. Both CondBr
+/// targets pointing at \p To is rejected by the verifier, so exactly one
+/// target is rewritten.
+BasicBlock *splitEdge(Function &F, BasicBlock *From, BasicBlock *To);
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_EDGESPLIT_H

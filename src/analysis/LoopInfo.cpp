@@ -1,0 +1,137 @@
+//===--- LoopInfo.cpp - Natural loop detection --------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace olpp;
+
+LoopInfo LoopInfo::compute(const CfgView &Cfg, const DomTree &Dom) {
+  LoopInfo LI;
+  uint32_t N = Cfg.numBlocks();
+
+  // Collect backedges grouped by header.
+  std::map<uint32_t, std::vector<uint32_t>> LatchesByHeader;
+  for (uint32_t B = 0; B < N; ++B) {
+    if (!Cfg.isReachable(B))
+      continue;
+    for (uint32_t S : Cfg.succs(B))
+      if (Dom.dominates(S, B))
+        LatchesByHeader[S].push_back(B);
+  }
+
+  // Detect irreducibility: a DFS-retreating edge whose target does not
+  // dominate its source. Retreating == target is still on the DFS stack.
+  {
+    std::vector<uint8_t> State(N, 0);
+    std::vector<std::pair<uint32_t, uint32_t>> Stack{{0, 0}};
+    State[0] = 1;
+    while (!Stack.empty()) {
+      auto &[B, Next] = Stack.back();
+      if (Next < Cfg.succs(B).size()) {
+        uint32_t S = Cfg.succs(B)[Next++];
+        if (State[S] == 1 && !Dom.dominates(S, B))
+          LI.Irreducible = true;
+        if (State[S] == 0) {
+          State[S] = 1;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      State[B] = 2;
+      Stack.pop_back();
+    }
+  }
+
+  // Build one loop per header.
+  for (auto &[Header, Latches] : LatchesByHeader) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = Latches;
+    std::sort(L.Latches.begin(), L.Latches.end());
+    L.Contains.assign(N, false);
+    L.Contains[Header] = true;
+
+    // Backward reachability from the latches, stopping at the header.
+    std::vector<uint32_t> Work = L.Latches;
+    for (uint32_t La : L.Latches)
+      L.Contains[La] = true;
+    while (!Work.empty()) {
+      uint32_t B = Work.back();
+      Work.pop_back();
+      if (B == Header)
+        continue;
+      for (uint32_t P : Cfg.preds(B)) {
+        if (!Cfg.isReachable(P) || L.Contains[P])
+          continue;
+        L.Contains[P] = true;
+        Work.push_back(P);
+      }
+    }
+    for (uint32_t B = 0; B < N; ++B)
+      if (L.Contains[B])
+        L.Blocks.push_back(B);
+
+    for (uint32_t B : L.Blocks)
+      for (uint32_t S : Cfg.succs(B))
+        if (!L.Contains[S])
+          L.ExitEdges.push_back({B, S});
+    std::sort(L.ExitEdges.begin(), L.ExitEdges.end());
+
+    LI.Loops.push_back(std::move(L));
+  }
+
+  // Order loops by header RPO so outer loops come first, then fill in the
+  // nesting structure (the innermost *other* loop containing the header).
+  std::sort(LI.Loops.begin(), LI.Loops.end(),
+            [&](const Loop &A, const Loop &B) {
+              return Cfg.rpoIndex(A.Header) < Cfg.rpoIndex(B.Header);
+            });
+  for (uint32_t I = 0; I < LI.Loops.size(); ++I) {
+    Loop &L = LI.Loops[I];
+    uint32_t Best = UINT32_MAX;
+    for (uint32_t J = 0; J < LI.Loops.size(); ++J) {
+      if (J == I)
+        continue;
+      const Loop &Outer = LI.Loops[J];
+      if (!Outer.contains(L.Header) || L.contains(Outer.Header))
+        continue;
+      // Outer strictly encloses L; prefer the smallest such loop.
+      if (Best == UINT32_MAX ||
+          LI.Loops[Best].Blocks.size() > Outer.Blocks.size())
+        Best = J;
+    }
+    L.Parent = Best;
+  }
+  for (Loop &L : LI.Loops) {
+    uint32_t Depth = 1;
+    for (uint32_t P = L.Parent; P != UINT32_MAX; P = LI.Loops[P].Parent)
+      ++Depth;
+    L.Depth = Depth;
+  }
+  return LI;
+}
+
+uint32_t LoopInfo::loopForBackedge(uint32_t From, uint32_t To) const {
+  for (uint32_t I = 0; I < Loops.size(); ++I)
+    if (Loops[I].Header == To && Loops[I].isLatch(From))
+      return I;
+  return UINT32_MAX;
+}
+
+uint32_t LoopInfo::innermostLoop(uint32_t B) const {
+  uint32_t Best = UINT32_MAX;
+  for (uint32_t I = 0; I < Loops.size(); ++I) {
+    if (!Loops[I].contains(B))
+      continue;
+    if (Best == UINT32_MAX || Loops[I].Depth > Loops[Best].Depth)
+      Best = I;
+  }
+  return Best;
+}

@@ -1,0 +1,95 @@
+//===--- LoopInfo.h - Natural loop detection --------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops from dominator backedges. A backedge is an edge u -> v with
+/// v dominating u; the loop body is v plus everything that reaches u without
+/// passing v. Loops sharing a header are merged (multiple latches are
+/// supported). Irreducible control flow (a DFS-retreating edge that is not a
+/// dominator backedge) is detected and reported; the profiling algorithms
+/// require reducible CFGs, which both the frontend and the workload
+/// generator guarantee by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_LOOPINFO_H
+#define OLPP_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+/// One natural loop.
+struct Loop {
+  uint32_t Header = 0;
+  /// Backedge sources, ascending by block id.
+  std::vector<uint32_t> Latches;
+  /// Loop body block ids (including header and latches), ascending.
+  std::vector<uint32_t> Blocks;
+  /// Membership bitmap indexed by block id.
+  std::vector<bool> Contains;
+  /// Edges (From inside, To outside) leaving the loop, lexicographic.
+  std::vector<std::pair<uint32_t, uint32_t>> ExitEdges;
+  /// Index of the innermost enclosing loop, or UINT32_MAX for a top-level
+  /// loop.
+  uint32_t Parent = UINT32_MAX;
+  /// Nesting depth; top-level loops have depth 1.
+  uint32_t Depth = 1;
+
+  bool contains(uint32_t B) const {
+    return B < Contains.size() && Contains[B];
+  }
+  bool isLatch(uint32_t B) const {
+    for (uint32_t L : Latches)
+      if (L == B)
+        return true;
+    return false;
+  }
+};
+
+/// All natural loops of a function, ordered by header RPO index (outer
+/// loops first among loops on the same header chain).
+class LoopInfo {
+public:
+  /// Computes loop structure. Sets Irreducible if a retreating edge is not a
+  /// dominator backedge; loop results are then best-effort and the caller
+  /// must refuse to instrument.
+  static LoopInfo compute(const CfgView &Cfg, const DomTree &Dom);
+
+  bool isIrreducible() const { return Irreducible; }
+  size_t numLoops() const { return Loops.size(); }
+  const Loop &loop(uint32_t Idx) const { return Loops[Idx]; }
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Index of the loop whose backedge is From -> To, or UINT32_MAX.
+  uint32_t loopForBackedge(uint32_t From, uint32_t To) const;
+
+  /// True if From -> To is any loop's backedge.
+  bool isBackedge(uint32_t From, uint32_t To) const {
+    return loopForBackedge(From, To) != UINT32_MAX;
+  }
+
+  /// Index of the innermost loop containing \p B, or UINT32_MAX.
+  uint32_t innermostLoop(uint32_t B) const;
+
+  /// Nesting depth of \p B (0 when outside all loops).
+  uint32_t depthOf(uint32_t B) const {
+    uint32_t L = innermostLoop(B);
+    return L == UINT32_MAX ? 0 : Loops[L].Depth;
+  }
+
+private:
+  std::vector<Loop> Loops;
+  bool Irreducible = false;
+};
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_LOOPINFO_H

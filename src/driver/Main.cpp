@@ -1,0 +1,301 @@
+//===--- Main.cpp - the olpp command-line driver --------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `olpp` tool: compile, run, profile and estimate MiniC programs from
+/// the command line.
+///
+///   olpp run <file.mc> [args...]
+///   olpp ir <file.mc>
+///   olpp profile <file.mc> [--degree K] [--interproc] [--top N] [args...]
+///   olpp estimate <file.mc> [--degree K] [args...]
+///   olpp workloads
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "estimate/Estimators.h"
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "profile/ProfileDecode.h"
+#include "support/Format.h"
+#include "support/TableWriter.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "olpp - overlapping path profiling driver\n"
+      "\n"
+      "  olpp run <file.mc> [args...]          compile and execute\n"
+      "  olpp ir <file.mc>                     dump the lowered IR\n"
+      "  olpp profile <file.mc> [options] [args...]\n"
+      "       --degree K     overlapping loop paths of degree K\n"
+      "       --interproc    also collect Type I/II profiles (degree K)\n"
+      "       --top N        show the N hottest paths (default 10)\n"
+      "  olpp estimate <file.mc> [--degree K] [args...]\n"
+      "       per-loop and per-call-site interesting path bounds\n"
+      "  olpp workloads                        list the embedded suite\n"
+      "\n"
+      "A file name matching an embedded workload (e.g. 'mcf') may be used\n"
+      "in place of a path.\n",
+      stderr);
+  return 2;
+}
+
+bool readSource(const std::string &Path, std::string &Out) {
+  if (const Workload *W = findWorkload(Path)) {
+    Out = W->Source;
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+struct Parsed {
+  std::string File;
+  uint32_t Degree = 1;
+  bool Interproc = false;
+  size_t Top = 10;
+  std::vector<int64_t> Args;
+  bool Ok = false;
+};
+
+Parsed parseArgs(int Argc, char **Argv, int Start) {
+  Parsed P;
+  if (Start >= Argc)
+    return P;
+  P.File = Argv[Start];
+  for (int I = Start + 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--interproc") {
+      P.Interproc = true;
+    } else if (A == "--degree" && I + 1 < Argc) {
+      P.Degree = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (A == "--top" && I + 1 < Argc) {
+      P.Top = static_cast<size_t>(std::atoi(Argv[++I]));
+    } else {
+      P.Args.push_back(std::strtoll(A.c_str(), nullptr, 10));
+    }
+  }
+  P.Ok = true;
+  return P;
+}
+
+std::unique_ptr<Module> compileOrFail(const std::string &File) {
+  std::string Source;
+  if (!readSource(File, Source))
+    return nullptr;
+  CompileResult CR = compileMiniC(Source);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "%s", CR.diagText().c_str());
+    return nullptr;
+  }
+  return std::move(CR.M);
+}
+
+std::vector<int64_t> fitArgs(const Parsed &P, const Module &M) {
+  std::vector<int64_t> Args = P.Args;
+  // An embedded workload named on the command line brings its own inputs.
+  if (Args.empty())
+    if (const Workload *W = findWorkload(P.File))
+      Args = W->PrecisionArgs;
+  const Function *Main = M.findFunction("main");
+  if (Main)
+    Args.resize(Main->NumParams, 0);
+  return Args;
+}
+
+int cmdRun(const Parsed &P) {
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+  const Function *Main = M->findFunction("main");
+  if (!Main) {
+    std::fprintf(stderr, "error: no 'main' function\n");
+    return 1;
+  }
+  Interpreter I(*M);
+  RunResult R = I.run(*Main, fitArgs(P, *M));
+  if (!R.Ok) {
+    std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("result: %lld\n", static_cast<long long>(R.ReturnValue));
+  std::printf("executed %llu instructions, %llu blocks, %llu calls\n",
+              static_cast<unsigned long long>(R.Counts.Steps),
+              static_cast<unsigned long long>(R.Counts.Blocks),
+              static_cast<unsigned long long>(R.Counts.Calls));
+  return 0;
+}
+
+int cmdIr(const Parsed &P) {
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+  std::fputs(printModule(*M).c_str(), stdout);
+  return 0;
+}
+
+PipelineResult runPipelineFor(const Parsed &P, Module &M, bool Overlap) {
+  PipelineConfig Config;
+  if (Overlap) {
+    Config.Instr.LoopOverlap = true;
+    Config.Instr.LoopDegree = P.Degree;
+    if (P.Interproc) {
+      Config.Instr.Interproc = true;
+      Config.Instr.InterprocDegree = P.Degree;
+    }
+  }
+  Config.Args = fitArgs(P, M);
+  return runPipeline(M, Config);
+}
+
+int cmdProfile(const Parsed &P) {
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+  PipelineResult R = runPipelineFor(P, *M, /*Overlap=*/true);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s\n", R.Errors[0].c_str());
+    return 1;
+  }
+  std::printf("result %lld, overhead %.1f %%\n\n",
+              static_cast<long long>(R.ReturnValue), R.overheadPercent());
+
+  struct Hot {
+    std::string Func;
+    DecodedEntry D;
+  };
+  std::vector<Hot> Paths;
+  for (uint32_t F = 0; F < R.InstrModule->numFunctions(); ++F)
+    for (DecodedEntry &D :
+         decodeProfile(*R.MI.Funcs[F].PG, R.Prof->PathCounts[F]))
+      Paths.push_back({R.InstrModule->function(F)->Name, std::move(D)});
+  std::sort(Paths.begin(), Paths.end(),
+            [](const Hot &A, const Hot &B) { return A.D.Count > B.D.Count; });
+
+  TableWriter T({"Count", "Function", "Path", "Overlap Suffix"});
+  for (size_t I = 0; I < Paths.size() && I < P.Top; ++I) {
+    const DecodedEntry &D = Paths[I].D;
+    std::string Blocks, Suffix;
+    for (uint32_t B : D.White.Blocks)
+      Blocks += "^" + std::to_string(B) + " ";
+    for (uint32_t B : D.Suffix)
+      Suffix += "^" + std::to_string(B) + " ";
+    T.addRow({std::to_string(D.Count), Paths[I].Func, Blocks, Suffix});
+  }
+  std::fputs(T.renderText().c_str(), stdout);
+  return 0;
+}
+
+int cmdEstimate(const Parsed &P) {
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+  Parsed P2 = P;
+  P2.Interproc = true; // estimation shows both dimensions
+  PipelineResult R = runPipelineFor(P2, *M, /*Overlap=*/true);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s\n", R.Errors[0].c_str());
+    return 1;
+  }
+  ModuleEstimator Est(*R.InstrModule, R.MI, *R.Prof);
+
+  TableWriter T({"Kind", "Where", "Real", "Definite", "Potential",
+                 "Exact Pairs"});
+  for (uint32_t F = 0; F < R.InstrModule->numFunctions(); ++F) {
+    const auto &Meta = R.MI.Funcs[F];
+    for (uint32_t L = 0; L < Meta.Loops->numLoops(); ++L) {
+      EstimateMetrics Met = Est.estimateLoop(F, L, &R.GT);
+      if (Met.Pairs == 0)
+        continue;
+      T.addRow({"loop",
+                R.InstrModule->function(F)->Name + " ^" +
+                    std::to_string(Meta.Loops->loop(L).Header),
+                std::to_string(Met.Real), std::to_string(Met.Definite),
+                std::to_string(Met.Potential),
+                std::to_string(Met.ExactPairs) + "/" +
+                    std::to_string(Met.Pairs)});
+    }
+  }
+  for (const CallSiteInfo &CS : R.MI.CallSites) {
+    EstimateMetrics MI1 = Est.estimateCallSiteTypeI(CS.CsId, &R.GT);
+    EstimateMetrics MI2 = Est.estimateCallSiteTypeII(CS.CsId, &R.GT);
+    if (MI1.Pairs + MI2.Pairs == 0)
+      continue;
+    std::string Where = R.InstrModule->function(CS.Func)->Name + " -> " +
+                        R.InstrModule->function(CS.Callee)->Name;
+    if (MI1.Pairs)
+      T.addRow({"type I", Where, std::to_string(MI1.Real),
+                std::to_string(MI1.Definite), std::to_string(MI1.Potential),
+                std::to_string(MI1.ExactPairs) + "/" +
+                    std::to_string(MI1.Pairs)});
+    if (MI2.Pairs)
+      T.addRow({"type II", Where, std::to_string(MI2.Real),
+                std::to_string(MI2.Definite), std::to_string(MI2.Potential),
+                std::to_string(MI2.ExactPairs) + "/" +
+                    std::to_string(MI2.Pairs)});
+  }
+  std::printf("interesting-path bounds at overlap degree %u:\n\n", P.Degree);
+  std::fputs(T.renderText().c_str(), stdout);
+  return 0;
+}
+
+int cmdWorkloads() {
+  TableWriter T({"Name", "Precision Args", "Overhead Args"});
+  for (const Workload &W : allWorkloads()) {
+    auto Fmt = [](const std::vector<int64_t> &A) {
+      std::string S;
+      for (int64_t V : A)
+        S += std::to_string(V) + " ";
+      return S;
+    };
+    T.addRow({W.Name, Fmt(W.PrecisionArgs), Fmt(W.OverheadArgs)});
+  }
+  std::fputs(T.renderText().c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "workloads")
+    return cmdWorkloads();
+  Parsed P = parseArgs(Argc, Argv, 2);
+  if (!P.Ok)
+    return usage();
+  if (Cmd == "run")
+    return cmdRun(P);
+  if (Cmd == "ir")
+    return cmdIr(P);
+  if (Cmd == "profile")
+    return cmdProfile(P);
+  if (Cmd == "estimate")
+    return cmdEstimate(P);
+  return usage();
+}

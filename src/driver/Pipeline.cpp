@@ -1,0 +1,92 @@
+//===--- Pipeline.cpp - End-to-end profiling pipeline ------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "frontend/Compiler.h"
+#include "ir/Verifier.h"
+
+using namespace olpp;
+
+PipelineResult olpp::runPipeline(const Module &M,
+                                 const PipelineConfig &Config) {
+  PipelineResult R;
+  R.BaseModule = M.clone();
+  R.InstrModule = M.clone();
+
+  const Function *Entry = R.BaseModule->findFunction(Config.EntryName);
+  if (!Entry) {
+    R.Errors.push_back("entry function '" + Config.EntryName + "' not found");
+    return R;
+  }
+
+  // 1. Baseline run with tracing.
+  VectorTrace Trace;
+  {
+    Interpreter I(*R.BaseModule, nullptr,
+                  Config.CollectGroundTruth ? &Trace : nullptr);
+    RunResult Run = I.run(*Entry, Config.Args, Config.Run);
+    if (!Run.Ok) {
+      R.Errors.push_back("baseline run failed: " + Run.Error);
+      return R;
+    }
+    R.BaseCounts = Run.Counts;
+    R.ReturnValue = Run.ReturnValue;
+  }
+
+  // 2. Instrument the clone and run it on the same inputs.
+  R.MI = instrumentModule(*R.InstrModule, Config.Instr);
+  if (!R.MI.ok()) {
+    R.Errors = R.MI.Errors;
+    return R;
+  }
+  std::vector<std::string> VerifyErrors = verifyModule(*R.InstrModule);
+  if (!VerifyErrors.empty()) {
+    for (const std::string &E : VerifyErrors)
+      R.Errors.push_back("instrumented module is malformed: " + E);
+    return R;
+  }
+
+  R.Prof = std::make_unique<ProfileRuntime>(R.InstrModule->numFunctions());
+  {
+    const Function *InstrEntry =
+        R.InstrModule->findFunction(Config.EntryName);
+    Interpreter I(*R.InstrModule, R.Prof.get(), nullptr);
+    RunResult Run = I.run(*InstrEntry, Config.Args, Config.Run);
+    if (!Run.Ok) {
+      R.Errors.push_back("instrumented run failed: " + Run.Error);
+      return R;
+    }
+    R.InstrCounts = Run.Counts;
+    if (Run.ReturnValue != R.ReturnValue) {
+      R.Errors.push_back(
+          "instrumented run returned a different value; probes are not "
+          "transparent");
+      return R;
+    }
+  }
+
+  // 3. Ground truth from the trace.
+  if (Config.CollectGroundTruth) {
+    GroundTruthOptions GTO;
+    GTO.CallBreaking = R.MI.Opts.CallBreaking;
+    R.GT = GroundTruth::compute(*R.BaseModule, Trace.Events, GTO,
+                                R.MI.CallSites);
+  }
+  return R;
+}
+
+PipelineResult olpp::runPipelineOnSource(std::string_view Source,
+                                         const PipelineConfig &Config) {
+  CompileResult C = compileMiniC(Source);
+  if (!C.ok()) {
+    PipelineResult R;
+    for (const Diag &D : C.Diags)
+      R.Errors.push_back(D.str());
+    return R;
+  }
+  return runPipeline(*C.M, Config);
+}

@@ -1,0 +1,66 @@
+//===--- Pipeline.h - End-to-end profiling pipeline -------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call workflow used by the benches, examples and integration
+/// tests: given a module (or MiniC source) and instrumentation options,
+///   1. run the pristine module with tracing -> ground truth + base cost,
+///   2. instrument a clone and run it -> raw profiles + instrumented cost.
+/// Both runs see identical inputs, so the trace describes exactly the
+/// execution the profile summarizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_DRIVER_PIPELINE_H
+#define OLPP_DRIVER_PIPELINE_H
+
+#include "interp/Interpreter.h"
+#include "interp/ProfileRuntime.h"
+#include "wpp/GroundTruth.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+struct PipelineConfig {
+  InstrumentOptions Instr;
+  std::string EntryName = "main";
+  std::vector<int64_t> Args;
+  RunConfig Run;
+  /// Skip tracing / ground truth (for overhead-only benches, where the
+  /// trace memory would dominate).
+  bool CollectGroundTruth = true;
+};
+
+struct PipelineResult {
+  std::unique_ptr<Module> BaseModule;  ///< pristine copy that was traced
+  std::unique_ptr<Module> InstrModule; ///< instrumented copy that profiled
+  ModuleInstrumentation MI;
+  std::unique_ptr<ProfileRuntime> Prof;
+  GroundTruth GT;
+  DynCounts BaseCounts, InstrCounts;
+  int64_t ReturnValue = 0;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+  /// Instrumentation overhead in percent (the paper's Table 9 metric).
+  double overheadPercent() const {
+    return InstrCounts.overheadPercentOver(BaseCounts);
+  }
+};
+
+/// Runs the pipeline on a clone of \p M.
+PipelineResult runPipeline(const Module &M, const PipelineConfig &Config);
+
+/// Compiles \p Source first; compile diagnostics land in Errors.
+PipelineResult runPipelineOnSource(std::string_view Source,
+                                   const PipelineConfig &Config);
+
+} // namespace olpp
+
+#endif // OLPP_DRIVER_PIPELINE_H

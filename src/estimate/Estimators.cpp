@@ -1,0 +1,590 @@
+//===--- Estimators.cpp - Interesting-path flow estimation ------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimate/Estimators.h"
+
+#include "ir/Module.h"
+#include "overlap/Projection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <tuple>
+
+using namespace olpp;
+
+namespace {
+
+std::vector<uint32_t> regionBlocks(const OverlapRegion &R,
+                                   const std::vector<uint32_t> &NodeSeq) {
+  std::vector<uint32_t> Out;
+  Out.reserve(NodeSeq.size());
+  for (uint32_t N : NodeSeq)
+    Out.push_back(R.nodes()[N].Block);
+  return Out;
+}
+
+/// Shared machinery for finishing one pair problem: solve, fold in ground
+/// truth, and produce metrics.
+struct PairProblem {
+  std::vector<DynPathKey> Rows, Cols;
+  std::unordered_map<DynPathKey, uint32_t, DynPathKeyHash> RowIdx, ColIdx;
+  std::vector<SumConstraint> Constraints;
+
+  uint32_t addRow(const DynPathKey &K) {
+    auto [It, New] = RowIdx.emplace(K, static_cast<uint32_t>(Rows.size()));
+    if (New)
+      Rows.push_back(K);
+    return It->second;
+  }
+  uint32_t addCol(const DynPathKey &K) {
+    auto [It, New] = ColIdx.emplace(K, static_cast<uint32_t>(Cols.size()));
+    if (New)
+      Cols.push_back(K);
+    return It->second;
+  }
+  uint32_t cell(uint32_t R, uint32_t C) const {
+    return R * static_cast<uint32_t>(Cols.size()) + C;
+  }
+
+  /// \p RealPairs maps (row key, col key) resolved through the caller to a
+  /// pair count; see the estimator bodies.
+  EstimateMetrics
+  solve(const std::vector<std::pair<std::pair<DynPathKey, DynPathKey>,
+                                    uint64_t>> &RealPairs) {
+    EstimateMetrics Met;
+    if (Rows.empty() || Cols.empty())
+      return Met;
+    Met.Problems = 1;
+    uint32_t NumCells = static_cast<uint32_t>(Rows.size() * Cols.size());
+    BoundsResult B = solveBounds(NumCells, Constraints);
+    Met.Pairs = NumCells;
+    Met.Definite = B.sumLower();
+    Met.Potential = B.sumUpper();
+    Met.ExactPairs = B.exactCount();
+
+    std::vector<uint64_t> Real(NumCells, 0);
+    for (const auto &[Keys, Count] : RealPairs) {
+      auto RIt = RowIdx.find(Keys.first);
+      auto CIt = ColIdx.find(Keys.second);
+      assert(RIt != RowIdx.end() && CIt != ColIdx.end() &&
+             "ground-truth pair outside the observed universe");
+      if (RIt == RowIdx.end() || CIt == ColIdx.end())
+        continue;
+      Real[cell(RIt->second, CIt->second)] += Count;
+      Met.Real += Count;
+    }
+    for (uint32_t C = 0; C < NumCells; ++C)
+      if (Real[C] < B.Lower[C] || Real[C] > B.Upper[C])
+        Met.SoundnessViolated = true;
+    return Met;
+  }
+
+  /// Solve without ground truth.
+  EstimateMetrics solveNoTruth() {
+    EstimateMetrics Met;
+    if (Rows.empty() || Cols.empty())
+      return Met;
+    Met.Problems = 1;
+    uint32_t NumCells = static_cast<uint32_t>(Rows.size() * Cols.size());
+    BoundsResult B = solveBounds(NumCells, Constraints);
+    Met.Pairs = NumCells;
+    Met.Definite = B.sumLower();
+    Met.Potential = B.sumUpper();
+    Met.ExactPairs = B.exactCount();
+    return Met;
+  }
+};
+
+} // namespace
+
+ModuleEstimator::ModuleEstimator(const Module &M,
+                                 const ModuleInstrumentation &MI,
+                                 const ProfileRuntime &Prof)
+    : M(M), MI(MI), Prof(Prof) {
+  Views.resize(M.numFunctions());
+  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
+    FuncView &V = Views[F];
+    const FunctionInstrumentation &Meta = MI.Funcs[F];
+    V.Entries = decodeProfile(*Meta.PG, Prof.PathCounts[F]);
+    V.LoopRows.resize(Meta.Loops->numLoops());
+    for (const DecodedEntry &E : V.Entries) {
+      DynPathKey Key{E.White, E.End, E.Loop};
+      V.Flow[Key] += E.Count;
+      if (!E.Suffix.empty()) {
+        OLRow &Row = V.LoopRows[E.Loop][E.White];
+        Row.F += E.Count;
+        Row.OF[E.Suffix] += E.Count;
+      }
+    }
+  }
+}
+
+EstimateMetrics ModuleEstimator::estimateLoops(const GroundTruth *GT) const {
+  EstimateMetrics Total;
+  for (uint32_t F = 0; F < M.numFunctions(); ++F)
+    for (uint32_t L = 0; L < MI.Funcs[F].Loops->numLoops(); ++L)
+      Total.add(estimateOneLoop(F, L, GT));
+  return Total;
+}
+
+EstimateMetrics ModuleEstimator::estimateOneLoop(uint32_t F, uint32_t L,
+                                                 const GroundTruth *GT) const {
+  const FuncView &V = Views[F];
+  const FunctionInstrumentation &Meta = MI.Funcs[F];
+  const Loop &TheLoop = Meta.Loops->loop(L);
+  uint32_t Header = TheLoop.Header;
+  bool Overlap = MI.Opts.LoopOverlap;
+
+  // The paper's loop interesting paths pair an iteration-ending path with
+  // the next *iteration sequence* — the in-loop part of the following path.
+  // (What the path does after leaving the loop is not part of the
+  // interesting path, and the overlapping graph cannot see it.) Columns are
+  // therefore iteration-sequence classes; their key is represented as a
+  // PathSig over the in-loop blocks.
+  auto SequenceOf = [&](const PathSig &Sig) {
+    DynPathKey Key;
+    Key.End = PathEnd::Ret; // constant; the class is identified by blocks
+    for (uint32_t B : Sig.Blocks) {
+      if (!TheLoop.contains(B))
+        break;
+      Key.Sig.Blocks.push_back(B);
+    }
+    return Key;
+  };
+
+  PairProblem P;
+  std::vector<uint64_t> RowF, ColF;
+
+  if (Overlap) {
+    // Deterministic row order.
+    std::vector<const PathSig *> Sigs;
+    for (const auto &[Sig, Row] : V.LoopRows[L])
+      Sigs.push_back(&Sig);
+    std::sort(Sigs.begin(), Sigs.end(),
+              [](const PathSig *A, const PathSig *B) {
+                if (A->StartsAtCallContinuation != B->StartsAtCallContinuation)
+                  return A->StartsAtCallContinuation <
+                         B->StartsAtCallContinuation;
+                return A->Blocks < B->Blocks;
+              });
+    for (const PathSig *Sig : Sigs) {
+      P.addRow({*Sig, PathEnd::Backedge, L});
+      RowF.push_back(V.LoopRows[L].at(*Sig).F);
+    }
+  } else {
+    std::vector<DynPathKey> Keys;
+    for (const auto &[Key, Flow] : V.Flow)
+      if (Key.End == PathEnd::Backedge && Key.Loop == L)
+        Keys.push_back(Key);
+    std::sort(Keys.begin(), Keys.end(),
+              [](const DynPathKey &A, const DynPathKey &B) {
+                return A.Sig.Blocks < B.Sig.Blocks;
+              });
+    for (const DynPathKey &Key : Keys) {
+      P.addRow(Key);
+      RowF.push_back(V.Flow.at(Key));
+    }
+  }
+
+  // Columns: iteration-sequence classes over the observed paths starting
+  // at the header.
+  {
+    std::map<std::vector<uint32_t>, uint64_t> ClassFlow;
+    for (const auto &[Key, Flow] : V.Flow)
+      if (!Key.Sig.StartsAtCallContinuation && !Key.Sig.Blocks.empty() &&
+          Key.Sig.Blocks.front() == Header)
+        ClassFlow[SequenceOf(Key.Sig).Sig.Blocks] += Flow;
+    for (const auto &[Blocks, Flow] : ClassFlow) {
+      DynPathKey Key;
+      Key.End = PathEnd::Ret;
+      Key.Sig.Blocks = Blocks;
+      P.addCol(Key);
+      ColF.push_back(Flow);
+    }
+  }
+  if (P.Rows.empty() || P.Cols.empty())
+    return EstimateMetrics();
+
+  uint32_t NC = static_cast<uint32_t>(P.Cols.size());
+  uint32_t NR = static_cast<uint32_t>(P.Rows.size());
+
+  // Row and column totals.
+  for (uint32_t R = 0; R < NR; ++R) {
+    SumConstraint C;
+    C.Value = RowF[R];
+    for (uint32_t Co = 0; Co < NC; ++Co)
+      C.Cells.push_back(P.cell(R, Co));
+    P.Constraints.push_back(std::move(C));
+  }
+  for (uint32_t Co = 0; Co < NC; ++Co) {
+    SumConstraint C;
+    C.Value = ColF[Co];
+    for (uint32_t R = 0; R < NR; ++R)
+      C.Cells.push_back(P.cell(R, Co));
+    P.Constraints.push_back(std::move(C));
+  }
+
+  // Overlap refinement: OF(i, class) == sum over columns in the class.
+  if (Overlap) {
+    const OverlapRegion &Region = Meta.PG->region(L);
+    std::map<std::vector<uint32_t>, std::vector<uint32_t>> ColsByClass;
+    for (uint32_t Co = 0; Co < NC; ++Co) {
+      std::vector<uint32_t> Class = regionBlocks(
+          Region, projectThroughRegion(Region, P.Cols[Co].Sig.Blocks));
+      ColsByClass[Class].push_back(Co);
+    }
+    for (uint32_t R = 0; R < NR; ++R) {
+      const OLRow &Row = V.LoopRows[L].at(P.Rows[R].Sig);
+      for (const auto &[Class, OF] : Row.OF) {
+        auto It = ColsByClass.find(Class);
+        assert(It != ColsByClass.end() &&
+               "observed OF class with no matching column");
+        if (It == ColsByClass.end())
+          continue;
+        SumConstraint C;
+        C.Value = OF;
+        for (uint32_t Co : It->second)
+          C.Cells.push_back(P.cell(R, Co));
+        P.Constraints.push_back(std::move(C));
+      }
+    }
+  }
+
+  if (!GT)
+    return P.solveNoTruth();
+
+  std::vector<std::pair<std::pair<DynPathKey, DynPathKey>, uint64_t>> Real;
+  const GroundTruth::FuncData &FD = GT->Funcs[F];
+  if (L < FD.LoopPairs.size())
+    for (const auto &[PairK, Count] : FD.LoopPairs[L]) {
+      const DynPathKey &I = FD.Paths[static_cast<uint32_t>(PairK >> 32)];
+      const DynPathKey &J =
+          FD.Paths[static_cast<uint32_t>(PairK & 0xFFFFFFFF)];
+      Real.push_back({{I, SequenceOf(J.Sig)}, Count});
+    }
+  return P.solve(Real);
+}
+
+EstimateMetrics ModuleEstimator::estimateTypeI(const GroundTruth *GT) const {
+  EstimateMetrics Total;
+  for (const CallSiteInfo &CS : MI.CallSites)
+    Total.add(estimateOneTypeI(CS, GT));
+  return Total;
+}
+
+EstimateMetrics
+ModuleEstimator::estimateOneTypeI(const CallSiteInfo &CS,
+                                  const GroundTruth *GT) const {
+  assert(MI.Opts.CallBreaking && "Type I estimation requires call breaking");
+  const FuncView &CallerV = Views[CS.Func];
+
+  // Callees this site can reach. Direct sites name theirs statically; an
+  // indirect site's callees are read off the Type I tuples (without them —
+  // plain BL on an indirect site — per-callee attribution is impossible,
+  // which is exactly the paper's argument for the func dimension).
+  std::vector<uint32_t> Callees;
+  if (CS.Callee != UINT32_MAX) {
+    Callees.push_back(CS.Callee);
+  } else if (MI.Opts.Interproc) {
+    std::set<uint32_t> Seen;
+    for (const auto &[Key, Count] : Prof.TypeICounts)
+      if (Key.CallSite == CS.CsId)
+        Seen.insert(Key.Callee);
+    Callees.assign(Seen.begin(), Seen.end());
+  }
+  if (Callees.empty())
+    return EstimateMetrics();
+
+  PairProblem P;
+  std::vector<uint64_t> RowF, ColF;
+
+  // Rows: caller pre-paths ending at this call block.
+  {
+    std::vector<DynPathKey> Keys;
+    for (const auto &[Key, Flow] : CallerV.Flow)
+      if (Key.End == PathEnd::CallBreak && Key.Sig.Blocks.back() == CS.Block)
+        Keys.push_back(Key);
+    std::sort(Keys.begin(), Keys.end(),
+              [](const DynPathKey &A, const DynPathKey &B) {
+                if (A.Sig.StartsAtCallContinuation !=
+                    B.Sig.StartsAtCallContinuation)
+                  return A.Sig.StartsAtCallContinuation <
+                         B.Sig.StartsAtCallContinuation;
+                return A.Sig.Blocks < B.Sig.Blocks;
+              });
+    for (const DynPathKey &Key : Keys) {
+      P.addRow(Key);
+      RowF.push_back(CallerV.Flow.at(Key));
+    }
+  }
+  // Columns: per callee, its paths starting at the entry, tagged with the
+  // callee id so different callees' paths stay distinct cells.
+  for (uint32_t Callee : Callees) {
+    const FuncView &CalleeV = Views[Callee];
+    uint32_t CalleeEntry = M.function(Callee)->entry()->Id;
+    std::vector<DynPathKey> Keys;
+    for (const auto &[Key, Flow] : CalleeV.Flow)
+      if (!Key.Sig.StartsAtCallContinuation &&
+          Key.Sig.Blocks.front() == CalleeEntry)
+        Keys.push_back(Key);
+    std::sort(Keys.begin(), Keys.end(),
+              [](const DynPathKey &A, const DynPathKey &B) {
+                if (A.Sig.Blocks != B.Sig.Blocks)
+                  return A.Sig.Blocks < B.Sig.Blocks;
+                if (A.End != B.End)
+                  return A.End < B.End;
+                return A.Loop < B.Loop;
+              });
+    for (DynPathKey Key : Keys) {
+      uint64_t Flow = CalleeV.Flow.at(Key);
+      Key.Tag = Callee;
+      P.addCol(Key);
+      ColF.push_back(Flow);
+    }
+  }
+  if (P.Rows.empty() || P.Cols.empty())
+    return EstimateMetrics();
+
+  uint32_t NR = static_cast<uint32_t>(P.Rows.size());
+  uint32_t NC = static_cast<uint32_t>(P.Cols.size());
+
+  for (uint32_t R = 0; R < NR; ++R) {
+    SumConstraint C;
+    C.Value = RowF[R];
+    for (uint32_t Co = 0; Co < NC; ++Co)
+      C.Cells.push_back(P.cell(R, Co));
+    P.Constraints.push_back(std::move(C));
+  }
+  // A callee path's global frequency caps this call site's share.
+  for (uint32_t Co = 0; Co < NC; ++Co) {
+    SumConstraint C;
+    C.Value = ColF[Co];
+    C.Equality = false;
+    for (uint32_t R = 0; R < NR; ++R)
+      C.Cells.push_back(P.cell(R, Co));
+    P.Constraints.push_back(std::move(C));
+  }
+
+  if (MI.Opts.Interproc) {
+    // Row id lookup and per-callee column prefix classes.
+    std::unordered_map<int64_t, uint32_t> RowById;
+    for (uint32_t R = 0; R < NR; ++R)
+      RowById[encodeWhiteId(*MI.Funcs[CS.Func].PG, P.Rows[R].Sig,
+                            PathEnd::CallBreak)] = R;
+    std::map<std::pair<uint32_t, int64_t>, std::vector<uint32_t>> ColsByClass;
+    for (uint32_t Co = 0; Co < NC; ++Co) {
+      uint32_t Callee = P.Cols[Co].Tag;
+      const FunctionInstrumentation &CalleeMeta = MI.Funcs[Callee];
+      int64_t Class = CalleeMeta.TypeINumbering->encode(projectThroughRegion(
+          *CalleeMeta.TypeIRegion, P.Cols[Co].Sig.Blocks));
+      ColsByClass[{Callee, Class}].push_back(Co);
+    }
+    for (const auto &[Key, Count] : Prof.TypeICounts) {
+      if (Key.CallSite != CS.CsId)
+        continue;
+      auto RIt = RowById.find(Key.Outer);
+      auto CIt = ColsByClass.find({Key.Callee, Key.Inner});
+      assert(RIt != RowById.end() && CIt != ColsByClass.end() &&
+             "Type I counter without matching profile paths");
+      if (RIt == RowById.end() || CIt == ColsByClass.end())
+        continue;
+      SumConstraint C;
+      C.Value = Count;
+      for (uint32_t Co : CIt->second)
+        C.Cells.push_back(P.cell(RIt->second, Co));
+      P.Constraints.push_back(std::move(C));
+    }
+  }
+
+  if (!GT)
+    return P.solveNoTruth();
+  std::vector<std::pair<std::pair<DynPathKey, DynPathKey>, uint64_t>> Real;
+  for (const auto &[Callee, Pairs] : GT->CallSites[CS.CsId].TypeIPairs)
+    for (const auto &[PairK, Count] : Pairs) {
+      const DynPathKey &Pp =
+          GT->Funcs[CS.Func].Paths[static_cast<uint32_t>(PairK >> 32)];
+      DynPathKey Q =
+          GT->Funcs[Callee].Paths[static_cast<uint32_t>(PairK & 0xFFFFFFFF)];
+      Q.Tag = Callee;
+      Real.push_back({{Pp, Q}, Count});
+    }
+  return P.solve(Real);
+}
+
+EstimateMetrics ModuleEstimator::estimateTypeII(const GroundTruth *GT) const {
+  EstimateMetrics Total;
+  for (const CallSiteInfo &CS : MI.CallSites)
+    Total.add(estimateOneTypeII(CS, GT));
+  return Total;
+}
+
+EstimateMetrics
+ModuleEstimator::estimateOneTypeII(const CallSiteInfo &CS,
+                                   const GroundTruth *GT) const {
+  assert(MI.Opts.CallBreaking && "Type II estimation requires call breaking");
+  const FuncView &CallerV = Views[CS.Func];
+
+  PairProblem P;
+  std::vector<uint64_t> ColF;
+
+  // Columns: caller continuations of this call site.
+  {
+    std::vector<DynPathKey> Keys;
+    for (const auto &[Key, Flow] : CallerV.Flow)
+      if (Key.Sig.StartsAtCallContinuation &&
+          Key.Sig.Blocks.front() == CS.Block)
+        Keys.push_back(Key);
+    std::sort(Keys.begin(), Keys.end(),
+              [](const DynPathKey &A, const DynPathKey &B) {
+                if (A.Sig.Blocks != B.Sig.Blocks)
+                  return A.Sig.Blocks < B.Sig.Blocks;
+                if (A.End != B.End)
+                  return A.End < B.End;
+                return A.Loop < B.Loop;
+              });
+    for (const DynPathKey &Key : Keys) {
+      P.addCol(Key);
+      ColF.push_back(CallerV.Flow.at(Key));
+    }
+  }
+  if (P.Cols.empty())
+    return EstimateMetrics();
+
+  std::vector<uint64_t> RowF;
+  std::vector<bool> RowEquality;
+  // (callee, callee path id, continuation class id) -> OF.
+  std::map<std::tuple<uint32_t, int64_t, int64_t>, uint64_t> OFByRowAndClass;
+
+  if (MI.Opts.Interproc) {
+    // Rows from the Type II counters of this call site (callee-tagged).
+    std::map<std::pair<uint32_t, int64_t>, uint64_t> RowTotals;
+    for (const auto &[Key, Count] : Prof.TypeIICounts) {
+      if (Key.CallSite != CS.CsId)
+        continue;
+      RowTotals[{Key.Callee, Key.Inner}] += Count;
+      OFByRowAndClass[{Key.Callee, Key.Inner, Key.Outer}] += Count;
+    }
+    for (const auto &[CalleeInner, Total] : RowTotals) {
+      auto [Callee, Inner] = CalleeInner;
+      DecodedEntry D = decodePathId(*MI.Funcs[Callee].PG, Inner);
+      assert(D.End == PathEnd::Ret && "Type II row is not a returning path");
+      DynPathKey Key{D.White, PathEnd::Ret, UINT32_MAX, Callee};
+      P.addRow(Key);
+      RowF.push_back(Total);
+      RowEquality.push_back(true);
+    }
+  } else if (CS.Callee != UINT32_MAX) {
+    // Plain BL, direct site: rows are all observed returning callee paths,
+    // capped by their global frequency; a total-calls equality ties the
+    // table. (An indirect site is not estimable without the tuples.)
+    const FuncView &CalleeV = Views[CS.Callee];
+    std::vector<DynPathKey> Keys;
+    for (const auto &[Key, Flow] : CalleeV.Flow)
+      if (Key.End == PathEnd::Ret)
+        Keys.push_back(Key);
+    std::sort(Keys.begin(), Keys.end(),
+              [](const DynPathKey &A, const DynPathKey &B) {
+                if (A.Sig.StartsAtCallContinuation !=
+                    B.Sig.StartsAtCallContinuation)
+                  return A.Sig.StartsAtCallContinuation <
+                         B.Sig.StartsAtCallContinuation;
+                return A.Sig.Blocks < B.Sig.Blocks;
+              });
+    for (DynPathKey Key : Keys) {
+      uint64_t Flow = CalleeV.Flow.at(Key);
+      Key.Tag = CS.Callee;
+      P.addRow(Key);
+      RowF.push_back(Flow);
+      RowEquality.push_back(false);
+    }
+  }
+  if (P.Rows.empty())
+    return EstimateMetrics();
+
+  uint32_t NR = static_cast<uint32_t>(P.Rows.size());
+  uint32_t NC = static_cast<uint32_t>(P.Cols.size());
+
+  for (uint32_t R = 0; R < NR; ++R) {
+    SumConstraint C;
+    C.Value = RowF[R];
+    C.Equality = RowEquality[R];
+    for (uint32_t Co = 0; Co < NC; ++Co)
+      C.Cells.push_back(P.cell(R, Co));
+    P.Constraints.push_back(std::move(C));
+  }
+  for (uint32_t Co = 0; Co < NC; ++Co) {
+    SumConstraint C;
+    C.Value = ColF[Co];
+    for (uint32_t R = 0; R < NR; ++R)
+      C.Cells.push_back(P.cell(R, Co));
+    P.Constraints.push_back(std::move(C));
+  }
+  if (!MI.Opts.Interproc) {
+    // Total returns at this call site == total continuation flow.
+    SumConstraint C;
+    C.Value = 0;
+    for (uint64_t F : ColF)
+      C.Value += F;
+    for (uint32_t R = 0; R < NR; ++R)
+      for (uint32_t Co = 0; Co < NC; ++Co)
+        C.Cells.push_back(P.cell(R, Co));
+    P.Constraints.push_back(std::move(C));
+  }
+
+  if (MI.Opts.Interproc) {
+    const auto *Site = MI.typeIISite(CS.CsId);
+    assert(Site);
+    std::unordered_map<int64_t, std::vector<uint32_t>> ColsByClass;
+    for (uint32_t Co = 0; Co < NC; ++Co) {
+      int64_t Class = Site->Numbering->encode(
+          projectThroughRegion(*Site->Region, P.Cols[Co].Sig.Blocks));
+      ColsByClass[Class].push_back(Co);
+    }
+    std::map<std::pair<uint32_t, int64_t>, uint32_t> RowById;
+    for (uint32_t R = 0; R < NR; ++R)
+      RowById[{P.Rows[R].Tag,
+               encodeWhiteId(*MI.Funcs[P.Rows[R].Tag].PG, P.Rows[R].Sig,
+                             PathEnd::Ret)}] = R;
+    for (const auto &[Key, Count] : OFByRowAndClass) {
+      auto [Callee, Inner, Outer] = Key;
+      auto RIt = RowById.find({Callee, Inner});
+      auto CIt = ColsByClass.find(Outer);
+      assert(RIt != RowById.end() && CIt != ColsByClass.end() &&
+             "Type II counter without matching profile paths");
+      if (RIt == RowById.end() || CIt == ColsByClass.end())
+        continue;
+      SumConstraint C;
+      C.Value = Count;
+      for (uint32_t Co : CIt->second)
+        C.Cells.push_back(P.cell(RIt->second, Co));
+      P.Constraints.push_back(std::move(C));
+    }
+  }
+
+  if (!GT)
+    return P.solveNoTruth();
+  std::vector<std::pair<std::pair<DynPathKey, DynPathKey>, uint64_t>> Real;
+  for (const auto &[Callee, Pairs] : GT->CallSites[CS.CsId].TypeIIPairs)
+    for (const auto &[PairK, Count] : Pairs) {
+      DynPathKey Q =
+          GT->Funcs[Callee].Paths[static_cast<uint32_t>(PairK >> 32)];
+      Q.Tag = Callee;
+      const DynPathKey &R =
+          GT->Funcs[CS.Func].Paths[static_cast<uint32_t>(PairK & 0xFFFFFFFF)];
+      Real.push_back({{Q, R}, Count});
+    }
+  return P.solve(Real);
+}
+
+EstimateMetrics ModuleEstimator::estimateAll(const GroundTruth *GT) const {
+  EstimateMetrics Total = estimateLoops(GT);
+  if (MI.Opts.CallBreaking) {
+    Total.add(estimateTypeI(GT));
+    Total.add(estimateTypeII(GT));
+  }
+  return Total;
+}

@@ -1,0 +1,132 @@
+//===--- Estimators.h - Interesting-path flow estimation --------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives lower/upper bounds on the frequency of every *interesting path*
+/// from profile data alone (never from the ground truth):
+///
+///   - loop interesting paths i ! j (paper §2.2): rows are the Ball-Larus
+///     paths ending at a loop's backedge, columns the paths starting at its
+///     header; overlapping-path counters refine each row by the column's
+///     overlap-prefix class,
+///   - interprocedural Type I pairs p ! q (paper §3.2): rows are caller
+///     pre-paths at one call site, columns callee paths from its entry,
+///   - Type II pairs q ! r: rows are callee paths ending at the return,
+///     columns the caller continuations of the call site.
+///
+/// When the instrumentation collected only plain BL profiles the refinement
+/// constraints are absent — that is exactly the paper's "estimates using BL
+/// paths" baseline (the overlap = -1 point of Figure 5).
+///
+/// Ground truth, when supplied, contributes the real flow (for the
+/// imprecision metrics) and a per-pair soundness check (L <= real <= U).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ESTIMATE_ESTIMATORS_H
+#define OLPP_ESTIMATE_ESTIMATORS_H
+
+#include "estimate/IntervalSolver.h"
+#include "profile/Instrumenter.h"
+#include "profile/ProfileDecode.h"
+#include "wpp/GroundTruth.h"
+
+#include <map>
+
+namespace olpp {
+
+struct EstimateMetrics {
+  uint64_t Real = 0;       ///< ground-truth interesting-path flow
+  uint64_t Definite = 0;   ///< sum of lower bounds
+  uint64_t Potential = 0;  ///< sum of upper bounds
+  uint64_t Pairs = 0;      ///< size of the pair universe
+  uint64_t ExactPairs = 0; ///< pairs with coinciding bounds
+  uint64_t Problems = 0;   ///< loops / call sites estimated
+  bool SoundnessViolated = false;
+
+  void add(const EstimateMetrics &O) {
+    Real += O.Real;
+    Definite += O.Definite;
+    Potential += O.Potential;
+    Pairs += O.Pairs;
+    ExactPairs += O.ExactPairs;
+    Problems += O.Problems;
+    SoundnessViolated |= O.SoundnessViolated;
+  }
+
+  double definiteErrorPercent() const {
+    return Real == 0 ? 0.0
+                     : 100.0 * (static_cast<double>(Definite) -
+                                static_cast<double>(Real)) /
+                           static_cast<double>(Real);
+  }
+  double potentialErrorPercent() const {
+    return Real == 0 ? 0.0
+                     : 100.0 * (static_cast<double>(Potential) -
+                                static_cast<double>(Real)) /
+                           static_cast<double>(Real);
+  }
+};
+
+/// Estimates interesting-path flow for one instrumented run of a module.
+class ModuleEstimator {
+public:
+  /// All three references must outlive the estimator.
+  ModuleEstimator(const Module &M, const ModuleInstrumentation &MI,
+                  const ProfileRuntime &Prof);
+
+  /// Loop interesting paths over all loops of all functions.
+  EstimateMetrics estimateLoops(const GroundTruth *GT = nullptr) const;
+  /// Type I pairs over all call sites.
+  EstimateMetrics estimateTypeI(const GroundTruth *GT = nullptr) const;
+  /// Type II pairs over all call sites.
+  EstimateMetrics estimateTypeII(const GroundTruth *GT = nullptr) const;
+  /// Sum of the three.
+  EstimateMetrics estimateAll(const GroundTruth *GT = nullptr) const;
+
+  /// Single-problem variants (used by diagnostics and fine-grained benches).
+  EstimateMetrics estimateLoop(uint32_t Func, uint32_t LoopIdx,
+                               const GroundTruth *GT = nullptr) const {
+    return estimateOneLoop(Func, LoopIdx, GT);
+  }
+  EstimateMetrics estimateCallSiteTypeI(uint32_t CsId,
+                                        const GroundTruth *GT = nullptr) const {
+    return estimateOneTypeI(MI.CallSites[CsId], GT);
+  }
+  EstimateMetrics estimateCallSiteTypeII(uint32_t CsId,
+                                         const GroundTruth *GT = nullptr) const {
+    return estimateOneTypeII(MI.CallSites[CsId], GT);
+  }
+
+private:
+  struct OLRow {
+    uint64_t F = 0;
+    /// Overlap suffix class (OG block sequence) -> OF frequency.
+    std::map<std::vector<uint32_t>, uint64_t> OF;
+  };
+  struct FuncView {
+    std::vector<DecodedEntry> Entries;
+    std::unordered_map<DynPathKey, uint64_t, DynPathKeyHash> Flow;
+    /// Per loop: OL prefix signature -> row data (LoopOverlap mode only).
+    std::vector<std::unordered_map<PathSig, OLRow, PathSigHash>> LoopRows;
+  };
+
+  EstimateMetrics estimateOneLoop(uint32_t F, uint32_t L,
+                                  const GroundTruth *GT) const;
+  EstimateMetrics estimateOneTypeI(const CallSiteInfo &CS,
+                                   const GroundTruth *GT) const;
+  EstimateMetrics estimateOneTypeII(const CallSiteInfo &CS,
+                                    const GroundTruth *GT) const;
+
+  const Module &M;
+  const ModuleInstrumentation &MI;
+  const ProfileRuntime &Prof;
+  std::vector<FuncView> Views;
+};
+
+} // namespace olpp
+
+#endif // OLPP_ESTIMATE_ESTIMATORS_H

@@ -1,0 +1,90 @@
+//===--- IntervalSolver.cpp - Iterative bound propagation -------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimate/IntervalSolver.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace olpp;
+
+static constexpr uint64_t UnknownUpper = UINT64_MAX / 4;
+
+uint64_t BoundsResult::sumLower() const {
+  uint64_t S = 0;
+  for (uint64_t V : Lower)
+    S += V;
+  return S;
+}
+
+uint64_t BoundsResult::sumUpper() const {
+  uint64_t S = 0;
+  for (uint64_t V : Upper)
+    S += V;
+  return S;
+}
+
+uint64_t BoundsResult::exactCount() const {
+  uint64_t N = 0;
+  for (std::size_t I = 0; I < Lower.size(); ++I)
+    if (Lower[I] == Upper[I])
+      ++N;
+  return N;
+}
+
+BoundsResult olpp::solveBounds(uint32_t NumCells,
+                               const std::vector<SumConstraint> &Constraints,
+                               uint32_t MaxIterations) {
+  BoundsResult R;
+  R.Lower.assign(NumCells, 0);
+  R.Upper.assign(NumCells, UnknownUpper);
+
+  for ([[maybe_unused]] const SumConstraint &C : Constraints)
+    for ([[maybe_unused]] uint32_t Cell : C.Cells)
+      assert(Cell < NumCells && "constraint cell out of range");
+
+  for (uint32_t Iter = 0; Iter < MaxIterations; ++Iter) {
+    bool Changed = false;
+    for (const SumConstraint &C : Constraints) {
+      // 128-bit accumulators: Upper starts at a huge sentinel.
+      __int128 SumL = 0, SumU = 0;
+      for (uint32_t Cell : C.Cells) {
+        SumL += R.Lower[Cell];
+        SumU += R.Upper[Cell];
+      }
+      for (uint32_t Cell : C.Cells) {
+        __int128 OthersL = SumL - R.Lower[Cell];
+        __int128 NewU = static_cast<__int128>(C.Value) - OthersL;
+        uint64_t NewUpper =
+            NewU <= 0 ? 0
+                      : (NewU > static_cast<__int128>(UnknownUpper)
+                             ? UnknownUpper
+                             : static_cast<uint64_t>(NewU));
+        if (NewUpper < R.Upper[Cell]) {
+          SumU -= R.Upper[Cell] - NewUpper;
+          R.Upper[Cell] = NewUpper;
+          Changed = true;
+        }
+        if (C.Equality) {
+          __int128 OthersU = SumU - R.Upper[Cell];
+          __int128 NewL = static_cast<__int128>(C.Value) - OthersU;
+          uint64_t NewLower = NewL <= 0 ? 0 : static_cast<uint64_t>(NewL);
+          if (NewLower > R.Lower[Cell]) {
+            SumL += NewLower - R.Lower[Cell];
+            R.Lower[Cell] = NewLower;
+            Changed = true;
+          }
+        }
+      }
+    }
+    R.Iterations = Iter + 1;
+    if (!Changed) {
+      R.Converged = true;
+      break;
+    }
+  }
+  return R;
+}

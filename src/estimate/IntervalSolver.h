@@ -1,0 +1,58 @@
+//===--- IntervalSolver.h - Iterative bound propagation ---------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's estimation engine (eqs. 4-8 and 10-18), generalized: given
+/// non-negative integer unknowns and a set of sum constraints over subsets
+/// of them — equalities (an overlapping-path frequency is *exactly* the sum
+/// of the interesting paths sharing its prefix) and upper bounds (a callee
+/// path's global frequency caps any one call site's share) — iterate
+///
+///     U[x] <- min(U[x], V - sum of L over the other cells)
+///     L[x] <- max(L[x], V - sum of U over the other cells)   (equalities)
+///
+/// until the bounds stabilize. The sum of lower bounds is the paper's
+/// *definite flow*, the sum of upper bounds its *potential flow*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ESTIMATE_INTERVALSOLVER_H
+#define OLPP_ESTIMATE_INTERVALSOLVER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+struct SumConstraint {
+  uint64_t Value = 0;
+  /// True: sum over Cells == Value. False: sum over Cells <= Value.
+  bool Equality = true;
+  std::vector<uint32_t> Cells;
+};
+
+struct BoundsResult {
+  std::vector<uint64_t> Lower;
+  std::vector<uint64_t> Upper;
+  uint32_t Iterations = 0;
+  bool Converged = false;
+
+  uint64_t sumLower() const;
+  uint64_t sumUpper() const;
+  /// Number of cells whose bounds coincide (precisely estimated paths).
+  uint64_t exactCount() const;
+};
+
+/// Solves for \p NumCells unknowns. Every cell should appear in at least
+/// one constraint with a finite value or its upper bound stays at the
+/// "unknown" sentinel (UINT64_MAX / 4).
+BoundsResult solveBounds(uint32_t NumCells,
+                         const std::vector<SumConstraint> &Constraints,
+                         uint32_t MaxIterations = 100);
+
+} // namespace olpp
+
+#endif // OLPP_ESTIMATE_INTERVALSOLVER_H

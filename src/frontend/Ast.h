@@ -1,0 +1,128 @@
+//===--- Ast.h - MiniC abstract syntax tree ---------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged-struct AST (kind enums, no RTTI). The semantic checker annotates
+/// references with their resolution (local slot / global id / function id)
+/// so that lowering never repeats name lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FRONTEND_AST_H
+#define OLPP_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Binary operators in MiniC. LAnd/LOr short-circuit.
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor, Shl, Shr,
+  Eq, Ne, Lt, Le, Gt, Ge, LAnd, LOr,
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+/// How a name resolved; filled in by Sema.
+enum class RefKind : uint8_t { Unresolved, Local, Global, GlobalArray, Func };
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,     ///< Value
+    VarRef,     ///< Name -> local or global scalar
+    ArrayIndex, ///< Name[Sub[0]] -> global array
+    Unary,      ///< UOp Sub[0]
+    Binary,     ///< Sub[0] BOp Sub[1]
+    Call,       ///< Name(Sub...); Indirect when Name is a variable
+                ///< holding a function id
+    FuncAddr,   ///< &Name -> the function's id as a value
+  };
+  Kind K;
+  uint32_t Line = 0, Col = 0;
+
+  int64_t Value = 0;
+  std::string Name;
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  std::vector<ExprPtr> Sub;
+
+  // Resolution (Sema).
+  RefKind Ref = RefKind::Unresolved;
+  uint32_t RefId = 0; ///< local var id, global id, or function id
+  /// Call through a variable holding a function id (function pointer).
+  bool Indirect = false;
+};
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,       ///< Body
+    VarDecl,     ///< var Name (= E[0])?
+    Assign,      ///< Name = E[0]
+    ArrayAssign, ///< Name[E[0]] = E[1]
+    If,          ///< if (E[0]) SubStmt[0] else SubStmt[1]?
+    While,       ///< while (E[0]) SubStmt[0]
+    DoWhile,     ///< do SubStmt[0] while (E[0])
+    For,         ///< for (SubStmt[1]?; E[0]?; SubStmt[2]?) SubStmt[0]
+    Return,      ///< return E[0]?
+    Break,
+    Continue,
+    ExprStmt,    ///< E[0];
+  };
+  Kind K;
+  uint32_t Line = 0, Col = 0;
+
+  std::string Name;
+  std::vector<ExprPtr> E;
+  std::vector<StmtPtr> SubStmt;
+  std::vector<StmtPtr> Body; ///< for Block
+
+  // Resolution (Sema) for VarDecl/Assign/ArrayAssign.
+  RefKind Ref = RefKind::Unresolved;
+  uint32_t RefId = 0;
+};
+
+struct FuncDecl {
+  std::string Name;
+  uint32_t Line = 0, Col = 0;
+  std::vector<std::string> Params;
+  StmtPtr Body; ///< always a Block
+  /// Total distinct local variables (params included); filled by Sema.
+  /// Lowering allocates one frame register per local var id.
+  uint32_t NumLocals = 0;
+};
+
+struct GlobalDecl {
+  std::string Name;
+  uint32_t Line = 0, Col = 0;
+  uint64_t Size = 1; ///< 1 for scalars
+};
+
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+};
+
+/// One frontend diagnostic.
+struct Diag {
+  uint32_t Line = 0, Col = 0;
+  std::string Message;
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+  }
+};
+
+} // namespace olpp
+
+#endif // OLPP_FRONTEND_AST_H

@@ -1,0 +1,42 @@
+//===--- Compiler.cpp - MiniC compilation facade -----------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/Verifier.h"
+
+using namespace olpp;
+
+CompileResult olpp::compileMiniC(std::string_view Source) {
+  CompileResult Res;
+
+  Parser P(Source);
+  Program Prog = P.parseProgram();
+  Res.Diags = P.diags();
+  if (!Res.Diags.empty())
+    return Res;
+
+  std::vector<Diag> SemaDiags = checkProgram(Prog);
+  if (!SemaDiags.empty()) {
+    Res.Diags = std::move(SemaDiags);
+    return Res;
+  }
+
+  std::unique_ptr<Module> M = lowerProgram(Prog);
+  // Lowering bugs surface here rather than as crashes downstream.
+  std::vector<std::string> VerifyErrors = verifyModule(*M);
+  if (!VerifyErrors.empty()) {
+    for (const std::string &E : VerifyErrors)
+      Res.Diags.push_back({0, 0, "internal lowering error: " + E});
+    return Res;
+  }
+
+  Res.M = std::move(M);
+  return Res;
+}

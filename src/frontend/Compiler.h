@@ -1,0 +1,46 @@
+//===--- Compiler.h - MiniC compilation facade ------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call frontend: source text -> verified IR module. This is the entry
+/// point examples, workloads and tests use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FRONTEND_COMPILER_H
+#define OLPP_FRONTEND_COMPILER_H
+
+#include "frontend/Ast.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string_view>
+
+namespace olpp {
+
+struct CompileResult {
+  /// Null when there were diagnostics.
+  std::unique_ptr<Module> M;
+  std::vector<Diag> Diags;
+
+  bool ok() const { return M != nullptr; }
+  /// All diagnostics joined by newlines (empty on success).
+  std::string diagText() const {
+    std::string Out;
+    for (const Diag &D : Diags) {
+      Out += D.str();
+      Out.push_back('\n');
+    }
+    return Out;
+  }
+};
+
+/// Parses, checks, lowers and verifies \p Source.
+CompileResult compileMiniC(std::string_view Source);
+
+} // namespace olpp
+
+#endif // OLPP_FRONTEND_COMPILER_H

@@ -1,0 +1,280 @@
+//===--- Lexer.cpp - MiniC lexer ------------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace olpp;
+
+const char *olpp::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::KwGlobal:
+    return "'global'";
+  case TokKind::KwFn:
+    return "'fn'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  }
+  return "?";
+}
+
+char Lexer::advance() {
+  char Ch = Src[Pos++];
+  if (Ch == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return Ch;
+}
+
+bool Lexer::skipTrivia(Token &ErrOut) {
+  while (Pos < Src.size()) {
+    char Ch = peek();
+    if (Ch == ' ' || Ch == '\t' || Ch == '\r' || Ch == '\n') {
+      advance();
+      continue;
+    }
+    if (Ch == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (Ch == '/' && peek(1) == '*') {
+      uint32_t StartLine = Line, StartCol = Col;
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Src.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed) {
+        ErrOut = {TokKind::Error, "unterminated block comment", 0, StartLine,
+                  StartCol};
+        return false;
+      }
+      continue;
+    }
+    break;
+  }
+  return true;
+}
+
+Token Lexer::next() {
+  Token Err;
+  if (!skipTrivia(Err))
+    return Err;
+  if (Pos >= Src.size())
+    return {TokKind::Eof, "", 0, Line, Col};
+
+  uint32_t StartLine = Line, StartCol = Col;
+  char Ch = advance();
+  auto Tok = [&](TokKind K) { return Token{K, "", 0, StartLine, StartCol}; };
+
+  if (std::isdigit(static_cast<unsigned char>(Ch))) {
+    int64_t Value = Ch - '0';
+    bool Overflow = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      int Digit = advance() - '0';
+      if (Value > (INT64_MAX - Digit) / 10)
+        Overflow = true;
+      else
+        Value = Value * 10 + Digit;
+    }
+    if (Overflow)
+      return {TokKind::Error, "integer literal too large", 0, StartLine,
+              StartCol};
+    Token T = Tok(TokKind::Number);
+    T.Value = Value;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+    std::string Name(1, Ch);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Name.push_back(advance());
+    static const std::unordered_map<std::string, TokKind> Keywords = {
+        {"global", TokKind::KwGlobal},   {"fn", TokKind::KwFn},
+        {"var", TokKind::KwVar},         {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+        {"do", TokKind::KwDo},           {"for", TokKind::KwFor},
+        {"return", TokKind::KwReturn},   {"break", TokKind::KwBreak},
+        {"continue", TokKind::KwContinue}};
+    auto It = Keywords.find(Name);
+    if (It != Keywords.end())
+      return Tok(It->second);
+    Token T = Tok(TokKind::Ident);
+    T.Text = std::move(Name);
+    return T;
+  }
+
+  switch (Ch) {
+  case '(':
+    return Tok(TokKind::LParen);
+  case ')':
+    return Tok(TokKind::RParen);
+  case '{':
+    return Tok(TokKind::LBrace);
+  case '}':
+    return Tok(TokKind::RBrace);
+  case '[':
+    return Tok(TokKind::LBracket);
+  case ']':
+    return Tok(TokKind::RBracket);
+  case ',':
+    return Tok(TokKind::Comma);
+  case ';':
+    return Tok(TokKind::Semi);
+  case '+':
+    return Tok(TokKind::Plus);
+  case '-':
+    return Tok(TokKind::Minus);
+  case '*':
+    return Tok(TokKind::Star);
+  case '/':
+    return Tok(TokKind::Slash);
+  case '%':
+    return Tok(TokKind::Percent);
+  case '^':
+    return Tok(TokKind::Caret);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return Tok(TokKind::AmpAmp);
+    }
+    return Tok(TokKind::Amp);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return Tok(TokKind::PipePipe);
+    }
+    return Tok(TokKind::Pipe);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return Tok(TokKind::NotEq);
+    }
+    return Tok(TokKind::Bang);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return Tok(TokKind::EqEq);
+    }
+    return Tok(TokKind::Assign);
+  case '<':
+    if (peek() == '<') {
+      advance();
+      return Tok(TokKind::Shl);
+    }
+    if (peek() == '=') {
+      advance();
+      return Tok(TokKind::Le);
+    }
+    return Tok(TokKind::Lt);
+  case '>':
+    if (peek() == '>') {
+      advance();
+      return Tok(TokKind::Shr);
+    }
+    if (peek() == '=') {
+      advance();
+      return Tok(TokKind::Ge);
+    }
+    return Tok(TokKind::Gt);
+  default:
+    return {TokKind::Error, std::string("unexpected character '") + Ch + "'",
+            0, StartLine, StartCol};
+  }
+}

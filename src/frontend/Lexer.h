@@ -1,0 +1,44 @@
+//===--- Lexer.h - MiniC lexer ----------------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Supports // line and /* block */ comments.
+/// Malformed input produces an Error token carrying the diagnostic text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FRONTEND_LEXER_H
+#define OLPP_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+
+namespace olpp {
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  /// Produces the next token; returns Eof forever once exhausted.
+  Token next();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool skipTrivia(Token &ErrOut);
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace olpp
+
+#endif // OLPP_FRONTEND_LEXER_H

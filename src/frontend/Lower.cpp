@@ -1,0 +1,376 @@
+//===--- Lower.cpp - AST to IR lowering -------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace olpp;
+
+namespace {
+
+class FunctionLowerer {
+public:
+  FunctionLowerer(const Program &P, Module &M, const FuncDecl &FD,
+                  Function &F)
+      : P(P), M(M), FD(FD), F(F), B(F) {}
+
+  void run() {
+    BasicBlock *Entry = F.addBlock("entry");
+    B.setBlock(Entry);
+    // One frame register per local variable id; params already occupy
+    // [0, NumParams).
+    F.NumRegs = std::max(F.NumRegs, FD.NumLocals);
+    lowerStmt(*FD.Body);
+    // Fall off the end of the function: implicit `return 0`.
+    if (!B.block()->hasTerminator())
+      B.ret(NoReg);
+    F.renumberBlocks();
+  }
+
+private:
+  /// Starts a new block and makes it current.
+  BasicBlock *freshBlock(const char *Name) {
+    BasicBlock *BB = F.addBlock(Name);
+    return BB;
+  }
+
+  /// If the current block is unterminated, branch to \p Next; then continue
+  /// lowering in \p Next.
+  void fallInto(BasicBlock *Next) {
+    if (!B.block()->hasTerminator())
+      B.br(Next);
+    B.setBlock(Next);
+  }
+
+  // --- expressions -------------------------------------------------------
+
+  Reg lowerExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return B.constInt(E.Value);
+    case Expr::Kind::VarRef:
+      if (E.Ref == RefKind::Local)
+        return static_cast<Reg>(E.RefId);
+      assert(E.Ref == RefKind::Global && "unresolved variable reference");
+      return B.loadGlobal(E.RefId);
+    case Expr::Kind::ArrayIndex: {
+      assert(E.Ref == RefKind::GlobalArray && "unresolved array reference");
+      Reg Idx = lowerExpr(*E.Sub[0]);
+      return B.loadArray(E.RefId, Idx);
+    }
+    case Expr::Kind::Unary: {
+      Reg V = lowerExpr(*E.Sub[0]);
+      return E.UOp == UnaryOp::Neg ? B.neg(V) : B.logicalNot(V);
+    }
+    case Expr::Kind::Binary:
+      return lowerBinary(E);
+    case Expr::Kind::FuncAddr:
+      assert(E.Ref == RefKind::Func && "unresolved function address");
+      return B.constInt(static_cast<int64_t>(E.RefId));
+    case Expr::Kind::Call: {
+      std::vector<Reg> Args;
+      Args.reserve(E.Sub.size());
+      for (const ExprPtr &A : E.Sub)
+        Args.push_back(lowerExpr(*A));
+      Reg Dst = F.newReg();
+      if (E.Indirect) {
+        Reg Target = E.Ref == RefKind::Local
+                         ? static_cast<Reg>(E.RefId)
+                         : B.loadGlobal(E.RefId);
+        B.callIndirect(Dst, Target, std::move(Args));
+      } else {
+        assert(E.Ref == RefKind::Func && "unresolved call");
+        B.call(Dst, E.RefId, std::move(Args));
+      }
+      // Invariant: a call ends its block.
+      BasicBlock *Cont = freshBlock("post.call");
+      B.br(Cont);
+      B.setBlock(Cont);
+      return Dst;
+    }
+    }
+    assert(false && "unknown expression kind");
+    return NoReg;
+  }
+
+  Reg lowerBinary(const Expr &E) {
+    if (E.BOp == BinaryOp::LAnd || E.BOp == BinaryOp::LOr)
+      return lowerShortCircuit(E);
+
+    Reg L = lowerExpr(*E.Sub[0]);
+    Reg R = lowerExpr(*E.Sub[1]);
+    Opcode Op;
+    switch (E.BOp) {
+    case BinaryOp::Add:
+      Op = Opcode::Add;
+      break;
+    case BinaryOp::Sub:
+      Op = Opcode::Sub;
+      break;
+    case BinaryOp::Mul:
+      Op = Opcode::Mul;
+      break;
+    case BinaryOp::Div:
+      Op = Opcode::Div;
+      break;
+    case BinaryOp::Mod:
+      Op = Opcode::Mod;
+      break;
+    case BinaryOp::BitAnd:
+      Op = Opcode::And;
+      break;
+    case BinaryOp::BitOr:
+      Op = Opcode::Or;
+      break;
+    case BinaryOp::BitXor:
+      Op = Opcode::Xor;
+      break;
+    case BinaryOp::Shl:
+      Op = Opcode::Shl;
+      break;
+    case BinaryOp::Shr:
+      Op = Opcode::Shr;
+      break;
+    case BinaryOp::Eq:
+      Op = Opcode::CmpEq;
+      break;
+    case BinaryOp::Ne:
+      Op = Opcode::CmpNe;
+      break;
+    case BinaryOp::Lt:
+      Op = Opcode::CmpLt;
+      break;
+    case BinaryOp::Le:
+      Op = Opcode::CmpLe;
+      break;
+    case BinaryOp::Gt:
+      Op = Opcode::CmpGt;
+      break;
+    case BinaryOp::Ge:
+      Op = Opcode::CmpGe;
+      break;
+    default:
+      assert(false && "short-circuit op handled above");
+      Op = Opcode::Add;
+    }
+    return B.binop(Op, L, R);
+  }
+
+  /// Lowers `a && b` / `a || b` with real control flow, producing 0/1.
+  Reg lowerShortCircuit(const Expr &E) {
+    bool IsAnd = E.BOp == BinaryOp::LAnd;
+    Reg Result = F.newReg();
+    Reg Lhs = lowerExpr(*E.Sub[0]);
+
+    BasicBlock *Rhs = freshBlock(IsAnd ? "and.rhs" : "or.rhs");
+    BasicBlock *Short = freshBlock(IsAnd ? "and.short" : "or.short");
+    BasicBlock *Done = freshBlock(IsAnd ? "and.done" : "or.done");
+
+    if (IsAnd)
+      B.condBr(Lhs, Rhs, Short);
+    else
+      B.condBr(Lhs, Short, Rhs);
+
+    B.setBlock(Rhs);
+    Reg RhsV = lowerExpr(*E.Sub[1]);
+    Reg Zero = B.constInt(0);
+    B.binopInto(Result, Opcode::CmpNe, RhsV, Zero);
+    B.br(Done);
+
+    B.setBlock(Short);
+    B.constInto(Result, IsAnd ? 0 : 1);
+    B.br(Done);
+
+    B.setBlock(Done);
+    return Result;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  struct LoopCtx {
+    BasicBlock *ContinueTarget;
+    BasicBlock *BreakTarget;
+  };
+
+  void lowerStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Sub : S.Body)
+        lowerStmt(*Sub);
+      break;
+    case Stmt::Kind::VarDecl: {
+      assert(S.Ref == RefKind::Local && "unresolved var decl");
+      Reg Slot = static_cast<Reg>(S.RefId);
+      if (!S.E.empty()) {
+        Reg V = lowerExpr(*S.E[0]);
+        B.move(Slot, V);
+      } else {
+        B.constInto(Slot, 0);
+      }
+      break;
+    }
+    case Stmt::Kind::Assign: {
+      Reg V = lowerExpr(*S.E[0]);
+      if (S.Ref == RefKind::Local)
+        B.move(static_cast<Reg>(S.RefId), V);
+      else {
+        assert(S.Ref == RefKind::Global && "unresolved assignment");
+        B.storeGlobal(S.RefId, V);
+      }
+      break;
+    }
+    case Stmt::Kind::ArrayAssign: {
+      assert(S.Ref == RefKind::GlobalArray && "unresolved array assignment");
+      Reg Idx = lowerExpr(*S.E[0]);
+      Reg V = lowerExpr(*S.E[1]);
+      B.storeArray(S.RefId, Idx, V);
+      break;
+    }
+    case Stmt::Kind::If: {
+      Reg Cond = lowerExpr(*S.E[0]);
+      BasicBlock *Then = freshBlock("if.then");
+      BasicBlock *Merge = freshBlock("if.merge");
+      BasicBlock *Else = S.SubStmt.size() > 1 && S.SubStmt[1]
+                             ? freshBlock("if.else")
+                             : Merge;
+      B.condBr(Cond, Then, Else);
+
+      B.setBlock(Then);
+      lowerStmt(*S.SubStmt[0]);
+      fallInto(Merge);
+
+      if (Else != Merge) {
+        B.setBlock(Else);
+        lowerStmt(*S.SubStmt[1]);
+        if (!B.block()->hasTerminator())
+          B.br(Merge);
+        B.setBlock(Merge);
+      }
+      break;
+    }
+    case Stmt::Kind::While: {
+      BasicBlock *Header = freshBlock("while.header");
+      BasicBlock *Body = freshBlock("while.body");
+      BasicBlock *Latch = freshBlock("while.latch");
+      BasicBlock *Exit = freshBlock("while.exit");
+
+      B.br(Header);
+      B.setBlock(Header);
+      Reg Cond = lowerExpr(*S.E[0]);
+      B.condBr(Cond, Body, Exit);
+
+      B.setBlock(Body);
+      Loops.push_back({Latch, Exit});
+      lowerStmt(*S.SubStmt[0]);
+      Loops.pop_back();
+      fallInto(Latch);
+      B.br(Header);
+
+      B.setBlock(Exit);
+      break;
+    }
+    case Stmt::Kind::DoWhile: {
+      BasicBlock *Body = freshBlock("do.body");
+      BasicBlock *CondBB = freshBlock("do.cond");
+      BasicBlock *Exit = freshBlock("do.exit");
+
+      B.br(Body);
+      B.setBlock(Body);
+      Loops.push_back({CondBB, Exit});
+      lowerStmt(*S.SubStmt[0]);
+      Loops.pop_back();
+      fallInto(CondBB);
+      Reg Cond = lowerExpr(*S.E[0]);
+      B.condBr(Cond, Body, Exit);
+
+      B.setBlock(Exit);
+      break;
+    }
+    case Stmt::Kind::For: {
+      if (S.SubStmt.size() > 1 && S.SubStmt[1])
+        lowerStmt(*S.SubStmt[1]); // init
+
+      BasicBlock *Header = freshBlock("for.header");
+      BasicBlock *Body = freshBlock("for.body");
+      BasicBlock *Step = freshBlock("for.step");
+      BasicBlock *Exit = freshBlock("for.exit");
+
+      B.br(Header);
+      B.setBlock(Header);
+      if (!S.E.empty() && S.E[0]) {
+        Reg Cond = lowerExpr(*S.E[0]);
+        B.condBr(Cond, Body, Exit);
+      } else {
+        B.br(Body);
+      }
+
+      B.setBlock(Body);
+      Loops.push_back({Step, Exit});
+      lowerStmt(*S.SubStmt[0]);
+      Loops.pop_back();
+      fallInto(Step);
+      if (S.SubStmt.size() > 2 && S.SubStmt[2])
+        lowerStmt(*S.SubStmt[2]); // step
+      if (!B.block()->hasTerminator())
+        B.br(Header);
+
+      B.setBlock(Exit);
+      break;
+    }
+    case Stmt::Kind::Return: {
+      if (!S.E.empty() && S.E[0]) {
+        Reg V = lowerExpr(*S.E[0]);
+        B.ret(V);
+      } else {
+        B.ret(NoReg);
+      }
+      // Anything after the return lowers into an unreachable block.
+      B.setBlock(freshBlock("dead"));
+      break;
+    }
+    case Stmt::Kind::Break: {
+      assert(!Loops.empty() && "break outside loop survived sema");
+      B.br(Loops.back().BreakTarget);
+      B.setBlock(freshBlock("dead"));
+      break;
+    }
+    case Stmt::Kind::Continue: {
+      assert(!Loops.empty() && "continue outside loop survived sema");
+      B.br(Loops.back().ContinueTarget);
+      B.setBlock(freshBlock("dead"));
+      break;
+    }
+    case Stmt::Kind::ExprStmt:
+      (void)lowerExpr(*S.E[0]);
+      break;
+    }
+  }
+
+  const Program &P;
+  Module &M;
+  const FuncDecl &FD;
+  Function &F;
+  IRBuilder B;
+  std::vector<LoopCtx> Loops;
+};
+
+} // namespace
+
+std::unique_ptr<Module> olpp::lowerProgram(const Program &P) {
+  auto M = std::make_unique<Module>();
+  for (const GlobalDecl &G : P.Globals)
+    M->addGlobal(G.Name, G.Size);
+  // Pre-register all functions so calls can reference them by id; Sema's
+  // function ids are declaration indices, which addFunction reproduces.
+  for (const FuncDecl &F : P.Funcs)
+    M->addFunction(F.Name, static_cast<uint32_t>(F.Params.size()));
+  for (uint32_t I = 0; I < P.Funcs.size(); ++I)
+    FunctionLowerer(P, *M, P.Funcs[I], *M->function(I)).run();
+  return M;
+}

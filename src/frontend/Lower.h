@@ -1,0 +1,33 @@
+//===--- Lower.h - AST to IR lowering ---------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked MiniC program to the OLPP IR. Guarantees the structural
+/// invariants the profilers rely on:
+///   - only reducible control flow (structured statements),
+///   - every loop has a single dedicated latch block,
+///   - a Call is always immediately followed by the block terminator
+///     (each call ends its block), so call sites are path-break points,
+///   - CondBr targets are always distinct blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FRONTEND_LOWER_H
+#define OLPP_FRONTEND_LOWER_H
+
+#include "frontend/Ast.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace olpp {
+
+/// Lowers \p P, which must have passed checkProgram with no diagnostics.
+std::unique_ptr<Module> lowerProgram(const Program &P);
+
+} // namespace olpp
+
+#endif // OLPP_FRONTEND_LOWER_H

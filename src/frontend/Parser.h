@@ -1,0 +1,62 @@
+//===--- Parser.h - MiniC recursive-descent parser --------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the AST of frontend/Ast.h. Parse
+/// errors are collected as diagnostics; the parser recovers at statement
+/// and declaration boundaries so that several errors can be reported from
+/// one run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FRONTEND_PARSER_H
+#define OLPP_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+namespace olpp {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source);
+
+  /// Parses a whole program. Check diags() before using the result.
+  Program parseProgram();
+
+  const std::vector<Diag> &diags() const { return Diags; }
+
+private:
+  // Token plumbing.
+  const Token &cur() const { return Cur; }
+  void bump();
+  bool at(TokKind K) const { return Cur.Kind == K; }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void error(const std::string &Msg);
+  void syncToDeclBoundary();
+  void syncToStmtBoundary();
+
+  // Grammar productions.
+  void parseGlobal(Program &P);
+  void parseFunction(Program &P);
+  StmtPtr parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseSimpleStmt(bool RequireSemi);
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRhs(int MinPrec, ExprPtr Lhs);
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  Lexer Lex;
+  Token Cur;
+  std::vector<Diag> Diags;
+  uint64_t TokensConsumed = 0;
+};
+
+} // namespace olpp
+
+#endif // OLPP_FRONTEND_PARSER_H

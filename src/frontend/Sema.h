@@ -1,0 +1,28 @@
+//===--- Sema.h - MiniC semantic checking -----------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and semantic checks over the AST. On success every
+/// VarRef/ArrayIndex/Call/Assign node carries its resolution (RefKind +
+/// RefId) and each FuncDecl knows how many local variable slots it needs,
+/// which is all the lowering requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FRONTEND_SEMA_H
+#define OLPP_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+
+namespace olpp {
+
+/// Checks and annotates \p P in place. Returns the diagnostics; empty means
+/// the program is well-formed and ready for lowering.
+std::vector<Diag> checkProgram(Program &P);
+
+} // namespace olpp
+
+#endif // OLPP_FRONTEND_SEMA_H

@@ -1,0 +1,85 @@
+//===--- Token.h - MiniC tokens ---------------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MiniC, the small imperative language the workloads are
+/// written in. MiniC has 64-bit integers, global scalars/arrays, functions,
+/// and structured control flow — exactly what the profiling algorithms need
+/// (reducible loops and call sites).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FRONTEND_TOKEN_H
+#define OLPP_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace olpp {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+  Ident,
+  Number,
+  // keywords
+  KwGlobal,
+  KwFn,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign, // =
+  // operators
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Shl,
+  Shr,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   // identifier spelling or error message
+  int64_t Value = 0;  // Number payload
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+/// Returns a printable name for diagnostics.
+const char *tokKindName(TokKind K);
+
+} // namespace olpp
+
+#endif // OLPP_FRONTEND_TOKEN_H

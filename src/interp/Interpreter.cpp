@@ -1,0 +1,507 @@
+//===--- Interpreter.cpp - OLPP IR interpreter ---------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "interp/CostModel.h"
+#include "interp/ProfileRuntime.h"
+#include "interp/Trace.h"
+
+#include <cassert>
+
+using namespace olpp;
+
+TraceSink::~TraceSink() = default;
+
+namespace {
+
+/// Per-loop overlap-region registers.
+struct LoopRegs {
+  int64_t Ro = 0;
+  int64_t Ol = 0;
+  bool Active = false;
+};
+
+/// One activation record.
+struct Frame {
+  const Function *F = nullptr;
+  const BasicBlock *BB = nullptr;
+  size_t Ip = 0;
+  Reg RetDst = NoReg;
+  std::vector<int64_t> Regs;
+
+  // Ball-Larus path register.
+  int64_t R = 0;
+  // Loop overlap regions.
+  std::vector<LoopRegs> Loops;
+  // Type I (callee-prefix) region.
+  bool ActiveI = false;
+  bool HaveCaller = false;
+  int64_t RI = 0, OlI = 0, CallerPre = 0;
+  uint32_t CallSiteI = 0;
+  // Type II (caller-continuation) region.
+  bool ActiveII = false;
+  int64_t RoII = 0, OlII = 0, CalleePathII = 0;
+  uint32_t CallSiteII = 0, CalleeII = 0;
+};
+
+} // namespace
+
+Interpreter::Interpreter(const Module &M, ProfileRuntime *Prof,
+                         TraceSink *Trace)
+    : M(M), Prof(Prof), Trace(Trace) {
+  Globals.resize(M.globals().size());
+  for (size_t G = 0; G < Globals.size(); ++G)
+    Globals[G].assign(M.globals()[G].Size, 0);
+}
+
+void Interpreter::resetGlobals() {
+  for (size_t G = 0; G < Globals.size(); ++G)
+    Globals[G].assign(M.globals()[G].Size, 0);
+}
+
+RunResult Interpreter::run(const Function &Entry,
+                           const std::vector<int64_t> &Args,
+                           const RunConfig &Config) {
+  RunResult Res;
+  if (Args.size() != Entry.NumParams) {
+    Res.Error = "entry function '" + Entry.Name + "' expects " +
+                std::to_string(Entry.NumParams) + " arguments, got " +
+                std::to_string(Args.size());
+    return Res;
+  }
+  if (Prof)
+    Prof->resetTransient();
+
+  std::vector<Frame> Stack;
+  auto PushFrame = [&](const Function &F, Reg RetDst) {
+    Stack.emplace_back();
+    Frame &Fr = Stack.back();
+    Fr.F = &F;
+    Fr.BB = F.entry();
+    Fr.RetDst = RetDst;
+    Fr.Regs.assign(F.NumRegs, 0);
+    Fr.Loops.resize(F.NumLoopSlots);
+    if (Trace) {
+      Trace->onEnter(F.Id);
+      Trace->onBlock(F.Id, Fr.BB->Id);
+    }
+    ++Res.Counts.Blocks;
+  };
+
+  PushFrame(Entry, NoReg);
+  for (size_t A = 0; A < Args.size(); ++A)
+    Stack.back().Regs[A] = Args[A];
+
+  DynCounts &C = Res.Counts;
+  auto Fail = [&](const std::string &Msg) {
+    Res.Ok = false;
+    Res.Error = Msg + " (in '" + Stack.back().F->Name + "', block ^" +
+                std::to_string(Stack.back().BB->Id) + ")";
+    return Res;
+  };
+
+  while (true) {
+    Frame &Fr = Stack.back();
+    assert(Fr.Ip < Fr.BB->Instrs.size() && "fell off the end of a block");
+    const Instruction &I = Fr.BB->Instrs[Fr.Ip];
+
+    if (++C.Steps > Config.MaxSteps)
+      return Fail("fuel exhausted after " + std::to_string(Config.MaxSteps) +
+                  " steps");
+
+    // Helper for transferring control within the current frame.
+    auto Goto = [&](BasicBlock *Target) {
+      Fr.BB = Target;
+      Fr.Ip = 0;
+      ++C.Blocks;
+      if (Trace)
+        Trace->onBlock(Fr.F->Id, Target->Id);
+    };
+
+    switch (I.Op) {
+    case Opcode::Const:
+      Fr.Regs[I.Dst] = I.Imm;
+      C.BaseCost += cost::Instr;
+      break;
+    case Opcode::Move:
+      Fr.Regs[I.Dst] = Fr.Regs[I.Src0];
+      C.BaseCost += cost::Instr;
+      break;
+    case Opcode::Neg:
+      Fr.Regs[I.Dst] = -static_cast<int64_t>(
+          static_cast<uint64_t>(Fr.Regs[I.Src0]));
+      C.BaseCost += cost::Instr;
+      break;
+    case Opcode::Not:
+      Fr.Regs[I.Dst] = Fr.Regs[I.Src0] == 0 ? 1 : 0;
+      C.BaseCost += cost::Instr;
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe: {
+      int64_t A = Fr.Regs[I.Src0], B = Fr.Regs[I.Src1];
+      uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
+      int64_t Out = 0;
+      switch (I.Op) {
+      case Opcode::Add:
+        Out = static_cast<int64_t>(UA + UB);
+        break;
+      case Opcode::Sub:
+        Out = static_cast<int64_t>(UA - UB);
+        break;
+      case Opcode::Mul:
+        Out = static_cast<int64_t>(UA * UB);
+        break;
+      case Opcode::Div:
+        if (B == 0)
+          return Fail("division by zero");
+        if (A == INT64_MIN && B == -1)
+          return Fail("signed division overflow");
+        Out = A / B;
+        break;
+      case Opcode::Mod:
+        if (B == 0)
+          return Fail("modulo by zero");
+        if (A == INT64_MIN && B == -1)
+          return Fail("signed modulo overflow");
+        Out = A % B;
+        break;
+      case Opcode::And:
+        Out = A & B;
+        break;
+      case Opcode::Or:
+        Out = A | B;
+        break;
+      case Opcode::Xor:
+        Out = A ^ B;
+        break;
+      case Opcode::Shl:
+        Out = static_cast<int64_t>(UA << (UB & 63));
+        break;
+      case Opcode::Shr:
+        Out = A >> (UB & 63);
+        break;
+      case Opcode::CmpEq:
+        Out = A == B;
+        break;
+      case Opcode::CmpNe:
+        Out = A != B;
+        break;
+      case Opcode::CmpLt:
+        Out = A < B;
+        break;
+      case Opcode::CmpLe:
+        Out = A <= B;
+        break;
+      case Opcode::CmpGt:
+        Out = A > B;
+        break;
+      case Opcode::CmpGe:
+        Out = A >= B;
+        break;
+      default:
+        assert(false && "unexpected binary opcode");
+      }
+      Fr.Regs[I.Dst] = Out;
+      C.BaseCost += cost::Instr;
+      break;
+    }
+    case Opcode::LoadG:
+      Fr.Regs[I.Dst] = Globals[I.GlobalId][0];
+      C.BaseCost += cost::Instr;
+      break;
+    case Opcode::StoreG:
+      Globals[I.GlobalId][0] = Fr.Regs[I.Src0];
+      C.BaseCost += cost::Instr;
+      break;
+    case Opcode::LoadArr: {
+      int64_t Idx = Fr.Regs[I.Src0];
+      const auto &Arr = Globals[I.GlobalId];
+      if (Idx < 0 || static_cast<uint64_t>(Idx) >= Arr.size())
+        return Fail("array index " + std::to_string(Idx) +
+                    " out of bounds for '" + M.globals()[I.GlobalId].Name +
+                    "' of size " + std::to_string(Arr.size()));
+      Fr.Regs[I.Dst] = Arr[static_cast<size_t>(Idx)];
+      C.BaseCost += cost::Instr;
+      break;
+    }
+    case Opcode::StoreArr: {
+      int64_t Idx = Fr.Regs[I.Src0];
+      auto &Arr = Globals[I.GlobalId];
+      if (Idx < 0 || static_cast<uint64_t>(Idx) >= Arr.size())
+        return Fail("array index " + std::to_string(Idx) +
+                    " out of bounds for '" + M.globals()[I.GlobalId].Name +
+                    "' of size " + std::to_string(Arr.size()));
+      Arr[static_cast<size_t>(Idx)] = Fr.Regs[I.Src1];
+      C.BaseCost += cost::Instr;
+      break;
+    }
+    case Opcode::CallInd:
+    case Opcode::Call: {
+      uint32_t CalleeId = I.CalleeId;
+      if (I.Op == Opcode::CallInd) {
+        int64_t Target = Fr.Regs[I.Src0];
+        if (Target < 0 ||
+            static_cast<uint64_t>(Target) >= M.numFunctions())
+          return Fail("indirect call to invalid function id " +
+                      std::to_string(Target));
+        CalleeId = static_cast<uint32_t>(Target);
+        if (I.Args.size() != M.function(CalleeId)->NumParams)
+          return Fail("indirect call to '" + M.function(CalleeId)->Name +
+                      "' with " + std::to_string(I.Args.size()) +
+                      " args, expected " +
+                      std::to_string(M.function(CalleeId)->NumParams));
+      }
+      if (Stack.size() >= Config.MaxCallDepth)
+        return Fail("call depth limit of " +
+                    std::to_string(Config.MaxCallDepth) + " exceeded");
+      C.BaseCost += cost::Instr;
+      ++C.Calls;
+      const Function &Callee = *M.function(CalleeId);
+      std::vector<int64_t> CallArgs(I.Args.size());
+      for (size_t A = 0; A < I.Args.size(); ++A)
+        CallArgs[A] = Fr.Regs[I.Args[A]];
+      ++Fr.Ip; // resume past the call on return
+      PushFrame(Callee, I.Dst);
+      // NB: `Fr` is invalidated by the push.
+      Frame &NewFr = Stack.back();
+      for (size_t A = 0; A < CallArgs.size(); ++A)
+        NewFr.Regs[A] = CallArgs[A];
+      continue;
+    }
+    case Opcode::Ret: {
+      C.BaseCost += cost::Instr;
+      int64_t Value = I.Src0 == NoReg ? 0 : Fr.Regs[I.Src0];
+      bool IsVoid = I.Src0 == NoReg;
+      if (Trace)
+        Trace->onExit(Fr.F->Id);
+      Reg Dst = Fr.RetDst;
+      Stack.pop_back();
+      if (Stack.empty()) {
+        Res.Ok = true;
+        Res.ReturnValue = Value;
+        return Res;
+      }
+      if (Dst != NoReg) {
+        if (IsVoid)
+          return Fail("void return value used by the caller");
+        Stack.back().Regs[Dst] = Value;
+      }
+      continue;
+    }
+    case Opcode::Br:
+      C.BaseCost += cost::Instr;
+      Goto(I.Target0);
+      continue;
+    case Opcode::CondBr:
+      C.BaseCost += cost::Instr;
+      Goto(Fr.Regs[I.Src0] != 0 ? I.Target0 : I.Target1);
+      continue;
+    case Opcode::Probe: {
+      if (!Prof)
+        break; // probes are inert without a runtime attached
+      auto &Counts = Prof->PathCounts[Fr.F->Id];
+      // Type II ops of every call site share one probe; real codegen would
+      // dispatch on the active call-site id once, so the inactive test is
+      // charged once per probe rather than once per op.
+      bool ChargedIITest = false;
+      for (const ProbeOp &P : I.ProbePayload->Ops) {
+        switch (P.Kind) {
+        case ProbeOpKind::BLSet:
+          Fr.R = P.C0;
+          C.ProbeCost += cost::RegOp;
+          break;
+        case ProbeOpKind::BLAdd:
+          Fr.R += P.C0;
+          C.ProbeCost += cost::RegOp;
+          break;
+        case ProbeOpKind::BLCount:
+          ++Counts[Fr.R + P.C0];
+          C.ProbeCost += cost::CounterBump;
+          break;
+        case ProbeOpKind::OLDisarm:
+          Fr.Loops[P.Slot].Active = false;
+          C.ProbeCost += cost::RegOp;
+          break;
+        case ProbeOpKind::OLArm: {
+          LoopRegs &L = Fr.Loops[P.Slot];
+          L.Ro = Fr.R + P.C0;
+          L.Ol = 0;
+          L.Active = true;
+          C.ProbeCost += 2 * cost::RegOp;
+          break;
+        }
+        case ProbeOpKind::OLAdd: {
+          LoopRegs &L = Fr.Loops[P.Slot];
+          if (!L.Active) {
+            C.ProbeCost += cost::InactiveTest;
+            break;
+          }
+          L.Ro += P.C0;
+          C.ProbeCost += cost::InactiveTest + cost::RegOp;
+          break;
+        }
+        case ProbeOpKind::OLPred: {
+          LoopRegs &L = Fr.Loops[P.Slot];
+          if (!L.Active) {
+            C.ProbeCost += cost::InactiveTest;
+            break;
+          }
+          C.ProbeCost += cost::InactiveTest + cost::RegOp;
+          if (++L.Ol == P.C1) {
+            ++Counts[L.Ro + P.C0];
+            L.Active = false;
+            C.ProbeCost += cost::CounterBump;
+          }
+          break;
+        }
+        case ProbeOpKind::OLFlush: {
+          LoopRegs &L = Fr.Loops[P.Slot];
+          if (!L.Active) {
+            C.ProbeCost += cost::InactiveTest;
+            break;
+          }
+          ++Counts[L.Ro + P.C0];
+          L.Active = false;
+          C.ProbeCost += cost::InactiveTest + cost::CounterBump;
+          break;
+        }
+        case ProbeOpKind::IPCall:
+          Prof->ShadowStack.push_back(
+              {static_cast<uint32_t>(P.C0), Fr.R + P.C1});
+          C.ProbeCost += cost::StackOp + cost::RegOp;
+          break;
+        case ProbeOpKind::IPEnter:
+          Fr.RI = P.C0;
+          Fr.OlI = 0;
+          if (!Prof->ShadowStack.empty()) {
+            Fr.CallSiteI = Prof->ShadowStack.back().CallSite;
+            Fr.CallerPre = Prof->ShadowStack.back().CallerPre;
+            Fr.ActiveI = true;
+            Fr.HaveCaller = true;
+          } else {
+            Fr.ActiveI = false;
+            Fr.HaveCaller = false;
+          }
+          C.ProbeCost += cost::StackOp + cost::RegOp;
+          break;
+        case ProbeOpKind::IPAddI:
+          if (!Fr.ActiveI) {
+            C.ProbeCost += cost::InactiveTest;
+            break;
+          }
+          Fr.RI += P.C0;
+          C.ProbeCost += cost::InactiveTest + cost::RegOp;
+          break;
+        case ProbeOpKind::IPPredI:
+          if (!Fr.ActiveI) {
+            C.ProbeCost += cost::InactiveTest;
+            break;
+          }
+          C.ProbeCost += cost::InactiveTest + cost::RegOp;
+          if (++Fr.OlI == P.C1) {
+            ++Prof->TypeICounts[{Fr.F->Id, Fr.CallSiteI, Fr.RI + P.C0,
+                                 Fr.CallerPre}];
+            Fr.ActiveI = false;
+            C.ProbeCost += cost::TupleBump;
+          }
+          break;
+        case ProbeOpKind::IPFlushI:
+          if (!Fr.ActiveI) {
+            C.ProbeCost += cost::InactiveTest;
+            break;
+          }
+          ++Prof->TypeICounts[{Fr.F->Id, Fr.CallSiteI, Fr.RI + P.C0,
+                               Fr.CallerPre}];
+          Fr.ActiveI = false;
+          C.ProbeCost += cost::InactiveTest + cost::TupleBump;
+          break;
+        case ProbeOpKind::IPRet:
+          Prof->Pending.Valid = true;
+          Prof->Pending.Callee = Fr.F->Id;
+          Prof->Pending.PathId = Fr.R + P.C0;
+          if (Fr.HaveCaller) {
+            assert(!Prof->ShadowStack.empty() && "shadow stack underflow");
+            Prof->ShadowStack.pop_back();
+          }
+          C.ProbeCost += cost::StackOp + cost::RegOp;
+          break;
+        case ProbeOpKind::IPArmII:
+          if (Prof->Pending.Valid) {
+            Fr.ActiveII = true;
+            Fr.CalleeII = Prof->Pending.Callee;
+            Fr.CalleePathII = Prof->Pending.PathId;
+            Fr.CallSiteII = static_cast<uint32_t>(P.C1);
+            Fr.RoII = P.C0;
+            Fr.OlII = 0;
+            Prof->Pending.Valid = false;
+          } else {
+            Fr.ActiveII = false;
+          }
+          C.ProbeCost += cost::StackOp + cost::RegOp;
+          break;
+        case ProbeOpKind::IPAddII:
+          // Ops of every call site's region share blocks; only the ops of
+          // the site that armed this region may fire.
+          if (!Fr.ActiveII || Fr.CallSiteII != static_cast<uint32_t>(P.Slot)) {
+            C.ProbeCost += ChargedIITest ? 0 : cost::InactiveTest;
+            ChargedIITest = true;
+            break;
+          }
+          Fr.RoII += P.C0;
+          C.ProbeCost += cost::InactiveTest + cost::RegOp;
+          break;
+        case ProbeOpKind::IPPredII:
+          // Ops of every call site's region share blocks; only the ops of
+          // the site that armed this region may fire.
+          if (!Fr.ActiveII || Fr.CallSiteII != static_cast<uint32_t>(P.Slot)) {
+            C.ProbeCost += ChargedIITest ? 0 : cost::InactiveTest;
+            ChargedIITest = true;
+            break;
+          }
+          C.ProbeCost += cost::InactiveTest + cost::RegOp;
+          if (++Fr.OlII == P.C1) {
+            ++Prof->TypeIICounts[{Fr.CalleeII, Fr.CallSiteII, Fr.CalleePathII,
+                                  Fr.RoII + P.C0}];
+            Fr.ActiveII = false;
+            C.ProbeCost += cost::TupleBump;
+          }
+          break;
+        case ProbeOpKind::IPFlushII:
+          // Ops of every call site's region share blocks; only the ops of
+          // the site that armed this region may fire.
+          if (!Fr.ActiveII || Fr.CallSiteII != static_cast<uint32_t>(P.Slot)) {
+            C.ProbeCost += ChargedIITest ? 0 : cost::InactiveTest;
+            ChargedIITest = true;
+            break;
+          }
+          ++Prof->TypeIICounts[{Fr.CalleeII, Fr.CallSiteII, Fr.CalleePathII,
+                                Fr.RoII + P.C0}];
+          Fr.ActiveII = false;
+          C.ProbeCost += cost::InactiveTest + cost::TupleBump;
+          break;
+        }
+      }
+      break;
+    }
+    }
+    ++Fr.Ip;
+  }
+}

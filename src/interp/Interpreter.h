@@ -1,0 +1,90 @@
+//===--- Interpreter.h - OLPP IR interpreter --------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic interpreter for the OLPP IR. It executes probes against a
+/// ProfileRuntime, streams control flow into a TraceSink, and keeps the
+/// dynamic-cost counters (interp/CostModel.h) used to reproduce the paper's
+/// overhead experiments. Runtime faults (division by zero, array bounds,
+/// call-depth and fuel exhaustion) abort the run with a diagnostic instead
+/// of raising exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_INTERP_INTERPRETER_H
+#define OLPP_INTERP_INTERPRETER_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+class ProfileRuntime;
+class TraceSink;
+
+/// Limits and inputs of one run.
+struct RunConfig {
+  /// Maximum executed instructions (probes included) before the run is
+  /// aborted as a suspected non-terminating program.
+  uint64_t MaxSteps = 500'000'000;
+  uint32_t MaxCallDepth = 4096;
+};
+
+/// Dynamic counters of one run.
+struct DynCounts {
+  uint64_t BaseCost = 0;  ///< cost units of ordinary instructions
+  uint64_t ProbeCost = 0; ///< cost units of probe micro-ops
+  uint64_t Steps = 0;     ///< executed instructions (probes included)
+  uint64_t Blocks = 0;    ///< basic block entries
+  uint64_t Calls = 0;     ///< executed call instructions
+
+  /// Instrumentation overhead in percent relative to \p Baseline (the same
+  /// program executed uninstrumented).
+  double overheadPercentOver(const DynCounts &Baseline) const {
+    if (Baseline.BaseCost == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(totalCost() - Baseline.BaseCost) /
+           static_cast<double>(Baseline.BaseCost);
+  }
+  uint64_t totalCost() const { return BaseCost + ProbeCost; }
+};
+
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  int64_t ReturnValue = 0;
+  DynCounts Counts;
+};
+
+/// Executes functions of one module. The module must stay alive for the
+/// interpreter's lifetime. Global state persists across run() calls; use
+/// resetGlobals() between independent runs.
+class Interpreter {
+public:
+  /// \p Prof may be null (probes become free no-ops); \p Trace may be null.
+  Interpreter(const Module &M, ProfileRuntime *Prof = nullptr,
+              TraceSink *Trace = nullptr);
+
+  /// Runs \p Entry with \p Args (must match the arity).
+  RunResult run(const Function &Entry, const std::vector<int64_t> &Args,
+                const RunConfig &Config = RunConfig());
+
+  /// Zeroes all global scalars and arrays.
+  void resetGlobals();
+
+private:
+  const Module &M;
+  ProfileRuntime *Prof;
+  TraceSink *Trace;
+  std::vector<std::vector<int64_t>> Globals; // one vector per global
+};
+
+} // namespace olpp
+
+#endif // OLPP_INTERP_INTERPRETER_H

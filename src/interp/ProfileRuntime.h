@@ -1,0 +1,106 @@
+//===--- ProfileRuntime.h - Profile counter stores --------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter stores an instrumented run writes into, plus the transient
+/// interprocedural hand-off state (shadow stack, pending return). The
+/// decoding of ids back into paths lives in the profile/overlap/interproc
+/// modules; this layer only stores raw numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_INTERP_PROFILERUNTIME_H
+#define OLPP_INTERP_PROFILERUNTIME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace olpp {
+
+/// Key of one interprocedural overlapping-path counter: the paper's
+/// count[callee][callSite][calleeSidePathId][callerSidePathId].
+/// For Type I, Inner is the callee *prefix* id and Outer the caller pre-path
+/// id; for Type II, Inner is the callee *full* path id and Outer the caller
+/// continuation-prefix id.
+struct InterprocKey {
+  uint32_t Callee = 0;
+  uint32_t CallSite = 0;
+  int64_t Inner = 0;
+  int64_t Outer = 0;
+
+  bool operator==(const InterprocKey &O) const {
+    return Callee == O.Callee && CallSite == O.CallSite && Inner == O.Inner &&
+           Outer == O.Outer;
+  }
+};
+
+struct InterprocKeyHash {
+  size_t operator()(const InterprocKey &K) const {
+    uint64_t H = 0x9E3779B97F4A7C15ULL;
+    auto Mix = [&H](uint64_t V) {
+      H ^= V + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+    };
+    Mix(K.Callee);
+    Mix(K.CallSite);
+    Mix(static_cast<uint64_t>(K.Inner));
+    Mix(static_cast<uint64_t>(K.Outer));
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Counter stores written by probes during an instrumented run.
+class ProfileRuntime {
+public:
+  using PathCountMap = std::unordered_map<int64_t, uint64_t>;
+  using InterprocMap =
+      std::unordered_map<InterprocKey, uint64_t, InterprocKeyHash>;
+
+  explicit ProfileRuntime(size_t NumFunctions) : PathCounts(NumFunctions) {}
+
+  /// Per-function path-id counters. BL paths and loop-overlap paths of one
+  /// function share this id space (they are numbered on one path graph).
+  std::vector<PathCountMap> PathCounts;
+
+  /// Type I / Type II interprocedural overlap counters.
+  InterprocMap TypeICounts;
+  InterprocMap TypeIICounts;
+
+  // --- transient state used while a run is in progress -----------------
+
+  struct ShadowEntry {
+    uint32_t CallSite = 0;
+    int64_t CallerPre = 0;
+  };
+  std::vector<ShadowEntry> ShadowStack;
+
+  struct PendingReturn {
+    bool Valid = false;
+    uint32_t Callee = 0;
+    int64_t PathId = 0;
+  };
+  PendingReturn Pending;
+
+  /// Clears transient state between runs but keeps accumulated counters.
+  void resetTransient() {
+    ShadowStack.clear();
+    Pending = PendingReturn();
+  }
+
+  /// Clears everything.
+  void clear() {
+    for (auto &M : PathCounts)
+      M.clear();
+    TypeICounts.clear();
+    TypeIICounts.clear();
+    resetTransient();
+  }
+};
+
+} // namespace olpp
+
+#endif // OLPP_INTERP_PROFILERUNTIME_H

@@ -1,0 +1,63 @@
+//===--- Trace.h - Control flow tracing -------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program control-flow tracing, the ground truth of all experiments
+/// (the role of Whole Program Paths in the paper). A trace is a flat stream
+/// of function Enter/Exit markers and block entries; activations nest
+/// properly, so the exact frequency of any path — Ball-Larus, overlapping or
+/// interesting — can be recomputed from it (see wpp/GroundTruth.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_INTERP_TRACE_H
+#define OLPP_INTERP_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+enum class TraceEventKind : uint8_t {
+  Enter, ///< activation of function A begins
+  Block, ///< the current activation entered block B (A = its function)
+  Exit,  ///< activation of function A ends
+};
+
+struct TraceEvent {
+  TraceEventKind Kind;
+  uint32_t Func;
+  uint32_t Block; // meaningful for Block events only
+};
+
+/// Receives trace events during interpretation.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void onEnter(uint32_t Func) = 0;
+  virtual void onBlock(uint32_t Func, uint32_t Block) = 0;
+  virtual void onExit(uint32_t Func) = 0;
+};
+
+/// Records the full event stream in memory.
+class VectorTrace : public TraceSink {
+public:
+  void onEnter(uint32_t Func) override {
+    Events.push_back({TraceEventKind::Enter, Func, 0});
+  }
+  void onBlock(uint32_t Func, uint32_t Block) override {
+    Events.push_back({TraceEventKind::Block, Func, Block});
+  }
+  void onExit(uint32_t Func) override {
+    Events.push_back({TraceEventKind::Exit, Func, 0});
+  }
+
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace olpp
+
+#endif // OLPP_INTERP_TRACE_H

@@ -1,0 +1,85 @@
+//===--- BasicBlock.h - OLPP IR basic block ---------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: a straight-line instruction list ending in exactly one
+/// terminator. Blocks are owned by their Function; Id is the block's index
+/// in the function's block list (kept fresh by Function::renumberBlocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_IR_BASICBLOCK_H
+#define OLPP_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+
+  /// Stable-within-a-numbering block index; see Function::renumberBlocks.
+  uint32_t Id = 0;
+  std::string Name;
+  std::vector<Instruction> Instrs;
+
+  /// Returns true once a terminator has been appended.
+  bool hasTerminator() const {
+    return !Instrs.empty() && isTerminator(Instrs.back().Op);
+  }
+
+  /// The block's terminator; the block must be complete.
+  const Instruction &terminator() const {
+    assert(hasTerminator() && "block has no terminator");
+    return Instrs.back();
+  }
+  Instruction &terminator() {
+    assert(hasTerminator() && "block has no terminator");
+    return Instrs.back();
+  }
+
+  /// Successor blocks in terminator order (true target first for CondBr).
+  /// Returns an empty vector for Ret.
+  std::vector<BasicBlock *> successors() const {
+    const Instruction &T = terminator();
+    switch (T.Op) {
+    case Opcode::Ret:
+      return {};
+    case Opcode::Br:
+      return {T.Target0};
+    case Opcode::CondBr:
+      return {T.Target0, T.Target1};
+    default:
+      assert(false && "non-terminator at end of block");
+      return {};
+    }
+  }
+
+  /// True if the block ends in a conditional branch. The profiling papers
+  /// call such blocks "predicate blocks".
+  bool isPredicate() const { return terminator().Op == Opcode::CondBr; }
+
+  /// True if the block ends the function.
+  bool isExit() const { return terminator().Op == Opcode::Ret; }
+
+  /// Replaces every branch-target reference to \p From with \p To.
+  void replaceSuccessor(BasicBlock *From, BasicBlock *To) {
+    Instruction &T = terminator();
+    if (T.Target0 == From)
+      T.Target0 = To;
+    if (T.Target1 == From)
+      T.Target1 = To;
+  }
+};
+
+} // namespace olpp
+
+#endif // OLPP_IR_BASICBLOCK_H

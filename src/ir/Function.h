@@ -1,0 +1,81 @@
+//===--- Function.h - OLPP IR function --------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function owns its basic blocks (entry is block 0 in the block list),
+/// declares how many frame registers it uses, and carries the metadata the
+/// instrumenters attach (number of overlap-region slots).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_IR_FUNCTION_H
+#define OLPP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+class Function {
+public:
+  Function(std::string Name, uint32_t NumParams)
+      : Name(std::move(Name)), NumParams(NumParams), NumRegs(NumParams) {}
+
+  std::string Name;
+  /// Module-wide function index; assigned by Module::addFunction.
+  uint32_t Id = 0;
+  /// Parameters arrive in registers [0, NumParams).
+  uint32_t NumParams;
+  /// Total frame registers (params + locals + temporaries).
+  uint32_t NumRegs;
+  /// Number of loop-overlap register slots the instrumentation uses; set by
+  /// the loop overlap instrumenter, zero otherwise.
+  uint32_t NumLoopSlots = 0;
+
+  /// Appends a new block and returns it. The first block created is the
+  /// entry block.
+  BasicBlock *addBlock(std::string BlockName) {
+    Blocks.push_back(std::make_unique<BasicBlock>(std::move(BlockName)));
+    Blocks.back()->Id = static_cast<uint32_t>(Blocks.size() - 1);
+    return Blocks.back().get();
+  }
+
+  /// Allocates a fresh frame register.
+  Reg newReg() { return NumRegs++; }
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(uint32_t Idx) const { return Blocks[Idx].get(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Reassigns Block::Id to match list positions. Must be called after
+  /// inserting blocks (e.g. by edge splitting) and before running analyses.
+  void renumberBlocks() {
+    for (uint32_t I = 0; I < Blocks.size(); ++I)
+      Blocks[I]->Id = I;
+  }
+
+  /// Deep-copies this function; branch targets are remapped to the clone's
+  /// blocks. The clone keeps the same Id.
+  std::unique_ptr<Function> clone() const;
+
+private:
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace olpp
+
+#endif // OLPP_IR_FUNCTION_H

@@ -1,0 +1,138 @@
+//===--- IRBuilder.h - Convenience instruction builder ----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small convenience layer for appending instructions to a block. Used by
+/// the frontend lowering, the workload generator, and tests that hand-build
+/// the paper's example CFGs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_IR_IRBUILDER_H
+#define OLPP_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+namespace olpp {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  /// Selects the block subsequent instructions are appended to.
+  void setBlock(BasicBlock *B) { Cur = B; }
+  BasicBlock *block() const { return Cur; }
+
+  Reg constInt(int64_t V) {
+    Reg R = F.newReg();
+    emit({.Op = Opcode::Const, .Dst = R, .Imm = V});
+    return R;
+  }
+
+  void constInto(Reg Dst, int64_t V) {
+    emit({.Op = Opcode::Const, .Dst = Dst, .Imm = V});
+  }
+
+  void move(Reg Dst, Reg Src) {
+    emit({.Op = Opcode::Move, .Dst = Dst, .Src0 = Src});
+  }
+
+  Reg binop(Opcode Op, Reg A, Reg B) {
+    assert(Op >= Opcode::Add && Op <= Opcode::CmpGe && "not a binary op");
+    Reg R = F.newReg();
+    emit({.Op = Op, .Dst = R, .Src0 = A, .Src1 = B});
+    return R;
+  }
+
+  void binopInto(Reg Dst, Opcode Op, Reg A, Reg B) {
+    assert(Op >= Opcode::Add && Op <= Opcode::CmpGe && "not a binary op");
+    emit({.Op = Op, .Dst = Dst, .Src0 = A, .Src1 = B});
+  }
+
+  Reg neg(Reg A) {
+    Reg R = F.newReg();
+    emit({.Op = Opcode::Neg, .Dst = R, .Src0 = A});
+    return R;
+  }
+
+  Reg logicalNot(Reg A) {
+    Reg R = F.newReg();
+    emit({.Op = Opcode::Not, .Dst = R, .Src0 = A});
+    return R;
+  }
+
+  Reg loadGlobal(uint32_t GlobalId) {
+    Reg R = F.newReg();
+    emit({.Op = Opcode::LoadG, .Dst = R, .GlobalId = GlobalId});
+    return R;
+  }
+
+  void storeGlobal(uint32_t GlobalId, Reg Src) {
+    emit({.Op = Opcode::StoreG, .Src0 = Src, .GlobalId = GlobalId});
+  }
+
+  Reg loadArray(uint32_t GlobalId, Reg Index) {
+    Reg R = F.newReg();
+    emit({.Op = Opcode::LoadArr, .Dst = R, .Src0 = Index, .GlobalId = GlobalId});
+    return R;
+  }
+
+  void storeArray(uint32_t GlobalId, Reg Index, Reg Value) {
+    emit({.Op = Opcode::StoreArr,
+          .Src0 = Index,
+          .Src1 = Value,
+          .GlobalId = GlobalId});
+  }
+
+  /// Emits a call. Pass NoReg as \p Dst for a void-valued call.
+  void call(Reg Dst, uint32_t CalleeId, std::vector<Reg> Args) {
+    Instruction I;
+    I.Op = Opcode::Call;
+    I.Dst = Dst;
+    I.CalleeId = CalleeId;
+    I.Args = std::move(Args);
+    emit(std::move(I));
+  }
+
+  /// Emits an indirect call through the function id in \p Target.
+  void callIndirect(Reg Dst, Reg Target, std::vector<Reg> Args) {
+    Instruction I;
+    I.Op = Opcode::CallInd;
+    I.Dst = Dst;
+    I.Src0 = Target;
+    I.Args = std::move(Args);
+    emit(std::move(I));
+  }
+
+  void ret(Reg Src = NoReg) { emit({.Op = Opcode::Ret, .Src0 = Src}); }
+
+  void br(BasicBlock *Target) {
+    emit({.Op = Opcode::Br, .Target0 = Target});
+  }
+
+  void condBr(Reg Cond, BasicBlock *IfTrue, BasicBlock *IfFalse) {
+    emit({.Op = Opcode::CondBr,
+          .Src0 = Cond,
+          .Target0 = IfTrue,
+          .Target1 = IfFalse});
+  }
+
+private:
+  void emit(Instruction I) {
+    assert(Cur && "no current block");
+    assert(!Cur->hasTerminator() && "appending past a terminator");
+    Cur->Instrs.push_back(std::move(I));
+  }
+
+  Function &F;
+  BasicBlock *Cur = nullptr;
+};
+
+} // namespace olpp
+
+#endif // OLPP_IR_IRBUILDER_H

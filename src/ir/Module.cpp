@@ -1,0 +1,45 @@
+//===--- Module.cpp - OLPP IR module ---------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+
+using namespace olpp;
+
+std::unique_ptr<Function> Function::clone() const {
+  auto Copy = std::make_unique<Function>(Name, NumParams);
+  Copy->Id = Id;
+  Copy->NumRegs = NumRegs;
+  Copy->NumLoopSlots = NumLoopSlots;
+
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &BB : blocks()) {
+    BasicBlock *NewBB = Copy->addBlock(BB->Name);
+    NewBB->Instrs = BB->Instrs;
+    BlockMap[BB.get()] = NewBB;
+  }
+  for (const auto &BB : Copy->blocks())
+    for (Instruction &I : BB->Instrs) {
+      if (I.Target0)
+        I.Target0 = BlockMap.at(I.Target0);
+      if (I.Target1)
+        I.Target1 = BlockMap.at(I.Target1);
+    }
+  Copy->renumberBlocks();
+  return Copy;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto Copy = std::make_unique<Module>();
+  for (const auto &G : Globals)
+    Copy->addGlobal(G.Name, G.Size);
+  for (const auto &F : Functions) {
+    std::unique_ptr<Function> FC = F->clone();
+    Copy->Functions.push_back(std::move(FC));
+  }
+  return Copy;
+}

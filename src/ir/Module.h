@@ -1,0 +1,72 @@
+//===--- Module.h - OLPP IR module ------------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A module owns functions and global variables. Globals are zero-initialised
+/// 64-bit scalars (Size == 1) or fixed-size arrays (Size > 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_IR_MODULE_H
+#define OLPP_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+/// A module-level variable; scalar when Size == 1, array otherwise.
+struct GlobalVar {
+  std::string Name;
+  uint64_t Size = 1;
+};
+
+class Module {
+public:
+  /// Creates and registers a function; returns a stable pointer.
+  Function *addFunction(std::string Name, uint32_t NumParams) {
+    Functions.push_back(std::make_unique<Function>(std::move(Name), NumParams));
+    Functions.back()->Id = static_cast<uint32_t>(Functions.size() - 1);
+    return Functions.back().get();
+  }
+
+  /// Registers a global; returns its id.
+  uint32_t addGlobal(std::string Name, uint64_t Size = 1) {
+    Globals.push_back({std::move(Name), Size});
+    return static_cast<uint32_t>(Globals.size() - 1);
+  }
+
+  /// Finds a function by name; returns nullptr if absent.
+  Function *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  size_t numFunctions() const { return Functions.size(); }
+  Function *function(uint32_t Id) const { return Functions[Id].get(); }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+  const std::vector<GlobalVar> &globals() const { return Globals; }
+
+  /// Deep-copies the whole module (used to instrument one copy while keeping
+  /// the pristine one for baseline runs).
+  std::unique_ptr<Module> clone() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<GlobalVar> Globals;
+};
+
+} // namespace olpp
+
+#endif // OLPP_IR_MODULE_H

@@ -1,0 +1,35 @@
+//===--- Printer.h - Textual IR printing ------------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions and modules as readable text for debugging, golden
+/// tests and the example tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_IR_PRINTER_H
+#define OLPP_IR_PRINTER_H
+
+#include <string>
+
+namespace olpp {
+
+class Function;
+class Module;
+struct Instruction;
+
+/// Renders one instruction (without a trailing newline).
+std::string printInstruction(const Instruction &I, const Module *M = nullptr);
+
+/// Renders a whole function.
+std::string printFunction(const Function &F, const Module *M = nullptr);
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+} // namespace olpp
+
+#endif // OLPP_IR_PRINTER_H

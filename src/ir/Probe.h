@@ -1,0 +1,99 @@
+//===--- Probe.h - Profiling probe micro-ops -------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profiling probes are real IR instructions whose payload is a small program
+/// of micro-ops over the per-activation profiling registers:
+///
+///   r          the Ball-Larus path register (one per activation)
+///   ro[S]      overlap register of region slot S (loop overlap regions)
+///   ol[S]      predicate counter of region slot S
+///   active[S]  whether region slot S is currently tracking an overlap path
+///
+/// plus the interprocedural Type I (callee-prefix) and Type II
+/// (caller-continuation) region state. The interpreter charges each executed
+/// micro-op a documented dynamic cost (see interp/CostModel.h), which is how
+/// the paper's instrumentation-overhead experiments are reproduced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_IR_PROBE_H
+#define OLPP_IR_PROBE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+/// The kind of a single profiling micro-op.
+enum class ProbeOpKind : uint8_t {
+  // --- Ball-Larus path register ---------------------------------------
+  BLSet,   ///< r = C0. Path (re)start: function entry, post-backedge,
+           ///< post-call-site in call-breaking mode.
+  BLAdd,   ///< r += C0. Edge increment in the white (BL) region.
+  BLCount, ///< pathCounts[r + C0]++. Path end (exit edge, backedge in
+           ///< plain BL mode, call block in call-breaking mode).
+
+  // --- Loop overlap region (slot = loop index) ------------------------
+  OLDisarm, ///< active[S] = false. Loop-entry edges.
+  OLArm,    ///< ro[S] = r + C0; ol[S] = 0; active[S] = true. Backedge of
+            ///< the slot's own loop, after its OLFlush.
+  OLAdd,    ///< if (active[S]) ro[S] += C0. Overlapping-graph edge.
+  OLPred,   ///< if (active[S]) { if (++ol[S] == C1) {
+            ///<   pathCounts[ro[S] + C0]++; active[S] = false; } }
+            ///< Entry of a predicate node of the OG; C1 = k+1, C0 = the
+            ///< node's dummy-to-Exit increment.
+  OLFlush,  ///< if (active[S]) { pathCounts[ro[S] + C0]++;
+            ///<   active[S] = false; } Early region end: loop-exit edge,
+            ///< any backedge, call block (in call-breaking mode).
+
+  // --- Interprocedural, caller side ------------------------------------
+  IPCall,  ///< Push {callSite = C0, callerPreId = r + C1} on the shadow
+           ///< stack. Placed immediately before a call.
+  IPArmII, ///< Consume the pending-return record {callee, calleePathId}
+           ///< left by the callee's IPRet; roII = C0; olII = 0;
+           ///< activeII = true. Placed immediately after a call.
+  IPAddII, ///< if (activeII) roII += C0. Continuation-OG edge.
+  IPPredII,///< if (activeII) { if (++olII == C1) flushII(C0); }.
+  IPFlushII,///< if (activeII) flushII(C0). Early end of continuation
+           ///< region (exit edge, backedge, next call block).
+           ///< flushII(C):
+           ///<   typeII[{callee, callSite, calleePathId, roII + C}]++.
+
+  // --- Interprocedural, callee side ------------------------------------
+  IPEnter, ///< Read {callSite, callerPreId} from the shadow stack top (if
+           ///< any; otherwise the Type I region stays inactive);
+           ///< rI = C0; olI = 0; activeI = true. Function entry.
+  IPAddI,  ///< if (activeI) rI += C0. Callee-prefix-OG edge.
+  IPPredI, ///< if (activeI) { if (++olI == C1) flushI(C0); }.
+  IPFlushI,///< if (activeI) flushI(C0). Early end of the callee prefix
+           ///< region (exit, backedge, call block).
+           ///< flushI(C):
+           ///<   typeI[{self, callSite, rI + C, callerPreId}]++.
+  IPRet,   ///< Record pending return {self, calleePathId = r + C0} for
+           ///< the caller's IPArmII and pop the shadow stack. Placed
+           ///< immediately before every Ret (the BLCount for the callee's
+           ///< final path is a separate op in the same probe).
+};
+
+/// One profiling micro-op. \c Slot selects a loop overlap region for the
+/// OL* ops and is unused by the others.
+struct ProbeOp {
+  ProbeOpKind Kind;
+  uint32_t Slot = 0;
+  int64_t C0 = 0;
+  int64_t C1 = 0;
+};
+
+/// An ordered list of micro-ops executed atomically when the owning Probe
+/// instruction is reached.
+struct ProbeProgram {
+  std::vector<ProbeOp> Ops;
+};
+
+} // namespace olpp
+
+#endif // OLPP_IR_PROBE_H

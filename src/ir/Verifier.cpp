@@ -1,0 +1,235 @@
+//===--- Verifier.cpp - IR structural verification ---------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+
+#include <unordered_set>
+
+using namespace olpp;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Module &M, const Function &F,
+                   std::vector<std::string> &Errors)
+      : M(M), F(F), Errors(Errors) {}
+
+  void run() {
+    if (F.numBlocks() == 0) {
+      error("function has no blocks");
+      return;
+    }
+    for (uint32_t I = 0; I < F.numBlocks(); ++I) {
+      OwnBlocks.insert(F.block(I));
+      if (F.block(I)->Id != I)
+        error("block ids are stale; call renumberBlocks()");
+    }
+    bool HasRet = false;
+    for (const auto &BB : F.blocks()) {
+      checkBlock(*BB);
+      if (BB->hasTerminator() && BB->isExit())
+        HasRet = true;
+    }
+    if (!HasRet)
+      error("function has no ret");
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back("function '" + F.Name + "': " + Msg);
+  }
+  void errorAt(const BasicBlock &BB, const std::string &Msg) {
+    error("block ^" + std::to_string(BB.Id) + " (" + BB.Name + "): " + Msg);
+  }
+
+  void checkReg(const BasicBlock &BB, Reg R, const char *Role) {
+    if (R == NoReg || R < F.NumRegs)
+      return;
+    errorAt(BB, std::string(Role) + " register %" + std::to_string(R) +
+                    " out of range (NumRegs=" + std::to_string(F.NumRegs) +
+                    ")");
+  }
+
+  void checkTarget(const BasicBlock &BB, BasicBlock *T) {
+    if (!T) {
+      errorAt(BB, "null branch target");
+      return;
+    }
+    if (!OwnBlocks.count(T))
+      errorAt(BB, "branch target belongs to another function");
+  }
+
+  void checkBlock(const BasicBlock &BB) {
+    if (!BB.hasTerminator()) {
+      errorAt(BB, "missing terminator");
+      return;
+    }
+    bool SawCall = false;
+    for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+      const Instruction &I = BB.Instrs[Idx];
+      bool IsLast = Idx + 1 == BB.Instrs.size();
+      if (isTerminator(I.Op) && !IsLast) {
+        errorAt(BB, "terminator in the middle of a block");
+        return;
+      }
+      // A call must end its block (probes excepted): the instrumenters
+      // and the path semantics rely on call sites being path-break
+      // points with nothing after the call.
+      if (SawCall && I.Op != Opcode::Probe && !isTerminator(I.Op)) {
+        errorAt(BB, "instruction after a call; calls must end their block");
+        return;
+      }
+      if (I.Op == Opcode::Call || I.Op == Opcode::CallInd)
+        SawCall = true;
+      checkInstr(BB, I);
+    }
+  }
+
+  void checkInstr(const BasicBlock &BB, const Instruction &I) {
+    switch (I.Op) {
+    case Opcode::Const:
+      mustHaveDst(BB, I);
+      break;
+    case Opcode::Move:
+    case Opcode::Neg:
+    case Opcode::Not:
+      mustHaveDst(BB, I);
+      mustHaveSrc0(BB, I);
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      mustHaveDst(BB, I);
+      mustHaveSrc0(BB, I);
+      if (I.Src1 == NoReg)
+        errorAt(BB, "binary op without second operand");
+      checkReg(BB, I.Src1, "source");
+      break;
+    case Opcode::LoadG:
+      mustHaveDst(BB, I);
+      checkGlobal(BB, I, /*WantArray=*/false);
+      break;
+    case Opcode::StoreG:
+      mustHaveSrc0(BB, I);
+      checkGlobal(BB, I, /*WantArray=*/false);
+      break;
+    case Opcode::LoadArr:
+      mustHaveDst(BB, I);
+      mustHaveSrc0(BB, I);
+      checkGlobal(BB, I, /*WantArray=*/true);
+      break;
+    case Opcode::StoreArr:
+      mustHaveSrc0(BB, I);
+      if (I.Src1 == NoReg)
+        errorAt(BB, "storearr without value operand");
+      checkReg(BB, I.Src1, "source");
+      checkGlobal(BB, I, /*WantArray=*/true);
+      break;
+    case Opcode::Call: {
+      if (I.CalleeId >= M.numFunctions()) {
+        errorAt(BB, "call to unknown function id " +
+                        std::to_string(I.CalleeId));
+        break;
+      }
+      const Function *Callee = M.function(I.CalleeId);
+      if (I.Args.size() != Callee->NumParams)
+        errorAt(BB, "call to '" + Callee->Name + "' with " +
+                        std::to_string(I.Args.size()) + " args, expected " +
+                        std::to_string(Callee->NumParams));
+      for (Reg A : I.Args) {
+        if (A == NoReg)
+          errorAt(BB, "call argument is NoReg");
+        checkReg(BB, A, "argument");
+      }
+      checkReg(BB, I.Dst, "destination");
+      break;
+    }
+    case Opcode::CallInd:
+      mustHaveSrc0(BB, I);
+      for (Reg A : I.Args) {
+        if (A == NoReg)
+          errorAt(BB, "call argument is NoReg");
+        checkReg(BB, A, "argument");
+      }
+      checkReg(BB, I.Dst, "destination");
+      break;
+    case Opcode::Ret:
+      checkReg(BB, I.Src0, "return value");
+      break;
+    case Opcode::Br:
+      checkTarget(BB, I.Target0);
+      break;
+    case Opcode::CondBr:
+      mustHaveSrc0(BB, I);
+      checkTarget(BB, I.Target0);
+      checkTarget(BB, I.Target1);
+      if (I.Target0 && I.Target0 == I.Target1)
+        errorAt(BB, "condbr with identical targets; normalize to br");
+      break;
+    case Opcode::Probe:
+      if (!I.ProbePayload || I.ProbePayload->Ops.empty())
+        errorAt(BB, "probe without payload");
+      break;
+    }
+  }
+
+  void mustHaveDst(const BasicBlock &BB, const Instruction &I) {
+    if (I.Dst == NoReg)
+      errorAt(BB, "instruction requires a destination register");
+    checkReg(BB, I.Dst, "destination");
+  }
+  void mustHaveSrc0(const BasicBlock &BB, const Instruction &I) {
+    if (I.Src0 == NoReg)
+      errorAt(BB, "instruction requires a source register");
+    checkReg(BB, I.Src0, "source");
+  }
+  void checkGlobal(const BasicBlock &BB, const Instruction &I,
+                   bool WantArray) {
+    if (I.GlobalId >= M.globals().size()) {
+      errorAt(BB, "unknown global @" + std::to_string(I.GlobalId));
+      return;
+    }
+    bool IsArray = M.globals()[I.GlobalId].Size > 1;
+    if (IsArray != WantArray)
+      errorAt(BB, WantArray ? "array access to scalar global"
+                            : "scalar access to array global");
+  }
+
+  const Module &M;
+  const Function &F;
+  std::vector<std::string> &Errors;
+  std::unordered_set<const BasicBlock *> OwnBlocks;
+};
+
+} // namespace
+
+void olpp::verifyFunction(const Module &M, const Function &F,
+                          std::vector<std::string> &Errors) {
+  FunctionVerifier(M, F, Errors).run();
+}
+
+std::vector<std::string> olpp::verifyModule(const Module &M) {
+  std::vector<std::string> Errors;
+  for (const auto &F : M.functions())
+    verifyFunction(M, *F, Errors);
+  return Errors;
+}

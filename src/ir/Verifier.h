@@ -1,0 +1,35 @@
+//===--- Verifier.h - IR structural verification ---------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks run after lowering, generation and instrumentation.
+/// Returns human-readable diagnostics instead of asserting so that tests can
+/// exercise the failure paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_IR_VERIFIER_H
+#define OLPP_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+class Module;
+class Function;
+
+/// Verifies one function within \p M; appends diagnostics to \p Errors.
+void verifyFunction(const Module &M, const Function &F,
+                    std::vector<std::string> &Errors);
+
+/// Verifies the whole module. Returns the list of problems; empty means the
+/// module is well-formed.
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace olpp
+
+#endif // OLPP_IR_VERIFIER_H

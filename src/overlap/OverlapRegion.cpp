@@ -1,0 +1,172 @@
+//===--- OverlapRegion.cpp - Overlapping-graph region computation ----------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "overlap/OverlapRegion.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace olpp;
+
+bool olpp::isCallBlock(const Function &F, uint32_t B) {
+  for (const Instruction &I : F.block(B)->Instrs)
+    if (I.Op == Opcode::Call || I.Op == Opcode::CallInd)
+      return true;
+  return false;
+}
+
+OverlapRegion OverlapRegion::compute(const Function &F, const CfgView &Cfg,
+                                     const LoopInfo &LI,
+                                     const OverlapRegionParams &Params) {
+  OverlapRegion R;
+  R.Params = Params;
+  uint32_t N = Cfg.numBlocks();
+  uint32_t K = Params.Degree;
+  uint32_t Cap = K + 1;
+
+  bool Restricted = !Params.Restrict.empty();
+  assert((!Restricted || Params.Restrict[Params.Anchor]) &&
+         "anchor outside its own restriction");
+  assert(Cfg.isReachable(Params.Anchor) && "anchor unreachable");
+
+  // Per-block accumulators while sweeping in RPO (region edges are forward
+  // edges, so RPO is a topological order of the region DAG).
+  std::vector<bool> InRegion(N, false);
+  std::vector<uint32_t> MinExcl(N, UINT32_MAX);
+  std::vector<uint32_t> MaxExcl(N, 0);
+  InRegion[Params.Anchor] = true;
+  MinExcl[Params.Anchor] = 0;
+  MaxExcl[Params.Anchor] = 0;
+
+  R.BlockToNode.assign(N, UINT32_MAX);
+
+  struct PendingEdge {
+    uint32_t FromBlock, ToBlock;
+    OverlapEdgeClass Cls;
+  };
+  std::vector<PendingEdge> PendingEdges;
+
+  uint32_t AnchorRpo = Cfg.rpoIndex(Params.Anchor);
+  for (uint32_t Pos = AnchorRpo; Pos < Cfg.rpo().size(); ++Pos) {
+    uint32_t B = Cfg.rpo()[Pos];
+    if (!InRegion[B])
+      continue;
+
+    OverlapRegionNode Node;
+    Node.Block = B;
+    Node.MinPredsExcl = MinExcl[B];
+    Node.MaxPredsExcl = std::min(MaxExcl[B], Cap);
+    Node.IsPredicate = F.block(B)->isPredicate();
+
+    bool IsRet = F.block(B)->isExit();
+    bool CallTerminal =
+        Params.BreakAtCalls && isCallBlock(F, B) &&
+        !(Params.AnchorExemptFromCallBreak && B == Params.Anchor);
+
+    uint32_t PredsThrough =
+        Node.MinPredsExcl + (Node.IsPredicate ? 1 : 0);
+    Node.Extendable = !IsRet && !CallTerminal && PredsThrough <= K;
+
+    if (Node.IsPredicate && Node.MinPredsExcl <= K && Node.MaxPredsExcl >= K)
+      Node.DummyReasons |= DR_TerminalPredicate;
+    if (IsRet)
+      Node.DummyReasons |= DR_Return;
+    if (CallTerminal)
+      Node.DummyReasons |= DR_CallBreak;
+
+    if (Node.Extendable) {
+      bool FromDI = Node.MaxPredsExcl + (Node.IsPredicate ? 1 : 0) <= K;
+      for (uint32_t S : Cfg.succs(B)) {
+        if (LI.isBackedge(B, S)) {
+          Node.DummyReasons |= DR_Backedge;
+          continue;
+        }
+        if (Restricted && !Params.Restrict[S]) {
+          Node.DummyReasons |= DR_LeavesRestriction;
+          continue;
+        }
+        // Region edge B -> S.
+        InRegion[S] = true;
+        uint32_t NewMin = Node.MinPredsExcl + (Node.IsPredicate ? 1 : 0);
+        uint32_t NewMax =
+            std::min(Node.MaxPredsExcl + (Node.IsPredicate ? 1u : 0u), Cap);
+        MinExcl[S] = std::min(MinExcl[S], NewMin);
+        MaxExcl[S] = std::max(MaxExcl[S], NewMax);
+        PendingEdges.push_back(
+            {B, S, FromDI ? OverlapEdgeClass::DI : OverlapEdgeClass::PI});
+      }
+    }
+
+    R.BlockToNode[B] = static_cast<uint32_t>(R.Nodes.size());
+    R.Nodes.push_back(Node);
+  }
+
+  // Materialise edges with node indices, preserving discovery order (which
+  // follows CFG successor order per node).
+  R.OutEdges.resize(R.Nodes.size());
+  for (const PendingEdge &E : PendingEdges) {
+    uint32_t FromN = R.BlockToNode[E.FromBlock];
+    uint32_t ToN = R.BlockToNode[E.ToBlock];
+    assert(FromN != UINT32_MAX && ToN != UINT32_MAX && "dangling region edge");
+    R.OutEdges[FromN].push_back(static_cast<uint32_t>(R.Edges.size()));
+    R.Edges.push_back({FromN, ToN, E.Cls});
+  }
+
+  // Every region node must be able to end the region somewhere: either it
+  // extends or it carries a dummy.
+  for (const OverlapRegionNode &Node : R.Nodes)
+    assert((Node.Extendable || Node.needsDummy()) &&
+           "region node with no continuation and no flush site");
+
+  return R;
+}
+
+uint32_t olpp::maxOverlapDegree(const Function &F, const CfgView &Cfg,
+                                const LoopInfo &LI,
+                                const OverlapRegionParams &Base,
+                                uint32_t Cap) {
+  uint32_t N = Cfg.numBlocks();
+  bool Restricted = !Base.Restrict.empty();
+
+  // The smallest degree at which no region path is truncated. A degree-k
+  // walk flushes upon *entering* its (k+1)-th predicate, which cuts off any
+  // blocks after that predicate. So a path P requires
+  //   k = #preds(P) - 1   if P ends exactly at its last predicate, and
+  //   k = #preds(P)       if blocks follow the last predicate.
+  // With requiredK([b]) = 0 and requiredK(b::rest) = isPred(b) +
+  // requiredK(rest), this is a longest-path DP over the region DAG:
+  //   A(b) = max(0, isPred(b) + max over region successors A(s)).
+  // Process in reverse RPO (sinks first).
+  std::vector<uint32_t> A(N, 0);
+  std::vector<bool> Eligible(N, false);
+  for (uint32_t B = 0; B < N; ++B)
+    Eligible[B] = Cfg.isReachable(B) && (!Restricted || Base.Restrict[B]);
+
+  uint32_t AnchorRpo = Cfg.rpoIndex(Base.Anchor);
+  for (uint32_t Pos = static_cast<uint32_t>(Cfg.rpo().size());
+       Pos-- > AnchorRpo;) {
+    uint32_t B = Cfg.rpo()[Pos];
+    if (!Eligible[B])
+      continue;
+    bool IsRet = F.block(B)->isExit();
+    bool CallTerminal = Base.BreakAtCalls && isCallBlock(F, B) &&
+                        !(Base.AnchorExemptFromCallBreak && B == Base.Anchor);
+    bool HasSucc = false;
+    uint32_t Best = 0;
+    if (!IsRet && !CallTerminal)
+      for (uint32_t S : Cfg.succs(B)) {
+        if (LI.isBackedge(B, S) || !Eligible[S])
+          continue;
+        HasSucc = true;
+        Best = std::max(Best, A[S]);
+      }
+    uint32_t Self = F.block(B)->isPredicate() && HasSucc ? 1 : 0;
+    A[B] = std::min(Best + Self, Cap);
+  }
+  return A[Base.Anchor];
+}

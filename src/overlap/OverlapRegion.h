@@ -1,0 +1,133 @@
+//===--- OverlapRegion.h - Overlapping-graph region computation -*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the *overlapping graph* (paper §2.3 and §3.3): the set of blocks
+/// reachable from an anchor while at most k+1 predicate blocks have been
+/// entered, together with the paper's DI/PI/DNI edge classification and the
+/// set of nodes that need a dummy edge to Exit (flush sites).
+///
+/// The same computation serves all three uses:
+///   - loop overlap: anchor = loop header, region restricted to the loop
+///     body, loop-exit edges are flush triggers;
+///   - interprocedural Type I: anchor = callee entry, whole function;
+///   - interprocedural Type II: anchor = the call-site block (exempt from
+///     call truncation because the continuation resumes inside it).
+///
+/// Region paths never cross a backedge (interesting paths cross theirs
+/// exactly once), and in call-breaking mode they never cross a call block.
+/// Every dynamic way a region can end has a dummy at the node where it ends:
+/// entering the (k+1)-th predicate, leaving the restriction (loop exit),
+/// taking any backedge, reaching a call block, or returning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_OVERLAP_OVERLAPREGION_H
+#define OLPP_OVERLAP_OVERLAPREGION_H
+
+#include "analysis/LoopInfo.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+class Function;
+
+/// The paper's instrumentation classes for region edges.
+enum class OverlapEdgeClass : uint8_t {
+  DI, ///< definitely instrumented: every path to the edge has <= k predicates
+  PI, ///< possibly instrumented: only some paths have <= k predicates
+};
+
+/// Why a region node needs a dummy edge to Exit (bitmask).
+enum DummyReason : uint8_t {
+  DR_None = 0,
+  DR_TerminalPredicate = 1 << 0, ///< can be entered as the (k+1)-th predicate
+  DR_LeavesRestriction = 1 << 1, ///< has a loop-exit edge
+  DR_Backedge = 1 << 2,          ///< has an outgoing backedge
+  DR_CallBreak = 1 << 3,         ///< is a call block in call-breaking mode
+  DR_Return = 1 << 4,            ///< ends in Ret
+};
+
+struct OverlapRegionNode {
+  uint32_t Block = 0;
+  /// Min/max number of predicate blocks on region paths from the anchor to
+  /// this node, *excluding* the node itself; capped at Degree + 1.
+  uint32_t MinPredsExcl = 0;
+  uint32_t MaxPredsExcl = 0;
+  bool IsPredicate = false;
+  /// True if the region continues past this node along some path.
+  bool Extendable = false;
+  uint8_t DummyReasons = DR_None;
+
+  bool needsDummy() const { return DummyReasons != DR_None; }
+};
+
+struct OverlapRegionEdge {
+  /// Indices into OverlapRegion::Nodes.
+  uint32_t From = 0;
+  uint32_t To = 0;
+  OverlapEdgeClass Cls = OverlapEdgeClass::DI;
+};
+
+struct OverlapRegionParams {
+  uint32_t Anchor = 0;
+  uint32_t Degree = 0; ///< the paper's k
+  /// Block-id bitmap restricting the region (the loop body); empty means the
+  /// whole function.
+  std::vector<bool> Restrict;
+  /// Region paths end at call blocks (call-breaking mode).
+  bool BreakAtCalls = false;
+  /// The anchor itself is not truncated by BreakAtCalls (Type II regions).
+  bool AnchorExemptFromCallBreak = false;
+};
+
+/// The computed region. Node 0 is always the anchor.
+class OverlapRegion {
+public:
+  static OverlapRegion compute(const Function &F, const CfgView &Cfg,
+                               const LoopInfo &LI,
+                               const OverlapRegionParams &Params);
+
+  const OverlapRegionParams &params() const { return Params; }
+  const std::vector<OverlapRegionNode> &nodes() const { return Nodes; }
+  const std::vector<OverlapRegionEdge> &edges() const { return Edges; }
+
+  /// Region node index of CFG block \p B, or UINT32_MAX.
+  uint32_t nodeForBlock(uint32_t B) const {
+    return B < BlockToNode.size() ? BlockToNode[B] : UINT32_MAX;
+  }
+  bool containsBlock(uint32_t B) const {
+    return nodeForBlock(B) != UINT32_MAX;
+  }
+
+  /// Out-edge indices of region node \p N, in CFG successor order.
+  const std::vector<uint32_t> &outEdges(uint32_t N) const {
+    return OutEdges[N];
+  }
+
+private:
+  OverlapRegionParams Params;
+  std::vector<OverlapRegionNode> Nodes;
+  std::vector<OverlapRegionEdge> Edges;
+  std::vector<std::vector<uint32_t>> OutEdges;
+  std::vector<uint32_t> BlockToNode;
+};
+
+/// True if \p B contains a Call instruction.
+bool isCallBlock(const Function &F, uint32_t B);
+
+/// The maximum possible overlap degree from \p Anchor: the largest number of
+/// predicates on any region path minus one (the paper's "k max"). Paths are
+/// capped at \p Cap to keep this finite on large functions.
+uint32_t maxOverlapDegree(const Function &F, const CfgView &Cfg,
+                          const LoopInfo &LI, const OverlapRegionParams &Base,
+                          uint32_t Cap = 64);
+
+} // namespace olpp
+
+#endif // OLPP_OVERLAP_OVERLAPREGION_H

@@ -1,0 +1,47 @@
+//===--- Projection.cpp - Project a block walk through a region -------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "overlap/Projection.h"
+
+#include <cassert>
+
+using namespace olpp;
+
+std::vector<uint32_t>
+olpp::projectThroughRegion(const OverlapRegion &R,
+                           const std::vector<uint32_t> &Blocks) {
+  assert(!Blocks.empty() && "empty walk");
+  uint32_t Cur = R.nodeForBlock(Blocks[0]);
+  assert(Cur == 0 && "walk must start at the region anchor");
+
+  uint32_t K = R.params().Degree;
+  std::vector<uint32_t> Seq{Cur};
+  // Predicates entered so far, the anchor included (the runtime `ol`).
+  uint32_t Ol = R.nodes()[Cur].IsPredicate ? 1 : 0;
+
+  for (size_t I = 1; I < Blocks.size(); ++I) {
+    if (Ol == K + 1)
+      break; // flushed on entering the (k+1)-th predicate
+    if (!R.nodes()[Cur].Extendable)
+      break; // region cannot continue past this node
+    uint32_t NextNode = UINT32_MAX;
+    for (uint32_t E : R.outEdges(Cur))
+      if (R.nodes()[R.edges()[E].To].Block == Blocks[I]) {
+        NextNode = R.edges()[E].To;
+        break;
+      }
+    if (NextNode == UINT32_MAX)
+      break; // the walk took an edge the region excludes: flush at Cur
+    Cur = NextNode;
+    Seq.push_back(Cur);
+    if (R.nodes()[Cur].IsPredicate)
+      ++Ol;
+  }
+
+  assert(R.nodes()[Seq.back()].needsDummy() &&
+         "projection ended at a node with no flush site");
+  return Seq;
+}

@@ -1,0 +1,37 @@
+//===--- Projection.h - Project a block walk through a region ---*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the dynamic overlap-region semantics over a known block sequence:
+/// given the blocks a path visits starting at the region's anchor, returns
+/// the region nodes the overlap walk traverses before it flushes (at the
+/// (k+1)-th predicate, or when the sequence takes an edge the region
+/// excludes — a backedge, a loop exit, a call break — or simply ends).
+///
+/// Both the estimators (to map a full path to its overlap prefix class) and
+/// the trace-replay ground truth (to predict the exact counter an
+/// instrumented run must produce) use this single definition, which is what
+/// makes the instrumentation-exactness property test meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_OVERLAP_PROJECTION_H
+#define OLPP_OVERLAP_PROJECTION_H
+
+#include "overlap/OverlapRegion.h"
+
+#include <vector>
+
+namespace olpp {
+
+/// Projects \p Blocks (which must start at the region's anchor) through
+/// \p R. Returns the region-node index sequence ending at the flush node.
+std::vector<uint32_t> projectThroughRegion(const OverlapRegion &R,
+                                           const std::vector<uint32_t> &Blocks);
+
+} // namespace olpp
+
+#endif // OLPP_OVERLAP_PROJECTION_H

@@ -1,0 +1,95 @@
+//===--- RegionNumbering.cpp - Path numbering of an overlap region ----------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "overlap/RegionNumbering.h"
+
+using namespace olpp;
+
+std::unique_ptr<RegionNumbering> RegionNumbering::build(const OverlapRegion &R,
+                                                        std::string &Error,
+                                                        uint64_t MaxPaths) {
+  std::unique_ptr<RegionNumbering> N(new RegionNumbering());
+  N->R = &R;
+  size_t NN = R.nodes().size();
+  N->NumPathsOf.assign(NN, 0);
+  N->EdgeVals.assign(R.edges().size(), 0);
+  N->DummyVals.assign(NN, 0);
+
+  // Region nodes were created in RPO, so reverse index order is a
+  // topological order with successors first (all region edges go from a
+  // lower to a higher node index).
+  for (uint32_t I = static_cast<uint32_t>(NN); I-- > 0;) {
+    const OverlapRegionNode &Node = R.nodes()[I];
+    uint64_t Sum = 0;
+    for (uint32_t E : R.outEdges(I)) {
+      assert(R.edges()[E].To > I && "region edges must go index-forward");
+      uint64_t T = N->NumPathsOf[R.edges()[E].To];
+      if (Sum > MaxPaths - T) {
+        Error = "overlap region has more than " + std::to_string(MaxPaths) +
+                " paths";
+        return nullptr;
+      }
+      N->EdgeVals[E] = static_cast<int64_t>(Sum);
+      Sum += T;
+    }
+    if (Node.needsDummy()) {
+      N->DummyVals[I] = static_cast<int64_t>(Sum);
+      Sum += 1;
+    }
+    assert(Sum > 0 && "region node with no way to end a path");
+    N->NumPathsOf[I] = Sum;
+  }
+  return N;
+}
+
+std::vector<uint32_t> RegionNumbering::decode(int64_t Id) const {
+  assert(Id >= 0 && static_cast<uint64_t>(Id) < numPaths() &&
+         "region path id out of range");
+  std::vector<uint32_t> Seq;
+  uint64_t Rem = static_cast<uint64_t>(Id);
+  uint32_t Node = 0;
+  while (true) {
+    Seq.push_back(Node);
+    const OverlapRegionNode &ND = R->nodes()[Node];
+    uint32_t Next = UINT32_MAX;
+    for (uint32_t E : R->outEdges(Node)) {
+      uint64_t Lo = static_cast<uint64_t>(EdgeVals[E]);
+      uint64_t Width = NumPathsOf[R->edges()[E].To];
+      if (Lo <= Rem && Rem < Lo + Width) {
+        Next = R->edges()[E].To;
+        Rem -= Lo;
+        break;
+      }
+    }
+    if (Next == UINT32_MAX) {
+      assert(ND.needsDummy() &&
+             Rem == static_cast<uint64_t>(DummyVals[Node]) &&
+             "region id does not decode to a path");
+      return Seq;
+    }
+    Node = Next;
+  }
+}
+
+int64_t RegionNumbering::encode(const std::vector<uint32_t> &NodeSeq) const {
+  assert(!NodeSeq.empty() && NodeSeq.front() == 0 &&
+         "region paths start at the anchor");
+  uint64_t Sum = 0;
+  for (size_t I = 0; I + 1 < NodeSeq.size(); ++I) {
+    bool Found = false;
+    for (uint32_t E : R->outEdges(NodeSeq[I])) {
+      if (R->edges()[E].To == NodeSeq[I + 1]) {
+        Sum += static_cast<uint64_t>(EdgeVals[E]);
+        Found = true;
+        break;
+      }
+    }
+    assert(Found && "node sequence is not a region path");
+    (void)Found;
+  }
+  Sum += static_cast<uint64_t>(DummyVals[NodeSeq.back()]);
+  return static_cast<int64_t>(Sum);
+}

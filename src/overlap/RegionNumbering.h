@@ -1,0 +1,70 @@
+//===--- RegionNumbering.h - Path numbering of an overlap region -*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ball-Larus numbering of the paths of one OverlapRegion in isolation:
+/// paths start at the anchor and end at a dummy of some flush node. Used for
+/// the interprocedural Type I (callee prefix) and Type II (caller
+/// continuation) id spaces, which the paper keys by a four-tuple rather than
+/// folding into the function's main path graph. Loop overlap regions are
+/// instead numbered inside the function's PathGraph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_OVERLAP_REGIONNUMBERING_H
+#define OLPP_OVERLAP_REGIONNUMBERING_H
+
+#include "overlap/OverlapRegion.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+
+namespace olpp {
+
+class RegionNumbering {
+public:
+  /// Numbers \p R (which must outlive the numbering). Returns null and sets
+  /// \p Error if the region has more than \p MaxPaths paths.
+  static std::unique_ptr<RegionNumbering>
+  build(const OverlapRegion &R, std::string &Error,
+        uint64_t MaxPaths = uint64_t(1) << 62);
+
+  const OverlapRegion &region() const { return *R; }
+
+  /// Total number of region paths.
+  uint64_t numPaths() const { return NumPathsOf[0]; }
+
+  /// Value of region edge \p EdgeIdx (index into region().edges()).
+  int64_t edgeVal(uint32_t EdgeIdx) const { return EdgeVals[EdgeIdx]; }
+
+  /// Value of the dummy edge of region node \p NodeIdx; the node must need
+  /// a dummy.
+  int64_t dummyVal(uint32_t NodeIdx) const {
+    assert(R->nodes()[NodeIdx].needsDummy() && "node has no dummy");
+    return DummyVals[NodeIdx];
+  }
+
+  /// Decodes \p Id into the region-node index sequence of its path
+  /// (starting at node 0, the anchor; ending at the flush node).
+  std::vector<uint32_t> decode(int64_t Id) const;
+
+  /// Id of the path visiting \p NodeSeq (must start at the anchor, follow
+  /// region edges, and end at a node with a dummy).
+  int64_t encode(const std::vector<uint32_t> &NodeSeq) const;
+
+private:
+  RegionNumbering() = default;
+
+  const OverlapRegion *R = nullptr;
+  std::vector<uint64_t> NumPathsOf; // per region node
+  std::vector<int64_t> EdgeVals;    // per region edge
+  std::vector<int64_t> DummyVals;   // per region node (valid if dummy)
+};
+
+} // namespace olpp
+
+#endif // OLPP_OVERLAP_REGIONNUMBERING_H

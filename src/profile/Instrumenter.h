@@ -1,0 +1,123 @@
+//===--- Instrumenter.h - Probe insertion for path profiling ----*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruments a module for path profiling:
+///   - plain Ball-Larus profiles,
+///   - overlapping loop path profiles of a chosen degree (paper §2.3),
+///   - interprocedural Type I / Type II overlapping profiles (paper §3.3),
+/// in any combination. Returns the metadata (path graphs, region
+/// numberings, call-site table) needed to decode the raw counters back into
+/// paths.
+///
+/// Probes attach to CFG edges (placed in the source block when it has a
+/// single successor, in the target when it has a single predecessor, on a
+/// split block otherwise), to block entries, and around calls and returns.
+/// Instrumentation appends blocks only, so pre-instrumentation block ids
+/// remain valid and all metadata is expressed in terms of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFILE_INSTRUMENTER_H
+#define OLPP_PROFILE_INSTRUMENTER_H
+
+#include "overlap/RegionNumbering.h"
+#include "profile/PathGraph.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+class Module;
+
+struct InstrumentOptions {
+  /// Attach overlapping graphs of degree LoopDegree to every loop.
+  bool LoopOverlap = false;
+  uint32_t LoopDegree = 0;
+  /// Collect Type I / Type II interprocedural overlapping profiles of
+  /// degree InterprocDegree. Implies call-breaking.
+  bool Interproc = false;
+  uint32_t InterprocDegree = 0;
+  /// Ball-Larus paths terminate at call sites. Forced on by Interproc.
+  bool CallBreaking = false;
+  /// Place increments on spanning-tree chords (the BL event-counting
+  /// optimization) instead of on every edge.
+  bool UseChords = true;
+};
+
+/// A call site in the original (pre-instrumentation) module.
+struct CallSiteInfo {
+  uint32_t Func = 0;   ///< caller function id
+  uint32_t Block = 0;  ///< block containing the call
+  uint32_t Callee = 0; ///< callee function id
+  uint32_t CsId = 0;   ///< module-wide call-site id
+};
+
+/// Decode metadata for one instrumented function.
+struct FunctionInstrumentation {
+  std::unique_ptr<CfgView> Cfg;
+  std::unique_ptr<DomTree> Dom;
+  std::unique_ptr<LoopInfo> Loops;
+  std::unique_ptr<PathGraph> PG;
+
+  /// Type I callee-prefix region/numbering (Interproc mode).
+  std::unique_ptr<OverlapRegion> TypeIRegion;
+  std::unique_ptr<RegionNumbering> TypeINumbering;
+
+  /// Type II continuation region per local call site.
+  struct TypeIISite {
+    uint32_t CsId = 0;
+    uint32_t Block = 0;
+    uint32_t Callee = 0;
+    std::unique_ptr<OverlapRegion> Region;
+    std::unique_ptr<RegionNumbering> Numbering;
+  };
+  std::vector<TypeIISite> TypeII;
+
+  /// Largest useful loop overlap degree of this function (max over loops).
+  uint32_t MaxLoopDegree = 0;
+  /// Largest useful interprocedural degree (max over the Type I anchor and
+  /// all Type II anchors).
+  uint32_t MaxInterprocDegree = 0;
+};
+
+struct ModuleInstrumentation {
+  InstrumentOptions Opts;
+  std::vector<FunctionInstrumentation> Funcs; ///< by function id
+  std::vector<CallSiteInfo> CallSites;        ///< by global call-site id
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+
+  const FunctionInstrumentation::TypeIISite *
+  typeIISite(uint32_t CsId) const {
+    const CallSiteInfo &CS = CallSites[CsId];
+    for (const auto &S : Funcs[CS.Func].TypeII)
+      if (S.CsId == CsId)
+        return &S;
+    return nullptr;
+  }
+};
+
+/// Instruments \p M in place (it must verify cleanly). On any per-function
+/// failure the error is recorded and the module is left unusable for
+/// profiling; check ok().
+ModuleInstrumentation instrumentModule(Module &M,
+                                       const InstrumentOptions &Opts);
+
+/// Computes the analyses and per-function degree maxima of \p M without
+/// touching it. Used by the benches to pick sweep ranges.
+struct DegreeLimits {
+  uint32_t MaxLoopDegree = 0;
+  uint32_t MaxInterprocDegree = 0;
+};
+DegreeLimits computeDegreeLimits(const Module &M, bool CallBreaking);
+
+} // namespace olpp
+
+#endif // OLPP_PROFILE_INSTRUMENTER_H

@@ -1,0 +1,497 @@
+//===--- PathGraph.cpp - Ball-Larus path graph with overlap regions ---------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/PathGraph.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace olpp;
+
+namespace {
+
+/// Union-find over path-graph nodes, for the Kruskal spanning tree.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  bool unite(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    Parent[A] = B;
+    return true;
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace
+
+class PathGraph::Builder {
+public:
+  Builder(const Function &F, const CfgView &Cfg, const LoopInfo &LI,
+          const PathGraphOptions &Opts)
+      : F(F), Cfg(Cfg), LI(LI), Opts(Opts) {}
+
+  std::unique_ptr<PathGraph> run(std::string &Error) {
+    if (LI.isIrreducible()) {
+      Error = "function '" + F.Name +
+              "' has irreducible control flow; path profiling requires "
+              "reducible loops";
+      return nullptr;
+    }
+    PG.reset(new PathGraph());
+    PG->F = &F;
+    PG->LI = &LI;
+    PG->Opts = Opts;
+
+    buildNodes();
+    buildEdges();
+    if (!number(Error))
+      return nullptr;
+    if (Opts.UseChords)
+      assignChordIncrements();
+    else
+      for (PGEdge &E : PG->Edges)
+        E.Inc = static_cast<int64_t>(E.Val);
+    buildLookups();
+    return std::move(PG);
+  }
+
+private:
+  uint32_t addNode(PGNode N) {
+    PG->Nodes.push_back(N);
+    return static_cast<uint32_t>(PG->Nodes.size() - 1);
+  }
+
+  uint32_t addEdge(uint32_t From, uint32_t To, PGEdgeKind Kind,
+                   uint32_t CfgFrom = UINT32_MAX, uint32_t CfgTo = UINT32_MAX) {
+    PGEdge E;
+    E.From = From;
+    E.To = To;
+    E.Kind = Kind;
+    E.CfgFrom = CfgFrom;
+    E.CfgTo = CfgTo;
+    PG->Edges.push_back(E);
+    uint32_t Id = static_cast<uint32_t>(PG->Edges.size() - 1);
+    PG->OutEdges[From].push_back(Id);
+    return Id;
+  }
+
+  bool isBreakingCallBlock(uint32_t B) const {
+    return Opts.CallBreaking && isCallBlock(F, B);
+  }
+
+  /// White node that *out*-edges of block \p B originate from.
+  uint32_t whiteSrc(uint32_t B) const {
+    return isBreakingCallBlock(B) ? PG->WhiteStart[B] : PG->WhiteStd[B];
+  }
+
+  void buildNodes() {
+    uint32_t N = Cfg.numBlocks();
+    PG->Entry = addNode({PGNode::Kind::Entry, 0, WhiteRegion, false});
+    PG->Exit = addNode({PGNode::Kind::Exit, 0, WhiteRegion, false});
+    PG->WhiteStd.assign(N, UINT32_MAX);
+    PG->WhiteStart.assign(N, UINT32_MAX);
+    for (uint32_t B = 0; B < N; ++B) {
+      if (!Cfg.isReachable(B))
+        continue;
+      PG->WhiteStd[B] = addNode({PGNode::Kind::Block, B, WhiteRegion, false});
+      if (isBreakingCallBlock(B))
+        PG->WhiteStart[B] =
+            addNode({PGNode::Kind::Block, B, WhiteRegion, true});
+    }
+
+    if (Opts.LoopOverlap) {
+      PG->Regions.resize(LI.numLoops());
+      PG->OgNodes.assign(LI.numLoops(), {});
+      for (uint32_t L = 0; L < LI.numLoops(); ++L) {
+        const Loop &Loop_ = LI.loop(L);
+        OverlapRegionParams P;
+        P.Anchor = Loop_.Header;
+        P.Degree = Opts.Degree;
+        P.Restrict.assign(N, false);
+        for (uint32_t B : Loop_.Blocks)
+          P.Restrict[B] = true;
+        P.BreakAtCalls = Opts.CallBreaking;
+        PG->Regions[L] = std::make_unique<OverlapRegion>(
+            OverlapRegion::compute(F, Cfg, LI, P));
+        PG->OgNodes[L].assign(N, UINT32_MAX);
+        for (const OverlapRegionNode &RN : PG->Regions[L]->nodes())
+          PG->OgNodes[L][RN.Block] =
+              addNode({PGNode::Kind::Block, RN.Block, ogRegion(L), false});
+      }
+    }
+    PG->OutEdges.resize(PG->Nodes.size());
+  }
+
+  void buildEdges() {
+    uint32_t N = Cfg.numBlocks();
+
+    // Entry start edges: function entry first, then loop headers, then
+    // call-continuation restarts. Deduplicate by target node.
+    std::vector<bool> HasStart(PG->Nodes.size(), false);
+    auto AddStart = [&](uint32_t Node) {
+      if (HasStart[Node])
+        return;
+      HasStart[Node] = true;
+      addEdge(PG->Entry, Node, PGEdgeKind::EntryStart);
+    };
+    AddStart(PG->WhiteStd[F.entry()->Id]);
+    for (uint32_t L = 0; L < LI.numLoops(); ++L)
+      AddStart(PG->WhiteStd[LI.loop(L).Header]);
+    if (Opts.CallBreaking)
+      for (uint32_t B = 0; B < N; ++B)
+        if (Cfg.isReachable(B) && isCallBlock(F, B))
+          AddStart(PG->WhiteStart[B]);
+
+    // White region edges, in block order then successor order.
+    for (uint32_t B = 0; B < N; ++B) {
+      if (!Cfg.isReachable(B))
+        continue;
+      const BasicBlock *BB = F.block(B);
+      uint32_t Src = whiteSrc(B);
+      for (BasicBlock *SuccBB : BB->successors()) {
+        uint32_t S = SuccBB->Id;
+        uint32_t LoopIdx = LI.loopForBackedge(B, S);
+        if (LoopIdx != UINT32_MAX) {
+          if (Opts.LoopOverlap) {
+            uint32_t Head = PG->OgNodes[LoopIdx][S];
+            assert(Head != UINT32_MAX && "OG lacks its own header");
+            addEdge(Src, Head, PGEdgeKind::Arm, B, S);
+          } else {
+            addEdge(Src, PG->Exit, PGEdgeKind::ExitCount, B, S);
+          }
+          continue;
+        }
+        addEdge(Src, PG->WhiteStd[S], PGEdgeKind::Real, B, S);
+      }
+      if (BB->isExit())
+        addEdge(Src, PG->Exit, PGEdgeKind::ExitCount);
+      if (isBreakingCallBlock(B))
+        addEdge(PG->WhiteStd[B], PG->Exit, PGEdgeKind::ExitCount);
+    }
+
+    // OG edges.
+    if (Opts.LoopOverlap) {
+      for (uint32_t L = 0; L < LI.numLoops(); ++L) {
+        const OverlapRegion &R = *PG->Regions[L];
+        for (uint32_t NIdx = 0; NIdx < R.nodes().size(); ++NIdx) {
+          const OverlapRegionNode &RN = R.nodes()[NIdx];
+          uint32_t Src = PG->OgNodes[L][RN.Block];
+          for (uint32_t EIdx : R.outEdges(NIdx)) {
+            const OverlapRegionEdge &RE = R.edges()[EIdx];
+            uint32_t DstBlock = R.nodes()[RE.To].Block;
+            addEdge(Src, PG->OgNodes[L][DstBlock], PGEdgeKind::Real, RN.Block,
+                    DstBlock);
+          }
+          if (RN.needsDummy())
+            addEdge(Src, PG->Exit, PGEdgeKind::ExitCount);
+        }
+      }
+    }
+  }
+
+  /// Topological order, NumPaths, and canonical Vals.
+  bool number(std::string &Error) {
+    size_t NN = PG->Nodes.size();
+    PG->NumPathsOf.assign(NN, 0);
+
+    // Iterative DFS postorder from Entry.
+    std::vector<uint8_t> State(NN, 0);
+    std::vector<std::pair<uint32_t, uint32_t>> Stack{{PG->Entry, 0}};
+    std::vector<uint32_t> Post;
+    Post.reserve(NN);
+    State[PG->Entry] = 1;
+    while (!Stack.empty()) {
+      auto &[Node, Next] = Stack.back();
+      const auto &Out = PG->OutEdges[Node];
+      if (Next < Out.size()) {
+        uint32_t To = PG->Edges[Out[Next++]].To;
+        assert(State[To] != 1 && "path graph has a cycle");
+        if (State[To] == 0) {
+          State[To] = 1;
+          Stack.push_back({To, 0});
+        }
+        continue;
+      }
+      State[Node] = 2;
+      Post.push_back(Node);
+      Stack.pop_back();
+    }
+
+    // NumPaths in postorder (successors first).
+    const uint64_t Cap = Opts.MaxPaths;
+    for (uint32_t Node : Post) {
+      if (Node == PG->Exit) {
+        PG->NumPathsOf[Node] = 1;
+        continue;
+      }
+      uint64_t Sum = 0;
+      for (uint32_t E : PG->OutEdges[Node]) {
+        uint64_t T = PG->NumPathsOf[PG->Edges[E].To];
+        if (Sum > Cap - T) {
+          Error = "function '" + F.Name + "' has more than " +
+                  std::to_string(Cap) + " profileable paths";
+          return false;
+        }
+        Sum += T;
+      }
+      assert((Sum > 0 || PG->OutEdges[Node].empty()) &&
+             "interior node with zero paths");
+      assert(!PG->OutEdges[Node].empty() &&
+             "non-exit node must reach the exit");
+      PG->NumPathsOf[Node] = Sum;
+    }
+    if (State[PG->Exit] != 2) {
+      Error = "function '" + F.Name + "': exit unreachable in the path graph";
+      return false;
+    }
+
+    // Canonical Vals: cumulative NumPaths offsets per node.
+    for (uint32_t Node = 0; Node < NN; ++Node) {
+      uint64_t Off = 0;
+      for (uint32_t E : PG->OutEdges[Node]) {
+        PG->Edges[E].Val = Off;
+        Off += PG->NumPathsOf[PG->Edges[E].To];
+      }
+    }
+    return true;
+  }
+
+  /// Static frequency guess used to pick spanning-tree edges: deeper loop
+  /// nesting means hotter, so keeping deep edges *in* the tree (increment 0)
+  /// minimizes expected instrumentation work.
+  uint64_t edgeWeight(const PGEdge &E) const {
+    auto DepthOfNode = [&](uint32_t N) -> uint32_t {
+      const PGNode &Node = PG->Nodes[N];
+      if (Node.K != PGNode::Kind::Block)
+        return 0;
+      return LI.depthOf(Node.Block);
+    };
+    uint32_t D = std::max(DepthOfNode(E.From), DepthOfNode(E.To));
+    D = std::min(D, 8u);
+    uint64_t W = 1;
+    for (uint32_t I = 0; I < D; ++I)
+      W *= 10;
+    // Prefer real edges over dummies at equal depth (dummy sites must carry
+    // a counter op anyway, so an increment there is nearly free).
+    return E.Kind == PGEdgeKind::Real ? W * 2 : W;
+  }
+
+  void assignChordIncrements() {
+    size_t NN = PG->Nodes.size();
+    size_t NE = PG->Edges.size();
+
+    // Kruskal maximum spanning tree over the undirected view, with a
+    // virtual closing edge Exit->Entry (Val 0) forced in first.
+    std::vector<uint32_t> Order(NE);
+    std::iota(Order.begin(), Order.end(), 0);
+    std::stable_sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+      return edgeWeight(PG->Edges[A]) > edgeWeight(PG->Edges[B]);
+    });
+
+    UnionFind UF(NN);
+    UF.unite(PG->Exit, PG->Entry); // the closing edge
+    std::vector<bool> InTree(NE, false);
+    for (uint32_t E : Order)
+      if (UF.unite(PG->Edges[E].From, PG->Edges[E].To))
+        InTree[E] = true;
+
+    // Potentials along the tree: phi(Entry) = 0 = phi(Exit); for a tree
+    // edge u->v, phi(v) = phi(u) + Val.
+    std::vector<std::vector<std::pair<uint32_t, bool>>> TreeAdj(NN);
+    for (uint32_t E = 0; E < NE; ++E) {
+      if (!InTree[E])
+        continue;
+      TreeAdj[PG->Edges[E].From].push_back({E, /*Forward=*/true});
+      TreeAdj[PG->Edges[E].To].push_back({E, /*Forward=*/false});
+    }
+    std::vector<__int128> Phi(NN, 0);
+    std::vector<bool> Seen(NN, false);
+    std::vector<uint32_t> Work{PG->Entry};
+    Seen[PG->Entry] = true;
+    // The closing edge pins phi(Exit) to phi(Entry).
+    Seen[PG->Exit] = true;
+    while (!Work.empty()) {
+      uint32_t U = Work.back();
+      Work.pop_back();
+      for (auto [E, Forward] : TreeAdj[U]) {
+        uint32_t V = Forward ? PG->Edges[E].To : PG->Edges[E].From;
+        if (Seen[V])
+          continue;
+        Seen[V] = true;
+        Phi[V] = Forward
+                     ? Phi[U] + static_cast<__int128>(PG->Edges[E].Val)
+                     : Phi[U] - static_cast<__int128>(PG->Edges[E].Val);
+        Work.push_back(V);
+      }
+    }
+    // Exit may have tree neighbours of its own; propagate from it too.
+    Work.push_back(PG->Exit);
+    while (!Work.empty()) {
+      uint32_t U = Work.back();
+      Work.pop_back();
+      for (auto [E, Forward] : TreeAdj[U]) {
+        uint32_t V = Forward ? PG->Edges[E].To : PG->Edges[E].From;
+        if (Seen[V])
+          continue;
+        Seen[V] = true;
+        Phi[V] = Forward
+                     ? Phi[U] + static_cast<__int128>(PG->Edges[E].Val)
+                     : Phi[U] - static_cast<__int128>(PG->Edges[E].Val);
+        Work.push_back(V);
+      }
+    }
+
+    // Chord increments; fall back to naive if any doesn't fit comfortably.
+    const __int128 Limit = static_cast<__int128>(1) << 62;
+    std::vector<int64_t> Incs(NE, 0);
+    for (uint32_t E = 0; E < NE; ++E) {
+      if (InTree[E])
+        continue;
+      __int128 Inc = static_cast<__int128>(PG->Edges[E].Val) +
+                     Phi[PG->Edges[E].From] - Phi[PG->Edges[E].To];
+      if (Inc >= Limit || Inc <= -Limit) {
+        for (PGEdge &Ed : PG->Edges) {
+          Ed.Inc = static_cast<int64_t>(Ed.Val);
+          Ed.TreeEdge = false;
+        }
+        return;
+      }
+      Incs[E] = static_cast<int64_t>(Inc);
+    }
+    for (uint32_t E = 0; E < NE; ++E) {
+      PG->Edges[E].Inc = Incs[E];
+      PG->Edges[E].TreeEdge = InTree[E];
+    }
+  }
+
+  void buildLookups() {
+    PG->EntryStartByNode.assign(PG->Nodes.size(), UINT32_MAX);
+    PG->ExitCountByNode.assign(PG->Nodes.size(), UINT32_MAX);
+    for (uint32_t E = 0; E < PG->Edges.size(); ++E) {
+      const PGEdge &Ed = PG->Edges[E];
+      if (Ed.Kind == PGEdgeKind::EntryStart)
+        PG->EntryStartByNode[Ed.To] = E;
+      else if (Ed.Kind == PGEdgeKind::ExitCount && Ed.CfgFrom == UINT32_MAX) {
+        // Backedge count edges (plain BL mode) carry their CFG edge and are
+        // looked up by scanning; this table holds the node's generic
+        // count/flush edge.
+        assert(PG->ExitCountByNode[Ed.From] == UINT32_MAX &&
+               "multiple generic count edges from one node");
+        PG->ExitCountByNode[Ed.From] = E;
+      }
+    }
+  }
+
+  const Function &F;
+  const CfgView &Cfg;
+  const LoopInfo &LI;
+  PathGraphOptions Opts;
+  std::unique_ptr<PathGraph> PG;
+};
+
+std::unique_ptr<PathGraph> PathGraph::build(const Function &F,
+                                            const CfgView &Cfg,
+                                            const LoopInfo &LI,
+                                            const PathGraphOptions &Opts,
+                                            std::string &Error) {
+  return Builder(F, Cfg, LI, Opts).run(Error);
+}
+
+uint32_t PathGraph::whiteNode(uint32_t Block, bool CallStart) const {
+  uint32_t N = CallStart ? WhiteStart[Block] : WhiteStd[Block];
+  assert(N != UINT32_MAX && "no such white node");
+  return N;
+}
+
+uint32_t PathGraph::ogNode(uint32_t LoopIdx, uint32_t Block) const {
+  if (LoopIdx >= OgNodes.size() || Block >= OgNodes[LoopIdx].size())
+    return UINT32_MAX;
+  return OgNodes[LoopIdx][Block];
+}
+
+uint32_t PathGraph::entryStartEdgeTo(uint32_t Node) const {
+  return EntryStartByNode[Node];
+}
+
+uint32_t PathGraph::exitCountEdgeFrom(uint32_t Node) const {
+  return ExitCountByNode[Node];
+}
+
+uint32_t PathGraph::realEdgeBetween(uint32_t From, uint32_t To) const {
+  for (uint32_t E : OutEdges[From])
+    if (Edges[E].Kind == PGEdgeKind::Real && Edges[E].To == To)
+      return E;
+  return UINT32_MAX;
+}
+
+uint32_t PathGraph::armEdgeFor(uint32_t LoopIdx, uint32_t Latch) const {
+  uint32_t Src = WhiteStd[Latch];
+  if (Src == UINT32_MAX)
+    return UINT32_MAX;
+  for (uint32_t E : OutEdges[Src])
+    if (Edges[E].Kind == PGEdgeKind::Arm &&
+        Nodes[Edges[E].To].Region == ogRegion(LoopIdx))
+      return E;
+  return UINT32_MAX;
+}
+
+std::vector<uint32_t> PathGraph::decode(int64_t Id) const {
+  assert(Id >= 0 && static_cast<uint64_t>(Id) < numPaths() &&
+         "path id out of range");
+  std::vector<uint32_t> Seq;
+  uint64_t Rem = static_cast<uint64_t>(Id);
+  uint32_t Node = Entry;
+  while (Node != Exit) {
+    const auto &Out = OutEdges[Node];
+    assert(!Out.empty() && "decode reached a dead end");
+    // Pick the unique edge with Val <= Rem < Val + NumPaths(target).
+    uint32_t Chosen = UINT32_MAX;
+    for (uint32_t E : Out) {
+      const PGEdge &Ed = Edges[E];
+      if (Ed.Val <= Rem && Rem < Ed.Val + NumPathsOf[Ed.To]) {
+        Chosen = E;
+        break;
+      }
+    }
+    assert(Chosen != UINT32_MAX && "id does not decode to a path");
+    Seq.push_back(Chosen);
+    Rem -= Edges[Chosen].Val;
+    Node = Edges[Chosen].To;
+  }
+  assert(Rem == 0 && "decode left a remainder");
+  return Seq;
+}
+
+int64_t PathGraph::encode(const std::vector<uint32_t> &EdgeSeq) const {
+  assert(!EdgeSeq.empty() && "empty path");
+  assert(Edges[EdgeSeq.front()].From == Entry && "path must start at Entry");
+  uint64_t Sum = 0;
+  uint32_t At = Entry;
+  for (uint32_t E : EdgeSeq) {
+    assert(Edges[E].From == At && "edge sequence is not a path");
+    Sum += Edges[E].Val;
+    At = Edges[E].To;
+  }
+  assert(At == Exit && "path must end at Exit");
+  return static_cast<int64_t>(Sum);
+}

@@ -1,0 +1,182 @@
+//===--- PathGraph.h - Ball-Larus path graph with overlap regions -*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The acyclic *path graph* of one function (paper §2.3): the Ball-Larus DAG
+/// (backedges replaced by Entry/Exit dummies) optionally extended with one
+/// *overlapping graph* (OG) per loop. Every path from Entry to Exit is one
+/// profileable path — a plain BL path, or a BL path that crosses a backedge
+/// and continues through the loop's OG (an overlapping path). All paths of
+/// one function share a single id space.
+///
+/// In call-breaking mode each call block is split into an *end* copy (the
+/// pre-path terminates here) and a *start* copy (the continuation path
+/// restarts here), so no spurious "straight through the call" paths exist.
+///
+/// Ids are assigned by the canonical Ball-Larus value assignment (Val). The
+/// runtime increments (Inc) are either the Vals themselves (naive mode) or
+/// spanning-tree chord increments (the Ball-Larus event-counting
+/// optimization); in both cases the sum of Inc along a path equals the
+/// path's canonical id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFILE_PATHGRAPH_H
+#define OLPP_PROFILE_PATHGRAPH_H
+
+#include "overlap/OverlapRegion.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+class Function;
+
+/// Region id of the white (plain Ball-Larus) part of the path graph.
+inline constexpr uint32_t WhiteRegion = 0;
+
+/// Region id of loop \p LoopIdx's overlapping graph.
+inline constexpr uint32_t ogRegion(uint32_t LoopIdx) { return LoopIdx + 1; }
+
+struct PGNode {
+  enum class Kind : uint8_t { Entry, Exit, Block };
+  Kind K = Kind::Block;
+  uint32_t Block = 0;
+  uint32_t Region = WhiteRegion;
+  /// White copy representing the post-call continuation of a call block
+  /// (call-breaking mode only).
+  bool CallStart = false;
+};
+
+enum class PGEdgeKind : uint8_t {
+  Real,       ///< mirrors a CFG edge (in the white region or inside an OG)
+  EntryStart, ///< Entry -> node: a path (re)start point
+  ExitCount,  ///< node -> Exit: a count/flush site
+  Arm,        ///< white latch -> OG head; triggered by the backedge
+};
+
+struct PGEdge {
+  uint32_t From = 0;
+  uint32_t To = 0;
+  PGEdgeKind Kind = PGEdgeKind::Real;
+  /// The CFG edge that triggers this path-graph edge (Real and Arm edges).
+  uint32_t CfgFrom = UINT32_MAX;
+  uint32_t CfgTo = UINT32_MAX;
+  /// Canonical Ball-Larus value: the id offset contributed by taking this
+  /// edge. Path id == sum of Vals along the path.
+  uint64_t Val = 0;
+  /// Runtime increment; sum of Incs along any Entry->Exit path equals the
+  /// sum of Vals. Equal to Val in naive mode.
+  int64_t Inc = 0;
+  /// True if the edge is a spanning-tree edge in chord mode (Inc == 0).
+  bool TreeEdge = false;
+};
+
+struct PathGraphOptions {
+  /// Paths terminate at call blocks; required for interprocedural profiling.
+  bool CallBreaking = false;
+  /// Attach one overlapping graph per natural loop.
+  bool LoopOverlap = false;
+  /// Degree of overlap k (ignored unless LoopOverlap).
+  uint32_t Degree = 0;
+  /// Use maximum-spanning-tree chord increments instead of per-edge Vals.
+  bool UseChords = false;
+  /// Refuse numbering when the total number of paths exceeds this.
+  uint64_t MaxPaths = uint64_t(1) << 62;
+};
+
+/// The built path graph. Immutable once built.
+class PathGraph {
+public:
+  /// Builds and numbers the graph. On failure (irreducible CFG, path-count
+  /// overflow) returns null and sets \p Error.
+  static std::unique_ptr<PathGraph>
+  build(const Function &F, const CfgView &Cfg, const LoopInfo &LI,
+        const PathGraphOptions &Opts, std::string &Error);
+
+  const PathGraphOptions &options() const { return Opts; }
+  const Function &function() const { return *F; }
+  const LoopInfo &loopInfo() const { return *LI; }
+
+  // --- structure --------------------------------------------------------
+  uint32_t entryNode() const { return Entry; }
+  uint32_t exitNode() const { return Exit; }
+  const PGNode &node(uint32_t N) const { return Nodes[N]; }
+  size_t numNodes() const { return Nodes.size(); }
+  const PGEdge &edge(uint32_t E) const { return Edges[E]; }
+  size_t numEdges() const { return Edges.size(); }
+  /// Out-edges of \p N in numbering order (Vals ascending).
+  const std::vector<uint32_t> &outEdges(uint32_t N) const {
+    return OutEdges[N];
+  }
+
+  /// Total number of distinct paths (== NumPaths(Entry)).
+  uint64_t numPaths() const { return NumPathsOf[Entry]; }
+  uint64_t numPathsFrom(uint32_t N) const { return NumPathsOf[N]; }
+
+  // --- node lookup --------------------------------------------------------
+  /// White node of \p Block. \p CallStart selects the continuation copy of
+  /// a call block (call-breaking mode).
+  uint32_t whiteNode(uint32_t Block, bool CallStart = false) const;
+  /// OG node of \p Block in loop \p LoopIdx, or UINT32_MAX.
+  uint32_t ogNode(uint32_t LoopIdx, uint32_t Block) const;
+
+  // --- edge lookup (UINT32_MAX when absent) -------------------------------
+  /// The EntryStart edge whose target is \p Node.
+  uint32_t entryStartEdgeTo(uint32_t Node) const;
+  /// The ExitCount edge leaving \p Node.
+  uint32_t exitCountEdgeFrom(uint32_t Node) const;
+  /// The Real edge From -> To (node ids).
+  uint32_t realEdgeBetween(uint32_t From, uint32_t To) const;
+  /// The Arm edge for backedge (\p Latch -> header of loop \p LoopIdx).
+  uint32_t armEdgeFor(uint32_t LoopIdx, uint32_t Latch) const;
+
+  /// The overlap region attached to loop \p LoopIdx (LoopOverlap mode).
+  const OverlapRegion &region(uint32_t LoopIdx) const {
+    return *Regions[LoopIdx];
+  }
+  bool hasRegion(uint32_t LoopIdx) const {
+    return LoopIdx < Regions.size() && Regions[LoopIdx] != nullptr;
+  }
+
+  // --- path codec ---------------------------------------------------------
+  /// Decodes \p Id into the edge sequence of its Entry->Exit path.
+  /// Asserts the id is in range.
+  std::vector<uint32_t> decode(int64_t Id) const;
+
+  /// Canonical id of the path described by \p EdgeSeq (must be a valid
+  /// Entry->Exit edge sequence).
+  int64_t encode(const std::vector<uint32_t> &EdgeSeq) const;
+
+private:
+  PathGraph() = default;
+
+  const Function *F = nullptr;
+  const LoopInfo *LI = nullptr;
+  PathGraphOptions Opts;
+
+  uint32_t Entry = 0, Exit = 0;
+  std::vector<PGNode> Nodes;
+  std::vector<PGEdge> Edges;
+  std::vector<std::vector<uint32_t>> OutEdges;
+  std::vector<uint64_t> NumPathsOf;
+
+  // Lookup tables.
+  std::vector<uint32_t> WhiteStd;                 // block -> node
+  std::vector<uint32_t> WhiteStart;               // block -> call-start node
+  std::vector<std::vector<uint32_t>> OgNodes;     // loop -> block -> node
+  std::vector<uint32_t> EntryStartByNode;         // node -> edge
+  std::vector<uint32_t> ExitCountByNode;          // node -> edge
+  std::vector<std::unique_ptr<OverlapRegion>> Regions;
+
+  class Builder;
+};
+
+} // namespace olpp
+
+#endif // OLPP_PROFILE_PATHGRAPH_H

@@ -1,0 +1,183 @@
+//===--- ProfileDecode.cpp - Raw counters back to paths ----------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileDecode.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace olpp;
+
+DecodedEntry olpp::decodePathId(const PathGraph &PG, int64_t Id) {
+  DecodedEntry D;
+  D.Id = Id;
+  std::vector<uint32_t> EdgeSeq = PG.decode(Id);
+  assert(!EdgeSeq.empty());
+
+  const PGEdge &Start = PG.edge(EdgeSeq.front());
+  assert(Start.Kind == PGEdgeKind::EntryStart && "path must begin at Entry");
+  const PGNode &StartNode = PG.node(Start.To);
+  D.White.StartsAtCallContinuation = StartNode.CallStart;
+  D.White.Blocks.push_back(StartNode.Block);
+
+  bool InSuffix = false;
+  for (size_t I = 1; I < EdgeSeq.size(); ++I) {
+    const PGEdge &E = PG.edge(EdgeSeq[I]);
+    switch (E.Kind) {
+    case PGEdgeKind::Real: {
+      const PGNode &To = PG.node(E.To);
+      if (InSuffix)
+        D.Suffix.push_back(To.Block);
+      else
+        D.White.Blocks.push_back(To.Block);
+      break;
+    }
+    case PGEdgeKind::Arm: {
+      assert(!InSuffix && "two arm edges in one path");
+      InSuffix = true;
+      const PGNode &To = PG.node(E.To);
+      D.End = PathEnd::Backedge;
+      D.Loop = To.Region - 1;
+      D.Suffix.push_back(To.Block); // the loop header copy
+      break;
+    }
+    case PGEdgeKind::ExitCount: {
+      assert(I + 1 == EdgeSeq.size() && "count edge must end the path");
+      if (InSuffix)
+        break; // an overlapping path; End/Loop already set by the arm
+      const PGNode &From = PG.node(E.From);
+      if (E.CfgFrom != UINT32_MAX) {
+        // Plain BL backedge count.
+        D.End = PathEnd::Backedge;
+        D.Loop = PG.loopInfo().loopForBackedge(E.CfgFrom, E.CfgTo);
+        assert(D.Loop != UINT32_MAX);
+      } else if (!From.CallStart && PG.options().CallBreaking &&
+                 isCallBlock(PG.function(), From.Block)) {
+        D.End = PathEnd::CallBreak;
+      } else {
+        D.End = PathEnd::Ret;
+      }
+      break;
+    }
+    case PGEdgeKind::EntryStart:
+      assert(false && "entry edge in the middle of a path");
+      break;
+    }
+  }
+  return D;
+}
+
+std::vector<DecodedEntry>
+olpp::decodeProfile(const PathGraph &PG,
+                    const ProfileRuntime::PathCountMap &Counts) {
+  std::vector<DecodedEntry> Out;
+  Out.reserve(Counts.size());
+  for (const auto &[Id, Count] : Counts) {
+    DecodedEntry D = decodePathId(PG, Id);
+    D.Count = Count;
+    Out.push_back(std::move(D));
+  }
+  // Deterministic order for consumers and tests.
+  std::sort(Out.begin(), Out.end(),
+            [](const DecodedEntry &A, const DecodedEntry &B) {
+              return A.Id < B.Id;
+            });
+  return Out;
+}
+
+namespace {
+
+/// Walks the white part of \p Sig and returns the edge sequence plus the
+/// final white node.
+std::vector<uint32_t> walkWhite(const PathGraph &PG, const PathSig &Sig,
+                                uint32_t &LastNode) {
+  assert(!Sig.Blocks.empty());
+  uint32_t Node = PG.whiteNode(Sig.Blocks[0], Sig.StartsAtCallContinuation);
+  uint32_t StartEdge = PG.entryStartEdgeTo(Node);
+  assert(StartEdge != UINT32_MAX && "path start has no Entry edge");
+  std::vector<uint32_t> Seq{StartEdge};
+  for (size_t I = 1; I < Sig.Blocks.size(); ++I) {
+    uint32_t To = PG.whiteNode(Sig.Blocks[I]);
+    uint32_t E = PG.realEdgeBetween(Node, To);
+    assert(E != UINT32_MAX && "signature is not a white path");
+    Seq.push_back(E);
+    Node = To;
+  }
+  LastNode = Node;
+  return Seq;
+}
+
+} // namespace
+
+int64_t olpp::encodeWhiteId(const PathGraph &PG, const PathSig &Sig,
+                            PathEnd End, uint32_t BackedgeTarget) {
+  uint32_t Last = 0;
+  std::vector<uint32_t> Seq = walkWhite(PG, Sig, Last);
+
+  if (End == PathEnd::Backedge) {
+    assert(!PG.options().LoopOverlap &&
+           "backedge-ended paths have no own id in overlap mode");
+    assert(BackedgeTarget != UINT32_MAX);
+    uint32_t Found = UINT32_MAX;
+    for (uint32_t E : PG.outEdges(Last)) {
+      const PGEdge &Ed = PG.edge(E);
+      if (Ed.Kind == PGEdgeKind::ExitCount && Ed.CfgTo == BackedgeTarget) {
+        Found = E;
+        break;
+      }
+    }
+    assert(Found != UINT32_MAX && "no backedge count edge");
+    Seq.push_back(Found);
+    return PG.encode(Seq);
+  }
+
+  if (End == PathEnd::CallBreak) {
+    // The pre-path ends at the call block's *end* copy; its last block must
+    // be the call block, reached via normal edges, so Last is W_end already
+    // unless the path is the single-block [c] (then Last is W_end too).
+    uint32_t CountEdge = PG.exitCountEdgeFrom(Last);
+    assert(CountEdge != UINT32_MAX && "call block has no count edge");
+    Seq.push_back(CountEdge);
+    return PG.encode(Seq);
+  }
+
+  uint32_t CountEdge = PG.exitCountEdgeFrom(Last);
+  assert(CountEdge != UINT32_MAX && "ret block has no count edge");
+  Seq.push_back(CountEdge);
+  return PG.encode(Seq);
+}
+
+int64_t olpp::encodeOverlapId(const PathGraph &PG, const PathSig &Sig,
+                              uint32_t Loop,
+                              const std::vector<uint32_t> &SuffixBlocks) {
+  assert(PG.options().LoopOverlap && "no overlapping paths in plain BL mode");
+  assert(!SuffixBlocks.empty() && "overlap suffix must include the header");
+  uint32_t Last = 0;
+  std::vector<uint32_t> Seq = walkWhite(PG, Sig, Last);
+
+  uint32_t Arm = PG.armEdgeFor(Loop, Sig.Blocks.back());
+  assert(Arm != UINT32_MAX && "path does not end at this loop's backedge");
+  assert(PG.edge(Arm).From == Last && "arm edge does not match path end");
+  Seq.push_back(Arm);
+
+  uint32_t Node = PG.edge(Arm).To;
+  assert(PG.node(Node).Block == SuffixBlocks[0] &&
+         "suffix must start at the loop header");
+  for (size_t I = 1; I < SuffixBlocks.size(); ++I) {
+    uint32_t To = PG.ogNode(Loop, SuffixBlocks[I]);
+    assert(To != UINT32_MAX && "suffix leaves the overlapping graph");
+    uint32_t E = PG.realEdgeBetween(Node, To);
+    assert(E != UINT32_MAX && "suffix is not an OG path");
+    Seq.push_back(E);
+    Node = To;
+  }
+  uint32_t Dummy = PG.exitCountEdgeFrom(Node);
+  assert(Dummy != UINT32_MAX && "suffix does not end at a flush site");
+  Seq.push_back(Dummy);
+  return PG.encode(Seq);
+}

@@ -1,0 +1,90 @@
+//===--- ProfileDecode.h - Raw counters back to paths -----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a function's raw path counters into structured path records, and
+/// provides the reverse encodings (block sequence -> path id) that the
+/// ground-truth checker and the estimators rely on.
+///
+/// The universal identity of a dynamic Ball-Larus path in this codebase is
+/// its PathSig: whether it starts at a call continuation, plus its block
+/// sequence. Ends are implied (return, call break, or backedge) and
+/// recorded alongside.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFILE_PROFILEDECODE_H
+#define OLPP_PROFILE_PROFILEDECODE_H
+
+#include "interp/ProfileRuntime.h"
+#include "profile/PathGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+/// How a Ball-Larus path ends.
+enum class PathEnd : uint8_t {
+  Ret,       ///< at a return
+  CallBreak, ///< at a call site (call-breaking mode)
+  Backedge,  ///< at a loop backedge
+};
+
+/// The identity of one Ball-Larus path class.
+struct PathSig {
+  bool StartsAtCallContinuation = false;
+  std::vector<uint32_t> Blocks;
+
+  bool operator==(const PathSig &O) const {
+    return StartsAtCallContinuation == O.StartsAtCallContinuation &&
+           Blocks == O.Blocks;
+  }
+};
+
+struct PathSigHash {
+  size_t operator()(const PathSig &S) const {
+    uint64_t H = S.StartsAtCallContinuation ? 0x9E3779B97F4A7C15ULL : 17;
+    for (uint32_t B : S.Blocks)
+      H = (H ^ B) * 0x100000001B3ULL;
+    return static_cast<size_t>(H);
+  }
+};
+
+/// One decoded profile record: a complete BL path, or an overlapping path
+/// (a BL path ending at a backedge plus its OG suffix).
+struct DecodedEntry {
+  PathSig White;
+  PathEnd End = PathEnd::Ret;
+  uint32_t Loop = UINT32_MAX; ///< loop of the backedge (End == Backedge)
+  /// OG suffix blocks (first is the loop header); empty in plain BL mode.
+  std::vector<uint32_t> Suffix;
+  uint64_t Count = 0;
+  int64_t Id = 0;
+};
+
+/// Decodes every (id, count) of \p Counts against \p PG.
+std::vector<DecodedEntry> decodeProfile(const PathGraph &PG,
+                                        const ProfileRuntime::PathCountMap &Counts);
+
+/// Decodes a single path id (count is left zero).
+DecodedEntry decodePathId(const PathGraph &PG, int64_t Id);
+
+/// Id of the complete BL path \p Sig ending as \p End. For a Backedge end in
+/// plain BL mode this is the id counted at the backedge; in loop-overlap
+/// mode Backedge-ended paths have no id of their own (use encodeOverlapId).
+/// \p BackedgeTarget names the header the backedge jumps to (End==Backedge).
+int64_t encodeWhiteId(const PathGraph &PG, const PathSig &Sig, PathEnd End,
+                      uint32_t BackedgeTarget = UINT32_MAX);
+
+/// Id of the overlapping path: \p Sig (ending at the backedge of \p Loop)
+/// followed by the OG suffix \p SuffixBlocks (starting at the header).
+int64_t encodeOverlapId(const PathGraph &PG, const PathSig &Sig, uint32_t Loop,
+                        const std::vector<uint32_t> &SuffixBlocks);
+
+} // namespace olpp
+
+#endif // OLPP_PROFILE_PROFILEDECODE_H

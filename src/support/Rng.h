@@ -1,0 +1,73 @@
+//===--- Rng.h - Deterministic random number generation --------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic pseudo-random number generator (SplitMix64) used by
+/// the workload generator and the property tests. Determinism across
+/// platforms matters more than statistical quality here: the same seed must
+/// regenerate the same program and the same execution on every machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_RNG_H
+#define OLPP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+/// Deterministic SplitMix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiply-shift reduction; bias is negligible for our bounds and, more
+    // importantly, deterministic.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a value in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && Num <= Den && "probability out of range");
+    return nextBelow(Den) < Num;
+  }
+
+  /// Picks a uniformly random element of \p Choices.
+  template <typename T> const T &pick(const std::vector<T> &Choices) {
+    assert(!Choices.empty() && "cannot pick from an empty vector");
+    return Choices[nextBelow(Choices.size())];
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_RNG_H

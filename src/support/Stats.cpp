@@ -1,0 +1,43 @@
+//===--- Stats.cpp - Summary statistics helpers --------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace olpp;
+
+double olpp::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double olpp::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double olpp::minOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "minOf requires a non-empty input");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double olpp::maxOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "maxOf requires a non-empty input");
+  return *std::max_element(Values.begin(), Values.end());
+}

@@ -1,0 +1,32 @@
+//===--- Stats.h - Summary statistics helpers ------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean/min/max/geomean helpers used when aggregating per-benchmark results
+/// into the "Average" rows that the paper's tables report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_STATS_H
+#define OLPP_SUPPORT_STATS_H
+
+#include <vector>
+
+namespace olpp {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean of positive values; returns 0 for an empty input.
+double geomean(const std::vector<double> &Values);
+
+/// Population minimum / maximum; inputs must be non-empty.
+double minOf(const std::vector<double> &Values);
+double maxOf(const std::vector<double> &Values);
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_STATS_H

@@ -1,0 +1,86 @@
+//===--- TableWriter.cpp - Aligned text/CSV table output -----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace olpp;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "a table needs at least one column");
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TableWriter::renderText() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  std::string Out;
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C != 0)
+        Out += "  ";
+      Out += padRight(Cells[C], Widths[C]);
+    }
+    // Trim trailing spaces for tidy diffs.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out.push_back('\n');
+  };
+
+  EmitRow(Headers);
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C == 0 ? 0 : 2);
+  Out += std::string(Total, '-');
+  Out.push_back('\n');
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+  return Out;
+}
+
+static std::string csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char Ch : Cell) {
+    if (Ch == '"')
+      Out += "\"\"";
+    else
+      Out.push_back(Ch);
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+std::string TableWriter::renderCsv() const {
+  std::string Out;
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C != 0)
+        Out.push_back(',');
+      Out += csvEscape(Cells[C]);
+    }
+    Out.push_back('\n');
+  };
+  EmitRow(Headers);
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+  return Out;
+}

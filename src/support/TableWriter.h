@@ -1,0 +1,46 @@
+//===--- TableWriter.h - Aligned text/CSV table output ---------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small helper that accumulates rows of strings and renders them either as
+/// an aligned plain-text table (for the bench binaries that mirror the
+/// paper's tables) or as CSV (for plotting the figure sweeps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_TABLEWRITER_H
+#define OLPP_SUPPORT_TABLEWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+/// Accumulates a rectangular table of cells and renders it.
+class TableWriter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  /// Appends one row; its arity must match the header arity.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders an aligned plain-text table with a header separator line.
+  std::string renderText() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string renderCsv() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_TABLEWRITER_H

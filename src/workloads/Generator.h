@@ -1,0 +1,46 @@
+//===--- Generator.h - Random MiniC program generation ----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generator of *terminating* MiniC programs for the property
+/// tests and the sweep benches. Generating source (rather than IR) means
+/// every structural invariant the instrumenters rely on is inherited from
+/// the frontend lowering for free.
+///
+/// Termination is by construction: all loops are counter-bounded, the call
+/// graph is acyclic (a function only calls higher-numbered functions), and
+/// divisors are forced non-zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_WORKLOADS_GENERATOR_H
+#define OLPP_WORKLOADS_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace olpp {
+
+struct GeneratorOptions {
+  uint64_t Seed = 1;
+  /// Functions besides main; main calls into them.
+  uint32_t NumFunctions = 4;
+  /// Maximum statement-nesting depth.
+  uint32_t MaxDepth = 3;
+  /// Statements per block (1..Max).
+  uint32_t MaxStmtsPerBlock = 5;
+  /// Upper bound for loop trip counts.
+  uint32_t MaxLoopIters = 7;
+  /// Emit calls (disable to generate single-procedure programs).
+  bool AllowCalls = true;
+};
+
+/// Returns the source text of a random program with a `main(a, b)` entry.
+std::string generateProgram(const GeneratorOptions &Opts);
+
+} // namespace olpp
+
+#endif // OLPP_WORKLOADS_GENERATOR_H

@@ -1,0 +1,36 @@
+//===--- Workloads.cpp - Benchmark program registry ---------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/programs/Sources.h"
+
+using namespace olpp;
+
+const std::vector<Workload> &olpp::allWorkloads() {
+  // Sizes are calibrated so that precision runs trace in well under a
+  // second each while still executing every hot path thousands of times;
+  // overhead runs are roughly 10x longer (no trace is collected there).
+  static const std::vector<Workload> Suite = {
+      {"li", workload_sources::Li, {60, 17}, {600, 17}},
+      {"go", workload_sources::Go, {12, 99}, {120, 99}},
+      {"perl", workload_sources::Perl, {10, 23}, {100, 23}},
+      {"espresso", workload_sources::Espresso, {6, 5}, {60, 5}},
+      {"vortex", workload_sources::Vortex, {700, 77}, {7000, 77}},
+      {"parser", workload_sources::Parser, {40, 13}, {400, 13}},
+      {"mcf", workload_sources::Mcf, {4, 41}, {40, 41}},
+      {"twolf", workload_sources::Twolf, {10, 7}, {120, 7}},
+      {"gcc", workload_sources::Gcc, {15, 3}, {150, 3}},
+  };
+  return Suite;
+}
+
+const Workload *olpp::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

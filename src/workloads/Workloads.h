@@ -1,0 +1,49 @@
+//===--- Workloads.h - Benchmark program registry ---------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nine MiniC workloads standing in for the paper's SPEC subset. Each is a
+/// self-contained deterministic program whose control-flow character mirrors
+/// the corresponding benchmark's mix of loop-crossing vs procedure-crossing
+/// flow (paper Table 1): `vortex` is call-dominated, `twolf` and `espresso`
+/// are loop-dominated, the rest sit in between.
+///
+/// Every program takes main(size, seed); `size` scales running time (the
+/// overhead benches use a larger size than the precision benches) and
+/// `seed` drives an embedded linear congruential generator so the branch
+/// mix is input-dependent rather than static.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_WORKLOADS_WORKLOADS_H
+#define OLPP_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+struct Workload {
+  /// Short name used in tables (matches the paper's benchmark names).
+  std::string Name;
+  /// MiniC source text.
+  std::string Source;
+  /// Arguments for the precision experiments (moderate trace size).
+  std::vector<int64_t> PrecisionArgs;
+  /// Arguments for the overhead experiments (longer run, no trace needed).
+  std::vector<int64_t> OverheadArgs;
+};
+
+/// The full suite, in the paper's Table 1 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Looks a workload up by name; returns nullptr if absent.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace olpp
+
+#endif // OLPP_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,108 @@
+//===--- Espresso.cpp - two-level logic minimization workload -----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 008.espresso: cube-cover reduction with bitmask arithmetic.
+// Nested loops over the cover dominate; the paper's Table 1 shows espresso
+// as the most loop-backedge-heavy benchmark of the suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Espresso[] = R"MINIC(
+global erng;
+global cube[256];     // bitmask per cube (16 variables, 2 bits each)
+global live[256];
+global numCubes;
+
+fn erand(m) {
+  erng = (erng * 69069 + 5) & 2147483647;
+  return erng % m;
+}
+
+fn countLits(mask) {
+  var n = 0;
+  var m = mask;
+  while (m != 0) {
+    if (m & 1) { n = n + 1; }
+    m = m >> 1;
+  }
+  return n;
+}
+
+fn covers(a, b) {
+  // cube a covers cube b if a's care bits are a subset of b's
+  if ((a & b) == a) { return 1; }
+  return 0;
+}
+
+fn sweepCovered() {
+  var removed = 0;
+  for (var i = 0; i < numCubes; i = i + 1) {
+    if (live[i] == 0) { continue; }
+    for (var j = 0; j < numCubes; j = j + 1) {
+      if (i == j || live[j] == 0) { continue; }
+      if (covers(cube[i & 255], cube[j & 255])) {
+        live[j] = 0;
+        removed = removed + 1;
+      }
+    }
+  }
+  return removed;
+}
+
+fn mergePairs() {
+  var merged = 0;
+  var i = 0;
+  while (i + 1 < numCubes) {
+    if (live[i] && live[i + 1]) {
+      var d = cube[i & 255] ^ cube[(i + 1) & 255];
+      // distance-1 cubes merge
+      if (countLits(d) == 1) {
+        cube[i & 255] = cube[i & 255] & cube[(i + 1) & 255];
+        live[i + 1] = 0;
+        merged = merged + 1;
+      }
+    }
+    i = i + 1;
+  }
+  return merged;
+}
+
+fn weight() {
+  var w = 0;
+  var i = 0;
+  do {
+    if (live[i]) { w = w + countLits(cube[i]); }
+    i = i + 1;
+  } while (i < numCubes);
+  return w;
+}
+
+fn main(size, seed) {
+  erng = (seed & 2147483647) | 1;
+  var total = 0;
+  for (var round = 0; round < size; round = round + 1) {
+    numCubes = 32 + erand(64);
+    for (var i = 0; i < numCubes; i = i + 1) {
+      cube[i & 255] = erand(65536);
+      live[i & 255] = 1;
+    }
+    var changed = 1;
+    var passes = 0;
+    while (changed && passes < 6) {
+      changed = sweepCovered() + mergePairs();
+      passes = passes + 1;
+    }
+    total = total + weight();
+  }
+  return total;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

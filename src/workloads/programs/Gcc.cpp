@@ -1,0 +1,126 @@
+//===--- Gcc.cpp - toy compiler pipeline workload -------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 126.gcc: a linear IR run through folding, dead-code and
+// allocation passes. Balanced loop/call mix with many distinct acyclic
+// paths per pass body, echoing gcc's very large path counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Gcc[] = R"MINIC(
+global crng;
+global insOp[512];   // 0 nop, 1 const, 2 add, 3 mul, 4 load, 5 store, 6 branch
+global insA[512];
+global insB[512];
+global insDst[512];
+global used[64];
+global numIns;
+
+fn crand(m) {
+  crng = (crng * 22695477 + 1) & 2147483647;
+  return crng % m;
+}
+
+fn genFunction(n) {
+  numIns = n;
+  for (var i = 0; i < numIns; i = i + 1) {
+    insOp[i & 511] = 1 + crand(6);
+    insA[i & 511] = crand(64);
+    insB[i & 511] = crand(64);
+    insDst[i & 511] = crand(64);
+  }
+  return 0;
+}
+
+fn isPure(op) {
+  if (op == 1 || op == 2 || op == 3 || op == 4) { return 1; }
+  return 0;
+}
+
+fn foldConstants() {
+  var folded = 0;
+  for (var i = 1; i < numIns; i = i + 1) {
+    var op = insOp[i & 511];
+    if (op == 2 || op == 3) {
+      // operands defined by consts directly above?
+      if (insOp[(i - 1) & 511] == 1 && insDst[(i - 1) & 511] == insA[i & 511]) {
+        insOp[i & 511] = 1;
+        folded = folded + 1;
+      }
+    }
+  }
+  return folded;
+}
+
+fn markUses() {
+  for (var r = 0; r < 64; r = r + 1) { used[r] = 0; }
+  for (var i = 0; i < numIns; i = i + 1) {
+    var op = insOp[i & 511];
+    if (op == 0) { continue; }
+    if (op != 1) { used[insA[i & 511] & 63] = 1; }
+    if (op == 2 || op == 3 || op == 5) { used[insB[i & 511] & 63] = 1; }
+  }
+  return 0;
+}
+
+fn deadCodeElim() {
+  markUses();
+  var removed = 0;
+  var i = numIns - 1;
+  while (i >= 0) {
+    var op = insOp[i & 511];
+    if (isPure(op) && used[insDst[i & 511] & 63] == 0) {
+      insOp[i & 511] = 0;
+      removed = removed + 1;
+    }
+    i = i - 1;
+  }
+  return removed;
+}
+
+fn spillCostOf(r) {
+  var cost = 0;
+  for (var i = 0; i < numIns; i = i + 1) {
+    if (insOp[i & 511] == 0) { continue; }
+    if (insA[i & 511] == r) { cost = cost + 2; }
+    if (insDst[i & 511] == r) { cost = cost + 3; }
+  }
+  return cost;
+}
+
+fn allocate() {
+  var spills = 0;
+  for (var r = 0; r < 64; r = r + 1) {
+    if (used[r] == 0) { continue; }
+    if (r >= 16) {
+      if (spillCostOf(r) > 20) { spills = spills + 1; }
+    }
+  }
+  return spills;
+}
+
+fn main(size, seed) {
+  crng = (seed & 2147483647) | 1;
+  var total = 0;
+  for (var unit = 0; unit < size; unit = unit + 1) {
+    genFunction(120 + crand(120));
+    var changed = 1;
+    while (changed) {
+      changed = foldConstants() + deadCodeElim();
+      total = total + changed;
+      if (changed > 40) { changed = 0; }   // cap pass iterations
+    }
+    total = total + allocate();
+  }
+  return total;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

@@ -1,0 +1,103 @@
+//===--- Go.cpp - board evaluation workload -----------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 099.go: repeated evaluation of a 19x19 board. A mix of loop
+// flow (board scans) and call flow (per-point helpers), like the original's
+// pattern matchers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Go[] = R"MINIC(
+global grng;
+global board[361];   // 0 empty, 1 black, 2 white
+
+fn grand(m) {
+  grng = (grng * 69069 + 1) & 2147483647;
+  return grng % m;
+}
+
+fn stoneAt(p) {
+  if (p < 0) { return 3; }      // off board
+  if (p >= 361) { return 3; }
+  return board[p];
+}
+
+fn liberties(p) {
+  var libs = 0;
+  var col = p % 19;
+  if (col > 0 && stoneAt(p - 1) == 0) { libs = libs + 1; }
+  if (col < 18 && stoneAt(p + 1) == 0) { libs = libs + 1; }
+  if (stoneAt(p - 19) == 0) { libs = libs + 1; }
+  if (stoneAt(p + 19) == 0) { libs = libs + 1; }
+  return libs;
+}
+
+fn influence(p, color) {
+  var score = 0;
+  var d = 1;
+  while (d <= 3) {
+    if (stoneAt(p - d) == color) { score = score + (4 - d); }
+    if (stoneAt(p + d) == color) { score = score + (4 - d); }
+    if (stoneAt(p - 19 * d) == color) { score = score + (4 - d); }
+    if (stoneAt(p + 19 * d) == color) { score = score + (4 - d); }
+    d = d + 1;
+  }
+  return score;
+}
+
+fn evalBoard() {
+  var total = 0;
+  for (var p = 0; p < 361; p = p + 1) {
+    var s = board[p];
+    if (s == 0) {
+      var inf = influence(p, 1) - influence(p, 2);
+      if (inf > 2) { total = total + 1; }
+      else if (inf < -2) { total = total - 1; }
+    } else {
+      var libs = liberties(p);
+      if (libs == 0) { board[p] = 0; }       // capture
+      else if (s == 1) { total = total + libs; }
+      else { total = total - libs; }
+    }
+  }
+  return total;
+}
+
+fn playMove(color) {
+  var tries = 0;
+  while (tries < 10) {
+    var p = grand(361);
+    if (board[p] == 0) {
+      board[p] = color;
+      return p;
+    }
+    tries = tries + 1;
+  }
+  return -1;
+}
+
+fn main(size, seed) {
+  grng = (seed & 2147483647) | 1;
+  var total = 0;
+  for (var game = 0; game < size; game = game + 1) {
+    var moves = 0;
+    while (moves < 40) {
+      playMove(1 + (moves & 1));
+      moves = moves + 1;
+    }
+    total = total + evalBoard();
+    // clear a band of the board between games
+    for (var p = grand(200); p < 361; p = p + 3) { board[p] = 0; }
+  }
+  return total;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

@@ -1,0 +1,98 @@
+//===--- Li.cpp - mini lisp evaluator workload -------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 130.li: an expression-tree interpreter. Work is dominated by
+// recursive evaluator calls, so most interesting-path flow crosses procedure
+// boundaries, with a moderate loop component from tree construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Li[] = R"MINIC(
+// mini lisp: build random expression trees and evaluate them.
+global rng;
+global nodeOp[512];   // 0 = leaf, 1..5 = operators
+global nodeLhs[512];
+global nodeRhs[512];
+global nodeVal[512];
+global nextNode;
+
+fn rand(m) {
+  rng = (rng * 1103515245 + 12345) & 2147483647;
+  return rng % m;
+}
+
+fn alloc() {
+  var n = nextNode;
+  nextNode = nextNode + 1;
+  if (nextNode >= 512) { nextNode = 0; }
+  return n;
+}
+
+fn build(depth) {
+  var n = alloc();
+  if (depth <= 0 || rand(4) == 0) {
+    nodeOp[n & 511] = 0;
+    nodeVal[n & 511] = rand(100) - 50;
+    return n;
+  }
+  nodeOp[n & 511] = 1 + rand(5);
+  var l = build(depth - 1);
+  var r = build(depth - 1);
+  nodeLhs[n & 511] = l;
+  nodeRhs[n & 511] = r;
+  return n;
+}
+
+fn applyOp(code, a, b) {
+  if (code == 1) { return a + b; }
+  if (code == 2) { return a - b; }
+  if (code == 3) { return a * b; }
+  if (code == 4) {
+    if (b == 0) { return a; }
+    if (a < 0) { return -((-a) / (1 + (b & 15))); }
+    return a / (1 + (b & 15));
+  }
+  // code 5: branchy min/max
+  if (a < b) { return b; }
+  return a;
+}
+
+fn eval(n) {
+  var code = nodeOp[n & 511];
+  if (code == 0) { return nodeVal[n & 511]; }
+  var a = eval(nodeLhs[n & 511]);
+  var b = eval(nodeRhs[n & 511]);
+  return applyOp(code, a, b);
+}
+
+fn gc() {
+  // sweep: clear dead nodes (pure loop work)
+  var i = 0;
+  while (i < 512) {
+    if (nodeOp[i] == 0 && nodeVal[i] == 0) { nodeLhs[i] = 0; nodeRhs[i] = 0; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn main(size, seed) {
+  rng = (seed & 2147483647) | 1;
+  var total = 0;
+  for (var round = 0; round < size; round = round + 1) {
+    nextNode = 0;
+    var root = build(4 + rand(2));
+    total = total + eval(root);
+    if (round % 8 == 7) { gc(); }
+  }
+  return total;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

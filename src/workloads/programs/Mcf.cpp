@@ -1,0 +1,109 @@
+//===--- Mcf.cpp - network flow workload ---------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 181.mcf: Bellman-Ford style relaxation over a random network
+// with a cost-reduction helper. Loop flow dominates, with a call component
+// from the relaxation helper (matching mcf's 28%/54% split in Table 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Mcf[] = R"MINIC(
+global mrng;
+global edgeFrom[768];
+global edgeTo[768];
+global edgeCost[768];
+global dist[96];
+global potential[96];
+global numNodes;
+global numEdges;
+
+fn mrand(m) {
+  mrng = (mrng * 1103515245 + 12345) & 2147483647;
+  return mrng % m;
+}
+
+fn reducedCost(e) {
+  var u = edgeFrom[e & 767];
+  var v = edgeTo[e & 767];
+  return edgeCost[e & 767] + potential[u & 95] - potential[v & 95];
+}
+
+fn relaxEdge(e) {
+  var u = edgeFrom[e & 767];
+  var v = edgeTo[e & 767];
+  if (dist[u & 95] >= 1000000) { return 0; }
+  var nd = dist[u & 95] + reducedCost(e);
+  if (nd < dist[v & 95]) {
+    dist[v & 95] = nd;
+    return 1;
+  }
+  return 0;
+}
+
+fn bellmanFord(src) {
+  for (var i = 0; i < numNodes; i = i + 1) { dist[i & 95] = 1000000; }
+  dist[src & 95] = 0;
+  var rounds = 0;
+  var changed = 1;
+  while (changed && rounds < numNodes) {
+    changed = 0;
+    for (var e = 0; e < numEdges; e = e + 1) {
+      if (relaxEdge(e)) { changed = 1; }
+    }
+    rounds = rounds + 1;
+  }
+  var sum = 0;
+  for (var i = 0; i < numNodes; i = i + 1) {
+    if (dist[i & 95] < 1000000) { sum = sum + dist[i & 95]; }
+  }
+  return sum;
+}
+
+fn updatePotentials() {
+  var i = 0;
+  do {
+    if (dist[i & 95] < 1000000) {
+      potential[i & 95] = potential[i & 95] + dist[i & 95] % 64;
+    }
+    i = i + 1;
+  } while (i < numNodes);
+  return 0;
+}
+
+fn buildNetwork() {
+  numNodes = 48 + mrand(48);
+  numEdges = numNodes * 6;
+  if (numEdges > 768) { numEdges = 768; }
+  for (var e = 0; e < numEdges; e = e + 1) {
+    edgeFrom[e & 767] = mrand(numNodes);
+    edgeTo[e & 767] = mrand(numNodes);
+    edgeCost[e & 767] = 1 + mrand(30);
+  }
+  for (var i = 0; i < numNodes; i = i + 1) { potential[i & 95] = 0; }
+  return 0;
+}
+
+fn main(size, seed) {
+  mrng = (seed & 2147483647) | 1;
+  var total = 0;
+  for (var round = 0; round < size; round = round + 1) {
+    buildNetwork();
+    var iter = 0;
+    while (iter < 3) {
+      total = total + bellmanFord(mrand(numNodes));
+      updatePotentials();
+      iter = iter + 1;
+    }
+  }
+  return total;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

@@ -1,0 +1,118 @@
+//===--- Parser.cpp - recursive-descent parsing workload ----------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 197.parser: tokenized expressions parsed by recursive
+// descent. Call-dominated with a steady loop component from the token
+// generator and scanning loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Parser[] = R"MINIC(
+global srng;
+global toks[512];   // 1 num, 2 '+', 3 '*', 4 '(', 5 ')', 6 '-', 0 end
+global tokVal[512];
+global pos;
+global nToks;
+global errors;
+
+fn srand2(m) {
+  srng = (srng * 22695477 + 1) & 2147483647;
+  return srng % m;
+}
+
+fn peekTok() {
+  if (pos >= nToks) { return 0; }
+  return toks[pos & 511];
+}
+
+fn bump() { pos = pos + 1; return 0; }
+
+fn parsePrimary() {
+  var t = peekTok();
+  if (t == 1) {
+    var v = tokVal[pos & 511];
+    bump();
+    return v;
+  }
+  if (t == 4) {
+    bump();
+    var v = parseExpr();
+    if (peekTok() == 5) { bump(); }
+    else { errors = errors + 1; }
+    return v;
+  }
+  if (t == 6) {
+    bump();
+    return -parsePrimary();
+  }
+  errors = errors + 1;
+  bump();
+  return 0;
+}
+
+fn parseTerm() {
+  var v = parsePrimary();
+  while (peekTok() == 3) {
+    bump();
+    v = v * parsePrimary();
+  }
+  return v;
+}
+
+fn parseExpr() {
+  var v = parseTerm();
+  while (peekTok() == 2 || peekTok() == 6) {
+    var op = peekTok();
+    bump();
+    if (op == 2) { v = v + parseTerm(); }
+    else { v = v - parseTerm(); }
+  }
+  return v;
+}
+
+fn genTokens(n) {
+  var depth = 0;
+  var i = 0;
+  while (i < n) {
+    var r = srand2(10);
+    if (r < 4) { toks[i & 511] = 1; tokVal[i & 511] = srand2(50); }
+    else if (r < 6) { toks[i & 511] = 2; }
+    else if (r < 7) { toks[i & 511] = 3; }
+    else if (r < 8 && depth < 6) { toks[i & 511] = 4; depth = depth + 1; }
+    else if (r < 9 && depth > 0) { toks[i & 511] = 5; depth = depth - 1; }
+    else { toks[i & 511] = 6; }
+    i = i + 1;
+  }
+  // close any open parens
+  while (depth > 0 && i < 512) {
+    toks[i & 511] = 5;
+    depth = depth - 1;
+    i = i + 1;
+  }
+  nToks = i;
+  return 0;
+}
+
+fn main(size, seed) {
+  srng = (seed & 2147483647) | 1;
+  var total = 0;
+  errors = 0;
+  for (var round = 0; round < size; round = round + 1) {
+    genTokens(60 + srand2(60));
+    pos = 0;
+    while (pos < nToks) {
+      total = total + parseExpr();
+    }
+  }
+  return total + errors;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

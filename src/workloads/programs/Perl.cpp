@@ -1,0 +1,99 @@
+//===--- Perl.cpp - pattern matching workload ---------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 134.perl: regex-style matching of small patterns against
+// generated text. Matching is a cluster of mutually calling functions, so
+// procedure-boundary flow dominates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Perl[] = R"MINIC(
+global prng;
+global text[1024];
+global pat[16];
+global patLen;
+global textLen;
+
+fn prand(m) {
+  prng = (prng * 1103515245 + 12345) & 2147483647;
+  return prng % m;
+}
+
+// pattern symbols: 1..4 literal classes, 5 = '.' any, 6 = '*' on previous
+fn symMatches(sym, ch) {
+  if (sym == 5) { return 1; }
+  if (sym == ch) { return 1; }
+  return 0;
+}
+
+fn matchHere(pi, ti) {
+  if (pi >= patLen) { return 1; }
+  if (pi + 1 < patLen && pat[(pi + 1) & 15] == 6) {
+    return matchStar(pat[pi & 15], pi + 2, ti);
+  }
+  if (ti < textLen && symMatches(pat[pi & 15], text[ti & 1023])) {
+    return matchHere(pi + 1, ti + 1);
+  }
+  return 0;
+}
+
+fn matchStar(sym, pi, ti) {
+  var t = ti;
+  while (1) {
+    if (matchHere(pi, t)) { return 1; }
+    if (t >= textLen) { return 0; }
+    if (symMatches(sym, text[t & 1023]) == 0) { return 0; }
+    t = t + 1;
+  }
+  return 0;
+}
+
+fn search() {
+  var hits = 0;
+  for (var ti = 0; ti <= textLen; ti = ti + 1) {
+    if (matchHere(0, ti)) { hits = hits + 1; }
+  }
+  return hits;
+}
+
+fn freshText() {
+  for (var i = 0; i < textLen; i = i + 1) {
+    text[i] = 1 + prand(4);
+  }
+  return 0;
+}
+
+fn freshPattern() {
+  patLen = 2 + prand(5);
+  var i = 0;
+  while (i < patLen) {
+    var r = prand(8);
+    if (r < 5) { pat[i] = 1 + r % 4; }
+    else if (i > 0 && pat[(i - 1) & 15] != 6) { pat[i] = 6; }
+    else { pat[i] = 5; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn main(size, seed) {
+  prng = (seed & 2147483647) | 1;
+  textLen = 200;
+  var hits = 0;
+  for (var round = 0; round < size; round = round + 1) {
+    freshText();
+    freshPattern();
+    hits = hits + search();
+  }
+  return hits;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

@@ -1,0 +1,32 @@
+//===--- Sources.h - embedded workload program sources ----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extern declarations for the embedded MiniC sources (one definition per
+/// programs/*.cpp). Consumed by the Workloads.cpp registry only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_WORKLOADS_PROGRAMS_SOURCES_H
+#define OLPP_WORKLOADS_PROGRAMS_SOURCES_H
+
+namespace olpp {
+namespace workload_sources {
+
+extern const char Li[];
+extern const char Go[];
+extern const char Perl[];
+extern const char Espresso[];
+extern const char Vortex[];
+extern const char Parser[];
+extern const char Mcf[];
+extern const char Twolf[];
+extern const char Gcc[];
+
+} // namespace workload_sources
+} // namespace olpp
+
+#endif // OLPP_WORKLOADS_PROGRAMS_SOURCES_H

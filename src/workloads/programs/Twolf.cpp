@@ -1,0 +1,110 @@
+//===--- Twolf.cpp - simulated annealing placement workload --------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 300.twolf: cell placement by simulated annealing. The cost
+// loops dominate (twolf is the most loop-heavy benchmark in Table 1, 69%
+// of flow crossing loop backedges).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Twolf[] = R"MINIC(
+global trng;
+global cellX[128];
+global cellY[128];
+global netA[256];
+global netB[256];
+global numCells;
+global numNets;
+
+fn trand(m) {
+  trng = (trng * 69069 + 3) & 2147483647;
+  return trng % m;
+}
+
+fn absDelta(a, b) {
+  if (a > b) { return a - b; }
+  return b - a;
+}
+
+fn netLen(n) {
+  var a = netA[n & 255];
+  var b = netB[n & 255];
+  return absDelta(cellX[a & 127], cellX[b & 127]) +
+         absDelta(cellY[a & 127], cellY[b & 127]);
+}
+
+fn totalCost() {
+  var cost = 0;
+  for (var n = 0; n < numNets; n = n + 1) {
+    cost = cost + netLen(n);
+  }
+  return cost;
+}
+
+fn cellCost(c) {
+  // cost of nets touching cell c (inline loop, no calls)
+  var cost = 0;
+  var n = 0;
+  while (n < numNets) {
+    var a = netA[n & 255];
+    var b = netB[n & 255];
+    if (a == c || b == c) {
+      cost = cost + absDelta(cellX[a & 127], cellX[b & 127]) +
+             absDelta(cellY[a & 127], cellY[b & 127]);
+    }
+    n = n + 1;
+  }
+  return cost;
+}
+
+fn annealStep(temp) {
+  var c = trand(numCells);
+  var oldX = cellX[c & 127];
+  var oldY = cellY[c & 127];
+  var before = cellCost(c);
+  cellX[c & 127] = trand(64);
+  cellY[c & 127] = trand(64);
+  var after = cellCost(c);
+  if (after > before + temp) {
+    // reject
+    cellX[c & 127] = oldX;
+    cellY[c & 127] = oldY;
+    return 0;
+  }
+  return 1;
+}
+
+fn main(size, seed) {
+  trng = (seed & 2147483647) | 1;
+  numCells = 96;
+  numNets = 224;
+  for (var c = 0; c < numCells; c = c + 1) {
+    cellX[c & 127] = trand(64);
+    cellY[c & 127] = trand(64);
+  }
+  for (var n = 0; n < numNets; n = n + 1) {
+    netA[n & 255] = trand(numCells);
+    netB[n & 255] = trand(numCells);
+  }
+  var accepted = 0;
+  var temp = 32;
+  for (var round = 0; round < size; round = round + 1) {
+    var step = 0;
+    do {
+      accepted = accepted + annealStep(temp);
+      step = step + 1;
+    } while (step < 24);
+    if (temp > 1) { temp = temp - 1; }
+  }
+  return totalCost() + accepted;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

@@ -1,0 +1,111 @@
+//===--- Vortex.cpp - object store workload ------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+// Stand-in for 147.vortex: an object database exercised through layers of
+// small accessor/mutator functions. Nearly all interesting-path flow crosses
+// procedure boundaries (the paper reports 94% for vortex).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/programs/Sources.h"
+
+namespace olpp {
+namespace workload_sources {
+
+const char Vortex[] = R"MINIC(
+global vrng;
+global objKind[512];
+global objScore[512];
+global objLinks[512];
+global objTouch[512];
+global hashTab[512];
+
+fn vrand(m) {
+  vrng = (vrng * 1103515245 + 12345) & 2147483647;
+  return vrng % m;
+}
+
+fn hashOf(key) { return (key * 2654435761) & 511; }
+
+fn lookup(key) {
+  var h = hashOf(key);
+  var probes = 0;
+  while (probes < 8) {
+    var slot = (h + probes) & 511;
+    if (hashTab[slot] == key) { return slot; }
+    if (hashTab[slot] == 0) { return -1; }
+    probes = probes + 1;
+  }
+  return -1;
+}
+
+fn insert(key) {
+  var h = hashOf(key);
+  var probes = 0;
+  while (probes < 8) {
+    var slot = (h + probes) & 511;
+    if (hashTab[slot] == 0 || hashTab[slot] == key) {
+      hashTab[slot] = key;
+      return slot;
+    }
+    probes = probes + 1;
+  }
+  return hashOf(key);
+}
+
+fn getKind(o) { return objKind[o & 511]; }
+fn setKind(o, k) { objKind[o & 511] = k; return 0; }
+fn getScore(o) { return objScore[o & 511]; }
+fn bumpScore(o, d) { objScore[o & 511] = getScore(o) + d; return 0; }
+fn touch(o) { objTouch[o & 511] = objTouch[o & 511] + 1; return 0; }
+
+fn linkObjects(a, b) {
+  objLinks[a & 511] = b;
+  touch(a);
+  touch(b);
+  return 0;
+}
+
+fn classify(o) {
+  var k = getKind(o);
+  if (k == 0) { return 0; }
+  if (k < 3) { return 1; }
+  if (k < 6) { return 2; }
+  return 3;
+}
+
+fn visit(o, depth) {
+  touch(o);
+  var cls = classify(o);
+  if (cls == 0 || depth <= 0) { return getScore(o); }
+  if (cls == 1) { bumpScore(o, 1); }
+  else if (cls == 2) { bumpScore(o, -1); }
+  else { bumpScore(o, depth); }
+  return getScore(o) + visit(objLinks[o & 511], depth - 1);
+}
+
+fn transaction() {
+  var key = 1 + vrand(400);
+  var slot = lookup(key);
+  if (slot < 0) {
+    slot = insert(key);
+    setKind(slot, 1 + vrand(8));
+  }
+  var other = insert(1 + vrand(400));
+  linkObjects(slot, other);
+  return visit(slot, 3);
+}
+
+fn main(size, seed) {
+  vrng = (seed & 2147483647) | 1;
+  var total = 0;
+  for (var t = 0; t < size; t = t + 1) {
+    total = total + transaction();
+  }
+  return total;
+}
+)MINIC";
+
+} // namespace workload_sources
+} // namespace olpp

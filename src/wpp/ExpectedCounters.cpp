@@ -1,0 +1,118 @@
+//===--- ExpectedCounters.cpp - Predicted instrumentation counters ----------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/ExpectedCounters.h"
+
+#include "overlap/Projection.h"
+
+#include <cassert>
+
+using namespace olpp;
+
+namespace {
+
+/// Region node index sequence -> block sequence.
+std::vector<uint32_t> blocksOf(const OverlapRegion &R,
+                               const std::vector<uint32_t> &NodeSeq) {
+  std::vector<uint32_t> Out;
+  Out.reserve(NodeSeq.size());
+  for (uint32_t N : NodeSeq)
+    Out.push_back(R.nodes()[N].Block);
+  return Out;
+}
+
+} // namespace
+
+ExpectedCounters olpp::computeExpectedCounters(const ModuleInstrumentation &MI,
+                                               const GroundTruth &GT) {
+  ExpectedCounters EC;
+  EC.PathCounts.resize(GT.Funcs.size());
+
+  for (uint32_t F = 0; F < GT.Funcs.size(); ++F) {
+    const GroundTruth::FuncData &FD = GT.Funcs[F];
+    const FunctionInstrumentation &Meta = MI.Funcs[F];
+    const PathGraph &PG = *Meta.PG;
+    auto &Counts = EC.PathCounts[F];
+
+    // Complete paths (and, in plain BL mode, backedge-ended paths).
+    for (uint32_t P = 0; P < FD.Paths.size(); ++P) {
+      const DynPathKey &Key = FD.Paths[P];
+      uint64_t C = FD.Counts[P];
+      if (Key.End == PathEnd::Backedge) {
+        if (MI.Opts.LoopOverlap)
+          continue; // counted as overlapping-path prefixes below
+        uint32_t Header = Meta.Loops->loop(Key.Loop).Header;
+        Counts[encodeWhiteId(PG, Key.Sig, PathEnd::Backedge, Header)] += C;
+        continue;
+      }
+      Counts[encodeWhiteId(PG, Key.Sig, Key.End)] += C;
+    }
+
+    // Overlapping paths: one per loop pair instance, with the j path
+    // projected through the loop's overlapping graph.
+    if (MI.Opts.LoopOverlap) {
+      for (uint32_t L = 0; L < FD.LoopPairs.size(); ++L) {
+        const OverlapRegion &R = PG.region(L);
+        for (const auto &[PairK, C] : FD.LoopPairs[L]) {
+          const DynPathKey &I = FD.Paths[static_cast<uint32_t>(PairK >> 32)];
+          const DynPathKey &J =
+              FD.Paths[static_cast<uint32_t>(PairK & 0xFFFFFFFF)];
+          assert(I.End == PathEnd::Backedge && I.Loop == L);
+          std::vector<uint32_t> Suffix =
+              blocksOf(R, projectThroughRegion(R, J.Sig.Blocks));
+          Counts[encodeOverlapId(PG, I.Sig, L, Suffix)] += C;
+        }
+      }
+    }
+  }
+
+  // Interprocedural tuples.
+  if (MI.Opts.Interproc) {
+    for (uint32_t Cs = 0; Cs < GT.CallSites.size(); ++Cs) {
+      const GroundTruth::CallSiteData &CD = GT.CallSites[Cs];
+      const CallSiteInfo &Info = MI.CallSites[Cs];
+      const FunctionInstrumentation &CallerMeta = MI.Funcs[Info.Func];
+      const auto *Site = MI.typeIISite(Cs);
+      assert(Site && "missing Type II site");
+
+      for (const auto &[Callee, Pairs] : CD.TypeIPairs) {
+        const FunctionInstrumentation &CalleeMeta = MI.Funcs[Callee];
+        for (const auto &[PairK, C] : Pairs) {
+          const DynPathKey &P =
+              GT.Funcs[Info.Func].Paths[static_cast<uint32_t>(PairK >> 32)];
+          const DynPathKey &Q =
+              GT.Funcs[Callee].Paths[static_cast<uint32_t>(PairK &
+                                                           0xFFFFFFFF)];
+          assert(P.End == PathEnd::CallBreak);
+          int64_t Outer = encodeWhiteId(*CallerMeta.PG, P.Sig,
+                                        PathEnd::CallBreak);
+          int64_t Inner = CalleeMeta.TypeINumbering->encode(
+              projectThroughRegion(*CalleeMeta.TypeIRegion, Q.Sig.Blocks));
+          EC.TypeICounts[{Callee, Cs, Inner, Outer}] += C;
+        }
+      }
+
+      for (const auto &[Callee, Pairs] : CD.TypeIIPairs) {
+        const FunctionInstrumentation &CalleeMeta = MI.Funcs[Callee];
+        for (const auto &[PairK, C] : Pairs) {
+          const DynPathKey &Q =
+              GT.Funcs[Callee].Paths[static_cast<uint32_t>(PairK >> 32)];
+          const DynPathKey &R =
+              GT.Funcs[Info.Func]
+                  .Paths[static_cast<uint32_t>(PairK & 0xFFFFFFFF)];
+          assert(Q.End == PathEnd::Ret);
+          assert(R.Sig.StartsAtCallContinuation &&
+                 R.Sig.Blocks.front() == Info.Block);
+          int64_t Inner = encodeWhiteId(*CalleeMeta.PG, Q.Sig, PathEnd::Ret);
+          int64_t Outer = Site->Numbering->encode(
+              projectThroughRegion(*Site->Region, R.Sig.Blocks));
+          EC.TypeIICounts[{Callee, Cs, Inner, Outer}] += C;
+        }
+      }
+    }
+  }
+  return EC;
+}

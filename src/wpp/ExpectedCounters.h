@@ -1,0 +1,38 @@
+//===--- ExpectedCounters.h - Predicted instrumentation counters -*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predicts, from trace-derived ground truth, the exact counter values a
+/// correctly instrumented run must produce: per-function path counters
+/// (plain BL or overlapping, depending on the instrumentation options) and
+/// the interprocedural Type I / Type II tuple counters. The master property
+/// test asserts ProfileRuntime == ExpectedCounters for random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_WPP_EXPECTEDCOUNTERS_H
+#define OLPP_WPP_EXPECTEDCOUNTERS_H
+
+#include "interp/ProfileRuntime.h"
+#include "wpp/GroundTruth.h"
+
+namespace olpp {
+
+struct ExpectedCounters {
+  std::vector<ProfileRuntime::PathCountMap> PathCounts;
+  ProfileRuntime::InterprocMap TypeICounts;
+  ProfileRuntime::InterprocMap TypeIICounts;
+};
+
+/// Computes the counters an instrumented run under \p MI must produce for
+/// the execution described by \p GT. \p MI must have been computed on a
+/// clone of the module \p GT was traced on (block ids must match).
+ExpectedCounters computeExpectedCounters(const ModuleInstrumentation &MI,
+                                         const GroundTruth &GT);
+
+} // namespace olpp
+
+#endif // OLPP_WPP_EXPECTEDCOUNTERS_H

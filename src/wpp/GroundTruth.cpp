@@ -1,0 +1,250 @@
+//===--- GroundTruth.cpp - Exact path frequencies from traces ---------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/GroundTruth.h"
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <map>
+
+using namespace olpp;
+
+std::vector<CallSiteInfo> olpp::enumerateCallSites(const Module &M) {
+  std::vector<CallSiteInfo> Out;
+  for (const auto &F : M.functions())
+    for (uint32_t B = 0; B < F->numBlocks(); ++B)
+      for (const Instruction &I : F->block(B)->Instrs)
+        if (I.Op == Opcode::Call || I.Op == Opcode::CallInd) {
+          CallSiteInfo CS;
+          CS.Func = F->Id;
+          CS.Block = B;
+          CS.Callee = I.Op == Opcode::Call ? I.CalleeId : UINT32_MAX;
+          CS.CsId = static_cast<uint32_t>(Out.size());
+          Out.push_back(CS);
+        }
+  return Out;
+}
+
+namespace {
+
+/// Replay machinery for one ground-truth computation.
+class Replayer {
+public:
+  Replayer(const Module &M, const GroundTruthOptions &Opts,
+           const std::vector<CallSiteInfo> &CallSites, GroundTruth &GT)
+      : M(M), Opts(Opts), GT(GT) {
+    GT.Funcs.resize(M.numFunctions());
+    GT.CallSites.resize(CallSites.size());
+    FuncInfos.resize(M.numFunctions());
+    for (const CallSiteInfo &CS : CallSites)
+      CsByFuncBlock[{CS.Func, CS.Block}] = CS.CsId;
+  }
+
+  void run(const std::vector<TraceEvent> &Events) {
+    for (const TraceEvent &E : Events) {
+      switch (E.Kind) {
+      case TraceEventKind::Enter:
+        onEnter(E.Func);
+        break;
+      case TraceEventKind::Block:
+        onBlock(E.Func, E.Block);
+        break;
+      case TraceEventKind::Exit:
+        onExit(E.Func);
+        break;
+      }
+    }
+    assert(Stack.empty() && "unbalanced trace");
+  }
+
+private:
+  struct FuncInfo {
+    bool Ready = false;
+    std::unique_ptr<CfgView> Cfg;
+    std::unique_ptr<DomTree> Dom;
+    std::unique_ptr<LoopInfo> Loops;
+    std::vector<bool> IsCall; // per block
+  };
+
+  struct Act {
+    uint32_t Func = 0;
+    PathSig Cur;
+    // Pending loop pair: the previous path ended at PendingLoop's backedge.
+    bool HavePendingLoop = false;
+    uint32_t PendingLoop = 0;
+    uint32_t PendingI = 0; // interned index of i
+    // Pending Type II pair: a callee just returned to our call site.
+    bool HavePendingII = false;
+    uint32_t PendingCs = 0;
+    uint32_t PendingQFunc = 0;
+    uint32_t PendingQ = 0;
+    // Type I linkage.
+    bool HasCaller = false;
+    uint32_t CallerCs = 0;
+    uint32_t CallerPre = 0;
+    bool FirstPathDone = false;
+  };
+
+  const FuncInfo &info(uint32_t F) {
+    FuncInfo &FI = FuncInfos[F];
+    if (FI.Ready)
+      return FI;
+    const Function &Fn = *M.function(F);
+    FI.Cfg = std::make_unique<CfgView>(CfgView::build(Fn));
+    FI.Dom = std::make_unique<DomTree>(DomTree::compute(*FI.Cfg));
+    FI.Loops = std::make_unique<LoopInfo>(LoopInfo::compute(*FI.Cfg, *FI.Dom));
+    FI.IsCall.resize(Fn.numBlocks());
+    for (uint32_t B = 0; B < Fn.numBlocks(); ++B)
+      FI.IsCall[B] = isCallBlock(Fn, B);
+    GT.Funcs[F].LoopPairs.resize(FI.Loops->numLoops());
+    GT.Funcs[F].BackedgeCount.assign(FI.Loops->numLoops(), 0);
+    FI.Ready = true;
+    return FI;
+  }
+
+  /// Finalizes the activation's current path with the given end.
+  uint32_t finalize(Act &A, PathEnd End, uint32_t Loop = UINT32_MAX) {
+    assert(!A.Cur.Blocks.empty() && "finalizing an empty path");
+    DynPathKey Key{A.Cur, End, Loop};
+    auto &FD = GT.Funcs[A.Func];
+    uint32_t Idx;
+    auto It = FD.Index.find(Key);
+    if (It != FD.Index.end()) {
+      Idx = It->second;
+    } else {
+      Idx = static_cast<uint32_t>(FD.Paths.size());
+      FD.Paths.push_back(Key);
+      FD.Counts.push_back(0);
+      FD.Index.emplace(std::move(Key), Idx);
+    }
+    ++FD.Counts[Idx];
+    ++GT.TotalPathInstances;
+
+    if (A.HavePendingLoop) {
+      ++FD.LoopPairs[A.PendingLoop][GroundTruth::pairKey(A.PendingI, Idx)];
+      A.HavePendingLoop = false;
+    }
+    if (End == PathEnd::Backedge) {
+      A.HavePendingLoop = true;
+      A.PendingLoop = Loop;
+      A.PendingI = Idx;
+      ++FD.BackedgeCount[Loop];
+      ++GT.TotalBackedgeCrossings;
+    }
+    if (A.HavePendingII) {
+      ++GT.CallSites[A.PendingCs]
+            .TypeIIPairs[A.PendingQFunc][GroundTruth::pairKey(A.PendingQ,
+                                                              Idx)];
+      A.HavePendingII = false;
+    }
+    if (!A.FirstPathDone) {
+      A.FirstPathDone = true;
+      if (A.HasCaller)
+        ++GT.CallSites[A.CallerCs]
+              .TypeIPairs[A.Func][GroundTruth::pairKey(A.CallerPre, Idx)];
+    }
+    return Idx;
+  }
+
+  void onEnter(uint32_t F) {
+    uint32_t Cs = UINT32_MAX, Pre = UINT32_MAX;
+    if (!Stack.empty())
+      ++GT.TotalCalls;
+    if (!Stack.empty() && Opts.CallBreaking) {
+      Act &Caller = Stack.back();
+      uint32_t CallBlock = Caller.Cur.Blocks.back();
+      assert(FuncInfos[Caller.Func].IsCall[CallBlock] &&
+             "call from a non-call block");
+      auto It = CsByFuncBlock.find({Caller.Func, CallBlock});
+      assert(It != CsByFuncBlock.end());
+      Cs = It->second;
+      Pre = finalize(Caller, PathEnd::CallBreak);
+      ++GT.CallSites[Cs].Calls;
+      // Prepare the continuation path, resumed after the callee exits.
+      Caller.Cur.StartsAtCallContinuation = true;
+      Caller.Cur.Blocks = {CallBlock};
+    }
+    info(F); // ensure analyses exist
+    Act A;
+    A.Func = F;
+    if (Cs != UINT32_MAX) {
+      A.HasCaller = true;
+      A.CallerCs = Cs;
+      A.CallerPre = Pre;
+    }
+    Stack.push_back(std::move(A));
+  }
+
+  void onBlock(uint32_t F, uint32_t B) {
+    Act &A = Stack.back();
+    assert(A.Func == F && "trace nesting mismatch");
+    (void)F;
+    if (A.Cur.Blocks.empty()) {
+      A.Cur.StartsAtCallContinuation = false;
+      A.Cur.Blocks = {B};
+      return;
+    }
+    const FuncInfo &FI = FuncInfos[A.Func];
+    uint32_t Prev = A.Cur.Blocks.back();
+    uint32_t Loop = FI.Loops->loopForBackedge(Prev, B);
+    if (Loop != UINT32_MAX) {
+      finalize(A, PathEnd::Backedge, Loop);
+      A.Cur.StartsAtCallContinuation = false;
+      A.Cur.Blocks = {B};
+      return;
+    }
+    A.Cur.Blocks.push_back(B);
+  }
+
+  void onExit(uint32_t F) {
+    Act &A = Stack.back();
+    assert(A.Func == F && "trace nesting mismatch");
+    uint32_t Q = finalize(A, PathEnd::Ret);
+    bool HadCaller = A.HasCaller;
+    uint32_t Cs = A.CallerCs;
+    Stack.pop_back();
+    if (!Stack.empty())
+      ++GT.TotalReturns;
+    if (HadCaller && !Stack.empty() && Opts.CallBreaking) {
+      Act &Caller = Stack.back();
+      Caller.HavePendingII = true;
+      Caller.PendingCs = Cs;
+      Caller.PendingQFunc = F;
+      Caller.PendingQ = Q;
+    }
+  }
+
+  const Module &M;
+  GroundTruthOptions Opts;
+  GroundTruth &GT;
+  std::vector<FuncInfo> FuncInfos;
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> CsByFuncBlock;
+  std::vector<Act> Stack;
+};
+
+} // namespace
+
+GroundTruth GroundTruth::compute(const Module &M,
+                                 const std::vector<TraceEvent> &Events,
+                                 const GroundTruthOptions &Opts,
+                                 const std::vector<CallSiteInfo> &CallSites) {
+  GroundTruth GT;
+  Replayer R(M, Opts, CallSites, GT);
+  R.run(Events);
+  // Functions never entered still need their loop tables sized for
+  // consumers that iterate uniformly.
+  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
+    if (!GT.Funcs[F].LoopPairs.empty())
+      continue;
+    CfgView Cfg = CfgView::build(*M.function(F));
+    DomTree Dom = DomTree::compute(Cfg);
+    LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+    GT.Funcs[F].LoopPairs.resize(LI.numLoops());
+    GT.Funcs[F].BackedgeCount.assign(LI.numLoops(), 0);
+  }
+  return GT;
+}

@@ -1,0 +1,116 @@
+//===--- GroundTruth.h - Exact path frequencies from traces -----*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plays the role of Whole Program Paths in the paper: from a complete
+/// control-flow trace of an *uninstrumented* run it recomputes, by
+/// definition, the exact frequency of
+///   - every dynamic Ball-Larus path,
+///   - every loop interesting path i ! j (two paths joined by a backedge),
+///   - every interprocedural Type I pair (caller pre-path ! first callee
+///     path) and Type II pair (last callee path ! caller continuation).
+///
+/// The estimators are validated against these counts, and the
+/// instrumentation-exactness tests compare instrumented counters against
+/// counters predicted from this data (wpp/ExpectedCounters.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_WPP_GROUNDTRUTH_H
+#define OLPP_WPP_GROUNDTRUTH_H
+
+#include "interp/Trace.h"
+#include "profile/Instrumenter.h"
+#include "profile/ProfileDecode.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace olpp {
+
+/// Full identity of a dynamic Ball-Larus path class.
+struct DynPathKey {
+  PathSig Sig;
+  PathEnd End = PathEnd::Ret;
+  uint32_t Loop = UINT32_MAX; ///< for End == Backedge
+  /// Free disambiguation tag; the estimators use it to keep paths of
+  /// different callees apart in one pair problem (indirect call sites).
+  uint32_t Tag = 0;
+
+  bool operator==(const DynPathKey &O) const {
+    return End == O.End && Loop == O.Loop && Tag == O.Tag && Sig == O.Sig;
+  }
+};
+
+struct DynPathKeyHash {
+  size_t operator()(const DynPathKey &K) const {
+    return PathSigHash()(K.Sig) * 31 + static_cast<size_t>(K.End) * 7 +
+           K.Loop + K.Tag * 131;
+  }
+};
+
+struct GroundTruthOptions {
+  /// Paths break at call sites (must match the instrumentation config that
+  /// the ground truth is compared against).
+  bool CallBreaking = false;
+};
+
+class GroundTruth {
+public:
+  /// Packs a pair of interned path indices.
+  static uint64_t pairKey(uint32_t A, uint32_t B) {
+    return (static_cast<uint64_t>(A) << 32) | B;
+  }
+
+  struct FuncData {
+    /// Interned path classes with their dynamic counts.
+    std::vector<DynPathKey> Paths;
+    std::vector<uint64_t> Counts;
+    std::unordered_map<DynPathKey, uint32_t, DynPathKeyHash> Index;
+
+    /// Per loop: (i index ! j index) -> count.
+    std::vector<std::unordered_map<uint64_t, uint64_t>> LoopPairs;
+    /// Per loop: backedge executions (== sum of that loop's pair counts).
+    std::vector<uint64_t> BackedgeCount;
+
+    uint32_t indexOf(const DynPathKey &K) const {
+      auto It = Index.find(K);
+      return It == Index.end() ? UINT32_MAX : It->second;
+    }
+  };
+
+  struct CallSiteData {
+    uint64_t Calls = 0;
+    /// Per dynamic callee (indirect call sites can reach several):
+    /// (caller pre-path index ! callee path index) -> count.
+    std::map<uint32_t, std::unordered_map<uint64_t, uint64_t>> TypeIPairs;
+    /// (callee path index ! caller continuation index) -> count.
+    std::map<uint32_t, std::unordered_map<uint64_t, uint64_t>> TypeIIPairs;
+  };
+
+  std::vector<FuncData> Funcs;
+  std::vector<CallSiteData> CallSites;
+
+  uint64_t TotalPathInstances = 0;
+  uint64_t TotalBackedgeCrossings = 0;
+  uint64_t TotalCalls = 0;
+  uint64_t TotalReturns = 0;
+
+  /// Replays \p Events (from an uninstrumented run of \p M). \p CallSites
+  /// must be the module-wide call-site table (profile/Instrumenter.h).
+  static GroundTruth compute(const Module &M,
+                             const std::vector<TraceEvent> &Events,
+                             const GroundTruthOptions &Opts,
+                             const std::vector<CallSiteInfo> &CallSites);
+};
+
+/// Enumerates the module-wide call sites of \p M exactly as
+/// instrumentModule does, without instrumenting.
+std::vector<CallSiteInfo> enumerateCallSites(const Module &M);
+
+} // namespace olpp
+
+#endif // OLPP_WPP_GROUNDTRUTH_H

@@ -1,0 +1,403 @@
+//===--- Sequitur.cpp - online grammar compression ---------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Sequitur.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace olpp;
+
+/// A symbol in some rule's right-hand side, or a rule's guard node. The
+/// guard is a sentinel closing the circular list of a rule body; Prev of
+/// the first body symbol and Next of the last body symbol point at it.
+struct Sequitur::Sym {
+  Sym *Prev = nullptr;
+  Sym *Next = nullptr;
+  /// Terminal value, or unused for guards/non-terminals.
+  uint32_t Terminal = 0;
+  /// Null for terminals; the referenced rule for non-terminals, the owning
+  /// rule for guards.
+  Rule *Ref = nullptr;
+  bool IsGuard = false;
+
+  bool nonTerminal() const { return !IsGuard && Ref != nullptr; }
+};
+
+struct Sequitur::Rule {
+  Sym *Guard = nullptr;
+  uint32_t Id = 0;
+  uint32_t RefCount = 0;
+  bool Dead = false;
+
+  Sym *first() const { return Guard->Next; }
+  Sym *last() const { return Guard->Prev; }
+  bool bodyIsPair() const {
+    return first() != Guard && first()->Next == last() && last() != Guard;
+  }
+};
+
+Sequitur::Sequitur() {
+  Start = newRule();
+  ++Start->RefCount; // the start rule is never removed
+}
+
+Sequitur::~Sequitur() {
+  for (Sym *S : AllSyms)
+    delete S;
+  for (Rule *R : AllRules)
+    delete R;
+}
+
+Sequitur::Rule *Sequitur::newRule() {
+  Rule *R = new Rule();
+  R->Id = NextRuleId++;
+  R->Guard = newSym(0);
+  R->Guard->IsGuard = true;
+  R->Guard->Ref = R;
+  R->Guard->Next = R->Guard;
+  R->Guard->Prev = R->Guard;
+  AllRules.push_back(R);
+  ++LiveRules;
+  return R;
+}
+
+void Sequitur::destroyRule(Rule *R) {
+  assert(!R->Dead && "rule destroyed twice");
+  R->Dead = true;
+  // The body has been spliced elsewhere; close the guard's loop so any
+  // accidental walk of the dead rule terminates immediately.
+  R->Guard->Next = R->Guard;
+  R->Guard->Prev = R->Guard;
+  --LiveRules;
+}
+
+Sequitur::Sym *Sequitur::newSym(uint64_t Value) {
+  Sym *S;
+  if (!FreeSyms.empty()) {
+    S = FreeSyms.back();
+    FreeSyms.pop_back();
+    *S = Sym();
+  } else {
+    S = new Sym();
+    AllSyms.push_back(S);
+  }
+  S->Terminal = static_cast<uint32_t>(Value);
+  return S;
+}
+
+void Sequitur::freeSym(Sym *S) {
+  // Ownership stays with AllSyms; recycle the node.
+  S->Prev = S->Next = nullptr;
+  FreeSyms.push_back(S);
+}
+
+/// Key of the digram starting at \p S: both sides tagged by kind.
+uint64_t Sequitur::digramKey(const Sym *S) {
+  auto Side = [](const Sym *X) -> uint64_t {
+    if (X->nonTerminal())
+      return (uint64_t(1) << 31) | X->Ref->Id;
+    return X->Terminal;
+  };
+  return (Side(S) << 32) | Side(S->Next);
+}
+
+/// Removes the digram starting at \p S from the index if it is the
+/// registered occurrence.
+void Sequitur::deleteDigram(Sym *S) {
+  if (S->IsGuard || S->Next->IsGuard)
+    return;
+  auto It = Digrams.find(digramKey(S));
+  if (It != Digrams.end() && It->second == S)
+    Digrams.erase(It);
+}
+
+/// Side value of a symbol for run detection (terminal value or rule id).
+uint64_t Sequitur::sideOf(const Sym *S) {
+  if (S->IsGuard)
+    return ~uint64_t(0); // never equal to anything
+  if (S->nonTerminal())
+    return (uint64_t(1) << 31) | S->Ref->Id;
+  return S->Terminal;
+}
+
+/// Links \p Left and \p Right, retiring the digram the link replaces. Runs
+/// of equal symbols share one index entry, so when a link inside a run
+/// dies the neighbouring overlapped digram must be re-registered (the
+/// canonical algorithm's "triples" repair).
+void Sequitur::join(Sym *Left, Sym *Right) {
+  if (Left->Next) {
+    deleteDigram(Left);
+    if (!Right->IsGuard && Right->Prev && Right->Next &&
+        sideOf(Right) == sideOf(Right->Prev) &&
+        sideOf(Right) == sideOf(Right->Next))
+      Digrams[digramKey(Right)] = Right;
+    if (!Left->IsGuard && Left->Prev && Left->Next &&
+        sideOf(Left) == sideOf(Left->Prev) &&
+        sideOf(Left) == sideOf(Left->Next))
+      Digrams[digramKey(Left->Prev)] = Left->Prev;
+  }
+  Left->Next = Right;
+  Right->Prev = Left;
+}
+
+/// Inserts the fresh symbol \p S after \p Pos.
+void Sequitur::insertAfter(Sym *Pos, Sym *S) {
+  join(S, Pos->Next);
+  join(Pos, S);
+}
+
+/// Unlinks and recycles \p S, maintaining the digram index.
+void Sequitur::removeSym(Sym *S) {
+  assert(!S->IsGuard && "removing a guard");
+  join(S->Prev, S->Next);
+  // S's own links are stale but intact; retire its (S, old-next) digram.
+  deleteDigram(S);
+  if (S->nonTerminal())
+    --S->Ref->RefCount;
+  freeSym(S);
+}
+
+/// Checks the digram starting at \p S. Returns true if \p S was replaced
+/// (the caller must not use it afterwards).
+bool Sequitur::check(Sym *S) {
+  if (S->IsGuard || S->Next->IsGuard)
+    return false;
+  uint64_t Key = digramKey(S);
+  auto It = Digrams.find(Key);
+  if (It == Digrams.end()) {
+    Digrams.emplace(Key, S);
+    return false;
+  }
+  Sym *Occ = It->second;
+  if (Occ == S)
+    return false;
+  if (Occ->Next == S || S->Next == Occ)
+    return false; // overlapping occurrence (aaa)
+  match(S, Occ);
+  return true;
+}
+
+/// The digram at \p S equals the one at \p Occurrence; enforce digram
+/// uniqueness by introducing (or reusing) a rule.
+void Sequitur::match(Sym *S, Sym *Occurrence) {
+  Rule *R;
+  if (Occurrence->Prev->IsGuard && Occurrence->Next->Next->IsGuard) {
+    // The other occurrence is exactly a rule body: reuse that rule.
+    R = Occurrence->Prev->Ref;
+    substitute(S, R);
+    // The substitution's run repairs may have stomped the body's index
+    // entry; restore it (the body digram must stay findable).
+    if (!R->Dead && R->bodyIsPair())
+      Digrams[digramKey(R->first())] = R->first();
+  } else {
+    // Make a new rule from the digram.
+    R = newRule();
+    Sym *A = newSym(0);
+    Sym *B = newSym(0);
+    if (S->nonTerminal()) {
+      A->Ref = S->Ref;
+      ++A->Ref->RefCount;
+    } else {
+      A->Terminal = S->Terminal;
+    }
+    if (S->Next->nonTerminal()) {
+      B->Ref = S->Next->Ref;
+      ++B->Ref->RefCount;
+    } else {
+      B->Terminal = S->Next->Terminal;
+    }
+    // Body: guard <-> A <-> B <-> guard.
+    R->Guard->Next = A;
+    A->Prev = R->Guard;
+    A->Next = B;
+    B->Prev = A;
+    B->Next = R->Guard;
+    R->Guard->Prev = B;
+
+    substitute(Occurrence, R);
+    substitute(S, R);
+    // Register the rule body's digram only now: the substitutions' run
+    // repairs and deletions would otherwise stomp it (canonical SEQUITUR
+    // does the same).
+    if (!R->Dead && R->bodyIsPair())
+      Digrams[digramKey(R->first())] = R->first();
+  }
+
+  // Rule utility: while a rule referenced at R's body edges is down to a
+  // single reference, inline it and restore digram uniqueness across the
+  // spliced-in content. The rescan may cascade into further merges, which
+  // can even retire R itself, so everything is re-fetched each round.
+  while (!R->Dead) {
+    Sym *Edge = R->first();
+    if (!(Edge->nonTerminal() && Edge->Ref->RefCount == 1)) {
+      Edge = R->last();
+      if (!(Edge->nonTerminal() && Edge->Ref->RefCount == 1))
+        break;
+    }
+    expandUse(Edge);
+    rescanRule(R);
+  }
+}
+
+/// Re-establishes digram uniqueness over \p R's body after a splice. Any
+/// successful merge invalidates iterators, so the scan restarts; each merge
+/// strictly shrinks the grammar, which bounds the loop.
+void Sequitur::rescanRule(Rule *R) {
+  bool Changed = true;
+  while (Changed && !R->Dead) {
+    Changed = false;
+    for (Sym *S = R->first(); S != R->Guard && S->Next != R->Guard;
+         S = S->Next)
+      if (check(S)) {
+        Changed = true;
+        break;
+      }
+  }
+}
+
+/// Replaces the digram starting at \p First with a reference to \p R.
+void Sequitur::substitute(Sym *First, Rule *R) {
+  Sym *Left = First->Prev;
+  removeSym(First);
+  removeSym(Left->Next); // the digram's second symbol
+
+  Sym *Use = newSym(0);
+  Use->Ref = R;
+  ++R->RefCount;
+  insertAfter(Left, Use);
+
+  // Restore digram uniqueness around the new symbol; check the left
+  // digram first (the canonical order) — if it merges, the recursion
+  // takes care of Use's surroundings.
+  if (Left->IsGuard || !check(Left))
+    if (!Use->Next->IsGuard)
+      check(Use);
+}
+
+/// Inlines the only remaining use of a once-referenced rule.
+void Sequitur::expandUse(Sym *Use) {
+  Rule *R = Use->Ref;
+  assert(R->RefCount == 1 && "expanding a still-shared rule");
+  Sym *Left = Use->Prev;
+  Sym *Right = Use->Next;
+  Sym *First = R->first();
+  Sym *Last = R->last();
+  assert(First != R->Guard && "expanding an empty rule");
+
+  // Retire Use's digrams, splice the body in, recycle. The caller
+  // re-establishes digram uniqueness over the spliced content
+  // (rescanRule): checking here could cascade into splices that
+  // invalidate its anchors.
+  deleteDigram(Use); // (Use, Right)
+  join(Left, First);
+  Last->Next = Right;
+  Right->Prev = Last;
+
+  freeSym(Use);
+  destroyRule(R);
+}
+
+void Sequitur::append(uint32_t Terminal) {
+  ++InputLen;
+  Sym *S = newSym(Terminal);
+  Sym *Last = Start->last();
+  insertAfter(Last, S);
+  if (!Last->IsGuard)
+    check(Last);
+}
+
+size_t Sequitur::grammarSize() const {
+  size_t N = 0;
+  for (const Rule *R : AllRules) {
+    if (R->Dead)
+      continue;
+    for (const Sym *S = R->first(); S != R->Guard; S = S->Next)
+      ++N;
+  }
+  return N;
+}
+
+void Sequitur::expandRuleInto(const Rule *R,
+                              std::vector<uint32_t> &Out) const {
+  for (const Sym *S = R->first(); S != R->Guard; S = S->Next) {
+    if (S->nonTerminal())
+      expandRuleInto(S->Ref, Out);
+    else
+      Out.push_back(S->Terminal);
+  }
+}
+
+std::vector<uint32_t> Sequitur::expand() const {
+  std::vector<uint32_t> Out;
+  Out.reserve(InputLen);
+  expandRuleInto(Start, Out);
+  return Out;
+}
+
+std::string Sequitur::dump() const {
+  std::string Out;
+  for (const Rule *R : AllRules) {
+    if (R->Dead)
+      continue;
+    Out += (R == Start) ? "S:" : ("R" + std::to_string(R->Id) + ":");
+    for (const Sym *S = R->first(); S != R->Guard; S = S->Next) {
+      if (S->nonTerminal())
+        Out += " R" + std::to_string(S->Ref->Id) + "(rc=" + std::to_string(S->Ref->RefCount) + ")";
+      else
+        Out += " " + std::to_string(S->Terminal);
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+bool Sequitur::checkInvariants() const {
+  // Rule utility: every rule except the start rule referenced >= 2 times.
+  for (const Rule *R : AllRules) {
+    if (R->Dead || R == Start)
+      continue;
+    if (R->RefCount < 2)
+      return false;
+  }
+  // Digram uniqueness: no two *non-overlapping* occurrences of the same
+  // digram (overlapping occurrences, as in "aaa", are exempt by the
+  // algorithm's definition).
+  std::unordered_map<uint64_t, std::vector<const Sym *>> Seen;
+  for (const Rule *R : AllRules) {
+    if (R->Dead)
+      continue;
+    for (const Sym *S = R->first(); S != R->Guard && S->Next != R->Guard;
+         S = S->Next)
+      Seen[digramKey(S)].push_back(S);
+  }
+  for (const auto &[Key, Occs] : Seen) {
+    if (Occs.size() > 2) {
+      if (getenv("SEQ_DEBUG")) fprintf(stderr, "dup>2 key %llx\n", (unsigned long long)Key);
+      return false;
+    }
+    if (Occs.size() == 2 && Occs[0]->Next != Occs[1] &&
+        Occs[1]->Next != Occs[0]) {
+      if (getenv("SEQ_DEBUG")) fprintf(stderr, "dup nonoverlap key %llx\n", (unsigned long long)Key);
+      return false;
+    }
+    // Table consistency: every live digram key must be indexed, and the
+    // entry must point at one of its live occurrences.
+    auto It = Digrams.find(Key);
+    if (It == Digrams.end()) {
+      if (getenv("SEQ_DEBUG")) fprintf(stderr, "missing entry key %llx\n", (unsigned long long)Key);
+      return false;
+    }
+    bool Found = false;
+    for (const Sym *S : Occs)
+      Found |= It->second == S;
+    if (!Found) {
+      if (getenv("SEQ_DEBUG")) fprintf(stderr, "stale entry key %llx\n", (unsigned long long)Key);
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,97 @@
+//===--- Sequitur.h - online grammar compression ----------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SEQUITUR (Nevill-Manning & Witten): online inference of a context-free
+/// grammar from a symbol stream, maintaining two invariants —
+///   digram uniqueness: no pair of adjacent symbols occurs twice, and
+///   rule utility: every rule is referenced at least twice.
+///
+/// The paper contrasts its overlapping-path profiles with Whole Program
+/// Paths [Larus, PLDI'99], which store the complete control-flow trace as
+/// exactly such a grammar. This implementation lets the repo make that
+/// comparison concrete: wpp/TraceStats.h feeds control-flow traces through
+/// it and reports grammar size vs raw trace size vs path-profile size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_WPP_SEQUITUR_H
+#define OLPP_WPP_SEQUITUR_H
+
+#include <cstdint>
+#include <string>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace olpp {
+
+class Sequitur {
+public:
+  Sequitur();
+  ~Sequitur();
+  Sequitur(const Sequitur &) = delete;
+  Sequitur &operator=(const Sequitur &) = delete;
+
+  /// Appends one terminal symbol to the stream.
+  void append(uint32_t Terminal);
+
+  /// Number of rules, including the start rule.
+  size_t numRules() const { return LiveRules; }
+
+  /// Total number of symbols on all rule right-hand sides — the size of
+  /// the compressed representation.
+  size_t grammarSize() const;
+
+  /// Number of terminals appended.
+  size_t inputSize() const { return InputLen; }
+
+  /// Reconstructs the original stream (for verification).
+  std::vector<uint32_t> expand() const;
+
+  /// Verifies the two SEQUITUR invariants; used by the tests.
+  bool checkInvariants() const;
+
+  /// Human-readable grammar dump (debugging and tests).
+  std::string dump() const;
+
+private:
+  struct Sym;
+  struct Rule;
+
+  Rule *newRule();
+  void destroyRule(Rule *R);
+  Sym *newSym(uint64_t Value);
+  void freeSym(Sym *S);
+
+  // Core operations (see Sequitur.cpp).
+  void join(Sym *Left, Sym *Right);
+  void insertAfter(Sym *Pos, Sym *S);
+  void deleteDigram(Sym *S);
+  void removeSym(Sym *S);
+  static uint64_t sideOf(const Sym *S);
+  bool check(Sym *S);
+  void match(Sym *S, Sym *Occurrence);
+  void substitute(Sym *First, Rule *R);
+  void expandUse(Sym *Use);
+  void rescanRule(Rule *R);
+  void expandRuleInto(const Rule *R, std::vector<uint32_t> &Out) const;
+
+  static uint64_t digramKey(const Sym *S);
+
+  Rule *Start = nullptr;
+  std::unordered_map<uint64_t, Sym *> Digrams;
+  std::vector<Sym *> AllSyms;   // ownership
+  std::vector<Sym *> FreeSyms;  // recycled nodes
+  std::vector<Rule *> AllRules; // ownership
+  size_t LiveRules = 0;
+  size_t InputLen = 0;
+  uint32_t NextRuleId = 1;
+};
+
+} // namespace olpp
+
+#endif // OLPP_WPP_SEQUITUR_H

@@ -1,0 +1,38 @@
+//===--- TraceStats.cpp - trace size vs profile size --------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/TraceStats.h"
+
+#include "wpp/Sequitur.h"
+
+using namespace olpp;
+
+TraceStats olpp::compressTrace(const std::vector<TraceEvent> &Events) {
+  Sequitur Grammar;
+  for (const TraceEvent &E : Events) {
+    // Pack (kind, func, block) into one terminal symbol. Blocks dominate
+    // the stream; enters/exits get their own tag space.
+    uint32_t Symbol;
+    switch (E.Kind) {
+    case TraceEventKind::Enter:
+      Symbol = 0x40000000u | E.Func;
+      break;
+    case TraceEventKind::Exit:
+      Symbol = 0x20000000u | E.Func;
+      break;
+    case TraceEventKind::Block:
+    default:
+      Symbol = (E.Func << 16) | (E.Block & 0xFFFF);
+      break;
+    }
+    Grammar.append(Symbol);
+  }
+  TraceStats S;
+  S.RawEvents = Events.size();
+  S.GrammarSymbols = Grammar.grammarSize();
+  S.GrammarRules = Grammar.numRules();
+  return S;
+}

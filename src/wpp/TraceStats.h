@@ -1,0 +1,45 @@
+//===--- TraceStats.h - trace size vs profile size ---------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper motivates overlapping paths against Whole Program Paths:
+/// complete traces are "expensive to collect and require large amounts of
+/// storage" even compressed. This helper quantifies that for our runs:
+/// raw trace length, SEQUITUR grammar size, and the number of distinct
+/// path counters a profile needs instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_WPP_TRACESTATS_H
+#define OLPP_WPP_TRACESTATS_H
+
+#include "interp/Trace.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace olpp {
+
+struct TraceStats {
+  size_t RawEvents = 0;      ///< events in the control-flow trace
+  size_t GrammarSymbols = 0; ///< SEQUITUR right-hand-side symbols
+  size_t GrammarRules = 0;
+
+  double compressionRatio() const {
+    return GrammarSymbols == 0
+               ? 0.0
+               : static_cast<double>(RawEvents) /
+                     static_cast<double>(GrammarSymbols);
+  }
+};
+
+/// Feeds \p Events through SEQUITUR. Each event is encoded as one symbol
+/// (function entries/exits tagged, blocks offset by function id).
+TraceStats compressTrace(const std::vector<TraceEvent> &Events);
+
+} // namespace olpp
+
+#endif // OLPP_WPP_TRACESTATS_H

@@ -1,0 +1,123 @@
+//===--- TestUtil.h - Shared test fixtures ----------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-built modules mirroring the paper's example CFGs, plus small
+/// conveniences shared across the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_TESTS_TESTUTIL_H
+#define OLPP_TESTS_TESTUTIL_H
+
+#include "frontend/Compiler.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace olpp {
+namespace testutil {
+
+/// The control-flow graph of the paper's Table 2 (section 2.1): a loop with
+/// three iteration paths.
+///
+///   En -> P1; P1 -> {B1, P2}; P2 -> {B2, B3}; B1/B2/B3 -> P3;
+///   P3 -> {P1 (backedge), Ex}
+///
+/// Block ids: 0=En, 1=P1, 2=B1, 3=P2, 4=B2, 5=B3, 6=P3, 7=Ex.
+/// The branch registers are parameters so tests can drive specific paths.
+inline std::unique_ptr<Module> makePaperLoopModule() {
+  auto M = std::make_unique<Module>();
+  // Params: r0 = P1's branch, r1 = P2's branch, r2 = P3's branch.
+  Function *F = M->addFunction("paper_loop", 3);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  BasicBlock *P1 = F->addBlock("P1");
+  BasicBlock *B1 = F->addBlock("B1");
+  BasicBlock *P2 = F->addBlock("P2");
+  BasicBlock *B2 = F->addBlock("B2");
+  BasicBlock *B3 = F->addBlock("B3");
+  BasicBlock *P3 = F->addBlock("P3");
+  BasicBlock *Ex = F->addBlock("Ex");
+
+  B.setBlock(En);
+  B.br(P1);
+  B.setBlock(P1);
+  B.condBr(0, B1, P2);
+  B.setBlock(B1);
+  B.br(P3);
+  B.setBlock(P2);
+  B.condBr(1, B2, B3);
+  B.setBlock(B2);
+  B.br(P3);
+  B.setBlock(B3);
+  B.br(P3);
+  B.setBlock(P3);
+  B.condBr(2, P1, Ex);
+  B.setBlock(Ex);
+  B.ret(NoReg);
+  F->renumberBlocks();
+  return M;
+}
+
+/// A loop body containing a PI edge at overlap degree 2 (in the spirit of
+/// the paper's Figure 1):
+///
+///   En -> P1; P1 -> {B1, P2}; B1 -> P3; P2 -> {P3, B4}; B4 -> P3;
+///   P3 -> {B2, P4}; B2 -> P4; P4 -> {P1 (backedge), Ex}
+///
+/// Block ids: 0=En, 1=P1, 2=B1, 3=P2, 4=B4, 5=P3, 6=B2, 7=P4, 8=Ex.
+inline std::unique_ptr<Module> makePiEdgeModule() {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("pi_loop", 4);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  BasicBlock *P1 = F->addBlock("P1");
+  BasicBlock *B1 = F->addBlock("B1");
+  BasicBlock *P2 = F->addBlock("P2");
+  BasicBlock *B4 = F->addBlock("B4");
+  BasicBlock *P3 = F->addBlock("P3");
+  BasicBlock *B2 = F->addBlock("B2");
+  BasicBlock *P4 = F->addBlock("P4");
+  BasicBlock *Ex = F->addBlock("Ex");
+
+  B.setBlock(En);
+  B.br(P1);
+  B.setBlock(P1);
+  B.condBr(0, B1, P2);
+  B.setBlock(B1);
+  B.br(P3);
+  B.setBlock(P2);
+  B.condBr(1, P3, B4);
+  B.setBlock(B4);
+  B.br(P3);
+  B.setBlock(P3);
+  B.condBr(2, B2, P4);
+  B.setBlock(B2);
+  B.br(P4);
+  B.setBlock(P4);
+  B.condBr(3, P1, Ex);
+  B.setBlock(Ex);
+  B.ret(NoReg);
+  F->renumberBlocks();
+  return M;
+}
+
+/// Compiles MiniC or fails the test with the diagnostics.
+inline std::unique_ptr<Module> compileOrDie(std::string_view Source) {
+  CompileResult R = compileMiniC(Source);
+  EXPECT_TRUE(R.ok()) << R.diagText();
+  return std::move(R.M);
+}
+
+} // namespace testutil
+} // namespace olpp
+
+#endif // OLPP_TESTS_TESTUTIL_H

@@ -1,0 +1,153 @@
+//===--- AnalysisTest.cpp - CFG/dominators/loops tests -----------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+#include "analysis/EdgeSplit.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Verifier.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+TEST(Cfg, SuccsPredsAndRpo) {
+  auto M = makePaperLoopModule();
+  const Function &F = *M->function(0);
+  CfgView Cfg = CfgView::build(F);
+  ASSERT_EQ(Cfg.numBlocks(), 8u);
+  // En(0) -> P1(1)
+  EXPECT_EQ(Cfg.succs(0), (std::vector<uint32_t>{1}));
+  // P1 has preds En and P3.
+  EXPECT_EQ(Cfg.preds(1), (std::vector<uint32_t>{0, 6}));
+  // Everything is reachable.
+  for (uint32_t B = 0; B < 8; ++B)
+    EXPECT_TRUE(Cfg.isReachable(B));
+  // RPO starts at the entry and is a topological order of forward edges.
+  EXPECT_EQ(Cfg.rpo().front(), 0u);
+  EXPECT_LT(Cfg.rpoIndex(1), Cfg.rpoIndex(6)); // P1 before P3
+}
+
+TEST(Cfg, UnreachableBlocks) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  IRBuilder B(*F);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Dead = F->addBlock("dead");
+  B.setBlock(Entry);
+  B.ret(NoReg);
+  B.setBlock(Dead);
+  B.ret(NoReg);
+  F->renumberBlocks();
+  CfgView Cfg = CfgView::build(*F);
+  EXPECT_TRUE(Cfg.isReachable(0));
+  EXPECT_FALSE(Cfg.isReachable(1));
+  EXPECT_EQ(Cfg.rpo().size(), 1u);
+}
+
+TEST(Dominators, PaperLoop) {
+  auto M = makePaperLoopModule();
+  CfgView Cfg = CfgView::build(*M->function(0));
+  DomTree Dom = DomTree::compute(Cfg);
+  // En dominates everything.
+  for (uint32_t B = 0; B < 8; ++B)
+    EXPECT_TRUE(Dom.dominates(0, B));
+  // P1 dominates the whole loop and the exit.
+  EXPECT_TRUE(Dom.dominates(1, 6));
+  EXPECT_TRUE(Dom.dominates(1, 7));
+  // P2 dominates B2/B3 but not P3 (B1 bypasses it).
+  EXPECT_TRUE(Dom.dominates(3, 4));
+  EXPECT_TRUE(Dom.dominates(3, 5));
+  EXPECT_FALSE(Dom.dominates(3, 6));
+  // Idom of P3 is P1.
+  EXPECT_EQ(Dom.idom(6), 1u);
+}
+
+TEST(LoopInfo, PaperLoop) {
+  auto M = makePaperLoopModule();
+  CfgView Cfg = CfgView::build(*M->function(0));
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  EXPECT_FALSE(LI.isIrreducible());
+  ASSERT_EQ(LI.numLoops(), 1u);
+  const Loop &L = LI.loop(0);
+  EXPECT_EQ(L.Header, 1u);
+  EXPECT_EQ(L.Latches, (std::vector<uint32_t>{6}));
+  EXPECT_EQ(L.Blocks, (std::vector<uint32_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(L.ExitEdges,
+            (std::vector<std::pair<uint32_t, uint32_t>>{{6, 7}}));
+  EXPECT_TRUE(LI.isBackedge(6, 1));
+  EXPECT_FALSE(LI.isBackedge(1, 2));
+  EXPECT_EQ(LI.depthOf(3), 1u);
+  EXPECT_EQ(LI.depthOf(0), 0u);
+}
+
+TEST(LoopInfo, NestedLoops) {
+  auto M = compileOrDie(R"(
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < i; j = j + 1) {
+          s = s + j;
+        }
+      }
+      return s;
+    })");
+  const Function &F = *M->findFunction("main");
+  CfgView Cfg = CfgView::build(F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  ASSERT_EQ(LI.numLoops(), 2u);
+  // One loop must be nested in the other.
+  uint32_t Outer = LI.loop(0).Parent == UINT32_MAX ? 0 : 1;
+  uint32_t Inner = 1 - Outer;
+  EXPECT_EQ(LI.loop(Inner).Parent, Outer);
+  EXPECT_EQ(LI.loop(Outer).Depth, 1u);
+  EXPECT_EQ(LI.loop(Inner).Depth, 2u);
+  EXPECT_TRUE(LI.loop(Outer).contains(LI.loop(Inner).Header));
+}
+
+TEST(LoopInfo, IrreducibleDetected) {
+  // Two blocks jumping into each other's middle, entered from both sides.
+  Module M;
+  Function *F = M.addFunction("f", 1);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("en");
+  BasicBlock *A = F->addBlock("a");
+  BasicBlock *C = F->addBlock("c");
+  BasicBlock *Ex = F->addBlock("ex");
+  B.setBlock(En);
+  B.condBr(0, A, C);
+  B.setBlock(A);
+  B.condBr(0, C, Ex);
+  B.setBlock(C);
+  B.condBr(0, A, Ex);
+  B.setBlock(Ex);
+  B.ret(NoReg);
+  F->renumberBlocks();
+  CfgView Cfg = CfgView::build(*F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  EXPECT_TRUE(LI.isIrreducible());
+}
+
+TEST(EdgeSplit, InsertsBlockOnEdge) {
+  auto M = makePaperLoopModule();
+  Function &F = *M->function(0);
+  BasicBlock *P1 = F.block(1);
+  BasicBlock *B1 = F.block(2);
+  BasicBlock *Mid = splitEdge(F, P1, B1);
+  F.renumberBlocks();
+  EXPECT_TRUE(verifyModule(*M).empty());
+  // P1's true target is now Mid, and Mid branches to B1.
+  EXPECT_EQ(P1->terminator().Target0, Mid);
+  EXPECT_EQ(Mid->terminator().Target0, B1);
+  CfgView Cfg = CfgView::build(F);
+  EXPECT_EQ(Cfg.preds(B1->Id), (std::vector<uint32_t>{Mid->Id}));
+}

@@ -1,0 +1,187 @@
+//===--- PaperExampleTest.cpp - the paper's worked examples -------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 2.2.3 (Tables 4/5) and section 3.2.3 of the paper, reconstructed
+// as explicit constraint systems for the interval solver. Where the paper's
+// iteration order left a slack bound (its Table 5 lists L(2!3)=0 under OL-1
+// even though its own equation 8 derives 250), we assert the mathematically
+// sound fixpoint; every unambiguous paper value is asserted verbatim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimate/IntervalSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+
+namespace {
+
+// Cell layout for the 3x3 loop example: pair p!q -> (p-1)*3 + (q-1).
+constexpr uint32_t cell(int P, int Q) {
+  return static_cast<uint32_t>((P - 1) * 3 + (Q - 1));
+}
+
+// The execution of section 2.2.3: the loop is entered 500 times; 250 times
+// it runs the iteration sequence 1!1!3 and 250 times 2!2!3. Hence:
+//   F1=F2=F3=500, B=1000, E1=E2=250, E3=0, X1=X2=0, X3=500,
+//   real F(1!1)=F(1!3)=F(2!2)=F(2!3)=250, everything else 0.
+const uint64_t Real[9] = {250, 0, 250, 0, 250, 250, 0, 0, 0};
+
+// Row totals F_p - X_p (flow of p that crosses the backedge) and column
+// caps F_q - E_q (flow of q that follows a backedge).
+const uint64_t RowTotal[3] = {500, 500, 0};
+const uint64_t ColCap[3] = {250, 250, 500};
+
+std::vector<SumConstraint> baseConstraints() {
+  std::vector<SumConstraint> Cs;
+  for (int P = 1; P <= 3; ++P)
+    Cs.push_back({RowTotal[P - 1], true,
+                  {cell(P, 1), cell(P, 2), cell(P, 3)}});
+  for (int Q = 1; Q <= 3; ++Q)
+    Cs.push_back({ColCap[Q - 1], false,
+                  {cell(1, Q), cell(2, Q), cell(3, Q)}});
+  return Cs;
+}
+
+void expectSound(const BoundsResult &R) {
+  for (int I = 0; I < 9; ++I) {
+    EXPECT_LE(R.Lower[I], Real[I]) << "pair " << I;
+    EXPECT_GE(R.Upper[I], Real[I]) << "pair " << I;
+  }
+}
+
+} // namespace
+
+TEST(PaperLoopExample, OL0MatchesTable5) {
+  // OL-0 == plain Ball-Larus information.
+  BoundsResult R = solveBounds(9, baseConstraints());
+  expectSound(R);
+  // Table 5, OL-0 columns.
+  const uint64_t WantU[9] = {250, 250, 500, 250, 250, 500, 0, 0, 0};
+  for (int I = 0; I < 9; ++I) {
+    EXPECT_EQ(R.Lower[I], 0u) << "pair " << I;
+    EXPECT_EQ(R.Upper[I], WantU[I]) << "pair " << I;
+  }
+  // Section 2.2.3: definite flow 0 and potential flow 2000, i.e. -100%/+100%
+  // around the real flow of 1000.
+  EXPECT_EQ(R.sumLower(), 0u);
+  EXPECT_EQ(R.sumUpper(), 2000u);
+}
+
+TEST(PaperLoopExample, OL1TightensTheBounds) {
+  // OL-1 adds the degree-1 overlapping path frequencies. Suffix classes at
+  // k=1: {q1} (prefix P1 B1 P3) and {q2,q3} (prefix P1 P2).
+  std::vector<SumConstraint> Cs = baseConstraints();
+  Cs.push_back({250, true, {cell(1, 1)}});          // OF_{1!1(P3)}
+  Cs.push_back({250, true, {cell(1, 2), cell(1, 3)}});
+  Cs.push_back({0, true, {cell(2, 1)}});
+  Cs.push_back({500, true, {cell(2, 2), cell(2, 3)}});
+  Cs.push_back({0, true, {cell(3, 1)}});
+  Cs.push_back({0, true, {cell(3, 2), cell(3, 3)}});
+  BoundsResult R = solveBounds(9, Cs);
+  expectSound(R);
+
+  // Paper Table 5 (OL-1): 1!1 becomes exact.
+  EXPECT_EQ(R.Lower[cell(1, 1)], 250u);
+  EXPECT_EQ(R.Upper[cell(1, 1)], 250u);
+  // 2!1 and the whole row 3 are exactly zero.
+  EXPECT_EQ(R.Upper[cell(2, 1)], 0u);
+  EXPECT_EQ(R.Upper[cell(3, 1)], 0u);
+  EXPECT_EQ(R.Upper[cell(3, 2)], 0u);
+  EXPECT_EQ(R.Upper[cell(3, 3)], 0u);
+  // 1!2 / 1!3 drop from (250, 500) to 250 each (Table 5).
+  EXPECT_EQ(R.Upper[cell(1, 2)], 250u);
+  EXPECT_EQ(R.Upper[cell(1, 3)], 250u);
+  // Our fixpoint also derives L(2!3) = 500 - U(2!2) = 250 (the paper's own
+  // equation 8; its table lists the looser 0).
+  EXPECT_EQ(R.Upper[cell(2, 2)], 250u);
+  EXPECT_EQ(R.Lower[cell(2, 3)], 250u);
+
+  // Bounds must be at least as tight as OL-0 everywhere.
+  BoundsResult R0 = solveBounds(9, baseConstraints());
+  for (int I = 0; I < 9; ++I) {
+    EXPECT_GE(R.Lower[I], R0.Lower[I]);
+    EXPECT_LE(R.Upper[I], R0.Upper[I]);
+  }
+  EXPECT_GT(R.sumLower(), R0.sumLower());
+  EXPECT_LT(R.sumUpper(), R0.sumUpper());
+}
+
+TEST(PaperLoopExample, OL2IsExact) {
+  // At the maximum overlap (k=2) every suffix class is a singleton, so the
+  // paper notes the profile becomes exact.
+  std::vector<SumConstraint> Cs = baseConstraints();
+  for (int P = 1; P <= 3; ++P)
+    for (int Q = 1; Q <= 3; ++Q)
+      Cs.push_back({Real[cell(P, Q)], true, {cell(P, Q)}});
+  BoundsResult R = solveBounds(9, Cs);
+  for (int I = 0; I < 9; ++I) {
+    EXPECT_EQ(R.Lower[I], Real[I]);
+    EXPECT_EQ(R.Upper[I], Real[I]);
+  }
+  EXPECT_EQ(R.sumLower(), 1000u);
+  EXPECT_EQ(R.sumUpper(), 1000u);
+}
+
+// --- section 3.2.3: the interprocedural example ----------------------------
+
+namespace {
+// 3 caller paths x 5 callee paths; C = 100 calls; only 1!1 is real (100).
+constexpr uint32_t ipCell(int P, int Q) {
+  return static_cast<uint32_t>((P - 1) * 5 + (Q - 1));
+}
+} // namespace
+
+TEST(PaperInterprocExample, BLGivesZeroToHundredForAllPairs) {
+  std::vector<SumConstraint> Cs;
+  // Equation 9: the pair frequencies sum to the call count.
+  SumConstraint Total{100, true, {}};
+  for (int P = 1; P <= 3; ++P)
+    for (int Q = 1; Q <= 5; ++Q)
+      Total.Cells.push_back(ipCell(P, Q));
+  Cs.push_back(Total);
+  // Equations 11/12: each sequence frequency (200) caps its row/column.
+  for (int P = 1; P <= 3; ++P) {
+    SumConstraint Row{200, false, {}};
+    for (int Q = 1; Q <= 5; ++Q)
+      Row.Cells.push_back(ipCell(P, Q));
+    Cs.push_back(Row);
+  }
+  for (int Q = 1; Q <= 5; ++Q) {
+    SumConstraint Col{200, false, {}};
+    for (int P = 1; P <= 3; ++P)
+      Col.Cells.push_back(ipCell(P, Q));
+    Cs.push_back(Col);
+  }
+  BoundsResult R = solveBounds(15, Cs);
+  for (int I = 0; I < 15; ++I) {
+    EXPECT_EQ(R.Lower[I], 0u);
+    EXPECT_EQ(R.Upper[I], 100u);
+  }
+}
+
+TEST(PaperInterprocExample, IOL1IsExact) {
+  // I-OL-1 distinguishes callee path q1 (prefix gEn P1 B3 gEx) from the
+  // others (prefix gEn P1 P2), and the observed tuples pin every pair.
+  std::vector<SumConstraint> Cs;
+  // Per caller path p, per callee prefix class: observed OL frequencies.
+  // All 100 calls were p=1 ! q=1.
+  Cs.push_back({100, true, {ipCell(1, 1)}});
+  Cs.push_back({0, true, {ipCell(1, 2), ipCell(1, 3), ipCell(1, 4),
+                          ipCell(1, 5)}});
+  for (int P = 2; P <= 3; ++P) {
+    Cs.push_back({0, true, {ipCell(P, 1)}});
+    Cs.push_back({0, true, {ipCell(P, 2), ipCell(P, 3), ipCell(P, 4),
+                            ipCell(P, 5)}});
+  }
+  BoundsResult R = solveBounds(15, Cs);
+  for (int I = 0; I < 15; ++I) {
+    uint64_t Want = I == ipCell(1, 1) ? 100 : 0;
+    EXPECT_EQ(R.Lower[I], Want) << I;
+    EXPECT_EQ(R.Upper[I], Want) << I;
+  }
+}

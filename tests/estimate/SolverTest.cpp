@@ -1,0 +1,92 @@
+//===--- SolverTest.cpp - interval solver unit tests --------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimate/IntervalSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+
+TEST(IntervalSolver, SingleEquality) {
+  std::vector<SumConstraint> Cs = {{5, true, {0, 1}}};
+  BoundsResult R = solveBounds(2, Cs);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_EQ(R.Lower, (std::vector<uint64_t>{0, 0}));
+  EXPECT_EQ(R.Upper, (std::vector<uint64_t>{5, 5}));
+}
+
+TEST(IntervalSolver, EqualityWithCap) {
+  // x0 + x1 == 5, x0 <= 2  =>  x1 in [3,5].
+  std::vector<SumConstraint> Cs = {{5, true, {0, 1}}, {2, false, {0}}};
+  BoundsResult R = solveBounds(2, Cs);
+  EXPECT_EQ(R.Upper[0], 2u);
+  EXPECT_EQ(R.Lower[1], 3u);
+  EXPECT_EQ(R.Upper[1], 5u);
+  EXPECT_EQ(R.Lower[0], 0u);
+}
+
+TEST(IntervalSolver, SingletonEqualityPinsCell) {
+  std::vector<SumConstraint> Cs = {{7, true, {0}}, {10, true, {0, 1}}};
+  BoundsResult R = solveBounds(2, Cs);
+  EXPECT_EQ(R.Lower[0], 7u);
+  EXPECT_EQ(R.Upper[0], 7u);
+  EXPECT_EQ(R.Lower[1], 3u);
+  EXPECT_EQ(R.Upper[1], 3u);
+  EXPECT_EQ(R.exactCount(), 2u);
+}
+
+TEST(IntervalSolver, InequalityGivesNoLowerBound) {
+  std::vector<SumConstraint> Cs = {{5, false, {0, 1}}};
+  BoundsResult R = solveBounds(2, Cs);
+  EXPECT_EQ(R.Lower, (std::vector<uint64_t>{0, 0}));
+  EXPECT_EQ(R.Upper, (std::vector<uint64_t>{5, 5}));
+}
+
+TEST(IntervalSolver, CrossConstraintPropagation) {
+  // Rows: {0,1} == 10, {2,3} == 0. Columns: {0,2} == 4, {1,3} == 6.
+  std::vector<SumConstraint> Cs = {
+      {10, true, {0, 1}}, {0, true, {2, 3}}, {4, true, {0, 2}},
+      {6, true, {1, 3}}};
+  BoundsResult R = solveBounds(4, Cs);
+  // Row 2 is empty, so the columns pin row 0 exactly.
+  EXPECT_EQ(R.Lower[0], 4u);
+  EXPECT_EQ(R.Upper[0], 4u);
+  EXPECT_EQ(R.Lower[1], 6u);
+  EXPECT_EQ(R.Upper[1], 6u);
+  EXPECT_EQ(R.Upper[2], 0u);
+  EXPECT_EQ(R.Upper[3], 0u);
+  EXPECT_EQ(R.exactCount(), 4u);
+}
+
+TEST(IntervalSolver, ZeroValueEqualityZeroesCells) {
+  std::vector<SumConstraint> Cs = {{0, true, {0, 1, 2}}};
+  BoundsResult R = solveBounds(3, Cs);
+  for (int I = 0; I < 3; ++I) {
+    EXPECT_EQ(R.Lower[I], 0u);
+    EXPECT_EQ(R.Upper[I], 0u);
+  }
+}
+
+TEST(IntervalSolver, UncoveredCellKeepsSentinelUpper) {
+  std::vector<SumConstraint> Cs = {{3, true, {0}}};
+  BoundsResult R = solveBounds(2, Cs);
+  EXPECT_EQ(R.Upper[0], 3u);
+  EXPECT_GT(R.Upper[1], uint64_t(1) << 60); // untouched sentinel
+}
+
+TEST(IntervalSolver, ConvergesOnChainedEqualities) {
+  // x0+x1=8, x1+x2=5, x2+x3=5, x3 <= 1.
+  std::vector<SumConstraint> Cs = {{8, true, {0, 1}},
+                                   {5, true, {1, 2}},
+                                   {5, true, {2, 3}},
+                                   {1, false, {3}}};
+  BoundsResult R = solveBounds(4, Cs);
+  EXPECT_TRUE(R.Converged);
+  // x3<=1 -> x2>=4 -> x1<=1 -> x0>=7.
+  EXPECT_GE(R.Lower[2], 4u);
+  EXPECT_LE(R.Upper[1], 1u);
+  EXPECT_GE(R.Lower[0], 7u);
+}

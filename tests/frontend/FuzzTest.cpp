@@ -1,0 +1,122 @@
+//===--- FuzzTest.cpp - frontend robustness under garbage input ----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The frontend must never crash: arbitrary input yields diagnostics or a
+// verified module, nothing else. These tests throw token soup, truncated
+// programs and deeply nested expressions at it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+
+namespace {
+
+const char *Fragments[] = {
+    "fn",      "global", "var",   "if",    "else",  "while", "do",
+    "for",     "return", "break", "continue", "main",  "x",  "y",
+    "(",       ")",      "{",     "}",     "[",     "]",     ";",
+    ",",       "=",      "==",    "!=",    "<",     "<=",    ">",
+    ">=",      "+",      "-",     "*",     "/",     "%",     "&",
+    "|",       "^",      "&&",    "||",    "!",     "<<",    ">>",
+    "0",       "1",      "42",    "9999999999", "_z", "fp",
+};
+
+std::string tokenSoup(uint64_t Seed, size_t Len) {
+  Rng R(Seed);
+  std::string Out;
+  for (size_t I = 0; I < Len; ++I) {
+    Out += Fragments[R.nextBelow(sizeof(Fragments) / sizeof(Fragments[0]))];
+    Out += R.chance(1, 4) ? "\n" : " ";
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(FrontendFuzz, TokenSoupNeverCrashes) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    std::string Source = tokenSoup(Seed, 120);
+    CompileResult CR = compileMiniC(Source);
+    // Either a verified module or diagnostics; both fine, no crash.
+    if (!CR.ok())
+      EXPECT_FALSE(CR.Diags.empty()) << "seed " << Seed;
+  }
+}
+
+TEST(FrontendFuzz, TruncatedProgramsDiagnose) {
+  const char *Program = R"(
+    global acc;
+    fn helper(a) { if (a > 3) { return a; } return acc + a; }
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { s = s + helper(i); }
+      return s;
+    })";
+  std::string Full = Program;
+  for (size_t Cut = 0; Cut < Full.size(); Cut += 7) {
+    CompileResult CR = compileMiniC(Full.substr(0, Cut));
+    if (!CR.ok())
+      EXPECT_FALSE(CR.Diags.empty()) << "cut at " << Cut;
+  }
+}
+
+TEST(FrontendFuzz, DeepExpressionNesting) {
+  // 300 nested parens: must parse (or diagnose) without stack issues.
+  std::string Source = "fn main() { return ";
+  for (int I = 0; I < 300; ++I)
+    Source += "(1 + ";
+  Source += "0";
+  for (int I = 0; I < 300; ++I)
+    Source += ")";
+  Source += "; }";
+  CompileResult CR = compileMiniC(Source);
+  EXPECT_TRUE(CR.ok()) << CR.diagText();
+}
+
+TEST(FrontendFuzz, DeepStatementNesting) {
+  std::string Source = "fn main(n) { var s = 0; ";
+  for (int I = 0; I < 150; ++I)
+    Source += "if (n > " + std::to_string(I) + ") { ";
+  Source += "s = 1; ";
+  for (int I = 0; I < 150; ++I)
+    Source += "} ";
+  Source += "return s; }";
+  CompileResult CR = compileMiniC(Source);
+  EXPECT_TRUE(CR.ok()) << CR.diagText();
+}
+
+TEST(FrontendFuzz, ManyMutationsOfAValidProgram) {
+  const std::string Base = R"(
+    global buf[8];
+    fn f(a, b) { while (a < b) { a = a + 1; buf[a & 7] = b; } return a; }
+    fn main(n) { return f(0, n) + f(n, 9); })";
+  Rng R(77);
+  for (int Round = 0; Round < 80; ++Round) {
+    std::string Mutant = Base;
+    // Random single-character edits.
+    for (int E = 0; E < 3; ++E) {
+      size_t Pos = R.nextBelow(Mutant.size());
+      switch (R.nextBelow(3)) {
+      case 0:
+        Mutant.erase(Pos, 1);
+        break;
+      case 1:
+        Mutant.insert(Pos, 1, "(){};=+"[R.nextBelow(7)]);
+        break;
+      default:
+        Mutant[Pos] = static_cast<char>(32 + R.nextBelow(95));
+        break;
+      }
+    }
+    CompileResult CR = compileMiniC(Mutant); // must not crash
+    (void)CR;
+  }
+}

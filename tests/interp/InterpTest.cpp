@@ -1,0 +1,177 @@
+//===--- InterpTest.cpp - interpreter semantics tests ------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "interp/Trace.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+namespace {
+
+RunResult runSource(std::string_view Src, std::vector<int64_t> Args = {},
+                    TraceSink *Trace = nullptr, RunConfig Cfg = RunConfig()) {
+  auto M = compileOrDie(Src);
+  const Function *Main = M->findFunction("main");
+  EXPECT_NE(Main, nullptr);
+  Args.resize(Main->NumParams, 0);
+  Interpreter I(*M, nullptr, Trace);
+  return I.run(*Main, Args, Cfg);
+}
+
+} // namespace
+
+TEST(Interp, Arithmetic) {
+  RunResult R = runSource(
+      "fn main() { return (7 * 3 - 1) / 4 % 3 + (1 << 4) - (65 >> 1); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // (21-1)/4 = 5; 5 % 3 = 2; 2 + 16 - 32 = -14.
+  EXPECT_EQ(R.ReturnValue, -14);
+}
+
+TEST(Interp, BitwiseAndComparisons) {
+  RunResult R = runSource(R"(
+    fn main() {
+      var x = 12 & 10;        // 8
+      x = x | 3;              // 11
+      x = x ^ 1;              // 10
+      return (x == 10) + (x != 10) * 100 + (x < 11) * 10 + (x >= 10) * 1000;
+    })");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, 1011);
+}
+
+TEST(Interp, NegativeModAndDiv) {
+  RunResult R = runSource("fn main() { return (-7) / 2 * 100 + (-7) % 2; }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, -301); // C semantics: -3 and -1
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  RunResult R = runSource("fn main(a) { return 1 / a; }", {0});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, ModuloByZeroTraps) {
+  RunResult R = runSource("fn main(a) { return 1 % a; }", {0});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Interp, ArrayOutOfBoundsTraps) {
+  RunResult R = runSource("global a[4]; fn main(i) { return a[i]; }", {4});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+  RunResult R2 = runSource("global a[4]; fn main(i) { return a[i]; }", {-1});
+  EXPECT_FALSE(R2.Ok);
+}
+
+TEST(Interp, FuelExhaustion) {
+  RunConfig Cfg;
+  Cfg.MaxSteps = 1000;
+  RunResult R = runSource("fn main() { while (1) { } return 0; }", {}, nullptr,
+                          Cfg);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("fuel exhausted"), std::string::npos);
+}
+
+TEST(Interp, CallDepthLimit) {
+  RunConfig Cfg;
+  Cfg.MaxCallDepth = 50;
+  RunResult R = runSource(
+      "fn f(n) { return f(n + 1); } fn main() { return f(0); }", {}, nullptr,
+      Cfg);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("call depth"), std::string::npos);
+}
+
+TEST(Interp, ShiftAmountsMasked) {
+  RunResult R = runSource("fn main() { return (1 << 64) + (1 << 65); }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, 1 + 2); // shifts of 0 and 1
+}
+
+TEST(Interp, WrappingMultiply) {
+  RunResult R = runSource(R"(
+    fn main() {
+      var big = 1;
+      var i = 0;
+      while (i < 64) { big = big * 2; i = i + 1; }
+      return big;  // 2^64 wraps to 0
+    })");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, 0);
+}
+
+TEST(Interp, DynCountsAreCounted) {
+  RunResult R = runSource("fn main() { var s = 0; var i = 0; "
+                          "while (i < 10) { s = s + i; i = i + 1; } return s; }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, 45);
+  EXPECT_GT(R.Counts.Steps, 50u);
+  EXPECT_EQ(R.Counts.BaseCost, R.Counts.Steps); // no probes
+  EXPECT_EQ(R.Counts.ProbeCost, 0u);
+  EXPECT_GT(R.Counts.Blocks, 20u);
+}
+
+TEST(Interp, TraceIsBalancedAndNested) {
+  VectorTrace T;
+  RunResult R = runSource(R"(
+    fn leaf(x) { return x + 1; }
+    fn mid(x) { return leaf(x) + leaf(x); }
+    fn main() { return mid(1); })",
+                          {}, &T);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, 4);
+  int Depth = 0;
+  int MaxDepth = 0;
+  uint64_t Enters = 0, Exits = 0;
+  for (const TraceEvent &E : T.Events) {
+    if (E.Kind == TraceEventKind::Enter) {
+      ++Depth;
+      ++Enters;
+      MaxDepth = std::max(MaxDepth, Depth);
+    } else if (E.Kind == TraceEventKind::Exit) {
+      --Depth;
+      ++Exits;
+    }
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_EQ(Enters, 4u); // main, mid, leaf, leaf
+  EXPECT_EQ(Exits, 4u);
+  EXPECT_EQ(MaxDepth, 3);
+}
+
+TEST(Interp, TraceFirstBlockIsEntry) {
+  VectorTrace T;
+  RunResult R = runSource("fn main() { return 0; }", {}, &T);
+  ASSERT_TRUE(R.Ok);
+  ASSERT_GE(T.Events.size(), 2u);
+  EXPECT_EQ(T.Events[0].Kind, TraceEventKind::Enter);
+  EXPECT_EQ(T.Events[1].Kind, TraceEventKind::Block);
+  EXPECT_EQ(T.Events[1].Block, 0u);
+}
+
+TEST(Interp, GlobalsZeroInitializedAndResettable) {
+  auto M = compileOrDie("global g; fn main() { g = g + 1; return g; }");
+  const Function *Main = M->findFunction("main");
+  Interpreter I(*M);
+  EXPECT_EQ(I.run(*Main, {}).ReturnValue, 1);
+  EXPECT_EQ(I.run(*Main, {}).ReturnValue, 2); // globals persist
+  I.resetGlobals();
+  EXPECT_EQ(I.run(*Main, {}).ReturnValue, 1);
+}
+
+TEST(Interp, VoidReturnUsedAsValueTraps) {
+  RunResult R = runSource("fn f() { return; } fn main() { return f(); }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("void return"), std::string::npos);
+}

@@ -1,0 +1,87 @@
+//===--- PrinterTest.cpp - textual IR printing tests ---------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+
+TEST(Printer, InstructionForms) {
+  Module M;
+  uint32_t G = M.addGlobal("g", 1);
+  uint32_t A = M.addGlobal("arr", 4);
+  Function *Callee = M.addFunction("callee", 1);
+  {
+    IRBuilder B(*Callee);
+    B.setBlock(Callee->addBlock("entry"));
+    B.ret(0);
+    Callee->renumberBlocks();
+  }
+  Function *F = M.addFunction("f", 2);
+  IRBuilder B(*F);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Then = F->addBlock("then");
+  BasicBlock *Done = F->addBlock("done");
+  B.setBlock(Entry);
+  Reg C = B.constInt(42);
+  Reg S = B.binop(Opcode::Add, 0, 1);
+  B.storeGlobal(G, S);
+  Reg L = B.loadArray(A, C);
+  B.condBr(L, Then, Done);
+  B.setBlock(Then);
+  B.call(S, Callee->Id, {C});
+  B.br(Done);
+  B.setBlock(Done);
+  B.callIndirect(S, C, {L, L});
+  B.br(Done); // call must end the block
+  F->renumberBlocks();
+
+  std::string Out = printModule(M);
+  EXPECT_NE(Out.find("global @0 g"), std::string::npos);
+  EXPECT_NE(Out.find("global @1 arr[4]"), std::string::npos);
+  EXPECT_NE(Out.find("const %2, 42"), std::string::npos);
+  EXPECT_NE(Out.find("add %3, %0, %1"), std::string::npos);
+  EXPECT_NE(Out.find("storeg @0, %3"), std::string::npos);
+  EXPECT_NE(Out.find("loadarr %4, @1[%2]"), std::string::npos);
+  EXPECT_NE(Out.find("condbr %4"), std::string::npos);
+  EXPECT_NE(Out.find("call %3, callee(%2)"), std::string::npos);
+  EXPECT_NE(Out.find("callind %3, *%2(%4, %4)"), std::string::npos);
+}
+
+TEST(Printer, ProbesPrintTheirOps) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  BasicBlock *BB = F->addBlock("entry");
+  Instruction P;
+  P.Op = Opcode::Probe;
+  auto Prog = std::make_shared<ProbeProgram>();
+  Prog->Ops.push_back({ProbeOpKind::BLSet, 0, 7, 0});
+  Prog->Ops.push_back({ProbeOpKind::OLArm, 2, -3, 0});
+  P.ProbePayload = Prog;
+  BB->Instrs.push_back(P);
+  Instruction R;
+  R.Op = Opcode::Ret;
+  BB->Instrs.push_back(R);
+  F->renumberBlocks();
+
+  std::string Out = printFunction(*F, &M);
+  EXPECT_NE(Out.find("probe {blset s0,7,0; olarm s2,-3,0}"),
+            std::string::npos);
+}
+
+TEST(Printer, LoweredProgramIsReadable) {
+  CompileResult CR = compileMiniC(
+      "fn main(n) { var s = 0; while (s < n) { s = s + 1; } return s; }");
+  ASSERT_TRUE(CR.ok());
+  std::string Out = printModule(*CR.M);
+  EXPECT_NE(Out.find("func main(1 params"), std::string::npos);
+  EXPECT_NE(Out.find("while.header"), std::string::npos);
+  EXPECT_NE(Out.find("while.latch"), std::string::npos);
+  EXPECT_NE(Out.find("ret %"), std::string::npos);
+}

@@ -1,0 +1,210 @@
+//===--- VerifierTest.cpp - IR verifier failure injection ---------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+
+namespace {
+
+/// Asserts that verification of \p M mentions \p Fragment.
+void expectError(const Module &M, const char *Fragment) {
+  std::vector<std::string> Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty()) << "expected a verifier error";
+  bool Found = false;
+  for (const std::string &E : Errors)
+    Found |= E.find(Fragment) != std::string::npos;
+  EXPECT_TRUE(Found) << "no error mentions '" << Fragment << "'; got:\n"
+                     << Errors[0];
+}
+
+} // namespace
+
+TEST(Verifier, AcceptsMinimalFunction) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  IRBuilder B(*F);
+  B.setBlock(F->addBlock("entry"));
+  B.ret(NoReg);
+  F->renumberBlocks();
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(Verifier, MissingTerminator) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  BasicBlock *BB = F->addBlock("entry");
+  Instruction I;
+  I.Op = Opcode::Const;
+  I.Dst = 0;
+  BB->Instrs.push_back(I);
+  F->NumRegs = 1;
+  F->renumberBlocks();
+  expectError(M, "missing terminator");
+}
+
+TEST(Verifier, NoRet) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  IRBuilder B(*F);
+  BasicBlock *A = F->addBlock("a");
+  B.setBlock(A);
+  B.br(A); // infinite loop, no ret anywhere
+  F->renumberBlocks();
+  expectError(M, "no ret");
+}
+
+TEST(Verifier, RegisterOutOfRange) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  BasicBlock *BB = F->addBlock("entry");
+  Instruction I;
+  I.Op = Opcode::Move;
+  I.Dst = 5; // NumRegs == 0
+  I.Src0 = 6;
+  BB->Instrs.push_back(I);
+  Instruction R;
+  R.Op = Opcode::Ret;
+  BB->Instrs.push_back(R);
+  F->renumberBlocks();
+  expectError(M, "out of range");
+}
+
+TEST(Verifier, CallArityMismatch) {
+  Module M;
+  Function *Callee = M.addFunction("two", 2);
+  {
+    IRBuilder B(*Callee);
+    B.setBlock(Callee->addBlock("entry"));
+    B.ret(NoReg);
+    Callee->renumberBlocks();
+  }
+  Function *F = M.addFunction("f", 1);
+  IRBuilder B(*F);
+  B.setBlock(F->addBlock("entry"));
+  B.call(NoReg, Callee->Id, {0}); // one arg, needs two
+  B.ret(NoReg);
+  F->renumberBlocks();
+  expectError(M, "expected 2");
+}
+
+TEST(Verifier, CallToUnknownFunction) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  IRBuilder B(*F);
+  B.setBlock(F->addBlock("entry"));
+  B.call(NoReg, 99, {});
+  B.ret(NoReg);
+  F->renumberBlocks();
+  expectError(M, "unknown function");
+}
+
+TEST(Verifier, InstructionAfterCallRejected) {
+  Module M;
+  Function *G = M.addFunction("g", 0);
+  {
+    IRBuilder B(*G);
+    B.setBlock(G->addBlock("entry"));
+    B.ret(NoReg);
+    G->renumberBlocks();
+  }
+  Function *F = M.addFunction("f", 0);
+  BasicBlock *BB = F->addBlock("entry");
+  Instruction Call;
+  Call.Op = Opcode::Call;
+  Call.CalleeId = G->Id;
+  BB->Instrs.push_back(Call);
+  Instruction C;
+  C.Op = Opcode::Const;
+  C.Dst = 0;
+  BB->Instrs.push_back(C); // illegal: non-probe after a call
+  Instruction R;
+  R.Op = Opcode::Ret;
+  BB->Instrs.push_back(R);
+  F->NumRegs = 1;
+  F->renumberBlocks();
+  expectError(M, "calls must end their block");
+}
+
+TEST(Verifier, CondBrAliasedTargets) {
+  Module M;
+  Function *F = M.addFunction("f", 1);
+  IRBuilder B(*F);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Next = F->addBlock("next");
+  Instruction T;
+  T.Op = Opcode::CondBr;
+  T.Src0 = 0;
+  T.Target0 = Next;
+  T.Target1 = Next;
+  Entry->Instrs.push_back(T);
+  B.setBlock(Next);
+  B.ret(NoReg);
+  F->renumberBlocks();
+  expectError(M, "identical targets");
+}
+
+TEST(Verifier, ForeignBranchTarget) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  Function *G = M.addFunction("g", 0);
+  BasicBlock *GBlock = G->addBlock("g.entry");
+  {
+    IRBuilder B(*G);
+    B.setBlock(GBlock);
+    B.ret(NoReg);
+    G->renumberBlocks();
+  }
+  IRBuilder B(*F);
+  B.setBlock(F->addBlock("entry"));
+  B.br(GBlock); // branch into another function
+  F->renumberBlocks();
+  expectError(M, "another function");
+}
+
+TEST(Verifier, ScalarArrayConfusion) {
+  Module M;
+  uint32_t Scalar = M.addGlobal("s", 1);
+  uint32_t Arr = M.addGlobal("a", 8);
+  Function *F = M.addFunction("f", 1);
+  IRBuilder B(*F);
+  B.setBlock(F->addBlock("entry"));
+  (void)B.loadArray(Scalar, 0); // array op on scalar
+  B.storeGlobal(Arr, 0);        // scalar op on array
+  B.ret(NoReg);
+  F->renumberBlocks();
+  expectError(M, "array access to scalar global");
+  expectError(M, "scalar access to array global");
+}
+
+TEST(Verifier, ProbeWithoutPayload) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  BasicBlock *BB = F->addBlock("entry");
+  Instruction P;
+  P.Op = Opcode::Probe;
+  BB->Instrs.push_back(P);
+  Instruction R;
+  R.Op = Opcode::Ret;
+  BB->Instrs.push_back(R);
+  F->renumberBlocks();
+  expectError(M, "probe without payload");
+}
+
+TEST(Verifier, StaleBlockIds) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  IRBuilder B(*F);
+  B.setBlock(F->addBlock("entry"));
+  B.ret(NoReg);
+  F->renumberBlocks();
+  F->block(0)->Id = 7; // corrupt
+  expectError(M, "stale");
+}

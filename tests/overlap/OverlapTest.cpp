@@ -1,0 +1,204 @@
+//===--- OverlapTest.cpp - overlap region / numbering / projection tests ------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "overlap/OverlapRegion.h"
+#include "overlap/Projection.h"
+#include "overlap/RegionNumbering.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+namespace {
+
+struct RegionFixture {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<CfgView> Cfg;
+  std::unique_ptr<DomTree> Dom;
+  std::unique_ptr<LoopInfo> LI;
+
+  explicit RegionFixture(std::unique_ptr<Module> Mod) : M(std::move(Mod)) {
+    const Function &F = *M->function(0);
+    Cfg = std::make_unique<CfgView>(CfgView::build(F));
+    Dom = std::make_unique<DomTree>(DomTree::compute(*Cfg));
+    LI = std::make_unique<LoopInfo>(LoopInfo::compute(*Cfg, *Dom));
+  }
+
+  OverlapRegion loopRegion(uint32_t Degree) const {
+    const Loop &L = LI->loop(0);
+    OverlapRegionParams P;
+    P.Anchor = L.Header;
+    P.Degree = Degree;
+    P.Restrict.assign(Cfg->numBlocks(), false);
+    for (uint32_t B : L.Blocks)
+      P.Restrict[B] = true;
+    return OverlapRegion::compute(*M->function(0), *Cfg, *LI, P);
+  }
+};
+
+OverlapEdgeClass classOfEdge(const OverlapRegion &R, uint32_t FromBlock,
+                             uint32_t ToBlock) {
+  uint32_t From = R.nodeForBlock(FromBlock);
+  EXPECT_NE(From, UINT32_MAX);
+  for (uint32_t E : R.outEdges(From))
+    if (R.nodes()[R.edges()[E].To].Block == ToBlock)
+      return R.edges()[E].Cls;
+  ADD_FAILURE() << "no region edge " << FromBlock << " -> " << ToBlock;
+  return OverlapEdgeClass::DI;
+}
+
+} // namespace
+
+// Paper loop block ids: 0=En, 1=P1, 2=B1, 3=P2, 4=B2, 5=B3, 6=P3, 7=Ex.
+
+TEST(OverlapRegion, DegreeZeroIsJustTheHeader) {
+  RegionFixture F(makePaperLoopModule());
+  OverlapRegion R = F.loopRegion(0);
+  ASSERT_EQ(R.nodes().size(), 1u);
+  EXPECT_EQ(R.nodes()[0].Block, 1u);
+  EXPECT_FALSE(R.nodes()[0].Extendable);
+  EXPECT_TRUE(R.nodes()[0].DummyReasons & DR_TerminalPredicate);
+}
+
+TEST(OverlapRegion, DegreeOneStopsAtSecondPredicate) {
+  RegionFixture F(makePaperLoopModule());
+  OverlapRegion R = F.loopRegion(1);
+  // Region: P1, B1, P2, P3 (P3 entered as 2nd predicate via B1; P2 as 2nd).
+  EXPECT_TRUE(R.containsBlock(1));
+  EXPECT_TRUE(R.containsBlock(2));
+  EXPECT_TRUE(R.containsBlock(3));
+  EXPECT_TRUE(R.containsBlock(6));
+  EXPECT_FALSE(R.containsBlock(4)); // B2 lies beyond P2
+  EXPECT_FALSE(R.containsBlock(5));
+  // P2 and the P3 copy are terminal predicates.
+  EXPECT_FALSE(R.nodes()[R.nodeForBlock(3)].Extendable);
+  EXPECT_FALSE(R.nodes()[R.nodeForBlock(6)].Extendable);
+}
+
+TEST(OverlapRegion, DegreeTwoCoversLoopAndClassifiesDI) {
+  RegionFixture F(makePaperLoopModule());
+  OverlapRegion R = F.loopRegion(2);
+  for (uint32_t B : {1u, 2u, 3u, 4u, 5u, 6u})
+    EXPECT_TRUE(R.containsBlock(B)) << B;
+  // In this CFG every region edge is definitely instrumented at k=2.
+  for (const OverlapRegionEdge &E : R.edges())
+    EXPECT_EQ(E.Cls, OverlapEdgeClass::DI);
+  // P3 flushes here: terminal predicate, backedge source, and loop exit.
+  const OverlapRegionNode &P3 = R.nodes()[R.nodeForBlock(6)];
+  EXPECT_TRUE(P3.DummyReasons & DR_TerminalPredicate);
+  EXPECT_TRUE(P3.DummyReasons & DR_Backedge);
+  EXPECT_TRUE(P3.DummyReasons & DR_LeavesRestriction);
+}
+
+TEST(OverlapRegion, PiEdgeClassification) {
+  // makePiEdgeModule: 1=P1, 2=B1, 3=P2, 4=B4, 5=P3, 6=B2, 7=P4.
+  // At k=2 the edge P3->B2 is PI: via B1 two predicates precede it, via
+  // P2 three do (paper Figure 1(c)).
+  RegionFixture F(makePiEdgeModule());
+  ASSERT_EQ(F.LI->numLoops(), 1u);
+  OverlapRegion R = F.loopRegion(2);
+  EXPECT_EQ(classOfEdge(R, 5, 6), OverlapEdgeClass::PI);
+  EXPECT_EQ(classOfEdge(R, 1, 2), OverlapEdgeClass::DI);
+  EXPECT_EQ(classOfEdge(R, 1, 3), OverlapEdgeClass::DI);
+  EXPECT_EQ(classOfEdge(R, 2, 5), OverlapEdgeClass::DI);
+}
+
+TEST(OverlapRegion, MinMaxPredicateCounts) {
+  RegionFixture F(makePaperLoopModule());
+  OverlapRegion R = F.loopRegion(2);
+  const OverlapRegionNode &P3 = R.nodes()[R.nodeForBlock(6)];
+  EXPECT_EQ(P3.MinPredsExcl, 1u); // via B1
+  EXPECT_EQ(P3.MaxPredsExcl, 2u); // via P2
+  const OverlapRegionNode &P1 = R.nodes()[R.nodeForBlock(1)];
+  EXPECT_EQ(P1.MinPredsExcl, 0u);
+  EXPECT_EQ(P1.MaxPredsExcl, 0u);
+}
+
+TEST(OverlapRegion, MaxOverlapDegreeOfPaperLoop) {
+  RegionFixture F(makePaperLoopModule());
+  const Loop &L = F.LI->loop(0);
+  OverlapRegionParams P;
+  P.Anchor = L.Header;
+  P.Restrict.assign(F.Cfg->numBlocks(), false);
+  for (uint32_t B : L.Blocks)
+    P.Restrict[B] = true;
+  // Longest iteration path P1 P2 B2 P3 has 3 predicates -> max degree 2,
+  // exactly as the paper notes for this example.
+  EXPECT_EQ(maxOverlapDegree(*F.M->function(0), *F.Cfg, *F.LI, P), 2u);
+}
+
+TEST(RegionNumbering, CountsAndRoundTrip) {
+  RegionFixture F(makePaperLoopModule());
+  for (uint32_t K : {0u, 1u, 2u}) {
+    OverlapRegion R = F.loopRegion(K);
+    std::string Error;
+    auto N = RegionNumbering::build(R, Error);
+    ASSERT_NE(N, nullptr) << Error;
+    uint64_t Want = K == 0 ? 1 : (K == 1 ? 2 : 3);
+    EXPECT_EQ(N->numPaths(), Want) << "degree " << K;
+    for (int64_t Id = 0; Id < static_cast<int64_t>(N->numPaths()); ++Id) {
+      std::vector<uint32_t> Seq = N->decode(Id);
+      EXPECT_EQ(N->encode(Seq), Id);
+    }
+  }
+}
+
+TEST(Projection, FollowsRegionSemantics) {
+  RegionFixture F(makePaperLoopModule());
+  OverlapRegion R1 = F.loopRegion(1);
+  // Walk P1 B1 P3 (ends at 2nd predicate P3).
+  auto Seq = projectThroughRegion(R1, {1, 2, 6});
+  ASSERT_EQ(Seq.size(), 3u);
+  EXPECT_EQ(R1.nodes()[Seq.back()].Block, 6u);
+  // Walk P1 P2 B2 P3: stops at P2 (2nd predicate) before B2.
+  Seq = projectThroughRegion(R1, {1, 3, 4, 6});
+  ASSERT_EQ(Seq.size(), 2u);
+  EXPECT_EQ(R1.nodes()[Seq.back()].Block, 3u);
+}
+
+TEST(Projection, StopsAtWalkEnd) {
+  RegionFixture F(makePaperLoopModule());
+  OverlapRegion R2 = F.loopRegion(2);
+  // A one-block walk (iteration path that immediately took the backedge
+  // again is impossible here, but a short walk must flush at its last
+  // node). P1 alone: P1 is a predicate and extendable; walk ends -> flush
+  // at P1 requires a dummy there?  P1 has none at k=2, so use a legal walk.
+  auto Seq = projectThroughRegion(R2, {1, 2, 6});
+  EXPECT_EQ(R2.nodes()[Seq.back()].Block, 6u);
+}
+
+TEST(Projection, CallBreakTruncation) {
+  auto M = compileOrDie(R"(
+    fn g() { return 1; }
+    fn main(n) {
+      var s = 0;
+      while (s < n) {
+        s = s + g();
+      }
+      return s;
+    })");
+  const Function &F = *M->findFunction("main");
+  CfgView Cfg = CfgView::build(F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  OverlapRegionParams P;
+  P.Anchor = LI.loop(0).Header;
+  P.Degree = 5;
+  P.Restrict.assign(Cfg.numBlocks(), false);
+  for (uint32_t B : LI.loop(0).Blocks)
+    P.Restrict[B] = true;
+  P.BreakAtCalls = true;
+  OverlapRegion R = OverlapRegion::compute(F, Cfg, LI, P);
+  // Some region node must be a call-break flush site.
+  bool SawCallBreak = false;
+  for (const OverlapRegionNode &N : R.nodes())
+    SawCallBreak |= (N.DummyReasons & DR_CallBreak) != 0;
+  EXPECT_TRUE(SawCallBreak);
+}

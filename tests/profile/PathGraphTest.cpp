@@ -1,0 +1,211 @@
+//===--- PathGraphTest.cpp - path graph numbering tests ----------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/PathGraph.h"
+#include "profile/ProfileDecode.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<CfgView> Cfg;
+  std::unique_ptr<DomTree> Dom;
+  std::unique_ptr<LoopInfo> LI;
+  std::unique_ptr<PathGraph> PG;
+};
+
+Built buildPaper(const PathGraphOptions &Opts) {
+  Built B;
+  B.M = makePaperLoopModule();
+  const Function &F = *B.M->function(0);
+  B.Cfg = std::make_unique<CfgView>(CfgView::build(F));
+  B.Dom = std::make_unique<DomTree>(DomTree::compute(*B.Cfg));
+  B.LI = std::make_unique<LoopInfo>(LoopInfo::compute(*B.Cfg, *B.Dom));
+  std::string Error;
+  B.PG = PathGraph::build(F, *B.Cfg, *B.LI, Opts, Error);
+  EXPECT_NE(B.PG, nullptr) << Error;
+  return B;
+}
+
+} // namespace
+
+TEST(PathGraph, PaperLoopHasTwelveBLPaths) {
+  // Paper, Table 2: the example CFG has exactly 12 Ball-Larus paths.
+  Built B = buildPaper({});
+  EXPECT_EQ(B.PG->numPaths(), 12u);
+}
+
+TEST(PathGraph, PaperLoopOverlapPathCounts) {
+  // Non-crossing paths: 3 from En to Ex plus 3 from P1 to Ex. Crossing
+  // prefixes: 6 (Table 2 groups (ii) and (iii)). Suffix classes per degree
+  // (Table 3): k=0 -> 1 class (P1), k=1 -> 2, k=2 -> 3 (the two pure OL-2
+  // suffixes plus the shorter P1-B1-P3 path that ends at the backedge/exit).
+  struct {
+    uint32_t K;
+    uint64_t Want;
+  } Cases[] = {{0, 6 + 6 * 1}, {1, 6 + 6 * 2}, {2, 6 + 6 * 3},
+               {3, 6 + 6 * 3} /* beyond max degree: unchanged */};
+  for (auto [K, Want] : Cases) {
+    PathGraphOptions Opts;
+    Opts.LoopOverlap = true;
+    Opts.Degree = K;
+    Built B = buildPaper(Opts);
+    EXPECT_EQ(B.PG->numPaths(), Want) << "degree " << K;
+  }
+}
+
+TEST(PathGraph, DecodeEncodeRoundTripAllIds) {
+  for (uint32_t K : {0u, 1u, 2u}) {
+    PathGraphOptions Opts;
+    Opts.LoopOverlap = true;
+    Opts.Degree = K;
+    Built B = buildPaper(Opts);
+    for (int64_t Id = 0; Id < static_cast<int64_t>(B.PG->numPaths()); ++Id) {
+      std::vector<uint32_t> Seq = B.PG->decode(Id);
+      EXPECT_EQ(B.PG->encode(Seq), Id);
+    }
+  }
+}
+
+TEST(PathGraph, IdsAreDistinctPaths) {
+  PathGraphOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.Degree = 2;
+  Built B = buildPaper(Opts);
+  std::set<std::vector<uint32_t>> Seen;
+  for (int64_t Id = 0; Id < static_cast<int64_t>(B.PG->numPaths()); ++Id)
+    EXPECT_TRUE(Seen.insert(B.PG->decode(Id)).second);
+}
+
+TEST(PathGraph, ChordIncrementsPreservePathSums) {
+  for (bool Overlap : {false, true}) {
+    PathGraphOptions Opts;
+    Opts.LoopOverlap = Overlap;
+    Opts.Degree = 2;
+    Opts.UseChords = true;
+    Built B = buildPaper(Opts);
+    bool AnyTreeEdge = false;
+    for (uint32_t E = 0; E < B.PG->numEdges(); ++E)
+      AnyTreeEdge |= B.PG->edge(E).TreeEdge;
+    EXPECT_TRUE(AnyTreeEdge) << "chord mode did not pick a spanning tree";
+    for (int64_t Id = 0; Id < static_cast<int64_t>(B.PG->numPaths()); ++Id) {
+      int64_t IncSum = 0;
+      for (uint32_t E : B.PG->decode(Id))
+        IncSum += B.PG->edge(E).Inc;
+      EXPECT_EQ(IncSum, Id) << "chord increments disagree on id " << Id;
+    }
+  }
+}
+
+TEST(PathGraph, ChordModeInstrumentsFewerEdges) {
+  PathGraphOptions Naive;
+  Built A = buildPaper(Naive);
+  PathGraphOptions Chord;
+  Chord.UseChords = true;
+  Built C = buildPaper(Chord);
+  auto CountNonZeroRealIncs = [](const PathGraph &PG) {
+    uint64_t N = 0;
+    for (uint32_t E = 0; E < PG.numEdges(); ++E)
+      if (PG.edge(E).Kind == PGEdgeKind::Real && PG.edge(E).Inc != 0)
+        ++N;
+    return N;
+  };
+  EXPECT_LT(CountNonZeroRealIncs(*C.PG), CountNonZeroRealIncs(*A.PG) + 1);
+}
+
+TEST(PathGraph, DecodedPathsInterpretCorrectly) {
+  PathGraphOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.Degree = 1;
+  Built B = buildPaper(Opts);
+  uint64_t Crossing = 0, Plain = 0;
+  for (int64_t Id = 0; Id < static_cast<int64_t>(B.PG->numPaths()); ++Id) {
+    DecodedEntry D = decodePathId(*B.PG, Id);
+    if (D.End == PathEnd::Backedge) {
+      ++Crossing;
+      EXPECT_EQ(D.Loop, 0u);
+      ASSERT_FALSE(D.Suffix.empty());
+      EXPECT_EQ(D.Suffix.front(), 1u) << "suffix must start at the header P1";
+      EXPECT_EQ(D.White.Blocks.back(), 6u) << "prefix must end at latch P3";
+    } else {
+      ++Plain;
+      EXPECT_EQ(D.End, PathEnd::Ret);
+      EXPECT_EQ(D.White.Blocks.back(), 7u);
+      EXPECT_TRUE(D.Suffix.empty());
+    }
+    // Round-trip through the encoders.
+    if (D.End == PathEnd::Backedge)
+      EXPECT_EQ(encodeOverlapId(*B.PG, D.White, D.Loop, D.Suffix), Id);
+    else
+      EXPECT_EQ(encodeWhiteId(*B.PG, D.White, D.End), Id);
+  }
+  EXPECT_EQ(Crossing, 12u); // 6 prefixes x 2 suffix classes at k=1
+  EXPECT_EQ(Plain, 6u);
+}
+
+TEST(PathGraph, RefusesIrreducibleCfg) {
+  Module M;
+  Function *F = M.addFunction("f", 1);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("en");
+  BasicBlock *A = F->addBlock("a");
+  BasicBlock *C = F->addBlock("c");
+  BasicBlock *Ex = F->addBlock("ex");
+  B.setBlock(En);
+  B.condBr(0, A, C);
+  B.setBlock(A);
+  B.condBr(0, C, Ex);
+  B.setBlock(C);
+  B.condBr(0, A, Ex);
+  B.setBlock(Ex);
+  B.ret(NoReg);
+  F->renumberBlocks();
+  CfgView Cfg = CfgView::build(*F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  std::string Error;
+  EXPECT_EQ(PathGraph::build(*F, Cfg, LI, {}, Error), nullptr);
+  EXPECT_NE(Error.find("irreducible"), std::string::npos);
+}
+
+TEST(PathGraph, RefusesPathExplosion) {
+  // A long chain of diamonds: 2^40 paths exceeds a tiny MaxPaths budget.
+  Module M;
+  Function *F = M.addFunction("f", 1);
+  IRBuilder B(*F);
+  BasicBlock *Cur = F->addBlock("en");
+  B.setBlock(Cur);
+  for (int I = 0; I < 40; ++I) {
+    BasicBlock *T = F->addBlock("t");
+    BasicBlock *E = F->addBlock("e");
+    BasicBlock *J = F->addBlock("j");
+    B.condBr(0, T, E);
+    B.setBlock(T);
+    B.br(J);
+    B.setBlock(E);
+    B.br(J);
+    B.setBlock(J);
+  }
+  B.ret(NoReg);
+  F->renumberBlocks();
+  CfgView Cfg = CfgView::build(*F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  PathGraphOptions Opts;
+  Opts.MaxPaths = 1 << 20;
+  std::string Error;
+  EXPECT_EQ(PathGraph::build(*F, Cfg, LI, Opts, Error), nullptr);
+  EXPECT_NE(Error.find("paths"), std::string::npos);
+}

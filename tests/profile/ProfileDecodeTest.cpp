@@ -1,0 +1,131 @@
+//===--- ProfileDecodeTest.cpp - path codec tests -----------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileDecode.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<CfgView> Cfg;
+  std::unique_ptr<DomTree> Dom;
+  std::unique_ptr<LoopInfo> LI;
+  std::unique_ptr<PathGraph> PG;
+};
+
+Built build(std::unique_ptr<Module> M, const PathGraphOptions &Opts) {
+  Built B;
+  B.M = std::move(M);
+  const Function &F = *B.M->function(0);
+  B.Cfg = std::make_unique<CfgView>(CfgView::build(F));
+  B.Dom = std::make_unique<DomTree>(DomTree::compute(*B.Cfg));
+  B.LI = std::make_unique<LoopInfo>(LoopInfo::compute(*B.Cfg, *B.Dom));
+  std::string Error;
+  B.PG = PathGraph::build(F, *B.Cfg, *B.LI, Opts, Error);
+  EXPECT_NE(B.PG, nullptr) << Error;
+  return B;
+}
+
+} // namespace
+
+TEST(ProfileDecode, RoundTripOnPiEdgeModule) {
+  for (uint32_t K : {0u, 1u, 2u, 3u}) {
+    PathGraphOptions Opts;
+    Opts.LoopOverlap = true;
+    Opts.Degree = K;
+    Built B = build(makePiEdgeModule(), Opts);
+    for (int64_t Id = 0; Id < static_cast<int64_t>(B.PG->numPaths()); ++Id) {
+      DecodedEntry D = decodePathId(*B.PG, Id);
+      if (D.End == PathEnd::Backedge && !D.Suffix.empty())
+        EXPECT_EQ(encodeOverlapId(*B.PG, D.White, D.Loop, D.Suffix), Id);
+      else
+        EXPECT_EQ(encodeWhiteId(*B.PG, D.White, D.End), Id);
+    }
+  }
+}
+
+TEST(ProfileDecode, WhitePathsAreCfgPaths) {
+  PathGraphOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.Degree = 2;
+  Built B = build(makePaperLoopModule(), Opts);
+  const Function &F = *B.M->function(0);
+  for (int64_t Id = 0; Id < static_cast<int64_t>(B.PG->numPaths()); ++Id) {
+    DecodedEntry D = decodePathId(*B.PG, Id);
+    // Every consecutive block pair in the white part must be a CFG edge.
+    for (size_t I = 0; I + 1 < D.White.Blocks.size(); ++I) {
+      bool IsEdge = false;
+      for (BasicBlock *S : F.block(D.White.Blocks[I])->successors())
+        IsEdge |= S->Id == D.White.Blocks[I + 1];
+      EXPECT_TRUE(IsEdge) << "id " << Id;
+    }
+    // Suffixes start at the loop header.
+    if (!D.Suffix.empty())
+      EXPECT_EQ(D.Suffix.front(), B.LI->loop(D.Loop).Header);
+  }
+}
+
+TEST(ProfileDecode, CallBreakPathsDecode) {
+  auto M = compileOrDie(R"(
+    fn g(x) { return x + 1; }
+    fn main(n) { return g(n) + g(n + 2); })");
+  const Function &F = *M->findFunction("main");
+  CfgView Cfg = CfgView::build(F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+  PathGraphOptions Opts;
+  Opts.CallBreaking = true;
+  std::string Error;
+  auto PG = PathGraph::build(F, Cfg, LI, Opts, Error);
+  ASSERT_NE(PG, nullptr) << Error;
+
+  uint64_t CallEnds = 0, ContStarts = 0, RetEnds = 0;
+  for (int64_t Id = 0; Id < static_cast<int64_t>(PG->numPaths()); ++Id) {
+    DecodedEntry D = decodePathId(*PG, Id);
+    if (D.End == PathEnd::CallBreak)
+      ++CallEnds;
+    if (D.White.StartsAtCallContinuation)
+      ++ContStarts;
+    if (D.End == PathEnd::Ret)
+      ++RetEnds;
+    EXPECT_EQ(encodeWhiteId(*PG, D.White, D.End), Id);
+  }
+  // Straight-line main with two calls: [entry..c1], [c1..c2], [c2..ret].
+  EXPECT_EQ(PG->numPaths(), 3u);
+  EXPECT_EQ(CallEnds, 2u);
+  EXPECT_EQ(ContStarts, 2u);
+  EXPECT_EQ(RetEnds, 1u);
+}
+
+TEST(ProfileDecode, DecodeProfileSortsAndCounts) {
+  PathGraphOptions Opts;
+  Built B = build(makePaperLoopModule(), Opts);
+  ProfileRuntime::PathCountMap Counts;
+  Counts[3] = 7;
+  Counts[0] = 2;
+  Counts[11] = 1;
+  std::vector<DecodedEntry> Out = decodeProfile(*B.PG, Counts);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0].Id, 0);
+  EXPECT_EQ(Out[1].Id, 3);
+  EXPECT_EQ(Out[2].Id, 11);
+  EXPECT_EQ(Out[0].Count, 2u);
+  EXPECT_EQ(Out[1].Count, 7u);
+}
+
+TEST(ProfileDecode, PathSigHashDistinguishesFlag) {
+  PathSig A{false, {1, 2, 3}};
+  PathSig B{true, {1, 2, 3}};
+  EXPECT_FALSE(A == B);
+  EXPECT_NE(PathSigHash()(A), PathSigHash()(B));
+}

@@ -1,0 +1,131 @@
+//===--- GroundTruthTest.cpp - trace replay tests ------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "wpp/GroundTruth.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+namespace {
+
+GroundTruth truthOf(const Module &M, std::vector<int64_t> Args,
+                    bool CallBreaking) {
+  const Function *Main = M.findFunction("main");
+  EXPECT_NE(Main, nullptr);
+  Args.resize(Main->NumParams, 0);
+  VectorTrace T;
+  Interpreter I(M, nullptr, &T);
+  RunResult R = I.run(*Main, Args);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  GroundTruthOptions Opts;
+  Opts.CallBreaking = CallBreaking;
+  return GroundTruth::compute(M, T.Events, Opts, enumerateCallSites(M));
+}
+
+} // namespace
+
+TEST(GroundTruth, SimpleLoopPathSplit) {
+  auto M = compileOrDie(R"(
+    fn main() {
+      var s = 0;
+      var i = 0;
+      while (i < 4) { s = s + i; i = i + 1; }
+      return s;
+    })");
+  GroundTruth GT = truthOf(*M, {}, false);
+  const auto &FD = GT.Funcs[0];
+  // 4 iterations -> 4 backedge crossings; 5 path instances total
+  // (entry..backedge, 3 full iterations, final iteration..exit).
+  ASSERT_EQ(FD.BackedgeCount.size(), 1u);
+  EXPECT_EQ(FD.BackedgeCount[0], 4u);
+  uint64_t Instances = 0;
+  for (uint64_t C : FD.Counts)
+    Instances += C;
+  // entry..backedge, 3 identical middle iterations, header..exit.
+  EXPECT_EQ(Instances, 5u);
+  EXPECT_EQ(GT.TotalPathInstances, 5u);
+  EXPECT_EQ(GT.TotalBackedgeCrossings, 4u);
+  // Pair counts per the loop: the middle path pairs with itself twice and
+  // once each with first->middle and middle->exit.
+  uint64_t PairTotal = 0;
+  for (const auto &[K, C] : FD.LoopPairs[0])
+    PairTotal += C;
+  EXPECT_EQ(PairTotal, 4u);
+}
+
+TEST(GroundTruth, CallPairsWithBreaking) {
+  auto M = compileOrDie(R"(
+    fn g(x) { if (x > 2) { return x; } return 0; }
+    fn main() {
+      var s = 0;
+      s = s + g(1);
+      s = s + g(5);
+      return s;
+    })");
+  GroundTruth GT = truthOf(*M, {}, true);
+  EXPECT_EQ(GT.TotalCalls, 2u);
+  EXPECT_EQ(GT.TotalReturns, 2u);
+  ASSERT_EQ(GT.CallSites.size(), 2u);
+  for (const auto &CS : GT.CallSites) {
+    EXPECT_EQ(CS.Calls, 1u);
+    ASSERT_EQ(CS.TypeIPairs.size(), 1u);  // one callee
+    EXPECT_EQ(CS.TypeIPairs.begin()->second.size(), 1u);
+    ASSERT_EQ(CS.TypeIIPairs.size(), 1u);
+    EXPECT_EQ(CS.TypeIIPairs.begin()->second.size(), 1u);
+  }
+  // g took different paths for the two calls, so the two call sites must
+  // reference different callee path classes.
+  auto FirstInner = [&](const GroundTruth::CallSiteData &CS) {
+    return static_cast<uint32_t>(
+        CS.TypeIPairs.begin()->second.begin()->first & 0xFFFFFFFF);
+  };
+  EXPECT_NE(FirstInner(GT.CallSites[0]), FirstInner(GT.CallSites[1]));
+}
+
+TEST(GroundTruth, NonBreakingModeKeepsCallsTransparent) {
+  auto M = compileOrDie(R"(
+    fn g() { return 1; }
+    fn main() { return g() + g(); })");
+  GroundTruth GT = truthOf(*M, {}, false);
+  // main contributes exactly one path instance (no splits at calls).
+  uint64_t MainInstances = 0;
+  for (uint64_t C : GT.Funcs[M->findFunction("main")->Id].Counts)
+    MainInstances += C;
+  EXPECT_EQ(MainInstances, 1u);
+  // In breaking mode the same run splits main into three instances.
+  GroundTruth GT2 = truthOf(*M, {}, true);
+  uint64_t MainInstances2 = 0;
+  for (uint64_t C : GT2.Funcs[M->findFunction("main")->Id].Counts)
+    MainInstances2 += C;
+  EXPECT_EQ(MainInstances2, 3u);
+}
+
+TEST(GroundTruth, PathKeysCarryEndKinds) {
+  auto M = compileOrDie(R"(
+    fn main(n) {
+      var i = 0;
+      while (i < n) { i = i + 1; }
+      return i;
+    })");
+  GroundTruth GT = truthOf(*M, {3}, false);
+  const auto &FD = GT.Funcs[0];
+  bool SawBackedge = false, SawRet = false;
+  for (const DynPathKey &K : FD.Paths) {
+    if (K.End == PathEnd::Backedge) {
+      SawBackedge = true;
+      EXPECT_EQ(K.Loop, 0u);
+    }
+    if (K.End == PathEnd::Ret)
+      SawRet = true;
+  }
+  EXPECT_TRUE(SawBackedge);
+  EXPECT_TRUE(SawRet);
+}

@@ -1,0 +1,135 @@
+//===--- SequiturTest.cpp - grammar compression tests --------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wpp/Sequitur.h"
+#include "wpp/TraceStats.h"
+
+#include "driver/Pipeline.h"
+#include "frontend/Compiler.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+
+namespace {
+
+std::vector<uint32_t> roundTrip(const std::vector<uint32_t> &In,
+                                Sequitur &G) {
+  for (uint32_t S : In)
+    G.append(S);
+  return G.expand();
+}
+
+} // namespace
+
+TEST(Sequitur, EmptyAndSingle) {
+  Sequitur G;
+  EXPECT_EQ(G.expand(), std::vector<uint32_t>{});
+  G.append(7);
+  EXPECT_EQ(G.expand(), std::vector<uint32_t>{7});
+  EXPECT_TRUE(G.checkInvariants());
+}
+
+TEST(Sequitur, ClassicAbcabcabc) {
+  // "abcabcabcabc" must compress into nested rules.
+  std::vector<uint32_t> In;
+  for (int I = 0; I < 16; ++I) {
+    In.push_back(1);
+    In.push_back(2);
+    In.push_back(3);
+  }
+  Sequitur G;
+  EXPECT_EQ(roundTrip(In, G), In);
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_LT(G.grammarSize(), In.size() / 2);
+  EXPECT_GT(G.numRules(), 1u);
+}
+
+TEST(Sequitur, OverlappingRunsOfOneSymbol) {
+  // The classic aaaa... edge case (overlapping digrams).
+  std::vector<uint32_t> In(37, 5);
+  Sequitur G;
+  EXPECT_EQ(roundTrip(In, G), In);
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_LT(G.grammarSize(), In.size());
+}
+
+TEST(Sequitur, NoRepetitionMeansNoRules) {
+  std::vector<uint32_t> In = {1, 2, 3, 4, 5, 6, 7, 8};
+  Sequitur G;
+  EXPECT_EQ(roundTrip(In, G), In);
+  EXPECT_EQ(G.numRules(), 1u); // only the start rule
+  EXPECT_EQ(G.grammarSize(), In.size());
+}
+
+TEST(Sequitur, PaperExampleAbcdbc) {
+  // Nevill-Manning & Witten's own example: 'abcdbcabcdbc'.
+  std::vector<uint32_t> In = {'a', 'b', 'c', 'd', 'b', 'c',
+                              'a', 'b', 'c', 'd', 'b', 'c'};
+  Sequitur G;
+  EXPECT_EQ(roundTrip(In, G), In);
+  EXPECT_TRUE(G.checkInvariants());
+  // The canonical grammar: S -> AA, A -> aBdB, B -> bc  (8 RHS symbols).
+  EXPECT_LE(G.grammarSize(), 8u);
+}
+
+TEST(Sequitur, RandomStreamsRoundTrip) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Rng R(Seed);
+    std::vector<uint32_t> In;
+    size_t Len = 200 + R.nextBelow(2000);
+    uint32_t Alphabet = 2 + static_cast<uint32_t>(R.nextBelow(12));
+    for (size_t I = 0; I < Len; ++I)
+      In.push_back(static_cast<uint32_t>(R.nextBelow(Alphabet)));
+    Sequitur G;
+    ASSERT_EQ(roundTrip(In, G), In) << "seed " << Seed;
+    ASSERT_TRUE(G.checkInvariants()) << "seed " << Seed;
+  }
+}
+
+TEST(Sequitur, StructuredStreamsCompressWell) {
+  // Phrase-structured input, like a control-flow trace.
+  Rng R(99);
+  std::vector<std::vector<uint32_t>> Phrases;
+  for (int P = 0; P < 6; ++P) {
+    std::vector<uint32_t> Ph;
+    for (size_t I = 0; I < 3 + R.nextBelow(6); ++I)
+      Ph.push_back(static_cast<uint32_t>(R.nextBelow(40)));
+    Phrases.push_back(Ph);
+  }
+  std::vector<uint32_t> In;
+  for (int I = 0; I < 400; ++I)
+    for (uint32_t S : R.pick(Phrases))
+      In.push_back(S);
+  Sequitur G;
+  ASSERT_EQ(roundTrip(In, G), In);
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_GT(static_cast<double>(In.size()) /
+                static_cast<double>(G.grammarSize()),
+            4.0);
+}
+
+TEST(TraceStats, RealTraceCompresses) {
+  const Workload *W = findWorkload("espresso");
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileMiniC(W->Source);
+  ASSERT_TRUE(CR.ok());
+  const Function *Main = CR.M->findFunction("main");
+  VectorTrace T;
+  Interpreter I(*CR.M, nullptr, &T);
+  RunResult R = I.run(*Main, {2, 5});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  TraceStats S = compressTrace(T.Events);
+  EXPECT_EQ(S.RawEvents, T.Events.size());
+  EXPECT_GT(S.RawEvents, 10000u);
+  // Control-flow traces are highly repetitive: expect strong compression,
+  // yet a grammar that is still far larger than a path profile would be.
+  EXPECT_GT(S.compressionRatio(), 5.0);
+  EXPECT_GT(S.GrammarSymbols, 100u);
+}
