@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chords.dir/ablation_chords.cpp.o"
+  "CMakeFiles/ablation_chords.dir/ablation_chords.cpp.o.d"
+  "ablation_chords"
+  "ablation_chords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interproc_overhead.dir/fig8_interproc_overhead.cpp.o"
+  "CMakeFiles/fig8_interproc_overhead.dir/fig8_interproc_overhead.cpp.o.d"
+  "fig8_interproc_overhead"
+  "fig8_interproc_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interproc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

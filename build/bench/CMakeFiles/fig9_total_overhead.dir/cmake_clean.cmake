@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_total_overhead.dir/fig9_total_overhead.cpp.o"
+  "CMakeFiles/fig9_total_overhead.dir/fig9_total_overhead.cpp.o.d"
+  "fig9_total_overhead"
+  "fig9_total_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_total_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_probe_cost.cpp" "bench/CMakeFiles/micro_probe_cost.dir/micro_probe_cost.cpp.o" "gcc" "bench/CMakeFiles/micro_probe_cost.dir/micro_probe_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/olpp_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/olpp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/olpp_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/wpp/CMakeFiles/olpp_wpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/olpp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlap/CMakeFiles/olpp_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/olpp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/olpp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/olpp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/olpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_probe_cost.dir/micro_probe_cost.cpp.o"
+  "CMakeFiles/micro_probe_cost.dir/micro_probe_cost.cpp.o.d"
+  "micro_probe_cost"
+  "micro_probe_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_probe_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libolpp_bench_common.a"
+  "../lib/libolpp_bench_common.pdb"
+  "CMakeFiles/olpp_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/olpp_bench_common.dir/BenchCommon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libolpp_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_flow.dir/table1_flow.cpp.o"
+  "CMakeFiles/table1_flow.dir/table1_flow.cpp.o.d"
+  "table1_flow"
+  "table1_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_precision.dir/table8_precision.cpp.o"
+  "CMakeFiles/table8_precision.dir/table8_precision.cpp.o.d"
+  "table8_precision"
+  "table8_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

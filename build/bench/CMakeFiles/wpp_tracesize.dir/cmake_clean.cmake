@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpp_tracesize.dir/wpp_tracesize.cpp.o"
+  "CMakeFiles/wpp_tracesize.dir/wpp_tracesize.cpp.o.d"
+  "wpp_tracesize"
+  "wpp_tracesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpp_tracesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

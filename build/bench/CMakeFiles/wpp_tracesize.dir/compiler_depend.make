@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wpp_tracesize.
+# This may be replaced when dependencies are built.

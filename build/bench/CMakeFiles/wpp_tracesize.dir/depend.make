@@ -1,0 +1,2 @@
+# Empty dependencies file for wpp_tracesize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_tuning.dir/degree_tuning.cpp.o"
+  "CMakeFiles/degree_tuning.dir/degree_tuning.cpp.o.d"
+  "degree_tuning"
+  "degree_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_advisor.dir/inline_advisor.cpp.o"
+  "CMakeFiles/inline_advisor.dir/inline_advisor.cpp.o.d"
+  "inline_advisor"
+  "inline_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

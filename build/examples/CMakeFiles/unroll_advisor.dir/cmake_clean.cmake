@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_advisor.dir/unroll_advisor.cpp.o"
+  "CMakeFiles/unroll_advisor.dir/unroll_advisor.cpp.o.d"
+  "unroll_advisor"
+  "unroll_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_analysis.dir/Cfg.cpp.o"
+  "CMakeFiles/olpp_analysis.dir/Cfg.cpp.o.d"
+  "CMakeFiles/olpp_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/olpp_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/olpp_analysis.dir/EdgeSplit.cpp.o"
+  "CMakeFiles/olpp_analysis.dir/EdgeSplit.cpp.o.d"
+  "CMakeFiles/olpp_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/olpp_analysis.dir/LoopInfo.cpp.o.d"
+  "libolpp_analysis.a"
+  "libolpp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

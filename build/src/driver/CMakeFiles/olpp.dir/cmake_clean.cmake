@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp.dir/Main.cpp.o"
+  "CMakeFiles/olpp.dir/Main.cpp.o.d"
+  "olpp"
+  "olpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

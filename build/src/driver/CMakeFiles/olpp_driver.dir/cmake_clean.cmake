@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/olpp_driver.dir/Pipeline.cpp.o.d"
+  "libolpp_driver.a"
+  "libolpp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_estimate.dir/Estimators.cpp.o"
+  "CMakeFiles/olpp_estimate.dir/Estimators.cpp.o.d"
+  "CMakeFiles/olpp_estimate.dir/IntervalSolver.cpp.o"
+  "CMakeFiles/olpp_estimate.dir/IntervalSolver.cpp.o.d"
+  "libolpp_estimate.a"
+  "libolpp_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_frontend.dir/Compiler.cpp.o"
+  "CMakeFiles/olpp_frontend.dir/Compiler.cpp.o.d"
+  "CMakeFiles/olpp_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/olpp_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/olpp_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/olpp_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/olpp_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/olpp_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/olpp_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/olpp_frontend.dir/Sema.cpp.o.d"
+  "libolpp_frontend.a"
+  "libolpp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

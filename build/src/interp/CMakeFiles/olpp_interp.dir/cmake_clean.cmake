@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/olpp_interp.dir/Interpreter.cpp.o.d"
+  "libolpp_interp.a"
+  "libolpp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

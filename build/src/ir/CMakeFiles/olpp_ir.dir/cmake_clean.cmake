@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_ir.dir/Module.cpp.o"
+  "CMakeFiles/olpp_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/olpp_ir.dir/Printer.cpp.o"
+  "CMakeFiles/olpp_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/olpp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/olpp_ir.dir/Verifier.cpp.o.d"
+  "libolpp_ir.a"
+  "libolpp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

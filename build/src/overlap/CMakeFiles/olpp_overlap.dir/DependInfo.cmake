@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlap/OverlapRegion.cpp" "src/overlap/CMakeFiles/olpp_overlap.dir/OverlapRegion.cpp.o" "gcc" "src/overlap/CMakeFiles/olpp_overlap.dir/OverlapRegion.cpp.o.d"
+  "/root/repo/src/overlap/Projection.cpp" "src/overlap/CMakeFiles/olpp_overlap.dir/Projection.cpp.o" "gcc" "src/overlap/CMakeFiles/olpp_overlap.dir/Projection.cpp.o.d"
+  "/root/repo/src/overlap/RegionNumbering.cpp" "src/overlap/CMakeFiles/olpp_overlap.dir/RegionNumbering.cpp.o" "gcc" "src/overlap/CMakeFiles/olpp_overlap.dir/RegionNumbering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/olpp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/olpp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/olpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_overlap.dir/OverlapRegion.cpp.o"
+  "CMakeFiles/olpp_overlap.dir/OverlapRegion.cpp.o.d"
+  "CMakeFiles/olpp_overlap.dir/Projection.cpp.o"
+  "CMakeFiles/olpp_overlap.dir/Projection.cpp.o.d"
+  "CMakeFiles/olpp_overlap.dir/RegionNumbering.cpp.o"
+  "CMakeFiles/olpp_overlap.dir/RegionNumbering.cpp.o.d"
+  "libolpp_overlap.a"
+  "libolpp_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_profile.dir/Instrumenter.cpp.o"
+  "CMakeFiles/olpp_profile.dir/Instrumenter.cpp.o.d"
+  "CMakeFiles/olpp_profile.dir/PathGraph.cpp.o"
+  "CMakeFiles/olpp_profile.dir/PathGraph.cpp.o.d"
+  "CMakeFiles/olpp_profile.dir/ProfileDecode.cpp.o"
+  "CMakeFiles/olpp_profile.dir/ProfileDecode.cpp.o.d"
+  "libolpp_profile.a"
+  "libolpp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_support.dir/Format.cpp.o"
+  "CMakeFiles/olpp_support.dir/Format.cpp.o.d"
+  "CMakeFiles/olpp_support.dir/Stats.cpp.o"
+  "CMakeFiles/olpp_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/olpp_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/olpp_support.dir/TableWriter.cpp.o.d"
+  "libolpp_support.a"
+  "libolpp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

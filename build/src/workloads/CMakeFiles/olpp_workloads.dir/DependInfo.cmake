@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Generator.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/Generator.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/Generator.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/Workloads.cpp.o.d"
+  "/root/repo/src/workloads/programs/Espresso.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Espresso.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Espresso.cpp.o.d"
+  "/root/repo/src/workloads/programs/Gcc.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Gcc.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Gcc.cpp.o.d"
+  "/root/repo/src/workloads/programs/Go.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Go.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Go.cpp.o.d"
+  "/root/repo/src/workloads/programs/Li.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Li.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Li.cpp.o.d"
+  "/root/repo/src/workloads/programs/Mcf.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Mcf.cpp.o.d"
+  "/root/repo/src/workloads/programs/Parser.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Parser.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Parser.cpp.o.d"
+  "/root/repo/src/workloads/programs/Perl.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Perl.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Perl.cpp.o.d"
+  "/root/repo/src/workloads/programs/Twolf.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Twolf.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Twolf.cpp.o.d"
+  "/root/repo/src/workloads/programs/Vortex.cpp" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Vortex.cpp.o" "gcc" "src/workloads/CMakeFiles/olpp_workloads.dir/programs/Vortex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/olpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_workloads.dir/Generator.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/Generator.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/Workloads.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Espresso.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Espresso.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Gcc.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Gcc.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Go.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Go.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Li.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Li.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Mcf.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Mcf.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Parser.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Parser.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Perl.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Perl.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Twolf.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Twolf.cpp.o.d"
+  "CMakeFiles/olpp_workloads.dir/programs/Vortex.cpp.o"
+  "CMakeFiles/olpp_workloads.dir/programs/Vortex.cpp.o.d"
+  "libolpp_workloads.a"
+  "libolpp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/olpp_workloads.dir/programs/Li.cpp.o: \
+ /root/repo/src/workloads/programs/Li.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/programs/Sources.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wpp/ExpectedCounters.cpp" "src/wpp/CMakeFiles/olpp_wpp.dir/ExpectedCounters.cpp.o" "gcc" "src/wpp/CMakeFiles/olpp_wpp.dir/ExpectedCounters.cpp.o.d"
+  "/root/repo/src/wpp/GroundTruth.cpp" "src/wpp/CMakeFiles/olpp_wpp.dir/GroundTruth.cpp.o" "gcc" "src/wpp/CMakeFiles/olpp_wpp.dir/GroundTruth.cpp.o.d"
+  "/root/repo/src/wpp/Sequitur.cpp" "src/wpp/CMakeFiles/olpp_wpp.dir/Sequitur.cpp.o" "gcc" "src/wpp/CMakeFiles/olpp_wpp.dir/Sequitur.cpp.o.d"
+  "/root/repo/src/wpp/TraceStats.cpp" "src/wpp/CMakeFiles/olpp_wpp.dir/TraceStats.cpp.o" "gcc" "src/wpp/CMakeFiles/olpp_wpp.dir/TraceStats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/olpp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlap/CMakeFiles/olpp_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/olpp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/olpp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/olpp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/olpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

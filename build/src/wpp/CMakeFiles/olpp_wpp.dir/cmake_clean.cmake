@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_wpp.dir/ExpectedCounters.cpp.o"
+  "CMakeFiles/olpp_wpp.dir/ExpectedCounters.cpp.o.d"
+  "CMakeFiles/olpp_wpp.dir/GroundTruth.cpp.o"
+  "CMakeFiles/olpp_wpp.dir/GroundTruth.cpp.o.d"
+  "CMakeFiles/olpp_wpp.dir/Sequitur.cpp.o"
+  "CMakeFiles/olpp_wpp.dir/Sequitur.cpp.o.d"
+  "CMakeFiles/olpp_wpp.dir/TraceStats.cpp.o"
+  "CMakeFiles/olpp_wpp.dir/TraceStats.cpp.o.d"
+  "libolpp_wpp.a"
+  "libolpp_wpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_wpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

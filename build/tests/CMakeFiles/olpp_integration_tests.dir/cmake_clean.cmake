@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olpp_integration_tests.dir/integration/ExactnessPropertyTest.cpp.o"
+  "CMakeFiles/olpp_integration_tests.dir/integration/ExactnessPropertyTest.cpp.o.d"
+  "CMakeFiles/olpp_integration_tests.dir/integration/FunctionPointerTest.cpp.o"
+  "CMakeFiles/olpp_integration_tests.dir/integration/FunctionPointerTest.cpp.o.d"
+  "olpp_integration_tests"
+  "olpp_integration_tests.pdb"
+  "olpp_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olpp_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/AnalysisTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/analysis/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/analysis/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/driver/PipelineTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/driver/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/driver/PipelineTest.cpp.o.d"
+  "/root/repo/tests/estimate/EstimatorsTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/estimate/EstimatorsTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/estimate/EstimatorsTest.cpp.o.d"
+  "/root/repo/tests/estimate/PaperExampleTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/estimate/PaperExampleTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/estimate/PaperExampleTest.cpp.o.d"
+  "/root/repo/tests/estimate/SolverTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/estimate/SolverTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/estimate/SolverTest.cpp.o.d"
+  "/root/repo/tests/frontend/FrontendTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/frontend/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/frontend/FrontendTest.cpp.o.d"
+  "/root/repo/tests/frontend/FuzzTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/frontend/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/frontend/FuzzTest.cpp.o.d"
+  "/root/repo/tests/interp/CostModelTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/interp/CostModelTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/interp/CostModelTest.cpp.o.d"
+  "/root/repo/tests/interp/InterpTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/interp/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/interp/InterpTest.cpp.o.d"
+  "/root/repo/tests/ir/PrinterTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/ir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/ir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/ir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/ir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/overlap/OverlapTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/overlap/OverlapTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/overlap/OverlapTest.cpp.o.d"
+  "/root/repo/tests/profile/InstrumentationTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/profile/InstrumentationTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/profile/InstrumentationTest.cpp.o.d"
+  "/root/repo/tests/profile/MultiLatchTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/profile/MultiLatchTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/profile/MultiLatchTest.cpp.o.d"
+  "/root/repo/tests/profile/PathGraphTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/profile/PathGraphTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/profile/PathGraphTest.cpp.o.d"
+  "/root/repo/tests/profile/ProfileDecodeTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/profile/ProfileDecodeTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/profile/ProfileDecodeTest.cpp.o.d"
+  "/root/repo/tests/support/SupportTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/support/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/support/SupportTest.cpp.o.d"
+  "/root/repo/tests/workloads/WorkloadTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/workloads/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/workloads/WorkloadTest.cpp.o.d"
+  "/root/repo/tests/wpp/GroundTruthTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/wpp/GroundTruthTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/wpp/GroundTruthTest.cpp.o.d"
+  "/root/repo/tests/wpp/SequiturTest.cpp" "tests/CMakeFiles/olpp_unit_tests.dir/wpp/SequiturTest.cpp.o" "gcc" "tests/CMakeFiles/olpp_unit_tests.dir/wpp/SequiturTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/olpp_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/olpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/olpp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/olpp_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/wpp/CMakeFiles/olpp_wpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/olpp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlap/CMakeFiles/olpp_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/olpp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/olpp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/olpp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/olpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
