@@ -1,0 +1,280 @@
+//===--- Dataflow.cpp - Generic bit-vector dataflow engine -------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace olpp;
+
+DataflowResult olpp::solveDataflow(const CfgView &Cfg,
+                                   const DataflowProblem &P) {
+  uint32_t N = Cfg.numBlocks();
+  assert(P.Gen.size() == N && P.Kill.size() == N &&
+         "Gen/Kill must cover every block");
+  bool Forward = P.Direction == DataflowDirection::Forward;
+  bool Union = P.Meet == DataflowMeet::Union;
+
+  DataflowResult R;
+  R.In.assign(N, BitVector(P.NumBits, /*Value=*/!Union));
+  R.Out.assign(N, BitVector(P.NumBits, /*Value=*/!Union));
+
+  BitVector Boundary = P.Boundary;
+  if (Boundary.size() != P.NumBits)
+    Boundary = BitVector(P.NumBits);
+
+  // Visit order: RPO converges in few passes forward, reverse RPO backward.
+  std::vector<uint32_t> Order = Cfg.rpo();
+  if (!Forward)
+    std::reverse(Order.begin(), Order.end());
+
+  // Neighbours the meet reads from: preds (forward) or succs (backward).
+  auto MeetSources = [&](uint32_t B) -> const std::vector<uint32_t> & {
+    return Forward ? Cfg.preds(B) : Cfg.succs(B);
+  };
+  // A boundary block receives the boundary value instead of a meet: the
+  // entry (forward) or any exit, i.e. a block without successors
+  // (backward). Blocks whose only "predecessors" are unreachable also
+  // start from the boundary to keep must-problems sound.
+  auto IsBoundaryBlock = [&](uint32_t B) {
+    if (Forward)
+      return Cfg.preds(B).empty();
+    return Cfg.succs(B).empty();
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Passes;
+    for (uint32_t B : Order) {
+      // Meet into the block-input value.
+      BitVector MeetVal(P.NumBits, /*Value=*/!Union);
+      if (IsBoundaryBlock(B)) {
+        MeetVal = Boundary;
+      } else {
+        bool Any = false;
+        for (uint32_t S : MeetSources(B)) {
+          if (!Cfg.isReachable(S))
+            continue;
+          const BitVector &V = Forward ? R.Out[S] : R.In[S];
+          if (!Any) {
+            MeetVal = V;
+            Any = true;
+          } else if (Union) {
+            MeetVal.unionWith(V);
+          } else {
+            MeetVal.intersectWith(V);
+          }
+        }
+        if (!Any)
+          MeetVal = Boundary;
+      }
+
+      // Transfer.
+      BitVector OutVal = MeetVal;
+      OutVal.subtract(P.Kill[B]);
+      OutVal.unionWith(P.Gen[B]);
+
+      BitVector &InSlot = Forward ? R.In[B] : R.Out[B];
+      BitVector &OutSlot = Forward ? R.Out[B] : R.In[B];
+      if (InSlot != MeetVal) {
+        InSlot = std::move(MeetVal);
+      }
+      if (OutSlot != OutVal) {
+        OutSlot = std::move(OutVal);
+        Changed = true;
+      }
+    }
+  }
+  return R;
+}
+
+Reg olpp::instrDef(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Const:
+  case Opcode::Move:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::LoadG:
+  case Opcode::LoadArr:
+  case Opcode::Call:
+  case Opcode::CallInd:
+    return I.Dst;
+  case Opcode::StoreG:
+  case Opcode::StoreArr:
+  case Opcode::Ret:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Probe:
+    return NoReg;
+  }
+  return NoReg;
+}
+
+void olpp::instrUses(const Instruction &I, std::vector<Reg> &Uses) {
+  auto Add = [&](Reg R) {
+    if (R != NoReg)
+      Uses.push_back(R);
+  };
+  switch (I.Op) {
+  case Opcode::Const:
+  case Opcode::LoadG:
+  case Opcode::Br:
+  case Opcode::Probe:
+    break;
+  case Opcode::Move:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::StoreG:
+  case Opcode::LoadArr:
+  case Opcode::Ret:
+  case Opcode::CondBr:
+    Add(I.Src0);
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::StoreArr:
+    Add(I.Src0);
+    Add(I.Src1);
+    break;
+  case Opcode::Call:
+    for (Reg A : I.Args)
+      Add(A);
+    break;
+  case Opcode::CallInd:
+    Add(I.Src0);
+    for (Reg A : I.Args)
+      Add(A);
+    break;
+  }
+}
+
+ReachingDefs ReachingDefs::compute(const Function &F, const CfgView &Cfg) {
+  ReachingDefs RD;
+  uint32_t N = Cfg.numBlocks();
+
+  // Enumerate real definition sites.
+  for (uint32_t B = 0; B < N; ++B) {
+    const BasicBlock *BB = F.block(B);
+    for (uint32_t Idx = 0; Idx < BB->Instrs.size(); ++Idx) {
+      Reg D = instrDef(BB->Instrs[Idx]);
+      if (D != NoReg && D < F.NumRegs)
+        RD.Defs.push_back({B, Idx, D});
+    }
+  }
+
+  size_t NumBits = RD.Defs.size() + F.NumRegs; // real defs + pseudo-uninit
+  RD.DefsOfReg.assign(F.NumRegs, BitVector(NumBits));
+  for (size_t D = 0; D < RD.Defs.size(); ++D)
+    RD.DefsOfReg[RD.Defs[D].R].set(D);
+  for (Reg R = 0; R < F.NumRegs; ++R)
+    RD.DefsOfReg[R].set(RD.Defs.size() + R);
+
+  DataflowProblem P;
+  P.Direction = DataflowDirection::Forward;
+  P.Meet = DataflowMeet::Union;
+  P.NumBits = NumBits;
+  P.Gen.assign(N, BitVector(NumBits));
+  P.Kill.assign(N, BitVector(NumBits));
+  for (size_t D = 0; D < RD.Defs.size(); ++D) {
+    const DefSite &S = RD.Defs[D];
+    // A definition kills every other definition of its register,
+    // including the pseudo one; the *last* definition per register in the
+    // block survives into Gen.
+    P.Kill[S.Block].unionWith(RD.DefsOfReg[S.R]);
+  }
+  for (uint32_t B = 0; B < N; ++B) {
+    // Walk forward; later defs of the same register overwrite earlier.
+    std::vector<size_t> LastDef(F.NumRegs, SIZE_MAX);
+    for (size_t D = 0; D < RD.Defs.size(); ++D)
+      if (RD.Defs[D].Block == B)
+        LastDef[RD.Defs[D].R] = D;
+    for (Reg R = 0; R < F.NumRegs; ++R)
+      if (LastDef[R] != SIZE_MAX)
+        P.Gen[B].set(LastDef[R]);
+  }
+
+  // Boundary: parameters arrive defined; everything else starts
+  // uninitialized.
+  P.Boundary = BitVector(NumBits);
+  for (Reg R = F.NumParams; R < F.NumRegs; ++R)
+    P.Boundary.set(RD.Defs.size() + R);
+
+  RD.Result = solveDataflow(Cfg, P);
+  return RD;
+}
+
+Liveness Liveness::compute(const Function &F, const CfgView &Cfg) {
+  Liveness L;
+  uint32_t N = Cfg.numBlocks();
+
+  DataflowProblem P;
+  P.Direction = DataflowDirection::Backward;
+  P.Meet = DataflowMeet::Union;
+  P.NumBits = F.NumRegs;
+  P.Gen.assign(N, BitVector(F.NumRegs));
+  P.Kill.assign(N, BitVector(F.NumRegs));
+
+  std::vector<Reg> Uses;
+  for (uint32_t B = 0; B < N; ++B) {
+    const BasicBlock *BB = F.block(B);
+    // Compose transfer functions back to front: prepending an instruction
+    // kills its def (and shadows exposed uses of it), then exposes its own
+    // uses. Within one instruction uses happen before the def, so the def
+    // is applied first.
+    for (size_t Idx = BB->Instrs.size(); Idx-- > 0;) {
+      const Instruction &I = BB->Instrs[Idx];
+      Reg D = instrDef(I);
+      if (D != NoReg && D < F.NumRegs) {
+        P.Gen[B].reset(D);
+        P.Kill[B].set(D);
+      }
+      Uses.clear();
+      instrUses(I, Uses);
+      for (Reg U : Uses)
+        if (U < F.NumRegs) {
+          P.Gen[B].set(U);
+          P.Kill[B].reset(U);
+        }
+    }
+  }
+
+  L.Result = solveDataflow(Cfg, P);
+  return L;
+}

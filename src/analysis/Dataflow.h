@@ -1,0 +1,179 @@
+//===--- Dataflow.h - Generic bit-vector dataflow engine --------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic iterative worklist solver for gen/kill dataflow problems over
+/// bit-vectors: pick a direction (forward/backward) and a meet (union for
+/// may-problems, intersection for must-problems), provide per-block Gen and
+/// Kill sets, and the solver iterates block transfer functions
+///
+///   forward:  Out[B] = Gen[B] | (In[B]  - Kill[B]),  In[B]  = meet of
+///             Out over predecessors
+///   backward: In[B]  = Gen[B] | (Out[B] - Kill[B]),  Out[B] = meet of
+///             In over successors
+///
+/// to a fixpoint over the reachable blocks in (reverse) postorder. Two
+/// classic instances are provided — reaching definitions and live
+/// registers — which the lint passes build on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_DATAFLOW_H
+#define OLPP_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+class Function;
+
+/// A fixed-width vector of bits with the set operations the solver needs.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t N, bool Value = false)
+      : NumBits(N), Words((N + 63) / 64, Value ? ~uint64_t(0) : 0) {
+    clearPadding();
+  }
+
+  size_t size() const { return NumBits; }
+
+  bool test(size_t I) const {
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+  void set(size_t I) { Words[I / 64] |= uint64_t(1) << (I % 64); }
+  void reset(size_t I) { Words[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+
+  /// this |= Other. Sizes must match.
+  void unionWith(const BitVector &Other) {
+    for (size_t W = 0; W < Words.size(); ++W)
+      Words[W] |= Other.Words[W];
+  }
+  /// this &= Other.
+  void intersectWith(const BitVector &Other) {
+    for (size_t W = 0; W < Words.size(); ++W)
+      Words[W] &= Other.Words[W];
+  }
+  /// this -= Other (clears every bit set in Other).
+  void subtract(const BitVector &Other) {
+    for (size_t W = 0; W < Words.size(); ++W)
+      Words[W] &= ~Other.Words[W];
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitVector &Other) const { return !(*this == Other); }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+private:
+  /// Keeps bits beyond NumBits zero so operator== and count stay exact.
+  void clearPadding() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+enum class DataflowDirection : uint8_t { Forward, Backward };
+enum class DataflowMeet : uint8_t { Union, Intersection };
+
+/// A gen/kill problem instance. Gen and Kill are indexed by block id and
+/// must have one entry per block (unreachable blocks are ignored).
+struct DataflowProblem {
+  DataflowDirection Direction = DataflowDirection::Forward;
+  DataflowMeet Meet = DataflowMeet::Union;
+  size_t NumBits = 0;
+  std::vector<BitVector> Gen;
+  std::vector<BitVector> Kill;
+  /// Dataflow value at the boundary: In of the entry block (forward) or
+  /// Out of every exit block (backward). Defaults to the empty set.
+  BitVector Boundary;
+};
+
+/// Fixpoint In/Out per block, plus the number of full passes the solver
+/// needed (useful for convergence tests).
+struct DataflowResult {
+  std::vector<BitVector> In;
+  std::vector<BitVector> Out;
+  unsigned Passes = 0;
+};
+
+/// Solves \p P over \p Cfg. Interior blocks start at the meet's identity
+/// (empty set for union, full set for intersection).
+DataflowResult solveDataflow(const CfgView &Cfg, const DataflowProblem &P);
+
+// --- register def/use helpers --------------------------------------------
+
+/// The register \p I writes, or NoReg.
+Reg instrDef(const Instruction &I);
+
+/// Registers \p I reads, appended to \p Uses (may contain duplicates).
+void instrUses(const Instruction &I, std::vector<Reg> &Uses);
+
+// --- classic instances ----------------------------------------------------
+
+/// One definition site for reaching definitions: instruction \p Instr of
+/// block \p Block writes register \p R. Definition index == position in
+/// ReachingDefs::Defs. Additionally every register gets one pseudo
+/// definition ("uninitialized at entry"); pseudo definitions of non-param
+/// registers reach the function entry.
+struct DefSite {
+  uint32_t Block = 0;
+  uint32_t Instr = 0;
+  Reg R = NoReg;
+};
+
+/// Reaching definitions over a function. Forward, union-meet.
+class ReachingDefs {
+public:
+  static ReachingDefs compute(const Function &F, const CfgView &Cfg);
+
+  const std::vector<DefSite> &defs() const { return Defs; }
+  /// Bit index of the pseudo "uninitialized" definition of register \p R.
+  size_t uninitBit(Reg R) const { return Defs.size() + R; }
+  /// Definitions reaching the entry of block \p B.
+  const BitVector &reachingIn(uint32_t B) const { return Result.In[B]; }
+  const DataflowResult &result() const { return Result; }
+
+  /// Definition bits of register \p R (pseudo bit included).
+  const BitVector &defsOf(Reg R) const { return DefsOfReg[R]; }
+
+private:
+  std::vector<DefSite> Defs;
+  std::vector<BitVector> DefsOfReg;
+  DataflowResult Result;
+};
+
+/// Live registers over a function. Backward, union-meet.
+class Liveness {
+public:
+  static Liveness compute(const Function &F, const CfgView &Cfg);
+
+  /// Registers live on entry to / exit from block \p B.
+  const BitVector &liveIn(uint32_t B) const { return Result.In[B]; }
+  const BitVector &liveOut(uint32_t B) const { return Result.Out[B]; }
+  const DataflowResult &result() const { return Result; }
+
+private:
+  DataflowResult Result;
+};
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,167 @@
+//===--- Lint.cpp - Dataflow-based IR lint passes ----------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+
+#include <string>
+
+using namespace olpp;
+
+namespace {
+
+/// True if \p Op neither traps nor touches anything outside its
+/// destination register: erasing such an instruction whose result is dead
+/// cannot change observable behaviour.
+bool isPure(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+  case Opcode::Move:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::LoadG:
+    return true;
+  default: // Div/Mod/LoadArr trap; stores, calls, terminators, probes act
+    return false;
+  }
+}
+
+void lintUninit(const Function &F, const CfgView &Cfg,
+                std::vector<Diagnostic> &Diags) {
+  ReachingDefs RD = ReachingDefs::compute(F, Cfg);
+  std::vector<bool> Reported(F.NumRegs, false);
+  std::vector<Reg> Uses;
+  for (uint32_t B = 0; B < Cfg.numBlocks(); ++B) {
+    if (!Cfg.isReachable(B))
+      continue;
+    const BasicBlock *BB = F.block(B);
+    // Per-register "an uninitialized value may reach here" state.
+    std::vector<bool> MaybeUninit(F.NumRegs, false);
+    for (Reg R = 0; R < F.NumRegs; ++R)
+      MaybeUninit[R] = RD.reachingIn(B).test(RD.uninitBit(R));
+    for (uint32_t Idx = 0; Idx < BB->Instrs.size(); ++Idx) {
+      const Instruction &I = BB->Instrs[Idx];
+      Uses.clear();
+      instrUses(I, Uses);
+      for (Reg U : Uses) {
+        if (U >= F.NumRegs || !MaybeUninit[U] || Reported[U])
+          continue;
+        Reported[U] = true;
+        Diags.push_back(makeDiagAt(
+            Severity::Warning, "lint-uninit", F.Name, B, BB->Name,
+            "register %" + std::to_string(U) +
+                " may be read before it is written (it reads the frame's "
+                "implicit zero on some path)",
+            Idx));
+      }
+      Reg D = instrDef(I);
+      if (D != NoReg && D < F.NumRegs)
+        MaybeUninit[D] = false;
+    }
+  }
+}
+
+void lintDeadStore(const Function &F, const CfgView &Cfg,
+                   std::vector<Diagnostic> &Diags) {
+  Liveness LV = Liveness::compute(F, Cfg);
+  std::vector<Reg> Uses;
+  for (uint32_t B = 0; B < Cfg.numBlocks(); ++B) {
+    if (!Cfg.isReachable(B))
+      continue;
+    const BasicBlock *BB = F.block(B);
+    BitVector Live = LV.liveOut(B);
+    for (size_t Idx = BB->Instrs.size(); Idx-- > 0;) {
+      const Instruction &I = BB->Instrs[Idx];
+      Reg D = instrDef(I);
+      if (D != NoReg && D < F.NumRegs) {
+        if (!Live.test(D) && isPure(I.Op))
+          Diags.push_back(makeDiagAt(
+              Severity::Warning, "lint-dead-store", F.Name, B, BB->Name,
+              "register %" + std::to_string(D) +
+                  " is written here but never read afterwards",
+              static_cast<uint32_t>(Idx)));
+        Live.reset(D);
+      }
+      Uses.clear();
+      instrUses(I, Uses);
+      for (Reg U : Uses)
+        if (U < F.NumRegs)
+          Live.set(U);
+    }
+  }
+}
+
+void lintUnreachable(const Function &F, const CfgView &Cfg,
+                     std::vector<Diagnostic> &Diags) {
+  for (uint32_t B = 0; B < Cfg.numBlocks(); ++B) {
+    if (Cfg.isReachable(B))
+      continue;
+    const BasicBlock *BB = F.block(B);
+    // Lowering leaves behind empty merge stubs (a lone terminator) when
+    // both arms of a branch return; only blocks with real work are
+    // suspicious.
+    bool HasRealWork = false;
+    for (const Instruction &I : BB->Instrs)
+      HasRealWork |= !isTerminator(I.Op) && I.Op != Opcode::Probe;
+    if (!HasRealWork)
+      continue;
+    Diags.push_back(makeDiagAt(
+        Severity::Warning, "lint-unreachable", F.Name, B, BB->Name,
+        "block contains instructions but is unreachable from the entry"));
+  }
+}
+
+void lintNoExit(const Function &F, const LoopInfo &LI,
+                std::vector<Diagnostic> &Diags) {
+  for (uint32_t L = 0; L < LI.numLoops(); ++L) {
+    const Loop &Loop_ = LI.loop(L);
+    if (!Loop_.ExitEdges.empty())
+      continue;
+    Diags.push_back(makeDiagAt(
+        Severity::Warning, "lint-no-exit", F.Name, Loop_.Header,
+        F.block(Loop_.Header)->Name,
+        "loop has no exit edge; once entered the function cannot leave it"));
+  }
+}
+
+} // namespace
+
+void olpp::lintFunction(const Function &F, std::vector<Diagnostic> &Diags) {
+  if (F.numBlocks() == 0)
+    return;
+  CfgView Cfg = CfgView::build(F);
+  DomTree Dom = DomTree::compute(Cfg);
+  LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+
+  lintUnreachable(F, Cfg, Diags);
+  lintNoExit(F, LI, Diags);
+  lintUninit(F, Cfg, Diags);
+  lintDeadStore(F, Cfg, Diags);
+}
+
+std::vector<Diagnostic> olpp::lintModule(const Module &M) {
+  std::vector<Diagnostic> Diags;
+  for (const auto &F : M.functions())
+    lintFunction(*F, Diags);
+  return Diags;
+}

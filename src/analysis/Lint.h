@@ -1,0 +1,48 @@
+//===--- Lint.h - Dataflow-based IR lint passes -----------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lint passes over the (uninstrumented) IR, built on the generic dataflow
+/// engine and the structural analyses:
+///
+///   lint-uninit        a register may be read before any write reaches it
+///                      (reaching definitions; parameters count as written)
+///   lint-dead-store    a side-effect-free instruction writes a register
+///                      that is never read afterwards (liveness)
+///   lint-unreachable   a block with real instructions that the entry
+///                      cannot reach (lowering's empty merge stubs are
+///                      exempt)
+///   lint-no-exit       a natural loop with no exit edge: once entered the
+///                      function can never leave it (LoopInfo + Dominators)
+///
+/// All passes emit structured Diagnostics; none of them mutates the IR.
+/// The interpreter zero-initializes frames, so lint-uninit flags suspect
+/// (not undefined) behaviour — it is still a warning because relying on
+/// implicit zeros is almost always an authoring mistake in MiniC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_LINT_H
+#define OLPP_ANALYSIS_LINT_H
+
+#include "support/Diagnostic.h"
+
+#include <vector>
+
+namespace olpp {
+
+class Function;
+class Module;
+
+/// Runs every lint pass over one function.
+void lintFunction(const Function &F, std::vector<Diagnostic> &Diags);
+
+/// Runs every lint pass over every function of \p M.
+std::vector<Diagnostic> lintModule(const Module &M);
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_LINT_H

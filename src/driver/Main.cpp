@@ -10,16 +10,21 @@
 ///
 ///   olpp run <file.mc> [args...]
 ///   olpp ir <file.mc>
-///   olpp profile <file.mc> [--degree K] [--interproc] [--top N] [args...]
+///   olpp profile <file.mc> [--degree K] [--interproc] [--top N]
+///        [--lint] [--lint-json] [--lint-werror] [args...]
 ///   olpp estimate <file.mc> [--degree K] [args...]
+///   olpp lint <file.mc|workload|--all> [--json] [--werror] [--degree K]
 ///   olpp workloads
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "driver/Pipeline.h"
 #include "estimate/Estimators.h"
 #include "frontend/Compiler.h"
 #include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "profile/InstrCheck.h"
 #include "profile/ProfileDecode.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
@@ -47,8 +52,14 @@ int usage() {
       "       --degree K     overlapping loop paths of degree K\n"
       "       --interproc    also collect Type I/II profiles (degree K)\n"
       "       --top N        show the N hottest paths (default 10)\n"
+      "       --lint         lint the program and audit the probes\n"
+      "       --lint-json    emit lint findings as JSON\n"
+      "       --lint-werror  treat lint warnings as errors\n"
       "  olpp estimate <file.mc> [--degree K] [args...]\n"
       "       per-loop and per-call-site interesting path bounds\n"
+      "  olpp lint <file.mc|--all> [--json] [--werror] [--degree K]\n"
+      "       lint source and verify instrumentation invariants\n"
+      "       (--all checks every embedded workload)\n"
       "  olpp workloads                        list the embedded suite\n"
       "\n"
       "A file name matching an embedded workload (e.g. 'mcf') may be used\n"
@@ -79,15 +90,16 @@ struct Parsed {
   bool Interproc = false;
   size_t Top = 10;
   std::vector<int64_t> Args;
+  bool Lint = false;
+  bool LintJson = false;
+  bool LintWerror = false;
+  bool All = false;
   bool Ok = false;
 };
 
 Parsed parseArgs(int Argc, char **Argv, int Start) {
   Parsed P;
-  if (Start >= Argc)
-    return P;
-  P.File = Argv[Start];
-  for (int I = Start + 1; I < Argc; ++I) {
+  for (int I = Start; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--interproc") {
       P.Interproc = true;
@@ -95,11 +107,23 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.Degree = static_cast<uint32_t>(std::atoi(Argv[++I]));
     } else if (A == "--top" && I + 1 < Argc) {
       P.Top = static_cast<size_t>(std::atoi(Argv[++I]));
+    } else if (A == "--lint") {
+      P.Lint = true;
+    } else if (A == "--lint-json" || A == "--json") {
+      P.Lint = true;
+      P.LintJson = true;
+    } else if (A == "--lint-werror" || A == "--werror") {
+      P.Lint = true;
+      P.LintWerror = true;
+    } else if (A == "--all") {
+      P.All = true;
+    } else if (P.File.empty()) {
+      P.File = A;
     } else {
       P.Args.push_back(std::strtoll(A.c_str(), nullptr, 10));
     }
   }
-  P.Ok = true;
+  P.Ok = !P.File.empty() || P.All;
   return P;
 }
 
@@ -169,7 +193,18 @@ PipelineResult runPipelineFor(const Parsed &P, Module &M, bool Overlap) {
     }
   }
   Config.Args = fitArgs(P, M);
+  Config.Lint = P.Lint;
+  Config.LintWerror = P.LintWerror;
   return runPipeline(M, Config);
+}
+
+void emitLintFindings(const Parsed &P, const std::vector<Diagnostic> &Diags) {
+  if (P.LintJson) {
+    std::fputs(renderDiagnosticsJson(Diags).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else if (!Diags.empty()) {
+    std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+  }
 }
 
 int cmdProfile(const Parsed &P) {
@@ -177,6 +212,8 @@ int cmdProfile(const Parsed &P) {
   if (!M)
     return 1;
   PipelineResult R = runPipelineFor(P, *M, /*Overlap=*/true);
+  if (P.Lint)
+    emitLintFindings(P, R.Lint);
   if (!R.ok()) {
     std::fprintf(stderr, "error: %s\n", R.Errors[0].c_str());
     return 1;
@@ -263,6 +300,56 @@ int cmdEstimate(const Parsed &P) {
   return 0;
 }
 
+/// Lints \p M and audits a fully instrumented clone (loop overlap plus
+/// interprocedural regions at \p Degree) against its metadata.
+std::vector<Diagnostic> lintAndCheck(const Module &M, uint32_t Degree) {
+  std::vector<Diagnostic> Diags = lintModule(M);
+
+  InstrumentOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.LoopDegree = Degree;
+  Opts.Interproc = true;
+  Opts.InterprocDegree = Degree;
+  auto Clone = M.clone();
+  ModuleInstrumentation MI = instrumentModule(*Clone, Opts);
+  if (!MI.ok()) {
+    for (const std::string &E : MI.Errors)
+      Diags.push_back(makeDiag(Severity::Error, "instrument", "", E));
+    return Diags;
+  }
+  std::vector<Diagnostic> Verify = verifyModuleDiags(*Clone);
+  Diags.insert(Diags.end(), Verify.begin(), Verify.end());
+  std::vector<Diagnostic> Check = checkInstrumentation(*Clone, MI);
+  Diags.insert(Diags.end(), Check.begin(), Check.end());
+  return Diags;
+}
+
+int cmdLint(const Parsed &P) {
+  std::vector<std::string> Files;
+  if (P.All)
+    for (const Workload &W : allWorkloads())
+      Files.push_back(W.Name);
+  else
+    Files.push_back(P.File);
+
+  std::vector<Diagnostic> Diags;
+  for (const std::string &File : Files) {
+    auto M = compileOrFail(File);
+    if (!M)
+      return 2;
+    std::vector<Diagnostic> D = lintAndCheck(*M, P.Degree);
+    Diags.insert(Diags.end(), D.begin(), D.end());
+  }
+  emitLintFindings(P, Diags);
+  Severity Min = P.LintWerror ? Severity::Warning : Severity::Error;
+  if (anySeverityAtLeast(Diags, Min))
+    return 1;
+  if (!P.LintJson)
+    std::printf("%zu file(s) clean (%zu finding(s) below threshold)\n",
+                Files.size(), Diags.size());
+  return 0;
+}
+
 int cmdWorkloads() {
   TableWriter T({"Name", "Precision Args", "Overhead Args"});
   for (const Workload &W : allWorkloads()) {
@@ -297,5 +384,7 @@ int main(int Argc, char **Argv) {
     return cmdProfile(P);
   if (Cmd == "estimate")
     return cmdEstimate(P);
+  if (Cmd == "lint")
+    return cmdLint(P);
   return usage();
 }

@@ -6,10 +6,30 @@
 
 #include "driver/Pipeline.h"
 
+#include "analysis/Lint.h"
 #include "frontend/Compiler.h"
 #include "ir/Verifier.h"
+#include "profile/InstrCheck.h"
 
 using namespace olpp;
+
+namespace {
+
+/// Decides whether R.Lint blocks the pipeline (errors always do, warnings
+/// only under --lint-werror) and records one summary error; the individual
+/// findings stay in R.Lint for the caller to render.
+bool lintFindingsFatal(PipelineResult &R, bool Werror) {
+  size_t Fatal = 0;
+  for (const Diagnostic &D : R.Lint)
+    if (D.Sev == Severity::Error || (Werror && D.Sev == Severity::Warning))
+      ++Fatal;
+  if (Fatal)
+    R.Errors.push_back("lint reported " + std::to_string(Fatal) +
+                       " blocking finding(s)");
+  return Fatal != 0;
+}
+
+} // namespace
 
 PipelineResult olpp::runPipeline(const Module &M,
                                  const PipelineConfig &Config) {
@@ -21,6 +41,12 @@ PipelineResult olpp::runPipeline(const Module &M,
   if (!Entry) {
     R.Errors.push_back("entry function '" + Config.EntryName + "' not found");
     return R;
+  }
+
+  if (Config.Lint) {
+    R.Lint = lintModule(*R.BaseModule);
+    if (lintFindingsFatal(R, Config.LintWerror))
+      return R;
   }
 
   // 1. Baseline run with tracing.
@@ -43,11 +69,21 @@ PipelineResult olpp::runPipeline(const Module &M,
     R.Errors = R.MI.Errors;
     return R;
   }
-  std::vector<std::string> VerifyErrors = verifyModule(*R.InstrModule);
-  if (!VerifyErrors.empty()) {
-    for (const std::string &E : VerifyErrors)
-      R.Errors.push_back("instrumented module is malformed: " + E);
+  std::vector<Diagnostic> VerifyDiags = verifyModuleDiags(*R.InstrModule);
+  if (!VerifyDiags.empty()) {
+    for (const Diagnostic &D : VerifyDiags)
+      R.Errors.push_back("instrumented module is malformed: " +
+                         verifierLegacyText(D));
     return R;
+  }
+
+  if (Config.Lint) {
+    size_t Before = R.Lint.size();
+    std::vector<Diagnostic> Check =
+        checkInstrumentation(*R.InstrModule, R.MI);
+    R.Lint.insert(R.Lint.end(), Check.begin(), Check.end());
+    if (R.Lint.size() != Before && lintFindingsFatal(R, Config.LintWerror))
+      return R;
   }
 
   R.Prof = std::make_unique<ProfileRuntime>(R.InstrModule->numFunctions());

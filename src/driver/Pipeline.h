@@ -19,6 +19,7 @@
 
 #include "interp/Interpreter.h"
 #include "interp/ProfileRuntime.h"
+#include "support/Diagnostic.h"
 #include "wpp/GroundTruth.h"
 
 #include <memory>
@@ -35,6 +36,12 @@ struct PipelineConfig {
   /// Skip tracing / ground truth (for overhead-only benches, where the
   /// trace memory would dominate).
   bool CollectGroundTruth = true;
+  /// Run the lint passes over the base module and the instrumentation
+  /// invariant checker over the instrumented one; findings land in
+  /// PipelineResult::Lint. Lint errors always abort the pipeline.
+  bool Lint = false;
+  /// Treat lint warnings as fatal too.
+  bool LintWerror = false;
 };
 
 struct PipelineResult {
@@ -46,6 +53,8 @@ struct PipelineResult {
   DynCounts BaseCounts, InstrCounts;
   int64_t ReturnValue = 0;
   std::vector<std::string> Errors;
+  /// Lint and instr-check findings (only populated with Config.Lint).
+  std::vector<Diagnostic> Lint;
 
   bool ok() const { return Errors.empty(); }
   /// Instrumentation overhead in percent (the paper's Table 9 metric).

@@ -17,8 +17,8 @@ namespace {
 class FunctionVerifier {
 public:
   FunctionVerifier(const Module &M, const Function &F,
-                   std::vector<std::string> &Errors)
-      : M(M), F(F), Errors(Errors) {}
+                   std::vector<Diagnostic> &Diags)
+      : M(M), F(F), Diags(Diags) {}
 
   void run() {
     if (F.numBlocks() == 0) {
@@ -42,10 +42,11 @@ public:
 
 private:
   void error(const std::string &Msg) {
-    Errors.push_back("function '" + F.Name + "': " + Msg);
+    Diags.push_back(makeDiag(Severity::Error, "verify", F.Name, Msg));
   }
   void errorAt(const BasicBlock &BB, const std::string &Msg) {
-    error("block ^" + std::to_string(BB.Id) + " (" + BB.Name + "): " + Msg);
+    Diags.push_back(makeDiagAt(Severity::Error, "verify", F.Name, BB.Id,
+                               BB.Name, Msg));
   }
 
   void checkReg(const BasicBlock &BB, Reg R, const char *Role) {
@@ -186,9 +187,33 @@ private:
         errorAt(BB, "condbr with identical targets; normalize to br");
       break;
     case Opcode::Probe:
-      if (!I.ProbePayload || I.ProbePayload->Ops.empty())
-        errorAt(BB, "probe without payload");
+      checkProbe(BB, I);
       break;
+    }
+  }
+
+  void checkProbe(const BasicBlock &BB, const Instruction &I) {
+    if (!I.ProbePayload || I.ProbePayload->Ops.empty()) {
+      errorAt(BB, "probe without payload");
+      return;
+    }
+    // Loop overlap ops index the frame's per-activation loop slot array;
+    // an out-of-range slot would fault in the profiling runtime.
+    for (const ProbeOp &Op : I.ProbePayload->Ops) {
+      switch (Op.Kind) {
+      case ProbeOpKind::OLDisarm:
+      case ProbeOpKind::OLArm:
+      case ProbeOpKind::OLAdd:
+      case ProbeOpKind::OLPred:
+      case ProbeOpKind::OLFlush:
+        if (Op.Slot >= F.NumLoopSlots)
+          errorAt(BB, "probe overlap op slot " + std::to_string(Op.Slot) +
+                          " out of range (NumLoopSlots=" +
+                          std::to_string(F.NumLoopSlots) + ")");
+        break;
+      default:
+        break;
+      }
     }
   }
 
@@ -216,20 +241,45 @@ private:
 
   const Module &M;
   const Function &F;
-  std::vector<std::string> &Errors;
+  std::vector<Diagnostic> &Diags;
   std::unordered_set<const BasicBlock *> OwnBlocks;
 };
 
 } // namespace
 
 void olpp::verifyFunction(const Module &M, const Function &F,
+                          std::vector<Diagnostic> &Diags) {
+  FunctionVerifier(M, F, Diags).run();
+}
+
+std::vector<Diagnostic> olpp::verifyModuleDiags(const Module &M) {
+  std::vector<Diagnostic> Diags;
+  for (const auto &F : M.functions())
+    verifyFunction(M, *F, Diags);
+  return Diags;
+}
+
+std::string olpp::verifierLegacyText(const Diagnostic &D) {
+  std::string Out = "function '" + D.Loc.Function + "': ";
+  if (D.Loc.hasBlock())
+    Out +=
+        "block ^" + std::to_string(D.Loc.Block) + " (" + D.Loc.BlockName +
+        "): ";
+  Out += D.Message;
+  return Out;
+}
+
+void olpp::verifyFunction(const Module &M, const Function &F,
                           std::vector<std::string> &Errors) {
-  FunctionVerifier(M, F, Errors).run();
+  std::vector<Diagnostic> Diags;
+  verifyFunction(M, F, Diags);
+  for (const Diagnostic &D : Diags)
+    Errors.push_back(verifierLegacyText(D));
 }
 
 std::vector<std::string> olpp::verifyModule(const Module &M) {
   std::vector<std::string> Errors;
-  for (const auto &F : M.functions())
-    verifyFunction(M, *F, Errors);
+  for (const Diagnostic &D : verifyModuleDiags(M))
+    Errors.push_back(verifierLegacyText(D));
   return Errors;
 }

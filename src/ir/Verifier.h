@@ -6,13 +6,17 @@
 ///
 /// \file
 /// Structural checks run after lowering, generation and instrumentation.
-/// Returns human-readable diagnostics instead of asserting so that tests can
-/// exercise the failure paths.
+/// Problems are reported as structured Diagnostics (pass "verify",
+/// severity error) instead of asserting so that tests can exercise the
+/// failure paths. A string-based compatibility API renders the same
+/// diagnostics in the historical "function 'f': ..." format.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OLPP_IR_VERIFIER_H
 #define OLPP_IR_VERIFIER_H
+
+#include "support/Diagnostic.h"
 
 #include <string>
 #include <vector>
@@ -22,12 +26,25 @@ namespace olpp {
 class Module;
 class Function;
 
-/// Verifies one function within \p M; appends diagnostics to \p Errors.
+/// Verifies one function within \p M; appends diagnostics to \p Diags.
+void verifyFunction(const Module &M, const Function &F,
+                    std::vector<Diagnostic> &Diags);
+
+/// Verifies the whole module. Returns the findings; empty means the module
+/// is well-formed.
+std::vector<Diagnostic> verifyModuleDiags(const Module &M);
+
+// --- string compatibility shim -------------------------------------------
+
+/// Renders \p D in the historical verifier format
+/// ("function 'f': block ^1 (name): message").
+std::string verifierLegacyText(const Diagnostic &D);
+
+/// Verifies one function; appends legacy-format strings to \p Errors.
 void verifyFunction(const Module &M, const Function &F,
                     std::vector<std::string> &Errors);
 
-/// Verifies the whole module. Returns the list of problems; empty means the
-/// module is well-formed.
+/// Verifies the whole module; returns legacy-format strings.
 std::vector<std::string> verifyModule(const Module &M);
 
 } // namespace olpp

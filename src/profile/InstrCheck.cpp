@@ -1,0 +1,744 @@
+//===--- InstrCheck.cpp - Instrumentation invariant checker -----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/InstrCheck.h"
+
+#include "ir/Module.h"
+#include "overlap/RegionNumbering.h"
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+using namespace olpp;
+
+namespace {
+
+const char *kindName(ProbeOpKind K) {
+  switch (K) {
+  case ProbeOpKind::BLSet:
+    return "BLSet";
+  case ProbeOpKind::BLAdd:
+    return "BLAdd";
+  case ProbeOpKind::BLCount:
+    return "BLCount";
+  case ProbeOpKind::OLDisarm:
+    return "OLDisarm";
+  case ProbeOpKind::OLArm:
+    return "OLArm";
+  case ProbeOpKind::OLAdd:
+    return "OLAdd";
+  case ProbeOpKind::OLPred:
+    return "OLPred";
+  case ProbeOpKind::OLFlush:
+    return "OLFlush";
+  case ProbeOpKind::IPCall:
+    return "IPCall";
+  case ProbeOpKind::IPArmII:
+    return "IPArmII";
+  case ProbeOpKind::IPAddII:
+    return "IPAddII";
+  case ProbeOpKind::IPPredII:
+    return "IPPredII";
+  case ProbeOpKind::IPFlushII:
+    return "IPFlushII";
+  case ProbeOpKind::IPEnter:
+    return "IPEnter";
+  case ProbeOpKind::IPAddI:
+    return "IPAddI";
+  case ProbeOpKind::IPPredI:
+    return "IPPredI";
+  case ProbeOpKind::IPFlushI:
+    return "IPFlushI";
+  case ProbeOpKind::IPRet:
+    return "IPRet";
+  }
+  return "?";
+}
+
+std::string opDesc(const ProbeOp &Op) {
+  return std::string(kindName(Op.Kind)) + "(slot=" + std::to_string(Op.Slot) +
+         ", c0=" + std::to_string(Op.C0) + ", c1=" + std::to_string(Op.C1) +
+         ")";
+}
+
+bool opsEqual(const std::vector<ProbeOp> &A, const std::vector<ProbeOp> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Kind != B[I].Kind || A[I].Slot != B[I].Slot ||
+        A[I].C0 != B[I].C0 || A[I].C1 != B[I].C1)
+      return false;
+  return true;
+}
+
+/// Union-find for the spanning-tree audit.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  bool unite(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    Parent[A] = B;
+    return true;
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+class InstrChecker {
+public:
+  InstrChecker(const Module &M, const Function &F,
+               const FunctionInstrumentation &Meta,
+               const InstrumentOptions &Opts,
+               const std::vector<CallSiteInfo> &CallSites,
+               std::vector<Diagnostic> &Diags)
+      : M(M), F(F), Meta(Meta), Opts(Opts), CallSites(CallSites),
+        Diags(Diags) {}
+
+  void run() {
+    if (!Meta.PG || !Meta.Cfg || !Meta.Loops) {
+      err("function has no instrumentation metadata to check against");
+      return;
+    }
+    checkNumbering();
+    checkIncrements();
+    checkSpanningTree();
+    if (Opts.LoopOverlap)
+      checkLoopRegions();
+    if (Opts.Interproc)
+      checkInterprocNumberings();
+    checkProbes();
+  }
+
+private:
+  void err(const std::string &Msg) {
+    Diags.push_back(makeDiag(Severity::Error, "instr-check", F.Name, Msg));
+  }
+  void errAt(uint32_t B, const std::string &Msg) {
+    if (B < F.numBlocks())
+      Diags.push_back(makeDiagAt(Severity::Error, "instr-check", F.Name, B,
+                                 F.block(B)->Name, Msg));
+    else
+      err(Msg);
+  }
+  /// Best-effort CFG location of a path-graph edge.
+  void errAtEdge(const PGEdge &E, const std::string &Msg) {
+    const PathGraph &PG = *Meta.PG;
+    uint32_t B = UINT32_MAX;
+    if (E.CfgFrom != UINT32_MAX)
+      B = E.CfgFrom;
+    else if (PG.node(E.From).K == PGNode::Kind::Block)
+      B = PG.node(E.From).Block;
+    else if (PG.node(E.To).K == PGNode::Kind::Block)
+      B = PG.node(E.To).Block;
+    if (B != UINT32_MAX)
+      errAt(B, Msg);
+    else
+      err(Msg);
+  }
+
+  std::string nodeDesc(uint32_t N) const {
+    const PGNode &Node = Meta.PG->node(N);
+    switch (Node.K) {
+    case PGNode::Kind::Entry:
+      return "Entry";
+    case PGNode::Kind::Exit:
+      return "Exit";
+    case PGNode::Kind::Block:
+      break;
+    }
+    std::string S = "^" + std::to_string(Node.Block);
+    if (Node.Region != WhiteRegion)
+      S += "@og" + std::to_string(Node.Region - 1);
+    if (Node.CallStart)
+      S += "'";
+    return S;
+  }
+
+  // --- numbering: independent topo + path counts + Val tiling -------------
+
+  /// Kahn topological order of the path graph; empty on a cycle (reported).
+  std::vector<uint32_t> topoOrder() {
+    const PathGraph &PG = *Meta.PG;
+    uint32_t NN = static_cast<uint32_t>(PG.numNodes());
+    std::vector<uint32_t> InDeg(NN, 0);
+    for (uint32_t E = 0; E < PG.numEdges(); ++E)
+      ++InDeg[PG.edge(E).To];
+    std::vector<uint32_t> Work, Order;
+    for (uint32_t N = 0; N < NN; ++N)
+      if (InDeg[N] == 0) {
+        if (N != PG.entryNode())
+          err("path-graph node " + nodeDesc(N) +
+              " has no incoming edges (orphaned from Entry)");
+        Work.push_back(N);
+      }
+    while (!Work.empty()) {
+      uint32_t N = Work.back();
+      Work.pop_back();
+      Order.push_back(N);
+      for (uint32_t E : PG.outEdges(N))
+        if (--InDeg[PG.edge(E).To] == 0)
+          Work.push_back(PG.edge(E).To);
+    }
+    if (Order.size() != NN) {
+      err("path graph contains a cycle; the id assignment is meaningless");
+      return {};
+    }
+    return Order;
+  }
+
+  void checkNumbering() {
+    const PathGraph &PG = *Meta.PG;
+    Topo = topoOrder();
+    if (Topo.empty())
+      return;
+
+    // Recompute the number of Entry->Exit paths below every node.
+    uint32_t NN = static_cast<uint32_t>(PG.numNodes());
+    NumPaths.assign(NN, 0);
+    for (size_t I = Topo.size(); I-- > 0;) {
+      uint32_t N = Topo[I];
+      if (N == PG.exitNode()) {
+        NumPaths[N] = 1;
+        continue;
+      }
+      if (PG.outEdges(N).empty()) {
+        err("path-graph node " + nodeDesc(N) +
+            " is a dead end (no route to Exit)");
+        return;
+      }
+      uint64_t Sum = 0;
+      for (uint32_t E : PG.outEdges(N))
+        Sum += NumPaths[PG.edge(E).To];
+      NumPaths[N] = Sum;
+    }
+    for (uint32_t N = 0; N < NN; ++N)
+      if (NumPaths[N] != PG.numPathsFrom(N)) {
+        err("stored path count at node " + nodeDesc(N) + " is " +
+            std::to_string(PG.numPathsFrom(N)) +
+            " but recounting the DAG gives " + std::to_string(NumPaths[N]));
+        return;
+      }
+
+    // Canonical Vals must tile [0, NumPaths(node)) in out-edge order:
+    // that is exactly what makes the id assignment a bijection (and what
+    // decode() relies on to invert it).
+    for (uint32_t N = 0; N < NN; ++N) {
+      uint64_t Off = 0;
+      for (uint32_t E : PG.outEdges(N)) {
+        const PGEdge &Ed = PG.edge(E);
+        if (Ed.Val != Off)
+          errAtEdge(Ed, "edge " + nodeDesc(N) + " -> " + nodeDesc(Ed.To) +
+                            " has Val " + std::to_string(Ed.Val) +
+                            " where the canonical tiling requires " +
+                            std::to_string(Off) +
+                            "; path ids are not a bijection");
+        Off += NumPaths[Ed.To];
+      }
+      if (N != PG.exitNode() && Off != NumPaths[N])
+        err("out-edge Vals of node " + nodeDesc(N) + " cover " +
+            std::to_string(Off) + " ids but the node has " +
+            std::to_string(NumPaths[N]) + " paths");
+    }
+  }
+
+  // --- increments: sum of Incs along every path == sum of Vals ------------
+
+  void checkIncrements() {
+    const PathGraph &PG = *Meta.PG;
+    if (Topo.empty())
+      return;
+    // Propagate the per-node discrepancy D = (Inc-sum) - (Val-sum) from
+    // Entry. If D is the same along every route to a node and D(Exit) == 0,
+    // then every Entry->Exit path satisfies sum(Inc) == sum(Val) == path id.
+    // Any single perturbed increment breaks this at the first join (Exit is
+    // itself a join), so this catches seeded instrumenter bugs precisely.
+    uint32_t NN = static_cast<uint32_t>(PG.numNodes());
+    std::vector<__int128> D(NN, 0);
+    std::vector<bool> Set(NN, false);
+    Set[PG.entryNode()] = true;
+    for (uint32_t N : Topo) {
+      if (!Set[N])
+        continue;
+      for (uint32_t E : PG.outEdges(N)) {
+        const PGEdge &Ed = PG.edge(E);
+        __int128 Cand =
+            D[N] + Ed.Inc - static_cast<__int128>(Ed.Val);
+        if (!Set[Ed.To]) {
+          Set[Ed.To] = true;
+          D[Ed.To] = Cand;
+        } else if (D[Ed.To] != Cand) {
+          errAtEdge(Ed,
+                    "increment of edge " + nodeDesc(N) + " -> " +
+                        nodeDesc(Ed.To) + " (Inc " + std::to_string(Ed.Inc) +
+                        ", Val " + std::to_string(Ed.Val) +
+                        ") makes the path sum depend on the route taken; "
+                        "path ids would be miscounted");
+          return;
+        }
+      }
+    }
+    if (Set[PG.exitNode()] && D[PG.exitNode()] != 0) {
+      err("chord increments do not telescope: every Entry->Exit path is "
+          "off by " +
+          std::to_string(static_cast<int64_t>(D[PG.exitNode()])) +
+          " from its canonical id");
+    }
+  }
+
+  // --- spanning tree: chords really are chords ----------------------------
+
+  void checkSpanningTree() {
+    const PathGraph &PG = *Meta.PG;
+    bool AnyTree = false;
+    for (uint32_t E = 0; E < PG.numEdges(); ++E)
+      AnyTree |= PG.edge(E).TreeEdge;
+
+    if (!AnyTree) {
+      // Naive mode (or chord-overflow fallback): every edge carries its Val.
+      for (uint32_t E = 0; E < PG.numEdges(); ++E) {
+        const PGEdge &Ed = PG.edge(E);
+        if (Ed.Inc != static_cast<int64_t>(Ed.Val))
+          errAtEdge(Ed, "naive-mode edge carries Inc " +
+                            std::to_string(Ed.Inc) + " instead of its Val " +
+                            std::to_string(Ed.Val));
+      }
+      return;
+    }
+
+    uint32_t NN = static_cast<uint32_t>(PG.numNodes());
+    UnionFind UF(NN);
+    // The virtual Exit->Entry closing edge is always in the tree.
+    UF.unite(PG.exitNode(), PG.entryNode());
+    uint32_t TreeCount = 0;
+    for (uint32_t E = 0; E < PG.numEdges(); ++E) {
+      const PGEdge &Ed = PG.edge(E);
+      if (!Ed.TreeEdge)
+        continue;
+      ++TreeCount;
+      if (Ed.Inc != 0)
+        errAtEdge(Ed, "spanning-tree edge " + nodeDesc(Ed.From) + " -> " +
+                          nodeDesc(Ed.To) + " carries a nonzero increment " +
+                          std::to_string(Ed.Inc));
+      if (!UF.unite(Ed.From, Ed.To))
+        errAtEdge(Ed, "spanning-tree edges contain a cycle through " +
+                          nodeDesc(Ed.From) + " -> " + nodeDesc(Ed.To));
+    }
+    if (TreeCount != NN - 2) {
+      err("spanning tree has " + std::to_string(TreeCount) +
+          " edges; a tree over " + std::to_string(NN) +
+          " nodes with the virtual closing edge needs " +
+          std::to_string(NN - 2));
+    }
+    uint32_t Root = UF.find(PG.entryNode());
+    for (uint32_t N = 0; N < NN; ++N)
+      if (UF.find(N) != Root) {
+        err("spanning tree does not reach path-graph node " + nodeDesc(N));
+        return;
+      }
+  }
+
+  // --- overlap regions: embedded OG == isolated region numbering ----------
+
+  void checkLoopRegions() {
+    const PathGraph &PG = *Meta.PG;
+    const LoopInfo &LI = *Meta.Loops;
+    for (uint32_t L = 0; L < LI.numLoops(); ++L) {
+      if (!PG.hasRegion(L))
+        continue;
+      const OverlapRegion &R = PG.region(L);
+      std::string Err;
+      auto RN = RegionNumbering::build(R, Err);
+      if (!RN) {
+        err("loop " + std::to_string(L) +
+            " region failed to renumber in isolation: " + Err);
+        continue;
+      }
+
+      size_t OgCount = 0;
+      for (uint32_t N = 0; N < PG.numNodes(); ++N)
+        OgCount += PG.node(N).Region == ogRegion(L);
+      if (OgCount != R.nodes().size()) {
+        errAt(LI.loop(L).Header,
+              "loop " + std::to_string(L) + " OG embeds " +
+                  std::to_string(OgCount) + " nodes but its region has " +
+                  std::to_string(R.nodes().size()));
+        continue;
+      }
+
+      uint32_t Anchor = PG.ogNode(L, R.nodes()[0].Block);
+      if (Anchor == UINT32_MAX) {
+        errAt(R.nodes()[0].Block,
+              "loop " + std::to_string(L) + " OG lacks its anchor node");
+        continue;
+      }
+      if (PG.numPathsFrom(Anchor) != RN->numPaths())
+        errAt(R.nodes()[0].Block,
+              "loop " + std::to_string(L) + " OG counts " +
+                  std::to_string(PG.numPathsFrom(Anchor)) +
+                  " overlap paths but the isolated region numbering counts " +
+                  std::to_string(RN->numPaths()));
+
+      for (uint32_t NIdx = 0; NIdx < R.nodes().size(); ++NIdx) {
+        const OverlapRegionNode &RNode = R.nodes()[NIdx];
+        uint32_t Node = PG.ogNode(L, RNode.Block);
+        if (Node == UINT32_MAX) {
+          errAt(RNode.Block, "loop " + std::to_string(L) +
+                                 " OG lacks a node for this region block");
+          continue;
+        }
+        for (uint32_t EIdx : R.outEdges(NIdx)) {
+          uint32_t ToBlock = R.nodes()[R.edges()[EIdx].To].Block;
+          uint32_t PE = PG.realEdgeBetween(Node, PG.ogNode(L, ToBlock));
+          if (PE == UINT32_MAX) {
+            errAt(RNode.Block,
+                  "loop " + std::to_string(L) + " OG lacks the region edge ^" +
+                      std::to_string(RNode.Block) + " -> ^" +
+                      std::to_string(ToBlock));
+            continue;
+          }
+          if (PG.edge(PE).Val !=
+              static_cast<uint64_t>(RN->edgeVal(EIdx)))
+            errAt(RNode.Block,
+                  "loop " + std::to_string(L) + " OG edge ^" +
+                      std::to_string(RNode.Block) + " -> ^" +
+                      std::to_string(ToBlock) + " has Val " +
+                      std::to_string(PG.edge(PE).Val) +
+                      " but the isolated region numbering assigns " +
+                      std::to_string(RN->edgeVal(EIdx)));
+        }
+        uint32_t Dummy = PG.exitCountEdgeFrom(Node);
+        if (RNode.needsDummy() != (Dummy != UINT32_MAX)) {
+          errAt(RNode.Block,
+                "loop " + std::to_string(L) + " OG node " +
+                    (RNode.needsDummy() ? "needs a flush dummy but has none"
+                                        : "has a flush dummy it should not"));
+          continue;
+        }
+        if (Dummy != UINT32_MAX &&
+            PG.edge(Dummy).Val !=
+                static_cast<uint64_t>(RN->dummyVal(NIdx)))
+          errAt(RNode.Block,
+                "loop " + std::to_string(L) + " OG dummy of ^" +
+                    std::to_string(RNode.Block) + " has Val " +
+                    std::to_string(PG.edge(Dummy).Val) +
+                    " but the isolated region numbering assigns " +
+                    std::to_string(RN->dummyVal(NIdx)));
+      }
+    }
+  }
+
+  // --- interprocedural numberings revalidate from scratch -----------------
+
+  void checkOneInterproc(const OverlapRegion &R, const RegionNumbering &Num,
+                         const std::string &What) {
+    std::string Err;
+    auto Fresh = RegionNumbering::build(R, Err);
+    if (!Fresh) {
+      err(What + " region failed to renumber: " + Err);
+      return;
+    }
+    if (Fresh->numPaths() != Num.numPaths()) {
+      err(What + " numbering counts " + std::to_string(Num.numPaths()) +
+          " paths but a fresh rebuild counts " +
+          std::to_string(Fresh->numPaths()));
+      return;
+    }
+    for (uint32_t E = 0; E < R.edges().size(); ++E)
+      if (Fresh->edgeVal(E) != Num.edgeVal(E)) {
+        errAt(R.nodes()[R.edges()[E].From].Block,
+              What + " edge val " + std::to_string(Num.edgeVal(E)) +
+                  " disagrees with a fresh rebuild (" +
+                  std::to_string(Fresh->edgeVal(E)) + ")");
+        return;
+      }
+    for (uint32_t N = 0; N < R.nodes().size(); ++N)
+      if (R.nodes()[N].needsDummy() &&
+          Fresh->dummyVal(N) != Num.dummyVal(N)) {
+        errAt(R.nodes()[N].Block,
+              What + " dummy val " + std::to_string(Num.dummyVal(N)) +
+                  " disagrees with a fresh rebuild (" +
+                  std::to_string(Fresh->dummyVal(N)) + ")");
+        return;
+      }
+  }
+
+  void checkInterprocNumberings() {
+    if (Meta.TypeIRegion && Meta.TypeINumbering)
+      checkOneInterproc(*Meta.TypeIRegion, *Meta.TypeINumbering, "Type I");
+    else
+      err("interprocedural mode but no Type I region metadata");
+    for (const auto &Site : Meta.TypeII) {
+      if (Site.Region && Site.Numbering)
+        checkOneInterproc(*Site.Region, *Site.Numbering,
+                          "Type II (call site " + std::to_string(Site.CsId) +
+                              ")");
+      else
+        err("Type II call site " + std::to_string(Site.CsId) +
+            " has no region metadata");
+    }
+  }
+
+  // --- probes: the module contains exactly the planned programs -----------
+
+  using OpKey = std::tuple<uint8_t, uint32_t, int64_t, int64_t>;
+  static OpKey keyOf(const ProbeOp &Op) {
+    return {static_cast<uint8_t>(Op.Kind), Op.Slot, Op.C0, Op.C1};
+  }
+
+  void checkProgramOrdering(const std::vector<ProbeOp> &Ops, uint32_t Block) {
+    bool BLReset = false;
+    std::vector<uint32_t> ArmedSlots;
+    for (size_t I = 0; I < Ops.size(); ++I) {
+      const ProbeOp &Op = Ops[I];
+      bool Last = I + 1 == Ops.size();
+      switch (Op.Kind) {
+      case ProbeOpKind::BLSet:
+        if (BLReset)
+          errAt(Block, "probe resets the path register twice: " + opDesc(Op));
+        BLReset = true;
+        break;
+      case ProbeOpKind::BLAdd:
+      case ProbeOpKind::BLCount:
+      case ProbeOpKind::OLArm:
+      case ProbeOpKind::OLAdd:
+      case ProbeOpKind::OLFlush:
+      case ProbeOpKind::IPAddI:
+      case ProbeOpKind::IPAddII:
+      case ProbeOpKind::IPFlushI:
+      case ProbeOpKind::IPFlushII:
+      case ProbeOpKind::IPCall:
+      case ProbeOpKind::IPRet:
+        if (BLReset)
+          errAt(Block,
+                "probe op " + opDesc(Op) +
+                    " runs after the path register was reset; it would "
+                    "read or count the new path instead of the old one");
+        break;
+      default:
+        break;
+      }
+      if (Op.Kind == ProbeOpKind::OLArm)
+        ArmedSlots.push_back(Op.Slot);
+      if (Op.Kind == ProbeOpKind::OLFlush)
+        for (uint32_t S : ArmedSlots)
+          if (S == Op.Slot)
+            errAt(Block, "probe flushes overlap slot " +
+                             std::to_string(Op.Slot) +
+                             " after arming it; the just-armed path would "
+                             "be dropped");
+      if ((Op.Kind == ProbeOpKind::IPCall ||
+           Op.Kind == ProbeOpKind::IPRet) &&
+          !Last)
+        errAt(Block, "probe op " + opDesc(Op) +
+                         " must be the final op of its program");
+    }
+  }
+
+  void checkProbes() {
+    const PathGraph &PG = *Meta.PG;
+    const CfgView &Cfg = *Meta.Cfg;
+    const LoopInfo &LI = *Meta.Loops;
+    if (!PG.numPaths())
+      return;
+    ProbePlan Plan = computeProbePlan(F, Meta, Opts, CallSites);
+    uint32_t N = Cfg.numBlocks();
+
+    // Backedge programs: count-or-arm the finished path, then reset.
+    for (uint32_t B = 0; B < N; ++B) {
+      if (!Cfg.isReachable(B))
+        continue;
+      for (uint32_t S : Cfg.succs(B)) {
+        if (LI.loopForBackedge(B, S) == UINT32_MAX)
+          continue;
+        auto It = Plan.EdgeOps.find({B, S});
+        if (It == Plan.EdgeOps.end() || It->second.empty()) {
+          errAt(B, "backedge ^" + std::to_string(B) + " -> ^" +
+                       std::to_string(S) + " has no probe program");
+          continue;
+        }
+        const std::vector<ProbeOp> &Ops = It->second;
+        if (Ops.back().Kind != ProbeOpKind::BLSet)
+          errAt(B, "backedge program does not end by resetting the path "
+                   "register");
+        bool Ends = false;
+        for (const ProbeOp &Op : Ops)
+          Ends |= Op.Kind == ProbeOpKind::BLCount ||
+                  Op.Kind == ProbeOpKind::OLArm;
+        if (!Ends)
+          errAt(B, "backedge program neither counts nor arms the path "
+                   "ending at the backedge before resetting the register");
+      }
+    }
+
+    // Expected-vs-actual op multiset, with a sample block per key so a
+    // mismatch points at a concrete location.
+    struct Tally {
+      int64_t Count = 0;
+      uint32_t Block = UINT32_MAX;
+    };
+    std::map<OpKey, Tally> Expected, Actual;
+    auto Expect = [&](const std::vector<ProbeOp> &Ops, uint32_t Block) {
+      for (const ProbeOp &Op : Ops) {
+        Tally &T = Expected[keyOf(Op)];
+        ++T.Count;
+        if (T.Block == UINT32_MAX)
+          T.Block = Block;
+      }
+    };
+    Expect(Plan.FuncEntryOps, F.entry()->Id);
+    for (const auto &[Key, Ops] : Plan.EdgeOps)
+      Expect(Ops, Key.first);
+    for (uint32_t B = 0; B < N; ++B) {
+      Expect(Plan.BlockEntryOps[B], B);
+      Expect(Plan.PreCallOps[B], B);
+      Expect(Plan.PostCallOps[B], B);
+      Expect(Plan.RetOps[B], B);
+    }
+
+    for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+      const BasicBlock *BB = F.block(B);
+      for (const Instruction &I : BB->Instrs) {
+        if (I.Op != Opcode::Probe || !I.ProbePayload)
+          continue;
+        checkProgramOrdering(I.ProbePayload->Ops, B);
+        for (const ProbeOp &Op : I.ProbePayload->Ops) {
+          Tally &T = Actual[keyOf(Op)];
+          ++T.Count;
+          if (T.Block == UINT32_MAX)
+            T.Block = B;
+        }
+      }
+    }
+
+    for (const auto &[Key, Exp] : Expected) {
+      ProbeOp Op{static_cast<ProbeOpKind>(std::get<0>(Key)),
+                 std::get<1>(Key), std::get<2>(Key), std::get<3>(Key)};
+      auto It = Actual.find(Key);
+      int64_t Have = It == Actual.end() ? 0 : It->second.Count;
+      if (Have < Exp.Count)
+        errAt(Exp.Block, "instrumentation is missing " +
+                             std::to_string(Exp.Count - Have) +
+                             " occurrence(s) of planned probe op " +
+                             opDesc(Op));
+      else if (Have > Exp.Count)
+        errAt(It->second.Block,
+              "instrumentation carries " + std::to_string(Have - Exp.Count) +
+                  " more occurrence(s) of probe op " + opDesc(Op) +
+                  " than the plan calls for");
+    }
+    for (const auto &[Key, Act] : Actual) {
+      if (Expected.count(Key))
+        continue;
+      ProbeOp Op{static_cast<ProbeOpKind>(std::get<0>(Key)),
+                 std::get<1>(Key), std::get<2>(Key), std::get<3>(Key)};
+      errAt(Act.Block,
+            "unexpected probe op " + opDesc(Op) + " not in the plan");
+    }
+
+    checkPlacement(Plan);
+  }
+
+  void checkPlacement(const ProbePlan &Plan) {
+    const CfgView &Cfg = *Meta.Cfg;
+    uint32_t N = Cfg.numBlocks();
+
+    // Function entry: the very first executed op must be the entry BLSet.
+    const BasicBlock *Entry = F.entry();
+    if (Entry->Instrs.empty() || Entry->Instrs[0].Op != Opcode::Probe ||
+        !Entry->Instrs[0].ProbePayload ||
+        Entry->Instrs[0].ProbePayload->Ops.empty() ||
+        Entry->Instrs[0].ProbePayload->Ops[0].Kind != ProbeOpKind::BLSet)
+      errAt(Entry->Id,
+            "function entry does not begin with the path-register BLSet");
+
+    for (uint32_t B = 0; B < N; ++B) {
+      if (!Cfg.isReachable(B))
+        continue;
+      const BasicBlock *BB = F.block(B);
+      for (size_t Idx = 0; Idx < BB->Instrs.size(); ++Idx) {
+        const Instruction &I = BB->Instrs[Idx];
+        if (I.Op == Opcode::Ret && !Plan.RetOps[B].empty()) {
+          bool Ok = Idx > 0 && BB->Instrs[Idx - 1].Op == Opcode::Probe &&
+                    BB->Instrs[Idx - 1].ProbePayload &&
+                    opsEqual(BB->Instrs[Idx - 1].ProbePayload->Ops,
+                             Plan.RetOps[B]);
+          if (!Ok)
+            errAt(B, "ret is not immediately preceded by its planned "
+                     "count/flush probe");
+        }
+        if (I.Op == Opcode::Call || I.Op == Opcode::CallInd) {
+          if (!Plan.PreCallOps[B].empty()) {
+            bool Ok = Idx > 0 && BB->Instrs[Idx - 1].Op == Opcode::Probe &&
+                      BB->Instrs[Idx - 1].ProbePayload &&
+                      opsEqual(BB->Instrs[Idx - 1].ProbePayload->Ops,
+                               Plan.PreCallOps[B]);
+            if (!Ok)
+              errAt(B, "call is not immediately preceded by its planned "
+                       "pre-call probe");
+          }
+          if (!Plan.PostCallOps[B].empty()) {
+            bool Ok = Idx + 1 < BB->Instrs.size() &&
+                      BB->Instrs[Idx + 1].Op == Opcode::Probe &&
+                      BB->Instrs[Idx + 1].ProbePayload &&
+                      opsEqual(BB->Instrs[Idx + 1].ProbePayload->Ops,
+                               Plan.PostCallOps[B]);
+            if (!Ok)
+              errAt(B, "call is not immediately followed by its planned "
+                       "post-call probe");
+          }
+        }
+      }
+    }
+  }
+
+  const Module &M;
+  const Function &F;
+  const FunctionInstrumentation &Meta;
+  const InstrumentOptions &Opts;
+  const std::vector<CallSiteInfo> &CallSites;
+  std::vector<Diagnostic> &Diags;
+
+  std::vector<uint32_t> Topo;
+  std::vector<uint64_t> NumPaths;
+};
+
+} // namespace
+
+void olpp::checkFunctionInstrumentation(
+    const Module &M, const Function &F, const FunctionInstrumentation &Meta,
+    const InstrumentOptions &Opts, const std::vector<CallSiteInfo> &CallSites,
+    std::vector<Diagnostic> &Diags) {
+  InstrChecker(M, F, Meta, Opts, CallSites, Diags).run();
+}
+
+std::vector<Diagnostic>
+olpp::checkInstrumentation(const Module &M, const ModuleInstrumentation &MI) {
+  std::vector<Diagnostic> Diags;
+  for (uint32_t FId = 0; FId < M.numFunctions() && FId < MI.Funcs.size();
+       ++FId) {
+    const FunctionInstrumentation &Meta = MI.Funcs[FId];
+    if (!Meta.PG)
+      continue; // instrumentation failed; MI.Errors already says why
+    checkFunctionInstrumentation(M, *M.function(FId), Meta, MI.Opts,
+                                 MI.CallSites, Diags);
+  }
+  return Diags;
+}

@@ -1,0 +1,65 @@
+//===--- InstrCheck.h - Instrumentation invariant checker -------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Audits an instrumented module against its decode metadata. The checks
+/// re-derive the path-profiling invariants from scratch rather than trusting
+/// the builders, so a bug in the numbering or the probe insertion surfaces
+/// as a structured diagnostic (pass "instr-check") instead of silently
+/// corrupt profiles:
+///
+///   numbering    the Ball-Larus id assignment is a bijection between
+///                Entry->Exit paths and [0, numPaths): independently
+///                recomputed path counts, canonical Val interval tiling at
+///                every node, and telescoping of the chord increments (the
+///                sum of Incs along *every* path equals the sum of Vals)
+///   tree         chord mode really placed increments off a spanning tree:
+///                tree edges carry Inc 0 and form a spanning tree of the
+///                path graph closed by the virtual Exit->Entry edge
+///   regions      loop overlapping graphs embedded in the path graph agree
+///                edge-for-edge with an isolated RegionNumbering of the
+///                same region; interprocedural Type I / Type II numberings
+///                revalidate against a fresh rebuild
+///   probes       the probes present in the module are exactly the ones the
+///                probe plan calls for (multiset comparison with per-block
+///                attribution), every backedge program counts-or-arms and
+///                then resets the path register, per-program op ordering is
+///                legal, and call/return/entry probes sit where the
+///                placement rules put them
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFILE_INSTRCHECK_H
+#define OLPP_PROFILE_INSTRCHECK_H
+
+#include "profile/Instrumenter.h"
+#include "support/Diagnostic.h"
+
+#include <vector>
+
+namespace olpp {
+
+class Module;
+class Function;
+
+/// Audits one instrumented function against its metadata. \p F must be the
+/// instrumented function and \p Meta its entry in the ModuleInstrumentation
+/// produced alongside it. Appends findings (severity error) to \p Diags.
+void checkFunctionInstrumentation(const Module &M, const Function &F,
+                                  const FunctionInstrumentation &Meta,
+                                  const InstrumentOptions &Opts,
+                                  const std::vector<CallSiteInfo> &CallSites,
+                                  std::vector<Diagnostic> &Diags);
+
+/// Audits every function of the instrumented module \p M against \p MI
+/// (the result of instrumentModule on it). Returns the findings; empty
+/// means every invariant holds.
+std::vector<Diagnostic> checkInstrumentation(const Module &M,
+                                             const ModuleInstrumentation &MI);
+
+} // namespace olpp
+
+#endif // OLPP_PROFILE_INSTRCHECK_H

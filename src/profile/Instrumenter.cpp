@@ -16,110 +16,22 @@ using namespace olpp;
 
 namespace {
 
-/// Instruments one function.
-class FunctionInstrumenter {
+/// Assembles the per-site probe programs for one function. Pure: reads the
+/// function shape and the instrumentation metadata only.
+class PlanBuilder {
 public:
-  FunctionInstrumenter(Module &M, Function &F, FunctionInstrumentation &Meta,
-                       const InstrumentOptions &Opts,
-                       const std::vector<CallSiteInfo> &CallSites)
-      : M(M), F(F), Meta(Meta), Opts(Opts), CallSites(CallSites) {}
+  PlanBuilder(const Function &F, const FunctionInstrumentation &Meta,
+              const InstrumentOptions &Opts,
+              const std::vector<CallSiteInfo> &CallSites)
+      : F(F), Meta(Meta), Opts(Opts), CallSites(CallSites) {}
 
-  bool run(std::string &Error) {
-    F.renumberBlocks();
-    Meta.Cfg = std::make_unique<CfgView>(CfgView::build(F));
-    Meta.Dom = std::make_unique<DomTree>(DomTree::compute(*Meta.Cfg));
-    Meta.Loops =
-        std::make_unique<LoopInfo>(LoopInfo::compute(*Meta.Cfg, *Meta.Dom));
-    const CfgView &Cfg = *Meta.Cfg;
-    const LoopInfo &LI = *Meta.Loops;
-
-    if (!Cfg.preds(F.entry()->Id).empty()) {
-      Error = "function '" + F.Name +
-              "' has branches to its entry block; create a separate header";
-      return false;
-    }
-
-    PathGraphOptions PGO;
-    PGO.CallBreaking = Opts.CallBreaking;
-    PGO.LoopOverlap = Opts.LoopOverlap;
-    PGO.Degree = Opts.LoopDegree;
-    PGO.UseChords = Opts.UseChords;
-    Meta.PG = PathGraph::build(F, Cfg, LI, PGO, Error);
-    if (!Meta.PG)
-      return false;
-    const PathGraph &PG = *Meta.PG;
-
-    // Degree maxima (for sweep benches).
-    for (uint32_t L = 0; L < LI.numLoops(); ++L) {
-      OverlapRegionParams P;
-      P.Anchor = LI.loop(L).Header;
-      P.Restrict.assign(Cfg.numBlocks(), false);
-      for (uint32_t B : LI.loop(L).Blocks)
-        P.Restrict[B] = true;
-      P.BreakAtCalls = Opts.CallBreaking;
-      Meta.MaxLoopDegree = std::max(
-          Meta.MaxLoopDegree, maxOverlapDegree(F, Cfg, LI, P));
-    }
-
-    // Interprocedural regions and numberings.
-    if (Opts.Interproc) {
-      if (!buildInterprocMeta(Error))
-        return false;
-    }
-
-    if (Opts.LoopOverlap)
-      F.NumLoopSlots = static_cast<uint32_t>(LI.numLoops());
-
+  ProbePlan build() {
     assembleOps();
-    insertProbes();
-    F.renumberBlocks();
-    return true;
+    return std::move(Plan);
   }
 
 private:
   using Ops = std::vector<ProbeOp>;
-
-  bool buildInterprocMeta(std::string &Error) {
-    const CfgView &Cfg = *Meta.Cfg;
-    const LoopInfo &LI = *Meta.Loops;
-
-    OverlapRegionParams PI;
-    PI.Anchor = F.entry()->Id;
-    PI.Degree = Opts.InterprocDegree;
-    PI.BreakAtCalls = true;
-    Meta.TypeIRegion = std::make_unique<OverlapRegion>(
-        OverlapRegion::compute(F, Cfg, LI, PI));
-    Meta.TypeINumbering = RegionNumbering::build(*Meta.TypeIRegion, Error);
-    if (!Meta.TypeINumbering)
-      return false;
-    Meta.MaxInterprocDegree =
-        std::max(Meta.MaxInterprocDegree, maxOverlapDegree(F, Cfg, LI, PI));
-
-    for (const CallSiteInfo &CS : CallSites) {
-      if (CS.Func != F.Id)
-        continue;
-      FunctionInstrumentation::TypeIISite Site;
-      Site.CsId = CS.CsId;
-      Site.Block = CS.Block;
-      Site.Callee = CS.Callee;
-      OverlapRegionParams PII;
-      PII.Anchor = CS.Block;
-      PII.Degree = Opts.InterprocDegree;
-      PII.BreakAtCalls = true;
-      PII.AnchorExemptFromCallBreak = true;
-      Site.Region = std::make_unique<OverlapRegion>(
-          OverlapRegion::compute(F, Cfg, LI, PII));
-      Site.Numbering = RegionNumbering::build(*Site.Region, Error);
-      if (!Site.Numbering)
-        return false;
-      Meta.MaxInterprocDegree =
-          std::max(Meta.MaxInterprocDegree, maxOverlapDegree(F, Cfg, LI, PII));
-      Meta.TypeII.push_back(std::move(Site));
-    }
-    return true;
-  }
-
-  // --- op assembly -------------------------------------------------------
 
   int64_t edgeInc(uint32_t PGEdgeId) const {
     assert(PGEdgeId != UINT32_MAX && "missing path-graph edge");
@@ -144,20 +56,19 @@ private:
     const PathGraph &PG = *Meta.PG;
     uint32_t N = Cfg.numBlocks();
 
-    EdgeOps.clear();
-    BlockEntryOps.assign(N, {});
-    PreCallOps.assign(N, {});
-    PostCallOps.assign(N, {});
-    RetOps.assign(N, {});
-    PreTermOps.assign(N, {});
+    Plan.EdgeOps.clear();
+    Plan.BlockEntryOps.assign(N, {});
+    Plan.PreCallOps.assign(N, {});
+    Plan.PostCallOps.assign(N, {});
+    Plan.RetOps.assign(N, {});
 
     // Function entry.
-    FuncEntryOps.clear();
-    FuncEntryOps.push_back(
+    Plan.FuncEntryOps.clear();
+    Plan.FuncEntryOps.push_back(
         {ProbeOpKind::BLSet, 0,
          edgeInc(PG.entryStartEdgeTo(PG.whiteNode(F.entry()->Id))), 0});
     if (Opts.Interproc)
-      FuncEntryOps.push_back({ProbeOpKind::IPEnter, 0, 0, 0});
+      Plan.FuncEntryOps.push_back({ProbeOpKind::IPEnter, 0, 0, 0});
 
     // Per-CFG-edge programs.
     for (uint32_t B = 0; B < N; ++B) {
@@ -196,7 +107,7 @@ private:
           }
           E.push_back({ProbeOpKind::BLSet, 0,
                        edgeInc(PG.entryStartEdgeTo(PG.whiteNode(S))), 0});
-          EdgeOps[{B, S}] = std::move(E);
+          Plan.EdgeOps[{B, S}] = std::move(E);
           continue;
         }
 
@@ -227,7 +138,7 @@ private:
           appendInterprocEdgeIncs(E, B, S);
 
         if (!E.empty())
-          EdgeOps[{B, S}] = std::move(E);
+          Plan.EdgeOps[{B, S}] = std::move(E);
       }
     }
 
@@ -235,7 +146,7 @@ private:
     for (uint32_t B = 0; B < N; ++B) {
       if (!Cfg.isReachable(B) || !F.block(B)->isPredicate())
         continue;
-      Ops &E = BlockEntryOps[B];
+      Ops &E = Plan.BlockEntryOps[B];
       if (Opts.LoopOverlap)
         for (uint32_t L = 0; L < LI.numLoops(); ++L) {
           uint32_t Node = PG.ogNode(L, B);
@@ -276,7 +187,7 @@ private:
       bool IsCall = isCallBlock(F, B);
 
       if (IsCall && Opts.CallBreaking) {
-        Ops &Pre = PreCallOps[B];
+        Ops &Pre = Plan.PreCallOps[B];
         if (Opts.LoopOverlap)
           for (uint32_t L = 0; L < LI.numLoops(); ++L)
             if (PG.ogNode(L, B) != UINT32_MAX)
@@ -290,7 +201,7 @@ private:
           Pre.push_back({ProbeOpKind::IPCall, 0,
                          static_cast<int64_t>(CsId), PreInc});
 
-        Ops &Post = PostCallOps[B];
+        Ops &Post = Plan.PostCallOps[B];
         Post.push_back(
             {ProbeOpKind::BLSet, 0,
              edgeInc(PG.entryStartEdgeTo(PG.whiteNode(B, true))), 0});
@@ -300,7 +211,7 @@ private:
       }
 
       if (BB->isExit()) {
-        Ops &Ret = RetOps[B];
+        Ops &Ret = Plan.RetOps[B];
         if (Opts.Interproc)
           appendInterprocFlushes(Ret, B);
         bool Breaking = IsCall && Opts.CallBreaking;
@@ -364,6 +275,115 @@ private:
     }
   }
 
+  const Function &F;
+  const FunctionInstrumentation &Meta;
+  const InstrumentOptions &Opts;
+  const std::vector<CallSiteInfo> &CallSites;
+  ProbePlan Plan;
+};
+
+/// Instruments one function.
+class FunctionInstrumenter {
+public:
+  FunctionInstrumenter(Module &M, Function &F, FunctionInstrumentation &Meta,
+                       const InstrumentOptions &Opts,
+                       const std::vector<CallSiteInfo> &CallSites)
+      : M(M), F(F), Meta(Meta), Opts(Opts), CallSites(CallSites) {}
+
+  bool run(std::string &Error) {
+    F.renumberBlocks();
+    Meta.Cfg = std::make_unique<CfgView>(CfgView::build(F));
+    Meta.Dom = std::make_unique<DomTree>(DomTree::compute(*Meta.Cfg));
+    Meta.Loops =
+        std::make_unique<LoopInfo>(LoopInfo::compute(*Meta.Cfg, *Meta.Dom));
+    const CfgView &Cfg = *Meta.Cfg;
+    const LoopInfo &LI = *Meta.Loops;
+
+    if (!Cfg.preds(F.entry()->Id).empty()) {
+      Error = "function '" + F.Name +
+              "' has branches to its entry block; create a separate header";
+      return false;
+    }
+
+    PathGraphOptions PGO;
+    PGO.CallBreaking = Opts.CallBreaking;
+    PGO.LoopOverlap = Opts.LoopOverlap;
+    PGO.Degree = Opts.LoopDegree;
+    PGO.UseChords = Opts.UseChords;
+    Meta.PG = PathGraph::build(F, Cfg, LI, PGO, Error);
+    if (!Meta.PG)
+      return false;
+
+    // Degree maxima (for sweep benches).
+    for (uint32_t L = 0; L < LI.numLoops(); ++L) {
+      OverlapRegionParams P;
+      P.Anchor = LI.loop(L).Header;
+      P.Restrict.assign(Cfg.numBlocks(), false);
+      for (uint32_t B : LI.loop(L).Blocks)
+        P.Restrict[B] = true;
+      P.BreakAtCalls = Opts.CallBreaking;
+      Meta.MaxLoopDegree = std::max(
+          Meta.MaxLoopDegree, maxOverlapDegree(F, Cfg, LI, P));
+    }
+
+    // Interprocedural regions and numberings.
+    if (Opts.Interproc) {
+      if (!buildInterprocMeta(Error))
+        return false;
+    }
+
+    if (Opts.LoopOverlap)
+      F.NumLoopSlots = static_cast<uint32_t>(LI.numLoops());
+
+    Plan = computeProbePlan(F, Meta, Opts, CallSites);
+    insertProbes();
+    F.renumberBlocks();
+    return true;
+  }
+
+private:
+  using Ops = std::vector<ProbeOp>;
+
+  bool buildInterprocMeta(std::string &Error) {
+    const CfgView &Cfg = *Meta.Cfg;
+    const LoopInfo &LI = *Meta.Loops;
+
+    OverlapRegionParams PI;
+    PI.Anchor = F.entry()->Id;
+    PI.Degree = Opts.InterprocDegree;
+    PI.BreakAtCalls = true;
+    Meta.TypeIRegion = std::make_unique<OverlapRegion>(
+        OverlapRegion::compute(F, Cfg, LI, PI));
+    Meta.TypeINumbering = RegionNumbering::build(*Meta.TypeIRegion, Error);
+    if (!Meta.TypeINumbering)
+      return false;
+    Meta.MaxInterprocDegree =
+        std::max(Meta.MaxInterprocDegree, maxOverlapDegree(F, Cfg, LI, PI));
+
+    for (const CallSiteInfo &CS : CallSites) {
+      if (CS.Func != F.Id)
+        continue;
+      FunctionInstrumentation::TypeIISite Site;
+      Site.CsId = CS.CsId;
+      Site.Block = CS.Block;
+      Site.Callee = CS.Callee;
+      OverlapRegionParams PII;
+      PII.Anchor = CS.Block;
+      PII.Degree = Opts.InterprocDegree;
+      PII.BreakAtCalls = true;
+      PII.AnchorExemptFromCallBreak = true;
+      Site.Region = std::make_unique<OverlapRegion>(
+          OverlapRegion::compute(F, Cfg, LI, PII));
+      Site.Numbering = RegionNumbering::build(*Site.Region, Error);
+      if (!Site.Numbering)
+        return false;
+      Meta.MaxInterprocDegree =
+          std::max(Meta.MaxInterprocDegree, maxOverlapDegree(F, Cfg, LI, PII));
+      Meta.TypeII.push_back(std::move(Site));
+    }
+    return true;
+  }
+
   // --- probe insertion ----------------------------------------------------
 
   static Instruction makeProbe(Ops OpsList) {
@@ -385,17 +405,17 @@ private:
       Ops OpsList;
     };
     std::vector<Split> Splits;
-    std::vector<Ops> EdgeIntoOps(N);
-    for (auto &[Key, OpsList] : EdgeOps) {
+    std::vector<Ops> EdgeIntoOps(N), PreTermOps(N);
+    for (auto &[Key, OpsList] : Plan.EdgeOps) {
       auto [U, V] = Key;
       if (Cfg.succs(U).size() == 1) {
         // Runs when U exits, which is exactly when the edge is taken.
-        for (ProbeOp &Op : OpsList)
+        for (const ProbeOp &Op : OpsList)
           PreTermOps[U].push_back(Op);
       } else if (Cfg.preds(V).size() == 1) {
-        EdgeIntoOps[V] = std::move(OpsList);
+        EdgeIntoOps[V] = OpsList;
       } else {
-        Splits.push_back({U, V, std::move(OpsList)});
+        Splits.push_back({U, V, OpsList});
       }
     }
 
@@ -410,24 +430,24 @@ private:
       };
       Append(Entry, EdgeIntoOps[B]);
       if (BB == F.entry())
-        Append(Entry, FuncEntryOps);
-      Append(Entry, BlockEntryOps[B]);
+        Append(Entry, Plan.FuncEntryOps);
+      Append(Entry, Plan.BlockEntryOps[B]);
 
       std::vector<Instruction> NewInstrs;
       if (!Entry.empty())
         NewInstrs.push_back(makeProbe(std::move(Entry)));
       for (Instruction &I : BB->Instrs) {
         bool IsCallInstr = I.Op == Opcode::Call || I.Op == Opcode::CallInd;
-        if (IsCallInstr && !PreCallOps[B].empty())
-          NewInstrs.push_back(makeProbe(PreCallOps[B]));
-        if (I.Op == Opcode::Ret && !RetOps[B].empty())
-          NewInstrs.push_back(makeProbe(RetOps[B]));
+        if (IsCallInstr && !Plan.PreCallOps[B].empty())
+          NewInstrs.push_back(makeProbe(Plan.PreCallOps[B]));
+        if (I.Op == Opcode::Ret && !Plan.RetOps[B].empty())
+          NewInstrs.push_back(makeProbe(Plan.RetOps[B]));
         if (isTerminator(I.Op) && I.Op != Opcode::Ret &&
             !PreTermOps[B].empty())
           NewInstrs.push_back(makeProbe(PreTermOps[B]));
         NewInstrs.push_back(std::move(I));
-        if (IsCallInstr && !PostCallOps[B].empty())
-          NewInstrs.push_back(makeProbe(PostCallOps[B]));
+        if (IsCallInstr && !Plan.PostCallOps[B].empty())
+          NewInstrs.push_back(makeProbe(Plan.PostCallOps[B]));
       }
       BB->Instrs = std::move(NewInstrs);
     }
@@ -443,13 +463,17 @@ private:
   FunctionInstrumentation &Meta;
   const InstrumentOptions &Opts;
   const std::vector<CallSiteInfo> &CallSites;
-
-  std::map<std::pair<uint32_t, uint32_t>, Ops> EdgeOps;
-  std::vector<Ops> BlockEntryOps, PreCallOps, PostCallOps, RetOps, PreTermOps;
-  Ops FuncEntryOps;
+  ProbePlan Plan;
 };
 
 } // namespace
+
+ProbePlan olpp::computeProbePlan(const Function &F,
+                                 const FunctionInstrumentation &Meta,
+                                 const InstrumentOptions &Opts,
+                                 const std::vector<CallSiteInfo> &CallSites) {
+  return PlanBuilder(F, Meta, Opts, CallSites).build();
+}
 
 ModuleInstrumentation olpp::instrumentModule(Module &M,
                                              const InstrumentOptions &Opts) {

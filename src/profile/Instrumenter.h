@@ -24,9 +24,11 @@
 #ifndef OLPP_PROFILE_INSTRUMENTER_H
 #define OLPP_PROFILE_INSTRUMENTER_H
 
+#include "ir/Probe.h"
 #include "overlap/RegionNumbering.h"
 #include "profile/PathGraph.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +36,7 @@
 namespace olpp {
 
 class Module;
+class Function;
 
 struct InstrumentOptions {
   /// Attach overlapping graphs of degree LoopDegree to every loop.
@@ -85,6 +88,40 @@ struct FunctionInstrumentation {
   /// all Type II anchors).
   uint32_t MaxInterprocDegree = 0;
 };
+
+/// The complete set of probe programs the instrumenter attaches to one
+/// function, keyed by the pre-instrumentation site each program belongs to.
+/// The plan is a pure function of the metadata: recomputing it after
+/// instrumentation yields the same ops, which is what InstrCheck exploits
+/// to audit an instrumented module against its decode metadata.
+struct ProbePlan {
+  using Ops = std::vector<ProbeOp>;
+
+  /// Runs once when the function is entered (in the entry block, after any
+  /// edge-into ops, before block-entry ops).
+  Ops FuncEntryOps;
+  /// Runs when the CFG edge (from, to) is traversed. Placement: appended to
+  /// the source block when it has a single successor, prepended to the
+  /// target when it has a single predecessor, otherwise on a split block.
+  std::map<std::pair<uint32_t, uint32_t>, Ops> EdgeOps;
+  /// Runs at the top of a block (predicate counting), indexed by block id.
+  std::vector<Ops> BlockEntryOps;
+  /// Runs immediately before / after the call instruction of a call block.
+  std::vector<Ops> PreCallOps;
+  std::vector<Ops> PostCallOps;
+  /// Runs immediately before the ret of an exit block.
+  std::vector<Ops> RetOps;
+};
+
+/// Computes the probe plan for \p F from its instrumentation metadata.
+/// \p Meta must have Cfg/Loops/PG populated (and the interprocedural
+/// regions when Opts.Interproc). Pure: does not touch the function, and is
+/// identical whether \p F is the pre-instrumentation function or the
+/// instrumented one (instrumentation only appends blocks and probes).
+ProbePlan computeProbePlan(const Function &F,
+                           const FunctionInstrumentation &Meta,
+                           const InstrumentOptions &Opts,
+                           const std::vector<CallSiteInfo> &CallSites);
 
 struct ModuleInstrumentation {
   InstrumentOptions Opts;

@@ -1,0 +1,145 @@
+//===--- Diagnostic.cpp - Structured analysis diagnostics --------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+using namespace olpp;
+
+const char *olpp::severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = severityName(Sev);
+  Out += ": [";
+  Out += Pass;
+  Out += "]";
+  if (!Loc.Function.empty()) {
+    Out += " ";
+    Out += Loc.Function;
+  }
+  if (Loc.hasBlock()) {
+    Out += " ^" + std::to_string(Loc.Block);
+    if (!Loc.BlockName.empty())
+      Out += "(" + Loc.BlockName + ")";
+  }
+  if (Loc.hasInstr())
+    Out += " #" + std::to_string(Loc.Instr);
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+Diagnostic olpp::makeDiag(Severity Sev, std::string Pass,
+                          std::string Function, std::string Message) {
+  Diagnostic D;
+  D.Sev = Sev;
+  D.Pass = std::move(Pass);
+  D.Loc.Function = std::move(Function);
+  D.Message = std::move(Message);
+  return D;
+}
+
+Diagnostic olpp::makeDiagAt(Severity Sev, std::string Pass,
+                            std::string Function, uint32_t Block,
+                            std::string BlockName, std::string Message,
+                            uint32_t Instr) {
+  Diagnostic D = makeDiag(Sev, std::move(Pass), std::move(Function),
+                          std::move(Message));
+  D.Loc.Block = Block;
+  D.Loc.BlockName = std::move(BlockName);
+  D.Loc.Instr = Instr;
+  return D;
+}
+
+bool olpp::anySeverityAtLeast(const std::vector<Diagnostic> &Diags,
+                              Severity Min) {
+  for (const Diagnostic &D : Diags)
+    if (D.Sev >= Min)
+      return true;
+  return false;
+}
+
+std::string olpp::renderDiagnosticsText(const std::vector<Diagnostic> &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+std::string olpp::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string olpp::renderDiagnosticsJson(const std::vector<Diagnostic> &Diags) {
+  std::string Out = "[";
+  bool First = true;
+  for (const Diagnostic &D : Diags) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  {";
+    Out += "\"severity\": \"" + std::string(severityName(D.Sev)) + "\", ";
+    Out += "\"pass\": \"" + jsonEscape(D.Pass) + "\", ";
+    Out += "\"function\": ";
+    Out += D.Loc.Function.empty()
+               ? "null"
+               : "\"" + jsonEscape(D.Loc.Function) + "\"";
+    Out += ", \"block\": ";
+    Out += D.Loc.hasBlock() ? std::to_string(D.Loc.Block) : "null";
+    Out += ", \"blockName\": ";
+    Out += D.Loc.hasBlock() && !D.Loc.BlockName.empty()
+               ? "\"" + jsonEscape(D.Loc.BlockName) + "\""
+               : "null";
+    Out += ", \"instr\": ";
+    Out += D.Loc.hasInstr() ? std::to_string(D.Loc.Instr) : "null";
+    Out += ", \"message\": \"" + jsonEscape(D.Message) + "\"";
+    Out += "}";
+  }
+  Out += Diags.empty() ? "]" : "\n]";
+  Out.push_back('\n');
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===--- Diagnostic.h - Structured analysis diagnostics ---------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured diagnostic type shared by the IR verifier, the lint
+/// passes and the instrumentation-invariant checker: a severity, the pass
+/// that produced it, an optional function/block/instruction location, and
+/// a message. Renderers produce either a human-readable text listing or a
+/// JSON array (one object per diagnostic) for tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_DIAGNOSTIC_H
+#define OLPP_SUPPORT_DIAGNOSTIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/// Printable name of \p S ("note" / "warning" / "error").
+const char *severityName(Severity S);
+
+/// Where a diagnostic points. Every level is optional: a module-level
+/// problem has an empty Function, a function-level one leaves Block unset.
+struct DiagLocation {
+  std::string Function;           ///< empty = module level
+  uint32_t Block = UINT32_MAX;    ///< block id; UINT32_MAX = function level
+  std::string BlockName;          ///< block name when Block is set
+  uint32_t Instr = UINT32_MAX;    ///< instruction index within the block
+
+  bool hasBlock() const { return Block != UINT32_MAX; }
+  bool hasInstr() const { return Instr != UINT32_MAX; }
+};
+
+/// One finding of a static check.
+struct Diagnostic {
+  Severity Sev = Severity::Warning;
+  std::string Pass; ///< short pass slug, e.g. "lint-uninit", "instr-check"
+  DiagLocation Loc;
+  std::string Message;
+
+  /// One-line text rendering:
+  ///   error: [instr-check] f ^3(P2): message
+  std::string str() const;
+};
+
+/// Convenience builder used by the passes.
+Diagnostic makeDiag(Severity Sev, std::string Pass, std::string Function,
+                    std::string Message);
+Diagnostic makeDiagAt(Severity Sev, std::string Pass, std::string Function,
+                      uint32_t Block, std::string BlockName,
+                      std::string Message, uint32_t Instr = UINT32_MAX);
+
+/// True if any diagnostic has severity >= \p Min.
+bool anySeverityAtLeast(const std::vector<Diagnostic> &Diags, Severity Min);
+
+/// All diagnostics as text, one per line (empty string for none).
+std::string renderDiagnosticsText(const std::vector<Diagnostic> &Diags);
+
+/// All diagnostics as a JSON array. Each element carries the keys
+/// "severity", "pass", "function", "block", "blockName", "instr" and
+/// "message"; unset locations render as null.
+std::string renderDiagnosticsJson(const std::vector<Diagnostic> &Diags);
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes,
+/// backslashes and control characters).
+std::string jsonEscape(const std::string &S);
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_DIAGNOSTIC_H

@@ -1,0 +1,206 @@
+//===--- LintTest.cpp - lint pass tests --------------------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One positive and one negative case per lint pass, plus a clean sweep
+/// over the embedded workloads (the suite must stay warning-free or the
+/// lint_workloads ctest gate would fire).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "workloads/Workloads.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace olpp;
+
+namespace {
+
+std::vector<Diagnostic> lintOf(const Module &M, const char *Pass) {
+  std::vector<Diagnostic> All = lintModule(M);
+  std::vector<Diagnostic> Out;
+  std::copy_if(All.begin(), All.end(), std::back_inserter(Out),
+               [&](const Diagnostic &D) { return D.Pass == Pass; });
+  return Out;
+}
+
+} // namespace
+
+TEST(LintUninit, FlagsHalfInitializedRegister) {
+  // r1 is written on one arm of a diamond only, then read at the join.
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("half_init", 1);
+  Reg R1 = F->newReg();
+  Reg R2 = F->newReg();
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  BasicBlock *A = F->addBlock("A");
+  BasicBlock *Bb = F->addBlock("B");
+  BasicBlock *J = F->addBlock("J");
+  B.setBlock(En);
+  B.condBr(0, A, Bb);
+  B.setBlock(A);
+  B.constInto(R1, 5);
+  B.br(J);
+  B.setBlock(Bb);
+  B.br(J);
+  B.setBlock(J);
+  B.binopInto(R2, Opcode::Add, R1, 0);
+  B.ret(R2);
+  F->renumberBlocks();
+
+  std::vector<Diagnostic> Diags = lintOf(*M, "lint-uninit");
+  ASSERT_EQ(Diags.size(), 1u) << renderDiagnosticsText(lintModule(*M));
+  EXPECT_EQ(Diags[0].Sev, Severity::Warning);
+  EXPECT_EQ(Diags[0].Loc.Function, "half_init");
+  EXPECT_EQ(Diags[0].Loc.Block, J->Id);
+  EXPECT_EQ(Diags[0].Loc.Instr, 0u);
+  EXPECT_NE(Diags[0].Message.find("%" + std::to_string(R1)),
+            std::string::npos);
+}
+
+TEST(LintUninit, CleanWhenBothArmsWrite) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("both_init", 1);
+  Reg R1 = F->newReg();
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  BasicBlock *A = F->addBlock("A");
+  BasicBlock *Bb = F->addBlock("B");
+  BasicBlock *J = F->addBlock("J");
+  B.setBlock(En);
+  B.condBr(0, A, Bb);
+  B.setBlock(A);
+  B.constInto(R1, 1);
+  B.br(J);
+  B.setBlock(Bb);
+  B.constInto(R1, 2);
+  B.br(J);
+  B.setBlock(J);
+  B.ret(R1);
+  F->renumberBlocks();
+
+  EXPECT_TRUE(lintModule(*M).empty())
+      << renderDiagnosticsText(lintModule(*M));
+}
+
+TEST(LintDeadStore, FlagsPureDeadWrite) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("dead", 1);
+  Reg R1 = F->newReg();
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  B.setBlock(En);
+  B.constInto(R1, 42); // never read
+  B.ret(0);
+  F->renumberBlocks();
+
+  std::vector<Diagnostic> Diags = lintOf(*M, "lint-dead-store");
+  ASSERT_EQ(Diags.size(), 1u) << renderDiagnosticsText(lintModule(*M));
+  EXPECT_EQ(Diags[0].Sev, Severity::Warning);
+  EXPECT_EQ(Diags[0].Loc.Block, 0u);
+  EXPECT_EQ(Diags[0].Loc.Instr, 0u);
+  EXPECT_NE(Diags[0].Message.find("%" + std::to_string(R1)),
+            std::string::npos);
+}
+
+TEST(LintDeadStore, SparesTrappingOpsAndLiveWrites) {
+  // A division result may be dead, but Div can trap: erasing it would
+  // change behaviour, so it must not be reported.
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("trapping", 1);
+  Reg R1 = F->newReg();
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  B.setBlock(En);
+  B.binopInto(R1, Opcode::Div, 0, 0); // dead but impure
+  B.ret(0);
+  F->renumberBlocks();
+  EXPECT_TRUE(lintOf(*M, "lint-dead-store").empty());
+
+  // A written-then-read register is obviously fine.
+  auto M2 = std::make_unique<Module>();
+  Function *F2 = M2->addFunction("live", 0);
+  Reg R = F2->newReg();
+  IRBuilder B2(*F2);
+  BasicBlock *En2 = F2->addBlock("En");
+  B2.setBlock(En2);
+  B2.constInto(R, 7);
+  B2.ret(R);
+  F2->renumberBlocks();
+  EXPECT_TRUE(lintOf(*M2, "lint-dead-store").empty());
+}
+
+TEST(LintUnreachable, FlagsDeadCodeSparesStubs) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("island", 1);
+  Reg R1 = F->newReg();
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  BasicBlock *Dead = F->addBlock("Dead"); // real work, no predecessor
+  BasicBlock *Stub = F->addBlock("Stub"); // lone terminator: exempt
+  B.setBlock(En);
+  B.ret(0);
+  B.setBlock(Dead);
+  B.constInto(R1, 1);
+  B.ret(R1);
+  B.setBlock(Stub);
+  B.ret(0);
+  F->renumberBlocks();
+
+  std::vector<Diagnostic> Diags = lintOf(*M, "lint-unreachable");
+  ASSERT_EQ(Diags.size(), 1u) << renderDiagnosticsText(lintModule(*M));
+  EXPECT_EQ(Diags[0].Loc.Block, Dead->Id);
+  EXPECT_EQ(Diags[0].Loc.BlockName, "Dead");
+}
+
+TEST(LintNoExit, FlagsInescapableLoop) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("spin", 1);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  BasicBlock *L = F->addBlock("L");
+  BasicBlock *X = F->addBlock("X"); // unreachable ret keeps the IR honest
+  B.setBlock(En);
+  B.br(L);
+  B.setBlock(L);
+  B.br(L); // self loop, no way out
+  B.setBlock(X);
+  B.ret(0);
+  F->renumberBlocks();
+
+  std::vector<Diagnostic> Diags = lintOf(*M, "lint-no-exit");
+  ASSERT_EQ(Diags.size(), 1u) << renderDiagnosticsText(lintModule(*M));
+  EXPECT_EQ(Diags[0].Loc.Block, L->Id);
+  // The lone-ret stub must not trip lint-unreachable either.
+  EXPECT_TRUE(lintOf(*M, "lint-unreachable").empty());
+}
+
+TEST(LintNoExit, CleanOnOrdinaryLoop) {
+  auto M = testutil::makePaperLoopModule();
+  EXPECT_TRUE(lintModule(*M).empty())
+      << renderDiagnosticsText(lintModule(*M));
+}
+
+TEST(Lint, WorkloadSuiteIsClean) {
+  // The lint_workloads ctest runs `olpp lint --all --werror`; this is the
+  // same gate at the library level, with per-workload attribution.
+  for (const Workload &W : allWorkloads()) {
+    auto M = testutil::compileOrDie(W.Source);
+    ASSERT_TRUE(M);
+    std::vector<Diagnostic> Diags = lintModule(*M);
+    EXPECT_TRUE(Diags.empty())
+        << W.Name << ":\n" << renderDiagnosticsText(Diags);
+  }
+}

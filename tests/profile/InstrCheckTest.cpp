@@ -1,0 +1,201 @@
+//===--- InstrCheckTest.cpp - instrumentation invariant checker tests --------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker must (a) pass every correctly instrumented module — the
+/// paper examples under all option mixes and the whole workload suite,
+/// which is how the Ball-Larus bijectivity proof is exercised end to end —
+/// and (b) reject seeded instrumenter bugs: a perturbed chord increment
+/// breaks the telescoping check, a perturbed probe payload breaks the
+/// probe-plan multiset comparison with a block-level diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/InstrCheck.h"
+
+#include "ir/Module.h"
+#include "profile/Instrumenter.h"
+#include "workloads/Workloads.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace olpp;
+
+namespace {
+
+/// Instruments a fresh copy and expects the full invariant battery to pass.
+void expectClean(std::unique_ptr<Module> M, const InstrumentOptions &Opts,
+                 const char *What) {
+  ModuleInstrumentation MI = instrumentModule(*M, Opts);
+  ASSERT_TRUE(MI.ok()) << What << ": " << MI.Errors.front();
+  std::vector<Diagnostic> Diags = checkInstrumentation(*M, MI);
+  EXPECT_TRUE(Diags.empty()) << What << ":\n"
+                             << renderDiagnosticsText(Diags);
+}
+
+bool anyMessageContains(const std::vector<Diagnostic> &Diags,
+                        const std::string &Needle) {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(InstrCheck, CleanOnPaperLoopAllModes) {
+  {
+    InstrumentOptions O; // plain BL, chord increments
+    expectClean(testutil::makePaperLoopModule(), O, "chords");
+  }
+  {
+    InstrumentOptions O;
+    O.UseChords = false;
+    expectClean(testutil::makePaperLoopModule(), O, "naive");
+  }
+  {
+    InstrumentOptions O;
+    O.CallBreaking = true;
+    expectClean(testutil::makePaperLoopModule(), O, "call-breaking");
+  }
+  for (uint32_t K = 1; K <= 3; ++K) {
+    InstrumentOptions O;
+    O.LoopOverlap = true;
+    O.LoopDegree = K;
+    expectClean(testutil::makePaperLoopModule(), O,
+                ("overlap k=" + std::to_string(K)).c_str());
+  }
+  {
+    InstrumentOptions O;
+    O.LoopOverlap = true;
+    O.LoopDegree = 2;
+    O.UseChords = false;
+    expectClean(testutil::makePaperLoopModule(), O, "overlap naive");
+  }
+}
+
+TEST(InstrCheck, CleanOnPiEdgeModule) {
+  InstrumentOptions O;
+  O.LoopOverlap = true;
+  O.LoopDegree = 2;
+  expectClean(testutil::makePiEdgeModule(), O, "pi-edge overlap k=2");
+}
+
+TEST(InstrCheck, CleanOnEveryWorkload) {
+  // The full suite under the heaviest option mix: loop overlap plus
+  // interprocedural Type I / Type II. Each function's numbering is
+  // independently recounted and its increments re-telescoped, so a pass
+  // here is the bijectivity proof for every seed workload.
+  for (const Workload &W : allWorkloads()) {
+    auto M = testutil::compileOrDie(W.Source);
+    ASSERT_TRUE(M) << W.Name;
+    InstrumentOptions O;
+    O.LoopOverlap = true;
+    O.LoopDegree = 2;
+    O.Interproc = true;
+    O.InterprocDegree = 2;
+    expectClean(std::move(M), O, W.Name.c_str());
+  }
+}
+
+TEST(InstrCheck, CatchesPerturbedChordIncrement) {
+  auto M = testutil::makePaperLoopModule();
+  InstrumentOptions O; // chord mode
+  ModuleInstrumentation MI = instrumentModule(*M, O);
+  ASSERT_TRUE(MI.ok());
+  ASSERT_TRUE(checkInstrumentation(*M, MI).empty());
+
+  // Seed the bug: bump one chord increment by one. The sum of increments
+  // along any path through this chord no longer equals the path id.
+  const PathGraph &PG = *MI.Funcs[0].PG;
+  uint32_t Chord = UINT32_MAX;
+  for (uint32_t E = 0; E < PG.numEdges(); ++E)
+    if (!PG.edge(E).TreeEdge) {
+      Chord = E;
+      break;
+    }
+  ASSERT_NE(Chord, UINT32_MAX) << "chord mode must leave non-tree edges";
+  const_cast<PGEdge &>(PG.edge(Chord)).Inc += 1;
+
+  std::vector<Diagnostic> Diags = checkInstrumentation(*M, MI);
+  ASSERT_FALSE(Diags.empty());
+  for (const Diagnostic &D : Diags) {
+    EXPECT_EQ(D.Sev, Severity::Error);
+    EXPECT_EQ(D.Pass, "instr-check");
+  }
+  // The numbering audit itself must fire (not just the probe comparison):
+  // either two routes into a join disagree or the Entry->Exit sum is off.
+  EXPECT_TRUE(anyMessageContains(Diags, "route taken") ||
+              anyMessageContains(Diags, "telescope"))
+      << renderDiagnosticsText(Diags);
+}
+
+TEST(InstrCheck, CatchesPerturbedProbeWithBlockDiagnostic) {
+  auto M = testutil::makePaperLoopModule();
+  InstrumentOptions O;
+  ModuleInstrumentation MI = instrumentModule(*M, O);
+  ASSERT_TRUE(MI.ok());
+  ASSERT_TRUE(checkInstrumentation(*M, MI).empty());
+
+  // Seed the bug: rewrite the constant of one probe micro-op in place,
+  // as a buggy instrumenter emitting a wrong increment would.
+  Function &F = *M->function(0);
+  Instruction *Victim = nullptr;
+  for (uint32_t B = 0; B < F.numBlocks() && !Victim; ++B)
+    for (Instruction &I : F.block(B)->Instrs)
+      if (I.Op == Opcode::Probe && I.ProbePayload &&
+          !I.ProbePayload->Ops.empty()) {
+        Victim = &I;
+        break;
+      }
+  ASSERT_NE(Victim, nullptr);
+  auto Mutated = std::make_shared<ProbeProgram>(*Victim->ProbePayload);
+  Mutated->Ops[0].C0 += 1234567;
+  Victim->ProbePayload = std::move(Mutated);
+
+  std::vector<Diagnostic> Diags = checkInstrumentation(*M, MI);
+  ASSERT_FALSE(Diags.empty());
+  // The finding must name the offending block, not just the function.
+  bool BlockLevel = false;
+  for (const Diagnostic &D : Diags) {
+    EXPECT_EQ(D.Pass, "instr-check");
+    BlockLevel |= D.Loc.hasBlock();
+  }
+  EXPECT_TRUE(BlockLevel) << renderDiagnosticsText(Diags);
+  EXPECT_TRUE(anyMessageContains(Diags, "probe"))
+      << renderDiagnosticsText(Diags);
+}
+
+TEST(InstrCheck, CatchesDroppedProbe) {
+  auto M = testutil::makePaperLoopModule();
+  InstrumentOptions O;
+  ModuleInstrumentation MI = instrumentModule(*M, O);
+  ASSERT_TRUE(MI.ok());
+
+  // Seed the bug: delete one probe instruction outright.
+  Function &F = *M->function(0);
+  bool Removed = false;
+  for (uint32_t B = 0; B < F.numBlocks() && !Removed; ++B) {
+    auto &Instrs = F.block(B)->Instrs;
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+      if (Instrs[Idx].Op == Opcode::Probe) {
+        Instrs.erase(Instrs.begin() + static_cast<ptrdiff_t>(Idx));
+        Removed = true;
+        break;
+      }
+  }
+  ASSERT_TRUE(Removed);
+
+  std::vector<Diagnostic> Diags = checkInstrumentation(*M, MI);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_TRUE(anyMessageContains(Diags, "missing") ||
+              anyMessageContains(Diags, "probe"))
+      << renderDiagnosticsText(Diags);
+}

@@ -1,0 +1,317 @@
+//===--- DiagnosticTest.cpp - structured diagnostic tests --------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text rendering, severity helpers, and — the important part — a JSON
+/// round-trip: renderDiagnosticsJson output is parsed back with a minimal
+/// in-test JSON reader and every severity/pass/location/message field must
+/// survive unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+/// A parsed JSON scalar: null, a number, or a (decoded) string.
+struct JsonValue {
+  bool IsNull = false;
+  bool IsNumber = false;
+  std::string Text; ///< decoded string, or the number's digits
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Just enough JSON to read what renderDiagnosticsJson emits: an array of
+/// flat objects whose values are strings, integers or null. Returns
+/// std::nullopt on any syntax error.
+class MiniJsonReader {
+public:
+  explicit MiniJsonReader(const std::string &S) : S(S) {}
+
+  std::optional<std::vector<JsonObject>> parseArray() {
+    std::vector<JsonObject> Objects;
+    skipWs();
+    if (!eat('['))
+      return std::nullopt;
+    skipWs();
+    if (eat(']'))
+      return Objects;
+    while (true) {
+      auto Obj = parseObject();
+      if (!Obj)
+        return std::nullopt;
+      Objects.push_back(std::move(*Obj));
+      skipWs();
+      if (eat(']'))
+        break;
+      if (!eat(','))
+        return std::nullopt;
+    }
+    skipWs();
+    return Pos == S.size() ? std::make_optional(Objects) : std::nullopt;
+  }
+
+private:
+  std::optional<JsonObject> parseObject() {
+    JsonObject Obj;
+    skipWs();
+    if (!eat('{'))
+      return std::nullopt;
+    skipWs();
+    if (eat('}'))
+      return Obj;
+    while (true) {
+      skipWs();
+      auto Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipWs();
+      if (!eat(':'))
+        return std::nullopt;
+      auto Val = parseValue();
+      if (!Val)
+        return std::nullopt;
+      Obj[*Key] = std::move(*Val);
+      skipWs();
+      if (eat('}'))
+        break;
+      if (!eat(','))
+        return std::nullopt;
+    }
+    return Obj;
+  }
+
+  std::optional<JsonValue> parseValue() {
+    skipWs();
+    JsonValue V;
+    if (Pos < S.size() && S[Pos] == '"') {
+      auto Str = parseString();
+      if (!Str)
+        return std::nullopt;
+      V.Text = std::move(*Str);
+      return V;
+    }
+    if (S.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      V.IsNull = true;
+      return V;
+    }
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return std::nullopt;
+    V.IsNumber = true;
+    V.Text = S.substr(Start, Pos - Start);
+    return V;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!eat('"'))
+      return std::nullopt;
+    std::string Out;
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= S.size())
+        return std::nullopt;
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return std::nullopt;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return std::nullopt;
+        }
+        if (Code > 0x7F) // the renderer only escapes control chars
+          return std::nullopt;
+        Out.push_back(static_cast<char>(Code));
+        break;
+      }
+      default:
+        return std::nullopt;
+      }
+    }
+    return std::nullopt; // unterminated
+  }
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool eat(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+Severity severityFromName(const std::string &Name) {
+  if (Name == "note")
+    return Severity::Note;
+  if (Name == "warning")
+    return Severity::Warning;
+  EXPECT_EQ(Name, "error");
+  return Severity::Error;
+}
+
+} // namespace
+
+TEST(Diagnostic, SeverityNames) {
+  EXPECT_STREQ(severityName(Severity::Note), "note");
+  EXPECT_STREQ(severityName(Severity::Warning), "warning");
+  EXPECT_STREQ(severityName(Severity::Error), "error");
+}
+
+TEST(Diagnostic, TextRendering) {
+  Diagnostic Full = makeDiagAt(Severity::Warning, "lint-uninit", "main", 3,
+                               "P2", "suspicious read", 7);
+  EXPECT_EQ(Full.str(), "warning: [lint-uninit] main ^3(P2) #7: suspicious read");
+
+  Diagnostic NoInstr =
+      makeDiagAt(Severity::Error, "instr-check", "f", 2, "B1", "bad val");
+  EXPECT_EQ(NoInstr.str(), "error: [instr-check] f ^2(B1): bad val");
+
+  Diagnostic FuncLevel = makeDiag(Severity::Error, "verify", "g", "no ret");
+  EXPECT_EQ(FuncLevel.str(), "error: [verify] g: no ret");
+
+  Diagnostic ModuleLevel = makeDiag(Severity::Note, "lint", "", "all clean");
+  EXPECT_EQ(ModuleLevel.str(), "note: [lint]: all clean");
+
+  EXPECT_EQ(renderDiagnosticsText({Full, FuncLevel}),
+            Full.str() + "\n" + FuncLevel.str() + "\n");
+  EXPECT_EQ(renderDiagnosticsText({}), "");
+}
+
+TEST(Diagnostic, SeverityThreshold) {
+  std::vector<Diagnostic> Diags = {
+      makeDiag(Severity::Note, "p", "f", "n"),
+      makeDiag(Severity::Warning, "p", "f", "w"),
+  };
+  EXPECT_TRUE(anySeverityAtLeast(Diags, Severity::Note));
+  EXPECT_TRUE(anySeverityAtLeast(Diags, Severity::Warning));
+  EXPECT_FALSE(anySeverityAtLeast(Diags, Severity::Error));
+  EXPECT_FALSE(anySeverityAtLeast({}, Severity::Note));
+}
+
+TEST(Diagnostic, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Diagnostic, JsonEmpty) {
+  std::string Json = renderDiagnosticsJson({});
+  MiniJsonReader Reader(Json);
+  auto Parsed = Reader.parseArray();
+  ASSERT_TRUE(Parsed.has_value()) << Json;
+  EXPECT_TRUE(Parsed->empty());
+}
+
+TEST(Diagnostic, JsonRoundTrip) {
+  std::vector<Diagnostic> Diags = {
+      // Full location, message with every escape class.
+      makeDiagAt(Severity::Error, "instr-check", "main", 5, "P3",
+                 "bad \"val\" on\n\tedge \\chord", 2),
+      // Block without instruction index.
+      makeDiagAt(Severity::Warning, "lint-no-exit", "spin", 1, "L",
+                 "loop never exits"),
+      // Function level: block/blockName/instr must render as null.
+      makeDiag(Severity::Warning, "lint-uninit", "f", "maybe uninit"),
+      // Module level: function must render as null too.
+      makeDiag(Severity::Note, "verify", "", "module note"),
+  };
+
+  std::string Json = renderDiagnosticsJson(Diags);
+  MiniJsonReader Reader(Json);
+  auto Parsed = Reader.parseArray();
+  ASSERT_TRUE(Parsed.has_value()) << "not valid JSON:\n" << Json;
+  ASSERT_EQ(Parsed->size(), Diags.size());
+
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    const Diagnostic &D = Diags[I];
+    const JsonObject &O = (*Parsed)[I];
+    for (const char *Key : {"severity", "pass", "function", "block",
+                            "blockName", "instr", "message"})
+      ASSERT_TRUE(O.count(Key)) << "missing key " << Key << " in #" << I;
+
+    EXPECT_EQ(severityFromName(O.at("severity").Text), D.Sev) << "#" << I;
+    EXPECT_EQ(O.at("pass").Text, D.Pass);
+    EXPECT_EQ(O.at("message").Text, D.Message);
+
+    if (D.Loc.Function.empty())
+      EXPECT_TRUE(O.at("function").IsNull);
+    else
+      EXPECT_EQ(O.at("function").Text, D.Loc.Function);
+
+    if (D.Loc.hasBlock()) {
+      ASSERT_TRUE(O.at("block").IsNumber);
+      EXPECT_EQ(O.at("block").Text, std::to_string(D.Loc.Block));
+      EXPECT_EQ(O.at("blockName").Text, D.Loc.BlockName);
+    } else {
+      EXPECT_TRUE(O.at("block").IsNull);
+      EXPECT_TRUE(O.at("blockName").IsNull);
+    }
+
+    if (D.Loc.hasInstr()) {
+      ASSERT_TRUE(O.at("instr").IsNumber);
+      EXPECT_EQ(O.at("instr").Text, std::to_string(D.Loc.Instr));
+    } else {
+      EXPECT_TRUE(O.at("instr").IsNull);
+    }
+  }
+}
