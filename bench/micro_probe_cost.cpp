@@ -91,7 +91,7 @@ void BM_PathCounterBump(benchmark::State &State) {
   ProfileRuntime Prof(1);
   int64_t Id = 0;
   for (auto _ : State) {
-    ++Prof.PathCounts[0][Id];
+    Prof.PathCounts[0].bump(Id);
     Id = (Id + 7919) & 0xFFFF;
     benchmark::DoNotOptimize(Prof.PathCounts[0]);
   }
@@ -101,7 +101,7 @@ void BM_TupleCounterBump(benchmark::State &State) {
   ProfileRuntime Prof(1);
   int64_t Id = 0;
   for (auto _ : State) {
-    ++Prof.TypeIICounts[{1, 2, Id, Id + 1}];
+    Prof.TypeIICounts.bump({1, 2, Id, Id + 1});
     Id = (Id + 7919) & 0xFFFF;
     benchmark::DoNotOptimize(Prof.TypeIICounts);
   }

@@ -26,14 +26,18 @@
 #include "ir/Verifier.h"
 #include "profile/InstrCheck.h"
 #include "profile/ProfileDecode.h"
+#include "support/BenchJson.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,6 +65,16 @@ int usage() {
       "       lint source and verify instrumentation invariants\n"
       "       (--all checks every embedded workload)\n"
       "  olpp workloads                        list the embedded suite\n"
+      "  olpp bench [name] [--jobs N] [--smoke] [--out FILE]\n"
+      "       run the workload suite under the fast and reference engines\n"
+      "       in parallel and write a BENCH_engine.json report\n"
+      "       --jobs N       worker threads (0 = all cores, default 1)\n"
+      "       --smoke        3 small workloads on cheap inputs\n"
+      "       --out FILE     report path (default BENCH_engine.json)\n"
+      "       --validate FILE  only check FILE against the report schema\n"
+      "\n"
+      "run/profile/estimate/bench accept --engine fast|reference to select\n"
+      "the execution engine (default: fast).\n"
       "\n"
       "A file name matching an embedded workload (e.g. 'mcf') may be used\n"
       "in place of a path.\n",
@@ -94,6 +108,12 @@ struct Parsed {
   bool LintJson = false;
   bool LintWerror = false;
   bool All = false;
+  EngineKind Engine = EngineKind::Fast;
+  unsigned Jobs = 1; ///< bench worker threads; 0 = one per core
+  bool Smoke = false;
+  std::string Out = "BENCH_engine.json";
+  std::string Validate;
+  bool Bad = false;
   bool Ok = false;
 };
 
@@ -117,13 +137,25 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.LintWerror = true;
     } else if (A == "--all") {
       P.All = true;
+    } else if (A == "--engine" && I + 1 < Argc) {
+      P.Bad |= !parseEngineKind(Argv[++I], P.Engine);
+    } else if (A.rfind("--engine=", 0) == 0) {
+      P.Bad |= !parseEngineKind(A.substr(9), P.Engine);
+    } else if ((A == "--jobs" || A == "-j") && I + 1 < Argc) {
+      P.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A == "--smoke") {
+      P.Smoke = true;
+    } else if (A == "--out" && I + 1 < Argc) {
+      P.Out = Argv[++I];
+    } else if (A == "--validate" && I + 1 < Argc) {
+      P.Validate = Argv[++I];
     } else if (P.File.empty()) {
       P.File = A;
     } else {
       P.Args.push_back(std::strtoll(A.c_str(), nullptr, 10));
     }
   }
-  P.Ok = !P.File.empty() || P.All;
+  P.Ok = !P.Bad && (!P.File.empty() || P.All);
   return P;
 }
 
@@ -161,7 +193,9 @@ int cmdRun(const Parsed &P) {
     return 1;
   }
   Interpreter I(*M);
-  RunResult R = I.run(*Main, fitArgs(P, *M));
+  RunConfig RC;
+  RC.Engine = P.Engine;
+  RunResult R = I.run(*Main, fitArgs(P, *M), RC);
   if (!R.Ok) {
     std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
     return 1;
@@ -193,6 +227,7 @@ PipelineResult runPipelineFor(const Parsed &P, Module &M, bool Overlap) {
     }
   }
   Config.Args = fitArgs(P, M);
+  Config.Run.Engine = P.Engine;
   Config.Lint = P.Lint;
   Config.LintWerror = P.LintWerror;
   return runPipeline(M, Config);
@@ -350,6 +385,320 @@ int cmdLint(const Parsed &P) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// olpp bench: parallel engine benchmark over the workload suite
+//===----------------------------------------------------------------------===//
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One workload prepared for benching: its instrumented module plus the
+/// metadata needed to run, check and estimate it.
+struct BenchItem {
+  const Workload *W = nullptr;
+  std::unique_ptr<Module> M; // instrumented in place
+  ModuleInstrumentation MI;
+  std::vector<int64_t> Args;
+  WorkloadBench Row;
+  int64_t ReturnValue = 0;
+  std::string Error; // non-empty: the item failed
+};
+
+/// Configures \p Prof's dense path stores from \p MI.
+void configureStores(ProfileRuntime &Prof, const Module &M,
+                     const ModuleInstrumentation &MI) {
+  for (uint32_t F = 0; F < M.numFunctions(); ++F)
+    if (MI.Funcs[F].PG)
+      Prof.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+}
+
+/// Compiles, instruments, times both engines, cross-checks them, and runs
+/// the estimation stack under both solvers. Returns false on failure with
+/// Item.Error set.
+bool benchOneWorkload(BenchItem &Item, bool Smoke) {
+  CompileResult CR = compileMiniC(Item.W->Source);
+  if (!CR.ok()) {
+    Item.Error = "compile failed:\n" + CR.diagText();
+    return false;
+  }
+  Item.M = std::move(CR.M);
+
+  InstrumentOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.LoopDegree = 2;
+  Opts.Interproc = true;
+  Opts.InterprocDegree = 2;
+  Item.MI = instrumentModule(*Item.M, Opts);
+  if (!Item.MI.ok()) {
+    Item.Error = "instrumentation failed: " + Item.MI.Errors[0];
+    return false;
+  }
+
+  const Function *Main = Item.M->findFunction("main");
+  if (!Main) {
+    Item.Error = "no 'main' function";
+    return false;
+  }
+  Item.Args = Smoke ? Item.W->PrecisionArgs : Item.W->OverheadArgs;
+  Item.Args.resize(Main->NumParams, 0);
+
+  RunConfig RC;
+  RC.MaxSteps = 2'000'000'000;
+
+  auto TimedRun = [&](EngineKind E, ProfileRuntime &Prof, EngineSample &S,
+                      RunResult &Out) {
+    Interpreter I(*Item.M, &Prof);
+    RC.Engine = E;
+    auto T0 = std::chrono::steady_clock::now();
+    Out = I.run(*Main, Item.Args, RC);
+    S.WallSeconds = secondsSince(T0);
+    S.Steps = Out.Counts.Steps;
+    S.StepsPerSec = S.WallSeconds > 0
+                        ? static_cast<double>(S.Steps) / S.WallSeconds
+                        : 0.0;
+    if (!Out.Ok)
+      Item.Error = std::string(engineKindName(E)) + " run failed: " +
+                   Out.Error;
+    return Out.Ok;
+  };
+
+  ProfileRuntime ProfRef(Item.M->numFunctions());
+  ProfileRuntime ProfFast(Item.M->numFunctions());
+  configureStores(ProfRef, *Item.M, Item.MI);
+  configureStores(ProfFast, *Item.M, Item.MI);
+
+  RunResult RRef, RFast;
+  if (!TimedRun(EngineKind::Reference, ProfRef, Item.Row.Reference, RRef) ||
+      !TimedRun(EngineKind::Fast, ProfFast, Item.Row.Fast, RFast))
+    return false;
+  Item.ReturnValue = RFast.ReturnValue;
+
+  // The harness double-checks observation equivalence on every batch: the
+  // engines must agree on the result, the cost model and every counter.
+  if (!(RRef.Counts == RFast.Counts) ||
+      RRef.ReturnValue != RFast.ReturnValue) {
+    Item.Error = "engines disagree on DynCounts or the result";
+    return false;
+  }
+  for (uint32_t F = 0; F < Item.M->numFunctions(); ++F)
+    if (ProfRef.PathCounts[F] != ProfFast.PathCounts[F]) {
+      Item.Error = "engines disagree on path counters of function " +
+                   Item.M->function(F)->Name;
+      return false;
+    }
+  if (ProfRef.TypeICounts != ProfFast.TypeICounts ||
+      ProfRef.TypeIICounts != ProfFast.TypeIICounts) {
+    Item.Error = "engines disagree on interprocedural counters";
+    return false;
+  }
+  Item.Row.Speedup =
+      Item.Row.Reference.WallSeconds > 0 && Item.Row.Fast.WallSeconds > 0
+          ? Item.Row.Reference.WallSeconds / Item.Row.Fast.WallSeconds
+          : 0.0;
+
+  // Interval-solver effort, worklist vs the sweep oracle, on the real
+  // estimation systems of this workload's profile.
+  ModuleEstimator Est(*Item.M, Item.MI, ProfFast);
+  auto RunSolvers = [&](SolverImpl Impl) {
+    setThreadSolverImpl(Impl);
+    EstimateMetrics Met = Est.estimateLoops(nullptr);
+    if (Item.MI.Opts.CallBreaking) {
+      Met.add(Est.estimateTypeI(nullptr));
+      Met.add(Est.estimateTypeII(nullptr));
+    }
+    setThreadSolverImpl(SolverImpl::Worklist);
+    return Met;
+  };
+  EstimateMetrics Worklist = RunSolvers(SolverImpl::Worklist);
+  EstimateMetrics Sweep = RunSolvers(SolverImpl::Sweep);
+  Item.Row.SolverEvaluationsWorklist = Worklist.SolverEvaluations;
+  Item.Row.SolverEvaluationsSweep = Sweep.SolverEvaluations;
+  Item.Row.SolverConverged = Worklist.SolverConverged && Sweep.SolverConverged;
+  if (Worklist.Definite != Sweep.Definite ||
+      Worklist.Potential != Sweep.Potential ||
+      Worklist.ExactPairs != Sweep.ExactPairs) {
+    Item.Error = "worklist and sweep solvers disagree on the bounds";
+    return false;
+  }
+  return true;
+}
+
+/// Re-profiles \p Item Reps times across the pool, one accumulating
+/// ProfileRuntime per worker, merges them at the end and verifies the merge
+/// against the single-run profile. Returns false with Item.Error set on a
+/// mismatch.
+bool benchParallelMerge(BenchItem &Item, unsigned Jobs, unsigned Reps) {
+  const Function *Main = Item.M->findFunction("main");
+  std::vector<ProfileRuntime> PerThread;
+  unsigned Workers = Jobs == 0 ? defaultJobCount() : Jobs;
+  for (unsigned T = 0; T < Workers; ++T) {
+    PerThread.emplace_back(Item.M->numFunctions());
+    configureStores(PerThread.back(), *Item.M, Item.MI);
+  }
+
+  RunConfig RC;
+  RC.MaxSteps = 2'000'000'000;
+  std::mutex ErrorMu;
+  parallelFor(Reps, Workers, [&](size_t, unsigned Worker) {
+    Interpreter I(*Item.M, &PerThread[Worker]);
+    RunResult R = I.run(*Main, Item.Args, RC);
+    if (!R.Ok || R.ReturnValue != Item.ReturnValue) {
+      std::lock_guard<std::mutex> Lock(ErrorMu);
+      Item.Error = "parallel batch run failed: " +
+                   (R.Ok ? "result mismatch" : R.Error);
+    }
+  });
+  if (!Item.Error.empty())
+    return false;
+
+  ProfileRuntime Merged(Item.M->numFunctions());
+  configureStores(Merged, *Item.M, Item.MI);
+  for (const ProfileRuntime &PT : PerThread)
+    Merged.mergeFrom(PT);
+
+  // Runs are deterministic, so the merged profile must be exactly Reps
+  // times the single-run profile.
+  auto Scaled = [&](uint64_t C) { return C * Reps; };
+  ProfileRuntime Single(Item.M->numFunctions());
+  configureStores(Single, *Item.M, Item.MI);
+  {
+    Interpreter I(*Item.M, &Single);
+    RunResult R = I.run(*Main, Item.Args, RC);
+    if (!R.Ok) {
+      Item.Error = "merge-check run failed: " + R.Error;
+      return false;
+    }
+  }
+  for (uint32_t F = 0; F < Item.M->numFunctions(); ++F) {
+    if (Merged.PathCounts[F].size() != Single.PathCounts[F].size()) {
+      Item.Error = "merged profile has wrong path-counter support";
+      return false;
+    }
+    for (const auto &[Id, Count] : Single.PathCounts[F])
+      if (Merged.PathCounts[F].lookup(Id) != Scaled(Count)) {
+        Item.Error = "merged path counter mismatch in function " +
+                     Item.M->function(F)->Name;
+        return false;
+      }
+  }
+  for (const auto &[Key, Count] : Single.TypeICounts)
+    if (Merged.TypeICounts.lookup(Key) != Scaled(Count)) {
+      Item.Error = "merged Type I counter mismatch";
+      return false;
+    }
+  for (const auto &[Key, Count] : Single.TypeIICounts)
+    if (Merged.TypeIICounts.lookup(Key) != Scaled(Count)) {
+      Item.Error = "merged Type II counter mismatch";
+      return false;
+    }
+  if (Merged.TypeICounts.size() != Single.TypeICounts.size() ||
+      Merged.TypeIICounts.size() != Single.TypeIICounts.size()) {
+    Item.Error = "merged interprocedural support mismatch";
+    return false;
+  }
+  return true;
+}
+
+int cmdBench(const Parsed &P) {
+  if (!P.Validate.empty()) {
+    std::string Text;
+    if (!readSource(P.Validate, Text))
+      return 1;
+    std::string Error;
+    if (!validateEngineBenchJson(Text, Error)) {
+      std::fprintf(stderr, "%s: invalid: %s\n", P.Validate.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s report\n", P.Validate.c_str(),
+                EngineBenchSchema);
+    return 0;
+  }
+
+  static const char *SmokeSet[] = {"mcf", "li", "go"};
+  std::vector<BenchItem> Items;
+  for (const Workload &W : allWorkloads()) {
+    if (!P.File.empty() && W.Name != P.File)
+      continue;
+    if (P.Smoke &&
+        std::find_if(std::begin(SmokeSet), std::end(SmokeSet),
+                     [&](const char *N) { return W.Name == N; }) ==
+            std::end(SmokeSet))
+      continue;
+    BenchItem Item;
+    Item.W = &W;
+    Item.Row.Name = W.Name;
+    Items.push_back(std::move(Item));
+  }
+  if (Items.empty()) {
+    std::fprintf(stderr, "error: no workload matches '%s'\n",
+                 P.File.c_str());
+    return 1;
+  }
+
+  unsigned Jobs = P.Jobs == 0 ? defaultJobCount() : P.Jobs;
+  std::printf("benching %zu workload(s) on %u thread(s)...\n", Items.size(),
+              Jobs);
+  auto T0 = std::chrono::steady_clock::now();
+
+  // Phase 1: each workload measured under both engines, in parallel.
+  parallelFor(Items.size(), Jobs,
+              [&](size_t I, unsigned) { benchOneWorkload(Items[I], P.Smoke); });
+  for (const BenchItem &Item : Items)
+    if (!Item.Error.empty()) {
+      std::fprintf(stderr, "error: workload %s: %s\n", Item.W->Name.c_str(),
+                   Item.Error.c_str());
+      return 1;
+    }
+
+  // Phase 2: parallel profile collection with per-thread runtimes, merged
+  // at the end and checked against a single sequential run.
+  unsigned Reps = std::max(2u, std::min(Jobs, 4u));
+  for (BenchItem &Item : Items)
+    if (!benchParallelMerge(Item, Jobs, Reps)) {
+      std::fprintf(stderr, "error: workload %s: %s\n", Item.W->Name.c_str(),
+                   Item.Error.c_str());
+      return 1;
+    }
+
+  EngineBenchReport Report;
+  Report.Jobs = Jobs;
+  Report.WallSeconds = secondsSince(T0);
+  for (BenchItem &Item : Items)
+    Report.Workloads.push_back(std::move(Item.Row));
+
+  TableWriter T({"Workload", "Ref steps/s", "Fast steps/s", "Speedup",
+                 "Solver evals (worklist/sweep)"});
+  for (const WorkloadBench &W : Report.Workloads) {
+    char RefS[32], FastS[32], Sp[32];
+    std::snprintf(RefS, sizeof(RefS), "%.3g", W.Reference.StepsPerSec);
+    std::snprintf(FastS, sizeof(FastS), "%.3g", W.Fast.StepsPerSec);
+    std::snprintf(Sp, sizeof(Sp), "%.2fx", W.Speedup);
+    T.addRow({W.Name, RefS, FastS, Sp,
+              std::to_string(W.SolverEvaluationsWorklist) + "/" +
+                  std::to_string(W.SolverEvaluationsSweep)});
+  }
+  std::fputs(T.renderText().c_str(), stdout);
+  std::printf("geomean speedup %.2fx, batch wall %.2fs\n",
+              Report.geomeanSpeedup(), Report.WallSeconds);
+
+  std::string Error;
+  if (!writeEngineBenchJson(P.Out, Report, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::string Rendered = renderEngineBenchJson(Report);
+  if (!validateEngineBenchJson(Rendered, Error)) {
+    std::fprintf(stderr, "internal error: emitted report is invalid: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", P.Out.c_str());
+  return 0;
+}
+
 int cmdWorkloads() {
   TableWriter T({"Name", "Precision Args", "Overhead Args"});
   for (const Workload &W : allWorkloads()) {
@@ -374,6 +723,8 @@ int main(int Argc, char **Argv) {
   if (Cmd == "workloads")
     return cmdWorkloads();
   Parsed P = parseArgs(Argc, Argv, 2);
+  if (Cmd == "bench")
+    return P.Bad ? usage() : cmdBench(P);
   if (!P.Ok)
     return usage();
   if (Cmd == "run")

@@ -87,6 +87,11 @@ PipelineResult olpp::runPipeline(const Module &M,
   }
 
   R.Prof = std::make_unique<ProfileRuntime>(R.InstrModule->numFunctions());
+  // Declare each function's path-id space so its counters can use the
+  // dense store (ids are numbered on the function's path graph).
+  for (uint32_t F = 0; F < R.InstrModule->numFunctions(); ++F)
+    if (R.MI.Funcs[F].PG)
+      R.Prof->configurePathStore(F, R.MI.Funcs[F].PG->numPaths());
   {
     const Function *InstrEntry =
         R.InstrModule->findFunction(Config.EntryName);

@@ -65,6 +65,8 @@ struct PairProblem {
     Met.Definite = B.sumLower();
     Met.Potential = B.sumUpper();
     Met.ExactPairs = B.exactCount();
+    Met.SolverEvaluations = B.Evaluations;
+    Met.SolverConverged = B.Converged;
 
     std::vector<uint64_t> Real(NumCells, 0);
     for (const auto &[Keys, Count] : RealPairs) {
@@ -95,6 +97,8 @@ struct PairProblem {
     Met.Definite = B.sumLower();
     Met.Potential = B.sumUpper();
     Met.ExactPairs = B.exactCount();
+    Met.SolverEvaluations = B.Evaluations;
+    Met.SolverConverged = B.Converged;
     return Met;
   }
 };

@@ -46,6 +46,10 @@ struct EstimateMetrics {
   uint64_t ExactPairs = 0; ///< pairs with coinciding bounds
   uint64_t Problems = 0;   ///< loops / call sites estimated
   bool SoundnessViolated = false;
+  /// Interval-solver effort: single-constraint evaluations performed across
+  /// all solved systems, and whether every system converged in budget.
+  uint64_t SolverEvaluations = 0;
+  bool SolverConverged = true;
 
   void add(const EstimateMetrics &O) {
     Real += O.Real;
@@ -55,6 +59,8 @@ struct EstimateMetrics {
     ExactPairs += O.ExactPairs;
     Problems += O.Problems;
     SoundnessViolated |= O.SoundnessViolated;
+    SolverEvaluations += O.SolverEvaluations;
+    SolverConverged &= O.SolverConverged;
   }
 
   double definiteErrorPercent() const {

@@ -1,0 +1,374 @@
+//===--- CounterStore.h - Profile counter containers ------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter containers behind ProfileRuntime, engineered for the hot
+/// probe path:
+///
+///   - PathCounterStore: per-function path-id counters. When the id space
+///     is known and small enough (the common case: a function's path graph
+///     numbers BL and loop-overlap paths in [0, NumPaths)), counters live
+///     in a dense `std::vector<uint64_t>` and a bump is one indexed add.
+///     Ids outside the dense window (huge id spaces, or ids observed before
+///     the store was configured) spill to a hash map, so the store is
+///     correct for any id sequence.
+///
+///   - FlatInterprocTable: the Type I / Type II 4-tuple counters in an
+///     open-addressing, power-of-two, linear-probing table. Empty slots are
+///     marked by Count == 0 (a live counter is always positive), so probing
+///     touches one contiguous array instead of chasing unordered_map nodes.
+///
+/// Both containers iterate as (key, count) pairs with count > 0 and compare
+/// equal to the plain map types they replaced, which keeps the differential
+/// tests and the expected-counter oracles expressible as `==`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_INTERP_COUNTERSTORE_H
+#define OLPP_INTERP_COUNTERSTORE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace olpp {
+
+/// Key of one interprocedural overlapping-path counter: the paper's
+/// count[callee][callSite][calleeSidePathId][callerSidePathId].
+/// For Type I, Inner is the callee *prefix* id and Outer the caller pre-path
+/// id; for Type II, Inner is the callee *full* path id and Outer the caller
+/// continuation-prefix id.
+struct InterprocKey {
+  uint32_t Callee = 0;
+  uint32_t CallSite = 0;
+  int64_t Inner = 0;
+  int64_t Outer = 0;
+
+  bool operator==(const InterprocKey &O) const {
+    return Callee == O.Callee && CallSite == O.CallSite && Inner == O.Inner &&
+           Outer == O.Outer;
+  }
+};
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix. The previous additive
+/// Fibonacci mix collapsed badly for the small, dense ids that dominate real
+/// keys (low bits of H barely depended on Inner/Outer), which turned the
+/// open-addressed table into long probe chains.
+inline uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+struct InterprocKeyHash {
+  size_t operator()(const InterprocKey &K) const {
+    uint64_t H = splitmix64((static_cast<uint64_t>(K.Callee) << 32) |
+                            K.CallSite);
+    H = splitmix64(H ^ static_cast<uint64_t>(K.Inner));
+    H = splitmix64(H ^ static_cast<uint64_t>(K.Outer));
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Per-function path-id counters: dense vector under a configured id space,
+/// hash-map spill above it.
+class PathCounterStore {
+public:
+  using Map = std::unordered_map<int64_t, uint64_t>;
+
+  /// Ids at or above this many slots keep the hash-map representation even
+  /// when the id space is known (a dense vector would waste memory on
+  /// astronomically wide overlap numberings).
+  static constexpr uint64_t DenseLimit = 1u << 18;
+
+  /// Declares the id space [0, IdSpace). Switches to the dense form when
+  /// IdSpace <= DenseLimit. Must be called before counting starts (existing
+  /// counts are preserved but not migrated into the dense window).
+  void configure(uint64_t IdSpace) {
+    if (IdSpace > 0 && IdSpace <= DenseLimit && Dense.size() < IdSpace)
+      Dense.resize(static_cast<size_t>(IdSpace), 0);
+  }
+
+  /// The hot path: count[Id] += 1.
+  void bump(int64_t Id) {
+    if (static_cast<uint64_t>(Id) < Dense.size()) {
+      if (Dense[static_cast<size_t>(Id)]++ == 0)
+        ++NonZero;
+    } else if (Spill[Id]++ == 0) {
+      ++NonZero;
+    }
+  }
+
+  uint64_t lookup(int64_t Id) const {
+    if (static_cast<uint64_t>(Id) < Dense.size())
+      return Dense[static_cast<size_t>(Id)];
+    auto It = Spill.find(Id);
+    return It == Spill.end() ? 0 : It->second;
+  }
+
+  /// Number of distinct ids with a positive count.
+  size_t size() const { return NonZero; }
+  bool empty() const { return NonZero == 0; }
+  bool isDense() const { return !Dense.empty(); }
+
+  void clear() {
+    Dense.assign(Dense.size(), 0);
+    Spill.clear();
+    NonZero = 0;
+  }
+
+  /// Exports the positive counters as a plain map.
+  Map toMap() const {
+    Map Out;
+    Out.reserve(NonZero);
+    for (size_t I = 0; I < Dense.size(); ++I)
+      if (Dense[I])
+        Out.emplace(static_cast<int64_t>(I), Dense[I]);
+    for (const auto &[Id, Count] : Spill)
+      if (Count)
+        Out.emplace(Id, Count);
+    return Out;
+  }
+
+  /// Adds every counter of \p O into this store.
+  void mergeFrom(const PathCounterStore &O) {
+    for (const auto &[Id, Count] : O)
+      add(Id, Count);
+  }
+
+  /// Iterates (id, count) pairs with count > 0: dense window first, then
+  /// the spill map.
+  class const_iterator {
+  public:
+    using value_type = std::pair<int64_t, uint64_t>;
+
+    value_type operator*() const {
+      if (DenseIdx < Store->Dense.size())
+        return {static_cast<int64_t>(DenseIdx), Store->Dense[DenseIdx]};
+      return {SpillIt->first, SpillIt->second};
+    }
+    const_iterator &operator++() {
+      if (DenseIdx < Store->Dense.size()) {
+        ++DenseIdx;
+        skipZeros();
+      } else {
+        ++SpillIt;
+      }
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const {
+      return DenseIdx == O.DenseIdx && SpillIt == O.SpillIt;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+
+  private:
+    friend class PathCounterStore;
+    const_iterator(const PathCounterStore *Store, size_t DenseIdx,
+                   Map::const_iterator SpillIt)
+        : Store(Store), DenseIdx(DenseIdx), SpillIt(SpillIt) {
+      skipZeros();
+    }
+    void skipZeros() {
+      while (DenseIdx < Store->Dense.size() && Store->Dense[DenseIdx] == 0)
+        ++DenseIdx;
+    }
+    const PathCounterStore *Store;
+    size_t DenseIdx;
+    Map::const_iterator SpillIt;
+  };
+
+  const_iterator begin() const {
+    return const_iterator(this, 0, Spill.begin());
+  }
+  const_iterator end() const {
+    return const_iterator(this, Dense.size(), Spill.end());
+  }
+
+  bool operator==(const PathCounterStore &O) const {
+    if (NonZero != O.NonZero)
+      return false;
+    for (const auto &[Id, Count] : *this)
+      if (O.lookup(Id) != Count)
+        return false;
+    return true;
+  }
+  bool operator!=(const PathCounterStore &O) const { return !(*this == O); }
+
+  /// Logical equality with the plain-map form (zero-valued map entries are
+  /// ignored, matching the "only positive counters exist" invariant).
+  bool operator==(const Map &M) const {
+    size_t Positive = 0;
+    for (const auto &[Id, Count] : M) {
+      if (Count == 0)
+        continue;
+      ++Positive;
+      if (lookup(Id) != Count)
+        return false;
+    }
+    return Positive == NonZero;
+  }
+  bool operator!=(const Map &M) const { return !(*this == M); }
+
+private:
+  void add(int64_t Id, uint64_t Count) {
+    if (Count == 0)
+      return;
+    if (static_cast<uint64_t>(Id) < Dense.size()) {
+      if (Dense[static_cast<size_t>(Id)] == 0)
+        ++NonZero;
+      Dense[static_cast<size_t>(Id)] += Count;
+    } else {
+      uint64_t &Slot = Spill[Id];
+      if (Slot == 0)
+        ++NonZero;
+      Slot += Count;
+    }
+  }
+
+  std::vector<uint64_t> Dense;
+  Map Spill;
+  size_t NonZero = 0;
+};
+
+/// Open-addressing (linear probing) table of InterprocKey -> count. An
+/// empty slot has Count == 0; live counters are always positive.
+class FlatInterprocTable {
+  struct Slot {
+    InterprocKey Key;
+    uint64_t Count = 0;
+  };
+
+public:
+  using Map = std::unordered_map<InterprocKey, uint64_t, InterprocKeyHash>;
+
+  FlatInterprocTable() { Slots.resize(InitialCapacity); }
+
+  /// The hot path: count[K] += Delta (Delta must be positive).
+  void bump(const InterprocKey &K, uint64_t Delta = 1) {
+    assert(Delta > 0 && "a live counter must stay positive");
+    if ((Size_ + 1) * 4 > Slots.size() * 3)
+      grow();
+    Slot &S = findSlot(Slots, K);
+    if (S.Count == 0) {
+      S.Key = K;
+      ++Size_;
+    }
+    S.Count += Delta;
+  }
+
+  uint64_t lookup(const InterprocKey &K) const {
+    const Slot &S = findSlot(const_cast<std::vector<Slot> &>(Slots), K);
+    return S.Count;
+  }
+
+  size_t size() const { return Size_; }
+  bool empty() const { return Size_ == 0; }
+
+  void clear() {
+    Slots.assign(Slots.size(), Slot());
+    Size_ = 0;
+  }
+
+  Map toMap() const {
+    Map Out;
+    Out.reserve(Size_);
+    for (const Slot &S : Slots)
+      if (S.Count)
+        Out.emplace(S.Key, S.Count);
+    return Out;
+  }
+
+  void mergeFrom(const FlatInterprocTable &O) {
+    for (const auto &[Key, Count] : O)
+      bump(Key, Count);
+  }
+
+  class const_iterator {
+  public:
+    using value_type = std::pair<InterprocKey, uint64_t>;
+
+    value_type operator*() const { return {(*Slots)[Idx].Key, (*Slots)[Idx].Count}; }
+    const_iterator &operator++() {
+      ++Idx;
+      skipEmpty();
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const { return Idx == O.Idx; }
+    bool operator!=(const const_iterator &O) const { return Idx != O.Idx; }
+
+  private:
+    friend class FlatInterprocTable;
+    const_iterator(const std::vector<Slot> *Slots, size_t Idx)
+        : Slots(Slots), Idx(Idx) {
+      skipEmpty();
+    }
+    void skipEmpty() {
+      while (Idx < Slots->size() && (*Slots)[Idx].Count == 0)
+        ++Idx;
+    }
+    const std::vector<Slot> *Slots;
+    size_t Idx;
+  };
+
+  const_iterator begin() const { return const_iterator(&Slots, 0); }
+  const_iterator end() const { return const_iterator(&Slots, Slots.size()); }
+
+  bool operator==(const FlatInterprocTable &O) const {
+    if (Size_ != O.Size_)
+      return false;
+    for (const auto &[Key, Count] : *this)
+      if (O.lookup(Key) != Count)
+        return false;
+    return true;
+  }
+  bool operator!=(const FlatInterprocTable &O) const { return !(*this == O); }
+
+  bool operator==(const Map &M) const {
+    size_t Positive = 0;
+    for (const auto &[Key, Count] : M) {
+      if (Count == 0)
+        continue;
+      ++Positive;
+      if (lookup(Key) != Count)
+        return false;
+    }
+    return Positive == Size_;
+  }
+  bool operator!=(const Map &M) const { return !(*this == M); }
+
+private:
+  static constexpr size_t InitialCapacity = 64; // power of two
+
+  static Slot &findSlot(std::vector<Slot> &Slots, const InterprocKey &K) {
+    size_t Mask = Slots.size() - 1;
+    size_t I = InterprocKeyHash()(K) & Mask;
+    while (Slots[I].Count != 0 && !(Slots[I].Key == K))
+      I = (I + 1) & Mask;
+    return Slots[I];
+  }
+
+  void grow() {
+    std::vector<Slot> Next(Slots.size() * 2);
+    for (const Slot &S : Slots)
+      if (S.Count) {
+        Slot &D = findSlot(Next, S.Key);
+        D.Key = S.Key;
+        D.Count = S.Count;
+      }
+    Slots.swap(Next);
+  }
+
+  std::vector<Slot> Slots;
+  size_t Size_ = 0;
+};
+
+} // namespace olpp
+
+#endif // OLPP_INTERP_COUNTERSTORE_H

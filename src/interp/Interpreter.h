@@ -12,6 +12,16 @@
 /// call-depth and fuel exhaustion) abort the run with a diagnostic instead
 /// of raising exceptions.
 ///
+/// Two engines execute the same semantics:
+///   - Fast (default): a pre-decoded flat execution form (interp/ExecPlan.h)
+///     driven by a tight single-switch dispatch loop over contiguous code,
+///     register and loop-slot arrays.
+///   - Reference: the original tree-walking loop over BasicBlock pointers,
+///     kept as the differential-testing oracle (`olpp ... --engine=reference`).
+/// Both produce bit-identical DynCounts, counter stores, traces and
+/// diagnostics; tests/interp/EngineDiffTest.cpp enforces this across the
+/// whole workload suite.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OLPP_INTERP_INTERPRETER_H
@@ -20,6 +30,7 @@
 #include "ir/Module.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +38,17 @@ namespace olpp {
 
 class ProfileRuntime;
 class TraceSink;
+struct ExecPlan;
+
+/// Which execution engine runs the program.
+enum class EngineKind : uint8_t {
+  Fast,      ///< pre-decoded flat execution form (the default)
+  Reference, ///< original pointer-chasing loop; the differential oracle
+};
+
+/// Parses "fast" / "reference"; returns false on anything else.
+bool parseEngineKind(const std::string &Name, EngineKind &Out);
+const char *engineKindName(EngineKind E);
 
 /// Limits and inputs of one run.
 struct RunConfig {
@@ -34,6 +56,7 @@ struct RunConfig {
   /// aborted as a suspected non-terminating program.
   uint64_t MaxSteps = 500'000'000;
   uint32_t MaxCallDepth = 4096;
+  EngineKind Engine = EngineKind::Fast;
 };
 
 /// Dynamic counters of one run.
@@ -53,6 +76,11 @@ struct DynCounts {
            static_cast<double>(Baseline.BaseCost);
   }
   uint64_t totalCost() const { return BaseCost + ProbeCost; }
+
+  bool operator==(const DynCounts &O) const {
+    return BaseCost == O.BaseCost && ProbeCost == O.ProbeCost &&
+           Steps == O.Steps && Blocks == O.Blocks && Calls == O.Calls;
+  }
 };
 
 struct RunResult {
@@ -63,13 +91,15 @@ struct RunResult {
 };
 
 /// Executes functions of one module. The module must stay alive for the
-/// interpreter's lifetime. Global state persists across run() calls; use
-/// resetGlobals() between independent runs.
+/// interpreter's lifetime and must not be mutated after the first fast-engine
+/// run (the pre-decoded plan is built once and cached). Global state persists
+/// across run() calls; use resetGlobals() between independent runs.
 class Interpreter {
 public:
   /// \p Prof may be null (probes become free no-ops); \p Trace may be null.
   Interpreter(const Module &M, ProfileRuntime *Prof = nullptr,
               TraceSink *Trace = nullptr);
+  ~Interpreter();
 
   /// Runs \p Entry with \p Args (must match the arity).
   RunResult run(const Function &Entry, const std::vector<int64_t> &Args,
@@ -79,10 +109,18 @@ public:
   void resetGlobals();
 
 private:
+  RunResult runReference(const Function &Entry,
+                         const std::vector<int64_t> &Args,
+                         const RunConfig &Config);
+  RunResult runFast(const Function &Entry, const std::vector<int64_t> &Args,
+                    const RunConfig &Config);
+  const ExecPlan &ensurePlan();
+
   const Module &M;
   ProfileRuntime *Prof;
   TraceSink *Trace;
   std::vector<std::vector<int64_t>> Globals; // one vector per global
+  std::unique_ptr<ExecPlan> Plan;            // built lazily, cached
 };
 
 } // namespace olpp

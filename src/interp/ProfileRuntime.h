@@ -10,65 +10,47 @@
 /// decoding of ids back into paths lives in the profile/overlap/interproc
 /// modules; this layer only stores raw numbers.
 ///
+/// Path counters are dense vectors under a configured id space and spill to
+/// a hash map above it; the interprocedural 4-tuple counters live in an
+/// open-addressing flat table (see interp/CounterStore.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OLPP_INTERP_PROFILERUNTIME_H
 #define OLPP_INTERP_PROFILERUNTIME_H
 
+#include "interp/CounterStore.h"
+
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace olpp {
 
-/// Key of one interprocedural overlapping-path counter: the paper's
-/// count[callee][callSite][calleeSidePathId][callerSidePathId].
-/// For Type I, Inner is the callee *prefix* id and Outer the caller pre-path
-/// id; for Type II, Inner is the callee *full* path id and Outer the caller
-/// continuation-prefix id.
-struct InterprocKey {
-  uint32_t Callee = 0;
-  uint32_t CallSite = 0;
-  int64_t Inner = 0;
-  int64_t Outer = 0;
-
-  bool operator==(const InterprocKey &O) const {
-    return Callee == O.Callee && CallSite == O.CallSite && Inner == O.Inner &&
-           Outer == O.Outer;
-  }
-};
-
-struct InterprocKeyHash {
-  size_t operator()(const InterprocKey &K) const {
-    uint64_t H = 0x9E3779B97F4A7C15ULL;
-    auto Mix = [&H](uint64_t V) {
-      H ^= V + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
-    };
-    Mix(K.Callee);
-    Mix(K.CallSite);
-    Mix(static_cast<uint64_t>(K.Inner));
-    Mix(static_cast<uint64_t>(K.Outer));
-    return static_cast<size_t>(H);
-  }
-};
-
 /// Counter stores written by probes during an instrumented run.
 class ProfileRuntime {
 public:
-  using PathCountMap = std::unordered_map<int64_t, uint64_t>;
-  using InterprocMap =
-      std::unordered_map<InterprocKey, uint64_t, InterprocKeyHash>;
+  using PathCountMap = PathCounterStore::Map;
+  using InterprocMap = FlatInterprocTable::Map;
 
   explicit ProfileRuntime(size_t NumFunctions) : PathCounts(NumFunctions) {}
 
   /// Per-function path-id counters. BL paths and loop-overlap paths of one
   /// function share this id space (they are numbered on one path graph).
-  std::vector<PathCountMap> PathCounts;
+  /// Call configurePathStore once the id space is known to get the dense
+  /// representation; unconfigured stores count correctly through the spill
+  /// map.
+  std::vector<PathCounterStore> PathCounts;
 
   /// Type I / Type II interprocedural overlap counters.
-  InterprocMap TypeICounts;
-  InterprocMap TypeIICounts;
+  FlatInterprocTable TypeICounts;
+  FlatInterprocTable TypeIICounts;
+
+  /// Declares function \p F's path-id space [0, IdSpace) so its counters can
+  /// use the dense form (no-op above PathCounterStore::DenseLimit).
+  void configurePathStore(uint32_t F, uint64_t IdSpace) {
+    PathCounts[F].configure(IdSpace);
+  }
 
   // --- transient state used while a run is in progress -----------------
 
@@ -86,6 +68,10 @@ public:
   PendingReturn Pending;
 
   /// Clears transient state between runs but keeps accumulated counters.
+  /// A run that aborts (fuel, traps) or ends inside instrumented callees
+  /// can leave shadow-stack entries and a pending-return record behind;
+  /// every Interpreter::run calls this first so reusing one runtime across
+  /// batch runs cannot leak hand-off state between them.
   void resetTransient() {
     ShadowStack.clear();
     Pending = PendingReturn();
@@ -93,11 +79,23 @@ public:
 
   /// Clears everything.
   void clear() {
-    for (auto &M : PathCounts)
-      M.clear();
+    for (auto &S : PathCounts)
+      S.clear();
     TypeICounts.clear();
     TypeIICounts.clear();
     resetTransient();
+  }
+
+  /// Adds every counter of \p O into this runtime (used to merge per-thread
+  /// runtimes after a parallel batch run). Transient state is not merged;
+  /// both runtimes must be between runs.
+  void mergeFrom(const ProfileRuntime &O) {
+    if (PathCounts.size() < O.PathCounts.size())
+      PathCounts.resize(O.PathCounts.size());
+    for (size_t F = 0; F < O.PathCounts.size(); ++F)
+      PathCounts[F].mergeFrom(O.PathCounts[F]);
+    TypeICounts.mergeFrom(O.TypeICounts);
+    TypeIICounts.mergeFrom(O.TypeIICounts);
   }
 };
 

@@ -90,6 +90,22 @@ olpp::decodeProfile(const PathGraph &PG,
   return Out;
 }
 
+std::vector<DecodedEntry>
+olpp::decodeProfile(const PathGraph &PG, const PathCounterStore &Counts) {
+  std::vector<DecodedEntry> Out;
+  Out.reserve(Counts.size());
+  for (const auto &[Id, Count] : Counts) {
+    DecodedEntry D = decodePathId(PG, Id);
+    D.Count = Count;
+    Out.push_back(std::move(D));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const DecodedEntry &A, const DecodedEntry &B) {
+              return A.Id < B.Id;
+            });
+  return Out;
+}
+
 namespace {
 
 /// Walks the white part of \p Sig and returns the edge sequence plus the

@@ -70,6 +70,10 @@ struct DecodedEntry {
 std::vector<DecodedEntry> decodeProfile(const PathGraph &PG,
                                         const ProfileRuntime::PathCountMap &Counts);
 
+/// Same, reading a counter store directly (zero counters are skipped).
+std::vector<DecodedEntry> decodeProfile(const PathGraph &PG,
+                                        const PathCounterStore &Counts);
+
 /// Decodes a single path id (count is left zero).
 DecodedEntry decodePathId(const PathGraph &PG, int64_t Id);
 

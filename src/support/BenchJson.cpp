@@ -1,0 +1,366 @@
+//===--- BenchJson.cpp - Engine benchmark report JSON ---------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchJson.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+using namespace olpp;
+
+double EngineBenchReport::geomeanSpeedup() const {
+  if (Workloads.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (const WorkloadBench &W : Workloads)
+    LogSum += std::log(W.Speedup > 0 ? W.Speedup : 1e-9);
+  return std::exp(LogSum / static_cast<double>(Workloads.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonNum(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+std::string jsonStr(const std::string &S) {
+  std::string Out = "\"";
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    Out += Ch;
+  }
+  return Out + "\"";
+}
+
+void renderSample(std::string &Out, const char *Name, const EngineSample &S,
+                  const char *Indent) {
+  Out += Indent;
+  Out += jsonStr(Name) + ": {";
+  Out += "\"wall_seconds\": " + jsonNum(S.WallSeconds);
+  Out += ", \"steps\": " + std::to_string(S.Steps);
+  Out += ", \"steps_per_sec\": " + jsonNum(S.StepsPerSec);
+  Out += "}";
+}
+
+} // namespace
+
+std::string olpp::renderEngineBenchJson(const EngineBenchReport &R) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": " + jsonStr(EngineBenchSchema) + ",\n";
+  Out += "  \"jobs\": " + std::to_string(R.Jobs) + ",\n";
+  Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
+  Out += "  \"geomean_speedup\": " + jsonNum(R.geomeanSpeedup()) + ",\n";
+  Out += "  \"workloads\": [";
+  for (size_t I = 0; I < R.Workloads.size(); ++I) {
+    const WorkloadBench &W = R.Workloads[I];
+    Out += I ? ",\n" : "\n";
+    Out += "    {\n";
+    Out += "      \"name\": " + jsonStr(W.Name) + ",\n";
+    renderSample(Out, "fast", W.Fast, "      ");
+    Out += ",\n";
+    renderSample(Out, "reference", W.Reference, "      ");
+    Out += ",\n";
+    Out += "      \"speedup\": " + jsonNum(W.Speedup) + ",\n";
+    Out += "      \"solver\": {\"evaluations_worklist\": " +
+           std::to_string(W.SolverEvaluationsWorklist) +
+           ", \"evaluations_sweep\": " +
+           std::to_string(W.SolverEvaluationsSweep) + ", \"converged\": " +
+           (W.SolverConverged ? "true" : "false") + "}\n";
+    Out += "    }";
+  }
+  Out += R.Workloads.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool olpp::writeEngineBenchJson(const std::string &Path,
+                                const EngineBenchReport &R,
+                                std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Text = renderEngineBenchJson(R);
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    Error = "write to '" + Path + "' failed";
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Validation: a tiny recursive-descent JSON parser, then schema checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Just enough of a JSON value for structural validation.
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  double N = 0.0;
+  std::string S;
+  std::vector<JValue> Elems;
+  std::map<std::string, JValue> Fields;
+};
+
+class JParser {
+public:
+  JParser(const std::string &Text, std::string &Error)
+      : T(Text), Error(Error) {}
+
+  bool parse(JValue &Out) {
+    if (!value(Out))
+      return false;
+    skipWs();
+    if (Pos != T.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = "JSON parse error at offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < T.size() && std::isspace(static_cast<unsigned char>(T[Pos])))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t Len = std::string(Lit).size();
+    if (T.compare(Pos, Len, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (Pos >= T.size() || T[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < T.size() && T[Pos] != '"') {
+      if (T[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= T.size())
+          return fail("truncated escape");
+      }
+      Out += T[Pos++];
+    }
+    if (Pos >= T.size())
+      return fail("unterminated string");
+    ++Pos;
+    return true;
+  }
+
+  bool value(JValue &Out) {
+    skipWs();
+    if (Pos >= T.size())
+      return fail("unexpected end of input");
+    char Ch = T[Pos];
+    if (Ch == '{') {
+      Out.K = JValue::Obj;
+      ++Pos;
+      skipWs();
+      if (Pos < T.size() && T[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!string(Key))
+          return false;
+        skipWs();
+        if (Pos >= T.size() || T[Pos] != ':')
+          return fail("expected ':'");
+        ++Pos;
+        JValue V;
+        if (!value(V))
+          return false;
+        Out.Fields.emplace(std::move(Key), std::move(V));
+        skipWs();
+        if (Pos < T.size() && T[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < T.size() && T[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (Ch == '[') {
+      Out.K = JValue::Arr;
+      ++Pos;
+      skipWs();
+      if (Pos < T.size() && T[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JValue V;
+        if (!value(V))
+          return false;
+        Out.Elems.push_back(std::move(V));
+        skipWs();
+        if (Pos < T.size() && T[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < T.size() && T[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (Ch == '"') {
+      Out.K = JValue::Str;
+      return string(Out.S);
+    }
+    if (Ch == 't') {
+      Out.K = JValue::Bool;
+      Out.B = true;
+      return literal("true");
+    }
+    if (Ch == 'f') {
+      Out.K = JValue::Bool;
+      Out.B = false;
+      return literal("false");
+    }
+    if (Ch == 'n') {
+      Out.K = JValue::Null;
+      return literal("null");
+    }
+    // Number.
+    size_t Start = Pos;
+    if (Pos < T.size() && (T[Pos] == '-' || T[Pos] == '+'))
+      ++Pos;
+    while (Pos < T.size() &&
+           (std::isdigit(static_cast<unsigned char>(T[Pos])) ||
+            T[Pos] == '.' || T[Pos] == 'e' || T[Pos] == 'E' ||
+            T[Pos] == '-' || T[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    Out.K = JValue::Num;
+    Out.N = std::strtod(T.substr(Start, Pos - Start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string &T;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+bool checkNum(const JValue &Obj, const std::string &Path, const char *Key,
+              std::string &Error) {
+  auto It = Obj.Fields.find(Key);
+  if (It == Obj.Fields.end()) {
+    Error = Path + ": missing key \"" + Key + "\"";
+    return false;
+  }
+  if (It->second.K != JValue::Num) {
+    Error = Path + "." + Key + ": expected a number";
+    return false;
+  }
+  if (It->second.N < 0) {
+    Error = Path + "." + Key + ": must be non-negative";
+    return false;
+  }
+  return true;
+}
+
+bool checkSample(const JValue &Row, const std::string &Path, const char *Key,
+                 std::string &Error) {
+  auto It = Row.Fields.find(Key);
+  if (It == Row.Fields.end() || It->second.K != JValue::Obj) {
+    Error = Path + ": missing engine object \"" + std::string(Key) + "\"";
+    return false;
+  }
+  const std::string P = Path + "." + Key;
+  return checkNum(It->second, P, "wall_seconds", Error) &&
+         checkNum(It->second, P, "steps", Error) &&
+         checkNum(It->second, P, "steps_per_sec", Error);
+}
+
+} // namespace
+
+bool olpp::validateEngineBenchJson(const std::string &Text,
+                                   std::string &Error) {
+  JValue Root;
+  if (!JParser(Text, Error).parse(Root))
+    return false;
+  if (Root.K != JValue::Obj) {
+    Error = "top level: expected an object";
+    return false;
+  }
+  auto Schema = Root.Fields.find("schema");
+  if (Schema == Root.Fields.end() || Schema->second.K != JValue::Str ||
+      Schema->second.S != EngineBenchSchema) {
+    Error = std::string("schema: expected \"") + EngineBenchSchema + "\"";
+    return false;
+  }
+  if (!checkNum(Root, "top level", "jobs", Error) ||
+      !checkNum(Root, "top level", "wall_seconds", Error) ||
+      !checkNum(Root, "top level", "geomean_speedup", Error))
+    return false;
+  auto WL = Root.Fields.find("workloads");
+  if (WL == Root.Fields.end() || WL->second.K != JValue::Arr) {
+    Error = "workloads: missing or not an array";
+    return false;
+  }
+  for (size_t I = 0; I < WL->second.Elems.size(); ++I) {
+    const JValue &Row = WL->second.Elems[I];
+    const std::string Path = "workloads[" + std::to_string(I) + "]";
+    if (Row.K != JValue::Obj) {
+      Error = Path + ": expected an object";
+      return false;
+    }
+    auto Name = Row.Fields.find("name");
+    if (Name == Row.Fields.end() || Name->second.K != JValue::Str ||
+        Name->second.S.empty()) {
+      Error = Path + ": missing non-empty \"name\"";
+      return false;
+    }
+    if (!checkSample(Row, Path, "fast", Error) ||
+        !checkSample(Row, Path, "reference", Error) ||
+        !checkNum(Row, Path, "speedup", Error))
+      return false;
+    auto Solver = Row.Fields.find("solver");
+    if (Solver == Row.Fields.end() || Solver->second.K != JValue::Obj) {
+      Error = Path + ": missing \"solver\" object";
+      return false;
+    }
+    const std::string SP = Path + ".solver";
+    if (!checkNum(Solver->second, SP, "evaluations_worklist", Error) ||
+        !checkNum(Solver->second, SP, "evaluations_sweep", Error))
+      return false;
+    auto Conv = Solver->second.Fields.find("converged");
+    if (Conv == Solver->second.Fields.end() ||
+        Conv->second.K != JValue::Bool) {
+      Error = SP + ": missing boolean \"converged\"";
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,74 @@
+//===--- BenchJson.h - Engine benchmark report JSON -------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BENCH_engine.json report written by bench/perf_engine and
+/// `olpp bench`: per-workload wall time and steps/sec for the fast and
+/// reference engines, the fast/reference speedup, and the interval solver's
+/// effort counters (worklist evaluations vs whole-set sweeps). The schema
+/// tag is "olpp.bench.engine/v1"; validateEngineBenchJson structurally
+/// checks a rendered report against it (the perf_smoke ctest target and
+/// --validate use this), with a dependency-free JSON parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_BENCHJSON_H
+#define OLPP_SUPPORT_BENCHJSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+inline constexpr const char *EngineBenchSchema = "olpp.bench.engine/v1";
+
+/// One engine's measurement of one workload.
+struct EngineSample {
+  double WallSeconds = 0.0;
+  uint64_t Steps = 0;
+  double StepsPerSec = 0.0;
+};
+
+/// One workload's row of the report.
+struct WorkloadBench {
+  std::string Name;
+  EngineSample Fast;
+  EngineSample Reference;
+  /// Fast steps/sec over reference steps/sec.
+  double Speedup = 0.0;
+  /// Interval-solver effort on this workload's estimation system.
+  uint64_t SolverEvaluationsWorklist = 0;
+  uint64_t SolverEvaluationsSweep = 0;
+  bool SolverConverged = true;
+};
+
+struct EngineBenchReport {
+  unsigned Jobs = 1;
+  double WallSeconds = 0.0; ///< whole batch, wall clock
+  std::vector<WorkloadBench> Workloads;
+
+  /// Geometric mean of the per-workload speedups (0 if empty).
+  double geomeanSpeedup() const;
+};
+
+/// Renders \p R as pretty-printed JSON (trailing newline included).
+std::string renderEngineBenchJson(const EngineBenchReport &R);
+
+/// Renders and writes to \p Path. Returns false and sets \p Error on I/O
+/// failure.
+bool writeEngineBenchJson(const std::string &Path, const EngineBenchReport &R,
+                          std::string &Error);
+
+/// Structurally validates \p Text against the v1 schema: parses the JSON,
+/// checks the schema tag, the required keys and their types, and that
+/// numeric fields are non-negative. Returns false and sets \p Error on the
+/// first violation.
+bool validateEngineBenchJson(const std::string &Text, std::string &Error);
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_BENCHJSON_H

@@ -1,0 +1,65 @@
+//===--- ThreadPool.h - Minimal fixed-size thread pool ----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool used by the parallel bench harness
+/// (`olpp bench --jobs N`). Work items are indices into a shared counter, so
+/// batches need no per-item allocation; each worker owns its slot of any
+/// per-thread output (the harness merges ProfileRuntimes afterwards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_THREADPOOL_H
+#define OLPP_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace olpp {
+
+/// Runs Body(Index, Worker) for every Index in [0, Count) on \p Jobs
+/// threads (clamped to [1, Count]); Worker in [0, Jobs) identifies the
+/// executing thread so callers can keep per-thread state without locking.
+/// Blocks until every item finished. Jobs == 1 degenerates to a plain loop
+/// on the calling thread (no threads spawned), which keeps single-job runs
+/// deterministic and debuggable.
+inline void parallelFor(size_t Count, unsigned Jobs,
+                        const std::function<void(size_t, unsigned)> &Body) {
+  if (Count == 0)
+    return;
+  if (Jobs > Count)
+    Jobs = static_cast<unsigned>(Count);
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I, 0);
+    return;
+  }
+
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Workers;
+  Workers.reserve(Jobs);
+  for (unsigned W = 0; W < Jobs; ++W)
+    Workers.emplace_back([&, W] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+           I < Count; I = Next.fetch_add(1, std::memory_order_relaxed))
+        Body(I, W);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+/// A sensible default for --jobs 0 ("auto").
+inline unsigned defaultJobCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 4;
+}
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_THREADPOOL_H

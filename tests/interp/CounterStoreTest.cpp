@@ -1,0 +1,371 @@
+//===--- CounterStoreTest.cpp - counter container unit tests ------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests of the hot-path counter containers behind ProfileRuntime:
+// PathCounterStore (dense vector + spill map), FlatInterprocTable
+// (open-addressing linear probing), the splitmix64-based InterprocKeyHash
+// (collision rate on realistic dense key populations), and the
+// ProfileRuntime transient-state reset that keeps batch runs independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "interp/CounterStore.h"
+#include "interp/Interpreter.h"
+#include "interp/ProfileRuntime.h"
+#include "profile/Instrumenter.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// PathCounterStore
+//===----------------------------------------------------------------------===//
+
+TEST(PathCounterStore, DenseWindowAndSpillAgreeWithMap) {
+  PathCounterStore S;
+  S.configure(1000); // ids [0,1000) dense, the rest spill
+  EXPECT_TRUE(S.isDense());
+
+  std::unordered_map<int64_t, uint64_t> Ref;
+  Rng R(0xC0FFEE);
+  for (int I = 0; I < 20000; ++I) {
+    // Mix of dense-window ids, ids above the window, and negative ids
+    // (negative ids never index the dense vector: the store must treat
+    // them as spill keys, not out-of-bounds accesses).
+    int64_t Id;
+    switch (R.nextBelow(4)) {
+    case 0:
+    case 1:
+      Id = static_cast<int64_t>(R.nextBelow(1000));
+      break;
+    case 2:
+      Id = static_cast<int64_t>(1000 + R.nextBelow(1u << 20));
+      break;
+    default:
+      Id = -static_cast<int64_t>(1 + R.nextBelow(100));
+      break;
+    }
+    S.bump(Id);
+    ++Ref[Id];
+  }
+
+  EXPECT_EQ(S.size(), Ref.size());
+  for (const auto &[Id, Count] : Ref)
+    EXPECT_EQ(S.lookup(Id), Count) << "id " << Id;
+  EXPECT_TRUE(S == Ref);
+  EXPECT_EQ(S.toMap(), Ref);
+
+  // Iteration visits exactly the positive counters.
+  std::unordered_map<int64_t, uint64_t> Seen;
+  for (const auto &[Id, Count] : S) {
+    EXPECT_GT(Count, 0u);
+    EXPECT_TRUE(Seen.emplace(Id, Count).second) << "duplicate id " << Id;
+  }
+  EXPECT_EQ(Seen, Ref);
+}
+
+TEST(PathCounterStore, UnconfiguredStoreCountsThroughSpill) {
+  PathCounterStore S; // never configured: everything spills
+  EXPECT_FALSE(S.isDense());
+  S.bump(7);
+  S.bump(7);
+  S.bump(123456789);
+  EXPECT_EQ(S.lookup(7), 2u);
+  EXPECT_EQ(S.lookup(123456789), 1u);
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(PathCounterStore, HugeIdSpaceKeepsHashRepresentation) {
+  PathCounterStore S;
+  S.configure(PathCounterStore::DenseLimit + 1); // too wide for a vector
+  EXPECT_FALSE(S.isDense());
+  S.bump(0);
+  S.bump(static_cast<int64_t>(PathCounterStore::DenseLimit));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(PathCounterStore, MergeFromAddsCounters) {
+  PathCounterStore A, B;
+  A.configure(16);
+  B.configure(16);
+  A.bump(3);
+  A.bump(100); // spill in A
+  B.bump(3);
+  B.bump(5);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.lookup(3), 2u);
+  EXPECT_EQ(A.lookup(5), 1u);
+  EXPECT_EQ(A.lookup(100), 1u);
+  EXPECT_EQ(A.size(), 3u);
+}
+
+TEST(PathCounterStore, ClearZeroesEverything) {
+  PathCounterStore S;
+  S.configure(8);
+  S.bump(1);
+  S.bump(99);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.lookup(1), 0u);
+  EXPECT_EQ(S.lookup(99), 0u);
+  EXPECT_EQ(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// FlatInterprocTable
+//===----------------------------------------------------------------------===//
+
+InterprocKey randomKey(Rng &R) {
+  // Realistic distribution: few callees and call sites, small dense path
+  // ids — exactly the population the old additive hash collapsed on.
+  InterprocKey K;
+  K.Callee = static_cast<uint32_t>(R.nextBelow(48));
+  K.CallSite = static_cast<uint32_t>(R.nextBelow(200));
+  K.Inner = static_cast<int64_t>(R.nextBelow(2048));
+  K.Outer = static_cast<int64_t>(R.nextBelow(2048));
+  return K;
+}
+
+TEST(FlatInterprocTable, AgreesWithMapUnderRandomWorkload) {
+  FlatInterprocTable T;
+  FlatInterprocTable::Map Ref;
+  Rng R(0xDEAD);
+  for (int I = 0; I < 50000; ++I) {
+    InterprocKey K = randomKey(R);
+    uint64_t Delta = 1 + R.nextBelow(3);
+    T.bump(K, Delta);
+    Ref[K] += Delta;
+  }
+  EXPECT_EQ(T.size(), Ref.size());
+  for (const auto &[K, Count] : Ref)
+    EXPECT_EQ(T.lookup(K), Count);
+  EXPECT_TRUE(T == Ref);
+  EXPECT_EQ(T.toMap(), Ref);
+
+  std::unordered_map<InterprocKey, uint64_t, InterprocKeyHash> Seen;
+  for (const auto &[K, Count] : T) {
+    EXPECT_GT(Count, 0u);
+    EXPECT_TRUE(Seen.emplace(K, Count).second);
+  }
+  EXPECT_EQ(Seen.size(), Ref.size());
+}
+
+TEST(FlatInterprocTable, GrowPreservesCountersAcrossRehash) {
+  FlatInterprocTable T;
+  // Push well past the initial capacity so the table rehashes repeatedly.
+  for (uint32_t I = 0; I < 10000; ++I) {
+    InterprocKey K{I % 7, I, static_cast<int64_t>(I), 0};
+    T.bump(K);
+  }
+  EXPECT_EQ(T.size(), 10000u);
+  for (uint32_t I = 0; I < 10000; ++I) {
+    InterprocKey K{I % 7, I, static_cast<int64_t>(I), 0};
+    EXPECT_EQ(T.lookup(K), 1u);
+  }
+}
+
+TEST(FlatInterprocTable, MergeFromMatchesMapMerge) {
+  FlatInterprocTable A, B;
+  FlatInterprocTable::Map Ref;
+  Rng R(42);
+  for (int I = 0; I < 5000; ++I) {
+    InterprocKey K = randomKey(R);
+    if (R.chance(1, 2)) {
+      A.bump(K);
+    } else {
+      B.bump(K);
+    }
+    ++Ref[K];
+  }
+  A.mergeFrom(B);
+  EXPECT_TRUE(A == Ref);
+}
+
+//===----------------------------------------------------------------------===//
+// InterprocKeyHash collision behaviour
+//===----------------------------------------------------------------------===//
+
+// The table masks the hash down to its low bits, so quality of the *low*
+// bits on small dense ids is what decides probe-chain length. With a
+// full-avalanche mix, throwing N keys into M buckets should land close to
+// the ideal load; a structured hash (like the additive mix this replaced)
+// concentrates dense-id populations into a few buckets.
+TEST(InterprocKeyHash, LowBitsSpreadDenseKeys) {
+  constexpr size_t NumKeys = 1 << 16;
+  constexpr size_t NumBuckets = 1 << 16; // as the flat table would mask
+  std::vector<uint32_t> Load(NumBuckets, 0);
+  InterprocKeyHash H;
+
+  size_t Made = 0;
+  for (uint32_t Callee = 0; Made < NumKeys; ++Callee)
+    for (uint32_t Cs = 0; Cs < 16 && Made < NumKeys; ++Cs)
+      for (int64_t Inner = 0; Inner < 16 && Made < NumKeys; ++Inner)
+        for (int64_t Outer = 0; Outer < 16 && Made < NumKeys; ++Outer) {
+          ++Load[H({Callee, Cs, Inner, Outer}) & (NumBuckets - 1)];
+          ++Made;
+        }
+
+  // With load factor 1, a uniform hash leaves ~36.8% of buckets empty and
+  // the expected maximum load around ln n / ln ln n ~ 7. Allow generous
+  // slack; a structured hash fails these by orders of magnitude.
+  size_t Empty = 0;
+  uint32_t MaxLoad = 0;
+  for (uint32_t L : Load) {
+    if (L == 0)
+      ++Empty;
+    MaxLoad = std::max(MaxLoad, L);
+  }
+  double EmptyFrac = static_cast<double>(Empty) / NumBuckets;
+  EXPECT_GT(EmptyFrac, 0.30);
+  EXPECT_LT(EmptyFrac, 0.44);
+  EXPECT_LE(MaxLoad, 16u);
+}
+
+TEST(InterprocKeyHash, NoFullWidthCollisionsOnDensePopulation) {
+  // 64-bit collisions among ~a million realistic keys would indicate a
+  // badly broken mix (birthday bound puts the uniform expectation around
+  // 3e-8 per pair, ~0.03 expected collisions here).
+  InterprocKeyHash H;
+  std::unordered_set<uint64_t> Hashes;
+  size_t N = 0;
+  for (uint32_t Callee = 0; Callee < 8; ++Callee)
+    for (uint32_t Cs = 0; Cs < 32; ++Cs)
+      for (int64_t Inner = 0; Inner < 64; ++Inner)
+        for (int64_t Outer = 0; Outer < 64; ++Outer) {
+          Hashes.insert(
+              static_cast<uint64_t>(H({Callee, Cs, Inner, Outer})));
+          ++N;
+        }
+  EXPECT_EQ(Hashes.size(), N);
+}
+
+TEST(SplitMix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit must flip a substantial fraction of output bits
+  // (full avalanche targets ~32 of 64). This is the property the additive
+  // Fibonacci mix lacked for low-entropy inputs.
+  Rng R(7);
+  for (int Trial = 0; Trial < 64; ++Trial) {
+    uint64_t X = R.next();
+    for (int Bit = 0; Bit < 64; Bit += 7) {
+      uint64_t Diff = splitmix64(X) ^ splitmix64(X ^ (1ULL << Bit));
+      int Flipped = __builtin_popcountll(Diff);
+      EXPECT_GE(Flipped, 16) << "bit " << Bit;
+      EXPECT_LE(Flipped, 48) << "bit " << Bit;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileRuntime transient-state hygiene
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileRuntime, ResetTransientKeepsCountersDropsHandoffState) {
+  ProfileRuntime P(2);
+  P.configurePathStore(0, 10);
+  P.PathCounts[0].bump(3);
+  P.TypeICounts.bump({1, 2, 3, 4});
+  P.ShadowStack.push_back({7, 42});
+  P.Pending = {true, 1, 99};
+
+  P.resetTransient();
+  EXPECT_TRUE(P.ShadowStack.empty());
+  EXPECT_FALSE(P.Pending.Valid);
+  EXPECT_EQ(P.PathCounts[0].lookup(3), 1u); // counters untouched
+  EXPECT_EQ(P.TypeICounts.lookup({1, 2, 3, 4}), 1u);
+
+  P.clear();
+  EXPECT_TRUE(P.PathCounts[0].empty());
+  EXPECT_TRUE(P.TypeICounts.empty());
+}
+
+// Regression test for the batch-run bug: a run that aborts mid-call (here:
+// fuel exhaustion inside instrumented callees) leaves shadow-stack entries
+// and possibly a pending return behind. The next Interpreter::run on the
+// same runtime must not let that stale hand-off state leak into its
+// counters — its profile must be identical to a run on a fresh runtime.
+TEST(ProfileRuntime, AbortedRunDoesNotPoisonTheNextRun) {
+  const Workload *W = nullptr;
+  for (const Workload &X : allWorkloads())
+    if (X.Name == "li")
+      W = &X;
+  ASSERT_NE(W, nullptr);
+
+  CompileResult CR = compileMiniC(W->Source);
+  ASSERT_TRUE(CR.ok());
+  std::unique_ptr<Module> M = std::move(CR.M);
+  InstrumentOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.LoopDegree = 2;
+  Opts.Interproc = true;
+  Opts.InterprocDegree = 2;
+  ModuleInstrumentation MI = instrumentModule(*M, Opts);
+  ASSERT_TRUE(MI.ok());
+  const Function *Main = M->findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  std::vector<int64_t> Args = W->PrecisionArgs;
+  Args.resize(Main->NumParams, 0);
+
+  auto Configure = [&](ProfileRuntime &P) {
+    for (uint32_t F = 0; F < M->numFunctions(); ++F)
+      if (MI.Funcs[F].PG)
+        P.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+  };
+
+  for (EngineKind E : {EngineKind::Reference, EngineKind::Fast}) {
+    // Reused runtime: first an aborted run, then the real one.
+    ProfileRuntime Reused(M->numFunctions());
+    Configure(Reused);
+    {
+      Interpreter I(*M, &Reused);
+      RunConfig Short;
+      Short.MaxSteps = 2000; // dies deep inside instrumented calls
+      Short.Engine = E;
+      RunResult R = I.run(*Main, Args, Short);
+      ASSERT_FALSE(R.Ok);
+    }
+    Reused.clear(); // keep only the hygiene question: transient state
+    // Deliberately poison the transient state again, as an aborted run
+    // without an intervening clear() would have.
+    Reused.ShadowStack.push_back({0, 12345});
+    Reused.Pending = {true, 0, 77};
+
+    ProfileRuntime Fresh(M->numFunctions());
+    Configure(Fresh);
+
+    RunConfig RC;
+    RC.Engine = E;
+    RunResult RReused, RFresh;
+    {
+      Interpreter I(*M, &Reused);
+      RReused = I.run(*Main, Args, RC);
+    }
+    {
+      Interpreter I(*M, &Fresh);
+      RFresh = I.run(*Main, Args, RC);
+    }
+    ASSERT_TRUE(RReused.Ok) << RReused.Error;
+    ASSERT_TRUE(RFresh.Ok) << RFresh.Error;
+    EXPECT_TRUE(RReused.Counts == RFresh.Counts);
+    for (uint32_t F = 0; F < M->numFunctions(); ++F)
+      EXPECT_TRUE(Reused.PathCounts[F] == Fresh.PathCounts[F])
+          << "engine " << engineKindName(E) << ", function " << F;
+    EXPECT_TRUE(Reused.TypeICounts == Fresh.TypeICounts);
+    EXPECT_TRUE(Reused.TypeIICounts == Fresh.TypeIICounts);
+  }
+}
+
+} // namespace
