@@ -22,6 +22,7 @@
 #include "driver/Pipeline.h"
 #include "estimate/Estimators.h"
 #include "frontend/Compiler.h"
+#include "fuzz/Fuzzer.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "profile/InstrCheck.h"
@@ -65,6 +66,15 @@ int usage() {
       "       lint source and verify instrumentation invariants\n"
       "       (--all checks every embedded workload)\n"
       "  olpp workloads                        list the embedded suite\n"
+      "  olpp fuzz [--seeds N] [--seed S] [--shrink] [--json]\n"
+      "       differential fuzzing: random programs cross-checked against\n"
+      "       every oracle pair (fast vs reference engine, dense vs map\n"
+      "       counter stores, profile vs trace-derived truth, worklist vs\n"
+      "       sweep solver, bound soundness, abort consistency)\n"
+      "       --seeds N      number of master seeds (default 100)\n"
+      "       --seed S       run exactly one master seed (replay)\n"
+      "       --shrink       minimize failing programs before reporting\n"
+      "       --json         emit findings as JSON diagnostics\n"
       "  olpp bench [name] [--jobs N] [--smoke] [--out FILE]\n"
       "       run the workload suite under the fast and reference engines\n"
       "       in parallel and write a BENCH_engine.json report\n"
@@ -111,6 +121,10 @@ struct Parsed {
   EngineKind Engine = EngineKind::Fast;
   unsigned Jobs = 1; ///< bench worker threads; 0 = one per core
   bool Smoke = false;
+  uint32_t Seeds = 100;    ///< fuzz: number of master seeds
+  uint64_t FuzzSeed = 0;   ///< fuzz: single replay seed (--seed)
+  bool HasFuzzSeed = false;
+  bool Shrink = false;
   std::string Out = "BENCH_engine.json";
   std::string Validate;
   bool Bad = false;
@@ -145,6 +159,13 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (A == "--smoke") {
       P.Smoke = true;
+    } else if (A == "--seeds" && I + 1 < Argc) {
+      P.Seeds = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (A == "--seed" && I + 1 < Argc) {
+      P.FuzzSeed = std::strtoull(Argv[++I], nullptr, 10);
+      P.HasFuzzSeed = true;
+    } else if (A == "--shrink") {
+      P.Shrink = true;
     } else if (A == "--out" && I + 1 < Argc) {
       P.Out = Argv[++I];
     } else if (A == "--validate" && I + 1 < Argc) {
@@ -699,6 +720,23 @@ int cmdBench(const Parsed &P) {
   return 0;
 }
 
+int cmdFuzz(const Parsed &P) {
+  FuzzOptions FO;
+  FO.NumSeeds = P.Seeds;
+  FO.Shrink = P.Shrink;
+  if (P.HasFuzzSeed) {
+    FO.SeedBase = P.FuzzSeed;
+    FO.NumSeeds = 1;
+  }
+  DifferentialRunner Runner(FO);
+  FuzzReport Rep = Runner.run();
+  if (P.LintJson)
+    std::fputs(renderDiagnosticsJson(Rep.toDiagnostics()).c_str(), stdout);
+  else
+    std::fputs(Rep.str().c_str(), stdout);
+  return Rep.ok() ? 0 : 1;
+}
+
 int cmdWorkloads() {
   TableWriter T({"Name", "Precision Args", "Overhead Args"});
   for (const Workload &W : allWorkloads()) {
@@ -725,6 +763,8 @@ int main(int Argc, char **Argv) {
   Parsed P = parseArgs(Argc, Argv, 2);
   if (Cmd == "bench")
     return P.Bad ? usage() : cmdBench(P);
+  if (Cmd == "fuzz")
+    return P.Bad ? usage() : cmdFuzz(P);
   if (!P.Ok)
     return usage();
   if (Cmd == "run")

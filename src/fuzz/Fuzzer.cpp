@@ -1,0 +1,618 @@
+//===--- Fuzzer.cpp - Differential fuzzing of the profiling stack --------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "driver/Pipeline.h"
+#include "estimate/Estimators.h"
+#include "estimate/IntervalSolver.h"
+#include "frontend/Compiler.h"
+#include "fuzz/Shrinker.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "profile/ProfileDecode.h"
+#include "support/Rng.h"
+#include "wpp/ExpectedCounters.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace olpp;
+
+const char *olpp::fuzzOracleName(FuzzOracle O) {
+  switch (O) {
+  case FuzzOracle::Generate:
+    return "generate";
+  case FuzzOracle::EngineDiff:
+    return "engine-diff";
+  case FuzzOracle::CounterStore:
+    return "counter-store";
+  case FuzzOracle::Decode:
+    return "decode";
+  case FuzzOracle::SolverDiff:
+    return "solver-diff";
+  case FuzzOracle::Bounds:
+    return "bounds";
+  case FuzzOracle::Abort:
+    return "abort";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string describeInstrOpts(const InstrumentOptions &O) {
+  std::string S;
+  if (O.Interproc)
+    S = "interproc k=" + std::to_string(O.InterprocDegree);
+  else if (O.LoopOverlap)
+    S = "overlap k=" + std::to_string(O.LoopDegree);
+  else
+    S = "plain-bl";
+  if (O.LoopOverlap && O.Interproc)
+    S += " loop-k=" + std::to_string(O.LoopDegree);
+  S += O.UseChords ? " chords" : " naive";
+  return S;
+}
+
+bool keyLess(const InterprocKey &A, const InterprocKey &B) {
+  if (A.Callee != B.Callee)
+    return A.Callee < B.Callee;
+  if (A.CallSite != B.CallSite)
+    return A.CallSite < B.CallSite;
+  if (A.Inner != B.Inner)
+    return A.Inner < B.Inner;
+  return A.Outer < B.Outer;
+}
+
+std::string renderKey(const InterprocKey &K) {
+  return "(callee=" + std::to_string(K.Callee) +
+         " cs=" + std::to_string(K.CallSite) +
+         " inner=" + std::to_string(K.Inner) +
+         " outer=" + std::to_string(K.Outer) + ")";
+}
+
+/// First mismatch between two path-count maps, or "" if equal. Keys are
+/// sorted so the report is deterministic.
+std::string diffPathMaps(const PathCounterStore::Map &A,
+                         const PathCounterStore::Map &B,
+                         const std::string &What) {
+  std::vector<int64_t> Keys;
+  for (const auto &KV : A)
+    Keys.push_back(KV.first);
+  for (const auto &KV : B)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+  for (int64_t K : Keys) {
+    auto IA = A.find(K), IB = B.find(K);
+    uint64_t VA = IA == A.end() ? 0 : IA->second;
+    uint64_t VB = IB == B.end() ? 0 : IB->second;
+    if (VA != VB)
+      return What + ": path id " + std::to_string(K) + " counts " +
+             std::to_string(VA) + " vs " + std::to_string(VB);
+  }
+  return "";
+}
+
+std::string diffInterprocMaps(const FlatInterprocTable::Map &A,
+                              const FlatInterprocTable::Map &B,
+                              const std::string &What) {
+  std::vector<InterprocKey> Keys;
+  for (const auto &KV : A)
+    Keys.push_back(KV.first);
+  for (const auto &KV : B)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end(), keyLess);
+  Keys.erase(std::unique(Keys.begin(), Keys.end(),
+                         [](const InterprocKey &X, const InterprocKey &Y) {
+                           return X == Y;
+                         }),
+             Keys.end());
+  for (const InterprocKey &K : Keys) {
+    auto IA = A.find(K), IB = B.find(K);
+    uint64_t VA = IA == A.end() ? 0 : IA->second;
+    uint64_t VB = IB == B.end() ? 0 : IB->second;
+    if (VA != VB)
+      return What + ": tuple " + renderKey(K) + " counts " +
+             std::to_string(VA) + " vs " + std::to_string(VB);
+  }
+  return "";
+}
+
+/// The raw counters of one runtime, lifted to maps so differently
+/// represented runtimes (dense vs spill, flat table vs hash map) compare by
+/// value.
+struct CounterSnapshot {
+  std::vector<PathCounterStore::Map> PathCounts;
+  FlatInterprocTable::Map TypeI, TypeII;
+
+  static CounterSnapshot of(const ProfileRuntime &P) {
+    CounterSnapshot S;
+    for (const auto &Store : P.PathCounts)
+      S.PathCounts.push_back(Store.toMap());
+    S.TypeI = P.TypeICounts.toMap();
+    S.TypeII = P.TypeIICounts.toMap();
+    return S;
+  }
+
+  /// "" when equal, else the first mismatch.
+  std::string diff(const CounterSnapshot &O, const std::string &AName,
+                   const std::string &BName) const {
+    std::string Tag = AName + " vs " + BName;
+    size_t N = std::max(PathCounts.size(), O.PathCounts.size());
+    static const PathCounterStore::Map EmptyPaths;
+    for (size_t F = 0; F < N; ++F) {
+      const auto &A = F < PathCounts.size() ? PathCounts[F] : EmptyPaths;
+      const auto &B = F < O.PathCounts.size() ? O.PathCounts[F] : EmptyPaths;
+      std::string D =
+          diffPathMaps(A, B, Tag + ", function " + std::to_string(F));
+      if (!D.empty())
+        return D;
+    }
+    std::string D = diffInterprocMaps(TypeI, O.TypeI, Tag + ", Type I");
+    if (!D.empty())
+      return D;
+    return diffInterprocMaps(TypeII, O.TypeII, Tag + ", Type II");
+  }
+};
+
+/// Applies the injected defect to a snapshot (the mutation test's hook;
+/// FaultKind::None leaves it untouched).
+void applyFault(FaultKind Fault, CounterSnapshot &S) {
+  switch (Fault) {
+  case FaultKind::None:
+    return;
+  case FaultKind::DropTypeI: {
+    if (S.TypeI.empty())
+      return;
+    auto Min = S.TypeI.begin();
+    for (auto It = S.TypeI.begin(); It != S.TypeI.end(); ++It)
+      if (keyLess(It->first, Min->first))
+        Min = It;
+    S.TypeI.erase(Min);
+    return;
+  }
+  case FaultKind::SkewPathCounter: {
+    for (auto &M : S.PathCounts) {
+      if (M.empty())
+        continue;
+      auto Min = M.begin();
+      for (auto It = M.begin(); It != M.end(); ++It)
+        if (It->first < Min->first)
+          Min = It;
+      ++Min->second;
+      return;
+    }
+    return;
+  }
+  }
+}
+
+bool isFuelError(const std::string &E) {
+  return E.find("fuel exhausted") != std::string::npos;
+}
+
+/// RAII restore of the thread's interval-solver implementation.
+struct SolverImplGuard {
+  SolverImpl Saved;
+  SolverImplGuard() : Saved(threadSolverImpl()) {}
+  ~SolverImplGuard() { setThreadSolverImpl(Saved); }
+};
+
+} // namespace
+
+// --- report rendering ----------------------------------------------------
+
+std::vector<Diagnostic> FuzzReport::toDiagnostics() const {
+  std::vector<Diagnostic> Diags;
+  for (const FuzzFailure &F : Failures) {
+    std::string Msg = F.Detail + " [" + describeGeneratorOptions(F.GenOpts) +
+                      "; " + describeInstrOpts(F.InstrOpts) +
+                      "]; replay: olpp fuzz --seed " +
+                      std::to_string(F.MasterSeed);
+    Diags.push_back(makeDiag(Severity::Error,
+                             std::string("fuzz-") + fuzzOracleName(F.Oracle),
+                             "", std::move(Msg)));
+  }
+  Diags.push_back(makeDiag(
+      Severity::Note, "fuzz", "",
+      std::to_string(SeedsRun) + " seed(s): " + std::to_string(Clean) +
+          " clean, " + std::to_string(Skipped) + " skipped (step budget), " +
+          std::to_string(Failures.size()) + " failing"));
+  return Diags;
+}
+
+std::string FuzzReport::str() const {
+  std::string Out;
+  for (const FuzzFailure &F : Failures) {
+    Out += "FAILURE seed " + std::to_string(F.MasterSeed) + " [" +
+           fuzzOracleName(F.Oracle) + "]\n";
+    Out += "  " + F.Detail + "\n";
+    Out += "  setup: " + describeGeneratorOptions(F.GenOpts) + "; " +
+           describeInstrOpts(F.InstrOpts) + "; args";
+    for (int64_t A : F.Args)
+      Out += " " + std::to_string(A);
+    Out += "\n";
+    if (F.Shrunk)
+      Out += "  shrunk to " + std::to_string(countCodeLines(F.Source)) +
+             " line(s) from " +
+             std::to_string(countCodeLines(F.OriginalSource)) + ":\n";
+    else
+      Out += "  program:\n";
+    size_t Pos = 0;
+    while (Pos < F.Source.size()) {
+      size_t Eol = F.Source.find('\n', Pos);
+      if (Eol == std::string::npos)
+        Eol = F.Source.size();
+      Out += "    " + F.Source.substr(Pos, Eol - Pos) + "\n";
+      Pos = Eol + 1;
+    }
+  }
+  Out += std::to_string(SeedsRun) + " seed(s): " + std::to_string(Clean) +
+         " clean, " + std::to_string(Skipped) + " skipped (step budget), " +
+         std::to_string(Failures.size()) + " failing\n";
+  return Out;
+}
+
+// --- the runner ----------------------------------------------------------
+
+DifferentialRunner::CaseSetup
+DifferentialRunner::deriveSetup(uint64_t MasterSeed) {
+  CaseSetup S;
+  S.GenOpts = sampleGeneratorOptions(MasterSeed);
+  // A distinct stream from the generator's so adding draws to either side
+  // never perturbs the other. Fixed draw order, as in sampleGeneratorOptions.
+  Rng R(MasterSeed ^ 0x9E3779B97F4A7C15ULL);
+  S.Args = {static_cast<int64_t>(R.nextInRange(0, 9)),
+            static_cast<int64_t>(R.nextInRange(0, 9))};
+  uint64_t Mode = R.nextBelow(4);
+  InstrumentOptions &O = S.InstrOpts;
+  if (Mode == 1 || Mode == 2) {
+    O.LoopOverlap = true;
+    O.LoopDegree = static_cast<uint32_t>(R.nextInRange(0, 3));
+  } else if (Mode == 3) {
+    O.Interproc = true;
+    O.InterprocDegree = static_cast<uint32_t>(R.nextInRange(0, 2));
+    O.LoopOverlap = R.chance(1, 2);
+    O.LoopDegree = O.LoopOverlap ? static_cast<uint32_t>(R.nextInRange(0, 2))
+                                 : 0;
+  }
+  O.UseChords = R.chance(1, 2);
+  return S;
+}
+
+DifferentialRunner::CaseStatus
+DifferentialRunner::checkCase(uint64_t MasterSeed,
+                              FuzzFailure *Failure) const {
+  CaseSetup Setup = deriveSetup(MasterSeed);
+  std::string Source = generateProgram(Setup.GenOpts);
+  CaseStatus St = checkProgram(Source, Setup, Failure);
+  if (St == CaseStatus::Failed)
+    Failure->MasterSeed = MasterSeed;
+  return St;
+}
+
+namespace {
+
+/// Runs the abort oracle: under \p Budget steps the instrumented program
+/// aborts mid-run; both engines must fail identically, and a runtime reused
+/// across two aborted runs must equal two fresh aborted runtimes merged.
+/// Returns "" on success, else the mismatch.
+std::string checkAbortConsistency(const Module &Base,
+                                  const DifferentialRunner::CaseSetup &Setup,
+                                  uint64_t Budget) {
+  std::unique_ptr<Module> Clone = Base.clone();
+  ModuleInstrumentation MI = instrumentModule(*Clone, Setup.InstrOpts);
+  if (!MI.ok())
+    return "instrumentation failed: " + MI.Errors[0];
+  const Function *Entry = Clone->findFunction("main");
+  if (!Entry)
+    return "no main";
+
+  auto configure = [&](ProfileRuntime &P) {
+    for (uint32_t F = 0; F < Clone->numFunctions(); ++F)
+      if (MI.Funcs[F].PG)
+        P.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+  };
+
+  RunConfig RC;
+  RC.MaxSteps = Budget;
+
+  ProfileRuntime PRef(Clone->numFunctions());
+  configure(PRef);
+  RC.Engine = EngineKind::Reference;
+  Interpreter IRef(*Clone, &PRef);
+  RunResult RR = IRef.run(*Entry, Setup.Args, RC);
+
+  ProfileRuntime PFast(Clone->numFunctions());
+  configure(PFast);
+  RC.Engine = EngineKind::Fast;
+  Interpreter IFast(*Clone, &PFast);
+  RunResult RF = IFast.run(*Entry, Setup.Args, RC);
+
+  if (RR.Ok != RF.Ok)
+    return "aborted-run status diverges: reference " +
+           (RR.Ok ? std::string("ok") : "'" + RR.Error + "'") + ", fast " +
+           (RF.Ok ? std::string("ok") : "'" + RF.Error + "'");
+  if (!RR.Ok && RR.Error != RF.Error)
+    return "abort error diverges: reference '" + RR.Error + "' vs fast '" +
+           RF.Error + "'";
+  if (!(RR.Counts == RF.Counts))
+    return "aborted-run dynamic counts diverge (steps " +
+           std::to_string(RR.Counts.Steps) + " vs " +
+           std::to_string(RF.Counts.Steps) + ")";
+  std::string D = CounterSnapshot::of(PRef).diff(CounterSnapshot::of(PFast),
+                                                 "aborted reference",
+                                                 "aborted fast");
+  if (!D.empty())
+    return D;
+
+  // Runtime reuse across aborted runs: the abort can strand hand-off state
+  // (e.g. fuel exhausted between a call probe and the frame push); the next
+  // run's resetTransient must fully recover. Two aborted runs into one
+  // runtime must therefore equal two fresh single-run runtimes merged.
+  ProfileRuntime PReused(Clone->numFunctions());
+  configure(PReused);
+  Interpreter IReuse(*Clone, &PReused);
+  IReuse.run(*Entry, Setup.Args, RC);
+  PReused.resetTransient();
+  if (!PReused.transientClean())
+    return "resetTransient left hand-off state live";
+  IReuse.resetGlobals();
+  IReuse.run(*Entry, Setup.Args, RC);
+
+  ProfileRuntime Expected(Clone->numFunctions());
+  configure(Expected);
+  Expected.mergeFrom(PFast);
+  Expected.mergeFrom(PFast);
+  return CounterSnapshot::of(PReused).diff(CounterSnapshot::of(Expected),
+                                           "reused runtime (2 aborted runs)",
+                                           "fresh runtimes merged");
+}
+
+} // namespace
+
+DifferentialRunner::CaseStatus
+DifferentialRunner::checkProgram(const std::string &Source,
+                                 const CaseSetup &Setup,
+                                 FuzzFailure *Failure) const {
+  auto Fail = [&](FuzzOracle O, std::string Detail) {
+    Failure->Oracle = O;
+    Failure->Detail = std::move(Detail);
+    Failure->GenOpts = Setup.GenOpts;
+    Failure->InstrOpts = Setup.InstrOpts;
+    Failure->Args = Setup.Args;
+    Failure->Source = Source;
+    return CaseStatus::Failed;
+  };
+
+  CompileResult CR = compileMiniC(Source);
+  if (!CR.ok())
+    return Fail(FuzzOracle::Generate,
+                "generated program does not compile: " + CR.diagText());
+
+  // Step-budget probe on the pristine program. Programs that exhaust it
+  // still exercise the abort oracle but prove nothing about terminating
+  // runs, so the remaining oracles are skipped.
+  uint64_t ProbeSteps = 0;
+  {
+    Interpreter I(*CR.M);
+    RunConfig RC;
+    RC.MaxSteps = Opts.MaxSteps;
+    const Function *Entry = CR.M->findFunction("main");
+    if (!Entry)
+      return Fail(FuzzOracle::Generate, "generated program has no main");
+    RunResult R = I.run(*Entry, Setup.Args, RC);
+    if (!R.Ok && isFuelError(R.Error)) {
+      std::string D = checkAbortConsistency(*CR.M, Setup, Opts.MaxSteps);
+      if (!D.empty())
+        return Fail(FuzzOracle::Abort, D);
+      return CaseStatus::Skipped;
+    }
+    if (!R.Ok)
+      return Fail(FuzzOracle::Generate,
+                  "uninstrumented run failed: " + R.Error);
+    ProbeSteps = R.Counts.Steps;
+  }
+
+  // Both pipelines: baseline traced run + instrumented run, one per engine.
+  PipelineConfig C;
+  C.Instr = Setup.InstrOpts;
+  C.Args = Setup.Args;
+  C.Run.MaxSteps = Opts.MaxSteps * 8;
+  C.Run.Engine = EngineKind::Reference;
+  PipelineResult RRef = runPipeline(*CR.M, C);
+  C.Run.Engine = EngineKind::Fast;
+  PipelineResult RFast = runPipeline(*CR.M, C);
+
+  bool RefFuel = !RRef.ok() && isFuelError(RRef.Errors[0]);
+  bool FastFuel = !RFast.ok() && isFuelError(RFast.Errors[0]);
+  if (RefFuel != FastFuel)
+    return Fail(FuzzOracle::EngineDiff,
+                "one engine ran out of fuel, the other did not (reference: " +
+                    (RRef.ok() ? "ok" : RRef.Errors[0]) + "; fast: " +
+                    (RFast.ok() ? "ok" : RFast.Errors[0]) + ")");
+  if (RefFuel && FastFuel)
+    return CaseStatus::Skipped; // probes pushed the program over budget
+  if (!RRef.ok() || !RFast.ok())
+    return Fail(FuzzOracle::EngineDiff,
+                "pipeline failed (reference: " +
+                    (RRef.ok() ? "ok" : RRef.Errors[0]) + "; fast: " +
+                    (RFast.ok() ? "ok" : RFast.Errors[0]) + ")");
+
+  // Oracle 1: engine differential, observables bit for bit.
+  CounterSnapshot SRef = CounterSnapshot::of(*RRef.Prof);
+  CounterSnapshot SFast = CounterSnapshot::of(*RFast.Prof);
+  applyFault(Opts.Fault, SFast);
+  if (RRef.ReturnValue != RFast.ReturnValue)
+    return Fail(FuzzOracle::EngineDiff,
+                "return value diverges: reference " +
+                    std::to_string(RRef.ReturnValue) + " vs fast " +
+                    std::to_string(RFast.ReturnValue));
+  if (!(RRef.BaseCounts == RFast.BaseCounts))
+    return Fail(FuzzOracle::EngineDiff, "baseline dynamic counts diverge");
+  if (!(RRef.InstrCounts == RFast.InstrCounts))
+    return Fail(FuzzOracle::EngineDiff,
+                "instrumented dynamic counts diverge (steps " +
+                    std::to_string(RRef.InstrCounts.Steps) + " vs " +
+                    std::to_string(RFast.InstrCounts.Steps) + ")");
+  if (std::string D = SRef.diff(SFast, "reference", "fast"); !D.empty())
+    return Fail(FuzzOracle::EngineDiff, D);
+
+  // Oracle 2: counter-store differential. Re-run the instrumented module
+  // into an *unconfigured* runtime (pure spill-map representation) and
+  // compare against the dense/flat stores of the pipeline run.
+  {
+    ProfileRuntime PMap(RFast.InstrModule->numFunctions());
+    Interpreter I(*RFast.InstrModule, &PMap);
+    const Function *Entry = RFast.InstrModule->findFunction("main");
+    RunConfig RC;
+    RC.MaxSteps = Opts.MaxSteps * 8;
+    RunResult R = I.run(*Entry, Setup.Args, RC);
+    if (!R.Ok)
+      return Fail(FuzzOracle::CounterStore,
+                  "map-runtime re-run failed: " + R.Error);
+    std::string D = SFast.diff(CounterSnapshot::of(PMap), "dense stores",
+                               "map stores");
+    if (!D.empty())
+      return Fail(FuzzOracle::CounterStore, D);
+  }
+
+  // Oracle 3: decode. Raw counters must equal the counters recomputed by
+  // definition from the control-flow trace, and the checked profile decoder
+  // must accept every record the runtime actually produced.
+  {
+    ExpectedCounters EC = computeExpectedCounters(RFast.MI, RFast.GT);
+    CounterSnapshot SExp;
+    SExp.PathCounts = EC.PathCounts;
+    SExp.TypeI = EC.TypeICounts;
+    SExp.TypeII = EC.TypeIICounts;
+    std::string D = SFast.diff(SExp, "profiled", "trace-derived");
+    if (!D.empty())
+      return Fail(FuzzOracle::Decode, D);
+
+    for (uint32_t F = 0; F < RFast.Prof->PathCounts.size(); ++F) {
+      if (!RFast.MI.Funcs[F].PG)
+        continue;
+      std::vector<ProfileRecord> Records;
+      for (const auto &KV : SFast.PathCounts[F])
+        Records.push_back({KV.first, KV.second});
+      std::sort(Records.begin(), Records.end(),
+                [](const ProfileRecord &A, const ProfileRecord &B) {
+                  return A.Id < B.Id;
+                });
+      std::vector<Diagnostic> Diags;
+      std::vector<DecodedEntry> Entries =
+          decodeProfileChecked(*RFast.MI.Funcs[F].PG, Records, Diags);
+      if (!Diags.empty())
+        return Fail(FuzzOracle::Decode,
+                    "checked decoder rejected live records of function " +
+                        std::to_string(F) + ": " + Diags[0].str());
+      if (Entries.size() != Records.size())
+        return Fail(FuzzOracle::Decode,
+                    "checked decoder dropped records of function " +
+                        std::to_string(F));
+    }
+  }
+
+  // Oracles 4 + 5: the two interval-solver implementations must agree on
+  // every metric, and the bounds must bracket the ground truth.
+  {
+    SolverImplGuard Guard;
+    auto metrics = [&](SolverImpl Impl) {
+      setThreadSolverImpl(Impl);
+      ModuleEstimator Est(*RFast.InstrModule, RFast.MI, *RFast.Prof);
+      EstimateMetrics M = Est.estimateLoops(&RFast.GT);
+      if (Setup.InstrOpts.Interproc) {
+        M.add(Est.estimateTypeI(&RFast.GT));
+        M.add(Est.estimateTypeII(&RFast.GT));
+      }
+      return M;
+    };
+    EstimateMetrics MW = metrics(SolverImpl::Worklist);
+    EstimateMetrics MS = metrics(SolverImpl::Sweep);
+    if (MW.Definite != MS.Definite || MW.Potential != MS.Potential ||
+        MW.Real != MS.Real || MW.Pairs != MS.Pairs ||
+        MW.ExactPairs != MS.ExactPairs ||
+        MW.SoundnessViolated != MS.SoundnessViolated)
+      return Fail(FuzzOracle::SolverDiff,
+                  "worklist vs sweep: definite " +
+                      std::to_string(MW.Definite) + "/" +
+                      std::to_string(MS.Definite) + ", potential " +
+                      std::to_string(MW.Potential) + "/" +
+                      std::to_string(MS.Potential) + ", exact pairs " +
+                      std::to_string(MW.ExactPairs) + "/" +
+                      std::to_string(MS.ExactPairs));
+    if (MW.SoundnessViolated)
+      return Fail(FuzzOracle::Bounds, "per-path soundness violated");
+    if (MW.Definite > MW.Real || MW.Real > MW.Potential)
+      return Fail(FuzzOracle::Bounds,
+                  "definite <= real <= potential violated: " +
+                      std::to_string(MW.Definite) + " / " +
+                      std::to_string(MW.Real) + " / " +
+                      std::to_string(MW.Potential));
+  }
+
+  // Oracle 6: abort the instrumented program halfway and require both
+  // engines and the runtime-reuse path to stay consistent.
+  if (RFast.InstrCounts.Steps >= 4) {
+    std::string D = checkAbortConsistency(*CR.M, Setup,
+                                          RFast.InstrCounts.Steps / 2);
+    if (!D.empty())
+      return Fail(FuzzOracle::Abort, D);
+  }
+  (void)ProbeSteps;
+
+  return CaseStatus::Clean;
+}
+
+FuzzReport DifferentialRunner::run() const {
+  FuzzReport Rep;
+  for (uint32_t I = 0; I < Opts.NumSeeds; ++I) {
+    uint64_t Seed = Opts.SeedBase + I;
+    FuzzFailure F;
+    CaseStatus St = checkCase(Seed, &F);
+    ++Rep.SeedsRun;
+    if (St == CaseStatus::Clean) {
+      ++Rep.Clean;
+      continue;
+    }
+    if (St == CaseStatus::Skipped) {
+      ++Rep.Skipped;
+      continue;
+    }
+    if (Opts.Shrink) {
+      CaseSetup Setup = deriveSetup(Seed);
+      FuzzOracle Want = F.Oracle;
+      ShrinkResult SR = shrinkProgram(
+          F.Source,
+          [&](const std::string &Cand) {
+            FuzzFailure G;
+            return checkProgram(Cand, Setup, &G) == CaseStatus::Failed &&
+                   G.Oracle == Want;
+          },
+          Opts.MaxShrinkAttempts);
+      if (SR.Accepted > 0) {
+        F.OriginalSource = F.Source;
+        F.Shrunk = true;
+        // Re-derive the failure detail on the minimized program.
+        FuzzFailure G;
+        if (checkProgram(SR.Source, Setup, &G) == CaseStatus::Failed) {
+          G.MasterSeed = Seed;
+          G.OriginalSource = std::move(F.OriginalSource);
+          G.Shrunk = true;
+          F = std::move(G);
+        } else {
+          F.Source = SR.Source; // should not happen; keep the shrunk text
+        }
+      }
+    }
+    Rep.Failures.push_back(std::move(F));
+  }
+  return Rep;
+}

@@ -1,0 +1,150 @@
+//===--- Fuzzer.h - Differential fuzzing of the profiling stack -*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential fuzzing harness behind `olpp fuzz`. One master seed
+/// deterministically derives a whole case: generator options (program
+/// shape + program seed), the arguments main runs with, and the
+/// instrumentation configuration. Each generated program is then
+/// cross-checked against every redundant oracle pair the project owns:
+///
+///   engine-diff    fast engine vs reference engine (return value, dynamic
+///                  counts, and every raw counter, bit for bit),
+///   counter-store  dense/spill PathCounterStore + flat interproc table vs
+///                  a re-run into an unconfigured (pure hash map) runtime,
+///   decode         raw counters vs the counters recomputed by definition
+///                  from the control-flow trace (ExpectedCounters), plus
+///                  the checked profile decoder accepting the live records,
+///   solver-diff    worklist interval solver vs the dense sweep solver,
+///   bounds         eq. 1-18 invariant: definite <= real <= potential and
+///                  no per-path soundness violation,
+///   abort          both engines aborted mid-run (fuel) must agree exactly,
+///                  and a runtime reused across aborted runs must equal
+///                  fresh runtimes merged (resetTransient correctness).
+///
+/// Failures are reported as structured Diagnostics (pass "fuzz-<oracle>")
+/// with a replay hint, and optionally minimized by the structural shrinker
+/// (fuzz/Shrinker.h) before reporting.
+///
+/// FaultKind exists for the harness's own mutation test: it injects a
+/// deliberate counter defect into one comparison so the test suite can
+/// prove the fuzzer both catches and shrinks a real bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FUZZ_FUZZER_H
+#define OLPP_FUZZ_FUZZER_H
+
+#include "profile/Instrumenter.h"
+#include "support/Diagnostic.h"
+#include "workloads/Generator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+enum class FuzzOracle : uint8_t {
+  Generate,     ///< generated program failed to compile (generator bug)
+  EngineDiff,   ///< fast vs reference engine divergence
+  CounterStore, ///< dense/flat stores vs unconfigured hash-map runtime
+  Decode,       ///< profile counters vs trace-derived expectation
+  SolverDiff,   ///< worklist vs sweep interval solver
+  Bounds,       ///< definite <= real <= potential violated
+  Abort,        ///< aborted-run divergence or runtime-reuse inconsistency
+};
+
+const char *fuzzOracleName(FuzzOracle O);
+
+/// Deliberate defects the harness can inject into its own comparisons.
+/// Used by the mutation test to prove the oracles have teeth; never enabled
+/// from the CLI.
+enum class FaultKind : uint8_t {
+  None,
+  DropTypeI,       ///< lose one Type I tuple from the fast engine's table
+  SkewPathCounter, ///< off-by-one on one fast-engine path counter
+};
+
+struct FuzzOptions {
+  /// First master seed; case I uses SeedBase + I.
+  uint64_t SeedBase = 1;
+  uint32_t NumSeeds = 100;
+  /// Minimize failing programs before reporting.
+  bool Shrink = false;
+  /// Step budget for the uninstrumented probe run. Instrumented runs get
+  /// 8x this (probes are counted instructions, and the paper's worst-case
+  /// overhead stays well under that factor).
+  uint64_t MaxSteps = 2'000'000;
+  /// Predicate-evaluation budget per shrink.
+  uint32_t MaxShrinkAttempts = 3000;
+  FaultKind Fault = FaultKind::None;
+};
+
+struct FuzzFailure {
+  uint64_t MasterSeed = 0;
+  FuzzOracle Oracle = FuzzOracle::EngineDiff;
+  GeneratorOptions GenOpts;
+  InstrumentOptions InstrOpts;
+  std::vector<int64_t> Args;
+  std::string Detail;         ///< what diverged, first mismatch spelled out
+  std::string Source;         ///< the failing program (shrunk when Shrunk)
+  std::string OriginalSource; ///< pre-shrink program ("" when !Shrunk)
+  bool Shrunk = false;
+};
+
+struct FuzzReport {
+  uint32_t SeedsRun = 0;
+  uint32_t Clean = 0;
+  /// Seeds whose program exhausts the step budget even uninstrumented.
+  /// They still exercise the abort oracle but skip the terminating-run
+  /// oracles.
+  uint32_t Skipped = 0;
+  std::vector<FuzzFailure> Failures;
+
+  bool ok() const { return Failures.empty(); }
+  /// Failures as structured diagnostics (pass "fuzz-<oracle>", message
+  /// includes the replay seed) plus a trailing summary note.
+  std::vector<Diagnostic> toDiagnostics() const;
+  /// Human-readable multi-line report (failures with sources + summary).
+  std::string str() const;
+};
+
+/// Runs generated programs through every oracle pair. Deterministic: the
+/// same FuzzOptions always produce the same report.
+class DifferentialRunner {
+public:
+  explicit DifferentialRunner(const FuzzOptions &Opts) : Opts(Opts) {}
+
+  /// Fuzzes Opts.NumSeeds cases, shrinking failures when Opts.Shrink.
+  FuzzReport run() const;
+
+  enum class CaseStatus : uint8_t { Clean, Skipped, Failed };
+
+  /// Everything one master seed derives besides the program text.
+  struct CaseSetup {
+    GeneratorOptions GenOpts;
+    InstrumentOptions InstrOpts;
+    std::vector<int64_t> Args;
+  };
+  static CaseSetup deriveSetup(uint64_t MasterSeed);
+
+  /// Checks one case end to end. \p Failure is filled on Failed.
+  CaseStatus checkCase(uint64_t MasterSeed, FuzzFailure *Failure) const;
+
+  /// Checks \p Source under a fixed setup (the shrinker re-enters here with
+  /// candidate programs; the setup must stay pinned so the failure is
+  /// chased, not the program shape).
+  CaseStatus checkProgram(const std::string &Source, const CaseSetup &Setup,
+                          FuzzFailure *Failure) const;
+
+private:
+  FuzzOptions Opts;
+};
+
+} // namespace olpp
+
+#endif // OLPP_FUZZ_FUZZER_H

@@ -1,0 +1,273 @@
+//===--- Shrinker.cpp - Greedy structural MiniC reducer ------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const auto &L : Lines) {
+    Out += L;
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+bool isBlank(const std::string &L) {
+  for (char C : L)
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+bool isComment(const std::string &L) {
+  size_t I = L.find_first_not_of(" \t");
+  return I != std::string::npos && L.compare(I, 2, "//") == 0;
+}
+
+/// Net brace depth change of one line ('{' opens, '}' closes). The generator
+/// never emits braces inside string literals, so plain counting is exact.
+int braceDelta(const std::string &L) {
+  int D = 0;
+  for (char C : L)
+    D += C == '{' ? 1 : C == '}' ? -1 : 0;
+  return D;
+}
+
+/// Index of the line where the block opened on line \p Open returns to its
+/// entry depth, or npos. `} else {` lines are depth-neutral, so an if/else
+/// matches its final `}`.
+size_t matchingClose(const std::vector<std::string> &Lines, size_t Open) {
+  int Depth = 0;
+  for (size_t I = Open; I < Lines.size(); ++I) {
+    Depth += braceDelta(Lines[I]);
+    if (Depth <= 0 && I > Open)
+      return I;
+    if (Depth <= 0 && I == Open)
+      return std::string::npos; // line did not open a block
+  }
+  return std::string::npos;
+}
+
+bool isFnHeader(const std::string &L) {
+  size_t I = L.find_first_not_of(" \t");
+  return I != std::string::npos && L.compare(I, 3, "fn ") == 0;
+}
+
+bool isMainHeader(const std::string &L) {
+  return L.find("fn main") != std::string::npos;
+}
+
+bool isLoopHeader(const std::string &L) {
+  size_t I = L.find_first_not_of(" \t");
+  if (I == std::string::npos)
+    return false;
+  return L.compare(I, 6, "while ") == 0 || L.compare(I, 7, "while(") == 0 ||
+         L.compare(I, 4, "for ") == 0 || L.compare(I, 4, "for(") == 0 ||
+         L.compare(I, 2, "do") == 0;
+}
+
+/// The shrinker state: a line vector plus the acceptance bookkeeping. Each
+/// try* method builds one candidate, asks the predicate, and commits the
+/// edit only on success.
+class Shrinker {
+public:
+  Shrinker(const std::string &Source, const ShrinkPredicate &StillFails,
+           uint32_t MaxAttempts)
+      : Lines(splitLines(Source)), StillFails(StillFails),
+        MaxAttempts(MaxAttempts) {}
+
+  ShrinkResult run() {
+    bool Progress = true;
+    while (Progress && Attempts < MaxAttempts) {
+      Progress = false;
+      Progress |= passStubFunctions();
+      Progress |= passDropBlocks();
+      Progress |= passUnrollLoops();
+      Progress |= passDropStatements();
+      Progress |= passShrinkConstants();
+      ++Rounds;
+    }
+    ShrinkResult R;
+    R.Source = joinLines(Lines);
+    R.Rounds = Rounds;
+    R.Attempts = Attempts;
+    R.Accepted = Accepted;
+    return R;
+  }
+
+private:
+  bool accept(std::vector<std::string> Candidate) {
+    if (Attempts >= MaxAttempts)
+      return false;
+    ++Attempts;
+    if (!StillFails(joinLines(Candidate)))
+      return false;
+    Lines = std::move(Candidate);
+    ++Accepted;
+    return true;
+  }
+
+  /// Replace every non-main function body with `return 0;`, largest win
+  /// first. Call sites keep compiling because the signature survives.
+  bool passStubFunctions() {
+    bool Any = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (!isFnHeader(Lines[I]) || isMainHeader(Lines[I]))
+        continue;
+      size_t Close = matchingClose(Lines, I);
+      if (Close == std::string::npos || Close <= I + 2)
+        continue; // already a stub (header, one line, close)
+      std::vector<std::string> Cand(Lines.begin(), Lines.begin() + I + 1);
+      Cand.push_back("  return 0;");
+      Cand.insert(Cand.end(), Lines.begin() + Close, Lines.end());
+      Any |= accept(std::move(Cand));
+    }
+    return Any;
+  }
+
+  /// Delete whole brace-balanced regions: an if/loop header line together
+  /// with everything through its matching close.
+  bool passDropBlocks() {
+    bool Any = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (braceDelta(Lines[I]) <= 0 || isFnHeader(Lines[I]))
+        continue;
+      size_t Close = matchingClose(Lines, I);
+      if (Close == std::string::npos)
+        continue;
+      std::vector<std::string> Cand(Lines.begin(), Lines.begin() + I);
+      Cand.insert(Cand.end(), Lines.begin() + Close + 1, Lines.end());
+      if (accept(std::move(Cand)))
+        Any = true; // Lines shrank; the line now at I is unvisited
+    }
+    return Any;
+  }
+
+  /// Delete just a loop's header and closing line, leaving one straight-line
+  /// copy of the body ("unrolling" the loop to a single iteration).
+  bool passUnrollLoops() {
+    bool Any = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (!isLoopHeader(Lines[I]) || braceDelta(Lines[I]) <= 0)
+        continue;
+      size_t Close = matchingClose(Lines, I);
+      if (Close == std::string::npos)
+        continue;
+      std::vector<std::string> Cand(Lines.begin(), Lines.begin() + I);
+      Cand.insert(Cand.end(), Lines.begin() + I + 1, Lines.begin() + Close);
+      Cand.insert(Cand.end(), Lines.begin() + Close + 1, Lines.end());
+      Any |= accept(std::move(Cand));
+    }
+    return Any;
+  }
+
+  /// Delete single statement lines (`...;` with no brace structure).
+  bool passDropStatements() {
+    bool Any = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      const std::string &L = Lines[I];
+      if (isBlank(L) || isComment(L) || braceDelta(L) != 0 ||
+          L.find('{') != std::string::npos)
+        continue;
+      size_t Last = L.find_last_not_of(" \t");
+      if (Last == std::string::npos || L[Last] != ';')
+        continue;
+      std::vector<std::string> Cand(Lines.begin(), Lines.begin() + I);
+      Cand.insert(Cand.end(), Lines.begin() + I + 1, Lines.end());
+      if (accept(std::move(Cand)))
+        Any = true;
+    }
+    return Any;
+  }
+
+  /// Rewrite integer literals >= 2 down to 1, one literal per attempt.
+  bool passShrinkConstants() {
+    bool Any = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (isComment(Lines[I]))
+        continue;
+      for (size_t P = 0; P < Lines[I].size();) {
+        const std::string &L = Lines[I];
+        if (!std::isdigit(static_cast<unsigned char>(L[P]))) {
+          ++P;
+          continue;
+        }
+        // Skip digits glued to an identifier (v12, f3, buf indices are fine
+        // to shrink but names are not).
+        if (P > 0 && (std::isalnum(static_cast<unsigned char>(L[P - 1])) ||
+                      L[P - 1] == '_')) {
+          ++P;
+          continue;
+        }
+        size_t End = P;
+        while (End < L.size() &&
+               std::isdigit(static_cast<unsigned char>(L[End])))
+          ++End;
+        std::string Lit = L.substr(P, End - P);
+        if (Lit.size() == 1 && (Lit == "0" || Lit == "1")) {
+          P = End;
+          continue;
+        }
+        std::vector<std::string> Cand = Lines;
+        Cand[I] = L.substr(0, P) + "1" + L.substr(End);
+        if (accept(std::move(Cand))) {
+          Any = true;
+          ++P; // literal is now "1"; move past it
+        } else {
+          P = End;
+        }
+      }
+    }
+    return Any;
+  }
+
+  std::vector<std::string> Lines;
+  const ShrinkPredicate &StillFails;
+  uint32_t MaxAttempts;
+  uint32_t Rounds = 0;
+  uint32_t Attempts = 0;
+  uint32_t Accepted = 0;
+};
+
+} // namespace
+
+ShrinkResult olpp::shrinkProgram(const std::string &Source,
+                                 const ShrinkPredicate &StillFails,
+                                 uint32_t MaxAttempts) {
+  return Shrinker(Source, StillFails, MaxAttempts).run();
+}
+
+size_t olpp::countCodeLines(const std::string &Source) {
+  size_t N = 0;
+  for (const auto &L : splitLines(Source))
+    if (!isBlank(L) && !isComment(L))
+      ++N;
+  return N;
+}

@@ -1,0 +1,60 @@
+//===--- Shrinker.h - Greedy structural MiniC reducer -----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy structural minimizer for failing fuzz programs. Works on MiniC
+/// source text (one statement per line, the shape generateProgram emits)
+/// and repeatedly tries semantic-shrinking edits, keeping each edit only if
+/// the caller's predicate says the original failure still reproduces:
+///
+///   - drop functions: replace a non-main function body with `return 0;`
+///     (the signature stays, so call sites keep compiling),
+///   - drop blocks: delete a brace-balanced line range (an if/loop with its
+///     whole body) or a single statement line,
+///   - unroll loops: delete just a loop's header and closing line, leaving
+///     one straight-line copy of the body,
+///   - shrink constants: rewrite integer literals >= 2 down to 1.
+///
+/// Edits that no longer compile are rejected by the predicate like any
+/// other non-reproducing candidate, so the shrinker needs no language
+/// smarts beyond line/brace structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_FUZZ_SHRINKER_H
+#define OLPP_FUZZ_SHRINKER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace olpp {
+
+/// Returns true when \p Source still compiles and still exhibits the
+/// original failure. Called once per candidate edit.
+using ShrinkPredicate = std::function<bool(const std::string &Source)>;
+
+struct ShrinkResult {
+  std::string Source;    ///< the minimized program (== input if nothing held)
+  uint32_t Rounds = 0;   ///< full passes over the edit kinds
+  uint32_t Attempts = 0; ///< candidate edits tried
+  uint32_t Accepted = 0; ///< candidate edits kept
+};
+
+/// Greedily minimizes \p Source under \p StillFails. \p MaxAttempts bounds
+/// the total number of predicate evaluations (each one re-runs the failing
+/// oracle, which is the expensive part).
+ShrinkResult shrinkProgram(const std::string &Source,
+                           const ShrinkPredicate &StillFails,
+                           uint32_t MaxAttempts = 3000);
+
+/// Number of non-empty, non-comment lines of \p Source (the "30 lines of
+/// MiniC" metric failure reports quote).
+size_t countCodeLines(const std::string &Source);
+
+} // namespace olpp
+
+#endif // OLPP_FUZZ_SHRINKER_H

@@ -30,6 +30,8 @@
 #ifndef OLPP_INTERP_COUNTERSTORE_H
 #define OLPP_INTERP_COUNTERSTORE_H
 
+#include "support/Saturate.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -96,13 +98,19 @@ public:
       Dense.resize(static_cast<size_t>(IdSpace), 0);
   }
 
-  /// The hot path: count[Id] += 1.
+  /// The hot path: count[Id] += 1, saturating at UINT64_MAX (a wrapped
+  /// counter would report a near-zero frequency for the hottest path).
   void bump(int64_t Id) {
     if (static_cast<uint64_t>(Id) < Dense.size()) {
-      if (Dense[static_cast<size_t>(Id)]++ == 0)
+      uint64_t &Slot = Dense[static_cast<size_t>(Id)];
+      if (Slot == 0)
         ++NonZero;
-    } else if (Spill[Id]++ == 0) {
-      ++NonZero;
+      saturatingBump(Slot);
+    } else {
+      uint64_t &Slot = Spill[Id];
+      if (Slot == 0)
+        ++NonZero;
+      saturatingBump(Slot);
     }
   }
 
@@ -223,12 +231,12 @@ private:
     if (static_cast<uint64_t>(Id) < Dense.size()) {
       if (Dense[static_cast<size_t>(Id)] == 0)
         ++NonZero;
-      Dense[static_cast<size_t>(Id)] += Count;
+      saturatingBump(Dense[static_cast<size_t>(Id)], Count);
     } else {
       uint64_t &Slot = Spill[Id];
       if (Slot == 0)
         ++NonZero;
-      Slot += Count;
+      saturatingBump(Slot, Count);
     }
   }
 
@@ -250,7 +258,9 @@ public:
 
   FlatInterprocTable() { Slots.resize(InitialCapacity); }
 
-  /// The hot path: count[K] += Delta (Delta must be positive).
+  /// The hot path: count[K] += Delta (Delta must be positive), saturating
+  /// at UINT64_MAX. Saturation keeps the count positive, so a clamped slot
+  /// can never be mistaken for an empty one.
   void bump(const InterprocKey &K, uint64_t Delta = 1) {
     assert(Delta > 0 && "a live counter must stay positive");
     if ((Size_ + 1) * 4 > Slots.size() * 3)
@@ -260,7 +270,7 @@ public:
       S.Key = K;
       ++Size_;
     }
-    S.Count += Delta;
+    saturatingBump(S.Count, Delta);
   }
 
   uint64_t lookup(const InterprocKey &K) const {

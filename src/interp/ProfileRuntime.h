@@ -77,6 +77,14 @@ public:
     Pending = PendingReturn();
   }
 
+  /// True when no hand-off state is live: the runtime is between runs and
+  /// its counters are safe to read, merge or compare. An aborted run can
+  /// legitimately leave this false (e.g. fuel exhausted between a call
+  /// probe and the frame push); resetTransient restores it.
+  bool transientClean() const {
+    return ShadowStack.empty() && !Pending.Valid;
+  }
+
   /// Clears everything.
   void clear() {
     for (auto &S : PathCounts)

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 using namespace olpp;
 
@@ -99,6 +100,66 @@ olpp::decodeProfile(const PathGraph &PG, const PathCounterStore &Counts) {
     D.Count = Count;
     Out.push_back(std::move(D));
   }
+  std::sort(Out.begin(), Out.end(),
+            [](const DecodedEntry &A, const DecodedEntry &B) {
+              return A.Id < B.Id;
+            });
+  return Out;
+}
+
+bool olpp::parseProfileRecords(const std::vector<uint64_t> &Words,
+                               std::vector<ProfileRecord> &Out,
+                               std::vector<Diagnostic> &Diags) {
+  size_t Before = Diags.size();
+  size_t Pairs = Words.size() / 2;
+  Out.reserve(Out.size() + Pairs);
+  for (size_t I = 0; I < Pairs; ++I)
+    Out.push_back({static_cast<int64_t>(Words[2 * I]), Words[2 * I + 1]});
+  if (Words.size() % 2 != 0)
+    Diags.push_back(makeDiag(
+        Severity::Error, "profile-decode", "",
+        "truncated record stream: " + std::to_string(Words.size()) +
+            " word(s) is not a whole number of (id, count) pairs"));
+  return Diags.size() == Before;
+}
+
+std::vector<DecodedEntry>
+olpp::decodeProfileChecked(const PathGraph &PG,
+                           const std::vector<ProfileRecord> &Records,
+                           std::vector<Diagnostic> &Diags) {
+  const std::string &Func = PG.function().Name;
+  size_t Before = Diags.size();
+  std::unordered_set<int64_t> Seen;
+  std::vector<DecodedEntry> Out;
+  Out.reserve(Records.size());
+  for (const ProfileRecord &R : Records) {
+    if (R.Id < 0 || static_cast<uint64_t>(R.Id) >= PG.numPaths()) {
+      Diags.push_back(makeDiag(
+          Severity::Error, "profile-decode", Func,
+          "path id " + std::to_string(R.Id) + " out of range [0, " +
+              std::to_string(PG.numPaths()) + ")"));
+      continue;
+    }
+    if (!Seen.insert(R.Id).second) {
+      Diags.push_back(makeDiag(
+          Severity::Error, "profile-decode", Func,
+          "duplicate record for path id " + std::to_string(R.Id)));
+      continue;
+    }
+    if (R.Count == 0) {
+      Diags.push_back(makeDiag(
+          Severity::Error, "profile-decode", Func,
+          "zero count for path id " + std::to_string(R.Id) +
+              " (live counters are always positive; a zero marks a "
+              "truncated or corrupt dump)"));
+      continue;
+    }
+    DecodedEntry D = decodePathId(PG, R.Id);
+    D.Count = R.Count;
+    Out.push_back(std::move(D));
+  }
+  if (Diags.size() != Before)
+    return {}; // reject wholesale: no silently partial counter sets
   std::sort(Out.begin(), Out.end(),
             [](const DecodedEntry &A, const DecodedEntry &B) {
               return A.Id < B.Id;

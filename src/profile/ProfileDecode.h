@@ -21,6 +21,7 @@
 
 #include "interp/ProfileRuntime.h"
 #include "profile/PathGraph.h"
+#include "support/Diagnostic.h"
 
 #include <cstdint>
 #include <vector>
@@ -88,6 +89,46 @@ int64_t encodeWhiteId(const PathGraph &PG, const PathSig &Sig, PathEnd End,
 /// followed by the OG suffix \p SuffixBlocks (starting at the header).
 int64_t encodeOverlapId(const PathGraph &PG, const PathSig &Sig, uint32_t Loop,
                         const std::vector<uint32_t> &SuffixBlocks);
+
+//===----------------------------------------------------------------------===//
+// Checked decoding of externally supplied profile records
+//===----------------------------------------------------------------------===//
+//
+// decodeProfile/decodePathId above trust their input: counters written by
+// our own probes are in range by construction, so range violations are
+// programming errors and assert. Profiles that cross a serialization
+// boundary (dump files, merge tools, the fuzzer's corpora) are *data* and
+// must be validated: a truncated, duplicated or out-of-range record has to
+// surface as a structured Diagnostic, never as a silently partial counter
+// set.
+
+/// One raw profile record as emitted by a profile dump: a path id and its
+/// count.
+struct ProfileRecord {
+  int64_t Id = 0;
+  uint64_t Count = 0;
+};
+
+/// Parses a flat word stream of (id, count) pairs. An odd number of words
+/// is a truncated final record; it is reported on \p Diags and nothing is
+/// returned for it. Returns false when any diagnostic was emitted.
+bool parseProfileRecords(const std::vector<uint64_t> &Words,
+                         std::vector<ProfileRecord> &Out,
+                         std::vector<Diagnostic> &Diags);
+
+/// Validates \p Records against \p PG and decodes them. Rejected record
+/// kinds, each with a Severity::Error diagnostic (pass "profile-decode"):
+///   - out-of-range ids (negative or >= PG.numPaths()),
+///   - duplicated ids (two records claiming the same path),
+///   - zero counts (a record for a path that was never taken marks a
+///     corrupt or truncated dump; live counters are always positive).
+/// On any error the decode is rejected wholesale (empty result): partial
+/// counter sets are exactly the silent-corruption mode this API exists to
+/// prevent.
+std::vector<DecodedEntry>
+decodeProfileChecked(const PathGraph &PG,
+                     const std::vector<ProfileRecord> &Records,
+                     std::vector<Diagnostic> &Diags);
 
 } // namespace olpp
 

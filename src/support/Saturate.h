@@ -1,0 +1,37 @@
+//===--- Saturate.h - Saturating counter arithmetic -------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Saturating unsigned adds for profile counters. A counter that wraps is
+/// strictly worse than one that clamps: a wrapped count silently reports a
+/// tiny frequency for the hottest path, while a saturated count stays a
+/// correct lower bound and keeps the "live counters are positive" invariant
+/// the open-addressed stores depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_SATURATE_H
+#define OLPP_SUPPORT_SATURATE_H
+
+#include <cstdint>
+#include <limits>
+
+namespace olpp {
+
+/// A + B clamped to UINT64_MAX.
+inline uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t Sum = A + B;
+  return Sum < A ? std::numeric_limits<uint64_t>::max() : Sum;
+}
+
+/// Counter += Delta clamped to UINT64_MAX, in place.
+inline void saturatingBump(uint64_t &Counter, uint64_t Delta = 1) {
+  Counter = saturatingAdd(Counter, Delta);
+}
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_SATURATE_H

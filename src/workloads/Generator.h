@@ -41,6 +41,15 @@ struct GeneratorOptions {
 /// Returns the source text of a random program with a `main(a, b)` entry.
 std::string generateProgram(const GeneratorOptions &Opts);
 
+/// Samples the whole option space from one master seed: program shape
+/// (function count, nesting depth, statement density, loop trip counts,
+/// call emission) and the program seed itself are all derived
+/// deterministically, so a single 64-bit seed replays a fuzz case exactly.
+GeneratorOptions sampleGeneratorOptions(uint64_t MasterSeed);
+
+/// One-line rendering of \p Opts for failure reports and replay logs.
+std::string describeGeneratorOptions(const GeneratorOptions &Opts);
+
 } // namespace olpp
 
 #endif // OLPP_WORKLOADS_GENERATOR_H

@@ -356,12 +356,25 @@ std::string Sequitur::dump() const {
 }
 
 bool Sequitur::checkInvariants() const {
-  // Rule utility: every rule except the start rule referenced >= 2 times.
+  // Rule utility: every rule except the start rule referenced >= 2 times,
+  // and no rule body shorter than a digram (a one-symbol rule compresses
+  // nothing and an empty one expands to garbage; only the start rule may
+  // hold zero or one symbols, for the empty and single-terminal streams).
   for (const Rule *R : AllRules) {
-    if (R->Dead || R == Start)
+    if (R->Dead)
+      continue;
+    size_t BodyLen = 0;
+    for (const Sym *S = R->first(); S != R->Guard; S = S->Next)
+      ++BodyLen;
+    if (R == Start)
       continue;
     if (R->RefCount < 2)
       return false;
+    if (BodyLen < 2) {
+      if (getenv("SEQ_DEBUG"))
+        fprintf(stderr, "rule R%u has a %zu-symbol body\n", R->Id, BodyLen);
+      return false;
+    }
   }
   // Digram uniqueness: no two *non-overlapping* occurrences of the same
   // digram (overlapping occurrences, as in "aaa", are exempt by the

@@ -28,11 +28,14 @@ struct TraceStats {
   size_t GrammarSymbols = 0; ///< SEQUITUR right-hand-side symbols
   size_t GrammarRules = 0;
 
+  /// Raw events per grammar symbol. Empty and single-event traces are the
+  /// identity compression (ratio 1), not a 0/0: every consumer divides or
+  /// compares by this, so the degenerate traces must stay well-defined.
   double compressionRatio() const {
-    return GrammarSymbols == 0
-               ? 0.0
-               : static_cast<double>(RawEvents) /
-                     static_cast<double>(GrammarSymbols);
+    if (RawEvents == 0 || GrammarSymbols == 0)
+      return 1.0;
+    return static_cast<double>(RawEvents) /
+           static_cast<double>(GrammarSymbols);
   }
 };
 

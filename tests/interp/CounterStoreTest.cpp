@@ -113,6 +113,55 @@ TEST(PathCounterStore, MergeFromAddsCounters) {
   EXPECT_EQ(A.size(), 3u);
 }
 
+TEST(PathCounterStore, CountersSaturateInsteadOfWrapping) {
+  // Push counters to the brink of 2^64 by repeated doubling (each merge of
+  // a copy doubles every count), then keep bumping: the count must clamp at
+  // UINT64_MAX instead of wrapping to a near-zero value. Exercised for both
+  // representations: id 0 in the dense window, id 1 << 20 in the spill map.
+  PathCounterStore S;
+  S.configure(16);
+  constexpr int64_t DenseId = 0;
+  constexpr int64_t SpillId = 1u << 20;
+  S.bump(DenseId);
+  S.bump(SpillId);
+  for (int I = 0; I < 70; ++I) {
+    PathCounterStore Copy = S;
+    S.mergeFrom(Copy); // doubles (saturating); 2^70 > 2^64 forces the clamp
+  }
+  EXPECT_EQ(S.lookup(DenseId), UINT64_MAX);
+  EXPECT_EQ(S.lookup(SpillId), UINT64_MAX);
+
+  // Saturated counters stay saturated (and positive: a wrapped-to-zero
+  // count would vanish from iteration and break NonZero bookkeeping).
+  S.bump(DenseId);
+  S.bump(SpillId);
+  EXPECT_EQ(S.lookup(DenseId), UINT64_MAX);
+  EXPECT_EQ(S.lookup(SpillId), UINT64_MAX);
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S == S.toMap());
+}
+
+TEST(FlatInterprocTable, CountersSaturateInsteadOfWrapping) {
+  FlatInterprocTable T;
+  InterprocKey K{1, 2, 3, 4};
+  T.bump(K, UINT64_MAX - 1);
+  EXPECT_EQ(T.lookup(K), UINT64_MAX - 1);
+  T.bump(K); // exactly reaches the ceiling
+  EXPECT_EQ(T.lookup(K), UINT64_MAX);
+  T.bump(K); // would wrap to 0 — an empty-slot marker — without saturation
+  T.bump(K, UINT64_MAX);
+  EXPECT_EQ(T.lookup(K), UINT64_MAX);
+  EXPECT_EQ(T.size(), 1u);
+
+  // Merging two saturated tables must clamp too, and the slot must remain
+  // live (Count == 0 marks empty slots in the flat table).
+  FlatInterprocTable O;
+  O.bump(K, UINT64_MAX);
+  T.mergeFrom(O);
+  EXPECT_EQ(T.lookup(K), UINT64_MAX);
+  EXPECT_EQ(T.size(), 1u);
+}
+
 TEST(PathCounterStore, ClearZeroesEverything) {
   PathCounterStore S;
   S.configure(8);

@@ -213,4 +213,111 @@ TEST(EngineDiffAbort, FuelExhaustionMatches) {
   EXPECT_EQ(Counts[0].ProbeCost, Counts[1].ProbeCost);
 }
 
+// Sweep of *every* abort point: run a small program with calls in a loop
+// under every step budget below its full length. Each budget must abort
+// identically in both engines (error, dynamic counts, raw counters), and a
+// runtime reused across two aborted runs must equal two fresh aborted
+// runtimes merged — i.e. resetTransient fully recovers no matter where the
+// abort landed, including the window between a call probe's shadow-stack
+// push and the frame push (shrunk from the fuzzer's abort oracle).
+TEST(EngineDiffAbort, EveryAbortPointIsConsistent) {
+  const char *Source = R"(
+    global acc;
+    fn g(a, b) {
+      acc = acc + a;
+      return acc + b;
+    }
+    fn main(a, b) {
+      var i = 0;
+      while (i < 3) {
+        i = i + 1;
+        acc = g(i, a) + g(b, i);
+      }
+      return acc;
+    }
+  )";
+  CompileResult CR = compileMiniC(Source);
+  ASSERT_TRUE(CR.ok()) << CR.diagText();
+  std::unique_ptr<Module> M = std::move(CR.M);
+  ModuleInstrumentation MI = instrumentModule(*M, fullOpts());
+  ASSERT_TRUE(MI.ok());
+  const Function *Main = M->findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  const std::vector<int64_t> Args{5, 9};
+
+  auto configure = [&](ProfileRuntime &P) {
+    for (uint32_t F = 0; F < M->numFunctions(); ++F)
+      if (MI.Funcs[F].PG)
+        P.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+  };
+  auto expectSameCounters = [&](const ProfileRuntime &A,
+                                const ProfileRuntime &B, uint64_t Budget,
+                                const char *What) {
+    for (size_t F = 0; F < A.PathCounts.size(); ++F)
+      ASSERT_TRUE(A.PathCounts[F] == B.PathCounts[F])
+          << What << " at budget " << Budget << ", function " << F;
+    ASSERT_TRUE(A.TypeICounts == B.TypeICounts)
+        << What << " at budget " << Budget;
+    ASSERT_TRUE(A.TypeIICounts == B.TypeIICounts)
+        << What << " at budget " << Budget;
+  };
+
+  RunConfig RC;
+  uint64_t FullSteps = 0;
+  {
+    ProfileRuntime P(M->numFunctions());
+    configure(P);
+    Interpreter I(*M, &P);
+    RC.MaxSteps = 1'000'000;
+    RunResult R = I.run(*Main, Args, RC);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    FullSteps = R.Counts.Steps;
+  }
+  ASSERT_GT(FullSteps, 10u);
+
+  bool SawDirtyTransient = false;
+  for (uint64_t Budget = 1; Budget < FullSteps; ++Budget) {
+    RC.MaxSteps = Budget;
+
+    ProfileRuntime PRef(M->numFunctions()), PFast(M->numFunctions());
+    configure(PRef);
+    configure(PFast);
+    RC.Engine = EngineKind::Reference;
+    Interpreter IRef(*M, &PRef);
+    RunResult RR = IRef.run(*Main, Args, RC);
+    RC.Engine = EngineKind::Fast;
+    Interpreter IFast(*M, &PFast);
+    RunResult RF = IFast.run(*Main, Args, RC);
+
+    ASSERT_FALSE(RR.Ok) << "budget " << Budget;
+    ASSERT_FALSE(RF.Ok) << "budget " << Budget;
+    ASSERT_EQ(RR.Error, RF.Error) << "budget " << Budget;
+    ASSERT_TRUE(RR.Counts == RF.Counts) << "budget " << Budget;
+    expectSameCounters(PRef, PFast, Budget, "reference vs fast");
+
+    // The abort may strand hand-off state (shadow stack, pending return);
+    // resetTransient must restore the between-runs invariant.
+    SawDirtyTransient |= !PFast.transientClean();
+    PFast.resetTransient();
+    ASSERT_TRUE(PFast.transientClean()) << "budget " << Budget;
+
+    // Reusing one runtime across two aborted runs must count exactly like
+    // two independent aborted runs merged.
+    ProfileRuntime PReuse(M->numFunctions());
+    configure(PReuse);
+    Interpreter IReuse(*M, &PReuse);
+    IReuse.run(*Main, Args, RC);
+    IReuse.resetGlobals();
+    IReuse.run(*Main, Args, RC);
+    ProfileRuntime Expected(M->numFunctions());
+    configure(Expected);
+    Expected.mergeFrom(PFast);
+    Expected.mergeFrom(PFast);
+    expectSameCounters(PReuse, Expected, Budget, "reused vs merged");
+  }
+  // The sweep passed through every instruction boundary, so it must have
+  // hit at least one abort inside the probe/call hand-off window.
+  EXPECT_TRUE(SawDirtyTransient);
+}
+
 } // namespace

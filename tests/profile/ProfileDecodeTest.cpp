@@ -123,6 +123,106 @@ TEST(ProfileDecode, DecodeProfileSortsAndCounts) {
   EXPECT_EQ(Out[1].Count, 7u);
 }
 
+//===----------------------------------------------------------------------===//
+// Checked decoding of serialized profiles. Unlike decodeProfile (trusted,
+// assert-based: inputs come from our own runtime), the checked API treats
+// the records as external data and must reject every malformed shape with a
+// structured diagnostic instead of producing a partial counter set.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileDecode, ParseRecordsAcceptsWholePairs) {
+  std::vector<ProfileRecord> Out;
+  std::vector<Diagnostic> Diags;
+  EXPECT_TRUE(parseProfileRecords({3, 7, 0, 2}, Out, Diags));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Id, 3);
+  EXPECT_EQ(Out[0].Count, 7u);
+  EXPECT_EQ(Out[1].Id, 0);
+  EXPECT_EQ(Out[1].Count, 2u);
+  EXPECT_TRUE(Diags.empty());
+}
+
+TEST(ProfileDecode, ParseRecordsRejectsTruncatedStream) {
+  std::vector<ProfileRecord> Out;
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(parseProfileRecords({3, 7, 11}, Out, Diags));
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Sev, Severity::Error);
+  EXPECT_EQ(Diags[0].Pass, "profile-decode");
+  EXPECT_NE(Diags[0].Message.find("truncated"), std::string::npos);
+}
+
+TEST(ProfileDecode, CheckedDecodeAcceptsCleanRecords) {
+  PathGraphOptions Opts;
+  Built B = build(makePaperLoopModule(), Opts);
+  std::vector<ProfileRecord> Records{{3, 7}, {0, 2}, {11, 1}};
+  std::vector<Diagnostic> Diags;
+  std::vector<DecodedEntry> Out = decodeProfileChecked(*B.PG, Records, Diags);
+  EXPECT_TRUE(Diags.empty()) << renderDiagnosticsText(Diags);
+  ASSERT_EQ(Out.size(), 3u);
+
+  // Same entries, in the same order, as the trusted decoder produces.
+  ProfileRuntime::PathCountMap Counts{{3, 7}, {0, 2}, {11, 1}};
+  std::vector<DecodedEntry> Trusted = decodeProfile(*B.PG, Counts);
+  for (size_t I = 0; I < Out.size(); ++I) {
+    EXPECT_EQ(Out[I].Id, Trusted[I].Id);
+    EXPECT_EQ(Out[I].Count, Trusted[I].Count);
+    EXPECT_TRUE(Out[I].White == Trusted[I].White);
+  }
+}
+
+TEST(ProfileDecode, CheckedDecodeRejectsOutOfRangeId) {
+  PathGraphOptions Opts;
+  Built B = build(makePaperLoopModule(), Opts);
+  int64_t Beyond = static_cast<int64_t>(B.PG->numPaths());
+  for (int64_t Bad : {Beyond, static_cast<int64_t>(-1)}) {
+    std::vector<ProfileRecord> Records{{0, 2}, {Bad, 1}};
+    std::vector<Diagnostic> Diags;
+    std::vector<DecodedEntry> Out =
+        decodeProfileChecked(*B.PG, Records, Diags);
+    EXPECT_TRUE(Out.empty()) << "id " << Bad
+                             << ": rejection must be wholesale";
+    ASSERT_EQ(Diags.size(), 1u) << "id " << Bad;
+    EXPECT_EQ(Diags[0].Sev, Severity::Error);
+    EXPECT_NE(Diags[0].Message.find("out of range"), std::string::npos)
+        << Diags[0].Message;
+  }
+}
+
+TEST(ProfileDecode, CheckedDecodeRejectsDuplicateId) {
+  PathGraphOptions Opts;
+  Built B = build(makePaperLoopModule(), Opts);
+  std::vector<ProfileRecord> Records{{3, 7}, {3, 9}};
+  std::vector<Diagnostic> Diags;
+  std::vector<DecodedEntry> Out = decodeProfileChecked(*B.PG, Records, Diags);
+  EXPECT_TRUE(Out.empty());
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Message.find("duplicate"), std::string::npos)
+      << Diags[0].Message;
+}
+
+TEST(ProfileDecode, CheckedDecodeRejectsZeroCount) {
+  PathGraphOptions Opts;
+  Built B = build(makePaperLoopModule(), Opts);
+  std::vector<ProfileRecord> Records{{0, 0}};
+  std::vector<Diagnostic> Diags;
+  std::vector<DecodedEntry> Out = decodeProfileChecked(*B.PG, Records, Diags);
+  EXPECT_TRUE(Out.empty());
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Message.find("zero count"), std::string::npos)
+      << Diags[0].Message;
+}
+
+TEST(ProfileDecode, CheckedDecodeReportsEveryMalformedRecord) {
+  PathGraphOptions Opts;
+  Built B = build(makePaperLoopModule(), Opts);
+  std::vector<ProfileRecord> Records{{0, 2}, {-5, 1}, {0, 3}, {1, 0}};
+  std::vector<Diagnostic> Diags;
+  std::vector<DecodedEntry> Out = decodeProfileChecked(*B.PG, Records, Diags);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_EQ(Diags.size(), 3u) << renderDiagnosticsText(Diags);
+}
+
 TEST(ProfileDecode, PathSigHashDistinguishesFlag) {
   PathSig A{false, {1, 2, 3}};
   PathSig B{true, {1, 2, 3}};

@@ -35,6 +35,39 @@ TEST(Sequitur, EmptyAndSingle) {
   EXPECT_TRUE(G.checkInvariants());
 }
 
+TEST(Sequitur, EmptyGrammarIsWellFormed) {
+  // A grammar that never saw a symbol still satisfies every invariant:
+  // exactly the start rule, zero RHS symbols, and a dump that renders.
+  Sequitur G;
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_EQ(G.numRules(), 1u);
+  EXPECT_EQ(G.grammarSize(), 0u);
+  EXPECT_FALSE(G.dump().empty());
+  EXPECT_EQ(G.expand(), std::vector<uint32_t>{});
+}
+
+TEST(Sequitur, SingleSymbolGrammarIsWellFormed) {
+  // One appended terminal: the start rule holds a one-symbol body (legal
+  // only for the start rule — checkInvariants enforces body length >= 2
+  // for every other rule), and no auxiliary rule may have been created.
+  Sequitur G;
+  G.append(42);
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_EQ(G.numRules(), 1u);
+  EXPECT_EQ(G.grammarSize(), 1u);
+  EXPECT_EQ(G.expand(), std::vector<uint32_t>{42});
+}
+
+TEST(Sequitur, TwoDistinctSymbolsStayInStartRule) {
+  Sequitur G;
+  G.append(1);
+  G.append(2);
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_EQ(G.numRules(), 1u);
+  EXPECT_EQ(G.grammarSize(), 2u);
+  EXPECT_EQ(G.expand(), (std::vector<uint32_t>{1, 2}));
+}
+
 TEST(Sequitur, ClassicAbcabcabc) {
   // "abcabcabcabc" must compress into nested rules.
   std::vector<uint32_t> In;
@@ -112,6 +145,25 @@ TEST(Sequitur, StructuredStreamsCompressWell) {
   EXPECT_GT(static_cast<double>(In.size()) /
                 static_cast<double>(G.grammarSize()),
             4.0);
+}
+
+TEST(TraceStats, DegenerateTracesHaveIdentityRatio) {
+  // Empty and single-event traces are the identity compression. A 0/0
+  // ratio here used to poison downstream averages with zeros; the
+  // invariant now is ratio == 1 whenever either side is degenerate.
+  TraceStats Empty = compressTrace({});
+  EXPECT_EQ(Empty.RawEvents, 0u);
+  EXPECT_DOUBLE_EQ(Empty.compressionRatio(), 1.0);
+
+  std::vector<TraceEvent> One{{TraceEventKind::Enter, 0, 0}};
+  TraceStats Single = compressTrace(One);
+  EXPECT_EQ(Single.RawEvents, 1u);
+  EXPECT_DOUBLE_EQ(Single.compressionRatio(), 1.0);
+
+  TraceStats Hand;
+  Hand.RawEvents = 5;
+  Hand.GrammarSymbols = 0; // no grammar yet: treat as uncompressed
+  EXPECT_DOUBLE_EQ(Hand.compressionRatio(), 1.0);
 }
 
 TEST(TraceStats, RealTraceCompresses) {
