@@ -23,6 +23,7 @@
 #include "estimate/Estimators.h"
 #include "frontend/Compiler.h"
 #include "fuzz/Fuzzer.h"
+#include "interp/ShardedProfile.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "profile/InstrCheck.h"
@@ -30,6 +31,7 @@
 #include "support/BenchJson.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
+#include "support/TaskPool.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
@@ -38,6 +40,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -66,13 +69,15 @@ int usage() {
       "       lint source and verify instrumentation invariants\n"
       "       (--all checks every embedded workload)\n"
       "  olpp workloads                        list the embedded suite\n"
-      "  olpp fuzz [--seeds N] [--seed S] [--shrink] [--json]\n"
+      "  olpp fuzz [--seeds N] [--seed S] [--jobs N] [--shrink] [--json]\n"
       "       differential fuzzing: random programs cross-checked against\n"
       "       every oracle pair (fast vs reference engine, dense vs map\n"
       "       counter stores, profile vs trace-derived truth, worklist vs\n"
-      "       sweep solver, bound soundness, abort consistency)\n"
+      "       sweep vs parallel solver, bound soundness, abort consistency)\n"
       "       --seeds N      number of master seeds (default 100)\n"
       "       --seed S       run exactly one master seed (replay)\n"
+      "       --jobs N       check seeds on N threads (0 = all cores,\n"
+      "                      default 1); the report is identical for any N\n"
       "       --shrink       minimize failing programs before reporting\n"
       "       --json         emit findings as JSON diagnostics\n"
       "  olpp bench [name] [--jobs N] [--smoke] [--out FILE]\n"
@@ -119,7 +124,7 @@ struct Parsed {
   bool LintWerror = false;
   bool All = false;
   EngineKind Engine = EngineKind::Fast;
-  unsigned Jobs = 1; ///< bench worker threads; 0 = one per core
+  unsigned Jobs = 1; ///< bench/fuzz worker threads; 0 = one per core
   bool Smoke = false;
   uint32_t Seeds = 100;    ///< fuzz: number of master seeds
   uint64_t FuzzSeed = 0;   ///< fuzz: single replay seed (--seed)
@@ -546,24 +551,28 @@ bool benchOneWorkload(BenchItem &Item, bool Smoke) {
   return true;
 }
 
-/// Re-profiles \p Item Reps times across the pool, one accumulating
-/// ProfileRuntime per worker, merges them at the end and verifies the merge
-/// against the single-run profile. Returns false with Item.Error set on a
-/// mismatch.
+/// Re-profiles \p Item Reps times across a task pool, each worker slot
+/// owning a private counter shard (interp/ShardedProfile.h), tree-merges
+/// the shards at the end and verifies the result against the single-run
+/// profile. Returns false with Item.Error set on a mismatch.
 bool benchParallelMerge(BenchItem &Item, unsigned Jobs, unsigned Reps) {
   const Function *Main = Item.M->findFunction("main");
-  std::vector<ProfileRuntime> PerThread;
   unsigned Workers = Jobs == 0 ? defaultJobCount() : Jobs;
-  for (unsigned T = 0; T < Workers; ++T) {
-    PerThread.emplace_back(Item.M->numFunctions());
-    configureStores(PerThread.back(), *Item.M, Item.MI);
-  }
+  if (Workers > Reps)
+    Workers = Reps; // no point owning a shard that never counts
+  TaskPool Pool(Workers);
+  ShardedProfile Shards(Item.M->numFunctions(), Workers);
+  for (unsigned T = 0; T < Workers; ++T)
+    configureStores(Shards.shard(T), *Item.M, Item.MI);
 
   RunConfig RC;
   RC.MaxSteps = 2'000'000'000;
   std::mutex ErrorMu;
-  parallelFor(Reps, Workers, [&](size_t, unsigned Worker) {
-    Interpreter I(*Item.M, &PerThread[Worker]);
+  // Slot (not thread) identity indexes the shard: parallelFor guarantees a
+  // slot never runs concurrently with itself, so each shard has exactly one
+  // writer and the probe hot path stays free of atomics.
+  Pool.parallelFor(Reps, [&](size_t, unsigned Slot) {
+    Interpreter I(*Item.M, &Shards.shard(Slot));
     RunResult R = I.run(*Main, Item.Args, RC);
     if (!R.Ok || R.ReturnValue != Item.ReturnValue) {
       std::lock_guard<std::mutex> Lock(ErrorMu);
@@ -574,14 +583,15 @@ bool benchParallelMerge(BenchItem &Item, unsigned Jobs, unsigned Reps) {
   if (!Item.Error.empty())
     return false;
 
-  ProfileRuntime Merged(Item.M->numFunctions());
-  configureStores(Merged, *Item.M, Item.MI);
-  for (const ProfileRuntime &PT : PerThread)
-    Merged.mergeFrom(PT);
+  ProfileRuntime &Merged = Shards.merge(&Pool);
 
   // Runs are deterministic, so the merged profile must be exactly Reps
-  // times the single-run profile.
-  auto Scaled = [&](uint64_t C) { return C * Reps; };
+  // times the single-run profile — clamped where the sum saturates, which
+  // is what Reps saturating adds of C converge to.
+  auto Scaled = [&](uint64_t C) {
+    constexpr uint64_t Max = std::numeric_limits<uint64_t>::max();
+    return C != 0 && C > Max / Reps ? Max : C * Reps;
+  };
   ProfileRuntime Single(Item.M->numFunctions());
   configureStores(Single, *Item.M, Item.MI);
   {
@@ -628,13 +638,16 @@ int cmdBench(const Parsed &P) {
     if (!readSource(P.Validate, Text))
       return 1;
     std::string Error;
-    if (!validateEngineBenchJson(Text, Error)) {
+    // Sniffs the schema tag: accepts engine and pipeline reports alike.
+    if (!validateBenchJson(Text, Error)) {
       std::fprintf(stderr, "%s: invalid: %s\n", P.Validate.c_str(),
                    Error.c_str());
       return 1;
     }
+    const bool IsPipeline =
+        Text.find(PipelineBenchSchema) != std::string::npos;
     std::printf("%s: valid %s report\n", P.Validate.c_str(),
-                EngineBenchSchema);
+                IsPipeline ? PipelineBenchSchema : EngineBenchSchema);
     return 0;
   }
 
@@ -724,6 +737,7 @@ int cmdFuzz(const Parsed &P) {
   FuzzOptions FO;
   FO.NumSeeds = P.Seeds;
   FO.Shrink = P.Shrink;
+  FO.Jobs = P.Jobs;
   if (P.HasFuzzSeed) {
     FO.SeedBase = P.FuzzSeed;
     FO.NumSeeds = 1;

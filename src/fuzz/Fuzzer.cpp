@@ -15,6 +15,7 @@
 #include "ir/Module.h"
 #include "profile/ProfileDecode.h"
 #include "support/Rng.h"
+#include "support/TaskPool.h"
 #include "wpp/ExpectedCounters.h"
 
 #include <algorithm>
@@ -536,18 +537,26 @@ DifferentialRunner::checkProgram(const std::string &Source,
     };
     EstimateMetrics MW = metrics(SolverImpl::Worklist);
     EstimateMetrics MS = metrics(SolverImpl::Sweep);
-    if (MW.Definite != MS.Definite || MW.Potential != MS.Potential ||
-        MW.Real != MS.Real || MW.Pairs != MS.Pairs ||
-        MW.ExactPairs != MS.ExactPairs ||
-        MW.SoundnessViolated != MS.SoundnessViolated)
+    EstimateMetrics MP = metrics(SolverImpl::Parallel);
+    auto Differs = [](const EstimateMetrics &A, const EstimateMetrics &B) {
+      return A.Definite != B.Definite || A.Potential != B.Potential ||
+             A.Real != B.Real || A.Pairs != B.Pairs ||
+             A.ExactPairs != B.ExactPairs ||
+             A.SoundnessViolated != B.SoundnessViolated;
+    };
+    auto DiffText = [](const char *Pair, const EstimateMetrics &A,
+                       const EstimateMetrics &B) {
+      return std::string(Pair) + ": definite " + std::to_string(A.Definite) +
+             "/" + std::to_string(B.Definite) + ", potential " +
+             std::to_string(A.Potential) + "/" + std::to_string(B.Potential) +
+             ", exact pairs " + std::to_string(A.ExactPairs) + "/" +
+             std::to_string(B.ExactPairs);
+    };
+    if (Differs(MW, MS))
+      return Fail(FuzzOracle::SolverDiff, DiffText("worklist vs sweep", MW, MS));
+    if (Differs(MW, MP))
       return Fail(FuzzOracle::SolverDiff,
-                  "worklist vs sweep: definite " +
-                      std::to_string(MW.Definite) + "/" +
-                      std::to_string(MS.Definite) + ", potential " +
-                      std::to_string(MW.Potential) + "/" +
-                      std::to_string(MS.Potential) + ", exact pairs " +
-                      std::to_string(MW.ExactPairs) + "/" +
-                      std::to_string(MS.ExactPairs));
+                  DiffText("worklist vs parallel", MW, MP));
     if (MW.SoundnessViolated)
       return Fail(FuzzOracle::Bounds, "per-path soundness violated");
     if (MW.Definite > MW.Real || MW.Real > MW.Potential)
@@ -572,20 +581,23 @@ DifferentialRunner::checkProgram(const std::string &Source,
 }
 
 FuzzReport DifferentialRunner::run() const {
-  FuzzReport Rep;
-  for (uint32_t I = 0; I < Opts.NumSeeds; ++I) {
-    uint64_t Seed = Opts.SeedBase + I;
+  // Each seed is checked (and, on failure, shrunk) independently into its
+  // own outcome slot; the report is then aggregated in seed order. That
+  // split is what makes --jobs a pure wall-clock knob: any interleaving of
+  // the per-seed work produces the identical report.
+  struct SeedOutcome {
+    CaseStatus St = CaseStatus::Clean;
     FuzzFailure F;
-    CaseStatus St = checkCase(Seed, &F);
-    ++Rep.SeedsRun;
-    if (St == CaseStatus::Clean) {
-      ++Rep.Clean;
-      continue;
-    }
-    if (St == CaseStatus::Skipped) {
-      ++Rep.Skipped;
-      continue;
-    }
+  };
+  std::vector<SeedOutcome> Outcomes(Opts.NumSeeds);
+
+  auto RunSeed = [&](size_t I) {
+    uint64_t Seed = Opts.SeedBase + I;
+    SeedOutcome &Out = Outcomes[I];
+    Out.St = checkCase(Seed, &Out.F);
+    if (Out.St != CaseStatus::Failed)
+      return;
+    FuzzFailure &F = Out.F;
     if (Opts.Shrink) {
       CaseSetup Setup = deriveSetup(Seed);
       FuzzOracle Want = F.Oracle;
@@ -612,7 +624,31 @@ FuzzReport DifferentialRunner::run() const {
         }
       }
     }
-    Rep.Failures.push_back(std::move(F));
+  };
+
+  if (Opts.Jobs != 1 && Opts.NumSeeds > 1) {
+    TaskPool Pool(Opts.Jobs); // 0 = one worker per core
+    Pool.parallelFor(Opts.NumSeeds,
+                     [&](size_t I, unsigned) { RunSeed(I); });
+  } else {
+    for (uint32_t I = 0; I < Opts.NumSeeds; ++I)
+      RunSeed(I);
+  }
+
+  FuzzReport Rep;
+  for (SeedOutcome &Out : Outcomes) {
+    ++Rep.SeedsRun;
+    switch (Out.St) {
+    case CaseStatus::Clean:
+      ++Rep.Clean;
+      break;
+    case CaseStatus::Skipped:
+      ++Rep.Skipped;
+      break;
+    case CaseStatus::Failed:
+      Rep.Failures.push_back(std::move(Out.F));
+      break;
+    }
   }
   return Rep;
 }

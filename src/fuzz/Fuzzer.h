@@ -82,6 +82,11 @@ struct FuzzOptions {
   /// Predicate-evaluation budget per shrink.
   uint32_t MaxShrinkAttempts = 3000;
   FaultKind Fault = FaultKind::None;
+  /// Worker threads checking seeds concurrently (`olpp fuzz --jobs`);
+  /// 0 = one per core. Seeds are independent and the report aggregates
+  /// outcomes in seed order, so the output is identical for every job
+  /// count — parallelism changes wall-clock, never the report.
+  unsigned Jobs = 1;
 };
 
 struct FuzzFailure {

@@ -151,6 +151,24 @@ public:
       add(Id, Count);
   }
 
+  /// The merge primitive: count[Id] += Count, saturating at UINT64_MAX like
+  /// bump(). Saturating addition is associative and commutative, so any
+  /// merge order (serial scan, sharded tree) produces bit-identical totals.
+  void add(int64_t Id, uint64_t Count) {
+    if (Count == 0)
+      return;
+    if (static_cast<uint64_t>(Id) < Dense.size()) {
+      if (Dense[static_cast<size_t>(Id)] == 0)
+        ++NonZero;
+      saturatingBump(Dense[static_cast<size_t>(Id)], Count);
+    } else {
+      uint64_t &Slot = Spill[Id];
+      if (Slot == 0)
+        ++NonZero;
+      saturatingBump(Slot, Count);
+    }
+  }
+
   /// Iterates (id, count) pairs with count > 0: dense window first, then
   /// the spill map.
   class const_iterator {
@@ -225,21 +243,6 @@ public:
   bool operator!=(const Map &M) const { return !(*this == M); }
 
 private:
-  void add(int64_t Id, uint64_t Count) {
-    if (Count == 0)
-      return;
-    if (static_cast<uint64_t>(Id) < Dense.size()) {
-      if (Dense[static_cast<size_t>(Id)] == 0)
-        ++NonZero;
-      saturatingBump(Dense[static_cast<size_t>(Id)], Count);
-    } else {
-      uint64_t &Slot = Spill[Id];
-      if (Slot == 0)
-        ++NonZero;
-      saturatingBump(Slot, Count);
-    }
-  }
-
   std::vector<uint64_t> Dense;
   Map Spill;
   size_t NonZero = 0;

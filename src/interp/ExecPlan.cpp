@@ -267,13 +267,12 @@ uint32_t FuncPlan::blockOfPc(uint32_t Pc) const {
 
 std::unique_ptr<ExecPlan> olpp::buildExecPlan(const Module &M) {
   auto Plan = std::make_unique<ExecPlan>();
-  Plan->M = &M;
   Plan->Funcs.resize(M.numFunctions());
 
   for (uint32_t FId = 0; FId < M.numFunctions(); ++FId) {
     const Function &F = *M.function(FId);
     FuncPlan &FP = Plan->Funcs[FId];
-    FP.F = &F;
+    FP.Name = F.Name;
     FP.NumRegs = F.NumRegs;
     FP.NumParams = F.NumParams;
     FP.NumLoopSlots = F.NumLoopSlots;

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace olpp {
@@ -197,7 +198,11 @@ struct ExecInstr {
 
 /// One function, flattened: blocks concatenated in id order.
 struct FuncPlan {
-  const Function *F = nullptr;
+  /// Function name, for error messages. Plans hold no pointers back into
+  /// the module they were decoded from: a plan is a pure value, so one
+  /// immutable plan can outlive its module and be shared by every module
+  /// with identical content (interp/PlanCache.h).
+  std::string Name;
   std::vector<ExecInstr> Code;
   /// Block id -> pc of the block's first instruction (ascending).
   std::vector<uint32_t> BlockPc;
@@ -213,9 +218,9 @@ struct FuncPlan {
   uint32_t blockOfPc(uint32_t Pc) const;
 };
 
-/// The whole module, pre-decoded.
+/// The whole module, pre-decoded. Self-contained: safe to share (read-only)
+/// across threads and across identical-content modules.
 struct ExecPlan {
-  const Module *M = nullptr;
   std::vector<FuncPlan> Funcs;
 };
 

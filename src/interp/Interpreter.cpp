@@ -8,6 +8,7 @@
 
 #include "interp/CostModel.h"
 #include "interp/ExecPlan.h"
+#include "interp/PlanCache.h"
 #include "interp/ProfileRuntime.h"
 #include "interp/Trace.h"
 
@@ -297,7 +298,7 @@ void Interpreter::resetGlobals() {
 
 const ExecPlan &Interpreter::ensurePlan() {
   if (!Plan)
-    Plan = buildExecPlan(M);
+    Plan = ExecPlanCache::global().get(M);
   return *Plan;
 }
 
@@ -371,7 +372,7 @@ RunResult Interpreter::runFast(const Function &Entry,
     C.Calls += Calls;
     const FastFrame &Fr = Frames.back();
     Res.Ok = false;
-    Res.Error = Msg + " (in '" + P.Funcs[Fr.FuncId].F->Name + "', block ^" +
+    Res.Error = Msg + " (in '" + P.Funcs[Fr.FuncId].Name + "', block ^" +
                 std::to_string(Fr.Block) + ")";
     return Res;
   };
@@ -868,7 +869,7 @@ L_CallInd: {
   CalleeId = static_cast<uint32_t>(Target);
   if (I->ArgsCount != P.Funcs[CalleeId].NumParams) {
     Fr->Block = Block;
-    return Fail("indirect call to '" + P.Funcs[CalleeId].F->Name + "' with " +
+    return Fail("indirect call to '" + P.Funcs[CalleeId].Name + "' with " +
                 std::to_string(I->ArgsCount) + " args, expected " +
                 std::to_string(P.Funcs[CalleeId].NumParams));
   }

@@ -120,7 +120,10 @@ private:
   ProfileRuntime *Prof;
   TraceSink *Trace;
   std::vector<std::vector<int64_t>> Globals; // one vector per global
-  std::unique_ptr<ExecPlan> Plan;            // built lazily, cached
+  /// The pre-decoded plan, fetched lazily from the process-wide
+  /// ExecPlanCache; shared (immutably) with every other interpreter of a
+  /// content-identical module.
+  std::shared_ptr<const ExecPlan> Plan;
 };
 
 } // namespace olpp

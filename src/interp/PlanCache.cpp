@@ -1,0 +1,118 @@
+//===--- PlanCache.cpp - Shared ExecPlan cache ----------------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/PlanCache.h"
+
+#include "ir/Module.h"
+#include "ir/Printer.h"
+
+#include <utility>
+#include <vector>
+
+using namespace olpp;
+
+std::string olpp::modulePlanFingerprint(const Module &M) {
+  // The printed IR covers every instruction, operand, target, callee and
+  // probe micro-op. Append the fields buildExecPlan additionally reads so
+  // the fingerprint really is the plan's whole input.
+  std::string FP = printModule(M);
+  FP += "\n;;plan-meta";
+  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fn = *M.function(F);
+    FP += "\n;;fn " + std::to_string(F) + " regs=" +
+          std::to_string(Fn.NumRegs) + " params=" +
+          std::to_string(Fn.NumParams) + " loops=" +
+          std::to_string(Fn.NumLoopSlots);
+  }
+  for (const GlobalVar &G : M.globals())
+    FP += "\n;;global " + G.Name + " size=" + std::to_string(G.Size);
+  FP += "\n";
+  return FP;
+}
+
+ExecPlanCache &ExecPlanCache::global() {
+  static ExecPlanCache Cache;
+  return Cache;
+}
+
+std::shared_ptr<const ExecPlan> ExecPlanCache::get(const Module &M) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ByUid.find(M.uid());
+    if (It != ByUid.end()) {
+      ++Counters.MemoHits;
+      return It->second;
+    }
+  }
+
+  std::string FP = modulePlanFingerprint(M);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ByContent.find(FP);
+    if (It != ByContent.end()) {
+      ++Counters.ContentHits;
+      It->second.LastUse = ++UseClock;
+      ByUid.emplace(M.uid(), It->second.Plan);
+      evictIfNeeded();
+      return It->second.Plan;
+    }
+  }
+
+  // Build outside the lock: two threads may race to build the same plan,
+  // in which case the loser's (identical) plan is simply dropped.
+  std::shared_ptr<const ExecPlan> Plan = buildExecPlan(M);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = ByContent.try_emplace(std::move(FP));
+  if (Inserted) {
+    ++Counters.Misses;
+    It->second.Plan = Plan;
+  } else {
+    ++Counters.ContentHits;
+    Plan = It->second.Plan;
+  }
+  It->second.LastUse = ++UseClock;
+  ByUid.emplace(M.uid(), Plan);
+  evictIfNeeded();
+  return Plan;
+}
+
+void ExecPlanCache::evictIfNeeded() {
+  while (ByContent.size() > Capacity) {
+    auto Oldest = ByContent.begin();
+    for (auto It = ByContent.begin(); It != ByContent.end(); ++It)
+      if (It->second.LastUse < Oldest->second.LastUse)
+        Oldest = It;
+    // Drop every memo entry pinned to the evicted plan; a module that is
+    // still alive will re-enter through the content table.
+    std::vector<uint64_t> DeadUids;
+    for (const auto &[Uid, P] : ByUid)
+      if (P == Oldest->second.Plan)
+        DeadUids.push_back(Uid);
+    for (uint64_t Uid : DeadUids)
+      ByUid.erase(Uid);
+    ByContent.erase(Oldest);
+  }
+  // The uid memo can also grow without bound on its own (many modules, one
+  // content). Keep it proportional to the content table.
+  const size_t MemoCap = Capacity * 16;
+  if (ByUid.size() > MemoCap)
+    ByUid.clear(); // coarse, but hits rebuild from the content table
+}
+
+ExecPlanCache::Stats ExecPlanCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats S = Counters;
+  S.Entries = ByContent.size();
+  return S;
+}
+
+void ExecPlanCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ByContent.clear();
+  ByUid.clear();
+  Counters = Stats();
+  UseClock = 0;
+}

@@ -1,0 +1,91 @@
+//===--- PlanCache.h - Shared ExecPlan cache --------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, content-addressed cache of decoded ExecPlans. Decoding a
+/// module into its flat execution form (probe specialization, the fusion
+/// passes) is pure — the plan depends only on the module's content — so the
+/// cost should be paid once per distinct module, not once per Interpreter:
+/// before this cache, a parallel bench batch rebuilt the identical plan in
+/// every worker, and every fuzz-shrinker probe of an unchanged candidate
+/// re-decoded from scratch.
+///
+/// Keying is two-level:
+///   - a per-module memo keyed by Module::uid() (uids are never reused, so
+///     a hit is exact and costs one hash lookup),
+///   - a content table keyed by the module's full *fingerprint* — the
+///     printed IR plus the execution metadata the printer does not carry
+///     (register/loop-slot counts, global sizes). Hits compare the whole
+///     fingerprint, so hash collisions cannot alias two modules.
+///
+/// Entries are shared_ptr<const ExecPlan>: plans are immutable after build,
+/// safe to execute from any number of threads, and keep working even after
+/// the cache evicts them (capacity is a plain LRU bound) or the module they
+/// were decoded from dies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_INTERP_PLANCACHE_H
+#define OLPP_INTERP_PLANCACHE_H
+
+#include "interp/ExecPlan.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace olpp {
+
+/// The full content key of a module for plan-caching purposes: printed IR
+/// plus the per-function and global metadata buildExecPlan consumes.
+std::string modulePlanFingerprint(const Module &M);
+
+class ExecPlanCache {
+public:
+  struct Stats {
+    uint64_t MemoHits = 0;    ///< same-Module-object fast-path hits
+    uint64_t ContentHits = 0; ///< identical-content hits across modules
+    uint64_t Misses = 0;      ///< plans actually built
+    size_t Entries = 0;       ///< distinct plans currently cached
+  };
+
+  explicit ExecPlanCache(size_t Capacity = 128) : Capacity(Capacity) {}
+
+  /// Returns the (possibly shared) plan for \p M, building it on a miss.
+  /// Thread-safe; the build itself runs outside the cache lock.
+  std::shared_ptr<const ExecPlan> get(const Module &M);
+
+  Stats stats() const;
+  void clear();
+
+  /// The process-wide instance every Interpreter consults.
+  static ExecPlanCache &global();
+
+private:
+  struct Entry {
+    std::shared_ptr<const ExecPlan> Plan;
+    uint64_t LastUse = 0;
+  };
+
+  void evictIfNeeded(); // requires Mu held
+
+  mutable std::mutex Mu;
+  size_t Capacity;
+  uint64_t UseClock = 0;
+  Stats Counters;
+  /// Content table: fingerprint -> plan. Exact string keys, so equal hashes
+  /// of different modules can never alias.
+  std::unordered_map<std::string, Entry> ByContent;
+  /// Module::uid() -> plan memo. Uids are never reused, so stale entries
+  /// are merely dead weight, pruned alongside LRU eviction.
+  std::unordered_map<uint64_t, std::shared_ptr<const ExecPlan>> ByUid;
+};
+
+} // namespace olpp
+
+#endif // OLPP_INTERP_PLANCACHE_H

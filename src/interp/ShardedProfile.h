@@ -1,0 +1,106 @@
+//===--- ShardedProfile.h - Per-worker counter shards -----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sharded counter collection for parallel profiling runs. Each worker owns
+/// a private ProfileRuntime shard — probes never contend on shared counters,
+/// so the hot bump path stays a plain (non-atomic) add. After the batch, the
+/// shards are combined by a deterministic stride-doubling tree merge:
+///
+///   round 1: shard[0] += shard[1], shard[2] += shard[3], ...
+///   round 2: shard[0] += shard[2], shard[4] += shard[6], ...
+///   ...until shard[0] holds the total.
+///
+/// The pairs within one round are disjoint, so each round can run its merges
+/// concurrently on a TaskPool; the rounds themselves are ordered. Counter
+/// merging is saturating addition (support/Saturate.h), which is associative
+/// and commutative, so *any* merge order is bit-identical to the serial
+/// left-to-right scan — the fixed tree order is belt and braces, making the
+/// merge schedule itself reproducible rather than merely its result.
+/// tests/interp/ShardMergeTest.cpp pins shard-count independence across the
+/// whole workload suite and every instrumentation mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_INTERP_SHARDEDPROFILE_H
+#define OLPP_INTERP_SHARDEDPROFILE_H
+
+#include "interp/ProfileRuntime.h"
+#include "support/TaskPool.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+/// A fixed set of per-worker ProfileRuntime shards plus the deterministic
+/// tree merge that combines them.
+class ShardedProfile {
+public:
+  /// Creates \p NumShards independent runtimes for a module with
+  /// \p NumFunctions functions. NumShards must be at least 1.
+  ShardedProfile(size_t NumFunctions, unsigned NumShards) {
+    assert(NumShards >= 1 && "need at least one shard");
+    Shards.reserve(NumShards);
+    for (unsigned I = 0; I < NumShards; ++I)
+      Shards.emplace_back(NumFunctions);
+  }
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// The shard worker \p I writes into. Each concurrent writer must use a
+  /// distinct shard (TaskPool::parallelFor's slot index is designed for
+  /// exactly this).
+  ProfileRuntime &shard(unsigned I) { return Shards[I]; }
+  const ProfileRuntime &shard(unsigned I) const { return Shards[I]; }
+
+  /// Declares function \p F's path-id space on every shard so all of them
+  /// use the same (dense or spill) representation.
+  void configurePathStore(uint32_t F, uint64_t IdSpace) {
+    for (ProfileRuntime &S : Shards)
+      S.configurePathStore(F, IdSpace);
+  }
+
+  /// Tree-merges every shard into shard 0 and returns it. When \p Pool is
+  /// non-null the disjoint pairs of each round run concurrently; the result
+  /// is bit-identical either way. All shards must be between runs (no
+  /// interpreter mid-flight). Per-run hand-off scratch (shadow stack,
+  /// pending return — which even a cleanly returning entry function leaves
+  /// set) is discarded, mirroring mergeFrom's "transient state is not
+  /// merged" contract; merged-away shards are left cleared.
+  ProfileRuntime &merge(TaskPool *Pool = nullptr) {
+    for (ProfileRuntime &S : Shards)
+      S.resetTransient();
+    const size_t N = Shards.size();
+    for (size_t Stride = 1; Stride < N; Stride *= 2) {
+      // Pairs (I, I + Stride) for I in 0, 2*Stride, 4*Stride, ... are
+      // disjoint: safe to run in any order or in parallel.
+      std::vector<size_t> Lhs;
+      for (size_t I = 0; I + Stride < N; I += 2 * Stride)
+        Lhs.push_back(I);
+      auto MergeOne = [&](size_t I) {
+        Shards[I].mergeFrom(Shards[I + Stride]);
+        Shards[I + Stride].clear();
+      };
+      if (Pool && Lhs.size() > 1)
+        Pool->parallelFor(Lhs.size(),
+                          [&](size_t J, unsigned) { MergeOne(Lhs[J]); });
+      else
+        for (size_t I : Lhs)
+          MergeOne(I);
+    }
+    return Shards[0];
+  }
+
+private:
+  std::vector<ProfileRuntime> Shards;
+};
+
+} // namespace olpp
+
+#endif // OLPP_INTERP_SHARDEDPROFILE_H

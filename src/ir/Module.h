@@ -15,6 +15,7 @@
 
 #include "ir/Function.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,9 +63,21 @@ public:
   /// the pristine one for baseline runs).
   std::unique_ptr<Module> clone() const;
 
+  /// Process-unique module identity, assigned at construction and never
+  /// reused (clones get their own). Lets caches key per-object fast paths
+  /// (interp/PlanCache.h) without the stale-pointer hazard of keying on
+  /// the address of a destroyed-then-reallocated module.
+  uint64_t uid() const { return Uid; }
+
 private:
+  static uint64_t nextUid() {
+    static std::atomic<uint64_t> Counter{1};
+    return Counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::vector<std::unique_ptr<Function>> Functions;
   std::vector<GlobalVar> Globals;
+  uint64_t Uid = nextUid();
 };
 
 } // namespace olpp

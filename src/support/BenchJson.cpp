@@ -86,20 +86,66 @@ std::string olpp::renderEngineBenchJson(const EngineBenchReport &R) {
   return Out;
 }
 
-bool olpp::writeEngineBenchJson(const std::string &Path,
-                                const EngineBenchReport &R,
-                                std::string &Error) {
+namespace {
+
+bool writeTextFile(const std::string &Path, const std::string &Text,
+                   std::string &Error) {
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     Error = "cannot open '" + Path + "' for writing";
     return false;
   }
-  std::string Text = renderEngineBenchJson(R);
   bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
   Ok &= std::fclose(F) == 0;
   if (!Ok)
     Error = "write to '" + Path + "' failed";
   return Ok;
+}
+
+} // namespace
+
+bool olpp::writeEngineBenchJson(const std::string &Path,
+                                const EngineBenchReport &R,
+                                std::string &Error) {
+  return writeTextFile(Path, renderEngineBenchJson(R), Error);
+}
+
+std::string olpp::renderPipelineBenchJson(const PipelineBenchReport &R) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": " + jsonStr(PipelineBenchSchema) + ",\n";
+  Out += "  \"hardware_threads\": " + std::to_string(R.HardwareThreads) +
+         ",\n";
+  Out += "  \"workloads\": " + std::to_string(R.Workloads) + ",\n";
+  Out += "  \"reps\": " + std::to_string(R.Reps) + ",\n";
+  Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
+  Out += "  \"plan_cache\": {\"memo_hits\": " +
+         std::to_string(R.PlanCache.MemoHits) +
+         ", \"content_hits\": " + std::to_string(R.PlanCache.ContentHits) +
+         ", \"misses\": " + std::to_string(R.PlanCache.Misses) + "},\n";
+  Out += "  \"points\": [";
+  for (size_t I = 0; I < R.Points.size(); ++I) {
+    const PipelinePoint &P = R.Points[I];
+    Out += I ? ",\n" : "\n";
+    Out += "    {\n";
+    Out += "      \"jobs\": " + std::to_string(P.Jobs) + ",\n";
+    Out += "      \"profiles\": " + std::to_string(P.Profiles) + ",\n";
+    Out += "      \"collect_seconds\": " + jsonNum(P.CollectSeconds) + ",\n";
+    Out += "      \"merge_seconds\": " + jsonNum(P.MergeSeconds) + ",\n";
+    Out += "      \"solve_seconds\": " + jsonNum(P.SolveSeconds) + ",\n";
+    Out += "      \"total_seconds\": " + jsonNum(P.TotalSeconds) + ",\n";
+    Out += "      \"profiles_per_sec\": " + jsonNum(P.ProfilesPerSec) + ",\n";
+    Out += "      \"speedup_vs_1\": " + jsonNum(P.SpeedupVs1) + "\n";
+    Out += "    }";
+  }
+  Out += R.Points.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool olpp::writePipelineBenchJson(const std::string &Path,
+                                  const PipelineBenchReport &R,
+                                  std::string &Error) {
+  return writeTextFile(Path, renderPipelineBenchJson(R), Error);
 }
 
 //===----------------------------------------------------------------------===//
@@ -363,4 +409,90 @@ bool olpp::validateEngineBenchJson(const std::string &Text,
     }
   }
   return true;
+}
+
+bool olpp::validatePipelineBenchJson(const std::string &Text,
+                                     std::string &Error) {
+  JValue Root;
+  if (!JParser(Text, Error).parse(Root))
+    return false;
+  if (Root.K != JValue::Obj) {
+    Error = "top level: expected an object";
+    return false;
+  }
+  auto Schema = Root.Fields.find("schema");
+  if (Schema == Root.Fields.end() || Schema->second.K != JValue::Str ||
+      Schema->second.S != PipelineBenchSchema) {
+    Error = std::string("schema: expected \"") + PipelineBenchSchema + "\"";
+    return false;
+  }
+  if (!checkNum(Root, "top level", "hardware_threads", Error) ||
+      !checkNum(Root, "top level", "workloads", Error) ||
+      !checkNum(Root, "top level", "reps", Error) ||
+      !checkNum(Root, "top level", "wall_seconds", Error))
+    return false;
+  auto Cache = Root.Fields.find("plan_cache");
+  if (Cache == Root.Fields.end() || Cache->second.K != JValue::Obj) {
+    Error = "plan_cache: missing or not an object";
+    return false;
+  }
+  if (!checkNum(Cache->second, "plan_cache", "memo_hits", Error) ||
+      !checkNum(Cache->second, "plan_cache", "content_hits", Error) ||
+      !checkNum(Cache->second, "plan_cache", "misses", Error))
+    return false;
+  auto Pts = Root.Fields.find("points");
+  if (Pts == Root.Fields.end() || Pts->second.K != JValue::Arr) {
+    Error = "points: missing or not an array";
+    return false;
+  }
+  if (Pts->second.Elems.empty()) {
+    Error = "points: must have at least one entry";
+    return false;
+  }
+  for (size_t I = 0; I < Pts->second.Elems.size(); ++I) {
+    const JValue &Row = Pts->second.Elems[I];
+    const std::string Path = "points[" + std::to_string(I) + "]";
+    if (Row.K != JValue::Obj) {
+      Error = Path + ": expected an object";
+      return false;
+    }
+    if (!checkNum(Row, Path, "jobs", Error) ||
+        !checkNum(Row, Path, "profiles", Error) ||
+        !checkNum(Row, Path, "collect_seconds", Error) ||
+        !checkNum(Row, Path, "merge_seconds", Error) ||
+        !checkNum(Row, Path, "solve_seconds", Error) ||
+        !checkNum(Row, Path, "total_seconds", Error) ||
+        !checkNum(Row, Path, "profiles_per_sec", Error) ||
+        !checkNum(Row, Path, "speedup_vs_1", Error))
+      return false;
+    // The jobs=1 anchor is its own baseline by definition.
+    auto Jobs = Row.Fields.find("jobs");
+    auto Sp = Row.Fields.find("speedup_vs_1");
+    if (Jobs->second.N == 1.0 && Sp->second.N != 1.0) {
+      Error = Path + ": jobs=1 point must have speedup_vs_1 == 1";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
+  JValue Root;
+  if (!JParser(Text, Error).parse(Root))
+    return false;
+  if (Root.K != JValue::Obj) {
+    Error = "top level: expected an object";
+    return false;
+  }
+  auto Schema = Root.Fields.find("schema");
+  if (Schema == Root.Fields.end() || Schema->second.K != JValue::Str) {
+    Error = "schema: missing string tag";
+    return false;
+  }
+  if (Schema->second.S == EngineBenchSchema)
+    return validateEngineBenchJson(Text, Error);
+  if (Schema->second.S == PipelineBenchSchema)
+    return validatePipelineBenchJson(Text, Error);
+  Error = "schema: unknown tag \"" + Schema->second.S + "\"";
+  return false;
 }

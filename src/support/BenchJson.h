@@ -5,13 +5,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The BENCH_engine.json report written by bench/perf_engine and
-/// `olpp bench`: per-workload wall time and steps/sec for the fast and
-/// reference engines, the fast/reference speedup, and the interval solver's
-/// effort counters (worklist evaluations vs whole-set sweeps). The schema
-/// tag is "olpp.bench.engine/v1"; validateEngineBenchJson structurally
-/// checks a rendered report against it (the perf_smoke ctest target and
-/// --validate use this), with a dependency-free JSON parser.
+/// The benchmark report JSON the project commits at the repo root, in two
+/// schemas:
+///
+///   "olpp.bench.engine/v1"   (BENCH_engine.json, bench/perf_engine and
+///                            `olpp bench`): per-workload wall time and
+///                            steps/sec for the fast and reference engines,
+///                            the fast/reference speedup, and the interval
+///                            solver's effort counters (worklist evaluations
+///                            vs whole-set sweeps).
+///
+///   "olpp.bench.pipeline/v1" (BENCH_pipeline.json, bench/perf_pipeline):
+///                            the parallel pipeline's jobs-scaling curve —
+///                            per job count, the sharded collect / tree
+///                            merge / component solve phase times and the
+///                            profiles/sec throughput — plus the shared
+///                            ExecPlan cache's hit statistics.
+///
+/// validate*BenchJson structurally checks a rendered report against its
+/// schema with a dependency-free JSON parser (the perf_smoke ctest target
+/// and `olpp bench --validate` use this); validateBenchJson sniffs the
+/// schema tag and dispatches.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -68,6 +82,60 @@ bool writeEngineBenchJson(const std::string &Path, const EngineBenchReport &R,
 /// numeric fields are non-negative. Returns false and sets \p Error on the
 /// first violation.
 bool validateEngineBenchJson(const std::string &Text, std::string &Error);
+
+//===----------------------------------------------------------------------===//
+// Pipeline scaling report ("olpp.bench.pipeline/v1")
+//===----------------------------------------------------------------------===//
+
+inline constexpr const char *PipelineBenchSchema = "olpp.bench.pipeline/v1";
+
+/// One job count's measurement of the whole pipeline (collect -> merge ->
+/// solve) over the workload suite.
+struct PipelinePoint {
+  unsigned Jobs = 1;
+  /// Instrumented profile runs collected at this point (reps x workloads).
+  uint64_t Profiles = 0;
+  double CollectSeconds = 0.0; ///< sharded profile collection
+  double MergeSeconds = 0.0;   ///< deterministic tree merge
+  double SolveSeconds = 0.0;   ///< component-partitioned interval solve
+  double TotalSeconds = 0.0;
+  double ProfilesPerSec = 0.0;
+  /// This point's pipeline throughput over the jobs=1 point's (1.0 for the
+  /// jobs=1 row itself).
+  double SpeedupVs1 = 0.0;
+};
+
+/// The ExecPlan cache's counters over the whole run (delta, not absolute).
+struct PlanCacheBench {
+  uint64_t MemoHits = 0;
+  uint64_t ContentHits = 0;
+  uint64_t Misses = 0;
+};
+
+struct PipelineBenchReport {
+  unsigned HardwareThreads = 1;
+  unsigned Workloads = 0; ///< workloads in the suite each point ran
+  unsigned Reps = 0;      ///< profile runs per workload per point
+  double WallSeconds = 0.0;
+  PlanCacheBench PlanCache;
+  std::vector<PipelinePoint> Points;
+};
+
+/// Renders \p R as pretty-printed JSON (trailing newline included).
+std::string renderPipelineBenchJson(const PipelineBenchReport &R);
+
+/// Renders and writes to \p Path. Returns false and sets \p Error on I/O
+/// failure.
+bool writePipelineBenchJson(const std::string &Path,
+                            const PipelineBenchReport &R, std::string &Error);
+
+/// Structurally validates \p Text against the pipeline v1 schema.
+bool validatePipelineBenchJson(const std::string &Text, std::string &Error);
+
+/// Sniffs the report's schema tag and validates against the matching
+/// schema. Returns false and sets \p Error for unparseable input, an
+/// unknown schema tag, or a schema violation.
+bool validateBenchJson(const std::string &Text, std::string &Error);
 
 } // namespace olpp
 

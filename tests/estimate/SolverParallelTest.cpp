@@ -1,0 +1,239 @@
+//===--- SolverParallelTest.cpp - parallel vs worklist solver tests -------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential tests of the component-partitioned parallel interval solver
+// against the serial worklist (and transitively the sweep oracle): on every
+// system the parallel solver must reproduce the identical fixpoint, the
+// identical convergence flag, and — on converging systems — the identical
+// Evaluations count, because each component's local FIFO is the global FIFO
+// restricted to that component. The ModuleEstimator-level test pins the
+// whole estimation stack (definite/potential flow, exact pairs) across all
+// three implementations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimate/IntervalSolver.h"
+
+#include "estimate/Estimators.h"
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "interp/ProfileRuntime.h"
+#include "profile/Instrumenter.h"
+#include "support/Rng.h"
+#include "support/TaskPool.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+void expectSameSolution(uint32_t NumCells,
+                        const std::vector<SumConstraint> &Cs, uint64_t Seed,
+                        TaskPool *Pool = nullptr) {
+  BoundsResult WL = solveBoundsWorklist(NumCells, Cs);
+  BoundsResult PL = solveBoundsParallel(NumCells, Cs, 100, Pool);
+  ASSERT_EQ(WL.Lower.size(), PL.Lower.size()) << "seed " << Seed;
+  EXPECT_EQ(WL.Lower, PL.Lower) << "seed " << Seed;
+  EXPECT_EQ(WL.Upper, PL.Upper) << "seed " << Seed;
+  EXPECT_EQ(WL.Converged, PL.Converged) << "seed " << Seed;
+  if (WL.Converged && PL.Converged)
+    EXPECT_EQ(WL.Evaluations, PL.Evaluations) << "seed " << Seed;
+}
+
+/// Feasible random system (same construction as SolverWorklistTest): a
+/// hidden assignment, equalities summing it exactly, inequalities + slack.
+std::vector<SumConstraint> feasibleSystem(Rng &R, uint32_t NumCells,
+                                          uint32_t NumConstraints) {
+  std::vector<uint64_t> Hidden(NumCells);
+  for (uint64_t &V : Hidden)
+    V = R.nextBelow(50);
+  std::vector<SumConstraint> Cs;
+  for (uint32_t C = 0; C < NumConstraints; ++C) {
+    SumConstraint S;
+    uint32_t Arity = 1 + static_cast<uint32_t>(R.nextBelow(5));
+    uint64_t Sum = 0;
+    for (uint32_t A = 0; A < Arity; ++A) {
+      uint32_t Cell = static_cast<uint32_t>(R.nextBelow(NumCells));
+      S.Cells.push_back(Cell);
+      Sum += Hidden[Cell];
+    }
+    S.Equality = R.chance(7, 10);
+    S.Value = S.Equality ? Sum : Sum + R.nextBelow(20);
+    Cs.push_back(std::move(S));
+  }
+  return Cs;
+}
+
+TEST(SolverParallel, MatchesWorklistOnRandomFeasibleSystems) {
+  TaskPool Pool(4);
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    Rng R(Seed * 0x9E3779B97F4A7C15ULL);
+    uint32_t NumCells = 2 + static_cast<uint32_t>(R.nextBelow(60));
+    uint32_t NumConstraints = 1 + static_cast<uint32_t>(R.nextBelow(80));
+    auto Cs = feasibleSystem(R, NumCells, NumConstraints);
+    expectSameSolution(NumCells, Cs, Seed, &Pool);
+  }
+}
+
+TEST(SolverParallel, MatchesWorklistOnRandomInfeasibleSystems) {
+  TaskPool Pool(4);
+  for (uint64_t Seed = 100; Seed < 140; ++Seed) {
+    Rng R(Seed);
+    uint32_t NumCells = 1 + static_cast<uint32_t>(R.nextBelow(30));
+    std::vector<SumConstraint> Cs;
+    uint32_t NumConstraints = 1 + static_cast<uint32_t>(R.nextBelow(40));
+    for (uint32_t C = 0; C < NumConstraints; ++C) {
+      SumConstraint S;
+      S.Value = R.nextBelow(100);
+      S.Equality = R.chance(1, 2);
+      uint32_t Arity = 1 + static_cast<uint32_t>(R.nextBelow(4));
+      for (uint32_t A = 0; A < Arity; ++A)
+        S.Cells.push_back(static_cast<uint32_t>(R.nextBelow(NumCells)));
+      Cs.push_back(std::move(S));
+    }
+    expectSameSolution(NumCells, Cs, Seed, &Pool);
+  }
+}
+
+TEST(SolverParallel, MatchesWorklistOnEdgeCases) {
+  // No constraints at all.
+  expectSameSolution(4, {}, 0);
+  // Empty-cell constraints (each becomes its own singleton component).
+  expectSameSolution(2, {{5, true, {}}, {0, false, {}}}, 0);
+  // Zero-valued equality pins everything it touches.
+  expectSameSolution(3, {{0, true, {0, 1, 2}}}, 0);
+  // A cell repeated inside one constraint.
+  expectSameSolution(2, {{6, true, {0, 0, 1}}}, 0);
+  // Zero cells.
+  BoundsResult PL = solveBoundsParallel(0, {});
+  EXPECT_TRUE(PL.Converged);
+  EXPECT_TRUE(PL.Lower.empty());
+}
+
+TEST(SolverParallel, ManyIndependentIslandsSolveConcurrently) {
+  // The shape the partitioner exists for: hundreds of disjoint components
+  // (one per loop region / call site in real modules). Every island must
+  // land on the worklist's bounds and the total effort must match.
+  constexpr uint32_t Islands = 300;
+  std::vector<SumConstraint> Cs;
+  for (uint32_t I = 0; I < Islands; ++I) {
+    Cs.push_back({10 + I % 7, true, {3 * I, 3 * I + 1, 3 * I + 2}});
+    Cs.push_back({static_cast<uint64_t>(I % 5), true, {3 * I}});
+  }
+  TaskPool Pool(4);
+  expectSameSolution(3 * Islands, Cs, 0, &Pool);
+}
+
+TEST(SolverParallel, RepeatedRunsAreDeterministic) {
+  Rng R(0xABCDEF);
+  auto Cs = feasibleSystem(R, 50, 70);
+  TaskPool Pool(4);
+  BoundsResult First = solveBoundsParallel(50, Cs, 100, &Pool);
+  for (int I = 0; I < 5; ++I) {
+    BoundsResult Again = solveBoundsParallel(50, Cs, 100, &Pool);
+    EXPECT_EQ(First.Lower, Again.Lower);
+    EXPECT_EQ(First.Upper, Again.Upper);
+    EXPECT_EQ(First.Evaluations, Again.Evaluations);
+    EXPECT_EQ(First.Converged, Again.Converged);
+  }
+}
+
+TEST(SolverParallel, NonConvergenceFlagsAgreeUnderTinyBudget) {
+  // One long chain pinned at the tail: a single component, so the parallel
+  // budget equals the worklist budget and both must give up identically.
+  std::vector<SumConstraint> Cs;
+  for (uint32_t I = 0; I < 64; ++I)
+    Cs.push_back({2 * I + 1, true, {I, I + 1}});
+  Cs.push_back({64, true, {64}});
+  BoundsResult WL = solveBoundsWorklist(65, Cs, 2);
+  BoundsResult PL = solveBoundsParallel(65, Cs, 2);
+  EXPECT_FALSE(WL.Converged);
+  EXPECT_EQ(WL.Converged, PL.Converged);
+}
+
+TEST(SolverParallel, SolveBoundsDispatchesViaThreadImplAndPool) {
+  std::vector<SumConstraint> Cs = {{5, true, {0, 1}}, {2, false, {0}},
+                                   {7, true, {2, 3}}};
+  TaskPool Pool(2);
+  EXPECT_EQ(threadSolverImpl(), SolverImpl::Worklist); // the default
+  EXPECT_EQ(threadSolverPool(), nullptr);
+  setThreadSolverImpl(SolverImpl::Parallel);
+  setThreadSolverPool(&Pool);
+  BoundsResult Par = solveBounds(4, Cs);
+  setThreadSolverImpl(SolverImpl::Worklist);
+  setThreadSolverPool(nullptr);
+  BoundsResult WL = solveBounds(4, Cs);
+  EXPECT_EQ(Par.Lower, WL.Lower);
+  EXPECT_EQ(Par.Upper, WL.Upper);
+  EXPECT_EQ(Par.Evaluations, WL.Evaluations);
+}
+
+// The full estimation stack: every estimate metric of an instrumented
+// workload run must be identical under the worklist, the sweep oracle and
+// the parallel solver.
+TEST(SolverParallel, ModuleEstimatorMetricsMatchAcrossAllImpls) {
+  const Workload *W = findWorkload("espresso");
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileMiniC(W->Source);
+  ASSERT_TRUE(CR.ok()) << CR.diagText();
+  std::unique_ptr<Module> M = std::move(CR.M);
+
+  InstrumentOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.LoopDegree = 2;
+  Opts.Interproc = true;
+  Opts.InterprocDegree = 2;
+  ModuleInstrumentation MI = instrumentModule(*M, Opts);
+  ASSERT_TRUE(MI.ok());
+
+  const Function *Main = M->findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  std::vector<int64_t> Args = W->PrecisionArgs;
+  Args.resize(Main->NumParams, 0);
+
+  ProfileRuntime Prof(M->numFunctions());
+  for (uint32_t F = 0; F < M->numFunctions(); ++F)
+    if (MI.Funcs[F].PG)
+      Prof.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+  RunConfig RC;
+  RC.MaxSteps = 2'000'000'000;
+  Interpreter I(*M, &Prof);
+  RunResult R = I.run(*Main, Args, RC);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  TaskPool Pool(4);
+  auto Metrics = [&](SolverImpl Impl) {
+    setThreadSolverImpl(Impl);
+    setThreadSolverPool(Impl == SolverImpl::Parallel ? &Pool : nullptr);
+    ModuleEstimator Est(*M, MI, Prof);
+    EstimateMetrics E = Est.estimateAll();
+    setThreadSolverImpl(SolverImpl::Worklist);
+    setThreadSolverPool(nullptr);
+    return E;
+  };
+  EstimateMetrics MW = Metrics(SolverImpl::Worklist);
+  EstimateMetrics MS = Metrics(SolverImpl::Sweep);
+  EstimateMetrics MP = Metrics(SolverImpl::Parallel);
+
+  auto ExpectSame = [](const EstimateMetrics &A, const EstimateMetrics &B,
+                       const char *Pair) {
+    EXPECT_EQ(A.Definite, B.Definite) << Pair;
+    EXPECT_EQ(A.Potential, B.Potential) << Pair;
+    EXPECT_EQ(A.Real, B.Real) << Pair;
+    EXPECT_EQ(A.Pairs, B.Pairs) << Pair;
+    EXPECT_EQ(A.ExactPairs, B.ExactPairs) << Pair;
+    EXPECT_EQ(A.SoundnessViolated, B.SoundnessViolated) << Pair;
+  };
+  ExpectSame(MW, MS, "worklist vs sweep");
+  ExpectSame(MW, MP, "worklist vs parallel");
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===--- PlanCacheTest.cpp - shared ExecPlan cache tests ------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/PlanCache.h"
+
+#include "interp/Interpreter.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+namespace {
+
+const char *kProg = R"(
+  fn helper(a) { return a * 3 + 1; }
+  fn main(n) {
+    var acc = 0;
+    var i = 0;
+    while (i < n) { acc = acc + helper(i); i = i + 1; }
+    return acc;
+  })";
+
+} // namespace
+
+TEST(PlanCache, SameModuleObjectHitsTheMemo) {
+  ExecPlanCache Cache;
+  auto M = compileOrDie(kProg);
+  auto P1 = Cache.get(*M);
+  auto P2 = Cache.get(*M);
+  EXPECT_EQ(P1.get(), P2.get());
+  ExecPlanCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.MemoHits, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+}
+
+TEST(PlanCache, IdenticalContentSharesOnePlanAcrossModules) {
+  ExecPlanCache Cache;
+  auto MA = compileOrDie(kProg);
+  auto MB = compileOrDie(kProg); // distinct object, identical content
+  auto MC = MA->clone();
+  ASSERT_NE(MA->uid(), MB->uid());
+  ASSERT_NE(MA->uid(), MC->uid());
+
+  auto PA = Cache.get(*MA);
+  auto PB = Cache.get(*MB);
+  auto PC = Cache.get(*MC);
+  EXPECT_EQ(PA.get(), PB.get());
+  EXPECT_EQ(PA.get(), PC.get());
+
+  ExecPlanCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.ContentHits, 2u);
+  EXPECT_EQ(S.Entries, 1u);
+}
+
+TEST(PlanCache, DifferentContentGetsDifferentPlans) {
+  ExecPlanCache Cache;
+  auto MA = compileOrDie("fn main() { return 1; }");
+  auto MB = compileOrDie("fn main() { return 2; }");
+  auto PA = Cache.get(*MA);
+  auto PB = Cache.get(*MB);
+  EXPECT_NE(PA.get(), PB.get());
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+TEST(PlanCache, FingerprintCoversContentNotIdentity) {
+  auto MA = compileOrDie(kProg);
+  auto MB = compileOrDie(kProg);
+  auto MC = compileOrDie("fn main() { return 1; }");
+  EXPECT_EQ(modulePlanFingerprint(*MA), modulePlanFingerprint(*MB));
+  EXPECT_NE(modulePlanFingerprint(*MA), modulePlanFingerprint(*MC));
+}
+
+TEST(PlanCache, EvictionBoundsEntriesAndKeepsHandedOutPlansAlive) {
+  ExecPlanCache Cache(/*Capacity=*/2);
+  std::vector<std::unique_ptr<Module>> Mods;
+  std::vector<std::shared_ptr<const ExecPlan>> Plans;
+  for (int I = 0; I < 5; ++I) {
+    std::string Src =
+        "fn main() { return " + std::to_string(I) + "; }";
+    Mods.push_back(compileOrDie(Src));
+    Plans.push_back(Cache.get(*Mods.back()));
+  }
+  EXPECT_LE(Cache.stats().Entries, 2u);
+  // Evicted plans stay valid for as long as someone holds them.
+  for (const auto &P : Plans) {
+    ASSERT_NE(P, nullptr);
+    EXPECT_FALSE(P->Funcs.empty());
+  }
+  // An evicted module re-enters through a rebuild, still yielding a plan.
+  auto Again = Cache.get(*Mods.front());
+  ASSERT_NE(Again, nullptr);
+  EXPECT_FALSE(Again->Funcs.empty());
+}
+
+TEST(PlanCache, ConcurrentGetsOfOneContentConverge) {
+  ExecPlanCache Cache;
+  auto M = compileOrDie(kProg);
+  std::vector<std::unique_ptr<Module>> Clones;
+  for (int I = 0; I < 8; ++I)
+    Clones.push_back(M->clone());
+
+  std::vector<std::shared_ptr<const ExecPlan>> Got(Clones.size());
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Clones.size(); ++I)
+    Threads.emplace_back(
+        [&, I] { Got[I] = Cache.get(*Clones[I]); });
+  for (auto &T : Threads)
+    T.join();
+
+  for (const auto &P : Got) {
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(P.get(), Got.front().get());
+  }
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST(PlanCache, InterpretersShareThePlanThroughTheGlobalCache) {
+  auto MA = compileOrDie(kProg);
+  auto MB = compileOrDie(kProg);
+  const Function *MainA = MA->findFunction("main");
+  const Function *MainB = MB->findFunction("main");
+  ASSERT_NE(MainA, nullptr);
+  ASSERT_NE(MainB, nullptr);
+
+  ExecPlanCache::Stats Before = ExecPlanCache::global().stats();
+  Interpreter IA(*MA);
+  Interpreter IB(*MB);
+  RunResult RA = IA.run(*MainA, {10});
+  RunResult RB = IB.run(*MainB, {10});
+  ASSERT_TRUE(RA.Ok) << RA.Error;
+  ASSERT_TRUE(RB.Ok) << RB.Error;
+  EXPECT_EQ(RA.ReturnValue, RB.ReturnValue);
+  EXPECT_TRUE(RA.Counts == RB.Counts);
+
+  ExecPlanCache::Stats After = ExecPlanCache::global().stats();
+  // At most one build between the two runs: the second interpreter must
+  // have hit (memo or content) rather than re-decoding.
+  EXPECT_LE(After.Misses - Before.Misses, 1u);
+  EXPECT_GE(After.MemoHits + After.ContentHits,
+            Before.MemoHits + Before.ContentHits + 1);
+}

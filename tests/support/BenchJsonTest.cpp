@@ -1,0 +1,117 @@
+//===--- BenchJsonTest.cpp - bench report schema tests --------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+
+namespace {
+
+PipelineBenchReport samplePipelineReport() {
+  PipelineBenchReport R;
+  R.HardwareThreads = 4;
+  R.Workloads = 9;
+  R.Reps = 8;
+  R.WallSeconds = 14.0;
+  R.PlanCache.MemoHits = 207;
+  R.PlanCache.ContentHits = 3;
+  R.PlanCache.Misses = 9;
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    PipelinePoint P;
+    P.Jobs = Jobs;
+    P.Profiles = 72;
+    P.CollectSeconds = 3.8 / Jobs;
+    P.MergeSeconds = 0.001;
+    P.SolveSeconds = 0.002;
+    P.TotalSeconds = P.CollectSeconds + P.MergeSeconds + P.SolveSeconds;
+    P.ProfilesPerSec = 72.0 / P.TotalSeconds;
+    P.SpeedupVs1 = Jobs == 1 ? 1.0 : static_cast<double>(Jobs) * 0.9;
+    R.Points.push_back(P);
+  }
+  return R;
+}
+
+EngineBenchReport sampleEngineReport() {
+  EngineBenchReport R;
+  R.Jobs = 1;
+  R.WallSeconds = 9.3;
+  WorkloadBench W;
+  W.Name = "li";
+  W.Fast = {0.01, 1000, 100000.0};
+  W.Reference = {0.02, 1000, 50000.0};
+  W.Speedup = 2.0;
+  W.SolverEvaluationsWorklist = 243;
+  W.SolverEvaluationsSweep = 321;
+  R.Workloads.push_back(W);
+  return R;
+}
+
+TEST(BenchJsonTest, PipelineRenderRoundTripsThroughItsValidator) {
+  std::string Error;
+  EXPECT_TRUE(
+      validatePipelineBenchJson(renderPipelineBenchJson(samplePipelineReport()),
+                                Error))
+      << Error;
+}
+
+TEST(BenchJsonTest, PipelineValidatorRejectsMissingPlanCache) {
+  std::string Text = renderPipelineBenchJson(samplePipelineReport());
+  size_t At = Text.find("\"plan_cache\"");
+  ASSERT_NE(At, std::string::npos);
+  Text.replace(At, 12, "\"plan_cachy\"");
+  std::string Error;
+  EXPECT_FALSE(validatePipelineBenchJson(Text, Error));
+  EXPECT_NE(Error.find("plan_cache"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, PipelineValidatorRejectsEmptyPointList) {
+  PipelineBenchReport R = samplePipelineReport();
+  R.Points.clear();
+  std::string Error;
+  EXPECT_FALSE(validatePipelineBenchJson(renderPipelineBenchJson(R), Error));
+  EXPECT_NE(Error.find("points"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, PipelineValidatorPinsTheJobsOneAnchor) {
+  // The jobs=1 point is its own baseline; any other speedup is a harness
+  // bug, and the validator refuses to bless it.
+  PipelineBenchReport R = samplePipelineReport();
+  R.Points[0].SpeedupVs1 = 1.3;
+  std::string Error;
+  EXPECT_FALSE(validatePipelineBenchJson(renderPipelineBenchJson(R), Error));
+  EXPECT_NE(Error.find("speedup_vs_1"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, SnifferDispatchesOnTheSchemaTag) {
+  std::string Error;
+  EXPECT_TRUE(
+      validateBenchJson(renderEngineBenchJson(sampleEngineReport()), Error))
+      << Error;
+  EXPECT_TRUE(
+      validateBenchJson(renderPipelineBenchJson(samplePipelineReport()),
+                        Error))
+      << Error;
+}
+
+TEST(BenchJsonTest, SnifferRejectsUnknownSchemaTags) {
+  std::string Error;
+  EXPECT_FALSE(
+      validateBenchJson("{\"schema\": \"olpp.bench.nonsense/v9\"}", Error));
+  EXPECT_NE(Error.find("unknown tag"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, CrossSchemaValidationFails) {
+  // An engine report is not a pipeline report and vice versa.
+  std::string Error;
+  EXPECT_FALSE(validatePipelineBenchJson(
+      renderEngineBenchJson(sampleEngineReport()), Error));
+  EXPECT_FALSE(validateEngineBenchJson(
+      renderPipelineBenchJson(samplePipelineReport()), Error));
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===--- TaskPoolTest.cpp - work-stealing task pool tests -----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The TaskPool contract the parallel pipeline stages rely on: every
+// submitted task runs exactly once, tasks may submit subtasks and wait on
+// them (even on a one-worker pool), exceptions propagate through wait(),
+// destruction drains the queue, and parallelFor hands each slot to exactly
+// one task at a time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TaskPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+TEST(TaskPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  TaskPool Pool(4);
+  constexpr int N = 200;
+  std::atomic<int> Ran{0};
+  std::vector<TaskPool::Task> Tasks;
+  for (int I = 0; I < N; ++I)
+    Tasks.push_back(Pool.submit([&] { Ran.fetch_add(1); }));
+  for (auto &T : Tasks)
+    T.wait();
+  EXPECT_EQ(Ran.load(), N);
+}
+
+TEST(TaskPoolTest, NestedSubmitAndWaitDoesNotDeadlockOnOneWorker) {
+  TaskPool Pool(1);
+  std::atomic<int> Ran{0};
+  TaskPool::Task Outer = Pool.submit([&] {
+    std::vector<TaskPool::Task> Inner;
+    for (int I = 0; I < 8; ++I)
+      Inner.push_back(Pool.submit([&] { Ran.fetch_add(1); }));
+    for (auto &T : Inner)
+      T.wait(); // helping wait: the sole worker executes its own subtasks
+    Ran.fetch_add(1);
+  });
+  Outer.wait();
+  EXPECT_EQ(Ran.load(), 9);
+}
+
+TEST(TaskPoolTest, DeeplyNestedForkJoin) {
+  TaskPool Pool(2);
+  // Recursive fork/join: sum [0, 64) by binary splitting, every split a
+  // task. Exercises steal + help under real nesting.
+  std::function<uint64_t(uint64_t, uint64_t)> Sum =
+      [&](uint64_t Lo, uint64_t Hi) -> uint64_t {
+    if (Hi - Lo <= 4) {
+      uint64_t S = 0;
+      for (uint64_t I = Lo; I < Hi; ++I)
+        S += I;
+      return S;
+    }
+    uint64_t Mid = Lo + (Hi - Lo) / 2;
+    uint64_t Left = 0;
+    TaskPool::Task T = Pool.submit([&] { Left = Sum(Lo, Mid); });
+    uint64_t Right = Sum(Mid, Hi);
+    T.wait();
+    return Left + Right;
+  };
+  EXPECT_EQ(Sum(0, 64), 64u * 63u / 2);
+}
+
+TEST(TaskPoolTest, WaitRethrowsTaskException) {
+  TaskPool Pool(2);
+  TaskPool::Task Bad =
+      Pool.submit([] { throw std::runtime_error("boom in task"); });
+  EXPECT_THROW(Bad.wait(), std::runtime_error);
+  // The pool survives a throwing task.
+  std::atomic<bool> Ran{false};
+  TaskPool::Task Good = Pool.submit([&] { Ran.store(true); });
+  Good.wait();
+  EXPECT_TRUE(Ran.load());
+}
+
+TEST(TaskPoolTest, ParallelForPropagatesException) {
+  TaskPool Pool(2);
+  EXPECT_THROW(Pool.parallelFor(16,
+                                [&](size_t I, unsigned) {
+                                  if (I == 7)
+                                    throw std::runtime_error("item 7");
+                                }),
+               std::runtime_error);
+}
+
+TEST(TaskPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> Ran{0};
+  constexpr int N = 64;
+  {
+    TaskPool Pool(2);
+    for (int I = 0; I < N; ++I)
+      Pool.submit([&] { Ran.fetch_add(1); });
+    // No waits: the destructor must still run every queued task.
+  }
+  EXPECT_EQ(Ran.load(), N);
+}
+
+TEST(TaskPoolTest, ParallelForCoversEveryIndexOnceWithOwnedSlots) {
+  TaskPool Pool(4);
+  constexpr size_t N = 500;
+  std::vector<std::atomic<int>> Seen(N);
+  std::vector<std::atomic<int>> SlotBusy(Pool.numWorkers());
+  std::atomic<bool> SlotRace{false};
+  Pool.parallelFor(N, [&](size_t I, unsigned Slot) {
+    ASSERT_LT(Slot, Pool.numWorkers());
+    // A slot is owned by one task: no two items may run on it concurrently.
+    if (SlotBusy[Slot].fetch_add(1) != 0)
+      SlotRace.store(true);
+    Seen[I].fetch_add(1);
+    SlotBusy[Slot].fetch_sub(1);
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+  EXPECT_FALSE(SlotRace.load());
+}
+
+TEST(TaskPoolTest, ZeroAndOneItemParallelFor) {
+  TaskPool Pool(3);
+  int Ran = 0;
+  Pool.parallelFor(0, [&](size_t, unsigned) { ++Ran; });
+  EXPECT_EQ(Ran, 0);
+  Pool.parallelFor(1, [&](size_t I, unsigned Slot) {
+    EXPECT_EQ(I, 0u);
+    EXPECT_EQ(Slot, 0u);
+    ++Ran;
+  });
+  EXPECT_EQ(Ran, 1);
+}
+
+TEST(TaskPoolTest, SharedPoolIsUsable) {
+  std::atomic<int> Ran{0};
+  TaskPool::shared().parallelFor(32, [&](size_t, unsigned) {
+    Ran.fetch_add(1);
+  });
+  EXPECT_EQ(Ran.load(), 32);
+}
+
+} // namespace
