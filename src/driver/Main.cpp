@@ -26,6 +26,8 @@
 #include "interp/ShardedProfile.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "profdata/Merge.h"
+#include "profdata/Report.h"
 #include "profile/InstrCheck.h"
 #include "profile/ProfileDecode.h"
 #include "support/BenchJson.h"
@@ -39,6 +41,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <mutex>
@@ -60,11 +64,28 @@ int usage() {
       "       --degree K     overlapping loop paths of degree K\n"
       "       --interproc    also collect Type I/II profiles (degree K)\n"
       "       --top N        show the N hottest paths (default 10)\n"
+      "       -o FILE        also write a binary .olpp profile artifact\n"
+      "       --json         print the profile summary as JSON (composes\n"
+      "                      with -o: artifact and JSON are independent)\n"
       "       --lint         lint the program and audit the probes\n"
       "       --lint-json    emit lint findings as JSON\n"
       "       --lint-werror  treat lint warnings as errors\n"
-      "  olpp estimate <file.mc> [--degree K] [args...]\n"
+      "  olpp estimate <file.mc> [--degree K] [--profile FILE] [args...]\n"
       "       per-loop and per-call-site interesting path bounds\n"
+      "       --profile FILE  solve over a merged .olpp artifact instead of\n"
+      "                       re-profiling (no ground-truth column)\n"
+      "  olpp profdata merge -o OUT [--weight N] <in.olpp>...\n"
+      "       aggregate artifacts (saturating add; --weight N multiplies\n"
+      "       every counter, equivalent to N replays of each input)\n"
+      "  olpp profdata show <file.olpp> [--module file.mc] [--top N]\n"
+      "       [--json] [--no-bounds]\n"
+      "       provenance, hot paths, coverage; binds to --module (or the\n"
+      "       embedded workload it records) to re-solve definite/potential\n"
+      "       bounds over the merged counters\n"
+      "  olpp profdata diff <a.olpp> <b.olpp> [--top N] [--json]\n"
+      "       path records added / removed / regressed between artifacts\n"
+      "  olpp profdata export <file.olpp> [-o FILE]\n"
+      "       dump every counter as JSON\n"
       "  olpp lint <file.mc|--all> [--json] [--werror] [--degree K]\n"
       "       lint source and verify instrumentation invariants\n"
       "       (--all checks every embedded workload)\n"
@@ -73,7 +94,8 @@ int usage() {
       "       differential fuzzing: random programs cross-checked against\n"
       "       every oracle pair (fast vs reference engine, dense vs map\n"
       "       counter stores, profile vs trace-derived truth, worklist vs\n"
-      "       sweep vs parallel solver, bound soundness, abort consistency)\n"
+      "       sweep vs parallel solver, bound soundness, abort consistency,\n"
+      "       .olpp artifact round-trip + mutation rejection)\n"
       "       --seeds N      number of master seeds (default 100)\n"
       "       --seed S       run exactly one master seed (replay)\n"
       "       --jobs N       check seeds on N threads (0 = all cores,\n"
@@ -87,6 +109,9 @@ int usage() {
       "       --smoke        3 small workloads on cheap inputs\n"
       "       --out FILE     report path (default BENCH_engine.json)\n"
       "       --validate FILE  only check FILE against the report schema\n"
+      "       --emit-profdata DIR  write one .olpp artifact per counter\n"
+      "                      shard plus the merged artifact, and cross-check\n"
+      "                      artifact-level merge against the in-memory one\n"
       "\n"
       "run/profile/estimate/bench accept --engine fast|reference to select\n"
       "the execution engine (default: fast).\n"
@@ -115,6 +140,9 @@ bool readSource(const std::string &Path, std::string &Out) {
 
 struct Parsed {
   std::string File;
+  /// Positionals after File, verbatim (profdata takes several input files;
+  /// run/profile parse the same tokens as integers via Args).
+  std::vector<std::string> ExtraFiles;
   uint32_t Degree = 1;
   bool Interproc = false;
   size_t Top = 10;
@@ -130,8 +158,16 @@ struct Parsed {
   uint64_t FuzzSeed = 0;   ///< fuzz: single replay seed (--seed)
   bool HasFuzzSeed = false;
   bool Shrink = false;
-  std::string Out = "BENCH_engine.json";
+  /// Unified -o/--out/--output destination; each command supplies its own
+  /// default when empty (bench: BENCH_engine.json, export: stdout).
+  std::string Out;
   std::string Validate;
+  bool Json = false;          ///< machine-readable output (composes with -o)
+  uint64_t Weight = 1;        ///< profdata merge --weight
+  std::string FromProfile;    ///< estimate --profile FILE
+  std::string ModuleFile;     ///< profdata show --module FILE
+  bool NoBounds = false;      ///< profdata show --no-bounds
+  std::string EmitProfdata;   ///< bench --emit-profdata DIR
   bool Bad = false;
   bool Ok = false;
 };
@@ -148,9 +184,11 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.Top = static_cast<size_t>(std::atoi(Argv[++I]));
     } else if (A == "--lint") {
       P.Lint = true;
-    } else if (A == "--lint-json" || A == "--json") {
+    } else if (A == "--lint-json") {
       P.Lint = true;
       P.LintJson = true;
+    } else if (A == "--json") {
+      P.Json = true;
     } else if (A == "--lint-werror" || A == "--werror") {
       P.Lint = true;
       P.LintWerror = true;
@@ -171,13 +209,25 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.HasFuzzSeed = true;
     } else if (A == "--shrink") {
       P.Shrink = true;
-    } else if (A == "--out" && I + 1 < Argc) {
+    } else if ((A == "--out" || A == "--output" || A == "-o") &&
+               I + 1 < Argc) {
       P.Out = Argv[++I];
     } else if (A == "--validate" && I + 1 < Argc) {
       P.Validate = Argv[++I];
+    } else if (A == "--weight" && I + 1 < Argc) {
+      P.Weight = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (A == "--profile" && I + 1 < Argc) {
+      P.FromProfile = Argv[++I];
+    } else if (A == "--module" && I + 1 < Argc) {
+      P.ModuleFile = Argv[++I];
+    } else if (A == "--no-bounds") {
+      P.NoBounds = true;
+    } else if (A == "--emit-profdata" && I + 1 < Argc) {
+      P.EmitProfdata = Argv[++I];
     } else if (P.File.empty()) {
       P.File = A;
     } else {
+      P.ExtraFiles.push_back(A);
       P.Args.push_back(std::strtoll(A.c_str(), nullptr, 10));
     }
   }
@@ -279,6 +329,40 @@ int cmdProfile(const Parsed &P) {
     std::fprintf(stderr, "error: %s\n", R.Errors[0].c_str());
     return 1;
   }
+
+  // The artifact snapshots the pristine module's fingerprint: that is the
+  // program a later `profdata show --module` will recompile and bind.
+  RunMeta Meta;
+  Meta.Workload = P.File;
+  Meta.Runs = 1;
+  Meta.DynInstrCost = R.InstrCounts.Steps;
+  Meta.TimestampUnix = static_cast<uint64_t>(std::time(nullptr));
+  ProfileArtifact Artifact =
+      ProfileArtifact::fromRuntime(*R.BaseModule, R.MI, *R.Prof, Meta);
+
+  if (!P.Out.empty()) {
+    std::string Error;
+    if (!writeProfileArtifactFile(P.Out, Artifact, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%llu record(s))\n", P.Out.c_str(),
+                 static_cast<unsigned long long>(Artifact.numRecords()));
+  }
+
+  // --json and -o compose: the binary artifact and the JSON summary are
+  // independent outputs (artifact to the file, JSON to stdout).
+  if (P.Json) {
+    ArtifactBinding Bind;
+    Bind.InstrModule = std::move(R.InstrModule);
+    Bind.MI = std::move(R.MI);
+    ReportOptions RO;
+    RO.TopN = P.Top;
+    RO.Json = true;
+    std::fputs(renderArtifactReport(Artifact, &Bind, RO).c_str(), stdout);
+    return 0;
+  }
+
   std::printf("result %lld, overhead %.1f %%\n\n",
               static_cast<long long>(R.ReturnValue), R.overheadPercent());
 
@@ -308,7 +392,74 @@ int cmdProfile(const Parsed &P) {
   return 0;
 }
 
+/// `olpp estimate <file> --profile art.olpp`: bounds from a persisted
+/// (possibly multi-run) artifact instead of a fresh profiling run. There is
+/// no ground truth for an aggregate, so the Real column renders as "-", and
+/// the module is instrumented under the artifact's recorded mode, not the
+/// estimate default.
+int cmdEstimateFromProfile(const Parsed &P) {
+  ProfileArtifact A;
+  std::vector<Diagnostic> Diags;
+  if (!readProfileArtifactFile(P.FromProfile, A, Diags)) {
+    std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+    return 1;
+  }
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+  ArtifactBinding B;
+  if (!bindArtifactToModule(*M, A, B, Diags)) {
+    std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+    return 1;
+  }
+  ModuleEstimator Est(*B.InstrModule, B.MI, A.Counters);
+
+  TableWriter T({"Kind", "Where", "Real", "Definite", "Potential",
+                 "Exact Pairs"});
+  for (uint32_t F = 0; F < B.InstrModule->numFunctions(); ++F) {
+    const auto &Meta = B.MI.Funcs[F];
+    for (uint32_t L = 0; L < Meta.Loops->numLoops(); ++L) {
+      EstimateMetrics Met = Est.estimateLoop(F, L, nullptr);
+      if (Met.Pairs == 0)
+        continue;
+      T.addRow({"loop",
+                B.InstrModule->function(F)->Name + " ^" +
+                    std::to_string(Meta.Loops->loop(L).Header),
+                "-", std::to_string(Met.Definite),
+                std::to_string(Met.Potential),
+                std::to_string(Met.ExactPairs) + "/" +
+                    std::to_string(Met.Pairs)});
+    }
+  }
+  for (const CallSiteInfo &CS : B.MI.CallSites) {
+    EstimateMetrics MI1 = Est.estimateCallSiteTypeI(CS.CsId, nullptr);
+    EstimateMetrics MI2 = Est.estimateCallSiteTypeII(CS.CsId, nullptr);
+    if (MI1.Pairs + MI2.Pairs == 0)
+      continue;
+    std::string Where = B.InstrModule->function(CS.Func)->Name + " -> " +
+                        B.InstrModule->function(CS.Callee)->Name;
+    if (MI1.Pairs)
+      T.addRow({"type I", Where, "-", std::to_string(MI1.Definite),
+                std::to_string(MI1.Potential),
+                std::to_string(MI1.ExactPairs) + "/" +
+                    std::to_string(MI1.Pairs)});
+    if (MI2.Pairs)
+      T.addRow({"type II", Where, "-", std::to_string(MI2.Definite),
+                std::to_string(MI2.Potential),
+                std::to_string(MI2.ExactPairs) + "/" +
+                    std::to_string(MI2.Pairs)});
+  }
+  std::printf("interesting-path bounds from %s (%llu run(s), %s):\n\n",
+              P.FromProfile.c_str(),
+              static_cast<unsigned long long>(A.Meta.Runs),
+              instrumentModeString(A.Meta.Instr).c_str());
+  std::fputs(T.renderText().c_str(), stdout);
+  return 0;
+}
+
 int cmdEstimate(const Parsed &P) {
+  if (!P.FromProfile.empty())
+    return cmdEstimateFromProfile(P);
   auto M = compileOrFail(P.File);
   if (!M)
     return 1;
@@ -401,14 +552,164 @@ int cmdLint(const Parsed &P) {
     std::vector<Diagnostic> D = lintAndCheck(*M, P.Degree);
     Diags.insert(Diags.end(), D.begin(), D.end());
   }
-  emitLintFindings(P, Diags);
+  Parsed PL = P; // for lint, --json means the findings themselves
+  PL.LintJson |= P.Json;
+  emitLintFindings(PL, Diags);
   Severity Min = P.LintWerror ? Severity::Warning : Severity::Error;
   if (anySeverityAtLeast(Diags, Min))
     return 1;
-  if (!P.LintJson)
+  if (!PL.LintJson)
     std::printf("%zu file(s) clean (%zu finding(s) below threshold)\n",
                 Files.size(), Diags.size());
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// olpp profdata: persistent .olpp profile artifacts
+//===----------------------------------------------------------------------===//
+
+int profdataFail(const std::vector<Diagnostic> &Diags) {
+  std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+  return 1;
+}
+
+int cmdProfdataMerge(const Parsed &P) {
+  std::vector<std::string> Inputs;
+  if (!P.File.empty())
+    Inputs.push_back(P.File);
+  Inputs.insert(Inputs.end(), P.ExtraFiles.begin(), P.ExtraFiles.end());
+  if (Inputs.empty()) {
+    std::fprintf(stderr,
+                 "error: profdata merge needs at least one input artifact\n");
+    return 2;
+  }
+  if (P.Out.empty()) {
+    std::fprintf(stderr, "error: profdata merge requires -o OUT\n");
+    return 2;
+  }
+  std::vector<Diagnostic> Diags;
+  ProfileArtifact Acc;
+  // Folding from an empty accumulator applies --weight uniformly to every
+  // input, the first included.
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    ProfileArtifact A;
+    if (!readProfileArtifactFile(Inputs[I], A, Diags)) {
+      std::fprintf(stderr, "error: reading '%s':\n", Inputs[I].c_str());
+      return profdataFail(Diags);
+    }
+    if (I == 0)
+      Acc = makeEmptyLike(A);
+    MergeOptions MO;
+    MO.Weight = P.Weight;
+    if (!mergeArtifacts(Acc, A, Diags, MO)) {
+      std::fprintf(stderr, "error: merging '%s':\n", Inputs[I].c_str());
+      return profdataFail(Diags);
+    }
+  }
+  std::string Error;
+  if (!writeProfileArtifactFile(P.Out, Acc, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("merged %zu artifact(s) into %s: %llu run(s), %llu record(s), "
+              "total flow %llu\n",
+              Inputs.size(), P.Out.c_str(),
+              static_cast<unsigned long long>(Acc.Meta.Runs),
+              static_cast<unsigned long long>(Acc.numRecords()),
+              static_cast<unsigned long long>(Acc.totalPathCount()));
+  return 0;
+}
+
+int cmdProfdataShow(const Parsed &P) {
+  std::vector<Diagnostic> Diags;
+  ProfileArtifact A;
+  if (!readProfileArtifactFile(P.File, A, Diags))
+    return profdataFail(Diags);
+
+  ArtifactBinding Bind;
+  const ArtifactBinding *BindPtr = nullptr;
+  if (!P.ModuleFile.empty()) {
+    // An explicitly named module must bind, or the report would be built on
+    // a mismatched program.
+    auto M = compileOrFail(P.ModuleFile);
+    if (!M)
+      return 1;
+    if (!bindArtifactToModule(*M, A, Bind, Diags))
+      return profdataFail(Diags);
+    BindPtr = &Bind;
+  } else if (findWorkload(A.Meta.Workload)) {
+    // The artifact records an embedded workload: bind opportunistically so
+    // plain `profdata show art.olpp` already reports solver bounds.
+    if (auto M = compileOrFail(A.Meta.Workload)) {
+      std::vector<Diagnostic> BindDiags;
+      if (bindArtifactToModule(*M, A, Bind, BindDiags))
+        BindPtr = &Bind;
+      else
+        std::fprintf(stderr,
+                     "note: workload '%s' no longer matches the artifact; "
+                     "showing without bounds\n",
+                     A.Meta.Workload.c_str());
+    }
+  }
+
+  ReportOptions RO;
+  RO.TopN = P.Top;
+  RO.Json = P.Json;
+  RO.WithBounds = !P.NoBounds;
+  std::fputs(renderArtifactReport(A, BindPtr, RO).c_str(), stdout);
+  return 0;
+}
+
+int cmdProfdataDiff(const Parsed &P) {
+  if (P.ExtraFiles.empty()) {
+    std::fprintf(stderr, "error: profdata diff needs two artifacts\n");
+    return 2;
+  }
+  std::vector<Diagnostic> Diags;
+  ProfileArtifact A, B;
+  if (!readProfileArtifactFile(P.File, A, Diags) ||
+      !readProfileArtifactFile(P.ExtraFiles[0], B, Diags))
+    return profdataFail(Diags);
+  DiffOptions DO;
+  DO.TopN = P.Top;
+  DO.Json = P.Json;
+  std::fputs(
+      renderArtifactDiff(A, B, P.File, P.ExtraFiles[0], DO).c_str(),
+      stdout);
+  return 0;
+}
+
+int cmdProfdataExport(const Parsed &P) {
+  std::vector<Diagnostic> Diags;
+  ProfileArtifact A;
+  if (!readProfileArtifactFile(P.File, A, Diags))
+    return profdataFail(Diags);
+  std::string Json = renderArtifactJson(A);
+  if (P.Out.empty()) {
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream OS(P.Out);
+  if (!OS || !(OS << Json)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", P.Out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", P.Out.c_str());
+  return 0;
+}
+
+int cmdProfdata(const std::string &Sub, const Parsed &P) {
+  if (Sub == "merge")
+    return cmdProfdataMerge(P);
+  if (P.File.empty())
+    return usage();
+  if (Sub == "show")
+    return cmdProfdataShow(P);
+  if (Sub == "diff")
+    return cmdProfdataDiff(P);
+  if (Sub == "export")
+    return cmdProfdataExport(P);
+  return usage();
 }
 
 //===----------------------------------------------------------------------===//
@@ -554,8 +855,13 @@ bool benchOneWorkload(BenchItem &Item, bool Smoke) {
 /// Re-profiles \p Item Reps times across a task pool, each worker slot
 /// owning a private counter shard (interp/ShardedProfile.h), tree-merges
 /// the shards at the end and verifies the result against the single-run
-/// profile. Returns false with Item.Error set on a mismatch.
-bool benchParallelMerge(BenchItem &Item, unsigned Jobs, unsigned Reps) {
+/// profile. With a non-empty \p EmitDir, every shard is also serialized as
+/// its own .olpp artifact (before the merge clears it), the artifacts are
+/// merged at the artifact level and cross-checked bit-for-bit against the
+/// in-memory merge, and the merged artifact is written and read back.
+/// Returns false with Item.Error set on any mismatch.
+bool benchParallelMerge(BenchItem &Item, unsigned Jobs, unsigned Reps,
+                        const std::string &EmitDir) {
   const Function *Main = Item.M->findFunction("main");
   unsigned Workers = Jobs == 0 ? defaultJobCount() : Jobs;
   if (Workers > Reps)
@@ -568,12 +874,15 @@ bool benchParallelMerge(BenchItem &Item, unsigned Jobs, unsigned Reps) {
   RunConfig RC;
   RC.MaxSteps = 2'000'000'000;
   std::mutex ErrorMu;
+  std::vector<uint64_t> SlotRuns(Workers, 0), SlotSteps(Workers, 0);
   // Slot (not thread) identity indexes the shard: parallelFor guarantees a
   // slot never runs concurrently with itself, so each shard has exactly one
   // writer and the probe hot path stays free of atomics.
   Pool.parallelFor(Reps, [&](size_t, unsigned Slot) {
     Interpreter I(*Item.M, &Shards.shard(Slot));
     RunResult R = I.run(*Main, Item.Args, RC);
+    SlotRuns[Slot] += 1;
+    SlotSteps[Slot] += R.Counts.Steps;
     if (!R.Ok || R.ReturnValue != Item.ReturnValue) {
       std::lock_guard<std::mutex> Lock(ErrorMu);
       Item.Error = "parallel batch run failed: " +
@@ -583,7 +892,87 @@ bool benchParallelMerge(BenchItem &Item, unsigned Jobs, unsigned Reps) {
   if (!Item.Error.empty())
     return false;
 
+  // Shard artifacts must be emitted now: merge() below clears the shards
+  // it folds away. The fingerprint comes from a pristine recompile — Item.M
+  // was instrumented in place, and an artifact names the program a later
+  // `profdata show --module` will bind against.
+  std::vector<ProfileArtifact> ShardArts;
+  std::unique_ptr<Module> Pristine;
+  uint64_t Stamp = 0;
+  if (!EmitDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(EmitDir, EC);
+    if (EC) {
+      Item.Error = "cannot create '" + EmitDir + "': " + EC.message();
+      return false;
+    }
+    CompileResult CR = compileMiniC(Item.W->Source);
+    if (!CR.ok()) {
+      Item.Error = "recompile for artifact emission failed";
+      return false;
+    }
+    Pristine = std::move(CR.M);
+    Stamp = static_cast<uint64_t>(std::time(nullptr));
+    for (unsigned T = 0; T < Workers; ++T) {
+      RunMeta Meta;
+      Meta.Workload = Item.W->Name;
+      Meta.Runs = SlotRuns[T];
+      Meta.DynInstrCost = SlotSteps[T];
+      Meta.TimestampUnix = Stamp;
+      ShardArts.push_back(ProfileArtifact::fromRuntime(
+          *Pristine, Item.MI, Shards.shard(T), Meta));
+      std::string Path = EmitDir + "/" + Item.W->Name + ".shard" +
+                         std::to_string(T) + ".olpp";
+      std::string Error;
+      if (!writeProfileArtifactFile(Path, ShardArts.back(), Error)) {
+        Item.Error = Error;
+        return false;
+      }
+    }
+  }
+
   ProfileRuntime &Merged = Shards.merge(&Pool);
+
+  if (!EmitDir.empty()) {
+    // Merging the per-shard artifacts must be bit-identical to the
+    // in-memory tree merge of the shards themselves.
+    std::vector<Diagnostic> Diags;
+    ProfileArtifact Acc = makeEmptyLike(ShardArts[0]);
+    for (const ProfileArtifact &SA : ShardArts)
+      if (!mergeArtifacts(Acc, SA, Diags)) {
+        Item.Error = "artifact merge rejected: " + Diags[0].Message;
+        return false;
+      }
+    uint64_t TotalSteps = 0;
+    for (uint64_t S : SlotSteps)
+      TotalSteps += S;
+    RunMeta Meta;
+    Meta.Workload = Item.W->Name;
+    Meta.Runs = Reps;
+    Meta.DynInstrCost = TotalSteps;
+    Meta.TimestampUnix = Stamp;
+    ProfileArtifact FromMemory =
+        ProfileArtifact::fromRuntime(*Pristine, Item.MI, Merged, Meta);
+    std::string FirstDiff;
+    if (!artifactsEqual(Acc, FromMemory, &FirstDiff)) {
+      Item.Error =
+          "artifact-level merge diverges from in-memory merge: " + FirstDiff;
+      return false;
+    }
+    std::string Path = EmitDir + "/" + Item.W->Name + ".olpp";
+    std::string Error;
+    if (!writeProfileArtifactFile(Path, Acc, Error)) {
+      Item.Error = Error;
+      return false;
+    }
+    ProfileArtifact Back;
+    if (!readProfileArtifactFile(Path, Back, Diags) ||
+        !artifactsEqual(Acc, Back, &FirstDiff)) {
+      Item.Error = "merged artifact failed read-back: " +
+                   (FirstDiff.empty() ? "decode rejected" : FirstDiff);
+      return false;
+    }
+  }
 
   // Runs are deterministic, so the merged profile must be exactly Reps
   // times the single-run profile — clamped where the sum saturates, which
@@ -691,7 +1080,7 @@ int cmdBench(const Parsed &P) {
   // at the end and checked against a single sequential run.
   unsigned Reps = std::max(2u, std::min(Jobs, 4u));
   for (BenchItem &Item : Items)
-    if (!benchParallelMerge(Item, Jobs, Reps)) {
+    if (!benchParallelMerge(Item, Jobs, Reps, P.EmitProfdata)) {
       std::fprintf(stderr, "error: workload %s: %s\n", Item.W->Name.c_str(),
                    Item.Error.c_str());
       return 1;
@@ -718,8 +1107,13 @@ int cmdBench(const Parsed &P) {
   std::printf("geomean speedup %.2fx, batch wall %.2fs\n",
               Report.geomeanSpeedup(), Report.WallSeconds);
 
+  if (!P.EmitProfdata.empty())
+    std::printf("wrote per-shard and merged .olpp artifacts to %s\n",
+                P.EmitProfdata.c_str());
+
+  const std::string OutPath = P.Out.empty() ? "BENCH_engine.json" : P.Out;
   std::string Error;
-  if (!writeEngineBenchJson(P.Out, Report, Error)) {
+  if (!writeEngineBenchJson(OutPath, Report, Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
@@ -729,7 +1123,7 @@ int cmdBench(const Parsed &P) {
                  Error.c_str());
     return 1;
   }
-  std::printf("wrote %s\n", P.Out.c_str());
+  std::printf("wrote %s\n", OutPath.c_str());
   return 0;
 }
 
@@ -744,7 +1138,7 @@ int cmdFuzz(const Parsed &P) {
   }
   DifferentialRunner Runner(FO);
   FuzzReport Rep = Runner.run();
-  if (P.LintJson)
+  if (P.LintJson || P.Json)
     std::fputs(renderDiagnosticsJson(Rep.toDiagnostics()).c_str(), stdout);
   else
     std::fputs(Rep.str().c_str(), stdout);
@@ -774,6 +1168,12 @@ int main(int Argc, char **Argv) {
   std::string Cmd = Argv[1];
   if (Cmd == "workloads")
     return cmdWorkloads();
+  if (Cmd == "profdata") {
+    if (Argc < 3)
+      return usage();
+    Parsed PD = parseArgs(Argc, Argv, 3);
+    return PD.Bad ? usage() : cmdProfdata(Argv[2], PD);
+  }
   Parsed P = parseArgs(Argc, Argv, 2);
   if (Cmd == "bench")
     return P.Bad ? usage() : cmdBench(P);

@@ -13,6 +13,7 @@
 #include "fuzz/Shrinker.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
+#include "profdata/ProfData.h"
 #include "profile/ProfileDecode.h"
 #include "support/Rng.h"
 #include "support/TaskPool.h"
@@ -40,6 +41,8 @@ const char *olpp::fuzzOracleName(FuzzOracle O) {
     return "bounds";
   case FuzzOracle::Abort:
     return "abort";
+  case FuzzOracle::Roundtrip:
+    return "roundtrip";
   }
   return "?";
 }
@@ -191,6 +194,9 @@ void applyFault(FaultKind Fault, CounterSnapshot &S) {
     }
     return;
   }
+  case FaultKind::SkewArtifactRoundtrip:
+  case FaultKind::ArtifactCrcOff:
+    return; // applied inside the round-trip oracle, not here
   }
 }
 
@@ -376,6 +382,103 @@ std::string checkAbortConsistency(const Module &Base,
                                            "fresh runtimes merged");
 }
 
+/// FaultKind::SkewArtifactRoundtrip's hook: perturbs one decoded counter
+/// between the read and the comparison so artifactsEqual must flag the
+/// mismatch (proves the round-trip oracle has teeth).
+void skewArtifact(ProfileArtifact &A) {
+  for (auto &S : A.Counters.PathCounts) {
+    if (S.empty())
+      continue;
+    int64_t Id = 0;
+    for (const auto &E : S) {
+      Id = E.first;
+      break;
+    }
+    S.add(Id, 1);
+    return;
+  }
+  ++A.Meta.Runs; // no path counters at all: perturb provenance instead
+}
+
+/// The mutation sub-oracle: deterministic single-bit flips, strict-prefix
+/// truncations and crafted checksum-field corruptions of a serialized
+/// artifact, every one of which the checked reader must reject. Positions
+/// derive from an FNV-1a hash of the bytes, so they vary with program shape
+/// yet replay exactly per seed. Under FaultKind::ArtifactCrcOff the reader
+/// runs with CRC verification disabled — the checksum-field mutants are then
+/// silently accepted, which is exactly the defect this oracle exists to
+/// catch. Returns "" on success, else the first silent acceptance.
+std::string checkArtifactMutations(const std::string &Bytes, FaultKind Fault) {
+  ProfDataReadOptions RO;
+  RO.VerifyCrc = Fault != FaultKind::ArtifactCrcOff;
+  auto accepted = [&](const std::string &Mut) {
+    ProfileArtifact Out;
+    std::vector<Diagnostic> Diags;
+    return readProfileArtifactBytes(Mut, Out, Diags, RO);
+  };
+
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Bytes)
+    H = (H ^ C) * 0x100000001b3ULL;
+
+  // 12 single-bit flips. Every payload byte sits under a CRC-32 (which
+  // catches all single-bit errors), the header is self-checksummed, and a
+  // corrupted section framing byte can only fail towards truncation or
+  // missing/duplicate-section errors — so none of these may ever decode.
+  for (unsigned I = 0; I < 12; ++I) {
+    uint64_t X = H + 0x9E3779B97F4A7C15ULL * (I + 1);
+    X ^= X >> 29;
+    X *= 0xBF58476D1CE4E5B9ULL;
+    X ^= X >> 32;
+    size_t Pos = static_cast<size_t>(X % Bytes.size());
+    unsigned Bit = static_cast<unsigned>((X >> 8) % 8);
+    std::string Mut = Bytes;
+    Mut[Pos] = static_cast<char>(Mut[Pos] ^ (1u << Bit));
+    if (accepted(Mut))
+      return "mutated artifact accepted: bit " + std::to_string(Bit) +
+             " flipped at byte " + std::to_string(Pos) + " of " +
+             std::to_string(Bytes.size());
+  }
+
+  // 4 strict-prefix truncations (length < full size, possibly 0).
+  for (unsigned I = 0; I < 4; ++I) {
+    uint64_t X = H + 0xD1B54A32D192ED03ULL * (I + 1);
+    X ^= X >> 27;
+    X *= 0x94D049BB133111EBULL;
+    X ^= X >> 31;
+    size_t Len = static_cast<size_t>(X % Bytes.size());
+    if (accepted(Bytes.substr(0, Len)))
+      return "truncated artifact accepted: prefix of " + std::to_string(Len) +
+             " of " + std::to_string(Bytes.size()) + " byte(s)";
+  }
+
+  // Crafted checksum-field flips: the stored header CRC (byte 12) and the
+  // first section's stored payload CRC. These leave every payload byte
+  // intact, so only CRC verification can catch them.
+  {
+    std::string Mut = Bytes;
+    Mut[12] = static_cast<char>(Mut[12] ^ 0x01);
+    if (accepted(Mut))
+      return "artifact with corrupted header checksum accepted (CRC "
+             "verification disabled?)";
+  }
+  size_t LenOff = profdata::HeaderSize + 1;
+  if (LenOff + 8 <= Bytes.size()) {
+    uint64_t PayLen = 0;
+    for (unsigned I = 0; I < 8; ++I)
+      PayLen |= uint64_t(uint8_t(Bytes[LenOff + I])) << (8 * I);
+    size_t CrcOff = LenOff + 8 + PayLen;
+    if (CrcOff + 4 <= Bytes.size()) {
+      std::string Mut = Bytes;
+      Mut[CrcOff] = static_cast<char>(Mut[CrcOff] ^ 0x40);
+      if (accepted(Mut))
+        return "artifact with corrupted section checksum accepted (CRC "
+               "verification disabled?)";
+    }
+  }
+  return "";
+}
+
 } // namespace
 
 DifferentialRunner::CaseStatus
@@ -522,7 +625,10 @@ DifferentialRunner::checkProgram(const std::string &Source,
   }
 
   // Oracles 4 + 5: the two interval-solver implementations must agree on
-  // every metric, and the bounds must bracket the ground truth.
+  // every metric, and the bounds must bracket the ground truth. MW outlives
+  // the block: the round-trip oracle below compares the decoded artifact's
+  // bounds against it.
+  EstimateMetrics MW;
   {
     SolverImplGuard Guard;
     auto metrics = [&](SolverImpl Impl) {
@@ -535,7 +641,7 @@ DifferentialRunner::checkProgram(const std::string &Source,
       }
       return M;
     };
-    EstimateMetrics MW = metrics(SolverImpl::Worklist);
+    MW = metrics(SolverImpl::Worklist);
     EstimateMetrics MS = metrics(SolverImpl::Sweep);
     EstimateMetrics MP = metrics(SolverImpl::Parallel);
     auto Differs = [](const EstimateMetrics &A, const EstimateMetrics &B) {
@@ -576,6 +682,63 @@ DifferentialRunner::checkProgram(const std::string &Source,
       return Fail(FuzzOracle::Abort, D);
   }
   (void)ProbeSteps;
+
+  // Oracle 7: .olpp round trip. The profile serialized into the artifact
+  // container and read back by the checked reader must compare equal and
+  // reproduce the solver's conclusions exactly; then the mutation sub-oracle
+  // requires every deterministic corruption of the bytes to be rejected.
+  {
+    RunMeta Meta;
+    Meta.Workload = "fuzz";
+    Meta.Instr = Setup.InstrOpts;
+    Meta.Runs = 1;
+    Meta.DynInstrCost = RFast.InstrCounts.Steps;
+    Meta.TimestampUnix = 0;
+    ProfileArtifact Art = ProfileArtifact::fromRuntime(
+        *RFast.BaseModule, RFast.MI, *RFast.Prof, Meta);
+    std::string Bytes = serializeProfileArtifact(Art);
+
+    ProfileArtifact Back;
+    std::vector<Diagnostic> Diags;
+    if (!readProfileArtifactBytes(Bytes, Back, Diags))
+      return Fail(FuzzOracle::Roundtrip,
+                  "checked reader rejected a freshly written artifact: " +
+                      (Diags.empty() ? std::string("(no diagnostic)")
+                                     : Diags[0].str()));
+    if (Opts.Fault == FaultKind::SkewArtifactRoundtrip)
+      skewArtifact(Back);
+    std::string FirstDiff;
+    if (!artifactsEqual(Art, Back, &FirstDiff))
+      return Fail(FuzzOracle::Roundtrip,
+                  "round trip is not lossless: " + FirstDiff);
+
+    // Re-run the estimator over the decoded counters: persisting a profile
+    // must not change a single solver conclusion.
+    {
+      SolverImplGuard Guard;
+      setThreadSolverImpl(SolverImpl::Worklist);
+      ModuleEstimator Est(*RFast.InstrModule, RFast.MI, Back.Counters);
+      EstimateMetrics MB = Est.estimateLoops(&RFast.GT);
+      if (Setup.InstrOpts.Interproc) {
+        MB.add(Est.estimateTypeI(&RFast.GT));
+        MB.add(Est.estimateTypeII(&RFast.GT));
+      }
+      if (MB.Definite != MW.Definite || MB.Potential != MW.Potential ||
+          MB.Real != MW.Real || MB.ExactPairs != MW.ExactPairs)
+        return Fail(FuzzOracle::Roundtrip,
+                    "bounds change across the round trip: definite " +
+                        std::to_string(MW.Definite) + " -> " +
+                        std::to_string(MB.Definite) + ", potential " +
+                        std::to_string(MW.Potential) + " -> " +
+                        std::to_string(MB.Potential) + ", exact pairs " +
+                        std::to_string(MW.ExactPairs) + " -> " +
+                        std::to_string(MB.ExactPairs));
+    }
+
+    std::string D = checkArtifactMutations(Bytes, Opts.Fault);
+    if (!D.empty())
+      return Fail(FuzzOracle::Roundtrip, D);
+  }
 
   return CaseStatus::Clean;
 }

@@ -23,7 +23,12 @@
 ///                  no per-path soundness violation,
 ///   abort          both engines aborted mid-run (fuel) must agree exactly,
 ///                  and a runtime reused across aborted runs must equal
-///                  fresh runtimes merged (resetTransient correctness).
+///                  fresh runtimes merged (resetTransient correctness),
+///   roundtrip      the profile serialized to the .olpp container, read back
+///                  by the checked reader, must compare artifact-equal and
+///                  reproduce the solver's bounds exactly; additionally every
+///                  deterministic byte mutation (bit flips, truncations) of
+///                  the serialized artifact must be rejected wholesale.
 ///
 /// Failures are reported as structured Diagnostics (pass "fuzz-<oracle>")
 /// with a replay hint, and optionally minimized by the structural shrinker
@@ -56,6 +61,7 @@ enum class FuzzOracle : uint8_t {
   SolverDiff,   ///< worklist vs sweep interval solver
   Bounds,       ///< definite <= real <= potential violated
   Abort,        ///< aborted-run divergence or runtime-reuse inconsistency
+  Roundtrip,    ///< .olpp serialize/read mismatch or silent mutant acceptance
 };
 
 const char *fuzzOracleName(FuzzOracle O);
@@ -67,6 +73,8 @@ enum class FaultKind : uint8_t {
   None,
   DropTypeI,       ///< lose one Type I tuple from the fast engine's table
   SkewPathCounter, ///< off-by-one on one fast-engine path counter
+  SkewArtifactRoundtrip, ///< bump one decoded counter between read and compare
+  ArtifactCrcOff,  ///< read mutated artifacts with CRC verification disabled
 };
 
 struct FuzzOptions {

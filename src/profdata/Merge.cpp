@@ -1,0 +1,114 @@
+//===--- Merge.cpp - Multi-run .olpp artifact merging ---------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profdata/Merge.h"
+
+#include "support/Saturate.h"
+
+#include <algorithm>
+
+using namespace olpp;
+
+ProfileArtifact olpp::makeEmptyLike(const ProfileArtifact &A) {
+  ProfileArtifact E;
+  E.Fingerprint = A.Fingerprint;
+  E.NumFunctions = A.NumFunctions;
+  E.Meta.Workload = A.Meta.Workload;
+  E.Meta.Instr = A.Meta.Instr;
+  E.Meta.Runs = 0;
+  E.Meta.DynInstrCost = 0;
+  E.Meta.TimestampUnix = 0;
+  E.IdSpaces = A.IdSpaces;
+  E.Counters.PathCounts.resize(A.NumFunctions);
+  for (uint32_t F = 0; F < A.NumFunctions; ++F)
+    E.Counters.configurePathStore(F, F < E.IdSpaces.size() ? E.IdSpaces[F]
+                                                           : 0);
+  return E;
+}
+
+namespace {
+
+bool incompatible(const ProfileArtifact &Dst, const ProfileArtifact &Src,
+                  std::vector<Diagnostic> &Diags) {
+  auto Reject = [&](std::string Msg) {
+    Diags.push_back(
+        makeDiag(Severity::Error, "profdata-merge", "", std::move(Msg)));
+    return true;
+  };
+  if (Dst.Fingerprint != Src.Fingerprint)
+    return Reject("module fingerprint mismatch: artifacts profile different "
+                  "modules");
+  if (Dst.NumFunctions != Src.NumFunctions)
+    return Reject("function count mismatch");
+  const InstrumentOptions &A = Dst.Meta.Instr, &B = Src.Meta.Instr;
+  if (A.LoopOverlap != B.LoopOverlap || A.LoopDegree != B.LoopDegree ||
+      A.Interproc != B.Interproc ||
+      A.InterprocDegree != B.InterprocDegree ||
+      A.CallBreaking != B.CallBreaking || A.UseChords != B.UseChords)
+    return Reject("instrumentation mode mismatch: profiles collected under "
+                  "different modes or degrees do not aggregate");
+  for (uint32_t F = 0; F < Dst.NumFunctions; ++F) {
+    uint64_t SA = F < Dst.IdSpaces.size() ? Dst.IdSpaces[F] : 0;
+    uint64_t SB = F < Src.IdSpaces.size() ? Src.IdSpaces[F] : 0;
+    if (SA != 0 && SB != 0 && SA != SB)
+      return Reject("path-id space mismatch in function " +
+                    std::to_string(F));
+  }
+  return false;
+}
+
+} // namespace
+
+bool olpp::mergeArtifacts(ProfileArtifact &Dst, const ProfileArtifact &Src,
+                          std::vector<Diagnostic> &Diags,
+                          const MergeOptions &Opts) {
+  if (Opts.Weight == 0) {
+    Diags.push_back(makeDiag(Severity::Error, "profdata-merge", "",
+                             "merge weight must be positive"));
+    return false;
+  }
+  if (incompatible(Dst, Src, Diags))
+    return false;
+
+  // Reconcile id spaces (a shard that never entered a function may record 0
+  // for it) and make sure the destination stores exist and are configured
+  // before counters land, so dense representation kicks in where possible.
+  if (Dst.IdSpaces.size() < Dst.NumFunctions)
+    Dst.IdSpaces.resize(Dst.NumFunctions, 0);
+  if (Dst.Counters.PathCounts.size() < Dst.NumFunctions)
+    Dst.Counters.PathCounts.resize(Dst.NumFunctions);
+  for (uint32_t F = 0; F < Dst.NumFunctions; ++F) {
+    uint64_t SB = F < Src.IdSpaces.size() ? Src.IdSpaces[F] : 0;
+    if (Dst.IdSpaces[F] == 0 && SB != 0)
+      Dst.IdSpaces[F] = SB;
+    Dst.Counters.configurePathStore(F, Dst.IdSpaces[F]);
+  }
+
+  for (uint32_t F = 0; F < Dst.NumFunctions; ++F) {
+    if (F >= Src.Counters.PathCounts.size())
+      break;
+    PathCounterStore &D = Dst.Counters.PathCounts[F];
+    for (const auto &[Id, Count] : Src.Counters.PathCounts[F])
+      D.add(Id, saturatingMul(Count, Opts.Weight));
+  }
+  for (const auto &[Key, Count] : Src.Counters.TypeICounts)
+    Dst.Counters.TypeICounts.bump(Key, saturatingMul(Count, Opts.Weight));
+  for (const auto &[Key, Count] : Src.Counters.TypeIICounts)
+    Dst.Counters.TypeIICounts.bump(Key, saturatingMul(Count, Opts.Weight));
+
+  Dst.Meta.Runs =
+      saturatingAdd(Dst.Meta.Runs, saturatingMul(Src.Meta.Runs, Opts.Weight));
+  Dst.Meta.DynInstrCost = saturatingAdd(
+      Dst.Meta.DynInstrCost, saturatingMul(Src.Meta.DynInstrCost, Opts.Weight));
+  Dst.Meta.TimestampUnix =
+      std::max(Dst.Meta.TimestampUnix, Src.Meta.TimestampUnix);
+  if (Dst.Meta.Workload.empty())
+    Dst.Meta.Workload = Src.Meta.Workload;
+  else if (!Src.Meta.Workload.empty() &&
+           Src.Meta.Workload < Dst.Meta.Workload)
+    Dst.Meta.Workload = Src.Meta.Workload;
+  return true;
+}

@@ -1,0 +1,60 @@
+//===--- Merge.h - Multi-run .olpp artifact merging -------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merging of `.olpp` profile artifacts across runs, shards and machines.
+///
+/// Merge reuses the runtime stores' own primitives (PathCounterStore::add,
+/// FlatInterprocTable::bump), so merging N single-run artifacts is
+/// bit-identical to one N-run profiling session: saturating addition is
+/// associative and commutative, hence any merge order (serial, tree,
+/// sharded) produces the same counters, including at the UINT64_MAX clamp.
+/// A `--weight N` merge multiplies every counter with saturatingMul first,
+/// which equals N replays of the run (N saturating adds of C converge to
+/// min(N*C, MAX)).
+///
+/// Compatibility is checked before any counter moves: fingerprint, function
+/// count, instrumentation mode and degrees, and per-function id spaces must
+/// agree, otherwise the merge is rejected with diagnostics (pass
+/// "profdata-merge") and the destination is left untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFDATA_MERGE_H
+#define OLPP_PROFDATA_MERGE_H
+
+#include "profdata/ProfData.h"
+
+namespace olpp {
+
+struct MergeOptions {
+  /// Each counter of the source contributes count * Weight (saturating).
+  /// Runs and DynInstrCost scale the same way. Weight 0 is rejected.
+  uint64_t Weight = 1;
+};
+
+/// An artifact with the identity (fingerprint, function count, metadata,
+/// id spaces) of \p A but zero counters, Runs = 0, DynInstrCost = 0 and
+/// TimestampUnix = 0. The natural accumulator for a fold over artifacts:
+/// starting from this and merging each input applies one uniform weight to
+/// every input, including the first.
+ProfileArtifact makeEmptyLike(const ProfileArtifact &A);
+
+/// Merges \p Src into \p Dst with saturating-add semantics. Returns false
+/// (appending diagnostics, destination untouched) when the artifacts are
+/// incompatible or Opts.Weight == 0.
+///
+/// Metadata combines commutatively: Runs and DynInstrCost accumulate
+/// (saturating, scaled by Weight), TimestampUnix takes the maximum, and the
+/// workload name takes the lexicographically smaller non-empty name so a
+/// fold over artifacts yields the same metadata in any order.
+bool mergeArtifacts(ProfileArtifact &Dst, const ProfileArtifact &Src,
+                    std::vector<Diagnostic> &Diags,
+                    const MergeOptions &Opts = {});
+
+} // namespace olpp
+
+#endif // OLPP_PROFDATA_MERGE_H

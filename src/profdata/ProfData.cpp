@@ -1,0 +1,649 @@
+//===--- ProfData.cpp - Persistent .olpp profile artifacts ----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profdata/ProfData.h"
+
+#include "interp/PlanCache.h"
+#include "ir/Module.h"
+#include "support/Crc32.h"
+#include "support/Leb128.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+using namespace olpp;
+using namespace olpp::profdata;
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+uint64_t olpp::moduleProfileFingerprint(const Module &M) {
+  static std::mutex Mu;
+  static std::unordered_map<uint64_t, uint64_t> Memo;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Memo.find(M.uid());
+    if (It != Memo.end())
+      return It->second;
+  }
+  // FNV-1a over the full content fingerprint the plan cache already defines;
+  // stable across processes for identical module content.
+  std::string FP = modulePlanFingerprint(M);
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (unsigned char C : FP) {
+    H ^= C;
+    H *= 0x100000001B3ULL;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Memo.size() > 4096)
+    Memo.clear(); // fuzzing churns through modules; keep the memo bounded
+  Memo.emplace(M.uid(), H);
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact construction and summary
+//===----------------------------------------------------------------------===//
+
+ProfileArtifact ProfileArtifact::fromRuntime(const Module &M,
+                                             const ModuleInstrumentation &MI,
+                                             const ProfileRuntime &Prof,
+                                             RunMeta Meta) {
+  ProfileArtifact A;
+  A.Fingerprint = moduleProfileFingerprint(M);
+  A.NumFunctions = static_cast<uint32_t>(M.numFunctions());
+  A.Meta = std::move(Meta);
+  A.Meta.Instr = MI.Opts;
+  A.IdSpaces.assign(A.NumFunctions, 0);
+  for (uint32_t F = 0; F < A.NumFunctions && F < MI.Funcs.size(); ++F)
+    if (MI.Funcs[F].PG)
+      A.IdSpaces[F] = MI.Funcs[F].PG->numPaths();
+  A.Counters.PathCounts.resize(A.NumFunctions);
+  for (uint32_t F = 0; F < A.NumFunctions && F < Prof.PathCounts.size(); ++F) {
+    A.Counters.configurePathStore(F, A.IdSpaces[F]);
+    A.Counters.PathCounts[F].mergeFrom(Prof.PathCounts[F]);
+  }
+  A.Counters.TypeICounts.mergeFrom(Prof.TypeICounts);
+  A.Counters.TypeIICounts.mergeFrom(Prof.TypeIICounts);
+  return A;
+}
+
+uint64_t ProfileArtifact::numRecords() const {
+  uint64_t N = 0;
+  for (const PathCounterStore &S : Counters.PathCounts)
+    N += S.size();
+  return N + Counters.TypeICounts.size() + Counters.TypeIICounts.size();
+}
+
+uint64_t ProfileArtifact::totalPathCount() const {
+  uint64_t Total = 0;
+  for (const PathCounterStore &S : Counters.PathCounts)
+    for (const auto &[Id, Count] : S) {
+      (void)Id;
+      Total += Count;
+    }
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+bool keyLess(const InterprocKey &A, const InterprocKey &B) {
+  if (A.Callee != B.Callee)
+    return A.Callee < B.Callee;
+  if (A.CallSite != B.CallSite)
+    return A.CallSite < B.CallSite;
+  if (A.Inner != B.Inner)
+    return A.Inner < B.Inner;
+  return A.Outer < B.Outer;
+}
+
+uint64_t instrModeBits(const InstrumentOptions &O) {
+  uint64_t Bits = 0;
+  if (O.LoopOverlap)
+    Bits |= 1;
+  if (O.Interproc)
+    Bits |= 2;
+  if (O.CallBreaking)
+    Bits |= 4;
+  if (O.UseChords)
+    Bits |= 8;
+  return Bits;
+}
+
+std::string buildMetaPayload(const ProfileArtifact &A) {
+  std::string P;
+  appendU64(P, A.Fingerprint);
+  appendUleb(P, A.NumFunctions);
+  appendUleb(P, instrModeBits(A.Meta.Instr));
+  appendUleb(P, A.Meta.Instr.LoopDegree);
+  appendUleb(P, A.Meta.Instr.InterprocDegree);
+  appendUleb(P, A.Meta.Runs);
+  appendUleb(P, A.Meta.DynInstrCost);
+  appendUleb(P, A.Meta.TimestampUnix);
+  appendUleb(P, A.Meta.Workload.size());
+  P += A.Meta.Workload;
+  return P;
+}
+
+std::string buildPathsPayload(const ProfileArtifact &A) {
+  std::string P;
+  std::vector<uint32_t> Funcs;
+  for (uint32_t F = 0; F < A.Counters.PathCounts.size(); ++F) {
+    uint64_t Space = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+    if (!A.Counters.PathCounts[F].empty() || Space > 0)
+      Funcs.push_back(F);
+  }
+  appendUleb(P, Funcs.size());
+  for (uint32_t F : Funcs) {
+    const PathCounterStore &S = A.Counters.PathCounts[F];
+    appendUleb(P, F);
+    appendUleb(P, F < A.IdSpaces.size() ? A.IdSpaces[F] : 0);
+    std::vector<std::pair<int64_t, uint64_t>> Entries;
+    Entries.reserve(S.size());
+    for (const auto &E : S)
+      Entries.push_back(E);
+    std::sort(Entries.begin(), Entries.end());
+    appendUleb(P, Entries.size());
+    int64_t Prev = 0;
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      if (I == 0)
+        appendSleb(P, Entries[I].first);
+      else
+        appendUleb(P, static_cast<uint64_t>(Entries[I].first - Prev));
+      Prev = Entries[I].first;
+      appendUleb(P, Entries[I].second);
+    }
+  }
+  return P;
+}
+
+std::string buildInterprocPayload(const FlatInterprocTable &T) {
+  std::string P;
+  std::vector<std::pair<InterprocKey, uint64_t>> Entries;
+  Entries.reserve(T.size());
+  for (const auto &E : T)
+    Entries.push_back(E);
+  std::sort(Entries.begin(), Entries.end(),
+            [](const auto &A, const auto &B) { return keyLess(A.first, B.first); });
+  appendUleb(P, Entries.size());
+  InterprocKey Prev;
+  for (const auto &[K, Count] : Entries) {
+    appendSleb(P, static_cast<int64_t>(K.Callee) -
+                      static_cast<int64_t>(Prev.Callee));
+    appendSleb(P, static_cast<int64_t>(K.CallSite) -
+                      static_cast<int64_t>(Prev.CallSite));
+    appendSleb(P, K.Inner - Prev.Inner);
+    appendSleb(P, K.Outer - Prev.Outer);
+    appendUleb(P, Count);
+    Prev = K;
+  }
+  return P;
+}
+
+void emitHeader(std::ostream &OS, uint32_t SectionCount) {
+  std::string H;
+  H.append(Magic, sizeof(Magic));
+  H.push_back(static_cast<char>(VersionMajor));
+  H.push_back(static_cast<char>(VersionMinor));
+  H.push_back(0); // flags lo
+  H.push_back(0); // flags hi
+  appendU32(H, SectionCount);
+  appendU32(H, crc32(H));
+  OS.write(H.data(), static_cast<std::streamsize>(H.size()));
+}
+
+void emitSection(std::ostream &OS, uint8_t Id, const std::string &Payload) {
+  std::string Frame;
+  Frame.push_back(static_cast<char>(Id));
+  appendU64(Frame, Payload.size());
+  OS.write(Frame.data(), static_cast<std::streamsize>(Frame.size()));
+  OS.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
+  std::string Crc;
+  appendU32(Crc, crc32(Payload));
+  OS.write(Crc.data(), static_cast<std::streamsize>(Crc.size()));
+}
+
+} // namespace
+
+bool olpp::writeProfileArtifact(std::ostream &OS, const ProfileArtifact &A) {
+  emitHeader(OS, 4);
+  // One section payload lives in memory at a time; counters stream straight
+  // out of the stores.
+  emitSection(OS, SecMeta, buildMetaPayload(A));
+  emitSection(OS, SecPaths, buildPathsPayload(A));
+  emitSection(OS, SecTypeI, buildInterprocPayload(A.Counters.TypeICounts));
+  emitSection(OS, SecTypeII, buildInterprocPayload(A.Counters.TypeIICounts));
+  return static_cast<bool>(OS);
+}
+
+std::string olpp::serializeProfileArtifact(const ProfileArtifact &A) {
+  std::ostringstream OS;
+  writeProfileArtifact(OS, A);
+  return OS.str();
+}
+
+bool olpp::writeProfileArtifactFile(const std::string &Path,
+                                    const ProfileArtifact &A,
+                                    std::string &Error) {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  if (!writeProfileArtifact(OS, A) || !OS.flush()) {
+    Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Checked reader
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects everything the strict decode needs; any error appends one
+/// diagnostic and aborts the read wholesale.
+class Reader {
+public:
+  Reader(std::istream &IS, std::vector<Diagnostic> &Diags,
+         const ProfDataReadOptions &Opts)
+      : IS(IS), Diags(Diags), Opts(Opts) {}
+
+  bool read(ProfileArtifact &Out) {
+    uint32_t SectionCount = 0;
+    if (!readHeader(SectionCount))
+      return false;
+    bool Seen[5] = {false, false, false, false, false};
+    for (uint32_t S = 0; S < SectionCount; ++S) {
+      uint8_t Id = 0;
+      std::string Payload;
+      if (!readSection(S, Id, Payload))
+        return false;
+      if (Id >= SecMeta && Id <= SecTypeII) {
+        if (Seen[Id])
+          return fail("duplicate section id " + std::to_string(Id));
+        Seen[Id] = true;
+        if (S == 0 && Id != SecMeta)
+          return fail("META must be the first section");
+        bool Ok = false;
+        switch (Id) {
+        case SecMeta:
+          Ok = parseMeta(Payload, Out);
+          break;
+        case SecPaths:
+          Ok = parsePaths(Payload, Out);
+          break;
+        case SecTypeI:
+          Ok = parseInterproc(Payload, Out.Counters.TypeICounts, "TYPE1");
+          break;
+        case SecTypeII:
+          Ok = parseInterproc(Payload, Out.Counters.TypeIICounts, "TYPE2");
+          break;
+        }
+        if (!Ok)
+          return false;
+      }
+      // Unknown ids are newer-minor extensions: skipped, but their framing
+      // and CRC were still checked by readSection.
+    }
+    for (uint8_t Id = SecMeta; Id <= SecTypeII; ++Id)
+      if (!Seen[Id])
+        return fail("missing required section id " + std::to_string(Id));
+    if (IS.peek() != std::char_traits<char>::eof())
+      return fail("trailing bytes after the last declared section");
+    if (Opts.CheckFingerprint && Out.Fingerprint != Opts.ExpectedFingerprint) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%016llx, expected %016llx",
+                    static_cast<unsigned long long>(Out.Fingerprint),
+                    static_cast<unsigned long long>(Opts.ExpectedFingerprint));
+      return fail(std::string("module fingerprint mismatch: artifact has ") +
+                  Buf);
+    }
+    return true;
+  }
+
+private:
+  bool fail(std::string Msg) {
+    Diags.push_back(
+        makeDiag(Severity::Error, "profdata", "", std::move(Msg)));
+    return false;
+  }
+
+  bool readBytes(std::string &Out, size_t N, const char *What) {
+    // Chunked so a corrupted length field fails with a truncation
+    // diagnostic after at most one chunk, never a huge upfront allocation.
+    constexpr size_t Chunk = 1 << 20;
+    Out.clear();
+    while (Out.size() < N) {
+      size_t Want = std::min(Chunk, N - Out.size());
+      size_t Old = Out.size();
+      Out.resize(Old + Want);
+      IS.read(Out.data() + Old, static_cast<std::streamsize>(Want));
+      if (static_cast<size_t>(IS.gcount()) != Want)
+        return fail(std::string("truncated artifact: expected ") +
+                    std::to_string(N) + " byte(s) of " + What);
+    }
+    return true;
+  }
+
+  static uint32_t decodeU32(const std::string &S, size_t Pos) {
+    uint32_t V = 0;
+    for (int I = 3; I >= 0; --I)
+      V = (V << 8) | static_cast<uint8_t>(S[Pos + static_cast<size_t>(I)]);
+    return V;
+  }
+
+  static uint64_t decodeU64(const std::string &S, size_t Pos) {
+    uint64_t V = 0;
+    for (int I = 7; I >= 0; --I)
+      V = (V << 8) | static_cast<uint8_t>(S[Pos + static_cast<size_t>(I)]);
+    return V;
+  }
+
+  bool readHeader(uint32_t &SectionCount) {
+    std::string H;
+    if (!readBytes(H, HeaderSize, "header"))
+      return false;
+    if (H.compare(0, sizeof(Magic), Magic, sizeof(Magic)) != 0)
+      return fail("bad magic: not an .olpp profile artifact");
+    uint8_t Major = static_cast<uint8_t>(H[4]);
+    // The major gate comes before the CRC so a reader from the past can
+    // still name the future version it is rejecting.
+    if (Major > VersionMajor)
+      return fail("artifact has newer major version " +
+                  std::to_string(Major) + "; this reader understands up to " +
+                  std::to_string(VersionMajor));
+    if (Major == 0)
+      return fail("artifact has invalid major version 0");
+    if (Opts.VerifyCrc &&
+        decodeU32(H, 12) != crc32(H.data(), 12))
+      return fail("header CRC mismatch");
+    SectionCount = decodeU32(H, 8);
+    if (SectionCount > 1024)
+      return fail("implausible section count " +
+                  std::to_string(SectionCount));
+    return true;
+  }
+
+  bool readSection(uint32_t Index, uint8_t &Id, std::string &Payload) {
+    std::string Frame;
+    if (!readBytes(Frame, 9,
+                   ("section " + std::to_string(Index) + " framing").c_str()))
+      return false;
+    Id = static_cast<uint8_t>(Frame[0]);
+    uint64_t Len = decodeU64(Frame, 1);
+    if (Len > (1ULL << 40))
+      return fail("section " + std::to_string(Index) +
+                  " declares an implausible payload length");
+    if (!readBytes(Payload, static_cast<size_t>(Len),
+                   ("section " + std::to_string(Index) + " payload").c_str()))
+      return false;
+    std::string Crc;
+    if (!readBytes(Crc, 4,
+                   ("section " + std::to_string(Index) + " CRC").c_str()))
+      return false;
+    if (Opts.VerifyCrc && decodeU32(Crc, 0) != crc32(Payload))
+      return fail("section " + std::to_string(Index) + " (id " +
+                  std::to_string(Id) + ") CRC mismatch");
+    return true;
+  }
+
+  bool uleb(const std::string &P, size_t &Pos, uint64_t &V,
+            const char *What) {
+    if (!readUleb(P, Pos, V))
+      return fail(std::string("truncated or malformed varint for ") + What);
+    return true;
+  }
+
+  bool sleb(const std::string &P, size_t &Pos, int64_t &V, const char *What) {
+    if (!readSleb(P, Pos, V))
+      return fail(std::string("truncated or malformed varint for ") + What);
+    return true;
+  }
+
+  bool parseMeta(const std::string &P, ProfileArtifact &Out) {
+    if (P.size() < 8)
+      return fail("META payload truncated before the fingerprint");
+    Out.Fingerprint = decodeU64(P, 0);
+    size_t Pos = 8;
+    uint64_t NumFuncs, Mode, LoopDeg, InterDeg, NameLen;
+    if (!uleb(P, Pos, NumFuncs, "META numFunctions") ||
+        !uleb(P, Pos, Mode, "META mode bits") ||
+        !uleb(P, Pos, LoopDeg, "META loop degree") ||
+        !uleb(P, Pos, InterDeg, "META interproc degree") ||
+        !uleb(P, Pos, Out.Meta.Runs, "META runs") ||
+        !uleb(P, Pos, Out.Meta.DynInstrCost, "META dynamic cost") ||
+        !uleb(P, Pos, Out.Meta.TimestampUnix, "META timestamp") ||
+        !uleb(P, Pos, NameLen, "META workload-name length"))
+      return false;
+    if (NumFuncs > (1u << 20))
+      return fail("META declares an implausible function count");
+    if (Mode > 15)
+      return fail("META has unknown instrumentation-mode bits");
+    if (LoopDeg > (1u << 16) || InterDeg > (1u << 16))
+      return fail("META declares an implausible overlap degree");
+    if (NameLen > P.size() - Pos)
+      return fail("META workload name is truncated");
+    Out.NumFunctions = static_cast<uint32_t>(NumFuncs);
+    Out.Meta.Instr.LoopOverlap = Mode & 1;
+    Out.Meta.Instr.Interproc = Mode & 2;
+    Out.Meta.Instr.CallBreaking = Mode & 4;
+    Out.Meta.Instr.UseChords = Mode & 8;
+    Out.Meta.Instr.LoopDegree = static_cast<uint32_t>(LoopDeg);
+    Out.Meta.Instr.InterprocDegree = static_cast<uint32_t>(InterDeg);
+    Out.Meta.Workload = P.substr(Pos, NameLen);
+    Pos += NameLen;
+    if (Pos != P.size())
+      return fail("META payload has trailing bytes");
+    Out.IdSpaces.assign(Out.NumFunctions, 0);
+    Out.Counters.PathCounts.resize(Out.NumFunctions);
+    return true;
+  }
+
+  bool parsePaths(const std::string &P, ProfileArtifact &Out) {
+    size_t Pos = 0;
+    uint64_t NumFuncs;
+    if (!uleb(P, Pos, NumFuncs, "PATHS function count"))
+      return false;
+    int64_t PrevFunc = -1;
+    for (uint64_t I = 0; I < NumFuncs; ++I) {
+      uint64_t F, Space, NumEntries;
+      if (!uleb(P, Pos, F, "PATHS function id") ||
+          !uleb(P, Pos, Space, "PATHS id space") ||
+          !uleb(P, Pos, NumEntries, "PATHS entry count"))
+        return false;
+      if (F >= Out.NumFunctions)
+        return fail("PATHS function id " + std::to_string(F) +
+                    " out of range (module has " +
+                    std::to_string(Out.NumFunctions) + ")");
+      if (static_cast<int64_t>(F) <= PrevFunc)
+        return fail("PATHS function ids are duplicated or unsorted");
+      PrevFunc = static_cast<int64_t>(F);
+      Out.IdSpaces[F] = Space;
+      PathCounterStore &S = Out.Counters.PathCounts[F];
+      S.configure(Space);
+      int64_t Slot = 0;
+      for (uint64_t E = 0; E < NumEntries; ++E) {
+        if (E == 0) {
+          if (!sleb(P, Pos, Slot, "PATHS slot"))
+            return false;
+        } else {
+          uint64_t Delta;
+          if (!uleb(P, Pos, Delta, "PATHS slot delta"))
+            return false;
+          if (Delta == 0)
+            return fail("duplicate path slot in function " +
+                        std::to_string(F));
+          Slot += static_cast<int64_t>(Delta);
+        }
+        if (Slot < 0)
+          return fail("negative path slot in function " + std::to_string(F));
+        if (Space > 0 && static_cast<uint64_t>(Slot) >= Space)
+          return fail("path slot " + std::to_string(Slot) +
+                      " out of range [0, " + std::to_string(Space) +
+                      ") in function " + std::to_string(F));
+        uint64_t Count;
+        if (!uleb(P, Pos, Count, "PATHS count"))
+          return false;
+        if (Count == 0)
+          return fail("zero count for path slot " + std::to_string(Slot) +
+                      " in function " + std::to_string(F) +
+                      " (live counters are positive)");
+        S.add(Slot, Count);
+      }
+    }
+    if (Pos != P.size())
+      return fail("PATHS payload has trailing bytes");
+    return true;
+  }
+
+  bool parseInterproc(const std::string &P, FlatInterprocTable &T,
+                      const char *Name) {
+    size_t Pos = 0;
+    uint64_t NumEntries;
+    if (!uleb(P, Pos, NumEntries, "interproc entry count"))
+      return false;
+    InterprocKey Prev;
+    for (uint64_t E = 0; E < NumEntries; ++E) {
+      int64_t DCallee, DCallSite, DInner, DOuter;
+      if (!sleb(P, Pos, DCallee, "interproc callee delta") ||
+          !sleb(P, Pos, DCallSite, "interproc call-site delta") ||
+          !sleb(P, Pos, DInner, "interproc inner delta") ||
+          !sleb(P, Pos, DOuter, "interproc outer delta"))
+        return false;
+      int64_t Callee = static_cast<int64_t>(Prev.Callee) + DCallee;
+      int64_t CallSite = static_cast<int64_t>(Prev.CallSite) + DCallSite;
+      if (Callee < 0 || Callee > static_cast<int64_t>(UINT32_MAX) ||
+          CallSite < 0 || CallSite > static_cast<int64_t>(UINT32_MAX))
+        return fail(std::string(Name) +
+                    " entry has an out-of-range callee or call site");
+      InterprocKey K;
+      K.Callee = static_cast<uint32_t>(Callee);
+      K.CallSite = static_cast<uint32_t>(CallSite);
+      K.Inner = Prev.Inner + DInner;
+      K.Outer = Prev.Outer + DOuter;
+      if (E > 0 && !keyLess(Prev, K))
+        return fail(std::string(Name) +
+                    " entries are duplicated or unsorted");
+      uint64_t Count;
+      if (!uleb(P, Pos, Count, "interproc count"))
+        return false;
+      if (Count == 0)
+        return fail(std::string(Name) +
+                    " entry has a zero count (live counters are positive)");
+      T.bump(K, Count);
+      Prev = K;
+    }
+    if (Pos != P.size())
+      return fail(std::string(Name) + " payload has trailing bytes");
+    return true;
+  }
+
+  std::istream &IS;
+  std::vector<Diagnostic> &Diags;
+  const ProfDataReadOptions &Opts;
+};
+
+} // namespace
+
+bool olpp::readProfileArtifact(std::istream &IS, ProfileArtifact &Out,
+                               std::vector<Diagnostic> &Diags,
+                               const ProfDataReadOptions &Opts) {
+  ProfileArtifact Tmp;
+  if (!Reader(IS, Diags, Opts).read(Tmp)) {
+    Out = ProfileArtifact(); // rejected wholesale: no partial counter sets
+    return false;
+  }
+  Out = std::move(Tmp);
+  return true;
+}
+
+bool olpp::readProfileArtifactBytes(const std::string &Bytes,
+                                    ProfileArtifact &Out,
+                                    std::vector<Diagnostic> &Diags,
+                                    const ProfDataReadOptions &Opts) {
+  std::istringstream IS(Bytes);
+  return readProfileArtifact(IS, Out, Diags, Opts);
+}
+
+bool olpp::readProfileArtifactFile(const std::string &Path,
+                                   ProfileArtifact &Out,
+                                   std::vector<Diagnostic> &Diags,
+                                   const ProfDataReadOptions &Opts) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    Diags.push_back(makeDiag(Severity::Error, "profdata", "",
+                             "cannot open '" + Path + "'"));
+    return false;
+  }
+  return readProfileArtifact(IS, Out, Diags, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// Equality
+//===----------------------------------------------------------------------===//
+
+bool olpp::artifactsEqual(const ProfileArtifact &A, const ProfileArtifact &B,
+                          std::string *FirstDiff) {
+  auto Diff = [&](const std::string &Msg) {
+    if (FirstDiff)
+      *FirstDiff = Msg;
+    return false;
+  };
+  if (A.Fingerprint != B.Fingerprint)
+    return Diff("fingerprint differs");
+  if (A.NumFunctions != B.NumFunctions)
+    return Diff("function count differs");
+  const InstrumentOptions &IA = A.Meta.Instr, &IB = B.Meta.Instr;
+  if (IA.LoopOverlap != IB.LoopOverlap || IA.LoopDegree != IB.LoopDegree ||
+      IA.Interproc != IB.Interproc ||
+      IA.InterprocDegree != IB.InterprocDegree ||
+      IA.CallBreaking != IB.CallBreaking || IA.UseChords != IB.UseChords)
+    return Diff("instrumentation mode differs");
+  if (A.Meta.Workload != B.Meta.Workload || A.Meta.Runs != B.Meta.Runs ||
+      A.Meta.DynInstrCost != B.Meta.DynInstrCost ||
+      A.Meta.TimestampUnix != B.Meta.TimestampUnix)
+    return Diff("run metadata differs");
+  for (uint32_t F = 0; F < A.NumFunctions; ++F) {
+    uint64_t SA = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+    uint64_t SB = F < B.IdSpaces.size() ? B.IdSpaces[F] : 0;
+    if (SA != SB)
+      return Diff("id space of function " + std::to_string(F) + " differs");
+    const PathCounterStore &CA = A.Counters.PathCounts[F];
+    const PathCounterStore &CB = B.Counters.PathCounts[F];
+    if (CA != CB)
+      return Diff("path counters of function " + std::to_string(F) +
+                  " differ");
+  }
+  if (A.Counters.TypeICounts != B.Counters.TypeICounts)
+    return Diff("Type I counters differ");
+  if (A.Counters.TypeIICounts != B.Counters.TypeIICounts)
+    return Diff("Type II counters differ");
+  return true;
+}

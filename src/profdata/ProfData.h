@@ -1,0 +1,202 @@
+//===--- ProfData.h - Persistent .olpp profile artifacts --------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable, mergeable profile container behind `olpp profdata` — the
+/// llvm-profdata analogue for OLPP. Every profile the runtime collects (BL
+/// path counters, OL-k overlap counters, interprocedural Type I/II tables)
+/// can be written to a versioned binary `.olpp` artifact, read back with a
+/// strict checked decoder, and merged across runs, shards and machines with
+/// saturating-add semantics that are bit-identical to replaying the runs.
+///
+/// ## File layout (all multi-byte fixed-width integers little-endian)
+///
+///   Header (16 bytes):
+///     0..3   magic "OLPP"
+///     4      version major (readers reject artifacts with a newer major)
+///     5      version minor (newer minors may add sections; readers skip
+///            section ids they do not know)
+///     6..7   u16 flags (reserved, 0)
+///     8..11  u32 section count
+///     12..15 u32 CRC-32 of bytes 0..11
+///
+///   Then `section count` sections, each:
+///     u8   section id
+///     u64  payload length
+///     payload bytes
+///     u32  CRC-32 of the payload
+///
+/// Section payloads use canonical ULEB128 ("uleb") and zigzag-SLEB ("sleb")
+/// variable-length integers (support/Leb128.h):
+///
+///   META (id 1, required, must come first):
+///     u64 (fixed 8 bytes LE) module fingerprint
+///     uleb numFunctions
+///     uleb mode bits: 1 = LoopOverlap, 2 = Interproc, 4 = CallBreaking,
+///                     8 = UseChords
+///     uleb LoopDegree, uleb InterprocDegree
+///     uleb Runs            (profiled runs merged into this artifact)
+///     uleb DynInstrCost    (instrumented dynamic instructions, summed)
+///     uleb TimestampUnix   (injected by the caller; 0 = unknown)
+///     uleb workload-name length, then that many bytes
+///
+///   PATHS (id 2, required): per-function BL/OL-k path counters.
+///     uleb number of functions that follow
+///     per function (function ids strictly increasing):
+///       uleb function id (must be < numFunctions)
+///       uleb idSpace     (PathGraph::numPaths(); 0 = unknown)
+///       uleb numEntries
+///       entries sorted by slot ascending:
+///         first slot:  sleb absolute
+///         later slots: uleb delta from the previous slot (0 would be a
+///                      duplicate slot and is rejected)
+///         count: uleb, must be >= 1 (live counters are positive)
+///
+///   TYPE1 (id 3, required) and TYPE2 (id 4, required): the interprocedural
+///   4-tuple counters, sorted by (Callee, CallSite, Inner, Outer):
+///     uleb numEntries
+///     per entry: sleb delta of each key field from the previous entry's
+///     (first entry deltas from an all-zero key), then uleb count >= 1.
+///     Keys must be strictly increasing.
+///
+/// ## Checked reading
+///
+/// The reader validates everything and rejects wholesale (in the spirit of
+/// decodeProfileChecked): a truncated file, bad magic, newer major version,
+/// header or section CRC mismatch, duplicate or missing required section,
+/// out-of-range function id or slot, duplicate slot, zero count, unsorted
+/// interprocedural keys, non-canonical varints, or trailing bytes each
+/// produce a structured Diagnostic (pass "profdata") and an empty result —
+/// never a partial counter set. Single-byte corruption anywhere in the file
+/// is guaranteed to be rejected: every payload byte is under a CRC-32 (which
+/// catches all single-bit errors), the header is self-checksummed, and the
+/// section framing bytes can only fail towards missing/duplicate-section,
+/// truncation or trailing-bytes errors. The fuzz round-trip oracle's
+/// mutation test (fuzz/Fuzzer.cpp) enforces exactly this property.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFDATA_PROFDATA_H
+#define OLPP_PROFDATA_PROFDATA_H
+
+#include "interp/ProfileRuntime.h"
+#include "profile/Instrumenter.h"
+#include "support/Diagnostic.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace olpp {
+
+class Module;
+
+namespace profdata {
+inline constexpr char Magic[4] = {'O', 'L', 'P', 'P'};
+inline constexpr uint8_t VersionMajor = 1;
+inline constexpr uint8_t VersionMinor = 0;
+inline constexpr size_t HeaderSize = 16;
+inline constexpr uint8_t SecMeta = 1;
+inline constexpr uint8_t SecPaths = 2;
+inline constexpr uint8_t SecTypeI = 3;
+inline constexpr uint8_t SecTypeII = 4;
+} // namespace profdata
+
+/// Stable 64-bit content fingerprint of a (pre-instrumentation) module:
+/// FNV-1a over the full plan fingerprint (printed IR + execution metadata),
+/// so identical sources produce identical fingerprints across processes and
+/// machines. Memoized per Module::uid(), so repeated artifact writes of the
+/// same module object hash once.
+uint64_t moduleProfileFingerprint(const Module &M);
+
+/// Run provenance carried in an artifact's META section. The library never
+/// reads the clock itself — TimestampUnix is injected by the caller (the
+/// driver stamps `time(nullptr)`, tests pin fixed values).
+struct RunMeta {
+  std::string Workload;      ///< workload / program name ("" = unknown)
+  InstrumentOptions Instr;   ///< instrumentation mode and degrees (k)
+  uint64_t Runs = 1;         ///< profiled runs merged into the artifact
+  uint64_t DynInstrCost = 0; ///< instrumented dynamic instructions, summed
+  uint64_t TimestampUnix = 0;
+};
+
+/// An `.olpp` artifact in memory: the counters of one or more profiled runs
+/// of one module, plus provenance. Counters reuse the runtime stores
+/// directly, so merge (profdata/Merge.h) is literally PathCounterStore::add.
+struct ProfileArtifact {
+  uint64_t Fingerprint = 0;
+  uint32_t NumFunctions = 0;
+  RunMeta Meta;
+  /// Per-function path-id space (PathGraph::numPaths()); 0 = unknown.
+  /// Indexed like Counters.PathCounts.
+  std::vector<uint64_t> IdSpaces;
+  ProfileRuntime Counters{0};
+
+  /// Snapshots \p Prof for the module \p M instrumented as \p MI: computes
+  /// the fingerprint, copies every counter, and records the per-function id
+  /// spaces so the checked reader can range-check slots.
+  static ProfileArtifact fromRuntime(const Module &M,
+                                     const ModuleInstrumentation &MI,
+                                     const ProfileRuntime &Prof,
+                                     RunMeta Meta);
+
+  /// Total number of (slot, count) records across every section.
+  uint64_t numRecords() const;
+  /// Sum of all path counters (the artifact's total profiled flow).
+  uint64_t totalPathCount() const;
+};
+
+/// Streams \p A to \p OS (header + sections; only one section payload is
+/// buffered at a time). Returns false if the stream errors.
+bool writeProfileArtifact(std::ostream &OS, const ProfileArtifact &A);
+
+/// Serializes \p A to a byte string.
+std::string serializeProfileArtifact(const ProfileArtifact &A);
+
+/// Writes \p A to \p Path. Returns false and sets \p Error on I/O failure.
+bool writeProfileArtifactFile(const std::string &Path,
+                              const ProfileArtifact &A, std::string &Error);
+
+/// Reader knobs.
+struct ProfDataReadOptions {
+  /// Verify header and per-section CRC-32s. Disabling this is a deliberate
+  /// defect switch for the fuzz mutation test (FaultKind::ArtifactCrcOff) —
+  /// it must never be turned off by a real tool.
+  bool VerifyCrc = true;
+  /// When true, the artifact's fingerprint must equal ExpectedFingerprint
+  /// or the read is rejected (fingerprint-mismatch diagnostic).
+  bool CheckFingerprint = false;
+  uint64_t ExpectedFingerprint = 0;
+};
+
+/// Checked, streaming read of one artifact from \p IS. On success returns
+/// true and fills \p Out. On any violation returns false, leaves \p Out
+/// empty, and appends Severity::Error diagnostics (pass "profdata") — the
+/// artifact is rejected wholesale, never partially decoded.
+bool readProfileArtifact(std::istream &IS, ProfileArtifact &Out,
+                         std::vector<Diagnostic> &Diags,
+                         const ProfDataReadOptions &Opts = {});
+
+/// Same, over an in-memory byte string.
+bool readProfileArtifactBytes(const std::string &Bytes, ProfileArtifact &Out,
+                              std::vector<Diagnostic> &Diags,
+                              const ProfDataReadOptions &Opts = {});
+
+/// Same, from a file.
+bool readProfileArtifactFile(const std::string &Path, ProfileArtifact &Out,
+                             std::vector<Diagnostic> &Diags,
+                             const ProfDataReadOptions &Opts = {});
+
+/// Value equality of two artifacts: fingerprint, metadata, id spaces and
+/// every counter (representation-independent). The golden-format tests and
+/// the fuzz round-trip oracle compare through this.
+bool artifactsEqual(const ProfileArtifact &A, const ProfileArtifact &B,
+                    std::string *FirstDiff = nullptr);
+
+} // namespace olpp
+
+#endif // OLPP_PROFDATA_PROFDATA_H

@@ -1,0 +1,485 @@
+//===--- Report.cpp - Reporting over .olpp profile artifacts --------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profdata/Report.h"
+
+#include "estimate/Estimators.h"
+#include "ir/Module.h"
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace olpp;
+
+//===----------------------------------------------------------------------===//
+// Binding
+//===----------------------------------------------------------------------===//
+
+bool olpp::bindArtifactToModule(const Module &Pristine,
+                                const ProfileArtifact &A,
+                                ArtifactBinding &Out,
+                                std::vector<Diagnostic> &Diags) {
+  auto Reject = [&](std::string Msg) {
+    Diags.push_back(
+        makeDiag(Severity::Error, "profdata-bind", "", std::move(Msg)));
+    return false;
+  };
+  uint64_t FP = moduleProfileFingerprint(Pristine);
+  if (FP != A.Fingerprint) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%016llx vs artifact %016llx",
+                  static_cast<unsigned long long>(FP),
+                  static_cast<unsigned long long>(A.Fingerprint));
+    return Reject(std::string("module fingerprint mismatch: source is ") +
+                  Buf + " (the artifact profiles a different program)");
+  }
+  if (Pristine.numFunctions() != A.NumFunctions)
+    return Reject("function count mismatch between module and artifact");
+  Out.InstrModule = Pristine.clone();
+  Out.MI = instrumentModule(*Out.InstrModule, A.Meta.Instr);
+  if (!Out.MI.ok())
+    return Reject("re-instrumentation under the artifact's mode failed: " +
+                  Out.MI.Errors[0]);
+  for (uint32_t F = 0; F < A.NumFunctions; ++F) {
+    uint64_t Space = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+    if (Space == 0 || !Out.MI.Funcs[F].PG)
+      continue;
+    if (Out.MI.Funcs[F].PG->numPaths() != Space)
+      return Reject("path-id space of function " +
+                    Pristine.function(F)->Name + " differs (artifact " +
+                    std::to_string(Space) + ", module " +
+                    std::to_string(Out.MI.Funcs[F].PG->numPaths()) + ")");
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared rendering helpers
+//===----------------------------------------------------------------------===//
+
+std::string olpp::instrumentModeString(const InstrumentOptions &O) {
+  std::string S = "bl";
+  if (O.LoopOverlap)
+    S += "+ol(k=" + std::to_string(O.LoopDegree) + ")";
+  if (O.Interproc)
+    S += "+interproc(k=" + std::to_string(O.InterprocDegree) + ")";
+  else if (O.CallBreaking)
+    S += "+call-breaking";
+  S += O.UseChords ? ", chords" : ", edges";
+  return S;
+}
+
+namespace {
+
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string percent(double Num, double Den) {
+  if (Den <= 0)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", 100.0 * Num / Den);
+  return Buf;
+}
+
+struct HotPath {
+  uint32_t Func = 0;
+  int64_t Slot = 0;
+  uint64_t Count = 0;
+};
+
+std::vector<HotPath> hottestPaths(const ProfileArtifact &A, size_t N) {
+  std::vector<HotPath> All;
+  for (uint32_t F = 0; F < A.Counters.PathCounts.size(); ++F)
+    for (const auto &[Slot, Count] : A.Counters.PathCounts[F])
+      All.push_back({F, Slot, Count});
+  std::sort(All.begin(), All.end(), [](const HotPath &X, const HotPath &Y) {
+    if (X.Count != Y.Count)
+      return X.Count > Y.Count;
+    if (X.Func != Y.Func)
+      return X.Func < Y.Func;
+    return X.Slot < Y.Slot;
+  });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
+std::string funcName(const ProfileArtifact &A, const ArtifactBinding *B,
+                     uint32_t F) {
+  if (B && B->InstrModule && F < B->InstrModule->numFunctions())
+    return B->InstrModule->function(F)->Name;
+  (void)A;
+  return "f" + std::to_string(F);
+}
+
+struct BoundsRows {
+  EstimateMetrics Loops, TypeI, TypeII, Total;
+};
+
+BoundsRows solveArtifactBounds(const ArtifactBinding &B,
+                               const ProfileArtifact &A) {
+  BoundsRows R;
+  ModuleEstimator Est(*B.InstrModule, B.MI, A.Counters);
+  R.Loops = Est.estimateLoops(nullptr);
+  if (B.MI.Opts.CallBreaking) {
+    R.TypeI = Est.estimateTypeI(nullptr);
+    R.TypeII = Est.estimateTypeII(nullptr);
+  }
+  R.Total = R.Loops;
+  R.Total.add(R.TypeI);
+  R.Total.add(R.TypeII);
+  return R;
+}
+
+void appendMetaJson(std::ostringstream &OS, const ProfileArtifact &A) {
+  OS << "\"fingerprint\": \"" << hex16(A.Fingerprint) << "\",\n"
+     << "  \"numFunctions\": " << A.NumFunctions << ",\n"
+     << "  \"workload\": \"" << jsonEscape(A.Meta.Workload) << "\",\n"
+     << "  \"mode\": \"" << jsonEscape(instrumentModeString(A.Meta.Instr))
+     << "\",\n"
+     << "  \"loopOverlap\": " << (A.Meta.Instr.LoopOverlap ? "true" : "false")
+     << ",\n"
+     << "  \"loopDegree\": " << A.Meta.Instr.LoopDegree << ",\n"
+     << "  \"interproc\": " << (A.Meta.Instr.Interproc ? "true" : "false")
+     << ",\n"
+     << "  \"interprocDegree\": " << A.Meta.Instr.InterprocDegree << ",\n"
+     << "  \"runs\": " << A.Meta.Runs << ",\n"
+     << "  \"dynInstrCost\": " << A.Meta.DynInstrCost << ",\n"
+     << "  \"timestampUnix\": " << A.Meta.TimestampUnix;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// show
+//===----------------------------------------------------------------------===//
+
+std::string olpp::renderArtifactReport(const ProfileArtifact &A,
+                                       const ArtifactBinding *B,
+                                       const ReportOptions &Opts) {
+  size_t NumPathRecords = 0;
+  uint64_t IdsCovered = 0, IdSpaceTotal = 0;
+  for (uint32_t F = 0; F < A.Counters.PathCounts.size(); ++F) {
+    NumPathRecords += A.Counters.PathCounts[F].size();
+    IdsCovered += A.Counters.PathCounts[F].size();
+    IdSpaceTotal += F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+  }
+  uint64_t TotalFlow = A.totalPathCount();
+  std::vector<HotPath> Hot = hottestPaths(A, Opts.TopN);
+
+  const bool Bound = B && B->ok();
+  BoundsRows Bounds;
+  if (Bound && Opts.WithBounds)
+    Bounds = solveArtifactBounds(*B, A);
+
+  if (Opts.Json) {
+    std::ostringstream OS;
+    OS << "{\n  \"schema\": \"olpp.profdata.report/v1\",\n  ";
+    appendMetaJson(OS, A);
+    OS << ",\n  \"records\": " << A.numRecords() << ",\n"
+       << "  \"pathRecords\": " << NumPathRecords << ",\n"
+       << "  \"typeIRecords\": " << A.Counters.TypeICounts.size() << ",\n"
+       << "  \"typeIIRecords\": " << A.Counters.TypeIICounts.size() << ",\n"
+       << "  \"totalFlow\": " << TotalFlow << ",\n"
+       << "  \"idSpace\": " << IdSpaceTotal << ",\n"
+       << "  \"idsCovered\": " << IdsCovered << ",\n"
+       << "  \"hotPaths\": [";
+    for (size_t I = 0; I < Hot.size(); ++I) {
+      OS << (I ? ",\n    " : "\n    ") << "{\"function\": \""
+         << jsonEscape(funcName(A, B, Hot[I].Func)) << "\", \"functionId\": "
+         << Hot[I].Func << ", \"pathId\": " << Hot[I].Slot
+         << ", \"count\": " << Hot[I].Count << "}";
+    }
+    OS << (Hot.empty() ? "]" : "\n  ]") << ",\n  \"functions\": [";
+    bool First = true;
+    for (uint32_t F = 0; F < A.Counters.PathCounts.size(); ++F) {
+      const PathCounterStore &S = A.Counters.PathCounts[F];
+      uint64_t Space = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+      if (S.empty() && Space == 0)
+        continue;
+      uint64_t Flow = 0;
+      for (const auto &[Id, Count] : S) {
+        (void)Id;
+        Flow += Count;
+      }
+      OS << (First ? "\n    " : ",\n    ") << "{\"function\": \""
+         << jsonEscape(funcName(A, B, F)) << "\", \"functionId\": " << F
+         << ", \"idsCovered\": " << S.size() << ", \"idSpace\": " << Space
+         << ", \"flow\": " << Flow << "}";
+      First = false;
+    }
+    OS << (First ? "]" : "\n  ]");
+    if (Bound && Opts.WithBounds) {
+      auto Row = [&](const char *Name, const EstimateMetrics &M) {
+        OS << "\n    {\"kind\": \"" << Name << "\", \"definite\": "
+           << M.Definite << ", \"potential\": " << M.Potential
+           << ", \"pairs\": " << M.Pairs << ", \"exactPairs\": "
+           << M.ExactPairs << ", \"problems\": " << M.Problems << "}";
+      };
+      OS << ",\n  \"bounds\": [";
+      Row("loops", Bounds.Loops);
+      OS << ",";
+      Row("typeI", Bounds.TypeI);
+      OS << ",";
+      Row("typeII", Bounds.TypeII);
+      OS << ",";
+      Row("total", Bounds.Total);
+      OS << "\n  ],\n  \"solverConverged\": "
+         << (Bounds.Total.SolverConverged ? "true" : "false")
+         << ",\n  \"solverEvaluations\": " << Bounds.Total.SolverEvaluations;
+    }
+    OS << "\n}\n";
+    return OS.str();
+  }
+
+  std::ostringstream OS;
+  OS << ".olpp artifact";
+  if (!A.Meta.Workload.empty())
+    OS << ": workload '" << A.Meta.Workload << "'";
+  OS << "\n";
+  OS << "  fingerprint   " << hex16(A.Fingerprint) << "\n";
+  OS << "  functions     " << A.NumFunctions << "\n";
+  OS << "  mode          " << instrumentModeString(A.Meta.Instr) << "\n";
+  OS << "  runs          " << A.Meta.Runs << "\n";
+  OS << "  dynamic cost  " << A.Meta.DynInstrCost << " instructions\n";
+  OS << "  timestamp     " << A.Meta.TimestampUnix << "\n";
+  OS << "  records       " << A.numRecords() << " (paths " << NumPathRecords
+     << ", type I " << A.Counters.TypeICounts.size() << ", type II "
+     << A.Counters.TypeIICounts.size() << ")\n";
+  OS << "  total flow    " << TotalFlow << "\n";
+  OS << "  coverage      " << IdsCovered << "/" << IdSpaceTotal
+     << " path ids (" << percent(static_cast<double>(IdsCovered),
+                                 static_cast<double>(IdSpaceTotal))
+     << ")\n\n";
+
+  OS << "hot paths (top " << Hot.size() << "):\n";
+  TableWriter TH({"Count", "Share", "Function", "Path Id"});
+  for (const HotPath &H : Hot)
+    TH.addRow({std::to_string(H.Count),
+               percent(static_cast<double>(H.Count),
+                       static_cast<double>(TotalFlow)),
+               funcName(A, B, H.Func), std::to_string(H.Slot)});
+  OS << TH.renderText() << "\n";
+
+  TableWriter TF({"Function", "Ids", "Id Space", "Coverage", "Flow"});
+  for (uint32_t F = 0; F < A.Counters.PathCounts.size(); ++F) {
+    const PathCounterStore &S = A.Counters.PathCounts[F];
+    uint64_t Space = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+    if (S.empty() && Space == 0)
+      continue;
+    uint64_t Flow = 0;
+    for (const auto &[Id, Count] : S) {
+      (void)Id;
+      Flow += Count;
+    }
+    TF.addRow({funcName(A, B, F), std::to_string(S.size()),
+               std::to_string(Space),
+               percent(static_cast<double>(S.size()),
+                       static_cast<double>(Space)),
+               std::to_string(Flow)});
+  }
+  OS << "per-function coverage:\n" << TF.renderText();
+
+  if (Bound && Opts.WithBounds) {
+    OS << "\ninteresting-path bounds over the merged counters:\n";
+    TableWriter TB({"Kind", "Definite", "Potential", "Exact Pairs",
+                    "Problems"});
+    auto Row = [&](const char *Name, const EstimateMetrics &M) {
+      TB.addRow({Name, std::to_string(M.Definite),
+                 std::to_string(M.Potential),
+                 std::to_string(M.ExactPairs) + "/" +
+                     std::to_string(M.Pairs),
+                 std::to_string(M.Problems)});
+    };
+    Row("loops", Bounds.Loops);
+    if (B->MI.Opts.CallBreaking) {
+      Row("type I", Bounds.TypeI);
+      Row("type II", Bounds.TypeII);
+    }
+    Row("total", Bounds.Total);
+    OS << TB.renderText();
+    OS << "solver: " << Bounds.Total.SolverEvaluations << " evaluations, "
+       << (Bounds.Total.SolverConverged ? "converged" : "NOT converged")
+       << "\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// export
+//===----------------------------------------------------------------------===//
+
+std::string olpp::renderArtifactJson(const ProfileArtifact &A) {
+  std::ostringstream OS;
+  OS << "{\n  \"schema\": \"olpp.profdata.export/v1\",\n  ";
+  appendMetaJson(OS, A);
+  OS << ",\n  \"paths\": [";
+  bool FirstF = true;
+  for (uint32_t F = 0; F < A.Counters.PathCounts.size(); ++F) {
+    const PathCounterStore &S = A.Counters.PathCounts[F];
+    uint64_t Space = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+    if (S.empty() && Space == 0)
+      continue;
+    std::vector<std::pair<int64_t, uint64_t>> Entries;
+    Entries.reserve(S.size());
+    for (const auto &E : S)
+      Entries.push_back(E);
+    std::sort(Entries.begin(), Entries.end());
+    OS << (FirstF ? "\n    " : ",\n    ") << "{\"functionId\": " << F
+       << ", \"idSpace\": " << Space << ", \"counters\": [";
+    for (size_t I = 0; I < Entries.size(); ++I)
+      OS << (I ? ", " : "") << "[" << Entries[I].first << ", "
+         << Entries[I].second << "]";
+    OS << "]}";
+    FirstF = false;
+  }
+  OS << (FirstF ? "]" : "\n  ]");
+  auto Table = [&](const char *Name, const FlatInterprocTable &T) {
+    std::vector<std::pair<InterprocKey, uint64_t>> Entries;
+    Entries.reserve(T.size());
+    for (const auto &E : T)
+      Entries.push_back(E);
+    std::sort(Entries.begin(), Entries.end(),
+              [](const auto &X, const auto &Y) {
+                const InterprocKey &KX = X.first, &KY = Y.first;
+                if (KX.Callee != KY.Callee)
+                  return KX.Callee < KY.Callee;
+                if (KX.CallSite != KY.CallSite)
+                  return KX.CallSite < KY.CallSite;
+                if (KX.Inner != KY.Inner)
+                  return KX.Inner < KY.Inner;
+                return KX.Outer < KY.Outer;
+              });
+    OS << ",\n  \"" << Name << "\": [";
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      const InterprocKey &K = Entries[I].first;
+      OS << (I ? ",\n    " : "\n    ") << "[" << K.Callee << ", "
+         << K.CallSite << ", " << K.Inner << ", " << K.Outer << ", "
+         << Entries[I].second << "]";
+    }
+    OS << (Entries.empty() ? "]" : "\n  ]");
+  };
+  Table("typeI", A.Counters.TypeICounts);
+  Table("typeII", A.Counters.TypeIICounts);
+  OS << "\n}\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// diff
+//===----------------------------------------------------------------------===//
+
+std::string olpp::renderArtifactDiff(const ProfileArtifact &A,
+                                     const ProfileArtifact &B,
+                                     const std::string &NameA,
+                                     const std::string &NameB,
+                                     const DiffOptions &Opts) {
+  struct Change {
+    uint32_t Func = 0;
+    int64_t Slot = 0;
+    uint64_t Before = 0, After = 0;
+  };
+  std::vector<Change> Added, Removed, Changed;
+  uint32_t NumFuncs = std::max(
+      static_cast<uint32_t>(A.Counters.PathCounts.size()),
+      static_cast<uint32_t>(B.Counters.PathCounts.size()));
+  for (uint32_t F = 0; F < NumFuncs; ++F) {
+    static const PathCounterStore EmptyStore;
+    const PathCounterStore &SA = F < A.Counters.PathCounts.size()
+                                     ? A.Counters.PathCounts[F]
+                                     : EmptyStore;
+    const PathCounterStore &SB = F < B.Counters.PathCounts.size()
+                                     ? B.Counters.PathCounts[F]
+                                     : EmptyStore;
+    for (const auto &[Slot, Count] : SA) {
+      uint64_t After = SB.lookup(Slot);
+      if (After == 0)
+        Removed.push_back({F, Slot, Count, 0});
+      else if (After != Count)
+        Changed.push_back({F, Slot, Count, After});
+    }
+    for (const auto &[Slot, Count] : SB)
+      if (SA.lookup(Slot) == 0)
+        Added.push_back({F, Slot, 0, Count});
+  }
+  size_t Regressed = 0, Improved = 0;
+  for (const Change &C : Changed)
+    (C.After < C.Before ? Regressed : Improved) += 1;
+
+  auto Magnitude = [](const Change &C) {
+    return C.After > C.Before ? C.After - C.Before : C.Before - C.After;
+  };
+  std::vector<Change> Top;
+  Top.insert(Top.end(), Added.begin(), Added.end());
+  Top.insert(Top.end(), Removed.begin(), Removed.end());
+  Top.insert(Top.end(), Changed.begin(), Changed.end());
+  std::sort(Top.begin(), Top.end(), [&](const Change &X, const Change &Y) {
+    uint64_t MX = Magnitude(X), MY = Magnitude(Y);
+    if (MX != MY)
+      return MX > MY;
+    if (X.Func != Y.Func)
+      return X.Func < Y.Func;
+    return X.Slot < Y.Slot;
+  });
+  if (Top.size() > Opts.TopN)
+    Top.resize(Opts.TopN);
+
+  bool SameModule = A.Fingerprint == B.Fingerprint;
+
+  if (Opts.Json) {
+    std::ostringstream OS;
+    OS << "{\n  \"schema\": \"olpp.profdata.diff/v1\",\n"
+       << "  \"a\": \"" << jsonEscape(NameA) << "\",\n"
+       << "  \"b\": \"" << jsonEscape(NameB) << "\",\n"
+       << "  \"sameModule\": " << (SameModule ? "true" : "false") << ",\n"
+       << "  \"flowA\": " << A.totalPathCount() << ",\n"
+       << "  \"flowB\": " << B.totalPathCount() << ",\n"
+       << "  \"added\": " << Added.size() << ",\n"
+       << "  \"removed\": " << Removed.size() << ",\n"
+       << "  \"regressed\": " << Regressed << ",\n"
+       << "  \"improved\": " << Improved << ",\n"
+       << "  \"topChanges\": [";
+    for (size_t I = 0; I < Top.size(); ++I)
+      OS << (I ? ",\n    " : "\n    ") << "{\"functionId\": " << Top[I].Func
+         << ", \"pathId\": " << Top[I].Slot << ", \"before\": "
+         << Top[I].Before << ", \"after\": " << Top[I].After << "}";
+    OS << (Top.empty() ? "]" : "\n  ]") << "\n}\n";
+    return OS.str();
+  }
+
+  std::ostringstream OS;
+  OS << "profdata diff: " << NameA << " -> " << NameB << "\n";
+  if (!SameModule)
+    OS << "warning: artifacts profile different modules (fingerprints "
+       << hex16(A.Fingerprint) << " vs " << hex16(B.Fingerprint)
+       << "); path ids are not comparable\n";
+  OS << "  total flow   " << A.totalPathCount() << " -> "
+     << B.totalPathCount() << "\n";
+  OS << "  added        " << Added.size() << " path record(s)\n";
+  OS << "  removed      " << Removed.size() << " path record(s)\n";
+  OS << "  regressed    " << Regressed << " (count decreased)\n";
+  OS << "  improved     " << Improved << " (count increased)\n";
+  if (!Top.empty()) {
+    OS << "\nlargest changes (top " << Top.size() << "):\n";
+    TableWriter T({"Function", "Path Id", "Before", "After", "Delta"});
+    for (const Change &C : Top) {
+      std::string Delta = C.After >= C.Before
+                              ? "+" + std::to_string(C.After - C.Before)
+                              : "-" + std::to_string(C.Before - C.After);
+      T.addRow({"f" + std::to_string(C.Func), std::to_string(C.Slot),
+                std::to_string(C.Before), std::to_string(C.After), Delta});
+    }
+    OS << T.renderText();
+  }
+  return OS.str();
+}

@@ -1,0 +1,85 @@
+//===--- Report.h - Reporting over .olpp profile artifacts ------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `olpp profdata show / diff / export` rendering: hot paths, coverage, and
+/// — when the artifact is bound back to its source module — definite and
+/// potential interesting-path bounds obtained by re-running the interval
+/// solver over the merged counters. Binding re-instruments a pristine
+/// compile of the module under the artifact's recorded mode and
+/// cross-checks the content fingerprint and every per-function path-id
+/// space, so a report can never silently pair counters with the wrong
+/// program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFDATA_REPORT_H
+#define OLPP_PROFDATA_REPORT_H
+
+#include "profdata/ProfData.h"
+
+#include <memory>
+
+namespace olpp {
+
+/// The artifact's module, re-instrumented exactly as the profile was
+/// collected, ready for decode and estimation.
+struct ArtifactBinding {
+  std::unique_ptr<Module> InstrModule;
+  ModuleInstrumentation MI;
+
+  bool ok() const { return InstrModule != nullptr && MI.ok(); }
+};
+
+/// Binds \p A to \p Pristine (an uninstrumented compile of the profiled
+/// program): verifies the content fingerprint, instruments a clone under
+/// A.Meta.Instr, and verifies the resulting per-function path-id spaces
+/// against the artifact's. On any mismatch returns false with diagnostics
+/// (pass "profdata-bind").
+bool bindArtifactToModule(const Module &Pristine, const ProfileArtifact &A,
+                          ArtifactBinding &Out,
+                          std::vector<Diagnostic> &Diags);
+
+/// Human-readable mode summary, e.g. "bl+ol(k=2)+interproc(k=2), chords".
+std::string instrumentModeString(const InstrumentOptions &O);
+
+struct ReportOptions {
+  size_t TopN = 10;
+  bool Json = false;
+  /// Re-run the interval solver over the artifact's counters (needs a
+  /// binding; ignored without one).
+  bool WithBounds = true;
+};
+
+/// Renders the `profdata show` report for \p A: provenance, top-N hot
+/// paths, per-function and module coverage, and (when \p B is non-null and
+/// ok) the definite/potential bounds from the interval solver. Text or JSON
+/// per Opts.Json.
+std::string renderArtifactReport(const ProfileArtifact &A,
+                                 const ArtifactBinding *B,
+                                 const ReportOptions &Opts);
+
+/// Renders the complete artifact as JSON (`profdata export`): metadata plus
+/// every path and interprocedural counter.
+std::string renderArtifactJson(const ProfileArtifact &A);
+
+struct DiffOptions {
+  size_t TopN = 10;
+  bool Json = false;
+};
+
+/// Renders the `profdata diff` report between \p A and \p B: path records
+/// added, removed, regressed and improved, with the top-N largest changes.
+/// \p NameA / \p NameB label the two sides (typically the file names).
+std::string renderArtifactDiff(const ProfileArtifact &A,
+                               const ProfileArtifact &B,
+                               const std::string &NameA,
+                               const std::string &NameB,
+                               const DiffOptions &Opts);
+
+} // namespace olpp
+
+#endif // OLPP_PROFDATA_REPORT_H

@@ -476,6 +476,105 @@ bool olpp::validatePipelineBenchJson(const std::string &Text,
   return true;
 }
 
+std::string olpp::renderProfdataBenchJson(const ProfdataBenchReport &R) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": " + jsonStr(ProfdataBenchSchema) + ",\n";
+  Out += "  \"reps\": " + std::to_string(R.Reps) + ",\n";
+  Out += "  \"merge_inputs\": " + std::to_string(R.MergeInputs) + ",\n";
+  Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
+  Out += "  \"workloads\": [";
+  for (size_t I = 0; I < R.Workloads.size(); ++I) {
+    const ProfdataWorkloadBench &W = R.Workloads[I];
+    Out += I ? ",\n" : "\n";
+    Out += "    {\n";
+    Out += "      \"name\": " + jsonStr(W.Name) + ",\n";
+    Out += "      \"records\": " + std::to_string(W.Records) + ",\n";
+    Out += "      \"artifact_bytes\": " + std::to_string(W.ArtifactBytes) +
+           ",\n";
+    Out += "      \"raw_dump_bytes\": " + std::to_string(W.RawDumpBytes) +
+           ",\n";
+    Out += "      \"write_seconds\": " + jsonNum(W.WriteSeconds) + ",\n";
+    Out += "      \"read_seconds\": " + jsonNum(W.ReadSeconds) + ",\n";
+    Out += "      \"merge_seconds\": " + jsonNum(W.MergeSeconds) + ",\n";
+    Out += "      \"write_mb_per_sec\": " + jsonNum(W.WriteMBPerSec) + ",\n";
+    Out += "      \"read_mb_per_sec\": " + jsonNum(W.ReadMBPerSec) + ",\n";
+    Out += "      \"merge_records_per_sec\": " +
+           jsonNum(W.MergeRecordsPerSec) + "\n";
+    Out += "    }";
+  }
+  Out += R.Workloads.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool olpp::writeProfdataBenchJson(const std::string &Path,
+                                  const ProfdataBenchReport &R,
+                                  std::string &Error) {
+  return writeTextFile(Path, renderProfdataBenchJson(R), Error);
+}
+
+bool olpp::validateProfdataBenchJson(const std::string &Text,
+                                     std::string &Error) {
+  JValue Root;
+  if (!JParser(Text, Error).parse(Root))
+    return false;
+  if (Root.K != JValue::Obj) {
+    Error = "top level: expected an object";
+    return false;
+  }
+  auto Schema = Root.Fields.find("schema");
+  if (Schema == Root.Fields.end() || Schema->second.K != JValue::Str ||
+      Schema->second.S != ProfdataBenchSchema) {
+    Error = std::string("schema: expected \"") + ProfdataBenchSchema + "\"";
+    return false;
+  }
+  if (!checkNum(Root, "top level", "reps", Error) ||
+      !checkNum(Root, "top level", "merge_inputs", Error) ||
+      !checkNum(Root, "top level", "wall_seconds", Error))
+    return false;
+  auto WL = Root.Fields.find("workloads");
+  if (WL == Root.Fields.end() || WL->second.K != JValue::Arr) {
+    Error = "workloads: missing or not an array";
+    return false;
+  }
+  if (WL->second.Elems.empty()) {
+    Error = "workloads: must have at least one entry";
+    return false;
+  }
+  for (size_t I = 0; I < WL->second.Elems.size(); ++I) {
+    const JValue &Row = WL->second.Elems[I];
+    const std::string Path = "workloads[" + std::to_string(I) + "]";
+    if (Row.K != JValue::Obj) {
+      Error = Path + ": expected an object";
+      return false;
+    }
+    auto Name = Row.Fields.find("name");
+    if (Name == Row.Fields.end() || Name->second.K != JValue::Str ||
+        Name->second.S.empty()) {
+      Error = Path + ": missing non-empty \"name\"";
+      return false;
+    }
+    if (!checkNum(Row, Path, "records", Error) ||
+        !checkNum(Row, Path, "artifact_bytes", Error) ||
+        !checkNum(Row, Path, "raw_dump_bytes", Error) ||
+        !checkNum(Row, Path, "write_seconds", Error) ||
+        !checkNum(Row, Path, "read_seconds", Error) ||
+        !checkNum(Row, Path, "merge_seconds", Error) ||
+        !checkNum(Row, Path, "write_mb_per_sec", Error) ||
+        !checkNum(Row, Path, "read_mb_per_sec", Error) ||
+        !checkNum(Row, Path, "merge_records_per_sec", Error))
+      return false;
+    // An artifact is never empty: the header + four required sections alone
+    // take bytes, so a zero size means the benchmark measured nothing.
+    auto Bytes = Row.Fields.find("artifact_bytes");
+    if (Bytes->second.N <= 0) {
+      Error = Path + ": artifact_bytes must be positive";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
   JValue Root;
   if (!JParser(Text, Error).parse(Root))
@@ -493,6 +592,8 @@ bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
     return validateEngineBenchJson(Text, Error);
   if (Schema->second.S == PipelineBenchSchema)
     return validatePipelineBenchJson(Text, Error);
+  if (Schema->second.S == ProfdataBenchSchema)
+    return validateProfdataBenchJson(Text, Error);
   Error = "schema: unknown tag \"" + Schema->second.S + "\"";
   return false;
 }

@@ -22,6 +22,12 @@
 ///                            profiles/sec throughput — plus the shared
 ///                            ExecPlan cache's hit statistics.
 ///
+///   "olpp.bench.profdata/v1" (BENCH_profdata.json, bench/perf_profdata):
+///                            the .olpp artifact pipeline — per workload the
+///                            serialized artifact size vs the raw fixed-width
+///                            counter-dump size, and the write / checked-read
+///                            / merge throughputs.
+///
 /// validate*BenchJson structurally checks a rendered report against its
 /// schema with a dependency-free JSON parser (the perf_smoke ctest target
 /// and `olpp bench --validate` use this); validateBenchJson sniffs the
@@ -131,6 +137,47 @@ bool writePipelineBenchJson(const std::string &Path,
 
 /// Structurally validates \p Text against the pipeline v1 schema.
 bool validatePipelineBenchJson(const std::string &Text, std::string &Error);
+
+//===----------------------------------------------------------------------===//
+// Profile-artifact report ("olpp.bench.profdata/v1")
+//===----------------------------------------------------------------------===//
+
+inline constexpr const char *ProfdataBenchSchema = "olpp.bench.profdata/v1";
+
+/// One workload's measurement of the .olpp artifact pipeline.
+struct ProfdataWorkloadBench {
+  std::string Name;
+  uint64_t Records = 0;       ///< (slot, count) records in the artifact
+  uint64_t ArtifactBytes = 0; ///< serialized .olpp size
+  /// The same counters as a naive fixed-width dump (16 bytes per path
+  /// record, 40 per interprocedural tuple) — the size the delta/varint
+  /// encoding is up against.
+  uint64_t RawDumpBytes = 0;
+  double WriteSeconds = 0.0; ///< serialize, summed over the reps
+  double ReadSeconds = 0.0;  ///< checked read, summed over the reps
+  double MergeSeconds = 0.0; ///< merging MergeInputs copies, one pass
+  double WriteMBPerSec = 0.0;
+  double ReadMBPerSec = 0.0;
+  double MergeRecordsPerSec = 0.0;
+};
+
+struct ProfdataBenchReport {
+  unsigned Reps = 0;        ///< serialize/read repetitions per workload
+  unsigned MergeInputs = 0; ///< artifacts folded by the merge measurement
+  double WallSeconds = 0.0;
+  std::vector<ProfdataWorkloadBench> Workloads;
+};
+
+/// Renders \p R as pretty-printed JSON (trailing newline included).
+std::string renderProfdataBenchJson(const ProfdataBenchReport &R);
+
+/// Renders and writes to \p Path. Returns false and sets \p Error on I/O
+/// failure.
+bool writeProfdataBenchJson(const std::string &Path,
+                            const ProfdataBenchReport &R, std::string &Error);
+
+/// Structurally validates \p Text against the profdata v1 schema.
+bool validateProfdataBenchJson(const std::string &Text, std::string &Error);
 
 /// Sniffs the report's schema tag and validates against the matching
 /// schema. Returns false and sets \p Error for unparseable input, an

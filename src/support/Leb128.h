@@ -1,0 +1,87 @@
+//===--- Leb128.h - Variable-length integer coding --------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ULEB128 and zigzag-SLEB encodings used by the `.olpp` profile artifact
+/// format (profdata/ProfData.h). Encodings are canonical: the encoder never
+/// emits a redundant trailing 0x00 continuation group, and the decoder
+/// rejects inputs longer than the 10 groups a 64-bit value can need, so a
+/// value has exactly one byte representation — which is what lets the golden
+/// format tests require re-encoded artifacts to be byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_SUPPORT_LEB128_H
+#define OLPP_SUPPORT_LEB128_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace olpp {
+
+/// Appends the ULEB128 encoding of \p V to \p Out.
+inline void appendUleb(std::string &Out, uint64_t V) {
+  do {
+    uint8_t Byte = V & 0x7F;
+    V >>= 7;
+    if (V)
+      Byte |= 0x80;
+    Out.push_back(static_cast<char>(Byte));
+  } while (V);
+}
+
+/// Zigzag-maps a signed value so small magnitudes stay small unsigned.
+inline uint64_t zigzagEncode(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+inline int64_t zigzagDecode(uint64_t V) {
+  return static_cast<int64_t>((V >> 1) ^ (~(V & 1) + 1));
+}
+
+/// Appends the zigzag-SLEB encoding of \p V to \p Out.
+inline void appendSleb(std::string &Out, int64_t V) {
+  appendUleb(Out, zigzagEncode(V));
+}
+
+/// Reads one ULEB128 value from \p Data at \p Pos, advancing \p Pos.
+/// Returns false (leaving \p Pos unspecified) on truncation, on more than
+/// 10 groups, or on a non-canonical redundant final group.
+inline bool readUleb(const std::string &Data, size_t &Pos, uint64_t &Out) {
+  uint64_t V = 0;
+  unsigned Shift = 0;
+  for (unsigned I = 0; I < 10; ++I) {
+    if (Pos >= Data.size())
+      return false; // truncated mid-value
+    uint8_t Byte = static_cast<uint8_t>(Data[Pos++]);
+    if (I == 9 && (Byte & 0xFE))
+      return false; // 64-bit overflow in the 10th group
+    V |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+    if (!(Byte & 0x80)) {
+      if (I > 0 && Byte == 0)
+        return false; // non-canonical: redundant trailing zero group
+      Out = V;
+      return true;
+    }
+    Shift += 7;
+  }
+  return false; // 11th continuation group
+}
+
+/// Reads one zigzag-SLEB value.
+inline bool readSleb(const std::string &Data, size_t &Pos, int64_t &Out) {
+  uint64_t U;
+  if (!readUleb(Data, Pos, U))
+    return false;
+  Out = zigzagDecode(U);
+  return true;
+}
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_LEB128_H

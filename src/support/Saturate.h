@@ -32,6 +32,18 @@ inline void saturatingBump(uint64_t &Counter, uint64_t Delta = 1) {
   Counter = saturatingAdd(Counter, Delta);
 }
 
+/// A * B clamped to UINT64_MAX. Repeating N saturating adds of C converges
+/// to min(N*C, MAX), so a weighted profile merge using saturatingMul is
+/// bit-identical to replaying the run N times (profdata/Merge.h relies on
+/// this equivalence).
+inline uint64_t saturatingMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > std::numeric_limits<uint64_t>::max() / B)
+    return std::numeric_limits<uint64_t>::max();
+  return A * B;
+}
+
 } // namespace olpp
 
 #endif // OLPP_SUPPORT_SATURATE_H

@@ -125,6 +125,38 @@ TEST(FuzzHarness, InjectedPathSkewIsCaught) {
   EXPECT_NE(F.Detail.find("path id"), std::string::npos) << F.Detail;
 }
 
+/// A counter perturbed between artifact read-back and comparison must be
+/// caught by the round-trip oracle — artifactsEqual is live, not a stub.
+TEST(FuzzHarness, InjectedArtifactSkewIsCaught) {
+  FuzzOptions FO;
+  FO.Fault = FaultKind::SkewArtifactRoundtrip;
+  DifferentialRunner Runner(FO);
+  FuzzFailure F;
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed <= 20 && !Caught; ++Seed)
+    Caught = Runner.checkCase(Seed, &F) == CaseStatus::Failed;
+  ASSERT_TRUE(Caught) << "no seed in 1..20 triggered the injected skew";
+  EXPECT_EQ(F.Oracle, FuzzOracle::Roundtrip) << F.Detail;
+  EXPECT_NE(F.Detail.find("round trip is not lossless"), std::string::npos)
+      << F.Detail;
+}
+
+/// Disabling CRC verification must be caught by the mutation sub-oracle:
+/// the crafted checksum-field flips are then silently accepted, and silent
+/// acceptance of a corrupted artifact is exactly what the oracle rejects.
+TEST(FuzzHarness, CrcVerificationOffIsCaughtByMutationOracle) {
+  FuzzOptions FO;
+  FO.Fault = FaultKind::ArtifactCrcOff;
+  DifferentialRunner Runner(FO);
+  FuzzFailure F;
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed <= 20 && !Caught; ++Seed)
+    Caught = Runner.checkCase(Seed, &F) == CaseStatus::Failed;
+  ASSERT_TRUE(Caught) << "no seed in 1..20 triggered the CRC-off fault";
+  EXPECT_EQ(F.Oracle, FuzzOracle::Roundtrip) << F.Detail;
+  EXPECT_NE(F.Detail.find("accepted"), std::string::npos) << F.Detail;
+}
+
 // --- shrinker unit tests -------------------------------------------------
 
 TEST(Shrinker, KeepsThePoisonLine) {

@@ -1,0 +1,669 @@
+//===--- ProfDataTest.cpp - .olpp format, golden bytes, merge algebra -----===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent-artifact contract, from four sides:
+//   (a) lossless round trips through the writer and the checked reader,
+//   (b) wholesale rejection: every single-bit flip and every strict-prefix
+//       truncation of a serialized artifact is refused (well over the 200
+//       mutations the subsystem promises), plus crafted structural
+//       violations one by one,
+//   (c) versioning: newer-major artifacts are rejected with a diagnostic
+//       that names both versions; newer-minor artifacts and unknown
+//       sections are read fine,
+//   (d) merge algebra: commutative, associative, saturating at UINT64_MAX,
+//       and --weight N identical to merging the same artifact N times —
+//       plus the checked-in golden fixture that pins the byte encoding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "profdata/Merge.h"
+#include "profdata/ProfData.h"
+#include "support/Crc32.h"
+#include "support/Leb128.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace olpp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+/// The fixture artifact (tests/profdata/fixtures/tiny.olpp): two functions,
+/// one dense store with a saturated counter, one spill-only store, one
+/// Type I tuple, empty Type II.
+ProfileArtifact tinyArtifact() {
+  ProfileArtifact A;
+  A.Fingerprint = 0x0123456789ABCDEFULL;
+  A.NumFunctions = 2;
+  A.Meta.Workload = "tiny";
+  A.Meta.Instr.LoopOverlap = true;
+  A.Meta.Instr.LoopDegree = 1;
+  A.Meta.Runs = 3;
+  A.Meta.DynInstrCost = 123456;
+  A.Meta.TimestampUnix = 1700000000;
+  A.IdSpaces = {8, 0};
+  A.Counters.PathCounts.resize(2);
+  A.Counters.configurePathStore(0, 8);
+  A.Counters.PathCounts[0].add(0, 5);
+  A.Counters.PathCounts[0].add(3, 1);
+  A.Counters.PathCounts[0].add(7, UINT64_MAX);
+  A.Counters.PathCounts[1].add(1000000, 42); // id space 0: spill map
+  A.Counters.TypeICounts.bump({1, 0, 2, 3}, 9);
+  return A;
+}
+
+/// An artifact with \p NumFunctions functions and no counters at all (the
+/// writer still emits all four sections).
+ProfileArtifact emptyArtifact(uint32_t NumFunctions = 1) {
+  ProfileArtifact A;
+  A.Fingerprint = 0x42;
+  A.NumFunctions = NumFunctions;
+  A.IdSpaces.assign(NumFunctions, 0);
+  A.Counters.PathCounts.resize(NumFunctions);
+  return A;
+}
+
+std::string metaPayload(uint64_t Fp = 0x42, uint64_t NumFuncs = 2) {
+  std::string P;
+  for (int I = 0; I < 8; ++I)
+    P.push_back(static_cast<char>((Fp >> (8 * I)) & 0xFF));
+  appendUleb(P, NumFuncs);
+  appendUleb(P, 0); // mode bits
+  appendUleb(P, 0); // loop degree
+  appendUleb(P, 0); // interproc degree
+  appendUleb(P, 1); // runs
+  appendUleb(P, 0); // dyn instr cost
+  appendUleb(P, 0); // timestamp
+  appendUleb(P, 0); // workload name length
+  return P;
+}
+
+std::string emptyTuples() {
+  std::string P;
+  appendUleb(P, 0);
+  return P;
+}
+
+/// Assembles a complete file from (id, payload) sections: valid header with
+/// the right count and CRC, valid per-section CRCs.
+std::string buildFile(
+    const std::vector<std::pair<uint8_t, std::string>> &Secs) {
+  std::string Out = "OLPP";
+  Out.push_back(1); // major
+  Out.push_back(0); // minor
+  Out.push_back(0); // flags lo
+  Out.push_back(0); // flags hi
+  uint32_t N = static_cast<uint32_t>(Secs.size());
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((N >> (8 * I)) & 0xFF));
+  uint32_t HC = crc32(Out.data(), 12);
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((HC >> (8 * I)) & 0xFF));
+  for (const auto &[Id, Payload] : Secs) {
+    Out.push_back(static_cast<char>(Id));
+    uint64_t L = Payload.size();
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<char>((L >> (8 * I)) & 0xFF));
+    Out += Payload;
+    uint32_t C = crc32(Payload);
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<char>((C >> (8 * I)) & 0xFF));
+  }
+  return Out;
+}
+
+/// A valid 4-section file around one crafted PATHS payload.
+std::string fileWithPaths(const std::string &Paths) {
+  return buildFile({{profdata::SecMeta, metaPayload()},
+                    {profdata::SecPaths, Paths},
+                    {profdata::SecTypeI, emptyTuples()},
+                    {profdata::SecTypeII, emptyTuples()}});
+}
+
+std::string fileWithTypeI(const std::string &TypeI) {
+  std::string Paths;
+  appendUleb(Paths, 0);
+  return buildFile({{profdata::SecMeta, metaPayload()},
+                    {profdata::SecPaths, Paths},
+                    {profdata::SecTypeI, TypeI},
+                    {profdata::SecTypeII, emptyTuples()}});
+}
+
+/// Recomputes the header CRC after a direct header edit (bytes 0..11).
+void fixHeaderCrc(std::string &Bytes) {
+  uint32_t C = crc32(Bytes.data(), 12);
+  for (int I = 0; I < 4; ++I)
+    Bytes[12 + static_cast<size_t>(I)] =
+        static_cast<char>((C >> (8 * I)) & 0xFF);
+}
+
+/// True when the checked reader rejects \p Bytes; with \p Needle, the
+/// rejection must also carry a diagnostic containing it.
+testing::AssertionResult rejects(const std::string &Bytes,
+                                 const char *Needle = nullptr) {
+  ProfileArtifact Out;
+  std::vector<Diagnostic> Diags;
+  if (readProfileArtifactBytes(Bytes, Out, Diags))
+    return testing::AssertionFailure() << "artifact was accepted";
+  if (Out.NumFunctions != 0 || !Out.Counters.PathCounts.empty())
+    return testing::AssertionFailure()
+           << "rejected artifact left partial state behind";
+  if (!Needle)
+    return testing::AssertionSuccess();
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << "no diagnostic contains '" << Needle << "'; got: "
+         << (Diags.empty() ? "(none)" : Diags[0].str());
+}
+
+testing::AssertionResult roundTrips(const ProfileArtifact &A) {
+  std::string Bytes = serializeProfileArtifact(A);
+  ProfileArtifact Back;
+  std::vector<Diagnostic> Diags;
+  if (!readProfileArtifactBytes(Bytes, Back, Diags))
+    return testing::AssertionFailure()
+           << "read failed: "
+           << (Diags.empty() ? "(no diagnostic)" : Diags[0].str());
+  std::string FirstDiff;
+  if (!artifactsEqual(A, Back, &FirstDiff))
+    return testing::AssertionFailure() << "not lossless: " << FirstDiff;
+  return testing::AssertionSuccess();
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(ProfData, RoundTripsDenseSpillAndInterproc) {
+  EXPECT_TRUE(roundTrips(tinyArtifact()));
+}
+
+TEST(ProfData, RoundTripsEmptyArtifact) {
+  EXPECT_TRUE(roundTrips(emptyArtifact()));
+  EXPECT_TRUE(roundTrips(emptyArtifact(17)));
+}
+
+TEST(ProfData, RoundTripsFullMetadata) {
+  ProfileArtifact A = tinyArtifact();
+  A.Meta.Instr.Interproc = true;
+  A.Meta.Instr.InterprocDegree = 3;
+  A.Meta.Instr.CallBreaking = true;
+  A.Meta.Instr.UseChords = true;
+  A.Meta.Workload = "a workload \"name\" with bytes";
+  A.Counters.TypeIICounts.bump({0, 1, -5, 7}, 1);
+  A.Counters.TypeIICounts.bump({1, 0, 0, 0}, UINT64_MAX);
+  EXPECT_TRUE(roundTrips(A));
+}
+
+TEST(ProfData, SerializationIsDeterministic) {
+  EXPECT_EQ(serializeProfileArtifact(tinyArtifact()),
+            serializeProfileArtifact(tinyArtifact()));
+}
+
+TEST(ProfData, FileRoundTrip) {
+  ProfileArtifact A = tinyArtifact();
+  std::string Path = testing::TempDir() + "olpp_profdata_roundtrip.olpp";
+  std::string Error;
+  ASSERT_TRUE(writeProfileArtifactFile(Path, A, Error)) << Error;
+  ProfileArtifact Back;
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(readProfileArtifactFile(Path, Back, Diags));
+  std::string FirstDiff;
+  EXPECT_TRUE(artifactsEqual(A, Back, &FirstDiff)) << FirstDiff;
+  std::remove(Path.c_str());
+}
+
+TEST(ProfData, FingerprintGateRejectsMismatch) {
+  std::string Bytes = serializeProfileArtifact(tinyArtifact());
+  ProfDataReadOptions RO;
+  RO.CheckFingerprint = true;
+  RO.ExpectedFingerprint = 0xDEAD;
+  ProfileArtifact Out;
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(readProfileArtifactBytes(Bytes, Out, Diags, RO));
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Message.find("fingerprint"), std::string::npos)
+      << Diags[0].str();
+  RO.ExpectedFingerprint = 0x0123456789ABCDEFULL;
+  Diags.clear();
+  EXPECT_TRUE(readProfileArtifactBytes(Bytes, Out, Diags, RO));
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation exhaustion: the >= 200 rejected-corruption guarantee
+//===----------------------------------------------------------------------===//
+
+TEST(ProfDataMutation, EverySingleBitFlipIsRejected) {
+  std::string Bytes = serializeProfileArtifact(tinyArtifact());
+  size_t Mutations = 0;
+  for (size_t Pos = 0; Pos < Bytes.size(); ++Pos) {
+    for (unsigned Bit = 0; Bit < 8; ++Bit) {
+      std::string Mut = Bytes;
+      Mut[Pos] = static_cast<char>(Mut[Pos] ^ (1u << Bit));
+      ASSERT_TRUE(rejects(Mut))
+          << "bit " << Bit << " at byte " << Pos << " of " << Bytes.size();
+      ++Mutations;
+    }
+  }
+  EXPECT_GE(Mutations, 200u) << "mutation coverage promise broken";
+}
+
+TEST(ProfDataMutation, EveryStrictPrefixIsRejected) {
+  std::string Bytes = serializeProfileArtifact(tinyArtifact());
+  for (size_t Len = 0; Len < Bytes.size(); ++Len)
+    ASSERT_TRUE(rejects(Bytes.substr(0, Len)))
+        << "prefix of " << Len << " byte(s) accepted";
+}
+
+TEST(ProfDataMutation, AppendedTrailingBytesAreRejected) {
+  std::string Bytes = serializeProfileArtifact(tinyArtifact());
+  EXPECT_TRUE(rejects(Bytes + '\0', "trailing"));
+  EXPECT_TRUE(rejects(Bytes + "junk", "trailing"));
+}
+
+//===----------------------------------------------------------------------===//
+// Crafted structural violations
+//===----------------------------------------------------------------------===//
+
+TEST(ProfDataReject, BadMagic) {
+  std::string Bytes = serializeProfileArtifact(tinyArtifact());
+  Bytes[0] = 'X';
+  fixHeaderCrc(Bytes); // even with a consistent checksum: not our file
+  EXPECT_TRUE(rejects(Bytes, "magic"));
+}
+
+TEST(ProfDataReject, DuplicateSlot) {
+  std::string P;
+  appendUleb(P, 1); // one function
+  appendUleb(P, 0); // function id 0
+  appendUleb(P, 8); // id space
+  appendUleb(P, 2); // two entries
+  appendSleb(P, 3); // first slot
+  appendUleb(P, 5); // count
+  appendUleb(P, 0); // delta 0 = same slot again
+  appendUleb(P, 1);
+  EXPECT_TRUE(rejects(fileWithPaths(P), "duplicate path slot"));
+}
+
+TEST(ProfDataReject, ZeroCount) {
+  std::string P;
+  appendUleb(P, 1);
+  appendUleb(P, 0);
+  appendUleb(P, 8);
+  appendUleb(P, 1);
+  appendSleb(P, 3);
+  appendUleb(P, 0); // zero count
+  EXPECT_TRUE(rejects(fileWithPaths(P), "zero count"));
+}
+
+TEST(ProfDataReject, SlotOutOfIdSpace) {
+  std::string P;
+  appendUleb(P, 1);
+  appendUleb(P, 0);
+  appendUleb(P, 4);  // id space [0, 4)
+  appendUleb(P, 1);
+  appendSleb(P, 10); // slot 10
+  appendUleb(P, 1);
+  EXPECT_TRUE(rejects(fileWithPaths(P), "out of range"));
+}
+
+TEST(ProfDataReject, NegativeSlot) {
+  std::string P;
+  appendUleb(P, 1);
+  appendUleb(P, 0);
+  appendUleb(P, 0);
+  appendUleb(P, 1);
+  appendSleb(P, -3);
+  appendUleb(P, 1);
+  EXPECT_TRUE(rejects(fileWithPaths(P), "negative path slot"));
+}
+
+TEST(ProfDataReject, FunctionIdOutOfRange) {
+  std::string P;
+  appendUleb(P, 1);
+  appendUleb(P, 9); // metaPayload declares 2 functions
+  appendUleb(P, 0);
+  appendUleb(P, 0);
+  EXPECT_TRUE(rejects(fileWithPaths(P), "function id"));
+}
+
+TEST(ProfDataReject, UnsortedFunctions) {
+  std::string P;
+  appendUleb(P, 2);
+  appendUleb(P, 1); // function 1 first
+  appendUleb(P, 0);
+  appendUleb(P, 0);
+  appendUleb(P, 0); // then function 0
+  appendUleb(P, 0);
+  appendUleb(P, 0);
+  EXPECT_TRUE(rejects(fileWithPaths(P), "duplicated or unsorted"));
+}
+
+TEST(ProfDataReject, UnsortedInterprocKeys) {
+  std::string P;
+  appendUleb(P, 2);
+  appendSleb(P, 5); // key (5, 0, 0, 0)
+  appendSleb(P, 0);
+  appendSleb(P, 0);
+  appendSleb(P, 0);
+  appendUleb(P, 1);
+  appendSleb(P, -2); // key (3, 0, 0, 0): goes backwards
+  appendSleb(P, 0);
+  appendSleb(P, 0);
+  appendSleb(P, 0);
+  appendUleb(P, 1);
+  EXPECT_TRUE(rejects(fileWithTypeI(P), "duplicated or unsorted"));
+}
+
+TEST(ProfDataReject, InterprocCalleeOutOfRange) {
+  std::string P;
+  appendUleb(P, 1);
+  appendSleb(P, -1); // callee -1
+  appendSleb(P, 0);
+  appendSleb(P, 0);
+  appendSleb(P, 0);
+  appendUleb(P, 1);
+  EXPECT_TRUE(rejects(fileWithTypeI(P), "out-of-range"));
+}
+
+TEST(ProfDataReject, NonCanonicalVarint) {
+  std::string P;
+  appendUleb(P, 1);
+  appendUleb(P, 0);
+  appendUleb(P, 8);
+  P.push_back('\x81'); // entry count 1 encoded as two groups: redundant
+  P.push_back('\x00');
+  appendSleb(P, 3);
+  appendUleb(P, 1);
+  EXPECT_TRUE(rejects(fileWithPaths(P)));
+}
+
+TEST(ProfDataReject, DuplicateSection) {
+  std::string Paths;
+  appendUleb(Paths, 0);
+  EXPECT_TRUE(rejects(buildFile({{profdata::SecMeta, metaPayload()},
+                                 {profdata::SecPaths, Paths},
+                                 {profdata::SecPaths, Paths},
+                                 {profdata::SecTypeI, emptyTuples()},
+                                 {profdata::SecTypeII, emptyTuples()}}),
+                      "duplicate section"));
+}
+
+TEST(ProfDataReject, MissingRequiredSection) {
+  std::string Paths;
+  appendUleb(Paths, 0);
+  EXPECT_TRUE(rejects(buildFile({{profdata::SecMeta, metaPayload()},
+                                 {profdata::SecPaths, Paths},
+                                 {profdata::SecTypeI, emptyTuples()}}),
+                      "missing required section"));
+}
+
+TEST(ProfDataReject, MetaMustComeFirst) {
+  std::string Paths;
+  appendUleb(Paths, 0);
+  EXPECT_TRUE(rejects(buildFile({{profdata::SecPaths, Paths},
+                                 {profdata::SecMeta, metaPayload()},
+                                 {profdata::SecTypeI, emptyTuples()},
+                                 {profdata::SecTypeII, emptyTuples()}})));
+}
+
+TEST(ProfDataReject, MetaPayloadTrailingBytes) {
+  EXPECT_TRUE(rejects(buildFile({{profdata::SecMeta, metaPayload() + "x"},
+                                 {profdata::SecPaths, emptyTuples()},
+                                 {profdata::SecTypeI, emptyTuples()},
+                                 {profdata::SecTypeII, emptyTuples()}}),
+                      "trailing bytes"));
+}
+
+//===----------------------------------------------------------------------===//
+// Versioning
+//===----------------------------------------------------------------------===//
+
+TEST(ProfDataVersion, NewerMajorIsRejectedByName) {
+  std::string Bytes = serializeProfileArtifact(tinyArtifact());
+  Bytes[4] = static_cast<char>(profdata::VersionMajor + 1);
+  fixHeaderCrc(Bytes);
+  EXPECT_TRUE(rejects(Bytes, "newer major version"));
+  // The gate fires even when the checksum was not fixed up: a reader from
+  // the past must name the future version, not report a CRC mismatch.
+  std::string Unfixed = serializeProfileArtifact(tinyArtifact());
+  Unfixed[4] = static_cast<char>(profdata::VersionMajor + 1);
+  EXPECT_TRUE(rejects(Unfixed, "newer major version"));
+}
+
+TEST(ProfDataVersion, NewerMinorIsAccepted) {
+  std::string Bytes = serializeProfileArtifact(tinyArtifact());
+  Bytes[5] = static_cast<char>(profdata::VersionMinor + 1);
+  fixHeaderCrc(Bytes);
+  ProfileArtifact Out;
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(readProfileArtifactBytes(Bytes, Out, Diags))
+      << (Diags.empty() ? "(no diagnostic)" : Diags[0].str());
+  std::string FirstDiff;
+  EXPECT_TRUE(artifactsEqual(tinyArtifact(), Out, &FirstDiff)) << FirstDiff;
+}
+
+TEST(ProfDataVersion, UnknownSectionIsSkippedButChecked) {
+  // Append a section with an id this reader does not know (a newer-minor
+  // extension). With a valid CRC the artifact reads fine...
+  ProfileArtifact A = tinyArtifact();
+  std::string Bytes = serializeProfileArtifact(A);
+  std::string Extra = "future payload";
+  Bytes.push_back(static_cast<char>(99));
+  uint64_t L = Extra.size();
+  for (int I = 0; I < 8; ++I)
+    Bytes.push_back(static_cast<char>((L >> (8 * I)) & 0xFF));
+  Bytes += Extra;
+  uint32_t C = crc32(Extra);
+  for (int I = 0; I < 4; ++I)
+    Bytes.push_back(static_cast<char>((C >> (8 * I)) & 0xFF));
+  Bytes[8] = static_cast<char>(5); // section count 4 -> 5
+  fixHeaderCrc(Bytes);
+  ProfileArtifact Out;
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(readProfileArtifactBytes(Bytes, Out, Diags))
+      << (Diags.empty() ? "(no diagnostic)" : Diags[0].str());
+  std::string FirstDiff;
+  EXPECT_TRUE(artifactsEqual(A, Out, &FirstDiff)) << FirstDiff;
+
+  // ...but its CRC is still enforced: skipped != unverified.
+  std::string Bad = Bytes;
+  Bad[Bytes.size() - 10] ^= 0x01; // a byte of the unknown payload
+  EXPECT_TRUE(rejects(Bad, "CRC"));
+}
+
+//===----------------------------------------------------------------------===//
+// Merge algebra
+//===----------------------------------------------------------------------===//
+
+/// Three artifacts sharing tinyArtifact's identity with disjoint-ish
+/// counters and distinct metadata.
+std::vector<ProfileArtifact> mergeFixtures() {
+  ProfileArtifact A = tinyArtifact();
+  ProfileArtifact B = tinyArtifact();
+  B.Meta.Workload = "other";
+  B.Meta.Runs = 2;
+  B.Meta.DynInstrCost = 10;
+  B.Meta.TimestampUnix = 1800000000;
+  B.Counters.PathCounts[0].clear();
+  B.Counters.configurePathStore(0, 8);
+  B.Counters.PathCounts[0].add(1, 100);
+  B.Counters.PathCounts[0].add(7, 1); // saturates against A's UINT64_MAX
+  ProfileArtifact C = tinyArtifact();
+  C.Meta.Workload = "";
+  C.Meta.TimestampUnix = 42;
+  C.Counters.TypeICounts.bump({2, 2, 2, 2}, 7);
+  C.Counters.PathCounts[1].add(999999, 1);
+  return {A, B, C};
+}
+
+ProfileArtifact foldMerge(const std::vector<ProfileArtifact> &Ins,
+                          const std::vector<size_t> &Order,
+                          uint64_t Weight = 1) {
+  ProfileArtifact Acc = makeEmptyLike(Ins[Order[0]]);
+  MergeOptions MO;
+  MO.Weight = Weight;
+  for (size_t I : Order) {
+    std::vector<Diagnostic> Diags;
+    EXPECT_TRUE(mergeArtifacts(Acc, Ins[I], Diags, MO))
+        << (Diags.empty() ? "(no diagnostic)" : Diags[0].str());
+  }
+  return Acc;
+}
+
+TEST(ProfDataMerge, OrderIsIrrelevant) {
+  std::vector<ProfileArtifact> Ins = mergeFixtures();
+  std::vector<std::vector<size_t>> Orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  ProfileArtifact Want = foldMerge(Ins, Orders[0]);
+  EXPECT_EQ(Want.Meta.Runs, 8u);       // 3 + 2 + 3
+  EXPECT_EQ(Want.Meta.Workload, "other"); // smaller non-empty name
+  EXPECT_EQ(Want.Meta.TimestampUnix, 1800000000u); // max
+  for (size_t I = 1; I < Orders.size(); ++I) {
+    ProfileArtifact Got = foldMerge(Ins, Orders[I]);
+    std::string FirstDiff;
+    EXPECT_TRUE(artifactsEqual(Want, Got, &FirstDiff))
+        << "order " << I << ": " << FirstDiff;
+  }
+}
+
+TEST(ProfDataMerge, SaturatesAtUint64Max) {
+  std::vector<ProfileArtifact> Ins = mergeFixtures();
+  ProfileArtifact M = foldMerge(Ins, {0, 1});
+  // A has slot 7 = UINT64_MAX, B adds 1 more: clamped, not wrapped.
+  EXPECT_EQ(M.Counters.PathCounts[0].lookup(7), UINT64_MAX);
+  // And the saturated value round-trips (10-group ULEB).
+  EXPECT_TRUE(roundTrips(M));
+}
+
+TEST(ProfDataMerge, WeightedMergeEqualsRepeatedMerge) {
+  ProfileArtifact A = tinyArtifact();
+  for (uint64_t N : {2u, 5u, 13u}) {
+    ProfileArtifact Weighted = foldMerge({A}, {0}, N);
+    ProfileArtifact Repeated = makeEmptyLike(A);
+    for (uint64_t I = 0; I < N; ++I) {
+      std::vector<Diagnostic> Diags;
+      ASSERT_TRUE(mergeArtifacts(Repeated, A, Diags));
+    }
+    std::string FirstDiff;
+    EXPECT_TRUE(artifactsEqual(Weighted, Repeated, &FirstDiff))
+        << "weight " << N << ": " << FirstDiff;
+  }
+}
+
+TEST(ProfDataMerge, IncompatibleInputLeavesDestinationUntouched) {
+  ProfileArtifact Dst = foldMerge({tinyArtifact()}, {0});
+  ProfileArtifact Before = foldMerge({tinyArtifact()}, {0});
+  ProfileArtifact Alien = tinyArtifact();
+  Alien.Fingerprint = 0xBAD;
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(mergeArtifacts(Dst, Alien, Diags));
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_EQ(Diags[0].Pass, "profdata-merge");
+  std::string FirstDiff;
+  EXPECT_TRUE(artifactsEqual(Dst, Before, &FirstDiff)) << FirstDiff;
+
+  ProfileArtifact WrongMode = tinyArtifact();
+  WrongMode.Meta.Instr.LoopDegree = 2;
+  Diags.clear();
+  EXPECT_FALSE(mergeArtifacts(Dst, WrongMode, Diags));
+  EXPECT_TRUE(artifactsEqual(Dst, Before, &FirstDiff)) << FirstDiff;
+
+  Diags.clear();
+  MergeOptions MO;
+  MO.Weight = 0;
+  EXPECT_FALSE(mergeArtifacts(Dst, tinyArtifact(), Diags, MO));
+  EXPECT_TRUE(artifactsEqual(Dst, Before, &FirstDiff)) << FirstDiff;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden format stability
+//===----------------------------------------------------------------------===//
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+/// The checked-in fixture pins the byte encoding: the encoder must still
+/// produce it, the reader must still decode it, and decode + re-encode must
+/// reproduce it byte for byte (canonical varints make this well-defined).
+/// If an intentional format change breaks this, bump the version and
+/// regenerate the fixture — that is the point of the test.
+TEST(ProfDataGolden, FixtureIsByteStable) {
+  std::string Path = std::string(OLPP_TEST_DATA_DIR) + "/tiny.olpp";
+  std::string Fixture = readFileBytes(Path);
+  ASSERT_FALSE(Fixture.empty()) << "missing fixture " << Path;
+  ProfileArtifact A = tinyArtifact();
+  EXPECT_EQ(serializeProfileArtifact(A), Fixture)
+      << "encoder no longer reproduces the v1 fixture";
+  ProfileArtifact Back;
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(readProfileArtifactBytes(Fixture, Back, Diags))
+      << (Diags.empty() ? "(no diagnostic)" : Diags[0].str());
+  std::string FirstDiff;
+  EXPECT_TRUE(artifactsEqual(A, Back, &FirstDiff)) << FirstDiff;
+  EXPECT_EQ(serializeProfileArtifact(Back), Fixture)
+      << "decode + re-encode is not the identity on the fixture";
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency (selected into the tsan lane)
+//===----------------------------------------------------------------------===//
+
+TEST(ProfDataConcurrency, ParallelSerializeReadMergeAndFingerprint) {
+  CompileResult CR = compileMiniC("fn main(a, b) {\n"
+                                  "  var v = a;\n"
+                                  "  while (v > 0) {\n"
+                                  "    v = v - 1;\n"
+                                  "  }\n"
+                                  "  return v + b;\n"
+                                  "}\n");
+  ASSERT_TRUE(CR.ok()) << CR.diagText();
+  const ProfileArtifact Shared = tinyArtifact();
+  uint64_t Want = moduleProfileFingerprint(*CR.M);
+
+  std::vector<std::thread> Threads;
+  std::vector<int> Ok(8, 0);
+  for (int T = 0; T < 8; ++T) {
+    Threads.emplace_back([&, T] {
+      // Shared const artifact + shared module: serialize, decode, merge and
+      // fingerprint from every thread at once.
+      std::string Bytes = serializeProfileArtifact(Shared);
+      ProfileArtifact Back;
+      std::vector<Diagnostic> Diags;
+      if (!readProfileArtifactBytes(Bytes, Back, Diags))
+        return;
+      ProfileArtifact Acc = makeEmptyLike(Shared);
+      std::vector<Diagnostic> MD;
+      if (!mergeArtifacts(Acc, Back, MD) || !mergeArtifacts(Acc, Shared, MD))
+        return;
+      if (moduleProfileFingerprint(*CR.M) != Want)
+        return;
+      Ok[static_cast<size_t>(T)] = 1;
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (int T = 0; T < 8; ++T)
+    EXPECT_EQ(Ok[static_cast<size_t>(T)], 1) << "thread " << T;
+}
+
+} // namespace
