@@ -1,0 +1,244 @@
+//===--- perf_analyze.cpp - static feasibility analysis benchmark ---------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the static path-feasibility subsystem and writes the
+/// BENCH_analyze.json report (schema "olpp.bench.analyze/v1", committed at
+/// the repo root). Per workload, the module is instrumented under the full
+/// mode (OL-2 + interprocedural k=2) and two costs are timed --reps times:
+///
+///   summary    computeSummaries — the bottom-up purity / globals / return-
+///              range pass the feasibility queries consult,
+///   enumerate  computeInfeasiblePaths over every instrumented function —
+///              the subtree-pruned DFS that yields proven-infeasible id
+///              intervals.
+///
+/// The report also records what the analysis buys: the share of acyclic
+/// path ids proven infeasible, and the bound-tightening ratio — the solver's
+/// remaining slack (sum of Potential - Definite over all problems) with
+/// feasibility facts divided by the slack without them, measured over one
+/// precision-args profile run. The facts are hard `== 0` constraints in a
+/// monotone solver, so the ratio can only be <= 1; the JSON validator
+/// rejects anything larger.
+///
+/// Usage: perf_analyze [workload ...] [--reps N] [--out FILE]
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Summary.h"
+#include "analysis/Feasibility.h"
+#include "estimate/Estimators.h"
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "profile/Instrumenter.h"
+#include "profile/InfeasiblePaths.h"
+#include "support/BenchJson.h"
+#include "support/TableWriter.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+bool benchWorkload(const Workload &W, unsigned Reps,
+                   AnalyzeWorkloadBench &Out) {
+  CompileResult CR = compileMiniC(W.Source);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "error: %s: compile failed:\n%s", W.Name.c_str(),
+                 CR.diagText().c_str());
+    return false;
+  }
+  std::unique_ptr<Module> Instr = CR.M->clone();
+  InstrumentOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.LoopDegree = 2;
+  Opts.Interproc = true;
+  Opts.InterprocDegree = 2;
+  ModuleInstrumentation MI = instrumentModule(*Instr, Opts);
+  if (!MI.ok()) {
+    std::fprintf(stderr, "error: %s: instrumentation failed: %s\n",
+                 W.Name.c_str(), MI.Errors[0].c_str());
+    return false;
+  }
+
+  // Summary pass throughput.
+  ModuleSummaries Sums;
+  auto T0 = std::chrono::steady_clock::now();
+  for (unsigned Rep = 0; Rep < Reps; ++Rep)
+    Sums = computeSummaries(*Instr);
+  Out.SummarySeconds = secondsSince(T0);
+
+  // Infeasible-id enumeration over every instrumented function. The id
+  // totals must be identical on every rep (the analysis is deterministic);
+  // any drift is an analysis bug worth failing the bench over.
+  uint64_t PathIds = 0, InfeasibleIds = 0;
+  unsigned Functions = 0;
+  T0 = std::chrono::steady_clock::now();
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    uint64_t RepPathIds = 0, RepInfeasible = 0;
+    unsigned RepFunctions = 0;
+    for (uint32_t F = 0; F < Instr->numFunctions(); ++F) {
+      const FunctionInstrumentation &FI = MI.Funcs[F];
+      if (!FI.PG || !FI.Cfg)
+        continue;
+      ++RepFunctions;
+      RepPathIds += FI.PG->numPaths();
+      FunctionInfeasibility Inf = computeInfeasiblePaths(
+          *Instr->function(F), *FI.Cfg, *FI.PG, &Sums);
+      RepInfeasible += Inf.InfeasibleIds;
+    }
+    if (Rep == 0) {
+      PathIds = RepPathIds;
+      InfeasibleIds = RepInfeasible;
+      Functions = RepFunctions;
+    } else if (RepPathIds != PathIds || RepInfeasible != InfeasibleIds) {
+      std::fprintf(stderr,
+                   "error: %s: enumeration is not deterministic "
+                   "(rep %u disagrees with rep 0)\n",
+                   W.Name.c_str(), Rep);
+      return false;
+    }
+  }
+  Out.EnumerateSeconds = secondsSince(T0);
+
+  Out.Name = W.Name;
+  Out.Functions = Functions;
+  Out.PathIds = PathIds;
+  Out.InfeasibleIds = InfeasibleIds;
+  Out.InfeasiblePercent =
+      PathIds > 0 ? 100.0 * static_cast<double>(InfeasibleIds) /
+                        static_cast<double>(PathIds)
+                  : 0.0;
+  Out.SecondsPerFunction =
+      Functions > 0 ? (Out.SummarySeconds + Out.EnumerateSeconds) /
+                          (static_cast<double>(Reps) * Functions)
+                    : 0.0;
+
+  // Bound tightening: one precision-args profile run, then the interval
+  // solver without and with the feasibility facts.
+  const Function *Main = Instr->findFunction("main");
+  if (!Main) {
+    std::fprintf(stderr, "error: %s: no 'main'\n", W.Name.c_str());
+    return false;
+  }
+  std::vector<int64_t> Args = W.PrecisionArgs;
+  Args.resize(Main->NumParams, 0);
+  ProfileRuntime Prof(Instr->numFunctions());
+  for (uint32_t F = 0; F < Instr->numFunctions(); ++F)
+    if (MI.Funcs[F].PG)
+      Prof.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+  Interpreter I(*Instr, &Prof);
+  RunConfig RC;
+  RC.MaxSteps = 2'000'000'000;
+  RunResult R = I.run(*Main, Args, RC);
+  if (!R.Ok) {
+    std::fprintf(stderr, "error: %s: profile run failed: %s\n",
+                 W.Name.c_str(), R.Error.c_str());
+    return false;
+  }
+
+  ModuleEstimator Est(*Instr, MI, Prof);
+  EstimateMetrics Without = Est.estimateAll();
+  PathFeasibility PF(*Instr, &Sums);
+  Est.setFeasibility(&PF);
+  EstimateMetrics With = Est.estimateAll();
+  if (With.Definite < Without.Definite ||
+      With.Potential > Without.Potential) {
+    std::fprintf(stderr,
+                 "error: %s: feasibility facts widened the solver bounds\n",
+                 W.Name.c_str());
+    return false;
+  }
+  double SlackWithout = static_cast<double>(Without.Potential) -
+                        static_cast<double>(Without.Definite);
+  double SlackWith = static_cast<double>(With.Potential) -
+                     static_cast<double>(With.Definite);
+  Out.TighteningRatio = SlackWithout > 0 ? SlackWith / SlackWithout : 1.0;
+  Out.InfeasiblePairs = With.InfeasiblePairs;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Reps = 20;
+  std::string Out = "BENCH_analyze.json";
+  std::vector<std::string> Names;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--reps") == 0 && I + 1 < Argc) {
+      Reps = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      Out = Argv[++I];
+    } else {
+      Names.emplace_back(Argv[I]);
+    }
+  }
+  if (Reps == 0)
+    Reps = 1;
+
+  AnalyzeBenchReport Report;
+  Report.Reps = Reps;
+
+  auto T0 = std::chrono::steady_clock::now();
+  for (const Workload &W : allWorkloads()) {
+    if (!Names.empty() &&
+        std::find(Names.begin(), Names.end(), W.Name) == Names.end())
+      continue;
+    AnalyzeWorkloadBench B;
+    if (!benchWorkload(W, Reps, B))
+      return 1;
+    Report.Workloads.push_back(std::move(B));
+  }
+  if (Report.Workloads.empty()) {
+    std::fprintf(stderr, "error: no workload matched\n");
+    return 1;
+  }
+  Report.WallSeconds = secondsSince(T0);
+
+  TableWriter T({"Workload", "Funcs", "Path ids", "Infeasible", "%",
+                 "Sum s", "Enum s", "s/func", "Tighten", "Pairs==0"});
+  for (const AnalyzeWorkloadBench &B : Report.Workloads) {
+    char Pct[32], Su[32], En[32], PerF[32], Ti[32];
+    std::snprintf(Pct, sizeof(Pct), "%.1f", B.InfeasiblePercent);
+    std::snprintf(Su, sizeof(Su), "%.3f", B.SummarySeconds);
+    std::snprintf(En, sizeof(En), "%.3f", B.EnumerateSeconds);
+    std::snprintf(PerF, sizeof(PerF), "%.2e", B.SecondsPerFunction);
+    std::snprintf(Ti, sizeof(Ti), "%.3f", B.TighteningRatio);
+    T.addRow({B.Name, std::to_string(B.Functions),
+              std::to_string(B.PathIds), std::to_string(B.InfeasibleIds),
+              Pct, Su, En, PerF, Ti, std::to_string(B.InfeasiblePairs)});
+  }
+  std::fputs(T.renderText().c_str(), stdout);
+  std::printf("reps=%u wall %.1fs\n", Reps, Report.WallSeconds);
+
+  std::string Error;
+  std::string Rendered = renderAnalyzeBenchJson(Report);
+  if (!validateAnalyzeBenchJson(Rendered, Error)) {
+    std::fprintf(stderr, "internal error: report is invalid: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  if (!writeAnalyzeBenchJson(Out, Report, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", Out.c_str());
+  return 0;
+}

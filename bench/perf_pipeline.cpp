@@ -247,7 +247,7 @@ int main(int Argc, char **Argv) {
                   JobPoints.end());
 
   PipelineBenchReport Report;
-  Report.HardwareThreads = defaultJobCount();
+  Report.Prov.HardwareThreads = defaultJobCount();
   Report.Workloads = static_cast<unsigned>(Suite.size());
   Report.Reps = Reps;
 
@@ -297,7 +297,7 @@ int main(int Argc, char **Argv) {
               "thread(s)\n",
               Report.PlanCache.MemoHits, Report.PlanCache.ContentHits,
               Report.PlanCache.Misses, Report.WallSeconds,
-              Report.HardwareThreads);
+              Report.Prov.HardwareThreads);
 
   std::string Error;
   std::string Rendered = renderPipelineBenchJson(Report);

@@ -1,0 +1,111 @@
+//===--- CallGraph.cpp - Module call graph with SCCs ----------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace olpp;
+
+CallGraph CallGraph::build(const Module &M) {
+  CallGraph CG;
+  uint32_t N = static_cast<uint32_t>(M.numFunctions());
+  CG.Nodes.resize(N);
+  CG.SccId.assign(N, UINT32_MAX);
+  CG.Recursive.assign(N, 0);
+
+  for (uint32_t F = 0; F < N; ++F) {
+    Node &Nd = CG.Nodes[F];
+    for (const auto &BB : M.function(F)->blocks())
+      for (const Instruction &I : BB->Instrs) {
+        if (I.Op == Opcode::Call) {
+          ++Nd.NumCallSites;
+          if (I.CalleeId < N)
+            Nd.Callees.push_back(I.CalleeId);
+        } else if (I.Op == Opcode::CallInd) {
+          Nd.HasIndirectCall = true;
+          CG.AnyIndirect = true;
+        }
+      }
+    std::sort(Nd.Callees.begin(), Nd.Callees.end());
+    Nd.Callees.erase(std::unique(Nd.Callees.begin(), Nd.Callees.end()),
+                     Nd.Callees.end());
+    // Direct self-calls make the function trivially recursive.
+    if (std::binary_search(Nd.Callees.begin(), Nd.Callees.end(), F))
+      CG.Recursive[F] = 1;
+  }
+  for (uint32_t F = 0; F < N; ++F)
+    for (uint32_t C : CG.Nodes[F].Callees)
+      CG.Nodes[C].Callers.push_back(F);
+  for (Node &Nd : CG.Nodes) {
+    std::sort(Nd.Callers.begin(), Nd.Callers.end());
+    Nd.Callers.erase(std::unique(Nd.Callers.begin(), Nd.Callers.end()),
+                     Nd.Callers.end());
+  }
+
+  // Iterative Tarjan over the caller->callee edges. SCCs complete in
+  // reverse topological order of the condensation, i.e. leaf callees
+  // first — the bottom-up order the summary builder consumes directly.
+  std::vector<uint32_t> Index(N, UINT32_MAX), Low(N, 0);
+  std::vector<char> OnStack(N, 0);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+
+  struct Frame {
+    uint32_t F;
+    size_t NextCallee;
+  };
+  std::vector<Frame> Dfs;
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != UINT32_MAX)
+      continue;
+    Dfs.push_back({Root, 0});
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    while (!Dfs.empty()) {
+      Frame &Fr = Dfs.back();
+      const Node &Nd = CG.Nodes[Fr.F];
+      if (Fr.NextCallee < Nd.Callees.size()) {
+        uint32_t C = Nd.Callees[Fr.NextCallee++];
+        if (Index[C] == UINT32_MAX) {
+          Index[C] = Low[C] = NextIndex++;
+          Stack.push_back(C);
+          OnStack[C] = 1;
+          Dfs.push_back({C, 0});
+        } else if (OnStack[C]) {
+          Low[Fr.F] = std::min(Low[Fr.F], Index[C]);
+        }
+        continue;
+      }
+      uint32_t F = Fr.F;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Low[Dfs.back().F] = std::min(Low[Dfs.back().F], Low[F]);
+      if (Low[F] != Index[F])
+        continue;
+      std::vector<uint32_t> Comp;
+      for (;;) {
+        uint32_t W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = 0;
+        CG.SccId[W] = static_cast<uint32_t>(CG.Sccs.size());
+        Comp.push_back(W);
+        if (W == F)
+          break;
+      }
+      std::sort(Comp.begin(), Comp.end());
+      if (Comp.size() > 1)
+        for (uint32_t W : Comp)
+          CG.Recursive[W] = 1;
+      CG.Sccs.push_back(std::move(Comp));
+    }
+  }
+  return CG;
+}

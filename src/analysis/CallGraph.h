@@ -1,0 +1,69 @@
+//===--- CallGraph.h - Module call graph with SCCs --------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module's static call graph: per function its direct callees and
+/// callers, whether it contains indirect calls, and the Tarjan strongly
+/// connected components in bottom-up order (every SCC is emitted after all
+/// SCCs it calls into), which is exactly the order the interprocedural
+/// summary builder (Summary.h) wants.
+///
+/// Indirect calls (CallInd) have statically unknown targets; the graph
+/// records the fact per function and consumers must treat such calls as
+/// able to reach any function whose id escapes into data. No points-to
+/// analysis is attempted — HasIndirectCall is the conservative bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_CALLGRAPH_H
+#define OLPP_ANALYSIS_CALLGRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+class Module;
+
+class CallGraph {
+public:
+  struct Node {
+    /// Direct callees, deduplicated, ascending.
+    std::vector<uint32_t> Callees;
+    /// Direct callers, deduplicated, ascending.
+    std::vector<uint32_t> Callers;
+    /// Number of direct call sites (Call instructions) in the function.
+    uint32_t NumCallSites = 0;
+    /// The function contains a CallInd.
+    bool HasIndirectCall = false;
+  };
+
+  static CallGraph build(const Module &M);
+
+  uint32_t numFunctions() const { return static_cast<uint32_t>(Nodes.size()); }
+  const Node &node(uint32_t F) const { return Nodes[F]; }
+
+  /// SCC index of function \p F (an index into sccs()).
+  uint32_t sccOf(uint32_t F) const { return SccId[F]; }
+  /// The components in bottom-up (callees-first) order; each component's
+  /// member list is ascending.
+  const std::vector<std::vector<uint32_t>> &sccs() const { return Sccs; }
+  /// True when \p F can (transitively) call itself.
+  bool isRecursive(uint32_t F) const { return Recursive[F]; }
+  /// True when any function in the module contains an indirect call.
+  bool anyIndirectCall() const { return AnyIndirect; }
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<uint32_t> SccId;
+  std::vector<std::vector<uint32_t>> Sccs;
+  std::vector<char> Recursive;
+  bool AnyIndirect = false;
+};
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_CALLGRAPH_H

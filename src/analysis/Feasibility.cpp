@@ -1,0 +1,213 @@
+//===--- Feasibility.cpp - Static path-feasibility queries ----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Feasibility.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace olpp;
+
+bool olpp::execBlock(RangeEnv &Env, const Function &F, uint32_t Block,
+                     BlockExec Mode, const ModuleSummaries *Sums,
+                     const ValueRange *ContinuationReturn,
+                     uint64_t &StepBudget) {
+  if (Block >= F.numBlocks())
+    return false;
+  const BasicBlock &BB = *F.block(Block);
+  bool SeenCall = Mode == BlockExec::Full;
+  for (const Instruction &I : BB.Instrs) {
+    if (isTerminator(I.Op))
+      break;
+    if (I.Op == Opcode::Probe)
+      continue;
+    if (StepBudget == 0)
+      return false;
+    --StepBudget;
+    bool IsCall = I.Op == Opcode::Call || I.Op == Opcode::CallInd;
+    if (IsCall && Mode == BlockExec::UpToCall)
+      return true; // the path ends at the call break
+    if (IsCall && Mode == BlockExec::FromCallContinuation && !SeenCall) {
+      // Resuming after this call: bind its result, havoc per summary
+      // unless the caller carried the callee's exit state directly.
+      SeenCall = true;
+      if (ContinuationReturn) {
+        if (I.Dst != NoReg)
+          Env.setReg(I.Dst, *ContinuationReturn);
+      } else {
+        applyCall(Env, I, Sums ? Sums->effectOfCall(I) : CallEffect{});
+      }
+      continue;
+    }
+    if (Mode == BlockExec::FromCallContinuation && !SeenCall)
+      continue; // instructions before the call already ran in the pre-path
+    if (IsCall) {
+      applyCall(Env, I, Sums ? Sums->effectOfCall(I) : CallEffect{});
+      continue;
+    }
+    applyInstr(Env, I);
+  }
+  // A continuation entry must actually have found its call; a path that
+  // claims to stop at a call must actually contain one.
+  if (Mode == BlockExec::FromCallContinuation && !SeenCall)
+    return false;
+  if (Mode == BlockExec::UpToCall)
+    return false;
+  return true;
+}
+
+namespace {
+
+/// The call instruction of \p BB, or nullptr.
+const Instruction *findCall(const BasicBlock &BB) {
+  for (const Instruction &I : BB.Instrs)
+    if (I.Op == Opcode::Call || I.Op == Opcode::CallInd)
+      return &I;
+  return nullptr;
+}
+
+} // namespace
+
+RangeEnv PathFeasibility::startEnv(const Function &F, const CfgView &Cfg,
+                                   uint32_t FirstBlock,
+                                   bool StartsAfterCall) {
+  RangeEnv Env(F.NumRegs);
+  // Frames are zero-initialized by the interpreter, so a path that starts
+  // at a function entry which can never be re-entered sees zeroed locals.
+  if (!StartsAfterCall && FirstBlock == 0 && Cfg.numBlocks() > 0 &&
+      Cfg.preds(0).empty())
+    for (uint32_t R = F.NumParams; R < F.NumRegs; ++R)
+      Env.setReg(R, ValueRange::constant(0));
+  return Env;
+}
+
+PathFeasibility::Walk PathFeasibility::walkBlocks(
+    RangeEnv &Env, const Function &F, const CfgView &Cfg,
+    const std::vector<uint32_t> &Blocks, bool StartsAfterCall,
+    bool StopBeforeCallInLast, const ValueRange *ContinuationReturn,
+    uint64_t &StepBudget) const {
+  if (Blocks.empty())
+    return Walk::Unknown;
+  for (size_t Idx = 0; Idx < Blocks.size(); ++Idx) {
+    uint32_t B = Blocks[Idx];
+    if (B >= F.numBlocks() || B >= Cfg.numBlocks())
+      return Walk::Unknown;
+    bool Last = Idx + 1 == Blocks.size();
+    BlockExec Mode = BlockExec::Full;
+    if (Idx == 0 && StartsAfterCall)
+      Mode = BlockExec::FromCallContinuation;
+    else if (Last && StopBeforeCallInLast)
+      Mode = BlockExec::UpToCall;
+    if (!execBlock(Env, F, B, Mode, Sums,
+                   Idx == 0 ? ContinuationReturn : nullptr, StepBudget))
+      return Walk::Unknown;
+    if (Last)
+      break;
+    // Branch refinement against the *original* successor order: the
+    // instrumented terminator may target split blocks, but its opcode and
+    // condition register are untouched.
+    uint32_t Next = Blocks[Idx + 1];
+    const std::vector<uint32_t> &Succs = Cfg.succs(B);
+    const Instruction &T = F.block(B)->terminator();
+    if (T.Op == Opcode::CondBr && Succs.size() == 2 &&
+        Succs[0] != Succs[1]) {
+      bool Taken;
+      if (Next == Succs[0])
+        Taken = true;
+      else if (Next == Succs[1])
+        Taken = false;
+      else
+        return Walk::Unknown;
+      if (!refineBranch(Env, T, Taken))
+        return Walk::Contradiction;
+    } else if (std::find(Succs.begin(), Succs.end(), Next) == Succs.end()) {
+      return Walk::Unknown;
+    }
+  }
+  return Walk::Ok;
+}
+
+bool PathFeasibility::infeasibleSequence(const Function &F, const CfgView &Cfg,
+                                         const std::vector<uint32_t> &Blocks,
+                                         bool StartsAfterCall) const {
+  if (Blocks.empty())
+    return false;
+  uint64_t Budget = Opts.MaxStepsPerQuery;
+  RangeEnv Env = startEnv(F, Cfg, Blocks.front(), StartsAfterCall);
+  return walkBlocks(Env, F, Cfg, Blocks, StartsAfterCall,
+                    /*StopBeforeCallInLast=*/false, nullptr,
+                    Budget) == Walk::Contradiction;
+}
+
+bool PathFeasibility::infeasibleCallPair(
+    const Function &Caller, const CfgView &CallerCfg,
+    const std::vector<uint32_t> &RowBlocks, bool RowStartsAfterCall,
+    const Function &Callee, const CfgView &CalleeCfg,
+    const std::vector<uint32_t> &ColBlocks) const {
+  if (RowBlocks.empty() || ColBlocks.empty())
+    return false;
+  uint64_t Budget = Opts.MaxStepsPerQuery;
+  RangeEnv Env =
+      startEnv(Caller, CallerCfg, RowBlocks.front(), RowStartsAfterCall);
+  Walk W = walkBlocks(Env, Caller, CallerCfg, RowBlocks, RowStartsAfterCall,
+                      /*StopBeforeCallInLast=*/true, nullptr, Budget);
+  if (W == Walk::Contradiction)
+    return true; // the caller prefix alone is impossible
+  if (W != Walk::Ok)
+    return false;
+  // Bind argument ranges to the callee's parameters.
+  const Instruction *Call = findCall(*Caller.block(RowBlocks.back()));
+  if (!Call || Call->Op != Opcode::Call || Call->CalleeId != Callee.Id ||
+      Call->Args.size() != size_t(Callee.NumParams))
+    return false;
+  RangeEnv CalleeEnv(Callee.NumRegs);
+  for (uint32_t R = Callee.NumParams; R < Callee.NumRegs; ++R)
+    CalleeEnv.setReg(R, ValueRange::constant(0));
+  for (uint32_t P = 0; P < Callee.NumParams; ++P)
+    CalleeEnv.setReg(P, Env.reg(Call->Args[P]));
+  CalleeEnv.adoptGlobals(Env);
+  if (ColBlocks.front() != 0)
+    return false; // a Type I prefix starts at the callee entry
+  return walkBlocks(CalleeEnv, Callee, CalleeCfg, ColBlocks,
+                    /*StartsAfterCall=*/false,
+                    /*StopBeforeCallInLast=*/false, nullptr,
+                    Budget) == Walk::Contradiction;
+}
+
+bool PathFeasibility::infeasibleReturnPair(
+    const Function &Callee, const CfgView &CalleeCfg,
+    const std::vector<uint32_t> &RowBlocks, bool RowStartsAfterCall,
+    const Function &Caller, const CfgView &CallerCfg,
+    const std::vector<uint32_t> &ColBlocks) const {
+  if (RowBlocks.empty() || ColBlocks.empty())
+    return false;
+  uint64_t Budget = Opts.MaxStepsPerQuery;
+  RangeEnv Env =
+      startEnv(Callee, CalleeCfg, RowBlocks.front(), RowStartsAfterCall);
+  Walk W = walkBlocks(Env, Callee, CalleeCfg, RowBlocks, RowStartsAfterCall,
+                      /*StopBeforeCallInLast=*/false, nullptr, Budget);
+  if (W == Walk::Contradiction)
+    return true;
+  if (W != Walk::Ok)
+    return false;
+  const Instruction &T = Callee.block(RowBlocks.back())->terminator();
+  if (T.Op != Opcode::Ret)
+    return false;
+  ValueRange Ret =
+      T.Src0 == NoReg ? ValueRange::top() : Env.reg(T.Src0);
+  // The continuation's call must really target this callee.
+  const Instruction *Call = findCall(*Caller.block(ColBlocks.front()));
+  if (!Call || Call->Op != Opcode::Call || Call->CalleeId != Callee.Id)
+    return false;
+  RangeEnv CallerEnv(Caller.NumRegs);
+  CallerEnv.adoptGlobals(Env);
+  return walkBlocks(CallerEnv, Caller, CallerCfg, ColBlocks,
+                    /*StartsAfterCall=*/true,
+                    /*StopBeforeCallInLast=*/false, &Ret,
+                    Budget) == Walk::Contradiction;
+}

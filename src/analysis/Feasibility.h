@@ -1,0 +1,130 @@
+//===--- Feasibility.h - Static path-feasibility queries --------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch-correlation walker: abstract execution of one concrete block
+/// sequence under the value-range domain (ValueRange.h), refining at every
+/// conditional branch along the way. When a refinement produces an empty
+/// interval the sequence is *statically infeasible* — no input can drive
+/// execution along it — and the estimation pipeline may pin its counter to
+/// a hard zero.
+///
+/// Three query shapes match the estimator's pair problems:
+///
+///   infeasibleSequence   one intraprocedural chain (a loop row followed
+///                        by the next iteration's class prefix)
+///   infeasibleCallPair   a caller path ending at a call, chained into a
+///                        callee path — argument ranges bind to the
+///                        callee's parameters (Type I pairs)
+///   infeasibleReturnPair a callee path ending at `ret`, chained into the
+///                        caller's continuation — the walked return range
+///                        binds to the call's destination (Type II pairs)
+///
+/// Soundness contract: `true` means PROVEN infeasible; any structural
+/// surprise (unknown blocks, truncated data, exhausted step budget,
+/// mismatched branch targets) degrades to `false` (feasible as far as we
+/// know). Block sequences use pre-instrumentation block ids; the walker
+/// works on instrumented functions too (probes are skipped, original
+/// successor order comes from the caller-provided CfgView snapshot).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_FEASIBILITY_H
+#define OLPP_ANALYSIS_FEASIBILITY_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Summary.h"
+#include "analysis/ValueRange.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+class Function;
+
+/// How the walker enters a block of a sequence.
+enum class BlockExec : uint8_t {
+  Full,                 ///< execute every (non-probe) instruction
+  FromCallContinuation, ///< resume after the block's call
+  UpToCall,             ///< stop just before the block's call (a path that
+                        ///< ends at the call break)
+};
+
+/// Executes one block's non-terminator instructions into \p Env. Calls are
+/// interpreted through \p Sums when provided. For FromCallContinuation,
+/// \p ContinuationReturn (when non-null) supplies the returned-value range
+/// and suppresses the global havoc (the caller already carries the callee's
+/// exit state); otherwise the callee's summary effect applies. Decrements
+/// \p StepBudget per instruction; returns false when the budget runs out or
+/// the block shape does not match the requested mode.
+bool execBlock(RangeEnv &Env, const Function &F, uint32_t Block, BlockExec Mode,
+               const ModuleSummaries *Sums,
+               const ValueRange *ContinuationReturn, uint64_t &StepBudget);
+
+struct FeasibilityOptions {
+  /// Abstractly executed instructions per query before giving up.
+  uint64_t MaxStepsPerQuery = 4096;
+};
+
+/// Stateless query object over one module (and its summaries).
+class PathFeasibility {
+public:
+  explicit PathFeasibility(const Module &M,
+                           const ModuleSummaries *Sums = nullptr,
+                           FeasibilityOptions Opts = {})
+      : M(M), Sums(Sums), Opts(Opts) {}
+
+  const Module &module() const { return M; }
+  const ModuleSummaries *summaries() const { return Sums; }
+
+  /// True when the chained block sequence \p Blocks of \p F is provably
+  /// infeasible. \p StartsAfterCall: the first block is entered at its
+  /// call continuation. \p Cfg must be the pre-instrumentation view of
+  /// \p F (block ids in \p Blocks are pre-instrumentation ids).
+  bool infeasibleSequence(const Function &F, const CfgView &Cfg,
+                          const std::vector<uint32_t> &Blocks,
+                          bool StartsAfterCall) const;
+
+  /// True when caller path \p RowBlocks (ending at the call in its last
+  /// block) chained into callee path \p ColBlocks is provably infeasible.
+  bool infeasibleCallPair(const Function &Caller, const CfgView &CallerCfg,
+                          const std::vector<uint32_t> &RowBlocks,
+                          bool RowStartsAfterCall, const Function &Callee,
+                          const CfgView &CalleeCfg,
+                          const std::vector<uint32_t> &ColBlocks) const;
+
+  /// True when callee path \p RowBlocks (ending at `ret`) chained into the
+  /// caller continuation \p ColBlocks (first block entered after its call)
+  /// is provably infeasible.
+  bool infeasibleReturnPair(const Function &Callee, const CfgView &CalleeCfg,
+                            const std::vector<uint32_t> &RowBlocks,
+                            bool RowStartsAfterCall, const Function &Caller,
+                            const CfgView &CallerCfg,
+                            const std::vector<uint32_t> &ColBlocks) const;
+
+  /// Builds the activation-entry state for a walk of \p F beginning at
+  /// \p FirstBlock: locals are zero when this is provably the activation
+  /// start (function entry that cannot be re-entered), everything else top.
+  static RangeEnv startEnv(const Function &F, const CfgView &Cfg,
+                           uint32_t FirstBlock, bool StartsAfterCall);
+
+private:
+  enum class Walk : uint8_t { Contradiction, Ok, Unknown };
+  Walk walkBlocks(RangeEnv &Env, const Function &F, const CfgView &Cfg,
+                  const std::vector<uint32_t> &Blocks, bool StartsAfterCall,
+                  bool StopBeforeCallInLast,
+                  const ValueRange *ContinuationReturn,
+                  uint64_t &StepBudget) const;
+
+  const Module &M;
+  const ModuleSummaries *Sums;
+  FeasibilityOptions Opts;
+};
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_FEASIBILITY_H

@@ -8,6 +8,7 @@
 
 #include "analysis/Dataflow.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/Summary.h"
 #include "ir/Module.h"
 
 #include <string>
@@ -144,6 +145,73 @@ void lintNoExit(const Function &F, const LoopInfo &LI,
   }
 }
 
+void lintIrreducible(const Function &F, const CfgView &Cfg,
+                     const DomTree &Dom, std::vector<Diagnostic> &Diags) {
+  // A retreating edge whose target does not dominate its source closes a
+  // cycle with more than one entry. LoopInfo only models natural loops, so
+  // path numbering (and everything downstream) treats such a region
+  // conservatively; the author almost certainly wants to know.
+  for (uint32_t B = 0; B < Cfg.numBlocks(); ++B) {
+    if (!Cfg.isReachable(B))
+      continue;
+    for (uint32_t P : Cfg.preds(B)) {
+      if (!Cfg.isReachable(P) || Cfg.rpoIndex(P) < Cfg.rpoIndex(B))
+        continue;
+      if (!Dom.dominates(B, P))
+        Diags.push_back(makeDiagAt(
+            Severity::Warning, "lint-irreducible", F.Name, B,
+            F.block(B)->Name,
+            "retreating edge from ^" + std::to_string(P) +
+                " enters a cycle with multiple entry points (irreducible "
+                "control flow); loop profiling treats it conservatively"));
+    }
+  }
+}
+
+/// Module-level summary pass: a call whose result is dead and whose callee
+/// is provably side-effect-free did all that work for nothing. Unlike
+/// lint-dead-store this needs the bottom-up summaries, so it cannot run
+/// per function in isolation. Note severity: the callee may still trap or
+/// diverge, so removal is a judgement call, not a guarantee.
+void lintPureCallUnused(const Module &M, const ModuleSummaries &Sums,
+                        std::vector<Diagnostic> &Diags) {
+  std::vector<Reg> Uses;
+  for (const auto &FPtr : M.functions()) {
+    const Function &F = *FPtr;
+    if (F.numBlocks() == 0)
+      continue;
+    CfgView Cfg = CfgView::build(F);
+    Liveness LV = Liveness::compute(F, Cfg);
+    for (uint32_t B = 0; B < Cfg.numBlocks(); ++B) {
+      if (!Cfg.isReachable(B))
+        continue;
+      const BasicBlock *BB = F.block(B);
+      BitVector Live = LV.liveOut(B);
+      for (size_t Idx = BB->Instrs.size(); Idx-- > 0;) {
+        const Instruction &I = BB->Instrs[Idx];
+        Reg D = instrDef(I);
+        if (I.Op == Opcode::Call && D != NoReg && D < F.NumRegs &&
+            !Live.test(D)) {
+          const FunctionSummary &S = Sums.summary(I.CalleeId);
+          if (S.SideEffectFree && !S.TransitivelyIndirect)
+            Diags.push_back(makeDiagAt(
+                Severity::Note, "lint-pure-call-unused", F.Name, B, BB->Name,
+                "result of call to side-effect-free function '" +
+                    M.function(I.CalleeId)->Name + "' is never used",
+                static_cast<uint32_t>(Idx)));
+        }
+        if (D != NoReg && D < F.NumRegs)
+          Live.reset(D);
+        Uses.clear();
+        instrUses(I, Uses);
+        for (Reg U : Uses)
+          if (U < F.NumRegs)
+            Live.set(U);
+      }
+    }
+  }
+}
+
 } // namespace
 
 void olpp::lintFunction(const Function &F, std::vector<Diagnostic> &Diags) {
@@ -154,6 +222,7 @@ void olpp::lintFunction(const Function &F, std::vector<Diagnostic> &Diags) {
   LoopInfo LI = LoopInfo::compute(Cfg, Dom);
 
   lintUnreachable(F, Cfg, Diags);
+  lintIrreducible(F, Cfg, Dom, Diags);
   lintNoExit(F, LI, Diags);
   lintUninit(F, Cfg, Diags);
   lintDeadStore(F, Cfg, Diags);
@@ -163,5 +232,7 @@ std::vector<Diagnostic> olpp::lintModule(const Module &M) {
   std::vector<Diagnostic> Diags;
   for (const auto &F : M.functions())
     lintFunction(*F, Diags);
+  ModuleSummaries Sums = computeSummaries(M);
+  lintPureCallUnused(M, Sums, Diags);
   return Diags;
 }

@@ -17,6 +17,12 @@
 ///                      exempt)
 ///   lint-no-exit       a natural loop with no exit edge: once entered the
 ///                      function can never leave it (LoopInfo + Dominators)
+///   lint-irreducible   a retreating edge enters a cycle with multiple
+///                      entry points; loop-based profiling degrades to the
+///                      conservative treatment (Dominators)
+///   lint-pure-call-unused  [note] a call's result is dead and the callee's
+///                      bottom-up summary proves it side-effect-free
+///                      (Summary + Liveness; module-level only)
 ///
 /// All passes emit structured Diagnostics; none of them mutates the IR.
 /// The interpreter zero-initializes frames, so lint-uninit flags suspect

@@ -1,0 +1,131 @@
+//===--- Summary.cpp - Bottom-up interprocedural summaries ----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Summary.h"
+
+#include "analysis/Cfg.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace olpp;
+
+CallEffect ModuleSummaries::effectOfCall(const Instruction &I) const {
+  if (I.Op == Opcode::Call && I.CalleeId < Effects.size())
+    return Effects[I.CalleeId];
+  return CallEffect{}; // CallInd or out-of-range: havoc everything
+}
+
+namespace {
+
+void mergeInto(std::vector<uint32_t> &Dst, const std::vector<uint32_t> &Src) {
+  size_t Old = Dst.size();
+  Dst.insert(Dst.end(), Src.begin(), Src.end());
+  std::inplace_merge(Dst.begin(), Dst.begin() + Old, Dst.end());
+  Dst.erase(std::unique(Dst.begin(), Dst.end()), Dst.end());
+}
+
+} // namespace
+
+ModuleSummaries olpp::computeSummaries(const Module &M) {
+  ModuleSummaries S;
+  S.CG = CallGraph::build(M);
+  uint32_t N = S.CG.numFunctions();
+  S.Funcs.resize(N);
+  S.Effects.assign(N, CallEffect{});
+
+  // Direct (intraprocedural) facts.
+  struct Direct {
+    std::vector<uint32_t> Read, Written;
+    bool ReadsArrays = false, WritesArrays = false;
+  };
+  std::vector<Direct> Dir(N);
+  for (uint32_t F = 0; F < N; ++F) {
+    Direct &D = Dir[F];
+    for (const auto &BB : M.function(F)->blocks())
+      for (const Instruction &I : BB->Instrs)
+        switch (I.Op) {
+        case Opcode::LoadG:
+          D.Read.push_back(I.GlobalId);
+          break;
+        case Opcode::StoreG:
+          D.Written.push_back(I.GlobalId);
+          break;
+        case Opcode::LoadArr:
+          D.Read.push_back(I.GlobalId);
+          D.ReadsArrays = true;
+          break;
+        case Opcode::StoreArr:
+          D.Written.push_back(I.GlobalId);
+          D.WritesArrays = true;
+          break;
+        default:
+          break;
+        }
+    std::sort(D.Read.begin(), D.Read.end());
+    D.Read.erase(std::unique(D.Read.begin(), D.Read.end()), D.Read.end());
+    std::sort(D.Written.begin(), D.Written.end());
+    D.Written.erase(std::unique(D.Written.begin(), D.Written.end()),
+                    D.Written.end());
+  }
+
+  // Bottom-up over SCCs: effect facts are the union over the component's
+  // members plus the (already final) facts of every external callee; the
+  // whole component shares them, which covers intra-component calls.
+  for (const std::vector<uint32_t> &Comp : S.CG.sccs()) {
+    std::vector<uint32_t> Read, Written;
+    bool ReadsArrays = false, WritesArrays = false, Indirect = false;
+    for (uint32_t F : Comp) {
+      mergeInto(Read, Dir[F].Read);
+      mergeInto(Written, Dir[F].Written);
+      ReadsArrays |= Dir[F].ReadsArrays;
+      WritesArrays |= Dir[F].WritesArrays;
+      Indirect |= S.CG.node(F).HasIndirectCall;
+      for (uint32_t C : S.CG.node(F).Callees) {
+        if (S.CG.sccOf(C) == S.CG.sccOf(F))
+          continue; // intra-component; covered by the member union
+        const FunctionSummary &CS = S.Funcs[C];
+        mergeInto(Read, CS.GlobalsRead);
+        mergeInto(Written, CS.GlobalsWritten);
+        ReadsArrays |= CS.ReadsArrays;
+        WritesArrays |= CS.WritesArrays;
+        Indirect |= CS.TransitivelyIndirect;
+      }
+    }
+    for (uint32_t F : Comp) {
+      FunctionSummary &FS = S.Funcs[F];
+      FS.GlobalsRead = Read;
+      FS.GlobalsWritten = Written;
+      FS.ReadsArrays = ReadsArrays;
+      FS.WritesArrays = WritesArrays;
+      FS.TransitivelyIndirect = Indirect;
+      FS.Recursive = S.CG.isRecursive(F);
+      FS.SideEffectFree = !Indirect && Written.empty() && !WritesArrays;
+    }
+
+    // Return ranges: run the range analysis with the effects finalized so
+    // far. Intra-component callees still carry the conservative default
+    // effect (their slot is written below), which is sound for recursion.
+    for (uint32_t F : Comp) {
+      FunctionSummary &FS = S.Funcs[F];
+      const Function &Fn = *M.function(F);
+      if (Fn.numBlocks() == 0)
+        continue;
+      CfgView Cfg = CfgView::build(Fn);
+      FunctionRanges FR = computeFunctionRanges(Fn, Cfg, &S.Effects);
+      FS.Return = FR.Return;
+      FS.ReturnsVoid = FR.ReturnsVoid;
+    }
+    for (uint32_t F : Comp) {
+      const FunctionSummary &FS = S.Funcs[F];
+      CallEffect &E = S.Effects[F];
+      E.Return = FS.Return;
+      E.HavocAllGlobals = FS.TransitivelyIndirect;
+      E.WrittenGlobals = FS.GlobalsWritten;
+    }
+  }
+  return S;
+}

@@ -1,0 +1,77 @@
+//===--- Summary.h - Bottom-up interprocedural summaries --------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function interprocedural summaries, computed bottom-up over the call
+/// graph's SCC order: side-effect shape (pure / writes globals / writes
+/// arrays), the transitive sets of globals read and written, and the
+/// callee's return value range. The feasibility walkers consume them as
+/// CallEffects so branch correlation survives calls — a call only havocs
+/// the scalar globals its callee can actually write, instead of the whole
+/// world — and they are the legality layer ROADMAP item 1 (`olpp opt`
+/// demand-driven inlining) needs.
+///
+/// Everything is conservative in the presence of indirect calls: a
+/// function that can transitively reach a CallInd is treated as able to
+/// read and write any global and to return anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_SUMMARY_H
+#define OLPP_ANALYSIS_SUMMARY_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/ValueRange.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+class Module;
+
+struct FunctionSummary {
+  /// No transitive stores to globals or arrays and no reachable indirect
+  /// call: calling it cannot change observable state.
+  bool SideEffectFree = false;
+  /// Scalar and array global ids transitively read / written (sorted,
+  /// unique). Meaningless when TransitivelyIndirect.
+  std::vector<uint32_t> GlobalsRead;
+  std::vector<uint32_t> GlobalsWritten;
+  bool ReadsArrays = false;
+  bool WritesArrays = false;
+  /// A CallInd is reachable from this function; every derived fact
+  /// degrades to "anything".
+  bool TransitivelyIndirect = false;
+  /// Member of a call-graph cycle (including direct self-recursion).
+  bool Recursive = false;
+  /// Join of every `ret` operand range (top when unknown or void).
+  ValueRange Return = ValueRange::top();
+  bool ReturnsVoid = false;
+};
+
+struct ModuleSummaries {
+  CallGraph CG;
+  std::vector<FunctionSummary> Funcs; ///< by function id
+  /// The summaries as CallEffects (by callee id), ready for the range
+  /// analysis and the feasibility walkers.
+  std::vector<CallEffect> Effects;
+
+  const FunctionSummary &summary(uint32_t F) const { return Funcs[F]; }
+
+  /// The effect of one call instruction: the callee's effect for a direct
+  /// call with a valid id, maximally conservative otherwise (CallInd).
+  CallEffect effectOfCall(const Instruction &I) const;
+};
+
+/// Computes summaries for every function of \p M, bottom-up over SCCs.
+/// Calls inside a cycle are treated conservatively (one pass, no
+/// interprocedural fixpoint), which keeps the result sound for recursion.
+ModuleSummaries computeSummaries(const Module &M);
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_SUMMARY_H

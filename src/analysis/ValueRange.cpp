@@ -1,0 +1,533 @@
+//===--- ValueRange.cpp - Interval value-range analysis -------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueRange.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace olpp;
+
+//===----------------------------------------------------------------------===//
+// ValueRange arithmetic
+//===----------------------------------------------------------------------===//
+
+std::string ValueRange::str() const {
+  if (isTop())
+    return "top";
+  if (isConstant())
+    return "[" + std::to_string(Lo) + "]";
+  std::string S = "[";
+  S += Lo == INT64_MIN ? std::string("-inf") : std::to_string(Lo);
+  S += ", ";
+  S += Hi == INT64_MAX ? std::string("+inf") : std::to_string(Hi);
+  S += "]";
+  return S;
+}
+
+ValueRange ValueRange::add(const ValueRange &A, const ValueRange &B) {
+  int64_t Lo, Hi;
+  if (__builtin_add_overflow(A.Lo, B.Lo, &Lo) ||
+      __builtin_add_overflow(A.Hi, B.Hi, &Hi))
+    return top();
+  return {Lo, Hi};
+}
+
+ValueRange ValueRange::sub(const ValueRange &A, const ValueRange &B) {
+  int64_t Lo, Hi;
+  if (__builtin_sub_overflow(A.Lo, B.Hi, &Lo) ||
+      __builtin_sub_overflow(A.Hi, B.Lo, &Hi))
+    return top();
+  return {Lo, Hi};
+}
+
+ValueRange ValueRange::mul(const ValueRange &A, const ValueRange &B) {
+  int64_t Lo = INT64_MAX, Hi = INT64_MIN;
+  for (int64_t X : {A.Lo, A.Hi})
+    for (int64_t Y : {B.Lo, B.Hi}) {
+      int64_t P;
+      if (__builtin_mul_overflow(X, Y, &P))
+        return top();
+      Lo = P < Lo ? P : Lo;
+      Hi = P > Hi ? P : Hi;
+    }
+  return {Lo, Hi};
+}
+
+ValueRange ValueRange::neg(const ValueRange &A) {
+  if (A.Lo == INT64_MIN) // -INT64_MIN wraps
+    return top();
+  return {-A.Hi, -A.Lo};
+}
+
+ValueRange ValueRange::logicalNot(const ValueRange &A) {
+  if (!A.contains(0))
+    return constant(0);
+  if (A.isConstant()) // the constant is 0
+    return constant(1);
+  return boolean();
+}
+
+ValueRange ValueRange::compare(Opcode Op, const ValueRange &A,
+                               const ValueRange &B) {
+  auto Known = [](bool V) { return constant(V ? 1 : 0); };
+  switch (Op) {
+  case Opcode::CmpEq:
+    if (A.isConstant() && B.isConstant())
+      return Known(A.Lo == B.Lo);
+    if (A.Hi < B.Lo || B.Hi < A.Lo)
+      return Known(false);
+    return boolean();
+  case Opcode::CmpNe:
+    if (A.isConstant() && B.isConstant())
+      return Known(A.Lo != B.Lo);
+    if (A.Hi < B.Lo || B.Hi < A.Lo)
+      return Known(true);
+    return boolean();
+  case Opcode::CmpLt:
+    if (A.Hi < B.Lo)
+      return Known(true);
+    if (A.Lo >= B.Hi)
+      return Known(false);
+    return boolean();
+  case Opcode::CmpLe:
+    if (A.Hi <= B.Lo)
+      return Known(true);
+    if (A.Lo > B.Hi)
+      return Known(false);
+    return boolean();
+  case Opcode::CmpGt:
+    if (A.Lo > B.Hi)
+      return Known(true);
+    if (A.Hi <= B.Lo)
+      return Known(false);
+    return boolean();
+  case Opcode::CmpGe:
+    if (A.Lo >= B.Hi)
+      return Known(true);
+    if (A.Hi < B.Lo)
+      return Known(false);
+    return boolean();
+  default:
+    assert(false && "not a compare opcode");
+    return boolean();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RangeEnv
+//===----------------------------------------------------------------------===//
+
+void RangeEnv::setReg(Reg R, ValueRange V) {
+  Regs[R] = V;
+  ++Gens[R];
+  Notes[R].Valid = false;
+}
+
+bool RangeEnv::refineReg(Reg R, const ValueRange &To) {
+  // Refinement narrows what we know about the *same* runtime value, so the
+  // generation and any compare note stay valid.
+  std::optional<ValueRange> M = Regs[R].meet(To);
+  if (!M)
+    return false;
+  Regs[R] = *M;
+  return true;
+}
+
+ValueRange RangeEnv::global(uint32_t Id) const {
+  auto It = Globals.find(Id);
+  return It == Globals.end() ? ValueRange::top() : It->second;
+}
+
+void RangeEnv::setNote(Reg R, Opcode Op, Reg A, Reg B) {
+  // A compare overwriting one of its own operands destroys the operand
+  // value; such a note could never be applied soundly.
+  if (R == A || R == B) {
+    Notes[R].Valid = false;
+    return;
+  }
+  Notes[R] = {true, Op, A, B, Gens[A], Gens[B]};
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer functions
+//===----------------------------------------------------------------------===//
+
+void olpp::applyInstr(RangeEnv &Env, const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Const:
+    Env.setReg(I.Dst, ValueRange::constant(I.Imm));
+    return;
+  case Opcode::Move:
+    Env.setReg(I.Dst, Env.reg(I.Src0));
+    return;
+  case Opcode::Add:
+    Env.setReg(I.Dst, ValueRange::add(Env.reg(I.Src0), Env.reg(I.Src1)));
+    return;
+  case Opcode::Sub:
+    Env.setReg(I.Dst, ValueRange::sub(Env.reg(I.Src0), Env.reg(I.Src1)));
+    return;
+  case Opcode::Mul:
+    Env.setReg(I.Dst, ValueRange::mul(Env.reg(I.Src0), Env.reg(I.Src1)));
+    return;
+  case Opcode::Neg:
+    Env.setReg(I.Dst, ValueRange::neg(Env.reg(I.Src0)));
+    return;
+  case Opcode::Not:
+    Env.setReg(I.Dst, ValueRange::logicalNot(Env.reg(I.Src0)));
+    return;
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    Env.setReg(I.Dst,
+               ValueRange::compare(I.Op, Env.reg(I.Src0), Env.reg(I.Src1)));
+    Env.setNote(I.Dst, I.Op, I.Src0, I.Src1);
+    return;
+  // Trapping or bit-level opcodes: deliberately not folded — a trap must
+  // never look like infeasibility, and partial bit-level models are where
+  // unsound mismatches with the interpreter would creep in.
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::LoadArr:
+    Env.setReg(I.Dst, ValueRange::top());
+    return;
+  case Opcode::LoadG:
+    Env.setReg(I.Dst, Env.global(I.GlobalId));
+    return;
+  case Opcode::StoreG:
+    Env.setGlobal(I.GlobalId, Env.reg(I.Src0));
+    return;
+  case Opcode::StoreArr:
+    return;
+  case Opcode::Call:
+  case Opcode::CallInd:
+    // Callers that know summaries use applyCall; this is the conservative
+    // fallback.
+    applyCall(Env, I, CallEffect{});
+    return;
+  case Opcode::Ret:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Probe:
+    return;
+  }
+}
+
+void olpp::applyCall(RangeEnv &Env, const Instruction &I,
+                     const CallEffect &E) {
+  if (E.HavocAllGlobals)
+    Env.havocAllGlobals();
+  else
+    for (uint32_t G : E.WrittenGlobals)
+      Env.havocGlobal(G);
+  if (I.Dst != NoReg)
+    Env.setReg(I.Dst, E.Return);
+}
+
+namespace {
+
+/// Negation of a compare opcode (the not-taken outcome).
+Opcode negateCmp(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEq:
+    return Opcode::CmpNe;
+  case Opcode::CmpNe:
+    return Opcode::CmpEq;
+  case Opcode::CmpLt:
+    return Opcode::CmpGe;
+  case Opcode::CmpLe:
+    return Opcode::CmpGt;
+  case Opcode::CmpGt:
+    return Opcode::CmpLe;
+  case Opcode::CmpGe:
+    return Opcode::CmpLt;
+  default:
+    assert(false && "not a compare opcode");
+    return Op;
+  }
+}
+
+/// Refines \p A and \p B under "A op B holds". Returns false on a
+/// contradiction.
+bool refineCompare(RangeEnv &Env, Opcode Op, Reg A, Reg B) {
+  ValueRange RA = Env.reg(A), RB = Env.reg(B);
+  switch (Op) {
+  case Opcode::CmpEq: {
+    std::optional<ValueRange> M = RA.meet(RB);
+    if (!M)
+      return false;
+    return Env.refineReg(A, *M) && Env.refineReg(B, *M);
+  }
+  case Opcode::CmpNe:
+    if (RA.isConstant() && RB.isConstant())
+      return RA.Lo != RB.Lo;
+    // Endpoint exclusion against a constant operand.
+    if (RB.isConstant()) {
+      if (RA.Lo == RB.Lo && !Env.refineReg(A, {RA.Lo + 1, INT64_MAX}))
+        return false;
+      RA = Env.reg(A);
+      if (RA.Hi == RB.Lo && !Env.refineReg(A, {INT64_MIN, RA.Hi - 1}))
+        return false;
+    } else if (RA.isConstant()) {
+      if (RB.Lo == RA.Lo && !Env.refineReg(B, {RB.Lo + 1, INT64_MAX}))
+        return false;
+      RB = Env.reg(B);
+      if (RB.Hi == RA.Lo && !Env.refineReg(B, {INT64_MIN, RB.Hi - 1}))
+        return false;
+    }
+    return true;
+  case Opcode::CmpLt:
+    if (RB.Hi == INT64_MIN || RA.Lo == INT64_MAX)
+      return false;
+    return Env.refineReg(A, {INT64_MIN, RB.Hi - 1}) &&
+           Env.refineReg(B, {RA.Lo + 1, INT64_MAX});
+  case Opcode::CmpLe:
+    return Env.refineReg(A, {INT64_MIN, RB.Hi}) &&
+           Env.refineReg(B, {RA.Lo, INT64_MAX});
+  case Opcode::CmpGt:
+    if (RB.Lo == INT64_MAX || RA.Hi == INT64_MIN)
+      return false;
+    return Env.refineReg(A, {RB.Lo + 1, INT64_MAX}) &&
+           Env.refineReg(B, {INT64_MIN, RA.Hi - 1});
+  case Opcode::CmpGe:
+    return Env.refineReg(A, {RB.Lo, INT64_MAX}) &&
+           Env.refineReg(B, {INT64_MIN, RA.Hi});
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+bool olpp::refineBranch(RangeEnv &Env, const Instruction &CondBr, bool Taken) {
+  assert(CondBr.Op == Opcode::CondBr && "refineBranch needs a CondBr");
+  Reg C = CondBr.Src0;
+  ValueRange RC = Env.reg(C);
+  if (Taken) {
+    // C != 0. Representable only when 0 sits on an interval endpoint.
+    if (RC.isConstant() && RC.Lo == 0)
+      return false;
+    if (RC.Lo == 0 && !Env.refineReg(C, {1, INT64_MAX}))
+      return false;
+    if (RC.Hi == 0 && !Env.refineReg(C, {INT64_MIN, -1}))
+      return false;
+  } else {
+    if (!Env.refineReg(C, ValueRange::constant(0)))
+      return false;
+  }
+  // Branch correlation: push the outcome through the compare that produced
+  // the condition, when its operands are provably unchanged since.
+  const RangeEnv::CmpNote &N = Env.note(C);
+  if (N.Valid && Env.gen(N.A) == N.GenA && Env.gen(N.B) == N.GenB)
+    return refineCompare(Env, Taken ? N.Op : negateCmp(N.Op), N.A, N.B);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-function fixpoint
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Join (optionally widening) of register states at a block entry.
+/// Generations and compare notes do not survive a join (they describe one
+/// concrete prefix, not a merge), so the result is rebuilt from joined
+/// ranges. \p Widen kicks in only after a block has been re-joined enough
+/// times to suggest an ascending chain (a loop), so straight-line merges
+/// keep precise hulls.
+RangeEnv widenJoin(const RangeEnv &Old, const RangeEnv &New, bool Widen,
+                   bool &Changed) {
+  RangeEnv R(Old.numRegs());
+  for (uint32_t I = 0; I < Old.numRegs(); ++I) {
+    ValueRange J = Old.reg(I).join(New.reg(I));
+    if (J != Old.reg(I)) {
+      Changed = true;
+      // Widen the moving endpoint so ascending chains terminate.
+      if (Widen && J.Lo < Old.reg(I).Lo)
+        J.Lo = INT64_MIN;
+      if (Widen && J.Hi > Old.reg(I).Hi)
+        J.Hi = INT64_MAX;
+    }
+    if (!J.isTop())
+      R.setReg(I, J);
+  }
+  return R;
+}
+
+void widenJoinGlobals(const RangeEnv &Old, const RangeEnv &New, RangeEnv &Out,
+                      const std::vector<uint32_t> &TrackedGlobals, bool Widen,
+                      bool &Changed) {
+  for (uint32_t G : TrackedGlobals) {
+    ValueRange OG = Old.global(G), NG = New.global(G);
+    ValueRange J = OG.join(NG);
+    if (J != OG) {
+      Changed = true;
+      if (Widen && J.Lo < OG.Lo)
+        J.Lo = INT64_MIN;
+      if (Widen && J.Hi > OG.Hi)
+        J.Hi = INT64_MAX;
+    }
+    if (!J.isTop())
+      Out.setGlobal(G, J);
+  }
+}
+
+} // namespace
+
+FunctionRanges
+olpp::computeFunctionRanges(const Function &F, const CfgView &Cfg,
+                            const std::vector<CallEffect> *Effects) {
+  FunctionRanges FR;
+  uint32_t N = Cfg.numBlocks();
+
+  CallEffect Conservative;
+  auto EffectOf = [&](const Instruction &I) -> const CallEffect & {
+    if (I.Op == Opcode::Call && Effects && I.CalleeId < Effects->size())
+      return (*Effects)[I.CalleeId];
+    return Conservative;
+  };
+  auto RunBlock = [&](RangeEnv &Env, uint32_t B) {
+    for (const Instruction &I : F.block(B)->Instrs) {
+      if (isTerminator(I.Op))
+        break;
+      if (I.Op == Opcode::Call || I.Op == Opcode::CallInd)
+        applyCall(Env, I, EffectOf(I));
+      else
+        applyInstr(Env, I);
+    }
+  };
+
+  // Globals we bother joining at block boundaries: every scalar global the
+  // function itself stores to (others stay top inside this function anyway
+  // unless loaded after a store — a per-path property the walkers handle).
+  std::vector<uint32_t> TrackedGlobals;
+  for (const auto &BB : F.blocks())
+    for (const Instruction &I : BB->Instrs)
+      if (I.Op == Opcode::StoreG)
+        TrackedGlobals.push_back(I.GlobalId);
+  std::sort(TrackedGlobals.begin(), TrackedGlobals.end());
+  TrackedGlobals.erase(
+      std::unique(TrackedGlobals.begin(), TrackedGlobals.end()),
+      TrackedGlobals.end());
+
+  // Activation entry state: parameters unknown; locals/temporaries are
+  // zero (the interpreter zero-initializes frames). Only valid when the
+  // entry block cannot be re-entered.
+  RangeEnv EntryEnv(F.NumRegs);
+  if (Cfg.preds(0).empty())
+    for (uint32_t R = F.NumParams; R < F.NumRegs; ++R)
+      EntryEnv.setReg(R, ValueRange::constant(0));
+
+  std::vector<std::unique_ptr<RangeEnv>> In(N);
+  std::deque<uint32_t> Work;
+  std::vector<char> Queued(N, 0);
+  std::vector<uint32_t> Updates(N, 0);
+
+  // Widening points: targets of retreating edges (every CFG cycle passes
+  // through one, which bounds the ascending chains). Widening anywhere
+  // else would undo branch refinements — e.g. re-expand a loop counter
+  // capped by its guard and make the next increment overflow to top.
+  std::vector<char> WidenPoint(N, 0);
+  for (uint32_t B = 0; B < N; ++B) {
+    if (!Cfg.isReachable(B))
+      continue;
+    for (uint32_t P : Cfg.preds(B))
+      if (Cfg.isReachable(P) && Cfg.rpoIndex(P) >= Cfg.rpoIndex(B))
+        WidenPoint[B] = 1;
+  }
+  // Plain joins for the first few re-visits even there, so short
+  // constant-bound loops converge to their exact trip ranges first.
+  constexpr uint32_t WidenAfter = 16;
+
+  In[0] = std::make_unique<RangeEnv>(EntryEnv);
+  Work.push_back(0);
+  Queued[0] = 1;
+
+  auto Propagate = [&](uint32_t S, const RangeEnv &Env) {
+    if (!In[S]) {
+      In[S] = std::make_unique<RangeEnv>(Env);
+    } else {
+      bool Changed = false;
+      bool Widen = WidenPoint[S] && ++Updates[S] >= WidenAfter;
+      RangeEnv Joined = widenJoin(*In[S], Env, Widen, Changed);
+      widenJoinGlobals(*In[S], Env, Joined, TrackedGlobals, Widen, Changed);
+      if (!Changed)
+        return;
+      *In[S] = std::move(Joined);
+    }
+    if (!Queued[S]) {
+      Work.push_back(S);
+      Queued[S] = 1;
+    }
+  };
+
+  // Widening bounds every chain, but keep a hard cap as a backstop.
+  uint64_t Budget = uint64_t(N) * 64 + 256;
+  while (!Work.empty() && Budget-- > 0) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    Queued[B] = 0;
+    ++FR.Passes;
+    RangeEnv Env = *In[B];
+    RunBlock(Env, B);
+    const Instruction &T = F.block(B)->terminator();
+    if (T.Op == Opcode::Br) {
+      Propagate(T.Target0->Id, Env);
+    } else if (T.Op == Opcode::CondBr) {
+      if (T.Target0 == T.Target1) {
+        Propagate(T.Target0->Id, Env);
+      } else {
+        RangeEnv TEnv = Env;
+        if (refineBranch(TEnv, T, /*Taken=*/true))
+          Propagate(T.Target0->Id, TEnv);
+        RangeEnv FEnv = Env;
+        if (refineBranch(FEnv, T, /*Taken=*/false))
+          Propagate(T.Target1->Id, FEnv);
+      }
+    }
+  }
+  bool BudgetHit = !Work.empty();
+
+  // Return range: join of the returned operand at every reached `ret`.
+  bool AnyRet = false;
+  ValueRange Ret = ValueRange::top();
+  for (uint32_t B = 0; B < N; ++B) {
+    if (!In[B])
+      continue;
+    const Instruction &T = F.block(B)->terminator();
+    if (T.Op != Opcode::Ret)
+      continue;
+    if (T.Src0 == NoReg) {
+      FR.ReturnsVoid = true;
+      AnyRet = true;
+      Ret = ValueRange::top();
+      continue;
+    }
+    RangeEnv Env = *In[B];
+    RunBlock(Env, B);
+    ValueRange V = BudgetHit ? ValueRange::top() : Env.reg(T.Src0);
+    Ret = AnyRet ? Ret.join(V) : V;
+    AnyRet = true;
+  }
+  if (AnyRet && !FR.ReturnsVoid)
+    FR.Return = Ret;
+
+  FR.BlockIn.reserve(N);
+  for (uint32_t B = 0; B < N; ++B)
+    FR.BlockIn.push_back(In[B] && !BudgetHit ? *In[B] : RangeEnv(F.NumRegs));
+  return FR;
+}

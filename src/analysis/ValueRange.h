@@ -1,0 +1,194 @@
+//===--- ValueRange.h - Interval value-range analysis -----------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse conditional value-range (interval) analysis over the IR, the
+/// numeric half of the static path-feasibility subsystem:
+///
+///   - ValueRange: a non-empty signed-64-bit interval [Lo, Hi] with the
+///     lattice operations (join = convex hull, meet = intersection; an
+///     empty meet is the *contradiction* signal the branch-correlation
+///     walker turns into "this path is statically infeasible").
+///   - RangeEnv: an abstract machine state — one range per frame register,
+///     ranges for scalar globals, and per-register compare provenance so a
+///     conditional branch can refine the *operands* of the compare that
+///     produced its condition (the branch-correlation step).
+///   - applyInstr / refineBranch: the transfer functions. Soundness rules:
+///     wrapping arithmetic goes to top whenever an interval endpoint would
+///     overflow, trapping opcodes (Div, Mod, LoadArr, StoreArr, CallInd)
+///     never create infeasibility, and anything not modelled exactly like
+///     the interpreter evaluates to top.
+///   - computeFunctionRanges: a whole-function fixpoint (join at block
+///     entries, bounded widening) in the same reverse-postorder worklist
+///     discipline as the bit-vector engine (Dataflow.h); used by the
+///     function summaries and `olpp analyze` for return/exit ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_ANALYSIS_VALUERANGE_H
+#define OLPP_ANALYSIS_VALUERANGE_H
+
+#include "analysis/Cfg.h"
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace olpp {
+
+class Function;
+
+/// A non-empty interval of signed 64-bit values. The empty interval is not
+/// representable: operations that would produce it (meet, branch
+/// refinement) return failure instead, which callers interpret as a
+/// contradiction.
+struct ValueRange {
+  int64_t Lo = INT64_MIN;
+  int64_t Hi = INT64_MAX;
+
+  static ValueRange top() { return {}; }
+  static ValueRange constant(int64_t V) { return {V, V}; }
+  static ValueRange range(int64_t Lo, int64_t Hi) { return {Lo, Hi}; }
+  /// The compare-result range {0, 1}.
+  static ValueRange boolean() { return {0, 1}; }
+
+  bool isTop() const { return Lo == INT64_MIN && Hi == INT64_MAX; }
+  bool isConstant() const { return Lo == Hi; }
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+
+  bool operator==(const ValueRange &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const ValueRange &O) const { return !(*this == O); }
+
+  /// Convex hull (the lattice join).
+  ValueRange join(const ValueRange &O) const {
+    return {Lo < O.Lo ? Lo : O.Lo, Hi > O.Hi ? Hi : O.Hi};
+  }
+  /// Intersection; std::nullopt when the intervals are disjoint (the
+  /// contradiction case).
+  std::optional<ValueRange> meet(const ValueRange &O) const {
+    int64_t L = Lo > O.Lo ? Lo : O.Lo;
+    int64_t H = Hi < O.Hi ? Hi : O.Hi;
+    if (L > H)
+      return std::nullopt;
+    return ValueRange{L, H};
+  }
+
+  /// "[lo, hi]" or "[c]" / "top" rendering for reports.
+  std::string str() const;
+
+  // Sound abstractions of the interpreter's wrapping arithmetic: top
+  // whenever any endpoint combination would overflow (a wrapped concrete
+  // result is then possible and the interval would be wrong).
+  static ValueRange add(const ValueRange &A, const ValueRange &B);
+  static ValueRange sub(const ValueRange &A, const ValueRange &B);
+  static ValueRange mul(const ValueRange &A, const ValueRange &B);
+  static ValueRange neg(const ValueRange &A);
+  /// Dst = (Src0 == 0) ? 1 : 0.
+  static ValueRange logicalNot(const ValueRange &A);
+  /// Compare result: constant 0/1 when the ranges prove the outcome,
+  /// boolean() otherwise. \p Op must be a CmpXX opcode.
+  static ValueRange compare(Opcode Op, const ValueRange &A,
+                            const ValueRange &B);
+};
+
+/// What a call does to the abstract state, as far as the caller can tell.
+/// Built from a FunctionSummary (Summary.h) when one is available, else
+/// maximally conservative.
+struct CallEffect {
+  ValueRange Return = ValueRange::top();
+  /// All scalar globals become unknown (indirect call, or no summary).
+  bool HavocAllGlobals = true;
+  /// Scalar globals the callee may (transitively) write; used only when
+  /// !HavocAllGlobals.
+  std::vector<uint32_t> WrittenGlobals;
+};
+
+/// An abstract machine state for one function activation: per-register
+/// ranges with write generations, per-register compare provenance, and
+/// scalar-global ranges. Copyable (the path walkers fork it per branch).
+class RangeEnv {
+public:
+  explicit RangeEnv(uint32_t NumRegs)
+      : Regs(NumRegs, ValueRange::top()), Gens(NumRegs, 0), Notes(NumRegs) {}
+
+  uint32_t numRegs() const { return static_cast<uint32_t>(Regs.size()); }
+
+  ValueRange reg(Reg R) const { return Regs[R]; }
+  void setReg(Reg R, ValueRange V);
+  /// Tightens register \p R in place without invalidating its compare
+  /// provenance (used by branch refinement). Returns false on an empty
+  /// meet — the caller must treat the state as infeasible.
+  bool refineReg(Reg R, const ValueRange &To);
+
+  ValueRange global(uint32_t Id) const;
+  void setGlobal(uint32_t Id, ValueRange V) { Globals[Id] = V; }
+  void havocGlobal(uint32_t Id) { Globals.erase(Id); }
+  void havocAllGlobals() { Globals.clear(); }
+  /// Carries the global state across an activation boundary (a call into
+  /// or a return out of another function's walk).
+  void adoptGlobals(const RangeEnv &From) { Globals = From.Globals; }
+  const std::map<uint32_t, ValueRange> &globalsMap() const { return Globals; }
+
+  /// The compare that last defined \p R, if its operands are still intact.
+  struct CmpNote {
+    bool Valid = false;
+    Opcode Op = Opcode::CmpEq;
+    Reg A = NoReg, B = NoReg;
+    uint64_t GenA = 0, GenB = 0;
+  };
+  const CmpNote &note(Reg R) const { return Notes[R]; }
+  uint64_t gen(Reg R) const { return Gens[R]; }
+  void setNote(Reg R, Opcode Op, Reg A, Reg B);
+
+private:
+  std::vector<ValueRange> Regs;
+  std::vector<uint64_t> Gens;
+  std::vector<CmpNote> Notes;
+  /// Scalar-global ranges; absence means top.
+  std::map<uint32_t, ValueRange> Globals;
+};
+
+/// Applies one non-call, non-probe, non-terminator instruction to \p Env.
+/// Unmodelled opcodes soundly write top to their destination.
+void applyInstr(RangeEnv &Env, const Instruction &I);
+
+/// Applies a call instruction's effect: Dst (if any) gets \p E.Return and
+/// the written globals are havocked.
+void applyCall(RangeEnv &Env, const Instruction &I, const CallEffect &E);
+
+/// Refines \p Env with the outcome of \p CondBr (must be Opcode::CondBr):
+/// the condition register is forced non-zero (\p Taken) or zero, and when
+/// its value provably came from a compare whose operands are unchanged,
+/// the compare operands are refined against each other too. Returns false
+/// when the outcome contradicts the state — the branch-correlation signal.
+bool refineBranch(RangeEnv &Env, const Instruction &CondBr, bool Taken);
+
+/// Whole-function fixpoint ranges: the abstract state at each block entry
+/// (join over predecessors, widening after a bounded number of visits) and
+/// the join of every `ret` operand. Calls are interpreted through
+/// \p Effects when provided (indexed by callee function id; CallInd is
+/// always conservative), else conservatively.
+struct FunctionRanges {
+  /// Entry state per block id; unreachable blocks keep a top state.
+  std::vector<RangeEnv> BlockIn;
+  /// Join of all returned operand ranges; top when a `ret` returns NoReg,
+  /// constant 0 only if every return is provably 0.
+  ValueRange Return = ValueRange::top();
+  /// True when at least one ret NoReg (void return) exists.
+  bool ReturnsVoid = false;
+  unsigned Passes = 0;
+};
+FunctionRanges
+computeFunctionRanges(const Function &F, const CfgView &Cfg,
+                      const std::vector<CallEffect> *Effects = nullptr);
+
+} // namespace olpp
+
+#endif // OLPP_ANALYSIS_VALUERANGE_H

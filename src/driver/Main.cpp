@@ -12,13 +12,18 @@
 ///   olpp ir <file.mc>
 ///   olpp profile <file.mc> [--degree K] [--interproc] [--top N]
 ///        [--lint] [--lint-json] [--lint-werror] [args...]
-///   olpp estimate <file.mc> [--degree K] [args...]
+///   olpp estimate <file.mc> [--degree K] [--feasibility] [args...]
+///   olpp analyze <file.mc> [--json]
 ///   olpp lint <file.mc|workload|--all> [--json] [--werror] [--degree K]
 ///   olpp workloads
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Dominators.h"
+#include "analysis/Feasibility.h"
 #include "analysis/Lint.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Summary.h"
 #include "driver/Pipeline.h"
 #include "estimate/Estimators.h"
 #include "frontend/Compiler.h"
@@ -28,6 +33,7 @@
 #include "ir/Verifier.h"
 #include "profdata/Merge.h"
 #include "profdata/Report.h"
+#include "profile/InfeasiblePaths.h"
 #include "profile/InstrCheck.h"
 #include "profile/ProfileDecode.h"
 #include "support/BenchJson.h"
@@ -70,10 +76,18 @@ int usage() {
       "       --lint         lint the program and audit the probes\n"
       "       --lint-json    emit lint findings as JSON\n"
       "       --lint-werror  treat lint warnings as errors\n"
-      "  olpp estimate <file.mc> [--degree K] [--profile FILE] [args...]\n"
+      "  olpp estimate <file.mc> [--degree K] [--profile FILE]\n"
+      "       [--feasibility] [args...]\n"
       "       per-loop and per-call-site interesting path bounds\n"
       "       --profile FILE  solve over a merged .olpp artifact instead of\n"
       "                       re-profiling (no ground-truth column)\n"
+      "       --feasibility   feed statically proven-infeasible pairs to the\n"
+      "                       solver as hard zero constraints (bounds only\n"
+      "                       tighten, never widen)\n"
+      "  olpp analyze <file.mc> [--json]\n"
+      "       static analysis report: per-function value ranges, bottom-up\n"
+      "       call summaries (purity, globals touched, return range) and\n"
+      "       the share of acyclic path ids proven infeasible\n"
       "  olpp profdata merge -o OUT [--weight N] <in.olpp>...\n"
       "       aggregate artifacts (saturating add; --weight N multiplies\n"
       "       every counter, equivalent to N replays of each input)\n"
@@ -165,6 +179,7 @@ struct Parsed {
   bool Json = false;          ///< machine-readable output (composes with -o)
   uint64_t Weight = 1;        ///< profdata merge --weight
   std::string FromProfile;    ///< estimate --profile FILE
+  bool Feasibility = false;   ///< estimate --feasibility
   std::string ModuleFile;     ///< profdata show --module FILE
   bool NoBounds = false;      ///< profdata show --no-bounds
   std::string EmitProfdata;   ///< bench --emit-profdata DIR
@@ -218,6 +233,8 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.Weight = std::strtoull(Argv[++I], nullptr, 10);
     } else if (A == "--profile" && I + 1 < Argc) {
       P.FromProfile = Argv[++I];
+    } else if (A == "--feasibility") {
+      P.Feasibility = true;
     } else if (A == "--module" && I + 1 < Argc) {
       P.ModuleFile = Argv[++I];
     } else if (A == "--no-bounds") {
@@ -414,12 +431,24 @@ int cmdEstimateFromProfile(const Parsed &P) {
   }
   ModuleEstimator Est(*B.InstrModule, B.MI, A.Counters);
 
+  // --feasibility: facts are computed over the instrumented module (the
+  // walker skips probes) and pin statically impossible pairs to zero.
+  ModuleSummaries Sums;
+  std::unique_ptr<PathFeasibility> PF;
+  EstimateMetrics FeasTotal;
+  if (P.Feasibility) {
+    Sums = computeSummaries(*B.InstrModule);
+    PF = std::make_unique<PathFeasibility>(*B.InstrModule, &Sums);
+    Est.setFeasibility(PF.get());
+  }
+
   TableWriter T({"Kind", "Where", "Real", "Definite", "Potential",
                  "Exact Pairs"});
   for (uint32_t F = 0; F < B.InstrModule->numFunctions(); ++F) {
     const auto &Meta = B.MI.Funcs[F];
     for (uint32_t L = 0; L < Meta.Loops->numLoops(); ++L) {
       EstimateMetrics Met = Est.estimateLoop(F, L, nullptr);
+      FeasTotal.add(Met);
       if (Met.Pairs == 0)
         continue;
       T.addRow({"loop",
@@ -434,6 +463,8 @@ int cmdEstimateFromProfile(const Parsed &P) {
   for (const CallSiteInfo &CS : B.MI.CallSites) {
     EstimateMetrics MI1 = Est.estimateCallSiteTypeI(CS.CsId, nullptr);
     EstimateMetrics MI2 = Est.estimateCallSiteTypeII(CS.CsId, nullptr);
+    FeasTotal.add(MI1);
+    FeasTotal.add(MI2);
     if (MI1.Pairs + MI2.Pairs == 0)
       continue;
     std::string Where = B.InstrModule->function(CS.Func)->Name + " -> " +
@@ -454,6 +485,12 @@ int cmdEstimateFromProfile(const Parsed &P) {
               static_cast<unsigned long long>(A.Meta.Runs),
               instrumentModeString(A.Meta.Instr).c_str());
   std::fputs(T.renderText().c_str(), stdout);
+  if (P.Feasibility)
+    std::printf("\nfeasibility: %llu pair(s) proven infeasible and pinned "
+                "to zero (%llu walker quer%s)\n",
+                static_cast<unsigned long long>(FeasTotal.InfeasiblePairs),
+                static_cast<unsigned long long>(FeasTotal.FeasibilityQueries),
+                FeasTotal.FeasibilityQueries == 1 ? "y" : "ies");
   return 0;
 }
 
@@ -472,12 +509,22 @@ int cmdEstimate(const Parsed &P) {
   }
   ModuleEstimator Est(*R.InstrModule, R.MI, *R.Prof);
 
+  ModuleSummaries Sums;
+  std::unique_ptr<PathFeasibility> PF;
+  EstimateMetrics FeasTotal;
+  if (P.Feasibility) {
+    Sums = computeSummaries(*R.InstrModule);
+    PF = std::make_unique<PathFeasibility>(*R.InstrModule, &Sums);
+    Est.setFeasibility(PF.get());
+  }
+
   TableWriter T({"Kind", "Where", "Real", "Definite", "Potential",
                  "Exact Pairs"});
   for (uint32_t F = 0; F < R.InstrModule->numFunctions(); ++F) {
     const auto &Meta = R.MI.Funcs[F];
     for (uint32_t L = 0; L < Meta.Loops->numLoops(); ++L) {
       EstimateMetrics Met = Est.estimateLoop(F, L, &R.GT);
+      FeasTotal.add(Met);
       if (Met.Pairs == 0)
         continue;
       T.addRow({"loop",
@@ -492,6 +539,8 @@ int cmdEstimate(const Parsed &P) {
   for (const CallSiteInfo &CS : R.MI.CallSites) {
     EstimateMetrics MI1 = Est.estimateCallSiteTypeI(CS.CsId, &R.GT);
     EstimateMetrics MI2 = Est.estimateCallSiteTypeII(CS.CsId, &R.GT);
+    FeasTotal.add(MI1);
+    FeasTotal.add(MI2);
     if (MI1.Pairs + MI2.Pairs == 0)
       continue;
     std::string Where = R.InstrModule->function(CS.Func)->Name + " -> " +
@@ -509,6 +558,140 @@ int cmdEstimate(const Parsed &P) {
   }
   std::printf("interesting-path bounds at overlap degree %u:\n\n", P.Degree);
   std::fputs(T.renderText().c_str(), stdout);
+  if (P.Feasibility)
+    std::printf("\nfeasibility: %llu pair(s) proven infeasible and pinned "
+                "to zero (%llu walker quer%s)\n",
+                static_cast<unsigned long long>(FeasTotal.InfeasiblePairs),
+                static_cast<unsigned long long>(FeasTotal.FeasibilityQueries),
+                FeasTotal.FeasibilityQueries == 1 ? "y" : "ies");
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// olpp analyze: static value-range / summary / feasibility report
+//===----------------------------------------------------------------------===//
+
+int cmdAnalyze(const Parsed &P) {
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+  ModuleSummaries Sums = computeSummaries(*M);
+
+  struct Row {
+    const Function *F = nullptr;
+    const FunctionSummary *S = nullptr;
+    bool HasPaths = false;
+    uint64_t NumPaths = 0;
+    FunctionInfeasibility FI;
+  };
+  std::vector<Row> Rows;
+  for (const auto &FPtr : M->functions()) {
+    const Function &F = *FPtr;
+    Row R;
+    R.F = &F;
+    R.S = &Sums.summary(F.Id);
+    if (F.numBlocks() > 0) {
+      CfgView Cfg = CfgView::build(F);
+      DomTree Dom = DomTree::compute(Cfg);
+      LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+      std::string Err;
+      if (auto PG = PathGraph::build(F, Cfg, LI, PathGraphOptions{}, Err)) {
+        R.HasPaths = true;
+        R.NumPaths = PG->numPaths();
+        R.FI = computeInfeasiblePaths(F, Cfg, *PG, &Sums);
+      }
+    }
+    Rows.push_back(std::move(R));
+  }
+
+  auto GlobalNames = [&](const std::vector<uint32_t> &Ids) {
+    std::string Out;
+    for (uint32_t G : Ids) {
+      if (!Out.empty())
+        Out += " ";
+      Out += G < M->globals().size() ? M->globals()[G].Name
+                                     : "g" + std::to_string(G);
+    }
+    return Out.empty() ? std::string("-") : Out;
+  };
+
+  if (P.Json) {
+    std::string J = "{\n  \"schema\": \"olpp.analyze/v1\",\n"
+                    "  \"module\": \"" + jsonEscape(P.File) + "\",\n"
+                    "  \"functions\": [";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      const FunctionSummary &S = *R.S;
+      J += I ? ",\n    {" : "\n    {";
+      J += "\"name\": \"" + jsonEscape(R.F->Name) + "\"";
+      J += ", \"params\": " + std::to_string(R.F->NumParams);
+      J += std::string(", \"pure\": ") + (S.SideEffectFree ? "true" : "false");
+      J += std::string(", \"recursive\": ") + (S.Recursive ? "true" : "false");
+      J += std::string(", \"indirect\": ") +
+           (S.TransitivelyIndirect ? "true" : "false");
+      auto IdList = [](const std::vector<uint32_t> &Ids) {
+        std::string L = "[";
+        for (size_t K = 0; K < Ids.size(); ++K) {
+          if (K)
+            L += ", ";
+          L += std::to_string(Ids[K]);
+        }
+        return L + "]";
+      };
+      J += ", \"globalsRead\": " + IdList(S.GlobalsRead);
+      J += ", \"globalsWritten\": " + IdList(S.GlobalsWritten);
+      J += ", \"returnRange\": \"" + jsonEscape(S.Return.str()) + "\"";
+      J += std::string(", \"returnsVoid\": ") + (S.ReturnsVoid ? "true" : "false");
+      if (R.HasPaths) {
+        J += ", \"paths\": " + std::to_string(R.NumPaths);
+        J += ", \"infeasiblePaths\": " + std::to_string(R.FI.InfeasibleIds);
+        J += std::string(", \"exhausted\": ") +
+             (R.FI.Exhausted ? "true" : "false");
+        J += ", \"infeasibleIntervals\": [";
+        for (size_t K = 0; K < R.FI.Intervals.size(); ++K) {
+          if (K)
+            J += ", ";
+          J += "[" + std::to_string(R.FI.Intervals[K].Lo) + ", " +
+               std::to_string(R.FI.Intervals[K].Hi) + "]";
+        }
+        J += "]";
+      } else {
+        J += ", \"paths\": null";
+      }
+      J += "}";
+    }
+    J += "\n  ]\n}\n";
+    std::fputs(J.c_str(), stdout);
+    return 0;
+  }
+
+  TableWriter T({"Function", "Pure", "Rec", "Globals Read", "Globals Written",
+                 "Return Range", "Paths", "Infeasible"});
+  for (const Row &R : Rows) {
+    const FunctionSummary &S = *R.S;
+    std::string Ret = S.ReturnsVoid ? "void" : S.Return.str();
+    if (S.TransitivelyIndirect)
+      Ret += " (indirect)";
+    std::string Paths = R.HasPaths ? std::to_string(R.NumPaths) : "-";
+    std::string Inf = "-";
+    if (R.HasPaths) {
+      Inf = std::to_string(R.FI.InfeasibleIds);
+      if (R.FI.Exhausted)
+        Inf += "+";
+    }
+    T.addRow({R.F->Name, S.SideEffectFree ? "yes" : "no",
+              S.Recursive ? "yes" : "no", GlobalNames(S.GlobalsRead),
+              GlobalNames(S.GlobalsWritten), Ret, Paths, Inf});
+  }
+  std::fputs(T.renderText().c_str(), stdout);
+  uint64_t TotalPaths = 0, TotalInf = 0;
+  for (const Row &R : Rows) {
+    TotalPaths += R.NumPaths;
+    TotalInf += R.FI.InfeasibleIds;
+  }
+  std::printf("\n%llu of %llu acyclic path id(s) statically infeasible\n",
+              static_cast<unsigned long long>(TotalInf),
+              static_cast<unsigned long long>(TotalPaths));
   return 0;
 }
 
@@ -516,6 +699,8 @@ int cmdEstimate(const Parsed &P) {
 /// interprocedural regions at \p Degree) against its metadata.
 std::vector<Diagnostic> lintAndCheck(const Module &M, uint32_t Degree) {
   std::vector<Diagnostic> Diags = lintModule(M);
+  std::vector<Diagnostic> Feas = lintInfeasiblePaths(M);
+  Diags.insert(Diags.end(), Feas.begin(), Feas.end());
 
   InstrumentOptions Opts;
   Opts.LoopOverlap = true;
@@ -1027,16 +1212,18 @@ int cmdBench(const Parsed &P) {
     if (!readSource(P.Validate, Text))
       return 1;
     std::string Error;
-    // Sniffs the schema tag: accepts engine and pipeline reports alike.
+    // Sniffs the schema tag: accepts any of the four report schemas.
     if (!validateBenchJson(Text, Error)) {
       std::fprintf(stderr, "%s: invalid: %s\n", P.Validate.c_str(),
                    Error.c_str());
       return 1;
     }
-    const bool IsPipeline =
-        Text.find(PipelineBenchSchema) != std::string::npos;
-    std::printf("%s: valid %s report\n", P.Validate.c_str(),
-                IsPipeline ? PipelineBenchSchema : EngineBenchSchema);
+    const char *Schema = EngineBenchSchema;
+    for (const char *Tag : {PipelineBenchSchema, ProfdataBenchSchema,
+                            AnalyzeBenchSchema})
+      if (Text.find(Tag) != std::string::npos)
+        Schema = Tag;
+    std::printf("%s: valid %s report\n", P.Validate.c_str(), Schema);
     return 0;
   }
 
@@ -1189,6 +1376,8 @@ int main(int Argc, char **Argv) {
     return cmdProfile(P);
   if (Cmd == "estimate")
     return cmdEstimate(P);
+  if (Cmd == "analyze")
+    return cmdAnalyze(P);
   if (Cmd == "lint")
     return cmdLint(P);
   return usage();

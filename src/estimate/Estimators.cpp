@@ -6,6 +6,7 @@
 
 #include "estimate/Estimators.h"
 
+#include "analysis/Feasibility.h"
 #include "ir/Module.h"
 #include "overlap/Projection.h"
 
@@ -27,12 +28,19 @@ std::vector<uint32_t> regionBlocks(const OverlapRegion &R,
   return Out;
 }
 
+/// Pair queries one problem may spend on the static feasibility walker.
+/// Pairs past the cap simply stay unqueried (and thus "feasible"), which
+/// keeps worst-case estimation cost linear in the cap, not the table size.
+constexpr uint64_t FeasibilityPairCap = 512;
+
 /// Shared machinery for finishing one pair problem: solve, fold in ground
 /// truth, and produce metrics.
 struct PairProblem {
   std::vector<DynPathKey> Rows, Cols;
   std::unordered_map<DynPathKey, uint32_t, DynPathKeyHash> RowIdx, ColIdx;
   std::vector<SumConstraint> Constraints;
+  uint64_t InfeasiblePairs = 0;
+  uint64_t FeasibilityQueries = 0;
 
   uint32_t addRow(const DynPathKey &K) {
     auto [It, New] = RowIdx.emplace(K, static_cast<uint32_t>(Rows.size()));
@@ -48,6 +56,15 @@ struct PairProblem {
   }
   uint32_t cell(uint32_t R, uint32_t C) const {
     return R * static_cast<uint32_t>(Cols.size()) + C;
+  }
+
+  /// Pins one pair to a hard zero (statically proven infeasible).
+  void pinZero(uint32_t R, uint32_t C) {
+    SumConstraint Z;
+    Z.Value = 0;
+    Z.Cells.push_back(cell(R, C));
+    Constraints.push_back(std::move(Z));
+    ++InfeasiblePairs;
   }
 
   /// \p RealPairs maps (row key, col key) resolved through the caller to a
@@ -67,6 +84,8 @@ struct PairProblem {
     Met.ExactPairs = B.exactCount();
     Met.SolverEvaluations = B.Evaluations;
     Met.SolverConverged = B.Converged;
+    Met.InfeasiblePairs = InfeasiblePairs;
+    Met.FeasibilityQueries = FeasibilityQueries;
 
     std::vector<uint64_t> Real(NumCells, 0);
     for (const auto &[Keys, Count] : RealPairs) {
@@ -99,6 +118,8 @@ struct PairProblem {
     Met.ExactPairs = B.exactCount();
     Met.SolverEvaluations = B.Evaluations;
     Met.SolverConverged = B.Converged;
+    Met.InfeasiblePairs = InfeasiblePairs;
+    Met.FeasibilityQueries = FeasibilityQueries;
     return Met;
   }
 };
@@ -258,6 +279,26 @@ EstimateMetrics ModuleEstimator::estimateOneLoop(uint32_t F, uint32_t L,
     }
   }
 
+  // Static pruning: a row chained into a column is one concrete block
+  // sequence across the backedge; when the feasibility walker proves it
+  // contradictory, the pair's count is pinned to a hard zero.
+  if (Feas) {
+    const Function &Fn = *M.function(F);
+    const CfgView &Cfg = *Meta.Cfg;
+    uint64_t Budget = FeasibilityPairCap;
+    for (uint32_t R = 0; R < NR && Budget; ++R)
+      for (uint32_t Co = 0; Co < NC && Budget; ++Co) {
+        --Budget;
+        ++P.FeasibilityQueries;
+        std::vector<uint32_t> Seq = P.Rows[R].Sig.Blocks;
+        const std::vector<uint32_t> &ColBlocks = P.Cols[Co].Sig.Blocks;
+        Seq.insert(Seq.end(), ColBlocks.begin(), ColBlocks.end());
+        if (Feas->infeasibleSequence(Fn, Cfg, Seq,
+                                     P.Rows[R].Sig.StartsAtCallContinuation))
+          P.pinZero(R, Co);
+      }
+  }
+
   if (!GT)
     return P.solveNoTruth();
 
@@ -402,6 +443,25 @@ ModuleEstimator::estimateOneTypeI(const CallSiteInfo &CS,
         C.Cells.push_back(P.cell(RIt->second, Co));
       P.Constraints.push_back(std::move(C));
     }
+  }
+
+  // Static pruning: chain each caller pre-path into each callee path; the
+  // walker binds the call's argument ranges to the callee's parameters.
+  if (Feas) {
+    const Function &Caller = *M.function(CS.Func);
+    const CfgView &CallerCfg = *MI.Funcs[CS.Func].Cfg;
+    uint64_t Budget = FeasibilityPairCap;
+    for (uint32_t R = 0; R < NR && Budget; ++R)
+      for (uint32_t Co = 0; Co < NC && Budget; ++Co) {
+        --Budget;
+        ++P.FeasibilityQueries;
+        uint32_t CalleeId = P.Cols[Co].Tag;
+        if (Feas->infeasibleCallPair(
+                Caller, CallerCfg, P.Rows[R].Sig.Blocks,
+                P.Rows[R].Sig.StartsAtCallContinuation, *M.function(CalleeId),
+                *MI.Funcs[CalleeId].Cfg, P.Cols[Co].Sig.Blocks))
+          P.pinZero(R, Co);
+      }
   }
 
   if (!GT)
@@ -566,6 +626,28 @@ ModuleEstimator::estimateOneTypeII(const CallSiteInfo &CS,
       for (uint32_t Co : CIt->second)
         C.Cells.push_back(P.cell(RIt->second, Co));
       P.Constraints.push_back(std::move(C));
+    }
+  }
+
+  // Static pruning: chain each returning callee path into each caller
+  // continuation; the walked return range binds to the call's destination.
+  if (Feas) {
+    const Function &Caller = *M.function(CS.Func);
+    const CfgView &CallerCfg = *MI.Funcs[CS.Func].Cfg;
+    uint64_t Budget = FeasibilityPairCap;
+    for (uint32_t R = 0; R < NR && Budget; ++R) {
+      uint32_t CalleeId = P.Rows[R].Tag;
+      const Function &CalleeFn = *M.function(CalleeId);
+      const CfgView &CalleeCfg = *MI.Funcs[CalleeId].Cfg;
+      for (uint32_t Co = 0; Co < NC && Budget; ++Co) {
+        --Budget;
+        ++P.FeasibilityQueries;
+        if (Feas->infeasibleReturnPair(
+                CalleeFn, CalleeCfg, P.Rows[R].Sig.Blocks,
+                P.Rows[R].Sig.StartsAtCallContinuation, Caller, CallerCfg,
+                P.Cols[Co].Sig.Blocks))
+          P.pinZero(R, Co);
+      }
     }
   }
 

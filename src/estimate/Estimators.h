@@ -38,6 +38,8 @@
 
 namespace olpp {
 
+class PathFeasibility;
+
 struct EstimateMetrics {
   uint64_t Real = 0;       ///< ground-truth interesting-path flow
   uint64_t Definite = 0;   ///< sum of lower bounds
@@ -50,6 +52,10 @@ struct EstimateMetrics {
   /// all solved systems, and whether every system converged in budget.
   uint64_t SolverEvaluations = 0;
   bool SolverConverged = true;
+  /// Pairs the static feasibility analysis proved impossible (each becomes
+  /// a hard == 0 constraint), and how many pair queries it was asked.
+  uint64_t InfeasiblePairs = 0;
+  uint64_t FeasibilityQueries = 0;
 
   void add(const EstimateMetrics &O) {
     Real += O.Real;
@@ -61,6 +67,8 @@ struct EstimateMetrics {
     SoundnessViolated |= O.SoundnessViolated;
     SolverEvaluations += O.SolverEvaluations;
     SolverConverged &= O.SolverConverged;
+    InfeasiblePairs += O.InfeasiblePairs;
+    FeasibilityQueries += O.FeasibilityQueries;
   }
 
   double definiteErrorPercent() const {
@@ -92,6 +100,14 @@ public:
   EstimateMetrics estimateTypeII(const GroundTruth *GT = nullptr) const;
   /// Sum of the three.
   EstimateMetrics estimateAll(const GroundTruth *GT = nullptr) const;
+
+  /// Supplies static path-feasibility facts. Every pair the analysis proves
+  /// impossible contributes a hard `cell == 0` equality to its problem; the
+  /// solver's monotone tightening rules mean added constraints can only
+  /// shrink the bound intervals, never widen them. \p PF must be built over
+  /// the same (instrumented) module and outlive the estimator; pass nullptr
+  /// to turn the facts off again.
+  void setFeasibility(const PathFeasibility *PF) { Feas = PF; }
 
   /// Single-problem variants (used by diagnostics and fine-grained benches).
   EstimateMetrics estimateLoop(uint32_t Func, uint32_t LoopIdx,
@@ -130,6 +146,7 @@ private:
   const Module &M;
   const ModuleInstrumentation &MI;
   const ProfileRuntime &Prof;
+  const PathFeasibility *Feas = nullptr;
   std::vector<FuncView> Views;
 };
 

@@ -6,6 +6,8 @@
 
 #include "fuzz/Fuzzer.h"
 
+#include "analysis/Feasibility.h"
+#include "analysis/Summary.h"
 #include "driver/Pipeline.h"
 #include "estimate/Estimators.h"
 #include "estimate/IntervalSolver.h"
@@ -14,6 +16,7 @@
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 #include "profdata/ProfData.h"
+#include "profile/InfeasiblePaths.h"
 #include "profile/ProfileDecode.h"
 #include "support/Rng.h"
 #include "support/TaskPool.h"
@@ -43,6 +46,8 @@ const char *olpp::fuzzOracleName(FuzzOracle O) {
     return "abort";
   case FuzzOracle::Roundtrip:
     return "roundtrip";
+  case FuzzOracle::Feasibility:
+    return "feasibility";
   }
   return "?";
 }
@@ -196,7 +201,8 @@ void applyFault(FaultKind Fault, CounterSnapshot &S) {
   }
   case FaultKind::SkewArtifactRoundtrip:
   case FaultKind::ArtifactCrcOff:
-    return; // applied inside the round-trip oracle, not here
+  case FaultKind::MisclassifyFeasible:
+    return; // applied inside the round-trip / feasibility oracles, not here
   }
 }
 
@@ -738,6 +744,66 @@ DifferentialRunner::checkProgram(const std::string &Source,
     std::string D = checkArtifactMutations(Bytes, Opts.Fault);
     if (!D.empty())
       return Fail(FuzzOracle::Roundtrip, D);
+  }
+
+  // Oracle 8: static feasibility. An infeasibility verdict is a claim about
+  // *every* execution, so one concrete run is a complete counterexample: no
+  // path id the instrumented run just counted may be classified infeasible.
+  // And feeding the proven-infeasible pairs to the interval solver must only
+  // tighten the bounds — never loosen them, never cross the ground truth.
+  {
+    ModuleSummaries Sums = computeSummaries(*RFast.InstrModule);
+    for (uint32_t F = 0; F < RFast.Prof->PathCounts.size(); ++F) {
+      const FunctionInstrumentation &FI = RFast.MI.Funcs[F];
+      if (!FI.PG || !FI.Cfg)
+        continue;
+      FunctionInfeasibility Inf = computeInfeasiblePaths(
+          *RFast.InstrModule->function(F), *FI.Cfg, *FI.PG, &Sums);
+      // The mutation test's hook: pretend the analysis condemned the first
+      // executed id of the first instrumented function.
+      bool InjectHere = Opts.Fault == FaultKind::MisclassifyFeasible;
+      for (const auto &[Id, Count] : RFast.Prof->PathCounts[F]) {
+        if (Count == 0)
+          continue;
+        bool ClaimedDead = Inf.isInfeasible(Id) || InjectHere;
+        InjectHere = false;
+        if (ClaimedDead)
+          return Fail(FuzzOracle::Feasibility,
+                      "path id " + std::to_string(Id) + " of function " +
+                          std::to_string(F) + " executed " +
+                          std::to_string(Count) +
+                          " time(s) but is classified statically infeasible");
+      }
+    }
+
+    SolverImplGuard Guard;
+    setThreadSolverImpl(SolverImpl::Worklist);
+    PathFeasibility PF(*RFast.InstrModule, &Sums);
+    ModuleEstimator Est(*RFast.InstrModule, RFast.MI, *RFast.Prof);
+    Est.setFeasibility(&PF);
+    EstimateMetrics MF = Est.estimateLoops(&RFast.GT);
+    if (Setup.InstrOpts.Interproc) {
+      MF.add(Est.estimateTypeI(&RFast.GT));
+      MF.add(Est.estimateTypeII(&RFast.GT));
+    }
+    if (MF.SoundnessViolated)
+      return Fail(FuzzOracle::Feasibility,
+                  "per-path soundness violated once feasibility facts were "
+                  "fed to the solver");
+    if (MF.Definite < MW.Definite || MF.Potential > MW.Potential)
+      return Fail(FuzzOracle::Feasibility,
+                  "feasibility facts widened the bounds: definite " +
+                      std::to_string(MW.Definite) + " -> " +
+                      std::to_string(MF.Definite) + ", potential " +
+                      std::to_string(MW.Potential) + " -> " +
+                      std::to_string(MF.Potential));
+    if (MF.Definite > MF.Real || MF.Real > MF.Potential)
+      return Fail(FuzzOracle::Feasibility,
+                  "definite <= real <= potential violated with feasibility "
+                  "facts: " +
+                      std::to_string(MF.Definite) + " / " +
+                      std::to_string(MF.Real) + " / " +
+                      std::to_string(MF.Potential));
   }
 
   return CaseStatus::Clean;

@@ -28,7 +28,13 @@
 ///                  by the checked reader, must compare artifact-equal and
 ///                  reproduce the solver's bounds exactly; additionally every
 ///                  deterministic byte mutation (bit flips, truncations) of
-///                  the serialized artifact must be rejected wholesale.
+///                  the serialized artifact must be rejected wholesale,
+///   feasibility    no path id the program just executed may be classified
+///                  statically infeasible (one concrete run refutes a
+///                  universal proof), and feeding the proven-infeasible
+///                  pairs to the interval solver must only tighten the
+///                  definite/potential bounds while still bracketing the
+///                  ground truth.
 ///
 /// Failures are reported as structured Diagnostics (pass "fuzz-<oracle>")
 /// with a replay hint, and optionally minimized by the structural shrinker
@@ -62,6 +68,8 @@ enum class FuzzOracle : uint8_t {
   Bounds,       ///< definite <= real <= potential violated
   Abort,        ///< aborted-run divergence or runtime-reuse inconsistency
   Roundtrip,    ///< .olpp serialize/read mismatch or silent mutant acceptance
+  Feasibility,  ///< executed path classified infeasible, or facts widened
+                ///< the solver's bounds
 };
 
 const char *fuzzOracleName(FuzzOracle O);
@@ -75,6 +83,7 @@ enum class FaultKind : uint8_t {
   SkewPathCounter, ///< off-by-one on one fast-engine path counter
   SkewArtifactRoundtrip, ///< bump one decoded counter between read and compare
   ArtifactCrcOff,  ///< read mutated artifacts with CRC verification disabled
+  MisclassifyFeasible, ///< claim one executed path id is statically infeasible
 };
 
 struct FuzzOptions {

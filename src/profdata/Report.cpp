@@ -6,8 +6,10 @@
 
 #include "profdata/Report.h"
 
+#include "analysis/Summary.h"
 #include "estimate/Estimators.h"
 #include "ir/Module.h"
+#include "profile/InfeasiblePaths.h"
 #include "support/TableWriter.h"
 
 #include <algorithm>
@@ -141,6 +143,46 @@ BoundsRows solveArtifactBounds(const ArtifactBinding &B,
   return R;
 }
 
+/// Per-function split of the zero-count ids into the ones branch
+/// correlation proves can never execute and the ones the workload merely
+/// never exercised.
+struct FeasClass {
+  bool Have = false;        ///< a path graph existed to walk
+  uint64_t ProvenDead = 0;  ///< zero-count ids proven statically infeasible
+  uint64_t Unexercised = 0; ///< zero-count ids with no infeasibility proof
+  uint64_t ObservedInfeasible = 0; ///< executed ids the proof claims dead
+  bool Exhausted = false;          ///< DFS budget hit; ProvenDead is a floor
+};
+
+std::vector<FeasClass> classifyZeroIds(const ArtifactBinding &B,
+                                       const ProfileArtifact &A) {
+  std::vector<FeasClass> Out(A.Counters.PathCounts.size());
+  ModuleSummaries Sums = computeSummaries(*B.InstrModule);
+  for (uint32_t F = 0; F < Out.size(); ++F) {
+    if (F >= B.MI.Funcs.size())
+      continue;
+    const FunctionInstrumentation &FI = B.MI.Funcs[F];
+    if (!FI.PG || !FI.Cfg)
+      continue;
+    FunctionInfeasibility Inf = computeInfeasiblePaths(
+        *B.InstrModule->function(F), *FI.Cfg, *FI.PG, &Sums);
+    FeasClass &C = Out[F];
+    C.Have = true;
+    C.Exhausted = Inf.Exhausted;
+    const PathCounterStore &S = A.Counters.PathCounts[F];
+    for (const auto &[Id, Count] : S)
+      if (Count > 0 && Inf.isInfeasible(Id))
+        ++C.ObservedInfeasible;
+    uint64_t Space = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
+    uint64_t Zero = Space > S.size() ? Space - S.size() : 0;
+    C.ProvenDead = Inf.InfeasibleIds - C.ObservedInfeasible;
+    if (C.ProvenDead > Zero)
+      C.ProvenDead = Zero;
+    C.Unexercised = Zero - C.ProvenDead;
+  }
+  return Out;
+}
+
 void appendMetaJson(std::ostringstream &OS, const ProfileArtifact &A) {
   OS << "\"fingerprint\": \"" << hex16(A.Fingerprint) << "\",\n"
      << "  \"numFunctions\": " << A.NumFunctions << ",\n"
@@ -181,6 +223,15 @@ std::string olpp::renderArtifactReport(const ProfileArtifact &A,
   BoundsRows Bounds;
   if (Bound && Opts.WithBounds)
     Bounds = solveArtifactBounds(*B, A);
+  std::vector<FeasClass> Feas;
+  if (Bound && Opts.WithFeasibility)
+    Feas = classifyZeroIds(*B, A);
+  uint64_t DeadTotal = 0, UnexTotal = 0, ObservedDeadTotal = 0;
+  for (const FeasClass &C : Feas) {
+    DeadTotal += C.ProvenDead;
+    UnexTotal += C.Unexercised;
+    ObservedDeadTotal += C.ObservedInfeasible;
+  }
 
   if (Opts.Json) {
     std::ostringstream OS;
@@ -215,10 +266,20 @@ std::string olpp::renderArtifactReport(const ProfileArtifact &A,
       OS << (First ? "\n    " : ",\n    ") << "{\"function\": \""
          << jsonEscape(funcName(A, B, F)) << "\", \"functionId\": " << F
          << ", \"idsCovered\": " << S.size() << ", \"idSpace\": " << Space
-         << ", \"flow\": " << Flow << "}";
+         << ", \"flow\": " << Flow;
+      if (F < Feas.size() && Feas[F].Have)
+        OS << ", \"provenInfeasible\": " << Feas[F].ProvenDead
+           << ", \"unexercised\": " << Feas[F].Unexercised
+           << ", \"feasibilityExhausted\": "
+           << (Feas[F].Exhausted ? "true" : "false");
+      OS << "}";
       First = false;
     }
     OS << (First ? "]" : "\n  ]");
+    if (!Feas.empty())
+      OS << ",\n  \"provenInfeasibleTotal\": " << DeadTotal
+         << ",\n  \"unexercisedTotal\": " << UnexTotal
+         << ",\n  \"observedInfeasibleTotal\": " << ObservedDeadTotal;
     if (Bound && Opts.WithBounds) {
       auto Row = [&](const char *Name, const EstimateMetrics &M) {
         OS << "\n    {\"kind\": \"" << Name << "\", \"definite\": "
@@ -271,7 +332,13 @@ std::string olpp::renderArtifactReport(const ProfileArtifact &A,
                funcName(A, B, H.Func), std::to_string(H.Slot)});
   OS << TH.renderText() << "\n";
 
-  TableWriter TF({"Function", "Ids", "Id Space", "Coverage", "Flow"});
+  std::vector<std::string> CovCols = {"Function", "Ids", "Id Space",
+                                      "Coverage", "Flow"};
+  if (!Feas.empty()) {
+    CovCols.push_back("Proven Dead");
+    CovCols.push_back("Unexercised");
+  }
+  TableWriter TF(CovCols);
   for (uint32_t F = 0; F < A.Counters.PathCounts.size(); ++F) {
     const PathCounterStore &S = A.Counters.PathCounts[F];
     uint64_t Space = F < A.IdSpaces.size() ? A.IdSpaces[F] : 0;
@@ -282,13 +349,35 @@ std::string olpp::renderArtifactReport(const ProfileArtifact &A,
       (void)Id;
       Flow += Count;
     }
-    TF.addRow({funcName(A, B, F), std::to_string(S.size()),
-               std::to_string(Space),
-               percent(static_cast<double>(S.size()),
-                       static_cast<double>(Space)),
-               std::to_string(Flow)});
+    std::vector<std::string> Row = {funcName(A, B, F),
+                                    std::to_string(S.size()),
+                                    std::to_string(Space),
+                                    percent(static_cast<double>(S.size()),
+                                            static_cast<double>(Space)),
+                                    std::to_string(Flow)};
+    if (!Feas.empty()) {
+      if (F < Feas.size() && Feas[F].Have) {
+        // '+' marks a truncated walk: the proven count is a floor.
+        Row.push_back(std::to_string(Feas[F].ProvenDead) +
+                      (Feas[F].Exhausted ? "+" : ""));
+        Row.push_back(std::to_string(Feas[F].Unexercised));
+      } else {
+        Row.push_back("-");
+        Row.push_back("-");
+      }
+    }
+    TF.addRow(Row);
   }
   OS << "per-function coverage:\n" << TF.renderText();
+  if (!Feas.empty()) {
+    OS << "zero-count ids: " << DeadTotal
+       << " proven statically infeasible, " << UnexTotal
+       << " merely unexercised by this workload\n";
+    if (ObservedDeadTotal)
+      OS << "WARNING: " << ObservedDeadTotal
+         << " executed path id(s) are classified infeasible — the "
+            "feasibility analysis is unsound for this module\n";
+  }
 
   if (Bound && Opts.WithBounds) {
     OS << "\ninteresting-path bounds over the merged counters:\n";

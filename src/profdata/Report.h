@@ -52,6 +52,10 @@ struct ReportOptions {
   /// Re-run the interval solver over the artifact's counters (needs a
   /// binding; ignored without one).
   bool WithBounds = true;
+  /// Classify each zero-count path id as proven statically infeasible or
+  /// merely unexercised, via the branch-correlation walk (needs a binding;
+  /// ignored without one).
+  bool WithFeasibility = true;
 };
 
 /// Renders the `profdata show` report for \p A: provenance, top-N hot

@@ -1,0 +1,177 @@
+//===--- InfeasiblePaths.cpp - Statically infeasible path ids -------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/InfeasiblePaths.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/Feasibility.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace olpp;
+
+bool FunctionInfeasibility::isInfeasible(int64_t Id) const {
+  auto It = std::upper_bound(
+      Intervals.begin(), Intervals.end(), Id,
+      [](int64_t V, const InfeasibleInterval &I) { return V < I.Lo; });
+  return It != Intervals.begin() && Id <= std::prev(It)->Hi;
+}
+
+namespace {
+
+/// DFS driver. Emits intervals in ascending, disjoint order because
+/// out-edges are iterated in Val-ascending order and Ball-Larus numbering
+/// gives each DFS subtree the contiguous id block
+/// [base + Val, base + Val + numPathsFrom(To)).
+class Enumerator {
+public:
+  Enumerator(const Function &F, const CfgView &Cfg, const PathGraph &PG,
+             const ModuleSummaries *Sums, const InfeasibleOptions &Opts)
+      : F(F), Cfg(Cfg), PG(PG), Sums(Sums), Opts(Opts) {}
+
+  FunctionInfeasibility run() {
+    // Per-run abstract-step allowance, sized to the visit budget so a few
+    // giant blocks cannot starve the walk.
+    StepBudget = Opts.MaxVisits * 8 + 4096;
+    for (uint32_t E : PG.outEdges(PG.entryNode())) {
+      if (Out.Exhausted)
+        break;
+      const PGEdge &Edge = PG.edge(E);
+      const PGNode &Start = PG.node(Edge.To);
+      if (Start.K != PGNode::Kind::Block)
+        continue;
+      RangeEnv Env = PathFeasibility::startEnv(F, Cfg, Start.Block,
+                                               Start.CallStart);
+      if (!enterNode(Env, Edge.To))
+        continue;
+      dfs(Edge.To, int64_t(Edge.Val), Env);
+    }
+    return std::move(Out);
+  }
+
+private:
+  /// Executes the block of path-graph node \p N into \p Env. Returns false
+  /// when the state is unusable (budget, shape mismatch) — the subtree is
+  /// then simply treated as feasible.
+  bool enterNode(RangeEnv &Env, uint32_t N) {
+    const PGNode &Node = PG.node(N);
+    if (Node.K != PGNode::Kind::Block || Node.Block >= F.numBlocks())
+      return false;
+    BlockExec Mode = BlockExec::Full;
+    if (Node.CallStart)
+      Mode = BlockExec::FromCallContinuation;
+    else if (PG.options().CallBreaking && blockHasCall(Node.Block))
+      Mode = BlockExec::UpToCall;
+    return execBlock(Env, F, Node.Block, Mode, Sums, nullptr, StepBudget);
+  }
+
+  bool blockHasCall(uint32_t B) const {
+    for (const Instruction &I : F.block(B)->Instrs)
+      if (I.Op == Opcode::Call || I.Op == Opcode::CallInd)
+        return true;
+    return false;
+  }
+
+  void dfs(uint32_t N, int64_t Base, const RangeEnv &Env) {
+    for (uint32_t E : PG.outEdges(N)) {
+      if (Out.Exhausted)
+        return;
+      const PGEdge &Edge = PG.edge(E);
+      if (Edge.Kind == PGEdgeKind::ExitCount ||
+          PG.node(Edge.To).K == PGNode::Kind::Exit)
+        continue; // the path ends here; nothing left to contradict
+      if (++Out.NodesVisited > Opts.MaxVisits) {
+        Out.Exhausted = true;
+        return;
+      }
+      RangeEnv Next = Env;
+      // Real and Arm edges mirror the CFG edge CfgFrom -> CfgTo; refine
+      // the branch outcome against the original successor order.
+      if (Edge.CfgFrom < F.numBlocks() && Edge.CfgFrom < Cfg.numBlocks()) {
+        const std::vector<uint32_t> &Succs = Cfg.succs(Edge.CfgFrom);
+        const Instruction &T = F.block(Edge.CfgFrom)->terminator();
+        if (T.Op == Opcode::CondBr && Succs.size() == 2 &&
+            Succs[0] != Succs[1]) {
+          bool Taken;
+          if (Edge.CfgTo == Succs[0])
+            Taken = true;
+          else if (Edge.CfgTo == Succs[1])
+            Taken = false;
+          else
+            continue; // surprise target: leave the subtree feasible
+          if (!refineBranch(Next, T, Taken)) {
+            emit(Base + int64_t(Edge.Val), PG.numPathsFrom(Edge.To));
+            continue;
+          }
+        }
+      }
+      if (!enterNode(Next, Edge.To))
+        continue;
+      dfs(Edge.To, Base + int64_t(Edge.Val), Next);
+    }
+  }
+
+  void emit(int64_t Lo, uint64_t Count) {
+    if (Count == 0)
+      return;
+    int64_t Hi = Lo + int64_t(Count) - 1;
+    if (!Out.Intervals.empty() && Out.Intervals.back().Hi + 1 == Lo)
+      Out.Intervals.back().Hi = Hi; // coalesce adjacent subtrees
+    else
+      Out.Intervals.push_back({Lo, Hi});
+    Out.InfeasibleIds += Count;
+  }
+
+  const Function &F;
+  const CfgView &Cfg;
+  const PathGraph &PG;
+  const ModuleSummaries *Sums;
+  InfeasibleOptions Opts;
+  FunctionInfeasibility Out;
+  uint64_t StepBudget = 0;
+};
+
+} // namespace
+
+FunctionInfeasibility
+olpp::computeInfeasiblePaths(const Function &F, const CfgView &Cfg,
+                             const PathGraph &PG, const ModuleSummaries *Sums,
+                             const InfeasibleOptions &Opts) {
+  return Enumerator(F, Cfg, PG, Sums, Opts).run();
+}
+
+std::vector<Diagnostic> olpp::lintInfeasiblePaths(const Module &M) {
+  std::vector<Diagnostic> Diags;
+  ModuleSummaries Sums = computeSummaries(M);
+  for (const auto &FPtr : M.functions()) {
+    const Function &F = *FPtr;
+    if (F.numBlocks() == 0)
+      continue;
+    CfgView Cfg = CfgView::build(F);
+    DomTree Dom = DomTree::compute(Cfg);
+    LoopInfo LI = LoopInfo::compute(Cfg, Dom);
+    std::string Err;
+    auto PG = PathGraph::build(F, Cfg, LI, PathGraphOptions{}, Err);
+    if (!PG)
+      continue; // structural problems are other passes' findings
+    FunctionInfeasibility FI =
+        computeInfeasiblePaths(F, Cfg, *PG, &Sums);
+    if (FI.InfeasibleIds == 0)
+      continue;
+    std::string Msg = std::to_string(FI.InfeasibleIds) + " of " +
+                      std::to_string(PG->numPaths()) +
+                      " acyclic path id(s) are statically infeasible "
+                      "(contradictory branch predicates)";
+    if (FI.Exhausted)
+      Msg += "; enumeration stopped at the visit budget";
+    Diags.push_back(
+        makeDiag(Severity::Note, "lint-infeasible-path", F.Name, Msg));
+  }
+  return Diags;
+}

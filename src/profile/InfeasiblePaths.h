@@ -1,0 +1,78 @@
+//===--- InfeasiblePaths.h - Statically infeasible path ids -----*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerates the path ids of one function's path graph that branch
+/// correlation (analysis/Feasibility.h) proves statically infeasible: a
+/// bounded DFS walks the acyclic path graph carrying a value-range state,
+/// refining at every conditional branch; when an out-edge contradicts the
+/// state, the whole id subtree below it — a contiguous interval, because
+/// Ball-Larus numbering gives DFS subtrees contiguous ids — is emitted as
+/// infeasible.
+///
+/// Soundness: an id is reported only when *every* concrete execution along
+/// its path would violate a proven register/global range. The DFS runs
+/// under a visit budget; exhaustion truncates the result (Exhausted flag)
+/// but never invalidates the intervals already emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_PROFILE_INFEASIBLEPATHS_H
+#define OLPP_PROFILE_INFEASIBLEPATHS_H
+
+#include "profile/PathGraph.h"
+#include "support/Diagnostic.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace olpp {
+
+class Module;
+struct ModuleSummaries;
+
+/// A closed range of consecutive infeasible path ids.
+struct InfeasibleInterval {
+  int64_t Lo = 0;
+  int64_t Hi = 0; ///< inclusive
+};
+
+struct FunctionInfeasibility {
+  /// Ascending, pairwise-disjoint intervals of proven-infeasible ids.
+  std::vector<InfeasibleInterval> Intervals;
+  /// Total count of ids covered by Intervals.
+  uint64_t InfeasibleIds = 0;
+  /// The DFS hit its budget; Intervals is a (still sound) underapproximation.
+  bool Exhausted = false;
+  /// Path-graph edges traversed (diagnostics / bench).
+  uint64_t NodesVisited = 0;
+
+  bool isInfeasible(int64_t Id) const;
+};
+
+struct InfeasibleOptions {
+  /// Path-graph edge traversals before the DFS gives up.
+  uint64_t MaxVisits = 200000;
+};
+
+/// Walks every path of \p PG (built for \p F over \p Cfg) under the range
+/// domain and returns the proven-infeasible id intervals. \p Sums, when
+/// provided, interprets calls through function summaries; null is sound
+/// (calls havoc everything).
+FunctionInfeasibility
+computeInfeasiblePaths(const Function &F, const CfgView &Cfg,
+                       const PathGraph &PG, const ModuleSummaries *Sums,
+                       const InfeasibleOptions &Opts = {});
+
+/// Lint-style feasibility pass (`lint-infeasible-path`, note severity):
+/// per function, how many acyclic path ids branch correlation proves can
+/// never execute. Profiling still numbers them — the note tells the author
+/// which share of the id space is statically dead weight.
+std::vector<Diagnostic> lintInfeasiblePaths(const Module &M);
+
+} // namespace olpp
+
+#endif // OLPP_PROFILE_INFEASIBLEPATHS_H

@@ -11,8 +11,25 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <thread>
 
 using namespace olpp;
+
+// The build system compiles the short HEAD revision in; a tarball build
+// falls back to "unknown" so the field is always present and non-empty.
+#ifndef OLPP_GIT_REV
+#define OLPP_GIT_REV "unknown"
+#endif
+
+BenchProvenance olpp::benchProvenance() {
+  BenchProvenance P;
+  unsigned N = std::thread::hardware_concurrency();
+  P.HardwareThreads = N ? N : 1;
+  P.GitRev = OLPP_GIT_REV;
+  if (P.GitRev.empty())
+    P.GitRev = "unknown";
+  return P;
+}
 
 double EngineBenchReport::geomeanSpeedup() const {
   if (Workloads.empty())
@@ -45,6 +62,14 @@ std::string jsonStr(const std::string &S) {
   return Out + "\"";
 }
 
+/// The provenance pair every schema leads with, right after the tag.
+void renderProvenance(std::string &Out, const BenchProvenance &P) {
+  Out += "  \"hardware_threads\": " + std::to_string(P.HardwareThreads) +
+         ",\n";
+  Out += "  \"git_rev\": " + jsonStr(P.GitRev.empty() ? "unknown" : P.GitRev) +
+         ",\n";
+}
+
 void renderSample(std::string &Out, const char *Name, const EngineSample &S,
                   const char *Indent) {
   Out += Indent;
@@ -60,6 +85,7 @@ void renderSample(std::string &Out, const char *Name, const EngineSample &S,
 std::string olpp::renderEngineBenchJson(const EngineBenchReport &R) {
   std::string Out = "{\n";
   Out += "  \"schema\": " + jsonStr(EngineBenchSchema) + ",\n";
+  renderProvenance(Out, R.Prov);
   Out += "  \"jobs\": " + std::to_string(R.Jobs) + ",\n";
   Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
   Out += "  \"geomean_speedup\": " + jsonNum(R.geomeanSpeedup()) + ",\n";
@@ -113,8 +139,7 @@ bool olpp::writeEngineBenchJson(const std::string &Path,
 std::string olpp::renderPipelineBenchJson(const PipelineBenchReport &R) {
   std::string Out = "{\n";
   Out += "  \"schema\": " + jsonStr(PipelineBenchSchema) + ",\n";
-  Out += "  \"hardware_threads\": " + std::to_string(R.HardwareThreads) +
-         ",\n";
+  renderProvenance(Out, R.Prov);
   Out += "  \"workloads\": " + std::to_string(R.Workloads) + ",\n";
   Out += "  \"reps\": " + std::to_string(R.Reps) + ",\n";
   Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
@@ -336,6 +361,20 @@ bool checkNum(const JValue &Obj, const std::string &Path, const char *Key,
   return true;
 }
 
+/// Every schema's provenance pair: a non-negative "hardware_threads" and a
+/// non-empty "git_rev" string.
+bool checkProvenance(const JValue &Root, std::string &Error) {
+  if (!checkNum(Root, "top level", "hardware_threads", Error))
+    return false;
+  auto Rev = Root.Fields.find("git_rev");
+  if (Rev == Root.Fields.end() || Rev->second.K != JValue::Str ||
+      Rev->second.S.empty()) {
+    Error = "top level: missing non-empty string \"git_rev\"";
+    return false;
+  }
+  return true;
+}
+
 bool checkSample(const JValue &Row, const std::string &Path, const char *Key,
                  std::string &Error) {
   auto It = Row.Fields.find(Key);
@@ -366,7 +405,8 @@ bool olpp::validateEngineBenchJson(const std::string &Text,
     Error = std::string("schema: expected \"") + EngineBenchSchema + "\"";
     return false;
   }
-  if (!checkNum(Root, "top level", "jobs", Error) ||
+  if (!checkProvenance(Root, Error) ||
+      !checkNum(Root, "top level", "jobs", Error) ||
       !checkNum(Root, "top level", "wall_seconds", Error) ||
       !checkNum(Root, "top level", "geomean_speedup", Error))
     return false;
@@ -426,7 +466,7 @@ bool olpp::validatePipelineBenchJson(const std::string &Text,
     Error = std::string("schema: expected \"") + PipelineBenchSchema + "\"";
     return false;
   }
-  if (!checkNum(Root, "top level", "hardware_threads", Error) ||
+  if (!checkProvenance(Root, Error) ||
       !checkNum(Root, "top level", "workloads", Error) ||
       !checkNum(Root, "top level", "reps", Error) ||
       !checkNum(Root, "top level", "wall_seconds", Error))
@@ -479,6 +519,7 @@ bool olpp::validatePipelineBenchJson(const std::string &Text,
 std::string olpp::renderProfdataBenchJson(const ProfdataBenchReport &R) {
   std::string Out = "{\n";
   Out += "  \"schema\": " + jsonStr(ProfdataBenchSchema) + ",\n";
+  renderProvenance(Out, R.Prov);
   Out += "  \"reps\": " + std::to_string(R.Reps) + ",\n";
   Out += "  \"merge_inputs\": " + std::to_string(R.MergeInputs) + ",\n";
   Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
@@ -528,7 +569,8 @@ bool olpp::validateProfdataBenchJson(const std::string &Text,
     Error = std::string("schema: expected \"") + ProfdataBenchSchema + "\"";
     return false;
   }
-  if (!checkNum(Root, "top level", "reps", Error) ||
+  if (!checkProvenance(Root, Error) ||
+      !checkNum(Root, "top level", "reps", Error) ||
       !checkNum(Root, "top level", "merge_inputs", Error) ||
       !checkNum(Root, "top level", "wall_seconds", Error))
     return false;
@@ -575,6 +617,114 @@ bool olpp::validateProfdataBenchJson(const std::string &Text,
   return true;
 }
 
+std::string olpp::renderAnalyzeBenchJson(const AnalyzeBenchReport &R) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": " + jsonStr(AnalyzeBenchSchema) + ",\n";
+  renderProvenance(Out, R.Prov);
+  Out += "  \"reps\": " + std::to_string(R.Reps) + ",\n";
+  Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
+  Out += "  \"workloads\": [";
+  for (size_t I = 0; I < R.Workloads.size(); ++I) {
+    const AnalyzeWorkloadBench &W = R.Workloads[I];
+    Out += I ? ",\n" : "\n";
+    Out += "    {\n";
+    Out += "      \"name\": " + jsonStr(W.Name) + ",\n";
+    Out += "      \"functions\": " + std::to_string(W.Functions) + ",\n";
+    Out += "      \"path_ids\": " + std::to_string(W.PathIds) + ",\n";
+    Out += "      \"infeasible_ids\": " + std::to_string(W.InfeasibleIds) +
+           ",\n";
+    Out += "      \"infeasible_percent\": " + jsonNum(W.InfeasiblePercent) +
+           ",\n";
+    Out += "      \"summary_seconds\": " + jsonNum(W.SummarySeconds) + ",\n";
+    Out += "      \"enumerate_seconds\": " + jsonNum(W.EnumerateSeconds) +
+           ",\n";
+    Out += "      \"seconds_per_function\": " +
+           jsonNum(W.SecondsPerFunction) + ",\n";
+    Out += "      \"tightening_ratio\": " + jsonNum(W.TighteningRatio) +
+           ",\n";
+    Out += "      \"infeasible_pairs\": " + std::to_string(W.InfeasiblePairs) +
+           "\n";
+    Out += "    }";
+  }
+  Out += R.Workloads.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool olpp::writeAnalyzeBenchJson(const std::string &Path,
+                                 const AnalyzeBenchReport &R,
+                                 std::string &Error) {
+  return writeTextFile(Path, renderAnalyzeBenchJson(R), Error);
+}
+
+bool olpp::validateAnalyzeBenchJson(const std::string &Text,
+                                    std::string &Error) {
+  JValue Root;
+  if (!JParser(Text, Error).parse(Root))
+    return false;
+  if (Root.K != JValue::Obj) {
+    Error = "top level: expected an object";
+    return false;
+  }
+  auto Schema = Root.Fields.find("schema");
+  if (Schema == Root.Fields.end() || Schema->second.K != JValue::Str ||
+      Schema->second.S != AnalyzeBenchSchema) {
+    Error = std::string("schema: expected \"") + AnalyzeBenchSchema + "\"";
+    return false;
+  }
+  if (!checkProvenance(Root, Error) ||
+      !checkNum(Root, "top level", "reps", Error) ||
+      !checkNum(Root, "top level", "wall_seconds", Error))
+    return false;
+  auto WL = Root.Fields.find("workloads");
+  if (WL == Root.Fields.end() || WL->second.K != JValue::Arr) {
+    Error = "workloads: missing or not an array";
+    return false;
+  }
+  if (WL->second.Elems.empty()) {
+    Error = "workloads: must have at least one entry";
+    return false;
+  }
+  for (size_t I = 0; I < WL->second.Elems.size(); ++I) {
+    const JValue &Row = WL->second.Elems[I];
+    const std::string Path = "workloads[" + std::to_string(I) + "]";
+    if (Row.K != JValue::Obj) {
+      Error = Path + ": expected an object";
+      return false;
+    }
+    auto Name = Row.Fields.find("name");
+    if (Name == Row.Fields.end() || Name->second.K != JValue::Str ||
+        Name->second.S.empty()) {
+      Error = Path + ": missing non-empty \"name\"";
+      return false;
+    }
+    if (!checkNum(Row, Path, "functions", Error) ||
+        !checkNum(Row, Path, "path_ids", Error) ||
+        !checkNum(Row, Path, "infeasible_ids", Error) ||
+        !checkNum(Row, Path, "infeasible_percent", Error) ||
+        !checkNum(Row, Path, "summary_seconds", Error) ||
+        !checkNum(Row, Path, "enumerate_seconds", Error) ||
+        !checkNum(Row, Path, "seconds_per_function", Error) ||
+        !checkNum(Row, Path, "tightening_ratio", Error) ||
+        !checkNum(Row, Path, "infeasible_pairs", Error))
+      return false;
+    // Facts are hard zero constraints in a monotone solver: they can only
+    // shrink the definite..potential gap, so the ratio never exceeds 1.
+    auto Ratio = Row.Fields.find("tightening_ratio");
+    if (Ratio->second.N > 1.0) {
+      Error = Path + ": tightening_ratio must be <= 1";
+      return false;
+    }
+    auto Ids = Row.Fields.find("infeasible_ids");
+    auto Space = Row.Fields.find("path_ids");
+    if (Ids->second.N > Space->second.N) {
+      Error = Path + ": infeasible_ids must not exceed path_ids";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
   JValue Root;
   if (!JParser(Text, Error).parse(Root))
@@ -594,6 +744,8 @@ bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
     return validatePipelineBenchJson(Text, Error);
   if (Schema->second.S == ProfdataBenchSchema)
     return validateProfdataBenchJson(Text, Error);
+  if (Schema->second.S == AnalyzeBenchSchema)
+    return validateAnalyzeBenchJson(Text, Error);
   Error = "schema: unknown tag \"" + Schema->second.S + "\"";
   return false;
 }

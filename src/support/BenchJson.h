@@ -28,6 +28,18 @@
 ///                            counter-dump size, and the write / checked-read
 ///                            / merge throughputs.
 ///
+///   "olpp.bench.analyze/v1"  (BENCH_analyze.json, bench/perf_analyze):
+///                            the static feasibility analysis — per workload
+///                            the per-function analysis time, the share of
+///                            path ids proven infeasible, and the
+///                            bound-tightening ratio the facts buy the
+///                            interval solver.
+///
+/// Every schema carries the same provenance pair so reports from different
+/// machines and commits stay comparable: "hardware_threads" (the box's
+/// concurrency) and "git_rev" (the commit the binary was built from,
+/// "unknown" outside a git checkout).
+///
 /// validate*BenchJson structurally checks a rendered report against its
 /// schema with a dependency-free JSON parser (the perf_smoke ctest target
 /// and `olpp bench --validate` use this); validateBenchJson sniffs the
@@ -43,6 +55,17 @@
 #include <vector>
 
 namespace olpp {
+
+/// The provenance pair every benchmark report embeds.
+struct BenchProvenance {
+  unsigned HardwareThreads = 1;
+  std::string GitRev = "unknown";
+};
+
+/// This build's provenance: std::thread::hardware_concurrency() and the
+/// compiled-in OLPP_GIT_REV (the commit the support library was configured
+/// against; "unknown" when the source tree was not a git checkout).
+BenchProvenance benchProvenance();
 
 inline constexpr const char *EngineBenchSchema = "olpp.bench.engine/v1";
 
@@ -67,6 +90,7 @@ struct WorkloadBench {
 };
 
 struct EngineBenchReport {
+  BenchProvenance Prov = benchProvenance();
   unsigned Jobs = 1;
   double WallSeconds = 0.0; ///< whole batch, wall clock
   std::vector<WorkloadBench> Workloads;
@@ -119,7 +143,7 @@ struct PlanCacheBench {
 };
 
 struct PipelineBenchReport {
-  unsigned HardwareThreads = 1;
+  BenchProvenance Prov = benchProvenance();
   unsigned Workloads = 0; ///< workloads in the suite each point ran
   unsigned Reps = 0;      ///< profile runs per workload per point
   double WallSeconds = 0.0;
@@ -162,6 +186,7 @@ struct ProfdataWorkloadBench {
 };
 
 struct ProfdataBenchReport {
+  BenchProvenance Prov = benchProvenance();
   unsigned Reps = 0;        ///< serialize/read repetitions per workload
   unsigned MergeInputs = 0; ///< artifacts folded by the merge measurement
   double WallSeconds = 0.0;
@@ -178,6 +203,46 @@ bool writeProfdataBenchJson(const std::string &Path,
 
 /// Structurally validates \p Text against the profdata v1 schema.
 bool validateProfdataBenchJson(const std::string &Text, std::string &Error);
+
+//===----------------------------------------------------------------------===//
+// Static-analysis report ("olpp.bench.analyze/v1")
+//===----------------------------------------------------------------------===//
+
+inline constexpr const char *AnalyzeBenchSchema = "olpp.bench.analyze/v1";
+
+/// One workload's measurement of the static feasibility pipeline.
+struct AnalyzeWorkloadBench {
+  std::string Name;
+  unsigned Functions = 0;
+  uint64_t PathIds = 0;          ///< acyclic path ids across all functions
+  uint64_t InfeasibleIds = 0;    ///< ids proven statically infeasible
+  double InfeasiblePercent = 0.0;
+  double SummarySeconds = 0.0;   ///< call graph + bottom-up summaries
+  double EnumerateSeconds = 0.0; ///< infeasible-id DFS over every function
+  double SecondsPerFunction = 0.0;
+  /// Interval-solver tightening the facts buy: (potential - definite)
+  /// with facts over without, <= 1; 1.0 when nothing was prunable.
+  double TighteningRatio = 1.0;
+  uint64_t InfeasiblePairs = 0; ///< solver cells pinned to zero
+};
+
+struct AnalyzeBenchReport {
+  BenchProvenance Prov = benchProvenance();
+  unsigned Reps = 0; ///< analysis repetitions per workload (times are sums)
+  double WallSeconds = 0.0;
+  std::vector<AnalyzeWorkloadBench> Workloads;
+};
+
+/// Renders \p R as pretty-printed JSON (trailing newline included).
+std::string renderAnalyzeBenchJson(const AnalyzeBenchReport &R);
+
+/// Renders and writes to \p Path. Returns false and sets \p Error on I/O
+/// failure.
+bool writeAnalyzeBenchJson(const std::string &Path,
+                           const AnalyzeBenchReport &R, std::string &Error);
+
+/// Structurally validates \p Text against the analyze v1 schema.
+bool validateAnalyzeBenchJson(const std::string &Text, std::string &Error);
 
 /// Sniffs the report's schema tag and validates against the matching
 /// schema. Returns false and sets \p Error for unparseable input, an

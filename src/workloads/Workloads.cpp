@@ -24,6 +24,7 @@ const std::vector<Workload> &olpp::allWorkloads() {
       {"mcf", workload_sources::Mcf, {4, 41}, {40, 41}},
       {"twolf", workload_sources::Twolf, {10, 7}, {120, 7}},
       {"gcc", workload_sources::Gcc, {15, 3}, {150, 3}},
+      {"ijpeg", workload_sources::Ijpeg, {12, 29}, {120, 29}},
   };
   return Suite;
 }

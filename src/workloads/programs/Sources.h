@@ -25,6 +25,7 @@ extern const char Parser[];
 extern const char Mcf[];
 extern const char Twolf[];
 extern const char Gcc[];
+extern const char Ijpeg[];
 
 } // namespace workload_sources
 } // namespace olpp

@@ -110,6 +110,48 @@ inline std::unique_ptr<Module> makePiEdgeModule() {
   return M;
 }
 
+/// A diamond-of-diamonds with *correlated* branches (the feasibility
+/// subsystem's canonical example): both predicates test the same parameter,
+/// so one of the four acyclic paths is statically impossible.
+///
+///   En(0): c1 = (p < 10);  c1 ? A : B
+///   A(1):  br J            B(2): br J
+///   J(3):  c2 = (p > 20);  c2 ? C : D
+///   C(4):  ret 1           D(5): ret 0
+///
+/// Path En->A->J->C needs p < 10 && p > 20: infeasible. The other three
+/// paths are realizable.
+inline std::unique_ptr<Module> makeCorrelatedDiamondModule() {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("diamond", 1);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("En");
+  BasicBlock *A = F->addBlock("A");
+  BasicBlock *Bb = F->addBlock("B");
+  BasicBlock *J = F->addBlock("J");
+  BasicBlock *C = F->addBlock("C");
+  BasicBlock *D = F->addBlock("D");
+
+  B.setBlock(En);
+  Reg Ten = B.constInt(10);
+  Reg C1 = B.binop(Opcode::CmpLt, 0, Ten);
+  B.condBr(C1, A, Bb);
+  B.setBlock(A);
+  B.br(J);
+  B.setBlock(Bb);
+  B.br(J);
+  B.setBlock(J);
+  Reg Twenty = B.constInt(20);
+  Reg C2 = B.binop(Opcode::CmpGt, 0, Twenty);
+  B.condBr(C2, C, D);
+  B.setBlock(C);
+  B.ret(B.constInt(1));
+  B.setBlock(D);
+  B.ret(B.constInt(0));
+  F->renumberBlocks();
+  return M;
+}
+
 /// Compiles MiniC or fails the test with the diagnostics.
 inline std::unique_ptr<Module> compileOrDie(std::string_view Source) {
   CompileResult R = compileMiniC(Source);

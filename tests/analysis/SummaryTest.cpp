@@ -1,0 +1,148 @@
+//===--- SummaryTest.cpp - Call graph and function summary tests -------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/Summary.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+TEST(CallGraph, BottomUpSccOrder) {
+  auto M = compileOrDie("fn leaf(x) { return x + 1; }\n"
+                        "fn mid(x) { return leaf(x) + leaf(x + 1); }\n"
+                        "fn main(a, b) { return mid(a); }\n");
+  CallGraph CG = CallGraph::build(*M);
+  ASSERT_EQ(CG.numFunctions(), 3u);
+  uint32_t Leaf = M->findFunction("leaf")->Id;
+  uint32_t Mid = M->findFunction("mid")->Id;
+  uint32_t Main = M->findFunction("main")->Id;
+
+  EXPECT_EQ(CG.node(Mid).Callees, (std::vector<uint32_t>{Leaf}));
+  EXPECT_EQ(CG.node(Mid).NumCallSites, 2u);
+  EXPECT_EQ(CG.node(Leaf).Callers, (std::vector<uint32_t>{Mid}));
+  EXPECT_FALSE(CG.isRecursive(Leaf));
+  EXPECT_FALSE(CG.anyIndirectCall());
+
+  // SCCs come out callees-first: leaf before mid before main.
+  const auto &Sccs = CG.sccs();
+  auto Pos = [&](uint32_t F) {
+    for (size_t I = 0; I < Sccs.size(); ++I)
+      for (uint32_t Member : Sccs[I])
+        if (Member == F)
+          return I;
+    ADD_FAILURE() << "function not in any SCC";
+    return size_t(0);
+  };
+  EXPECT_LT(Pos(Leaf), Pos(Mid));
+  EXPECT_LT(Pos(Mid), Pos(Main));
+}
+
+TEST(CallGraph, RecursionAndSelfLoops) {
+  auto M = compileOrDie("fn odd(n) { if (n == 0) { return 0; } "
+                        "return even(n - 1); }\n"
+                        "fn even(n) { if (n == 0) { return 1; } "
+                        "return odd(n - 1); }\n"
+                        "fn self(n) { if (n < 1) { return 0; } "
+                        "return self(n - 1) + n; }\n"
+                        "fn main(a, b) { return odd(a) + self(b); }\n");
+  CallGraph CG = CallGraph::build(*M);
+  uint32_t Odd = M->findFunction("odd")->Id;
+  uint32_t Even = M->findFunction("even")->Id;
+  uint32_t Self = M->findFunction("self")->Id;
+  EXPECT_TRUE(CG.isRecursive(Odd));
+  EXPECT_TRUE(CG.isRecursive(Even));
+  EXPECT_EQ(CG.sccOf(Odd), CG.sccOf(Even));
+  EXPECT_TRUE(CG.isRecursive(Self));
+  EXPECT_NE(CG.sccOf(Self), CG.sccOf(Odd));
+  EXPECT_FALSE(CG.isRecursive(M->findFunction("main")->Id));
+}
+
+TEST(Summary, PureLeafAndGlobalWriter) {
+  auto M = compileOrDie("global g;\n"
+                        "fn pure(x) { return x * 2; }\n"
+                        "fn writer(x) { g = x; return 0; }\n"
+                        "fn caller(x) { return pure(x) + writer(x); }\n"
+                        "fn main(a, b) { return caller(a); }\n");
+  ModuleSummaries S = computeSummaries(*M);
+  const FunctionSummary &Pure = S.summary(M->findFunction("pure")->Id);
+  EXPECT_TRUE(Pure.SideEffectFree);
+  EXPECT_TRUE(Pure.GlobalsWritten.empty());
+  EXPECT_FALSE(Pure.TransitivelyIndirect);
+
+  const FunctionSummary &Writer = S.summary(M->findFunction("writer")->Id);
+  EXPECT_FALSE(Writer.SideEffectFree);
+  EXPECT_EQ(Writer.GlobalsWritten.size(), 1u);
+  EXPECT_EQ(Writer.Return, ValueRange::constant(0));
+
+  // The write propagates transitively to the caller.
+  const FunctionSummary &Caller = S.summary(M->findFunction("caller")->Id);
+  EXPECT_FALSE(Caller.SideEffectFree);
+  EXPECT_EQ(Caller.GlobalsWritten, Writer.GlobalsWritten);
+}
+
+TEST(Summary, ReturnRangesFlowBottomUp) {
+  auto M = compileOrDie("fn sign(x) { if (x < 0) { return 0 - 1; } "
+                        "if (x > 0) { return 1; } return 0; }\n"
+                        "fn main(a, b) { return sign(a); }\n");
+  ModuleSummaries S = computeSummaries(*M);
+  const FunctionSummary &Sign = S.summary(M->findFunction("sign")->Id);
+  EXPECT_EQ(Sign.Return, ValueRange::range(-1, 1));
+  // main's return range inherits sign's through the call effect.
+  const FunctionSummary &Main = S.summary(M->findFunction("main")->Id);
+  EXPECT_EQ(Main.Return, ValueRange::range(-1, 1));
+}
+
+TEST(Summary, RecursionStaysConservativeButSound) {
+  auto M = compileOrDie("fn f(n) { if (n < 1) { return 0; } "
+                        "return f(n - 1); }\n"
+                        "fn main(a, b) { return f(a); }\n");
+  ModuleSummaries S = computeSummaries(*M);
+  const FunctionSummary &F = S.summary(M->findFunction("f")->Id);
+  EXPECT_TRUE(F.Recursive);
+  // The intra-SCC call is treated as returning anything, so the summary
+  // must be top (NOT the unsound constant 0 from the base case alone).
+  EXPECT_TRUE(F.Return.isTop());
+  EXPECT_TRUE(F.SideEffectFree);
+}
+
+TEST(Summary, EffectOfCallConservativeForIndirect) {
+  // The frontend never emits CallInd; hand-build a caller that does.
+  Module M;
+  Function *Tgt = M.addFunction("tgt", 1);
+  {
+    IRBuilder B(*Tgt);
+    B.setBlock(Tgt->addBlock("en"));
+    B.ret(0);
+    Tgt->renumberBlocks();
+  }
+  Function *Main = M.addFunction("main", 2);
+  {
+    IRBuilder B(*Main);
+    B.setBlock(Main->addBlock("en"));
+    Reg FId = B.constInt(0);
+    Reg R = Main->newReg();
+    B.callIndirect(R, FId, {1});
+    B.ret(R);
+    Main->renumberBlocks();
+  }
+  ModuleSummaries S = computeSummaries(M);
+  EXPECT_TRUE(S.summary(Main->Id).TransitivelyIndirect);
+  EXPECT_FALSE(S.summary(Main->Id).SideEffectFree);
+  EXPECT_TRUE(S.Effects[Main->Id].HavocAllGlobals);
+  EXPECT_FALSE(S.summary(Tgt->Id).TransitivelyIndirect);
+
+  // effectOfCall on the CallInd instruction itself: maximally conservative.
+  for (const Instruction &I : Main->block(0)->Instrs)
+    if (I.Op == Opcode::CallInd) {
+      CallEffect E = S.effectOfCall(I);
+      EXPECT_TRUE(E.Return.isTop());
+      EXPECT_TRUE(E.HavocAllGlobals);
+    }
+}

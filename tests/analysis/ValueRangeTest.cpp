@@ -1,0 +1,196 @@
+//===--- ValueRangeTest.cpp - Interval domain and range analysis tests -------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueRange.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace olpp;
+using namespace olpp::testutil;
+
+TEST(ValueRange, LatticeBasics) {
+  ValueRange T = ValueRange::top();
+  EXPECT_TRUE(T.isTop());
+  ValueRange C = ValueRange::constant(7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_TRUE(C.contains(7));
+  EXPECT_FALSE(C.contains(8));
+
+  ValueRange A = ValueRange::range(0, 10), B = ValueRange::range(5, 20);
+  EXPECT_EQ(A.join(B), ValueRange::range(0, 20));
+  ASSERT_TRUE(A.meet(B).has_value());
+  EXPECT_EQ(*A.meet(B), ValueRange::range(5, 10));
+  // Disjoint meet is the contradiction signal.
+  EXPECT_FALSE(ValueRange::range(0, 4).meet(ValueRange::range(5, 9)));
+}
+
+TEST(ValueRange, ArithmeticSoundOnOverflow) {
+  ValueRange A = ValueRange::range(1, 3), B = ValueRange::range(10, 20);
+  EXPECT_EQ(ValueRange::add(A, B), ValueRange::range(11, 23));
+  EXPECT_EQ(ValueRange::sub(B, A), ValueRange::range(7, 19));
+  EXPECT_EQ(ValueRange::mul(A, B), ValueRange::range(10, 60));
+  EXPECT_EQ(ValueRange::neg(A), ValueRange::range(-3, -1));
+
+  // Any endpoint overflow degrades to top (the interpreter wraps).
+  ValueRange Big = ValueRange::constant(INT64_MAX);
+  EXPECT_TRUE(ValueRange::add(Big, ValueRange::constant(1)).isTop());
+  EXPECT_TRUE(ValueRange::mul(Big, ValueRange::constant(2)).isTop());
+  EXPECT_TRUE(ValueRange::neg(ValueRange::constant(INT64_MIN)).isTop());
+
+  EXPECT_EQ(ValueRange::logicalNot(ValueRange::constant(0)),
+            ValueRange::constant(1));
+  EXPECT_EQ(ValueRange::logicalNot(ValueRange::range(3, 9)),
+            ValueRange::constant(0));
+  EXPECT_EQ(ValueRange::logicalNot(ValueRange::range(0, 9)),
+            ValueRange::boolean());
+}
+
+TEST(ValueRange, CompareProvableOutcomes) {
+  ValueRange Lo = ValueRange::range(0, 5), Hi = ValueRange::range(6, 9);
+  EXPECT_EQ(ValueRange::compare(Opcode::CmpLt, Lo, Hi),
+            ValueRange::constant(1));
+  EXPECT_EQ(ValueRange::compare(Opcode::CmpGe, Lo, Hi),
+            ValueRange::constant(0));
+  EXPECT_EQ(ValueRange::compare(Opcode::CmpEq, Lo, Hi),
+            ValueRange::constant(0));
+  // Overlapping ranges prove nothing.
+  EXPECT_EQ(ValueRange::compare(Opcode::CmpLt, Lo, ValueRange::range(3, 9)),
+            ValueRange::boolean());
+  EXPECT_EQ(ValueRange::compare(Opcode::CmpEq, ValueRange::constant(4),
+                                ValueRange::constant(4)),
+            ValueRange::constant(1));
+}
+
+TEST(ValueRange, RefineBranchCorrelatesCompareOperands) {
+  // r2 = const 10; r3 = (r0 < r2); condbr r3 ...
+  Module M;
+  Function *F = M.addFunction("f", 1);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("en");
+  BasicBlock *T = F->addBlock("t");
+  BasicBlock *E = F->addBlock("e");
+  B.setBlock(En);
+  Reg Ten = B.constInt(10);
+  Reg C = B.binop(Opcode::CmpLt, 0, Ten);
+  B.condBr(C, T, E);
+  B.setBlock(T);
+  B.ret(NoReg);
+  B.setBlock(E);
+  B.ret(NoReg);
+  F->renumberBlocks();
+
+  RangeEnv Env(F->NumRegs);
+  for (const Instruction &I : F->block(0)->Instrs)
+    if (!isTerminator(I.Op))
+      applyInstr(Env, I);
+  EXPECT_EQ(Env.reg(Ten), ValueRange::constant(10));
+  EXPECT_EQ(Env.reg(C), ValueRange::boolean());
+
+  const Instruction &Br = F->block(0)->terminator();
+  {
+    RangeEnv Taken = Env;
+    ASSERT_TRUE(refineBranch(Taken, Br, true));
+    EXPECT_EQ(Taken.reg(0).Hi, 9); // p < 10
+    EXPECT_EQ(Taken.reg(C), ValueRange::constant(1));
+  }
+  {
+    RangeEnv Not = Env;
+    ASSERT_TRUE(refineBranch(Not, Br, false));
+    EXPECT_EQ(Not.reg(0).Lo, 10); // p >= 10
+    EXPECT_EQ(Not.reg(C), ValueRange::constant(0));
+  }
+  // Contradiction: force p to a range that makes the outcome impossible.
+  {
+    RangeEnv Pinned = Env;
+    ASSERT_TRUE(Pinned.refineReg(0, ValueRange::range(50, 60)));
+    EXPECT_FALSE(refineBranch(Pinned, Br, true)); // 50..60 < 10 never holds
+  }
+}
+
+TEST(ValueRange, NoteInvalidatedByOperandOverwrite) {
+  // c = (r0 < r1); r0 = r0 + 1; branch on c must NOT refine the new r0.
+  Module M;
+  Function *F = M.addFunction("f", 2);
+  IRBuilder B(*F);
+  BasicBlock *En = F->addBlock("en");
+  BasicBlock *T = F->addBlock("t");
+  BasicBlock *E = F->addBlock("e");
+  B.setBlock(En);
+  Reg C = B.binop(Opcode::CmpLt, 0, 1);
+  Reg One = B.constInt(1);
+  B.binopInto(0, Opcode::Add, 0, One);
+  B.condBr(C, T, E);
+  B.setBlock(T);
+  B.ret(NoReg);
+  B.setBlock(E);
+  B.ret(NoReg);
+  F->renumberBlocks();
+
+  RangeEnv Env(F->NumRegs);
+  ASSERT_TRUE(Env.refineReg(1, ValueRange::constant(5)));
+  for (const Instruction &I : F->block(0)->Instrs)
+    if (!isTerminator(I.Op))
+      applyInstr(Env, I);
+  RangeEnv Taken = Env;
+  ASSERT_TRUE(refineBranch(Taken, F->block(0)->terminator(), true));
+  // r0 was redefined after the compare; its range must stay untouched by
+  // the c==1 refinement (only c itself is pinned).
+  EXPECT_TRUE(Taken.reg(0).isTop());
+  EXPECT_EQ(Taken.reg(C), ValueRange::constant(1));
+}
+
+TEST(ValueRange, FunctionRangesOnStraightLine) {
+  auto M = compileOrDie("fn main(a, b) {\n"
+                        "  var x = 3;\n"
+                        "  var y = x * 4 + 2;\n"
+                        "  return y;\n"
+                        "}\n");
+  const Function &F = *M->findFunction("main");
+  CfgView Cfg = CfgView::build(F);
+  FunctionRanges FR = computeFunctionRanges(F, Cfg);
+  EXPECT_EQ(FR.Return, ValueRange::constant(14));
+  EXPECT_FALSE(FR.ReturnsVoid);
+}
+
+TEST(ValueRange, FunctionRangesBranchRefined) {
+  auto M = compileOrDie("fn main(a, b) {\n"
+                        "  var r = 0;\n"
+                        "  if (a < 0) { r = 0 - 1; } else { r = 1; }\n"
+                        "  return r;\n"
+                        "}\n");
+  const Function &F = *M->findFunction("main");
+  CfgView Cfg = CfgView::build(F);
+  FunctionRanges FR = computeFunctionRanges(F, Cfg);
+  EXPECT_EQ(FR.Return, ValueRange::range(-1, 1));
+}
+
+TEST(ValueRange, FunctionRangesLoopWidens) {
+  auto M = compileOrDie("fn main(a, b) {\n"
+                        "  var i = 0;\n"
+                        "  while (i < a) { i = i + 1; }\n"
+                        "  return i;\n"
+                        "}\n");
+  const Function &F = *M->findFunction("main");
+  CfgView Cfg = CfgView::build(F);
+  FunctionRanges FR = computeFunctionRanges(F, Cfg);
+  // i starts at 0 and only grows; widening keeps the lower bound.
+  EXPECT_EQ(FR.Return.Lo, 0);
+  EXPECT_GT(FR.Passes, 0u);
+}
+
+TEST(ValueRange, FunctionRangesEntryLocalsZeroOnlyWhenNotReentered) {
+  // makePaperLoopModule's entry has no predecessors: locals (none beyond
+  // params here) are zero; params stay top.
+  auto M = makePaperLoopModule();
+  const Function &F = *M->function(0);
+  CfgView Cfg = CfgView::build(F);
+  FunctionRanges FR = computeFunctionRanges(F, Cfg);
+  ASSERT_EQ(FR.BlockIn.size(), F.numBlocks());
+  EXPECT_TRUE(FR.BlockIn[0].reg(0).isTop());
+  EXPECT_TRUE(FR.ReturnsVoid);
+}

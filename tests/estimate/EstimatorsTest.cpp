@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Feasibility.h"
+#include "analysis/Summary.h"
 #include "driver/Pipeline.h"
 #include "estimate/Estimators.h"
 #include "workloads/Workloads.h"
@@ -137,6 +139,109 @@ TEST(Estimators, NoFlowMeansNoProblems) {
   EXPECT_EQ(M.Problems, 0u);
   EXPECT_EQ(M.Pairs, 0u);
   EXPECT_EQ(M.Real, 0u);
+}
+
+TEST(Estimators, FeasibilityFactsTightenLoopBounds) {
+  // The branch arm is monotone in i: once an iteration takes the i >= 5
+  // side, no later iteration can take the i < 5 side again. BL row/column
+  // totals cannot see that, but the walker proves the B!A pair
+  // contradictory across the backedge and pins its cell to zero.
+  const char *Src = R"(
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        if (i < 5) { s = s + 1; } else { s = s + 100; }
+      }
+      return s;
+    })";
+  InstrumentOptions O;
+  PipelineResult R = run(Src, O, {12});
+  ModuleEstimator Est(*R.InstrModule, R.MI, *R.Prof);
+
+  EstimateMetrics Without = Est.estimateLoops(&R.GT);
+  EXPECT_EQ(Without.InfeasiblePairs, 0u);
+  EXPECT_FALSE(Without.SoundnessViolated);
+
+  ModuleSummaries Sums = computeSummaries(*R.InstrModule);
+  PathFeasibility PF(*R.InstrModule, &Sums);
+  Est.setFeasibility(&PF);
+  EstimateMetrics With = Est.estimateLoops(&R.GT);
+
+  EXPECT_GT(With.InfeasiblePairs, 0u);
+  EXPECT_GT(With.FeasibilityQueries, 0u);
+  // Facts only ever add constraints to a monotone solver: the bound
+  // interval shrinks or stays, never widens — and stays sound.
+  EXPECT_EQ(With.Pairs, Without.Pairs);
+  EXPECT_GE(With.Definite, Without.Definite);
+  EXPECT_LE(With.Potential, Without.Potential);
+  EXPECT_LT(With.Potential, Without.Potential)
+      << "pinning B!A to zero must strictly tighten the upper bounds";
+  EXPECT_FALSE(With.SoundnessViolated);
+}
+
+TEST(Estimators, FeasibilityFactsPruneCallPairs) {
+  // Site one always passes 3, site two always passes 50; the callee's
+  // observed paths include both arms, so each site's pair table contains
+  // combinations the argument range refutes.
+  const char *Src = R"(
+    fn step(x) { if (x > 10) { return 2; } return 1; }
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        s = s + step(3);
+        s = s + step(50);
+      }
+      return s;
+    })";
+  InstrumentOptions O;
+  O.CallBreaking = true;
+  PipelineResult R = run(Src, O, {8});
+  ModuleEstimator Est(*R.InstrModule, R.MI, *R.Prof);
+
+  EstimateMetrics Without = Est.estimateTypeI(&R.GT);
+  ModuleSummaries Sums = computeSummaries(*R.InstrModule);
+  PathFeasibility PF(*R.InstrModule, &Sums);
+  Est.setFeasibility(&PF);
+  EstimateMetrics With = Est.estimateTypeI(&R.GT);
+
+  EXPECT_GT(With.InfeasiblePairs, 0u);
+  EXPECT_EQ(With.Pairs, Without.Pairs);
+  EXPECT_GE(With.Definite, Without.Definite);
+  EXPECT_LE(With.Potential, Without.Potential);
+  EXPECT_FALSE(With.SoundnessViolated);
+}
+
+TEST(Estimators, FeasibilityFactsPruneReturnPairs) {
+  // The callee's return value (7 or 0) decides the continuation branch;
+  // both callee paths and both continuations are observed, but the cross
+  // pairings contradict the walked return range.
+  const char *Src = R"(
+    fn pick(x) { if (x > 10) { return 7; } return 0; }
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        var v = pick(i);
+        if (v > 3) { s = s + 10; } else { s = s + 1; }
+      }
+      return s;
+    })";
+  InstrumentOptions O;
+  O.CallBreaking = true;
+  PipelineResult R = run(Src, O, {20});
+  ModuleEstimator Est(*R.InstrModule, R.MI, *R.Prof);
+
+  EstimateMetrics Without = Est.estimateTypeII(&R.GT);
+  ModuleSummaries Sums = computeSummaries(*R.InstrModule);
+  PathFeasibility PF(*R.InstrModule, &Sums);
+  Est.setFeasibility(&PF);
+  EstimateMetrics With = Est.estimateTypeII(&R.GT);
+
+  EXPECT_GT(With.InfeasiblePairs, 0u);
+  EXPECT_EQ(With.Pairs, Without.Pairs);
+  EXPECT_GE(With.Definite, Without.Definite);
+  EXPECT_LE(With.Potential, Without.Potential);
+  EXPECT_LT(With.Potential, Without.Potential);
+  EXPECT_FALSE(With.SoundnessViolated);
 }
 
 TEST(Estimators, PerProblemMetricsSumToTotals) {

@@ -157,6 +157,52 @@ TEST(FuzzHarness, CrcVerificationOffIsCaughtByMutationOracle) {
   EXPECT_NE(F.Detail.find("accepted"), std::string::npos) << F.Detail;
 }
 
+/// An unsound feasibility verdict — one executed path id claimed statically
+/// infeasible — must be caught by the feasibility oracle, and the shrinker
+/// must reduce the witness to a small program that still reproduces it.
+TEST(FuzzHarness, InjectedMisclassificationIsCaughtAndShrunk) {
+  FuzzOptions FO;
+  FO.Fault = FaultKind::MisclassifyFeasible;
+  DifferentialRunner Runner(FO);
+
+  // Any seed whose instrumented run counts at least one path triggers the
+  // fault; the scan only skips fuel-exhausted cases.
+  uint64_t FailingSeed = 0;
+  FuzzFailure Probe;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    if (Runner.checkCase(Seed, &Probe) == CaseStatus::Failed) {
+      FailingSeed = Seed;
+      break;
+    }
+  }
+  ASSERT_NE(FailingSeed, 0u)
+      << "no seed in 1..20 triggered the injected misclassification";
+  EXPECT_EQ(Probe.Oracle, FuzzOracle::Feasibility) << Probe.Detail;
+  EXPECT_NE(Probe.Detail.find("classified statically infeasible"),
+            std::string::npos)
+      << Probe.Detail;
+
+  FO.SeedBase = FailingSeed;
+  FO.NumSeeds = 1;
+  FO.Shrink = true;
+  FuzzReport Rep = DifferentialRunner(FO).run();
+  ASSERT_EQ(Rep.Failures.size(), 1u);
+  const FuzzFailure &F = Rep.Failures[0];
+  EXPECT_EQ(F.Oracle, FuzzOracle::Feasibility) << F.Detail;
+  EXPECT_TRUE(F.Shrunk);
+  EXPECT_LE(countCodeLines(F.Source), 30u) << F.Source;
+  EXPECT_LT(countCodeLines(F.Source), countCodeLines(F.OriginalSource));
+
+  // The minimized witness still compiles and still reproduces the defect
+  // under the pinned setup.
+  EXPECT_TRUE(compileMiniC(F.Source).ok()) << F.Source;
+  auto Setup = DifferentialRunner::deriveSetup(FailingSeed);
+  FuzzFailure Again;
+  EXPECT_EQ(DifferentialRunner(FO).checkProgram(F.Source, Setup, &Again),
+            CaseStatus::Failed);
+  EXPECT_EQ(Again.Oracle, FuzzOracle::Feasibility);
+}
+
 // --- shrinker unit tests -------------------------------------------------
 
 TEST(Shrinker, KeepsThePoisonLine) {

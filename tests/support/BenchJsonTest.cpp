@@ -14,7 +14,7 @@ namespace {
 
 PipelineBenchReport samplePipelineReport() {
   PipelineBenchReport R;
-  R.HardwareThreads = 4;
+  R.Prov.HardwareThreads = 4;
   R.Workloads = 9;
   R.Reps = 8;
   R.WallSeconds = 14.0;
@@ -85,6 +85,79 @@ TEST(BenchJsonTest, PipelineValidatorPinsTheJobsOneAnchor) {
   std::string Error;
   EXPECT_FALSE(validatePipelineBenchJson(renderPipelineBenchJson(R), Error));
   EXPECT_NE(Error.find("speedup_vs_1"), std::string::npos) << Error;
+}
+
+AnalyzeBenchReport sampleAnalyzeReport() {
+  AnalyzeBenchReport R;
+  R.Reps = 3;
+  R.WallSeconds = 0.4;
+  AnalyzeWorkloadBench W;
+  W.Name = "loopcall";
+  W.Functions = 3;
+  W.PathIds = 24;
+  W.InfeasibleIds = 4;
+  W.InfeasiblePercent = 100.0 * 4 / 24;
+  W.SummarySeconds = 0.001;
+  W.EnumerateSeconds = 0.004;
+  W.SecondsPerFunction = 0.005 / 3;
+  W.TighteningRatio = 0.8;
+  W.InfeasiblePairs = 3;
+  R.Workloads.push_back(W);
+  return R;
+}
+
+TEST(BenchJsonTest, ProvenanceIsEmbeddedInEveryReport) {
+  // Every schema leads with the same provenance pair, filled from the
+  // build: hardware_threads and a non-empty git_rev.
+  BenchProvenance P = benchProvenance();
+  EXPECT_GE(P.HardwareThreads, 1u);
+  EXPECT_FALSE(P.GitRev.empty());
+  for (const std::string &Text :
+       {renderEngineBenchJson(sampleEngineReport()),
+        renderPipelineBenchJson(samplePipelineReport()),
+        renderProfdataBenchJson({}),
+        renderAnalyzeBenchJson(sampleAnalyzeReport())}) {
+    EXPECT_NE(Text.find("\"hardware_threads\""), std::string::npos) << Text;
+    EXPECT_NE(Text.find("\"git_rev\""), std::string::npos) << Text;
+  }
+}
+
+TEST(BenchJsonTest, ValidatorRejectsMissingGitRev) {
+  std::string Text = renderEngineBenchJson(sampleEngineReport());
+  size_t At = Text.find("\"git_rev\"");
+  ASSERT_NE(At, std::string::npos);
+  Text.replace(At, 9, "\"git_rv\"");
+  std::string Error;
+  EXPECT_FALSE(validateEngineBenchJson(Text, Error));
+  EXPECT_NE(Error.find("git_rev"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, AnalyzeRenderRoundTripsThroughItsValidator) {
+  std::string Error;
+  EXPECT_TRUE(validateAnalyzeBenchJson(
+      renderAnalyzeBenchJson(sampleAnalyzeReport()), Error))
+      << Error;
+  EXPECT_TRUE(
+      validateBenchJson(renderAnalyzeBenchJson(sampleAnalyzeReport()), Error))
+      << Error;
+}
+
+TEST(BenchJsonTest, AnalyzeValidatorRejectsWideningRatio) {
+  // A ratio above 1 would mean the feasibility facts widened the solver's
+  // bounds — exactly the defect the fuzz oracle exists to catch.
+  AnalyzeBenchReport R = sampleAnalyzeReport();
+  R.Workloads[0].TighteningRatio = 1.2;
+  std::string Error;
+  EXPECT_FALSE(validateAnalyzeBenchJson(renderAnalyzeBenchJson(R), Error));
+  EXPECT_NE(Error.find("tightening_ratio"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, AnalyzeValidatorRejectsEmptyWorkloads) {
+  AnalyzeBenchReport R = sampleAnalyzeReport();
+  R.Workloads.clear();
+  std::string Error;
+  EXPECT_FALSE(validateAnalyzeBenchJson(renderAnalyzeBenchJson(R), Error));
+  EXPECT_NE(Error.find("workloads"), std::string::npos) << Error;
 }
 
 TEST(BenchJsonTest, SnifferDispatchesOnTheSchemaTag) {

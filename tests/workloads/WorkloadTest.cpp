@@ -14,12 +14,12 @@
 
 using namespace olpp;
 
-TEST(Workloads, SuiteHasNineNamedBenchmarks) {
+TEST(Workloads, SuiteHasTenNamedBenchmarks) {
   const auto &Suite = allWorkloads();
-  ASSERT_EQ(Suite.size(), 9u);
+  ASSERT_EQ(Suite.size(), 10u);
   const char *Names[] = {"li",     "go",  "perl",  "espresso", "vortex",
-                         "parser", "mcf", "twolf", "gcc"};
-  for (size_t I = 0; I < 9; ++I)
+                         "parser", "mcf", "twolf", "gcc",      "ijpeg"};
+  for (size_t I = 0; I < 10; ++I)
     EXPECT_EQ(Suite[I].Name, Names[I]);
   EXPECT_NE(findWorkload("mcf"), nullptr);
   EXPECT_EQ(findWorkload("nope"), nullptr);
