@@ -128,7 +128,9 @@ int usage() {
       "                      artifact-level merge against the in-memory one\n"
       "\n"
       "run/profile/estimate/bench accept --engine fast|reference to select\n"
-      "the execution engine (default: fast).\n"
+      "the execution engine (default: fast). The fast engine's tracing tier\n"
+      "takes --trace-threshold N (completions before a hot path is recorded,\n"
+      "default 32) and --no-traces (interpret everything, never trace).\n"
       "\n"
       "A file name matching an embedded workload (e.g. 'mcf') may be used\n"
       "in place of a path.\n",
@@ -166,6 +168,8 @@ struct Parsed {
   bool LintWerror = false;
   bool All = false;
   EngineKind Engine = EngineKind::Fast;
+  bool NoTraces = false;       ///< --no-traces: disable the tracing tier
+  uint32_t TraceThreshold = 0; ///< --trace-threshold; 0 = RunConfig default
   unsigned Jobs = 1; ///< bench/fuzz worker threads; 0 = one per core
   bool Smoke = false;
   uint32_t Seeds = 100;    ///< fuzz: number of master seeds
@@ -213,6 +217,14 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.Bad |= !parseEngineKind(Argv[++I], P.Engine);
     } else if (A.rfind("--engine=", 0) == 0) {
       P.Bad |= !parseEngineKind(A.substr(9), P.Engine);
+    } else if (A == "--no-traces") {
+      P.NoTraces = true;
+    } else if (A == "--trace-threshold" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V <= 0)
+        P.Bad = true;
+      else
+        P.TraceThreshold = static_cast<uint32_t>(V);
     } else if ((A == "--jobs" || A == "-j") && I + 1 < Argc) {
       P.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (A == "--smoke") {
@@ -276,6 +288,15 @@ std::vector<int64_t> fitArgs(const Parsed &P, const Module &M) {
   return Args;
 }
 
+/// Applies the tracing-tier knobs (--no-traces, --trace-threshold) to a run
+/// configuration. Only the fast engine consults them.
+void applyTraceOpts(RunConfig &RC, const Parsed &P) {
+  if (P.NoTraces)
+    RC.EnableTraces = false;
+  if (P.TraceThreshold)
+    RC.TraceThreshold = P.TraceThreshold;
+}
+
 int cmdRun(const Parsed &P) {
   auto M = compileOrFail(P.File);
   if (!M)
@@ -288,6 +309,7 @@ int cmdRun(const Parsed &P) {
   Interpreter I(*M);
   RunConfig RC;
   RC.Engine = P.Engine;
+  applyTraceOpts(RC, P);
   RunResult R = I.run(*Main, fitArgs(P, *M), RC);
   if (!R.Ok) {
     std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
@@ -321,6 +343,7 @@ PipelineResult runPipelineFor(const Parsed &P, Module &M, bool Overlap) {
   }
   Config.Args = fitArgs(P, M);
   Config.Run.Engine = P.Engine;
+  applyTraceOpts(Config.Run, P);
   Config.Lint = P.Lint;
   Config.LintWerror = P.LintWerror;
   return runPipeline(M, Config);
@@ -929,7 +952,8 @@ void configureStores(ProfileRuntime &Prof, const Module &M,
 /// Compiles, instruments, times both engines, cross-checks them, and runs
 /// the estimation stack under both solvers. Returns false on failure with
 /// Item.Error set.
-bool benchOneWorkload(BenchItem &Item, bool Smoke) {
+bool benchOneWorkload(BenchItem &Item, const Parsed &P) {
+  const bool Smoke = P.Smoke;
   CompileResult CR = compileMiniC(Item.W->Source);
   if (!CR.ok()) {
     Item.Error = "compile failed:\n" + CR.diagText();
@@ -958,6 +982,7 @@ bool benchOneWorkload(BenchItem &Item, bool Smoke) {
 
   RunConfig RC;
   RC.MaxSteps = 2'000'000'000;
+  applyTraceOpts(RC, P);
 
   auto TimedRun = [&](EngineKind E, ProfileRuntime &Prof, EngineSample &S,
                       RunResult &Out) {
@@ -1009,6 +1034,18 @@ bool benchOneWorkload(BenchItem &Item, bool Smoke) {
       Item.Row.Reference.WallSeconds > 0 && Item.Row.Fast.WallSeconds > 0
           ? Item.Row.Reference.WallSeconds / Item.Row.Fast.WallSeconds
           : 0.0;
+
+  // Tracing-tier activity of the (single) fast run.
+  Item.Row.TracesRecorded = RFast.Trace.Recorded;
+  Item.Row.TraceStepPercent =
+      RFast.Counts.Steps > 0
+          ? 100.0 * static_cast<double>(RFast.Trace.TraceSteps) /
+                static_cast<double>(RFast.Counts.Steps)
+          : 0.0;
+  Item.Row.DeoptRate = RFast.Trace.Enters > 0
+                           ? static_cast<double>(RFast.Trace.Deopts) /
+                                 static_cast<double>(RFast.Trace.Enters)
+                           : 0.0;
 
   // Interval-solver effort, worklist vs the sweep oracle, on the real
   // estimation systems of this workload's profile.
@@ -1255,7 +1292,7 @@ int cmdBench(const Parsed &P) {
 
   // Phase 1: each workload measured under both engines, in parallel.
   parallelFor(Items.size(), Jobs,
-              [&](size_t I, unsigned) { benchOneWorkload(Items[I], P.Smoke); });
+              [&](size_t I, unsigned) { benchOneWorkload(Items[I], P); });
   for (const BenchItem &Item : Items)
     if (!Item.Error.empty()) {
       std::fprintf(stderr, "error: workload %s: %s\n", Item.W->Name.c_str(),
@@ -1280,13 +1317,15 @@ int cmdBench(const Parsed &P) {
     Report.Workloads.push_back(std::move(Item.Row));
 
   TableWriter T({"Workload", "Ref steps/s", "Fast steps/s", "Speedup",
-                 "Solver evals (worklist/sweep)"});
+                 "Traces", "Trace steps", "Solver evals (worklist/sweep)"});
   for (const WorkloadBench &W : Report.Workloads) {
-    char RefS[32], FastS[32], Sp[32];
+    char RefS[32], FastS[32], Sp[32], TrPct[32];
     std::snprintf(RefS, sizeof(RefS), "%.3g", W.Reference.StepsPerSec);
     std::snprintf(FastS, sizeof(FastS), "%.3g", W.Fast.StepsPerSec);
     std::snprintf(Sp, sizeof(Sp), "%.2fx", W.Speedup);
-    T.addRow({W.Name, RefS, FastS, Sp,
+    std::snprintf(TrPct, sizeof(TrPct), "%.1f%%", W.TraceStepPercent);
+    T.addRow({W.Name, RefS, FastS, Sp, std::to_string(W.TracesRecorded),
+              TrPct,
               std::to_string(W.SolverEvaluationsWorklist) + "/" +
                   std::to_string(W.SolverEvaluationsSweep)});
   }

@@ -48,6 +48,8 @@ const char *olpp::fuzzOracleName(FuzzOracle O) {
     return "roundtrip";
   case FuzzOracle::Feasibility:
     return "feasibility";
+  case FuzzOracle::Trace:
+    return "trace";
   }
   return "?";
 }
@@ -388,6 +390,75 @@ std::string checkAbortConsistency(const Module &Base,
                                            "fresh runtimes merged");
 }
 
+/// Runs the trace oracle: the fast engine with the tracing tier forced hot
+/// (recording threshold 1, so even small generated loops record and execute
+/// traces) against the reference engine — first to completion, then aborted
+/// at \p HalfBudget (0 = skip) so the fuel boundary lands inside or between
+/// trace passes. Return value, error, dynamic counts and every raw counter
+/// must match bit for bit. Returns "" on success, else the mismatch.
+std::string checkTraceConsistency(const Module &Base,
+                                  const DifferentialRunner::CaseSetup &Setup,
+                                  uint64_t Budget, uint64_t HalfBudget) {
+  std::unique_ptr<Module> Clone = Base.clone();
+  ModuleInstrumentation MI = instrumentModule(*Clone, Setup.InstrOpts);
+  if (!MI.ok())
+    return "instrumentation failed: " + MI.Errors[0];
+  const Function *Entry = Clone->findFunction("main");
+  if (!Entry)
+    return "no main";
+
+  auto configure = [&](ProfileRuntime &P) {
+    for (uint32_t F = 0; F < Clone->numFunctions(); ++F)
+      if (MI.Funcs[F].PG)
+        P.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+  };
+
+  for (int Phase = 0; Phase < 2; ++Phase) {
+    const uint64_t Steps = Phase ? HalfBudget : Budget;
+    if (Phase && HalfBudget == 0)
+      break;
+    const char *What = Phase ? "abort-mid-trace" : "traced";
+
+    RunConfig RC;
+    RC.MaxSteps = Steps;
+    RC.Engine = EngineKind::Reference;
+    ProfileRuntime PRef(Clone->numFunctions());
+    configure(PRef);
+    Interpreter IRef(*Clone, &PRef);
+    RunResult RR = IRef.run(*Entry, Setup.Args, RC);
+
+    RC.Engine = EngineKind::Fast;
+    RC.EnableTraces = true;
+    RC.TraceThreshold = 1;
+    ProfileRuntime PFast(Clone->numFunctions());
+    configure(PFast);
+    Interpreter IFast(*Clone, &PFast);
+    RunResult RF = IFast.run(*Entry, Setup.Args, RC);
+
+    if (RR.Ok != RF.Ok)
+      return std::string(What) + " status diverges: reference " +
+             (RR.Ok ? std::string("ok") : "'" + RR.Error + "'") + ", fast " +
+             (RF.Ok ? std::string("ok") : "'" + RF.Error + "'");
+    if (!RR.Ok && RR.Error != RF.Error)
+      return std::string(What) + " error diverges: reference '" + RR.Error +
+             "' vs fast '" + RF.Error + "'";
+    if (RR.Ok && RR.ReturnValue != RF.ReturnValue)
+      return std::string(What) + " return value diverges: reference " +
+             std::to_string(RR.ReturnValue) + " vs fast " +
+             std::to_string(RF.ReturnValue);
+    if (!(RR.Counts == RF.Counts))
+      return std::string(What) + " dynamic counts diverge (steps " +
+             std::to_string(RR.Counts.Steps) + " vs " +
+             std::to_string(RF.Counts.Steps) + ")";
+    std::string D = CounterSnapshot::of(PRef).diff(
+        CounterSnapshot::of(PFast), (std::string(What) + " reference").c_str(),
+        (std::string(What) + " fast").c_str());
+    if (!D.empty())
+      return D;
+  }
+  return "";
+}
+
 /// FaultKind::SkewArtifactRoundtrip's hook: perturbs one decoded counter
 /// between the read and the comparison so artifactsEqual must flag the
 /// mismatch (proves the round-trip oracle has teeth).
@@ -688,6 +759,17 @@ DifferentialRunner::checkProgram(const std::string &Source,
       return Fail(FuzzOracle::Abort, D);
   }
   (void)ProbeSteps;
+
+  // Oracle 6b (the trace surface): the tracing tier forced hot — recording
+  // threshold 1 instead of the default — must be invisible both on the
+  // terminating run and when the fuel boundary lands mid-trace.
+  {
+    std::string D = checkTraceConsistency(
+        *CR.M, Setup, Opts.MaxSteps * 8,
+        RFast.InstrCounts.Steps >= 4 ? RFast.InstrCounts.Steps / 2 : 0);
+    if (!D.empty())
+      return Fail(FuzzOracle::Trace, D);
+  }
 
   // Oracle 7: .olpp round trip. The profile serialized into the artifact
   // container and read back by the checked reader must compare equal and

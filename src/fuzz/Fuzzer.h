@@ -34,7 +34,12 @@
 ///                  universal proof), and feeding the proven-infeasible
 ///                  pairs to the interval solver must only tighten the
 ///                  definite/potential bounds while still bracketing the
-///                  ground truth.
+///                  ground truth,
+///   trace          the tracing tier (interp/TraceTier.h) forced hot with a
+///                  recording threshold of 1 vs the reference engine: return
+///                  value, dynamic counts and every raw counter must stay
+///                  bit-exact, and an abort landing mid-trace (half budget)
+///                  must fail with the identical error and counters.
 ///
 /// Failures are reported as structured Diagnostics (pass "fuzz-<oracle>")
 /// with a replay hint, and optionally minimized by the structural shrinker
@@ -70,6 +75,8 @@ enum class FuzzOracle : uint8_t {
   Roundtrip,    ///< .olpp serialize/read mismatch or silent mutant acceptance
   Feasibility,  ///< executed path classified infeasible, or facts widened
                 ///< the solver's bounds
+  Trace,        ///< trace-enabled fast engine diverged from the reference
+                ///< (terminating or aborted mid-trace)
 };
 
 const char *fuzzOracleName(FuzzOracle O);

@@ -6,10 +6,71 @@
 
 #include "interp/ExecPlan.h"
 
+#include "interp/TraceTier.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace olpp;
+
+// Out-of-line so PlanTraceCache can stay an incomplete type in the header.
+ExecPlan::ExecPlan() = default;
+ExecPlan::~ExecPlan() = default;
+
+ExecOp olpp::execBaseOp(ExecOp Op) {
+  if (static_cast<unsigned>(Op) < kNumBaseOps)
+    return Op;
+  switch (Op) {
+  case ExecOp::CmpEqBr:
+    return ExecOp::CmpEq;
+  case ExecOp::CmpNeBr:
+    return ExecOp::CmpNe;
+  case ExecOp::CmpLtBr:
+    return ExecOp::CmpLt;
+  case ExecOp::CmpLeBr:
+    return ExecOp::CmpLe;
+  case ExecOp::CmpGtBr:
+    return ExecOp::CmpGt;
+  case ExecOp::CmpGeBr:
+    return ExecOp::CmpGe;
+  case ExecOp::ConstAnd:
+  case ExecOp::ConstAdd:
+  case ExecOp::ConstAndLoadArrMove:
+  case ExecOp::ConstAndLoadArr:
+  case ExecOp::ConstAddMove:
+  case ExecOp::ConstAddMoveBr:
+  case ExecOp::ConstCmpEqBr:
+  case ExecOp::ConstPrFlushICountRetRet:
+  case ExecOp::ConstAndLoadArrMoveCmpEqBr:
+  case ExecOp::ConstAndLoadArrConstCmpEqBr:
+  case ExecOp::ConstAndLoadArrMove2:
+  case ExecOp::ConstCmpGeBr:
+  case ExecOp::ConstAddMovePrFlushIIArmSetBr:
+  case ExecOp::ConstAddMovePrFlushIFlushArmSetBr:
+    return ExecOp::Const;
+  case ExecOp::AndLoadArr:
+  case ExecOp::AndCmpEqBr:
+    return ExecOp::And;
+  case ExecOp::LoadArrMove:
+  case ExecOp::LoadArrCmpEqBr:
+  case ExecOp::LoadArrConst:
+  case ExecOp::LoadArrConstCmpEqConstCmpNeBr:
+    return ExecOp::LoadArr;
+  case ExecOp::AddMove:
+    return ExecOp::Add;
+  case ExecOp::MoveConst:
+  case ExecOp::MoveBr:
+    return ExecOp::Move;
+  case ExecOp::CmpEqConstCmpNeBr:
+    return ExecOp::CmpEq;
+  case ExecOp::LoadGCmpLtBr:
+    return ExecOp::LoadG;
+  default:
+    // Everything else is a probe specialization or probe-led compound;
+    // its head ExecInstr is the original Probe record.
+    return ExecOp::Probe;
+  }
+}
 
 // The decoder turns an Opcode into an ExecOp by a cast; pin the mirror.
 static_assert(static_cast<unsigned>(ExecOp::Const) ==
@@ -268,6 +329,9 @@ uint32_t FuncPlan::blockOfPc(uint32_t Pc) const {
 std::unique_ptr<ExecPlan> olpp::buildExecPlan(const Module &M) {
   auto Plan = std::make_unique<ExecPlan>();
   Plan->Funcs.resize(M.numFunctions());
+  // Created eagerly so concurrent interpreters sharing the plan never race
+  // on the pointer itself; the cache has its own internal synchronization.
+  Plan->Traces = std::make_unique<PlanTraceCache>(M.numFunctions());
 
   for (uint32_t FId = 0; FId < M.numFunctions(); ++FId) {
     const Function &F = *M.function(FId);

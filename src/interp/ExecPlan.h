@@ -218,15 +218,34 @@ struct FuncPlan {
   uint32_t blockOfPc(uint32_t Pc) const;
 };
 
+class PlanTraceCache;
+
 /// The whole module, pre-decoded. Self-contained: safe to share (read-only)
-/// across threads and across identical-content modules.
+/// across threads and across identical-content modules. The decoded code is
+/// immutable; Traces (the hot-path tracing tier's compiled traces, see
+/// interp/TraceTier.h) is the one concurrently-growing part, and its own
+/// synchronization makes sharing the plan across interpreters safe.
 struct ExecPlan {
+  ExecPlan();
+  ~ExecPlan();
+  ExecPlan(ExecPlan &&) = default;
+  ExecPlan &operator=(ExecPlan &&) = default;
+
   std::vector<FuncPlan> Funcs;
+  std::unique_ptr<PlanTraceCache> Traces;
 };
 
 /// Decodes \p M. The module must be fully built (verified, instrumented if
 /// it ever will be) and must not change while the plan is in use.
 std::unique_ptr<ExecPlan> buildExecPlan(const Module &M);
+
+/// The first constituent base op of \p Op: fused superinstructions and
+/// specialized probes map to the base op of their first step, base ops map
+/// to themselves. A sequential pc walk dispatching on execBaseOp sees the
+/// exact base-step sequence the dispatch loop executes, because fusion
+/// rewrites only head opcodes and every trailing constituent keeps its
+/// original ExecInstr in place.
+ExecOp execBaseOp(ExecOp Op);
 
 } // namespace olpp
 

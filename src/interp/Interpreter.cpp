@@ -36,12 +36,8 @@ const char *olpp::engineKindName(EngineKind E) {
 
 namespace {
 
-/// Per-loop overlap-region registers.
-struct LoopRegs {
-  int64_t Ro = 0;
-  int64_t Ol = 0;
-  bool Active = false;
-};
+// LoopRegs and FastFrame moved to interp/TraceTier.h: the trace executor
+// shares the fast engine's frame layout.
 
 /// One activation record of the reference engine.
 struct Frame {
@@ -61,27 +57,6 @@ struct Frame {
   int64_t RI = 0, OlI = 0, CallerPre = 0;
   uint32_t CallSiteI = 0;
   // Type II (caller-continuation) region.
-  bool ActiveII = false;
-  int64_t RoII = 0, OlII = 0, CalleePathII = 0;
-  uint32_t CallSiteII = 0, CalleeII = 0;
-};
-
-/// One activation record of the fast engine. Registers and loop slots live
-/// in pooled stacks indexed by RegBase/LoopBase, so a call allocates
-/// nothing.
-struct FastFrame {
-  uint32_t FuncId = 0;
-  uint32_t Pc = 0;
-  uint32_t Block = 0; ///< current block id (traces and diagnostics)
-  uint32_t RegBase = 0;
-  uint32_t LoopBase = 0;
-  Reg RetDst = NoReg;
-
-  int64_t R = 0;
-  bool ActiveI = false;
-  bool HaveCaller = false;
-  int64_t RI = 0, OlI = 0, CallerPre = 0;
-  uint32_t CallSiteI = 0;
   bool ActiveII = false;
   int64_t RoII = 0, OlII = 0, CalleePathII = 0;
   uint32_t CallSiteII = 0, CalleeII = 0;
@@ -338,7 +313,18 @@ RunResult Interpreter::runFast(const Function &Entry,
   // the member so the per-branch null test reads a register, not `this`.
   uint64_t Steps = 0, Base = 0, PCostSum = 0, Blocks = 0, Calls = 0;
   const uint64_t MaxSteps = Config.MaxSteps;
-  TraceSink *const Tr = Trace;
+  // Tr is reassigned while a trace recording is live (the recorder borrows
+  // the sink slot), so it is deliberately non-const here.
+  TraceSink *Tr = Trace;
+
+  // Hot-path tracing tier (interp/TraceTier.h). Enabled only when profiling
+  // is on and no external sink is attached: the recorder needs the sink
+  // slot, and without a runtime there is no hotness signal.
+  TraceRecorder Rec;
+  TraceTierStats TStats;
+  const bool TraceCk =
+      Config.EnableTraces && Prof && !Trace && P.Traces != nullptr;
+  const uint32_t TraceThreshold = Config.TraceThreshold;
 
   // Growth value-initializes new elements, so a pushed frame always sees
   // zeroed registers and disarmed loop slots, exactly like the reference
@@ -374,6 +360,7 @@ RunResult Interpreter::runFast(const Function &Entry,
     Res.Ok = false;
     Res.Error = Msg + " (in '" + P.Funcs[Fr.FuncId].Name + "', block ^" +
                 std::to_string(Fr.Block) + ")";
+    Res.Trace = TStats;
     return Res;
   };
 
@@ -392,10 +379,7 @@ RunResult Interpreter::runFast(const Function &Entry,
   // module's lifetime and the vectors never reallocate during a run, so
   // hoisting the vector<> indirection out of the per-step array and scalar
   // handlers is safe and shortens their load chains by one level.
-  struct GView {
-    int64_t *Data;
-    uint64_t Size;
-  };
+  using GView = GlobalView; // shared with the trace executor
   std::vector<GView> GViewStore(Globals.size());
   for (size_t G = 0; G < Globals.size(); ++G)
     GViewStore[G] = {Globals[G].data(), Globals[G].size()};
@@ -506,7 +490,9 @@ RunResult Interpreter::runFast(const Function &Entry,
   Block = (J)->Target0Blk;                                                     \
   ++Blocks;                                                                    \
   if (Tr)                                                                      \
-    Tr->onBlock(FuncId, Block);
+    Tr->onBlock(FuncId, Block);                                                \
+  if (TraceCk && Pc <= static_cast<uint32_t>((J) - Code))                      \
+    goto TraceCheck;
 #define OLPP_LOADG_BODY(J)                                                     \
   Regs[(J)->Dst] = GlobalsP[(J)->GlobalId].Data[0];                            \
   Base += cost::Instr;
@@ -522,7 +508,9 @@ RunResult Interpreter::runFast(const Function &Entry,
   }                                                                            \
   ++Blocks;                                                                    \
   if (Tr)                                                                      \
-    Tr->onBlock(FuncId, Block);
+    Tr->onBlock(FuncId, Block);                                                \
+  if (TraceCk && Pc <= static_cast<uint32_t>((J) - Code))                      \
+    goto TraceCheck;
 
   // Specialized probe micro-op bodies (see execProbe for the reference
   // semantics each one mirrors, op kind by op kind). All accumulate into a
@@ -541,6 +529,8 @@ RunResult Interpreter::runFast(const Function &Entry,
         Counts->bump(L.Ro + Po.C0);                                            \
         L.Active = false;                                                      \
         PCost += cost::CounterBump;                                            \
+        if (TraceCk)                                                           \
+          Prof->Tier.noteHot(FuncId, L.Ro + Po.C0, TraceThreshold);            \
       }                                                                        \
     }                                                                          \
   }
@@ -700,6 +690,8 @@ RunResult Interpreter::runFast(const Function &Entry,
       Counts->bump(L.Ro + Po.C0);                                              \
       L.Active = false;                                                        \
       PCost += cost::InactiveTest + cost::CounterBump;                         \
+      if (TraceCk)                                                             \
+        Prof->Tier.noteHot(FuncId, L.Ro + Po.C0, TraceThreshold);              \
     }                                                                          \
   }
 #define OLPP_PB_BLADD(OpsP, Idx)                                               \
@@ -917,6 +909,11 @@ L_Ret: {
     C.Calls += Calls;
     Res.Ok = true;
     Res.ReturnValue = Value;
+    Res.Trace = TStats;
+    // A hot-path arm that never reached a backedge must not leak into the
+    // next batch run (mirrors the stale shadow-stack rule).
+    if (Prof)
+      Prof->Tier.PendingRecord = -1;
     return Res;
   }
   if (Dst != NoReg) {
@@ -937,6 +934,8 @@ L_CondBr: {
   ++Blocks;
   if (Tr)
     Tr->onBlock(FuncId, Block);
+  if (TraceCk && Pc <= static_cast<uint32_t>(I - Code))
+    goto TraceCheck;
   OLPP_DISPATCH();
 }
 
@@ -955,6 +954,8 @@ L_CondBr: {
     ++Blocks;                                                                  \
     if (Tr)                                                                    \
       Tr->onBlock(FuncId, Block);                                              \
+    if (TraceCk && Pc <= static_cast<uint32_t>(I - Code))                      \
+      goto TraceCheck;                                                         \
     OLPP_DISPATCH();                                                           \
   }
 
@@ -1727,6 +1728,8 @@ GenericProbe:
         Counts->bump(L.Ro + Po.C0);
         L.Active = false;
         PCost += cost::CounterBump;
+        if (TraceCk)
+          Prof->Tier.noteHot(FuncId, L.Ro + Po.C0, TraceThreshold);
       }
       break;
     }
@@ -1739,6 +1742,8 @@ GenericProbe:
       Counts->bump(L.Ro + Po.C0);
       L.Active = false;
       PCost += cost::InactiveTest + cost::CounterBump;
+      if (TraceCk)
+        Prof->Tier.noteHot(FuncId, L.Ro + Po.C0, TraceThreshold);
       break;
     }
     case ProbeOpKind::IPCall:
@@ -1858,6 +1863,66 @@ GenericProbe:
     OLPP_DISPATCH();
   }
   OLPP_NEXT();
+}
+
+// Cold tail of every taken backward branch when the tracing tier is on
+// (TraceCk). Drives the recorder life cycle and trace dispatch; Pc/Block
+// already hold the branch target here. Reached only via goto, after the
+// branch's own accounting and sink notification ran, so falling back into
+// OLPP_DISPATCH resumes the ordinary loop with no observable difference.
+TraceCheck: {
+  if (Rec.recording()) {
+    if (Rec.aborted()) {
+      // The recording hit a non-traceable event (sink overflow, anchor-frame
+      // exit). Never try this anchor again.
+      Tr = nullptr;
+      Prof->Tier.blacklistAnchor(Rec.anchorFunc(), Rec.anchorPc());
+      Rec.clear();
+      ++TStats.Aborted;
+    } else if (FuncId == Rec.anchorFunc() && Pc == Rec.anchorPc() &&
+               Rec.depth() == 0) {
+      // Back at the anchor with balanced calls: one complete pass recorded.
+      Tr = nullptr;
+      auto T = compileTrace(P, Rec);
+      const uint32_t AF = Rec.anchorFunc(), APc = Rec.anchorPc();
+      Rec.clear();
+      if (T && P.Traces->install(std::move(T))) {
+        ++TStats.Recorded;
+      } else {
+        Prof->Tier.blacklistAnchor(AF, APc);
+        ++TStats.Aborted;
+      }
+      goto TraceLookup; // enter the fresh trace immediately
+    }
+    OLPP_DISPATCH(); // still recording: stay in the ordinary loop
+  }
+TraceLookup:
+  if (const CompiledTrace *CT = P.Traces->lookup(FuncId, Pc)) {
+    Fr->Pc = Pc;
+    Fr->Block = Block;
+    TraceRunIO IO{Frames,   RegStack, LoopStack,
+                  GlobalsP, *Prof,    P,
+                  MaxSteps, Config.MaxCallDepth,
+                  Steps,    Base,     PCostSum,
+                  Blocks,   Calls,    TStats};
+    runCompiledTrace(*CT, IO);
+    goto ReloadFrame; // frame/pc/block restored by the executor
+  }
+  if (Prof->Tier.PendingRecord == static_cast<int64_t>(FuncId)) {
+    if (Prof->Tier.anchorBlacklisted(FuncId, Pc) ||
+        P.Traces->occupied(FuncId, Pc)) {
+      // This anchor failed before, or already holds a (possibly retired)
+      // trace; stop paying for its hotness counting.
+      Prof->Tier.Hot[Prof->Tier.PendingSlot].Disabled = true;
+      Prof->Tier.PendingRecord = -1;
+    } else {
+      Prof->Tier.PendingRecord = -1;
+      Rec.begin(FuncId, Pc, Block, *Fr, Loops, P.Funcs[FuncId].NumLoopSlots,
+                *Prof);
+      Tr = &Rec;
+    }
+  }
+  OLPP_DISPATCH();
 }
 #undef OLPP_PRBR_END
 #undef OLPP_PR_CALL_END

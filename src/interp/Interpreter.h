@@ -27,6 +27,7 @@
 #ifndef OLPP_INTERP_INTERPRETER_H
 #define OLPP_INTERP_INTERPRETER_H
 
+#include "interp/TraceTier.h"
 #include "ir/Module.h"
 
 #include <cstdint>
@@ -57,6 +58,16 @@ struct RunConfig {
   uint64_t MaxSteps = 500'000'000;
   uint32_t MaxCallDepth = 4096;
   EngineKind Engine = EngineKind::Fast;
+
+  /// Hot-path tracing tier (fast engine only; see interp/TraceTier.h).
+  /// Traces never change observable results — counters, DynCounts, traces
+  /// and diagnostics stay bit-exact — so the tier defaults on. It disables
+  /// itself automatically when a TraceSink is attached (the recorder needs
+  /// the sink slot) or when no ProfileRuntime is present (no hotness
+  /// signal without OL path completions).
+  bool EnableTraces = true;
+  /// OL path-id completions of one path before recording triggers.
+  uint32_t TraceThreshold = 32;
 };
 
 /// Dynamic counters of one run.
@@ -88,6 +99,9 @@ struct RunResult {
   std::string Error;
   int64_t ReturnValue = 0;
   DynCounts Counts;
+  /// Tracing-tier activity of this run (all zero for the reference engine
+  /// or when the tier is disabled).
+  TraceTierStats Trace;
 };
 
 /// Executes functions of one module. The module must stay alive for the

@@ -67,6 +67,92 @@ public:
   };
   PendingReturn Pending;
 
+  /// Hot-path tracing tier bookkeeping (see interp/TraceTier.h). The
+  /// hotness table and blacklist persist across runs like the counters do
+  /// (heat accumulated in one batch run should still trigger recording in
+  /// the next); the armed-recording flag is transient — a run that aborts
+  /// between arming and recording must not leak the request into the next
+  /// batch run, exactly like a stale shadow stack.
+  struct TraceTierState {
+    struct HotSlot {
+      uint64_t Key = 0;
+      uint32_t Count = 0;
+      bool Disabled = false;
+    };
+    static constexpr size_t NumSlots = 1024;
+    std::vector<HotSlot> Hot;
+
+    /// Function id armed for recording at its next backedge, or -1.
+    int64_t PendingRecord = -1;
+    /// Hot-table slot that triggered the arm (disabled on give-up).
+    uint32_t PendingSlot = 0;
+    /// Anchors ((F << 32) | Pc) whose recordings aborted or failed to
+    /// compile; never re-attempted.
+    std::vector<uint64_t> Blacklist;
+
+    static uint64_t mixKey(uint32_t F, int64_t Id) {
+      uint64_t X = (static_cast<uint64_t>(F) << 48) ^
+                   static_cast<uint64_t>(Id) * 0x9e3779b97f4a7c15ULL;
+      X ^= X >> 29;
+      return X | 1; // 0 marks an empty slot
+    }
+
+    /// Records one completion of overlapping path \p Id in function \p F;
+    /// arms recording once the count reaches \p Threshold.
+    void noteHot(uint32_t F, int64_t Id, uint32_t Threshold) {
+      if (PendingRecord >= 0)
+        return;
+      if (Hot.empty())
+        Hot.resize(NumSlots);
+      const uint64_t Key = mixKey(F, Id);
+      size_t I = static_cast<size_t>(Key) & (NumSlots - 1);
+      for (size_t Probe = 0; Probe < 8; ++Probe, I = (I + 1) & (NumSlots - 1)) {
+        HotSlot &S = Hot[I];
+        if (S.Key == Key) {
+          if (S.Disabled)
+            return;
+          if (S.Count != UINT32_MAX)
+            ++S.Count;
+          if (S.Count >= Threshold) {
+            PendingRecord = F;
+            PendingSlot = static_cast<uint32_t>(I);
+          }
+          return;
+        }
+        if (S.Key == 0) {
+          S.Key = Key;
+          S.Count = 1;
+          if (S.Count >= Threshold) {
+            PendingRecord = F;
+            PendingSlot = static_cast<uint32_t>(I);
+          }
+          return;
+        }
+      }
+      // Cluster full: drop the sample. Heat attribution is best-effort.
+    }
+
+    bool anchorBlacklisted(uint32_t F, uint32_t Pc) const {
+      const uint64_t K = (static_cast<uint64_t>(F) << 32) | Pc;
+      for (uint64_t B : Blacklist)
+        if (B == K)
+          return true;
+      return false;
+    }
+    void blacklistAnchor(uint32_t F, uint32_t Pc) {
+      if (!anchorBlacklisted(F, Pc))
+        Blacklist.push_back((static_cast<uint64_t>(F) << 32) | Pc);
+    }
+
+    void reset() {
+      Hot.clear();
+      PendingRecord = -1;
+      PendingSlot = 0;
+      Blacklist.clear();
+    }
+  };
+  TraceTierState Tier;
+
   /// Clears transient state between runs but keeps accumulated counters.
   /// A run that aborts (fuel, traps) or ends inside instrumented callees
   /// can leave shadow-stack entries and a pending-return record behind;
@@ -75,6 +161,7 @@ public:
   void resetTransient() {
     ShadowStack.clear();
     Pending = PendingReturn();
+    Tier.PendingRecord = -1;
   }
 
   /// True when no hand-off state is live: the runtime is between runs and
@@ -82,7 +169,7 @@ public:
   /// legitimately leave this false (e.g. fuel exhausted between a call
   /// probe and the frame push); resetTransient restores it.
   bool transientClean() const {
-    return ShadowStack.empty() && !Pending.Valid;
+    return ShadowStack.empty() && !Pending.Valid && Tier.PendingRecord < 0;
   }
 
   /// Clears everything.
@@ -91,6 +178,7 @@ public:
       S.clear();
     TypeICounts.clear();
     TypeIICounts.clear();
+    Tier.reset();
     resetTransient();
   }
 

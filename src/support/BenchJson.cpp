@@ -100,6 +100,11 @@ std::string olpp::renderEngineBenchJson(const EngineBenchReport &R) {
     renderSample(Out, "reference", W.Reference, "      ");
     Out += ",\n";
     Out += "      \"speedup\": " + jsonNum(W.Speedup) + ",\n";
+    Out += "      \"traces_recorded\": " + std::to_string(W.TracesRecorded) +
+           ",\n";
+    Out += "      \"trace_step_percent\": " + jsonNum(W.TraceStepPercent) +
+           ",\n";
+    Out += "      \"deopt_rate\": " + jsonNum(W.DeoptRate) + ",\n";
     Out += "      \"solver\": {\"evaluations_worklist\": " +
            std::to_string(W.SolverEvaluationsWorklist) +
            ", \"evaluations_sweep\": " +
@@ -430,7 +435,10 @@ bool olpp::validateEngineBenchJson(const std::string &Text,
     }
     if (!checkSample(Row, Path, "fast", Error) ||
         !checkSample(Row, Path, "reference", Error) ||
-        !checkNum(Row, Path, "speedup", Error))
+        !checkNum(Row, Path, "speedup", Error) ||
+        !checkNum(Row, Path, "traces_recorded", Error) ||
+        !checkNum(Row, Path, "trace_step_percent", Error) ||
+        !checkNum(Row, Path, "deopt_rate", Error))
       return false;
     auto Solver = Row.Fields.find("solver");
     if (Solver == Row.Fields.end() || Solver->second.K != JValue::Obj) {

@@ -87,6 +87,12 @@ struct WorkloadBench {
   uint64_t SolverEvaluationsWorklist = 0;
   uint64_t SolverEvaluationsSweep = 0;
   bool SolverConverged = true;
+  /// Tracing-tier activity of the fast run (interp/TraceTier.h): traces
+  /// recorded, share of executed steps spent inside traces, and deopts per
+  /// trace entry.
+  uint64_t TracesRecorded = 0;
+  double TraceStepPercent = 0.0;
+  double DeoptRate = 0.0;
 };
 
 struct EngineBenchReport {

@@ -47,8 +47,21 @@ EngineBenchReport sampleEngineReport() {
   W.Speedup = 2.0;
   W.SolverEvaluationsWorklist = 243;
   W.SolverEvaluationsSweep = 321;
+  W.TracesRecorded = 3;
+  W.TraceStepPercent = 41.5;
+  W.DeoptRate = 0.02;
   R.Workloads.push_back(W);
   return R;
+}
+
+TEST(BenchJsonTest, EngineValidatorRejectsMissingTraceStats) {
+  std::string Text = renderEngineBenchJson(sampleEngineReport());
+  size_t At = Text.find("\"traces_recorded\"");
+  ASSERT_NE(At, std::string::npos);
+  Text.replace(At, 17, "\"traces_recorder\"");
+  std::string Error;
+  EXPECT_FALSE(validateEngineBenchJson(Text, Error));
+  EXPECT_NE(Error.find("traces_recorded"), std::string::npos) << Error;
 }
 
 TEST(BenchJsonTest, PipelineRenderRoundTripsThroughItsValidator) {
