@@ -31,6 +31,7 @@
 #include "interp/ShardedProfile.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "opt/Optimizer.h"
 #include "profdata/Merge.h"
 #include "profdata/Report.h"
 #include "profile/InfeasiblePaths.h"
@@ -84,6 +85,17 @@ int usage() {
       "       --feasibility   feed statically proven-infeasible pairs to the\n"
       "                       solver as hard zero constraints (bounds only\n"
       "                       tighten, never widen)\n"
+      "  olpp opt <file.mc> --profile FILE [--emit-ir] [-o FILE] [--json]\n"
+      "       profile-guided optimization: rebinds the .olpp artifact\n"
+      "       (fingerprint-checked), inlines the hottest Type I/II call\n"
+      "       paths, forms superblocks along hot backedge-crossing traces,\n"
+      "       then re-verifies, re-instruments and re-runs the optimized\n"
+      "       module against the baseline\n"
+      "       --profile FILE  the merged .olpp artifact driving the\n"
+      "                       transforms (required)\n"
+      "       --emit-ir       print the optimized IR to stdout\n"
+      "       -o FILE         write the optimized IR to FILE\n"
+      "       --json          machine-readable decision/stat report\n"
       "  olpp analyze <file.mc> [--json]\n"
       "       static analysis report: per-function value ranges, bottom-up\n"
       "       call summaries (purity, globals touched, return range) and\n"
@@ -126,6 +138,10 @@ int usage() {
       "       --emit-profdata DIR  write one .olpp artifact per counter\n"
       "                      shard plus the merged artifact, and cross-check\n"
       "                      artifact-level merge against the in-memory one\n"
+      "\n"
+      "run and bench accept --profile FILE to pre-heat the tracing tier\n"
+      "from a matching .olpp artifact (hot paths recorded without warmup;\n"
+      "the run is instrumented under the artifact's recorded mode).\n"
       "\n"
       "run/profile/estimate/bench accept --engine fast|reference to select\n"
       "the execution engine (default: fast). The fast engine's tracing tier\n"
@@ -182,7 +198,8 @@ struct Parsed {
   std::string Validate;
   bool Json = false;          ///< machine-readable output (composes with -o)
   uint64_t Weight = 1;        ///< profdata merge --weight
-  std::string FromProfile;    ///< estimate --profile FILE
+  std::string FromProfile;    ///< estimate/opt/run/bench --profile FILE
+  bool EmitIr = false;        ///< opt --emit-ir
   bool Feasibility = false;   ///< estimate --feasibility
   std::string ModuleFile;     ///< profdata show --module FILE
   bool NoBounds = false;      ///< profdata show --no-bounds
@@ -245,6 +262,8 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.Weight = std::strtoull(Argv[++I], nullptr, 10);
     } else if (A == "--profile" && I + 1 < Argc) {
       P.FromProfile = Argv[++I];
+    } else if (A == "--emit-ir") {
+      P.EmitIr = true;
     } else if (A == "--feasibility") {
       P.Feasibility = true;
     } else if (A == "--module" && I + 1 < Argc) {
@@ -297,7 +316,64 @@ void applyTraceOpts(RunConfig &RC, const Parsed &P) {
     RC.TraceThreshold = P.TraceThreshold;
 }
 
+/// `olpp run <file> --profile art.olpp`: the artifact-driven warmup skip.
+/// The artifact is rebound (fingerprint-checked), the module runs
+/// instrumented under its recorded mode, and the tracing tier's hotness
+/// table is pre-heated from the persisted counters so hot paths record on
+/// their first live completion instead of after a warmup's worth of them.
+int cmdRunSeeded(const Parsed &P) {
+  ProfileArtifact A;
+  std::vector<Diagnostic> Diags;
+  if (!readProfileArtifactFile(P.FromProfile, A, Diags)) {
+    std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+    return 1;
+  }
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+  ArtifactBinding B;
+  if (!bindArtifactToModule(*M, A, B, Diags)) {
+    std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+    return 1;
+  }
+  const Function *Main = B.InstrModule->findFunction("main");
+  if (!Main) {
+    std::fprintf(stderr, "error: no 'main' function\n");
+    return 1;
+  }
+  ProfileRuntime Prof(B.InstrModule->numFunctions());
+  for (uint32_t F = 0; F < B.InstrModule->numFunctions(); ++F)
+    if (B.MI.Funcs[F].PG)
+      Prof.configurePathStore(F, B.MI.Funcs[F].PG->numPaths());
+  std::vector<HotPathSeed> Seeds =
+      collectHotLoopPaths(A, B.MI, /*MinCount=*/1, /*MaxSeeds=*/64);
+  seedTraceTier(Prof, Seeds);
+
+  Interpreter I(*B.InstrModule, &Prof);
+  RunConfig RC;
+  RC.Engine = P.Engine;
+  applyTraceOpts(RC, P);
+  RunResult R = I.run(*Main, fitArgs(P, *B.InstrModule), RC);
+  if (!R.Ok) {
+    std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("result: %lld\n", static_cast<long long>(R.ReturnValue));
+  std::printf("executed %llu instructions, %llu blocks, %llu calls\n",
+              static_cast<unsigned long long>(R.Counts.Steps),
+              static_cast<unsigned long long>(R.Counts.Blocks),
+              static_cast<unsigned long long>(R.Counts.Calls));
+  std::printf("seeded %zu hot path(s) from %s: %llu trace(s) recorded, "
+              "%llu trace enter(s)\n",
+              Seeds.size(), P.FromProfile.c_str(),
+              static_cast<unsigned long long>(R.Trace.Recorded),
+              static_cast<unsigned long long>(R.Trace.Enters));
+  return 0;
+}
+
 int cmdRun(const Parsed &P) {
+  if (!P.FromProfile.empty())
+    return cmdRunSeeded(P);
   auto M = compileOrFail(P.File);
   if (!M)
     return 1;
@@ -588,6 +664,174 @@ int cmdEstimate(const Parsed &P) {
                 static_cast<unsigned long long>(FeasTotal.FeasibilityQueries),
                 FeasTotal.FeasibilityQueries == 1 ? "y" : "ies");
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// olpp opt: artifact-driven profile-guided optimization
+//===----------------------------------------------------------------------===//
+
+/// `olpp opt <file> --profile art.olpp [--emit-ir|-o FILE] [--json]`:
+/// closes the profile->optimize loop. The artifact is rebound to a pristine
+/// compile (fingerprint-checked — a stale artifact is a clean diagnostic,
+/// never a partial bind), the hottest interprocedural call paths are
+/// inlined and hot backedge-crossing traces become superblocks, and the
+/// result is proven out end to end: the verifier accepts it, it
+/// re-instruments with a clean instrumentation audit (the optimized module
+/// stays profile-able for the next loop iteration), lint finds no errors,
+/// and a differential re-run against the baseline confirms the result and
+/// reports the dynamic instruction/call savings.
+int cmdOpt(const Parsed &P) {
+  if (P.FromProfile.empty()) {
+    std::fprintf(stderr, "error: olpp opt requires --profile FILE\n");
+    return 2;
+  }
+  ProfileArtifact A;
+  std::vector<Diagnostic> Diags;
+  if (!readProfileArtifactFile(P.FromProfile, A, Diags)) {
+    std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+    return 1;
+  }
+  auto M = compileOrFail(P.File);
+  if (!M)
+    return 1;
+
+  OptOptions OO;
+  OptResult R;
+  if (!optimizeModule(*M, A, OO, R, Diags)) {
+    std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+    return 1;
+  }
+
+  // The optimized module must still take instrumentation cleanly: probes,
+  // path graphs and the instrumentation audit all have to work on it, or
+  // the profile->optimize->profile loop is broken.
+  auto InstrCopy = R.OptModule->clone();
+  ModuleInstrumentation MI = instrumentModule(*InstrCopy, A.Meta.Instr);
+  if (!MI.ok()) {
+    std::fprintf(stderr, "error: optimized module failed instrumentation: %s\n",
+                 MI.Errors[0].c_str());
+    return 1;
+  }
+  std::vector<Diagnostic> InstrDiags = checkInstrumentation(*InstrCopy, MI);
+  if (!InstrDiags.empty()) {
+    std::fputs(renderDiagnosticsText(InstrDiags).c_str(), stderr);
+    std::fprintf(stderr, "error: instrumentation audit failed on the "
+                         "optimized module\n");
+    return 1;
+  }
+  std::vector<Diagnostic> LintDiags = lintModule(*R.OptModule);
+  const bool LintClean = !anySeverityAtLeast(LintDiags, Severity::Error);
+  if (!LintClean)
+    std::fputs(renderDiagnosticsText(LintDiags).c_str(), stderr);
+
+  // Differential re-run: baseline and optimized must agree on the result,
+  // and the optimized module must behave identically under both engines.
+  const std::vector<int64_t> Args = fitArgs(P, *M);
+  RunConfig RC;
+  auto RunOn = [&](const Module &Mod, EngineKind E, RunResult &Out) {
+    const Function *Main = Mod.findFunction("main");
+    if (!Main) {
+      Out.Ok = false;
+      Out.Error = "no 'main' function";
+      return false;
+    }
+    Interpreter I(Mod);
+    RC.Engine = E;
+    std::vector<int64_t> A2 = Args;
+    A2.resize(Main->NumParams, 0);
+    Out = I.run(*Main, A2, RC);
+    return Out.Ok;
+  };
+  RunResult Base, OptFast, OptRef;
+  if (!RunOn(*M, EngineKind::Fast, Base) ||
+      !RunOn(*R.OptModule, EngineKind::Fast, OptFast) ||
+      !RunOn(*R.OptModule, EngineKind::Reference, OptRef)) {
+    std::fprintf(stderr, "runtime error: %s\n",
+                 (!Base.Ok ? Base : !OptFast.Ok ? OptFast : OptRef)
+                     .Error.c_str());
+    return 1;
+  }
+  const bool Agree = Base.ReturnValue == OptFast.ReturnValue &&
+                     OptFast.ReturnValue == OptRef.ReturnValue &&
+                     OptFast.Counts == OptRef.Counts;
+
+  if (!P.Out.empty()) {
+    std::ofstream OS(P.Out);
+    if (!OS || !(OS << printModule(*R.OptModule))) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", P.Out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote optimized IR to %s\n", P.Out.c_str());
+  }
+  if (P.EmitIr)
+    std::fputs(printModule(*R.OptModule).c_str(), stdout);
+
+  if (P.Json) {
+    std::ostringstream J;
+    J << "{\n  \"schema\": \"olpp.opt/v1\",\n";
+    J << "  \"artifact\": \"" << jsonEscape(P.FromProfile) << "\",\n";
+    J << "  \"runs\": " << A.Meta.Runs << ",\n";
+    J << "  \"inlinedSites\": " << R.Stats.InlinedSites << ",\n";
+    J << "  \"superblocks\": " << R.Stats.Superblocks << ",\n";
+    J << "  \"duplicatedBlocks\": " << R.Stats.DuplicatedBlocks << ",\n";
+    J << "  \"mergedBlocks\": " << R.Stats.MergedBlocks << ",\n";
+    J << "  \"removedBlocks\": " << R.Stats.RemovedBlocks << ",\n";
+    J << "  \"instrCheckClean\": true,\n";
+    J << "  \"lintClean\": " << (LintClean ? "true" : "false") << ",\n";
+    J << "  \"agree\": " << (Agree ? "true" : "false") << ",\n";
+    J << "  \"baselineSteps\": " << Base.Counts.Steps << ",\n";
+    J << "  \"optimizedSteps\": " << OptFast.Counts.Steps << ",\n";
+    J << "  \"baselineCalls\": " << Base.Counts.Calls << ",\n";
+    J << "  \"optimizedCalls\": " << OptFast.Counts.Calls << "\n}\n";
+    std::fputs(J.str().c_str(), stdout);
+    return Agree && LintClean ? 0 : 1;
+  }
+
+  std::printf("opt: %s under %s (%llu run(s), %s)\n", P.File.c_str(),
+              P.FromProfile.c_str(),
+              static_cast<unsigned long long>(A.Meta.Runs),
+              instrumentModeString(A.Meta.Instr).c_str());
+  TableWriter T({"Decision", "Where", "Heat", "Applied", "Note"});
+  for (const InlineDecision &D : R.Inlines)
+    T.addRow({"inline",
+              M->function(D.Caller)->Name + " ^" + std::to_string(D.Block) +
+                  " -> " + M->function(D.Callee)->Name,
+              std::to_string(D.Heat), D.Applied ? "yes" : "no",
+              D.SkipReason});
+  for (const SuperblockDecision &D : R.Superblocks) {
+    std::string Blocks;
+    for (uint32_t B : D.Trace)
+      Blocks += "^" + std::to_string(B) + " ";
+    T.addRow({"superblock", M->function(D.Func)->Name + " " + Blocks,
+              std::to_string(D.Count), D.Applied ? "yes" : "no",
+              D.SkipReason});
+  }
+  std::fputs(T.renderText().c_str(), stdout);
+  std::printf("\ninlined %u call site(s), %u superblock(s) "
+              "(%u duplicated, %u merged, %u removed block(s))\n",
+              R.Stats.InlinedSites, R.Stats.Superblocks,
+              R.Stats.DuplicatedBlocks, R.Stats.MergedBlocks,
+              R.Stats.RemovedBlocks);
+  std::printf("verify: clean\ninstr-check: clean\nlint: %s\n",
+              LintClean ? "clean" : "errors");
+  std::printf("result: baseline %lld, optimized %lld (%s)\n",
+              static_cast<long long>(Base.ReturnValue),
+              static_cast<long long>(OptFast.ReturnValue),
+              Agree ? "agree" : "DISAGREE");
+  const double Saved =
+      Base.Counts.Steps
+          ? 100.0 *
+                (static_cast<double>(Base.Counts.Steps) -
+                 static_cast<double>(OptFast.Counts.Steps)) /
+                static_cast<double>(Base.Counts.Steps)
+          : 0.0;
+  std::printf("steps: baseline %llu -> optimized %llu (%.1f%% saved)\n",
+              static_cast<unsigned long long>(Base.Counts.Steps),
+              static_cast<unsigned long long>(OptFast.Counts.Steps), Saved);
+  std::printf("calls: baseline %llu -> optimized %llu\n",
+              static_cast<unsigned long long>(Base.Counts.Calls),
+              static_cast<unsigned long long>(OptFast.Counts.Calls));
+  return Agree && LintClean ? 0 : 1;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1006,6 +1250,25 @@ bool benchOneWorkload(BenchItem &Item, const Parsed &P) {
   configureStores(ProfRef, *Item.M, Item.MI);
   configureStores(ProfFast, *Item.M, Item.MI);
 
+  // --profile: pre-heat the fast engine's tracing tier from a persisted
+  // artifact so hot paths record without warmup. The artifact names one
+  // module; workloads it does not match simply run unseeded (the bind
+  // failure is expected, not an error). Only the fast runtime is seeded:
+  // the reference engine has no tracing tier, and traces never change
+  // counters, so the cross-checks below still hold.
+  if (!P.FromProfile.empty()) {
+    ProfileArtifact Art;
+    std::vector<Diagnostic> ArtDiags;
+    CompileResult Pristine = compileMiniC(Item.W->Source);
+    ArtifactBinding Bind;
+    if (readProfileArtifactFile(P.FromProfile, Art, ArtDiags) &&
+        Pristine.ok() &&
+        bindArtifactToModule(*Pristine.M, Art, Bind, ArtDiags))
+      seedTraceTier(ProfFast, collectHotLoopPaths(Art, Bind.MI,
+                                                  /*MinCount=*/1,
+                                                  /*MaxSeeds=*/64));
+  }
+
   RunResult RRef, RFast;
   if (!TimedRun(EngineKind::Reference, ProfRef, Item.Row.Reference, RRef) ||
       !TimedRun(EngineKind::Fast, ProfFast, Item.Row.Fast, RFast))
@@ -1249,7 +1512,7 @@ int cmdBench(const Parsed &P) {
     if (!readSource(P.Validate, Text))
       return 1;
     std::string Error;
-    // Sniffs the schema tag: accepts any of the four report schemas.
+    // Sniffs the schema tag: accepts any of the five report schemas.
     if (!validateBenchJson(Text, Error)) {
       std::fprintf(stderr, "%s: invalid: %s\n", P.Validate.c_str(),
                    Error.c_str());
@@ -1257,7 +1520,7 @@ int cmdBench(const Parsed &P) {
     }
     const char *Schema = EngineBenchSchema;
     for (const char *Tag : {PipelineBenchSchema, ProfdataBenchSchema,
-                            AnalyzeBenchSchema})
+                            AnalyzeBenchSchema, OptBenchSchema})
       if (Text.find(Tag) != std::string::npos)
         Schema = Tag;
     std::printf("%s: valid %s report\n", P.Validate.c_str(), Schema);
@@ -1415,6 +1678,8 @@ int main(int Argc, char **Argv) {
     return cmdProfile(P);
   if (Cmd == "estimate")
     return cmdEstimate(P);
+  if (Cmd == "opt")
+    return cmdOpt(P);
   if (Cmd == "analyze")
     return cmdAnalyze(P);
   if (Cmd == "lint")

@@ -15,8 +15,10 @@
 #include "fuzz/Shrinker.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
+#include "opt/Optimizer.h"
 #include "profdata/ProfData.h"
 #include "profile/InfeasiblePaths.h"
+#include "profile/InstrCheck.h"
 #include "profile/ProfileDecode.h"
 #include "support/Rng.h"
 #include "support/TaskPool.h"
@@ -50,6 +52,8 @@ const char *olpp::fuzzOracleName(FuzzOracle O) {
     return "feasibility";
   case FuzzOracle::Trace:
     return "trace";
+  case FuzzOracle::Opt:
+    return "opt";
   }
   return "?";
 }
@@ -886,6 +890,86 @@ DifferentialRunner::checkProgram(const std::string &Source,
                       std::to_string(MF.Definite) + " / " +
                       std::to_string(MF.Real) + " / " +
                       std::to_string(MF.Potential));
+  }
+
+  // Oracle 10: profile-guided optimization. The artifact the case just
+  // recorded drives the optimizer over the pristine module; whatever it
+  // inlines or tail-duplicates, the result must verify, take
+  // instrumentation again with a clean audit, and be indistinguishable at
+  // runtime: the base program's return value on both engines, and dynamic
+  // counts bit-identical between fast and reference.
+  {
+    RunMeta Meta;
+    Meta.Workload = "fuzz";
+    Meta.Instr = Setup.InstrOpts;
+    Meta.Runs = 1;
+    Meta.DynInstrCost = RFast.InstrCounts.Steps;
+    Meta.TimestampUnix = 0;
+    ProfileArtifact Art = ProfileArtifact::fromRuntime(
+        *RFast.BaseModule, RFast.MI, *RFast.Prof, Meta);
+
+    OptOptions OO;
+    OO.MinCount = 1; // single-run fuzz profiles: every counted site is hot
+    if (Opts.Fault == FaultKind::MisinlineCallee)
+      OO.Fault = OptFault::MisinlineCallee;
+    OptResult OR;
+    std::vector<Diagnostic> OptDiags;
+    if (!optimizeModule(*RFast.BaseModule, Art, OO, OR, OptDiags))
+      return Fail(FuzzOracle::Opt,
+                  "optimizer rejected its own output: " +
+                      (OptDiags.empty() ? std::string("(no diagnostic)")
+                                        : OptDiags.back().str()));
+
+    // Re-instrumentability: the profile->optimize->profile loop must close.
+    {
+      auto InstrCopy = OR.OptModule->clone();
+      ModuleInstrumentation OMI =
+          instrumentModule(*InstrCopy, Setup.InstrOpts);
+      if (!OMI.ok())
+        return Fail(FuzzOracle::Opt,
+                    "optimized module failed re-instrumentation: " +
+                        OMI.Errors[0]);
+      std::vector<Diagnostic> Audit = checkInstrumentation(*InstrCopy, OMI);
+      if (!Audit.empty())
+        return Fail(FuzzOracle::Opt,
+                    "instrumentation audit failed on the optimized module: " +
+                        Audit[0].str());
+    }
+
+    auto RunOpt = [&](EngineKind E, RunResult &Out) {
+      const Function *Entry = OR.OptModule->findFunction("main");
+      Interpreter I(*OR.OptModule);
+      RunConfig RC;
+      RC.MaxSteps = Opts.MaxSteps * 8;
+      RC.Engine = E;
+      Out = I.run(*Entry, Setup.Args, RC);
+    };
+    RunResult OFast, ORef;
+    RunOpt(EngineKind::Fast, OFast);
+    RunOpt(EngineKind::Reference, ORef);
+    if (!OFast.Ok || !ORef.Ok)
+      return Fail(FuzzOracle::Opt,
+                  "optimized run failed (fast: " +
+                      (OFast.Ok ? "ok" : OFast.Error) + "; reference: " +
+                      (ORef.Ok ? "ok" : ORef.Error) + ")");
+    if (OFast.ReturnValue != RFast.ReturnValue)
+      return Fail(FuzzOracle::Opt,
+                  "optimized module changed the result: base " +
+                      std::to_string(RFast.ReturnValue) + " vs optimized " +
+                      std::to_string(OFast.ReturnValue) + " (" +
+                      std::to_string(OR.Stats.InlinedSites) +
+                      " site(s) inlined, " +
+                      std::to_string(OR.Stats.Superblocks) +
+                      " superblock(s))");
+    if (ORef.ReturnValue != OFast.ReturnValue)
+      return Fail(FuzzOracle::Opt,
+                  "engines disagree on the optimized module: fast " +
+                      std::to_string(OFast.ReturnValue) + " vs reference " +
+                      std::to_string(ORef.ReturnValue));
+    if (!(OFast.Counts == ORef.Counts))
+      return Fail(FuzzOracle::Opt,
+                  "dynamic counts diverge between engines on the optimized "
+                  "module");
   }
 
   return CaseStatus::Clean;

@@ -39,7 +39,12 @@
 ///                  recording threshold of 1 vs the reference engine: return
 ///                  value, dynamic counts and every raw counter must stay
 ///                  bit-exact, and an abort landing mid-trace (half budget)
-///                  must fail with the identical error and counters.
+///                  must fail with the identical error and counters,
+///   opt            the profile-guided optimizer (opt/Optimizer.h) fed the
+///                  artifact the case just recorded: the optimized module
+///                  must verify, re-instrument with a clean audit, and agree
+///                  with the base program's return value on both engines
+///                  with bit-identical dynamic counts between them.
 ///
 /// Failures are reported as structured Diagnostics (pass "fuzz-<oracle>")
 /// with a replay hint, and optionally minimized by the structural shrinker
@@ -77,6 +82,10 @@ enum class FuzzOracle : uint8_t {
                 ///< the solver's bounds
   Trace,        ///< trace-enabled fast engine diverged from the reference
                 ///< (terminating or aborted mid-trace)
+  Opt,          ///< profile-guided optimizer broke the program: the
+                ///< optimized module failed verification, re-instrumentation
+                ///< or the instrumentation audit, or disagreed with the
+                ///< reference engine on return value or dynamic counts
 };
 
 const char *fuzzOracleName(FuzzOracle O);
@@ -91,6 +100,7 @@ enum class FaultKind : uint8_t {
   SkewArtifactRoundtrip, ///< bump one decoded counter between read and compare
   ArtifactCrcOff,  ///< read mutated artifacts with CRC verification disabled
   MisclassifyFeasible, ///< claim one executed path id is statically infeasible
+  MisinlineCallee, ///< drop the return-value move of every inlined callee
 };
 
 struct FuzzOptions {

@@ -331,7 +331,7 @@ std::unique_ptr<ExecPlan> olpp::buildExecPlan(const Module &M) {
   Plan->Funcs.resize(M.numFunctions());
   // Created eagerly so concurrent interpreters sharing the plan never race
   // on the pointer itself; the cache has its own internal synchronization.
-  Plan->Traces = std::make_unique<PlanTraceCache>(M.numFunctions());
+  Plan->Traces = std::make_unique<PlanTraceCacheSet>(M.numFunctions());
 
   for (uint32_t FId = 0; FId < M.numFunctions(); ++FId) {
     const Function &F = *M.function(FId);

@@ -218,13 +218,16 @@ struct FuncPlan {
   uint32_t blockOfPc(uint32_t Pc) const;
 };
 
-class PlanTraceCache;
+class PlanTraceCacheSet;
 
 /// The whole module, pre-decoded. Self-contained: safe to share (read-only)
 /// across threads and across identical-content modules. The decoded code is
 /// immutable; Traces (the hot-path tracing tier's compiled traces, see
 /// interp/TraceTier.h) is the one concurrently-growing part, and its own
-/// synchronization makes sharing the plan across interpreters safe.
+/// synchronization makes sharing the plan across interpreters safe. Traces
+/// are segregated per trace-settings inside the set, so runs with different
+/// thresholds (or tracing disabled) never observe each other's traces even
+/// though they share the plan.
 struct ExecPlan {
   ExecPlan();
   ~ExecPlan();
@@ -232,7 +235,7 @@ struct ExecPlan {
   ExecPlan &operator=(ExecPlan &&) = default;
 
   std::vector<FuncPlan> Funcs;
-  std::unique_ptr<PlanTraceCache> Traces;
+  std::unique_ptr<PlanTraceCacheSet> Traces;
 };
 
 /// Decodes \p M. The module must be fully built (verified, instrumented if

@@ -322,9 +322,15 @@ RunResult Interpreter::runFast(const Function &Entry,
   // slot, and without a runtime there is no hotness signal.
   TraceRecorder Rec;
   TraceTierStats TStats;
-  const bool TraceCk =
-      Config.EnableTraces && Prof && !Trace && P.Traces != nullptr;
   const uint32_t TraceThreshold = Config.TraceThreshold;
+  // The per-threshold cache is resolved once per run: traces recorded under
+  // a different threshold (or with tracing disabled) live in sibling caches
+  // of the shared plan and stay invisible to this run.
+  PlanTraceCache *const TC =
+      (Config.EnableTraces && Prof && !Trace && P.Traces != nullptr)
+          ? P.Traces->forThreshold(TraceThreshold)
+          : nullptr;
+  const bool TraceCk = TC != nullptr;
 
   // Growth value-initializes new elements, so a pushed frame always sees
   // zeroed registers and disarmed loop slots, exactly like the reference
@@ -1886,7 +1892,7 @@ TraceCheck: {
       auto T = compileTrace(P, Rec);
       const uint32_t AF = Rec.anchorFunc(), APc = Rec.anchorPc();
       Rec.clear();
-      if (T && P.Traces->install(std::move(T))) {
+      if (T && TC->install(std::move(T))) {
         ++TStats.Recorded;
       } else {
         Prof->Tier.blacklistAnchor(AF, APc);
@@ -1897,7 +1903,7 @@ TraceCheck: {
     OLPP_DISPATCH(); // still recording: stay in the ordinary loop
   }
 TraceLookup:
-  if (const CompiledTrace *CT = P.Traces->lookup(FuncId, Pc)) {
+  if (const CompiledTrace *CT = TC->lookup(FuncId, Pc)) {
     Fr->Pc = Pc;
     Fr->Block = Block;
     TraceRunIO IO{Frames,   RegStack, LoopStack,
@@ -1910,7 +1916,7 @@ TraceLookup:
   }
   if (Prof->Tier.PendingRecord == static_cast<int64_t>(FuncId)) {
     if (Prof->Tier.anchorBlacklisted(FuncId, Pc) ||
-        P.Traces->occupied(FuncId, Pc)) {
+        TC->occupied(FuncId, Pc)) {
       // This anchor failed before, or already holds a (possibly retired)
       // trace; stop paying for its hotness counting.
       Prof->Tier.Hot[Prof->Tier.PendingSlot].Disabled = true;

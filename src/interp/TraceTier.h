@@ -41,9 +41,11 @@
 ///     the untraced engine; tests/interp/TraceTierTest.cpp and the fuzz
 ///     trace oracle enforce this at every possible exit position.
 ///
-/// Compiled traces are cached on the ExecPlan (PlanTraceCache below), so
-/// every interpreter of a content-identical module shares them, exactly
-/// like the plan itself.
+/// Compiled traces are cached on the ExecPlan, segregated by the trace
+/// settings that recorded them (PlanTraceCacheSet below), so every
+/// interpreter of a content-identical module running under the same
+/// settings shares them, exactly like the plan itself — while runs with a
+/// different threshold (or --no-traces) never see them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -459,6 +461,44 @@ private:
   std::mutex InstallMu;
   std::vector<std::unique_ptr<const AnchorList>> Retired;
   std::vector<std::unique_ptr<const CompiledTrace>> Owned;
+};
+
+/// The trace caches of one ExecPlan, keyed by the trace settings that
+/// recorded them (the recording threshold). Plans are shared process-wide
+/// by content fingerprint (interp/PlanCache.h); a single cache per plan
+/// would let traces recorded under one --trace-threshold leak into later
+/// runs of an identical-content module with a different threshold or with
+/// tracing disabled, silently changing the execution tier. Each distinct
+/// threshold therefore gets its own PlanTraceCache, created on first use;
+/// a run with tracing off never asks for one and so never sees a trace.
+///
+/// Plans are shared as `const`, hence the interior mutability; the
+/// returned cache is itself thread-safe, and the set's own lock is taken
+/// once per run, not per dispatch.
+class PlanTraceCacheSet {
+public:
+  explicit PlanTraceCacheSet(size_t NumFuncs) : NumFuncs(NumFuncs) {}
+
+  PlanTraceCacheSet(const PlanTraceCacheSet &) = delete;
+  PlanTraceCacheSet &operator=(const PlanTraceCacheSet &) = delete;
+
+  /// The cache holding the traces recorded at \p Threshold, created on
+  /// first use. Never null.
+  PlanTraceCache *forThreshold(uint32_t Threshold) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &E : Caches)
+      if (E.first == Threshold)
+        return E.second.get();
+    Caches.emplace_back(Threshold,
+                        std::make_unique<PlanTraceCache>(NumFuncs));
+    return Caches.back().second.get();
+  }
+
+private:
+  size_t NumFuncs;
+  mutable std::mutex Mu;
+  mutable std::vector<std::pair<uint32_t, std::unique_ptr<PlanTraceCache>>>
+      Caches;
 };
 
 //===----------------------------------------------------------------------===//

@@ -72,6 +72,14 @@ public:
   /// blocks. The clone keeps the same Id.
   std::unique_ptr<Function> clone() const;
 
+  /// Erases every block not reachable from the entry and renumbers the
+  /// rest. Safe whenever the function verifies: branch targets of reachable
+  /// blocks point at reachable blocks by definition, so no live reference
+  /// can dangle. Used by transforms that bypass blocks (e.g. straight-line
+  /// block merging in the optimizer) and leave the bypassed originals
+  /// unreachable. Returns the number of blocks removed.
+  size_t removeUnreachableBlocks();
+
 private:
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
 };

@@ -33,6 +33,39 @@ std::unique_ptr<Function> Function::clone() const {
   return Copy;
 }
 
+size_t Function::removeUnreachableBlocks() {
+  if (Blocks.empty())
+    return 0;
+  std::vector<bool> Reachable(Blocks.size(), false);
+  // Ids may be stale while a transform is in flight; walk by position.
+  std::unordered_map<const BasicBlock *, size_t> Pos;
+  for (size_t I = 0; I < Blocks.size(); ++I)
+    Pos[Blocks[I].get()] = I;
+  std::vector<const BasicBlock *> Work{entry()};
+  Reachable[0] = true;
+  while (!Work.empty()) {
+    const BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : BB->successors()) {
+      size_t I = Pos.at(S);
+      if (!Reachable[I]) {
+        Reachable[I] = true;
+        Work.push_back(S);
+      }
+    }
+  }
+  size_t Removed = 0, Out = 0;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (Reachable[I])
+      Blocks[Out++] = std::move(Blocks[I]);
+    else
+      ++Removed;
+  }
+  Blocks.resize(Out);
+  renumberBlocks();
+  return Removed;
+}
+
 std::unique_ptr<Module> Module::clone() const {
   auto Copy = std::make_unique<Module>();
   for (const auto &G : Globals)

@@ -1,0 +1,261 @@
+//===--- Inliner.cpp - Demand-driven call-site inlining --------------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Inlines the unique call of one caller block. The IR's "a call must end
+// its block" invariant does the heavy lifting: the block id alone names the
+// call site, and the continuation is exactly the block's terminator.
+//
+// The transform only appends blocks and edits the call block in place, so
+// every pre-existing block id stays valid — later inline or superblock
+// decisions expressed in pristine ids still land on the right blocks.
+// Blocks emptied by seam merging are left behind as unreachable `ret`
+// husks (still verifiable) and swept by removeUnreachableBlocks at the end
+// of the pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+#include "opt/OptUtil.h"
+
+#include "analysis/Cfg.h"
+#include "ir/Module.h"
+
+#include <unordered_map>
+
+using namespace olpp;
+using namespace olpp::opt_detail;
+
+namespace {
+
+/// Hard cap on a caller frame after inlining; a frame this wide signals a
+/// pathological inlining chain, not a profitable one.
+constexpr uint32_t MaxCallerRegs = 4096;
+
+/// Registers of \p F that can be read before any write on some path from
+/// entry — i.e. live-in at entry. The interpreter zero-initialises a fresh
+/// frame, so an inlined body re-entered from a loop must have exactly these
+/// registers re-zeroed at the seam to keep observable behaviour identical.
+std::vector<Reg> liveInAtEntry(const Function &F) {
+  const size_t N = F.numBlocks();
+  // Per-block use (read before any local write) / def (written) sets, as
+  // bitsets over the function's registers.
+  const size_t R = F.NumRegs;
+  std::vector<std::vector<bool>> Use(N, std::vector<bool>(R, false));
+  std::vector<std::vector<bool>> Def(N, std::vector<bool>(R, false));
+  for (size_t B = 0; B < N; ++B) {
+    for (const Instruction &I : F.block(static_cast<uint32_t>(B))->Instrs) {
+      auto Read = [&](Reg Src) {
+        if (Src != NoReg && Src < R && !Def[B][Src])
+          Use[B][Src] = true;
+      };
+      if (I.Op != Opcode::Const)
+        Read(I.Src0);
+      Read(I.Src1);
+      for (Reg A : I.Args)
+        Read(A);
+      if (I.Dst != NoReg && I.Dst < R)
+        Def[B][I.Dst] = true;
+    }
+  }
+  // Backwards liveness to a fixed point.
+  std::vector<std::vector<bool>> LiveIn(N, std::vector<bool>(R, false));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = N; B-- > 0;) {
+      std::vector<bool> Out(R, false);
+      for (const BasicBlock *S : F.block(static_cast<uint32_t>(B))->successors())
+        for (size_t I = 0; I < R; ++I)
+          if (LiveIn[S->Id][I])
+            Out[I] = true;
+      for (size_t I = 0; I < R; ++I) {
+        bool In = Use[B][I] || (Out[I] && !Def[B][I]);
+        if (In && !LiveIn[B][I]) {
+          LiveIn[B][I] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+  std::vector<Reg> Out;
+  for (size_t I = 0; I < R; ++I)
+    if (LiveIn[0][I])
+      Out.push_back(static_cast<Reg>(I));
+  return Out;
+}
+
+Instruction makeMove(Reg Dst, Reg Src) {
+  Instruction I;
+  I.Op = Opcode::Move;
+  I.Dst = Dst;
+  I.Src0 = Src;
+  return I;
+}
+
+Instruction makeConstZero(Reg Dst) {
+  Instruction I;
+  I.Op = Opcode::Const;
+  I.Dst = Dst;
+  I.Imm = 0;
+  return I;
+}
+
+} // namespace
+
+bool olpp::inlineCallSite(Module &M, Function &Caller, uint32_t BlockId,
+                          uint32_t MaxCalleeInstrs, OptFault Fault,
+                          std::string &SkipReason) {
+  if (BlockId >= Caller.numBlocks()) {
+    SkipReason = "call block id out of range";
+    return false;
+  }
+  BasicBlock *B = Caller.block(BlockId);
+  size_t CallIdx = SIZE_MAX;
+  for (size_t I = 0; I < B->Instrs.size(); ++I) {
+    Opcode Op = B->Instrs[I].Op;
+    if (Op == Opcode::CallInd) {
+      SkipReason = "indirect call";
+      return false;
+    }
+    if (Op == Opcode::Call) {
+      CallIdx = I;
+      break;
+    }
+  }
+  if (CallIdx == SIZE_MAX) {
+    SkipReason = "block no longer holds a call";
+    return false;
+  }
+  const Instruction Call = B->Instrs[CallIdx];
+  Function *G = M.function(Call.CalleeId);
+  if (G == &Caller) {
+    SkipReason = "recursive call site";
+    return false;
+  }
+
+  // The frontend pads every function with an unreachable catch-all `ret`
+  // (void); only returns that can actually execute matter for the void-
+  // result trap below.
+  const CfgView GCfg = CfgView::build(*G);
+  size_t CalleeInstrs = 0;
+  bool CalleeHasVoidRet = false;
+  for (const auto &GB : G->blocks()) {
+    CalleeInstrs += GB->Instrs.size();
+    for (const Instruction &I : GB->Instrs) {
+      if (I.Op == Opcode::Probe) {
+        SkipReason = "callee is instrumented";
+        return false;
+      }
+      if (I.Op == Opcode::Ret && I.Src0 == NoReg && GCfg.isReachable(GB->Id))
+        CalleeHasVoidRet = true;
+    }
+  }
+  if (CalleeInstrs > MaxCalleeInstrs) {
+    SkipReason = "callee exceeds the inline size cap";
+    return false;
+  }
+  // A void return consumed by the caller is a runtime trap
+  // ("void return value used by the caller"); inlining would erase it.
+  if (Call.Dst != NoReg && CalleeHasVoidRet) {
+    SkipReason = "callee may return void into a used result";
+    return false;
+  }
+  if (Caller.NumRegs > MaxCallerRegs ||
+      MaxCallerRegs - Caller.NumRegs < G->NumRegs) {
+    SkipReason = "caller register frame would exceed the pressure cap";
+    return false;
+  }
+
+  // ---- point of no return: everything below only appends and rewires ----
+
+  // The inlined body's register window.
+  const Reg R0 = Caller.NumRegs;
+  Caller.NumRegs += G->NumRegs;
+  auto Remap = [R0](Reg R) { return R == NoReg ? NoReg : R + R0; };
+
+  // Registers the callee may read before writing: these saw a zeroed frame
+  // on every activation and must be re-zeroed at the seam (the window keeps
+  // stale values when the call block sits in a loop).
+  const std::vector<Reg> NeedZero = liveInAtEntry(*G);
+
+  // Continuation: B's terminator (nothing else can follow a call) moves to
+  // a fresh block the cloned returns branch to.
+  BasicBlock *K = Caller.addBlock(B->Name + ".icont");
+  K->Instrs.assign(B->Instrs.begin() + CallIdx + 1, B->Instrs.end());
+  B->Instrs.resize(CallIdx);
+
+  // Clone the callee body with remapped registers; returns become moves of
+  // the return value into the call's Dst plus a branch to the continuation.
+  std::unordered_map<const BasicBlock *, BasicBlock *> CloneMap;
+  for (const auto &GB : G->blocks())
+    CloneMap[GB.get()] =
+        Caller.addBlock(G->Name + "." + GB->Name + ".inl");
+  for (const auto &GB : G->blocks()) {
+    BasicBlock *C = CloneMap[GB.get()];
+    for (const Instruction &I : GB->Instrs) {
+      if (I.Op == Opcode::Ret) {
+        const bool NeedMove = I.Src0 != NoReg && Call.Dst != NoReg &&
+                              Fault != OptFault::MisinlineCallee;
+        if (NeedMove && hasCall(*C)) {
+          // `[call, ret v]` blocks are legal; the return-value move cannot
+          // follow the cloned call in the same block, so it gets a stub.
+          BasicBlock *Stub = Caller.addBlock(C->Name + ".rv");
+          Stub->Instrs.push_back(makeMove(Call.Dst, Remap(I.Src0)));
+          Stub->Instrs.push_back(makeBr(K));
+          C->Instrs.push_back(makeBr(Stub));
+          continue;
+        }
+        if (NeedMove)
+          C->Instrs.push_back(makeMove(Call.Dst, Remap(I.Src0)));
+        C->Instrs.push_back(makeBr(K));
+        continue;
+      }
+      Instruction N = I;
+      N.Dst = Remap(N.Dst);
+      if (N.Op != Opcode::Const)
+        N.Src0 = Remap(N.Src0);
+      N.Src1 = Remap(N.Src1);
+      for (Reg &A : N.Args)
+        A = Remap(A);
+      if (N.Target0)
+        N.Target0 = CloneMap.at(N.Target0);
+      if (N.Target1)
+        N.Target1 = CloneMap.at(N.Target1);
+      C->Instrs.push_back(N);
+    }
+  }
+
+  // Rewire the call block: argument moves into the window, re-zero the
+  // may-read-before-write registers, fall into the cloned entry.
+  BasicBlock *EntryClone = CloneMap.at(G->entry());
+  for (uint32_t P = 0; P < G->NumParams; ++P)
+    B->Instrs.push_back(makeMove(R0 + P, Call.Args[P]));
+  for (Reg Z : NeedZero)
+    if (Z >= G->NumParams) // params are freshly moved, never stale
+      B->Instrs.push_back(makeConstZero(R0 + Z));
+  B->Instrs.push_back(makeBr(EntryClone));
+
+  // Seam merging: recover straight-line shape where the clone left
+  // single-entry chains. Ids stay valid — husks are swept later.
+  std::vector<uint32_t> Preds = predCounts(Caller);
+  if (Preds[EntryClone->Id] == 1 && !hasCall(*B)) {
+    spliceInto(B, EntryClone);
+    Preds = predCounts(Caller);
+  }
+  // The continuation has one pred exactly when the callee had one return.
+  if (Preds[K->Id] == 1) {
+    for (const auto &BB : Caller.blocks()) {
+      if (BB->Instrs.empty() || !BB->hasTerminator())
+        continue;
+      const Instruction &T = BB->terminator();
+      if (T.Op == Opcode::Br && T.Target0 == K && !hasCall(*BB)) {
+        spliceInto(BB.get(), K);
+        break;
+      }
+    }
+  }
+  return true;
+}

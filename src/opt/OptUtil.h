@@ -1,0 +1,64 @@
+//===--- OptUtil.h - Shared transform helpers (internal) --------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small CFG helpers shared by the inliner and the superblock former. Both
+/// transforms follow the same discipline: append blocks, edit in place,
+/// and leave merged-away blocks behind as unreachable `ret` husks so that
+/// pre-existing block ids stay valid until the final unreachable sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_OPT_OPTUTIL_H
+#define OLPP_OPT_OPTUTIL_H
+
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace olpp {
+namespace opt_detail {
+
+inline Instruction makeBr(BasicBlock *Target) {
+  Instruction I;
+  I.Op = Opcode::Br;
+  I.Target0 = Target;
+  return I;
+}
+
+inline bool hasCall(const BasicBlock &BB) {
+  for (const Instruction &I : BB.Instrs)
+    if (I.Op == Opcode::Call || I.Op == Opcode::CallInd)
+      return true;
+  return false;
+}
+
+/// Number of predecessor edges of each block, indexed by block id.
+inline std::vector<uint32_t> predCounts(const Function &F) {
+  std::vector<uint32_t> Preds(F.numBlocks(), 0);
+  for (const auto &BB : F.blocks())
+    for (const BasicBlock *S : BB->successors())
+      ++Preds[S->Id];
+  return Preds;
+}
+
+/// Splices \p Succ's instructions onto \p Pred (whose terminator must be an
+/// unconditional branch to \p Succ), leaving \p Succ as an unreachable
+/// `ret` husk. Caller guarantees \p Succ has exactly one predecessor and
+/// \p Pred holds no call.
+inline void spliceInto(BasicBlock *Pred, BasicBlock *Succ) {
+  Pred->Instrs.pop_back(); // the Br
+  Pred->Instrs.insert(Pred->Instrs.end(), Succ->Instrs.begin(),
+                      Succ->Instrs.end());
+  Instruction Husk;
+  Husk.Op = Opcode::Ret;
+  Succ->Instrs = {Husk};
+}
+
+} // namespace opt_detail
+} // namespace olpp
+
+#endif // OLPP_OPT_OPTUTIL_H

@@ -1,0 +1,155 @@
+//===--- Superblock.cpp - Superblocks across loop backedges ----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Turns a hot backedge-crossing trace — the OG suffix of an overlapping
+// loop path, i.e. the concrete block sequence the profiled loop took on its
+// next iteration — into a superblock:
+//
+//   1. Side-entered tail blocks are tail-duplicated. The *original* blocks
+//      keep the hot path (so the loop header remains the only block
+//      backedges target and the CFG stays reducible); every side entrance
+//      is redirected into an appended clone whose trace-successor edges are
+//      remapped clone-to-clone, while its side exits and backedges keep
+//      pointing at the originals.
+//
+//   2. The now single-entry trace chain is merged into straight-line runs,
+//      which is what the fast engine's plan builder fuses into
+//      superinstructions and the trace tier records without guard exits.
+//
+// Correctness does not depend on the profile being fresh: every trace edge
+// is re-validated against the live CFG before anything is touched, and
+// duplication plus single-pred merging preserve semantics for any input.
+// A stale or adversarial trace can only cost code size, never behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+#include "opt/OptUtil.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+
+#include <unordered_set>
+
+using namespace olpp;
+using namespace olpp::opt_detail;
+
+bool olpp::formSuperblock(Function &F, const std::vector<uint32_t> &Trace,
+                          uint32_t &DuplicatedBlocks, uint32_t &MergedBlocks,
+                          std::string &SkipReason) {
+  DuplicatedBlocks = 0;
+  MergedBlocks = 0;
+  if (Trace.size() < 2) {
+    SkipReason = "trace shorter than two blocks";
+    return false;
+  }
+  std::unordered_set<uint32_t> Seen;
+  for (uint32_t Id : Trace) {
+    if (Id >= F.numBlocks()) {
+      SkipReason = "trace block id out of range";
+      return false;
+    }
+    if (!Seen.insert(Id).second) {
+      SkipReason = "trace revisits a block";
+      return false;
+    }
+  }
+  // Every consecutive pair must still be a live CFG edge; inlining or an
+  // earlier superblock may have rewired the region since the profile ran.
+  for (size_t I = 1; I < Trace.size(); ++I) {
+    const BasicBlock *Prev = F.block(Trace[I - 1]);
+    bool Live = false;
+    for (const BasicBlock *S : Prev->successors())
+      if (S->Id == Trace[I])
+        Live = true;
+    if (!Live) {
+      SkipReason = "trace edge no longer in the CFG";
+      return false;
+    }
+  }
+  for (uint32_t Id : Trace)
+    for (const Instruction &I : F.block(Id)->Instrs)
+      if (I.Op == Opcode::Probe) {
+        SkipReason = "trace crosses instrumented code";
+        return false;
+      }
+
+  // Duplicating a loop header splits its loop into two entries — an
+  // irreducible CFG the instrumenter (rightly) refuses. A trace that runs
+  // through an inner loop's header therefore stays un-duplicated: only
+  // tails of plain body blocks are eligible.
+  {
+    const CfgView Cfg = CfgView::build(F);
+    const DomTree Dom = DomTree::compute(Cfg);
+    const LoopInfo Loops = LoopInfo::compute(Cfg, Dom);
+    if (Loops.isIrreducible()) {
+      SkipReason = "function is irreducible";
+      return false;
+    }
+    for (size_t I = 1; I < Trace.size(); ++I)
+      for (const Loop &L : Loops.loops())
+        if (L.Header == Trace[I]) {
+          SkipReason = "trace tail crosses an inner loop header";
+          return false;
+        }
+  }
+
+  // Predecessor lists over the pre-transform CFG: for each tail block, the
+  // side entrances that must be peeled off onto a clone.
+  const size_t K = Trace.size();
+  std::vector<std::vector<BasicBlock *>> SidePreds(K);
+  bool AnySide = false;
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *S : BB->successors())
+      for (size_t I = 1; I < K; ++I)
+        if (S->Id == Trace[I] && BB->Id != Trace[I - 1]) {
+          SidePreds[I].push_back(BB.get());
+          AnySide = true;
+        }
+
+  std::vector<BasicBlock *> Clones(K, nullptr);
+  if (AnySide) {
+    // Clone the whole tail so a side entrance at depth i still executes the
+    // original tail i..k; only the trace-successor edges are remapped into
+    // the clone chain — side exits and the backedge return to originals.
+    for (size_t I = 1; I < K; ++I) {
+      BasicBlock *Orig = F.block(Trace[I]);
+      BasicBlock *C = F.addBlock(Orig->Name + ".sb");
+      C->Instrs = Orig->Instrs;
+      Clones[I] = C;
+      ++DuplicatedBlocks;
+    }
+    for (size_t I = 1; I + 1 < K; ++I)
+      Clones[I]->replaceSuccessor(F.block(Trace[I + 1]), Clones[I + 1]);
+    for (size_t I = 1; I < K; ++I)
+      for (BasicBlock *P : SidePreds[I])
+        P->replaceSuccessor(F.block(Trace[I]), Clones[I]);
+  }
+
+  // Merge the hot chain into straight-line runs. `Cur` accumulates; a tail
+  // block folds in when it became single-entry and `Cur` reaches it by an
+  // unconditional branch (and holds no call, which must stay block-final).
+  std::vector<uint32_t> Preds = predCounts(F);
+  BasicBlock *Cur = F.block(Trace[0]);
+  for (size_t I = 1; I < K; ++I) {
+    BasicBlock *T = F.block(Trace[I]);
+    const Instruction &Term = Cur->terminator();
+    if (Preds[T->Id] == 1 && Term.Op == Opcode::Br && Term.Target0 == T &&
+        !hasCall(*Cur)) {
+      spliceInto(Cur, T);
+      ++MergedBlocks;
+    } else {
+      Cur = T;
+    }
+  }
+
+  if (DuplicatedBlocks == 0 && MergedBlocks == 0) {
+    SkipReason = "trace is already a superblock";
+    return false;
+  }
+  return true;
+}

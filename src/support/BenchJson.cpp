@@ -520,6 +520,17 @@ bool olpp::validatePipelineBenchJson(const std::string &Text,
       Error = Path + ": jobs=1 point must have speedup_vs_1 == 1";
       return false;
     }
+    // A scaling point the hardware cannot execute concurrently measures
+    // scheduler interleaving, not pipeline scaling; such curves are not
+    // comparable across machines and the report is rejected wholesale.
+    auto HW = Root.Fields.find("hardware_threads");
+    if (Jobs->second.N > HW->second.N) {
+      Error = Path + ": jobs exceeds hardware_threads (" +
+              std::to_string(static_cast<unsigned>(Jobs->second.N)) + " > " +
+              std::to_string(static_cast<unsigned>(HW->second.N)) +
+              "); oversubscribed points do not measure scaling";
+      return false;
+    }
   }
   return true;
 }
@@ -733,6 +744,120 @@ bool olpp::validateAnalyzeBenchJson(const std::string &Text,
   return true;
 }
 
+std::string olpp::renderOptBenchJson(const OptBenchReport &R) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": " + jsonStr(OptBenchSchema) + ",\n";
+  renderProvenance(Out, R.Prov);
+  Out += "  \"reps\": " + std::to_string(R.Reps) + ",\n";
+  Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
+  Out += "  \"workloads\": [";
+  for (size_t I = 0; I < R.Workloads.size(); ++I) {
+    const OptWorkloadBench &W = R.Workloads[I];
+    Out += I ? ",\n" : "\n";
+    Out += "    {\n";
+    Out += "      \"name\": " + jsonStr(W.Name) + ",\n";
+    Out += "      \"inlined_sites\": " + std::to_string(W.InlinedSites) +
+           ",\n";
+    Out += "      \"superblocks\": " + std::to_string(W.Superblocks) + ",\n";
+    Out += "      \"baseline_steps\": " + std::to_string(W.BaselineSteps) +
+           ",\n";
+    Out += "      \"optimized_steps\": " + std::to_string(W.OptimizedSteps) +
+           ",\n";
+    Out += "      \"baseline_calls\": " + std::to_string(W.BaselineCalls) +
+           ",\n";
+    Out += "      \"optimized_calls\": " + std::to_string(W.OptimizedCalls) +
+           ",\n";
+    Out += "      \"baseline_seconds\": " + jsonNum(W.BaselineSeconds) +
+           ",\n";
+    Out += "      \"optimized_seconds\": " + jsonNum(W.OptimizedSeconds) +
+           ",\n";
+    Out += "      \"speedup\": " + jsonNum(W.Speedup) + ",\n";
+    Out += std::string("      \"agree\": ") + (W.Agree ? "true" : "false") +
+           "\n";
+    Out += "    }";
+  }
+  Out += R.Workloads.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool olpp::writeOptBenchJson(const std::string &Path, const OptBenchReport &R,
+                             std::string &Error) {
+  return writeTextFile(Path, renderOptBenchJson(R), Error);
+}
+
+bool olpp::validateOptBenchJson(const std::string &Text, std::string &Error) {
+  JValue Root;
+  if (!JParser(Text, Error).parse(Root))
+    return false;
+  if (Root.K != JValue::Obj) {
+    Error = "top level: expected an object";
+    return false;
+  }
+  auto Schema = Root.Fields.find("schema");
+  if (Schema == Root.Fields.end() || Schema->second.K != JValue::Str ||
+      Schema->second.S != OptBenchSchema) {
+    Error = std::string("schema: expected \"") + OptBenchSchema + "\"";
+    return false;
+  }
+  if (!checkProvenance(Root, Error) ||
+      !checkNum(Root, "top level", "reps", Error) ||
+      !checkNum(Root, "top level", "wall_seconds", Error))
+    return false;
+  auto WL = Root.Fields.find("workloads");
+  if (WL == Root.Fields.end() || WL->second.K != JValue::Arr) {
+    Error = "workloads: missing or not an array";
+    return false;
+  }
+  if (WL->second.Elems.empty()) {
+    Error = "workloads: must have at least one entry";
+    return false;
+  }
+  for (size_t I = 0; I < WL->second.Elems.size(); ++I) {
+    const JValue &Row = WL->second.Elems[I];
+    const std::string Path = "workloads[" + std::to_string(I) + "]";
+    if (Row.K != JValue::Obj) {
+      Error = Path + ": expected an object";
+      return false;
+    }
+    auto Name = Row.Fields.find("name");
+    if (Name == Row.Fields.end() || Name->second.K != JValue::Str ||
+        Name->second.S.empty()) {
+      Error = Path + ": missing non-empty \"name\"";
+      return false;
+    }
+    if (!checkNum(Row, Path, "inlined_sites", Error) ||
+        !checkNum(Row, Path, "superblocks", Error) ||
+        !checkNum(Row, Path, "baseline_steps", Error) ||
+        !checkNum(Row, Path, "optimized_steps", Error) ||
+        !checkNum(Row, Path, "baseline_calls", Error) ||
+        !checkNum(Row, Path, "optimized_calls", Error) ||
+        !checkNum(Row, Path, "baseline_seconds", Error) ||
+        !checkNum(Row, Path, "optimized_seconds", Error) ||
+        !checkNum(Row, Path, "speedup", Error))
+      return false;
+    // A disagreement means the optimizer broke the program; the timing
+    // columns of such a row are meaningless and the report is invalid.
+    auto Agree = Row.Fields.find("agree");
+    if (Agree == Row.Fields.end() || Agree->second.K != JValue::Bool) {
+      Error = Path + ": missing boolean \"agree\"";
+      return false;
+    }
+    if (!Agree->second.B) {
+      Error = Path + ": agree must be true (the optimized module diverged "
+                     "from the baseline)";
+      return false;
+    }
+    // Timing a module that never ran is the other way to lie.
+    auto Secs = Row.Fields.find("optimized_seconds");
+    if (Secs->second.N <= 0) {
+      Error = Path + ": optimized_seconds must be positive";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
   JValue Root;
   if (!JParser(Text, Error).parse(Root))
@@ -754,6 +879,8 @@ bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
     return validateProfdataBenchJson(Text, Error);
   if (Schema->second.S == AnalyzeBenchSchema)
     return validateAnalyzeBenchJson(Text, Error);
+  if (Schema->second.S == OptBenchSchema)
+    return validateOptBenchJson(Text, Error);
   Error = "schema: unknown tag \"" + Schema->second.S + "\"";
   return false;
 }

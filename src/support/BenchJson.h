@@ -35,6 +35,13 @@
 ///                            bound-tightening ratio the facts buy the
 ///                            interval solver.
 ///
+///   "olpp.bench.opt/v1"      (BENCH_opt.json, bench/perf_opt): the closed
+///                            profile->optimize loop — per workload the
+///                            baseline-vs-optimized wall time and speedup,
+///                            the inline/superblock transform counts, and
+///                            the agreement bit (both modules returned the
+///                            same result).
+///
 /// Every schema carries the same provenance pair so reports from different
 /// machines and commits stay comparable: "hardware_threads" (the box's
 /// concurrency) and "git_rev" (the commit the binary was built from,
@@ -249,6 +256,49 @@ bool writeAnalyzeBenchJson(const std::string &Path,
 
 /// Structurally validates \p Text against the analyze v1 schema.
 bool validateAnalyzeBenchJson(const std::string &Text, std::string &Error);
+
+//===----------------------------------------------------------------------===//
+// Profile-guided optimization report ("olpp.bench.opt/v1")
+//===----------------------------------------------------------------------===//
+
+inline constexpr const char *OptBenchSchema = "olpp.bench.opt/v1";
+
+/// One workload's profiled-then-optimized measurement: the pristine module
+/// vs the module `olpp opt` produced from its own .olpp artifact, both
+/// uninstrumented on the fast engine.
+struct OptWorkloadBench {
+  std::string Name;
+  unsigned InlinedSites = 0;
+  unsigned Superblocks = 0;
+  uint64_t BaselineSteps = 0;
+  uint64_t OptimizedSteps = 0;
+  uint64_t BaselineCalls = 0;
+  uint64_t OptimizedCalls = 0;
+  double BaselineSeconds = 0.0;  ///< best-of-reps wall time, pristine
+  double OptimizedSeconds = 0.0; ///< best-of-reps wall time, optimized
+  double Speedup = 0.0;          ///< baseline/optimized wall time; >1 wins
+  /// Both modules returned the same result (a report with a disagreement
+  /// is invalid: the optimizer broke the program, timing it is meaningless).
+  bool Agree = false;
+};
+
+struct OptBenchReport {
+  BenchProvenance Prov = benchProvenance();
+  unsigned Reps = 0; ///< timed repetitions per module (best-of)
+  double WallSeconds = 0.0;
+  std::vector<OptWorkloadBench> Workloads;
+};
+
+/// Renders \p R as pretty-printed JSON (trailing newline included).
+std::string renderOptBenchJson(const OptBenchReport &R);
+
+/// Renders and writes to \p Path. Returns false and sets \p Error on I/O
+/// failure.
+bool writeOptBenchJson(const std::string &Path, const OptBenchReport &R,
+                       std::string &Error);
+
+/// Structurally validates \p Text against the opt v1 schema.
+bool validateOptBenchJson(const std::string &Text, std::string &Error);
 
 /// Sniffs the report's schema tag and validates against the matching
 /// schema. Returns false and sets \p Error for unparseable input, an

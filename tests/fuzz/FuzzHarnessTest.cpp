@@ -203,6 +203,50 @@ TEST(FuzzHarness, InjectedMisclassificationIsCaughtAndShrunk) {
   EXPECT_EQ(Again.Oracle, FuzzOracle::Feasibility);
 }
 
+/// A mis-inlined callee — the optimizer drops the return-value move at
+/// every inlined return — must be caught by the opt oracle, and the
+/// shrinker must reduce the witness to a small program that still inlines
+/// and still reproduces the defect.
+TEST(FuzzHarness, InjectedMisinlineIsCaughtAndShrunk) {
+  FuzzOptions FO;
+  FO.Fault = FaultKind::MisinlineCallee;
+  DifferentialRunner Runner(FO);
+
+  // The fault only fires on seeds whose profile actually drives an inline
+  // whose dropped result changes the observable outcome; scan for one.
+  uint64_t FailingSeed = 0;
+  FuzzFailure Probe;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    if (Runner.checkCase(Seed, &Probe) == CaseStatus::Failed) {
+      FailingSeed = Seed;
+      break;
+    }
+  }
+  ASSERT_NE(FailingSeed, 0u)
+      << "no seed in 1..200 triggered the injected mis-inline";
+  EXPECT_EQ(Probe.Oracle, FuzzOracle::Opt) << Probe.Detail;
+
+  FO.SeedBase = FailingSeed;
+  FO.NumSeeds = 1;
+  FO.Shrink = true;
+  FuzzReport Rep = DifferentialRunner(FO).run();
+  ASSERT_EQ(Rep.Failures.size(), 1u);
+  const FuzzFailure &F = Rep.Failures[0];
+  EXPECT_EQ(F.Oracle, FuzzOracle::Opt) << F.Detail;
+  EXPECT_TRUE(F.Shrunk);
+  EXPECT_LE(countCodeLines(F.Source), 30u) << F.Source;
+  EXPECT_LE(countCodeLines(F.Source), countCodeLines(F.OriginalSource));
+
+  // The minimized witness still compiles and still reproduces the defect
+  // under the pinned setup.
+  EXPECT_TRUE(compileMiniC(F.Source).ok()) << F.Source;
+  auto Setup = DifferentialRunner::deriveSetup(FailingSeed);
+  FuzzFailure Again;
+  EXPECT_EQ(DifferentialRunner(FO).checkProgram(F.Source, Setup, &Again),
+            CaseStatus::Failed);
+  EXPECT_EQ(Again.Oracle, FuzzOracle::Opt);
+}
+
 // --- shrinker unit tests -------------------------------------------------
 
 TEST(Shrinker, KeepsThePoisonLine) {

@@ -321,6 +321,117 @@ TEST(TraceTierTest, StaleArmDoesNotLeakBetweenBatchRuns) {
   EXPECT_TRUE(Stale.transientClean());
 }
 
+// Regression: trace-state bleed through the plan cache. Plans are shared
+// process-wide by content fingerprint, so traces recorded under one
+// --trace-threshold used to survive into later runs of an identical-content
+// module with different trace settings. Trace state is now segregated per
+// (plan, threshold): a run with tracing disabled must see zero tier
+// activity and bit-identical counters even right after a traced run of the
+// same content, and a run with a never-reached threshold must not enter
+// (or step through) traces recorded at threshold 1.
+TEST(TraceTierTest, NoTracesRunAfterTracedRunSeesNoTraceState) {
+  // A source unique to this test: the shared plan cache is process-wide,
+  // so reusing HotLoopSource would inherit trace state (including retired
+  // traces) from earlier tests and make the assertions order-dependent.
+  const char *Src = R"(
+    global acc;
+    fn main(n) {
+      var i = 0;
+      while (i < n) {
+        acc = acc + i * 2 + 1;
+        i = i + 1;
+      }
+      return acc;
+    }
+  )";
+  Program P = compileInstrumented(Src);
+  ASSERT_NE(P.Main, nullptr);
+  const std::vector<int64_t> Args{200};
+
+  // Record traces on the shared plan.
+  auto Traced = runOnce(P, Args, tracedConfig(/*Threshold=*/1));
+  ASSERT_TRUE(Traced->Res.Ok) << Traced->Res.Error;
+  ASSERT_GE(Traced->Res.Trace.Recorded, 1u);
+
+  // Same source, fresh compile: identical content, same shared plan.
+  Program P2 = compileInstrumented(Src);
+  ASSERT_NE(P2.Main, nullptr);
+  RunConfig Off = tracedConfig(1);
+  Off.EnableTraces = false;
+  auto NoTrace = runOnce(P2, Args, Off);
+  ASSERT_TRUE(NoTrace->Res.Ok) << NoTrace->Res.Error;
+  EXPECT_EQ(NoTrace->Res.Trace.Recorded, 0u);
+  EXPECT_EQ(NoTrace->Res.Trace.Enters, 0u);
+  EXPECT_EQ(NoTrace->Res.Trace.TraceSteps, 0u);
+
+  auto Ref = runOnce(P2, Args, referenceConfig());
+  ASSERT_TRUE(Ref->Res.Ok);
+  EXPECT_EQ(Ref->Res.ReturnValue, NoTrace->Res.ReturnValue);
+  EXPECT_TRUE(Ref->Res.Counts == NoTrace->Res.Counts);
+  expectSameCounters(Ref->Prof, NoTrace->Prof, "no-traces after traced");
+}
+
+TEST(TraceTierTest, DifferentThresholdsNeverShareRecordedTraces) {
+  // Unique source, for the same order-independence reason as above.
+  const char *Src = R"(
+    global acc;
+    fn main(n) {
+      var i = 0;
+      while (i < n) {
+        acc = acc + (i ^ 3);
+        i = i + 1;
+      }
+      return acc;
+    }
+  )";
+  Program P = compileInstrumented(Src);
+  ASSERT_NE(P.Main, nullptr);
+  const std::vector<int64_t> Args{200};
+
+  auto Hot = runOnce(P, Args, tracedConfig(/*Threshold=*/1));
+  ASSERT_TRUE(Hot->Res.Ok) << Hot->Res.Error;
+  ASSERT_GE(Hot->Res.Trace.Recorded, 1u);
+
+  // Identical content, but a threshold this short run never reaches: were
+  // trace state shared across settings, the lookup at the loop backedge
+  // would enter the threshold-1 traces installed above.
+  Program P2 = compileInstrumented(Src);
+  ASSERT_NE(P2.Main, nullptr);
+  auto Cold = runOnce(P2, Args, tracedConfig(/*Threshold=*/1'000'000));
+  ASSERT_TRUE(Cold->Res.Ok) << Cold->Res.Error;
+  EXPECT_EQ(Cold->Res.Trace.Recorded, 0u);
+  EXPECT_EQ(Cold->Res.Trace.Enters, 0u);
+  EXPECT_EQ(Cold->Res.Trace.TraceSteps, 0u);
+
+  auto Ref = runOnce(P2, Args, referenceConfig());
+  ASSERT_TRUE(Ref->Res.Ok);
+  EXPECT_TRUE(Ref->Res.Counts == Cold->Res.Counts);
+  expectSameCounters(Ref->Prof, Cold->Prof, "cold threshold after hot");
+}
+
+// The artifact-driven warmup skip: seeding the hotness table with persisted
+// heat arms recording on the first live completion, where an unseeded
+// runtime with the same threshold would still be counting.
+TEST(TraceTierTest, SeededHotnessArmsWithoutWarmup) {
+  ProfileRuntime Prof(1);
+  Prof.Tier.seed(0, 42, 100);
+  EXPECT_LT(Prof.Tier.PendingRecord, 0);
+  Prof.Tier.noteHot(0, 42, /*Threshold=*/50);
+  EXPECT_EQ(Prof.Tier.PendingRecord, 0);
+
+  // Unseeded: the same single completion is far below threshold.
+  ProfileRuntime Fresh(1);
+  Fresh.Tier.noteHot(0, 42, /*Threshold=*/50);
+  EXPECT_LT(Fresh.Tier.PendingRecord, 0);
+
+  // Seeding is idempotent and keeps the larger count.
+  Prof.Tier.reset();
+  Prof.Tier.seed(0, 7, 10);
+  Prof.Tier.seed(0, 7, 3);
+  Prof.Tier.noteHot(0, 7, /*Threshold=*/11);
+  EXPECT_EQ(Prof.Tier.PendingRecord, 0);
+}
+
 // Concurrent trace installation: many interpreters over one module share
 // one ExecPlan (and thus one PlanTraceCache). All of them racing to record
 // and install traces for the same anchors must stay data-race-free (the

@@ -145,6 +145,89 @@ TEST(BenchJsonTest, ValidatorRejectsMissingGitRev) {
   EXPECT_NE(Error.find("git_rev"), std::string::npos) << Error;
 }
 
+TEST(BenchJsonTest, PipelineValidatorRejectsOversubscribedPoints) {
+  // A jobs=8 point on a 4-thread box times the scheduler, not the
+  // pipeline; the validator refuses to bless such a curve.
+  PipelineBenchReport R = samplePipelineReport();
+  PipelinePoint P = R.Points.back();
+  P.Jobs = 8;
+  P.SpeedupVs1 = 0.7;
+  R.Points.push_back(P);
+  std::string Error;
+  EXPECT_FALSE(validatePipelineBenchJson(renderPipelineBenchJson(R), Error));
+  EXPECT_NE(Error.find("jobs exceeds hardware_threads"), std::string::npos)
+      << Error;
+  // At the hardware thread count exactly, the point is legitimate.
+  R.Points.pop_back();
+  EXPECT_TRUE(validatePipelineBenchJson(renderPipelineBenchJson(R), Error))
+      << Error;
+}
+
+OptBenchReport sampleOptReport() {
+  OptBenchReport R;
+  R.Reps = 5;
+  R.WallSeconds = 2.5;
+  OptWorkloadBench W;
+  W.Name = "mcf";
+  W.InlinedSites = 8;
+  W.Superblocks = 5;
+  W.BaselineSteps = 2529837;
+  W.OptimizedSteps = 2493164;
+  W.BaselineCalls = 449133;
+  W.OptimizedCalls = 184833;
+  W.BaselineSeconds = 0.0424;
+  W.OptimizedSeconds = 0.0371;
+  W.Speedup = W.BaselineSeconds / W.OptimizedSeconds;
+  W.Agree = true;
+  R.Workloads.push_back(W);
+  return R;
+}
+
+TEST(BenchJsonTest, OptRenderRoundTripsThroughItsValidator) {
+  std::string Text = renderOptBenchJson(sampleOptReport());
+  std::string Error;
+  EXPECT_TRUE(validateOptBenchJson(Text, Error)) << Error;
+  // The sniffer recognizes the opt tag too.
+  EXPECT_TRUE(validateBenchJson(Text, Error)) << Error;
+}
+
+TEST(BenchJsonTest, OptValidatorRejectsDisagreement) {
+  // agree=false means the optimizer changed observable behavior; no perf
+  // number excuses that, so the report as a whole is invalid.
+  OptBenchReport R = sampleOptReport();
+  R.Workloads[0].Agree = false;
+  std::string Error;
+  EXPECT_FALSE(validateOptBenchJson(renderOptBenchJson(R), Error));
+  EXPECT_NE(Error.find("agree"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, OptValidatorRejectsMissingAgree) {
+  std::string Text = renderOptBenchJson(sampleOptReport());
+  size_t At = Text.find("\"agree\"");
+  ASSERT_NE(At, std::string::npos);
+  Text.replace(At, 7, "\"agred\"");
+  std::string Error;
+  EXPECT_FALSE(validateOptBenchJson(Text, Error));
+  EXPECT_NE(Error.find("agree"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, OptValidatorRejectsZeroOptimizedSeconds) {
+  // A zero denominator would render any speedup meaningless.
+  OptBenchReport R = sampleOptReport();
+  R.Workloads[0].OptimizedSeconds = 0.0;
+  std::string Error;
+  EXPECT_FALSE(validateOptBenchJson(renderOptBenchJson(R), Error));
+  EXPECT_NE(Error.find("optimized_seconds"), std::string::npos) << Error;
+}
+
+TEST(BenchJsonTest, OptValidatorRejectsEmptyWorkloads) {
+  OptBenchReport R = sampleOptReport();
+  R.Workloads.clear();
+  std::string Error;
+  EXPECT_FALSE(validateOptBenchJson(renderOptBenchJson(R), Error));
+  EXPECT_NE(Error.find("workloads"), std::string::npos) << Error;
+}
+
 TEST(BenchJsonTest, AnalyzeRenderRoundTripsThroughItsValidator) {
   std::string Error;
   EXPECT_TRUE(validateAnalyzeBenchJson(
