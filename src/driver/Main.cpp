@@ -146,7 +146,11 @@ int usage() {
       "run/profile/estimate/bench accept --engine fast|reference to select\n"
       "the execution engine (default: fast). The fast engine's tracing tier\n"
       "takes --trace-threshold N (completions before a hot path is recorded,\n"
-      "default 32) and --no-traces (interpret everything, never trace).\n"
+      "default 32; 0 = record on the first completion), --no-traces\n"
+      "(interpret everything, never trace), --trace-link-threshold N\n"
+      "(side-exit deopts before a bridge trace is stitched in, default 8,\n"
+      "0 = never link) and --no-trace-opt (run compiled traces verbatim,\n"
+      "skipping the trace-local optimizer).\n"
       "\n"
       "A file name matching an embedded workload (e.g. 'mcf') may be used\n"
       "in place of a path.\n",
@@ -184,8 +188,14 @@ struct Parsed {
   bool LintWerror = false;
   bool All = false;
   EngineKind Engine = EngineKind::Fast;
-  bool NoTraces = false;       ///< --no-traces: disable the tracing tier
-  uint32_t TraceThreshold = 0; ///< --trace-threshold; 0 = RunConfig default
+  bool NoTraces = false; ///< --no-traces: disable the tracing tier
+  /// --trace-threshold; 0 is a real value (record on the first completion),
+  /// so presence is a separate flag instead of a sentinel.
+  uint32_t TraceThreshold = 0;
+  bool HasTraceThreshold = false;
+  uint32_t TraceLinkThreshold = 0; ///< --trace-link-threshold (0 = no bridges)
+  bool HasTraceLinkThreshold = false;
+  bool NoTraceOpt = false; ///< --no-trace-opt: run compiled traces verbatim
   unsigned Jobs = 1; ///< bench/fuzz worker threads; 0 = one per core
   bool Smoke = false;
   uint32_t Seeds = 100;    ///< fuzz: number of master seeds
@@ -238,10 +248,22 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       P.NoTraces = true;
     } else if (A == "--trace-threshold" && I + 1 < Argc) {
       int V = std::atoi(Argv[++I]);
-      if (V <= 0)
+      if (V < 0) {
         P.Bad = true;
-      else
+      } else {
         P.TraceThreshold = static_cast<uint32_t>(V);
+        P.HasTraceThreshold = true;
+      }
+    } else if (A == "--trace-link-threshold" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V < 0) {
+        P.Bad = true;
+      } else {
+        P.TraceLinkThreshold = static_cast<uint32_t>(V);
+        P.HasTraceLinkThreshold = true;
+      }
+    } else if (A == "--no-trace-opt") {
+      P.NoTraceOpt = true;
     } else if ((A == "--jobs" || A == "-j") && I + 1 < Argc) {
       P.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (A == "--smoke") {
@@ -307,13 +329,18 @@ std::vector<int64_t> fitArgs(const Parsed &P, const Module &M) {
   return Args;
 }
 
-/// Applies the tracing-tier knobs (--no-traces, --trace-threshold) to a run
-/// configuration. Only the fast engine consults them.
+/// Applies the tracing-tier knobs (--no-traces, --trace-threshold,
+/// --trace-link-threshold, --no-trace-opt) to a run configuration. Only the
+/// fast engine consults them.
 void applyTraceOpts(RunConfig &RC, const Parsed &P) {
   if (P.NoTraces)
     RC.EnableTraces = false;
-  if (P.TraceThreshold)
+  if (P.HasTraceThreshold)
     RC.TraceThreshold = P.TraceThreshold;
+  if (P.HasTraceLinkThreshold)
+    RC.TraceLinkThreshold = P.TraceLinkThreshold;
+  if (P.NoTraceOpt)
+    RC.EnableTraceOpt = false;
 }
 
 /// `olpp run <file> --profile art.olpp`: the artifact-driven warmup skip.

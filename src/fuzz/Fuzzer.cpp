@@ -14,6 +14,7 @@
 #include "frontend/Compiler.h"
 #include "fuzz/Shrinker.h"
 #include "interp/Interpreter.h"
+#include "interp/TraceOpt.h"
 #include "ir/Module.h"
 #include "opt/Optimizer.h"
 #include "profdata/ProfData.h"
@@ -208,7 +209,8 @@ void applyFault(FaultKind Fault, CounterSnapshot &S) {
   case FaultKind::SkewArtifactRoundtrip:
   case FaultKind::ArtifactCrcOff:
   case FaultKind::MisclassifyFeasible:
-    return; // applied inside the round-trip / feasibility oracles, not here
+  case FaultKind::DropTraceGuard:
+    return; // applied inside their own oracles, not here
   }
 }
 
@@ -396,13 +398,26 @@ std::string checkAbortConsistency(const Module &Base,
 
 /// Runs the trace oracle: the fast engine with the tracing tier forced hot
 /// (recording threshold 1, so even small generated loops record and execute
-/// traces) against the reference engine — first to completion, then aborted
-/// at \p HalfBudget (0 = skip) so the fuel boundary lands inside or between
-/// trace passes. Return value, error, dynamic counts and every raw counter
-/// must match bit for bit. Returns "" on success, else the mismatch.
+/// traces; link threshold 1, so the very first side-exit deopt records a
+/// bridge) against the reference engine, across three phases:
+///
+///   traced          — full budget, trace-local optimizer on
+///   abort-mid-trace — fuel boundary at \p HalfBudget (0 = skip), so the
+///                     abort can land inside a pass, between passes, or in
+///                     the middle of a bridge recording
+///   traced-noopt    — full budget with the optimizer off (verbatim traces),
+///                     isolating executor bugs from optimizer bugs
+///
+/// The fast runs carry the static feasibility facts of the instrumented
+/// module, exercising the bump cross-check. Return value, error, dynamic
+/// counts and every raw counter must match bit for bit. \p Fault plants
+/// FaultKind::DropTraceGuard into the optimizer so the mutation test can
+/// prove this oracle catches a miscompiled trace. Returns "" on success,
+/// else the mismatch.
 std::string checkTraceConsistency(const Module &Base,
                                   const DifferentialRunner::CaseSetup &Setup,
-                                  uint64_t Budget, uint64_t HalfBudget) {
+                                  uint64_t Budget, uint64_t HalfBudget,
+                                  FaultKind Fault) {
   std::unique_ptr<Module> Clone = Base.clone();
   ModuleInstrumentation MI = instrumentModule(*Clone, Setup.InstrOpts);
   if (!MI.ok())
@@ -417,11 +432,35 @@ std::string checkTraceConsistency(const Module &Base,
         P.configurePathStore(F, MI.Funcs[F].PG->numPaths());
   };
 
-  for (int Phase = 0; Phase < 2; ++Phase) {
-    const uint64_t Steps = Phase ? HalfBudget : Budget;
-    if (Phase && HalfBudget == 0)
-      break;
-    const char *What = Phase ? "abort-mid-trace" : "traced";
+  // Static path knowledge for the optimizer's bump cross-check, computed
+  // the same way oracle 8 does (instrumentation is deterministic, so the
+  // clone's path ids match the analysis').
+  TraceFeasibilityFacts Facts;
+  {
+    ModuleSummaries Sums = computeSummaries(*Clone);
+    for (uint32_t F = 0; F < Clone->numFunctions(); ++F) {
+      const FunctionInstrumentation &FI = MI.Funcs[F];
+      if (!FI.PG || !FI.Cfg)
+        continue;
+      FunctionInfeasibility Inf =
+          computeInfeasiblePaths(*Clone->function(F), *FI.Cfg, *FI.PG, &Sums);
+      if (Inf.Intervals.empty())
+        continue;
+      std::vector<TraceFeasibilityFacts::Interval> Iv;
+      Iv.reserve(Inf.Intervals.size());
+      for (const auto &I : Inf.Intervals)
+        Iv.push_back({I.Lo, I.Hi});
+      Facts.PerFunc.emplace_back(F, std::move(Iv));
+    }
+  }
+
+  for (int Phase = 0; Phase < 3; ++Phase) {
+    const uint64_t Steps = Phase == 1 ? HalfBudget : Budget;
+    if (Phase == 1 && HalfBudget == 0)
+      continue;
+    const char *What = Phase == 0   ? "traced"
+                       : Phase == 1 ? "abort-mid-trace"
+                                    : "traced-noopt";
 
     RunConfig RC;
     RC.MaxSteps = Steps;
@@ -434,6 +473,11 @@ std::string checkTraceConsistency(const Module &Base,
     RC.Engine = EngineKind::Fast;
     RC.EnableTraces = true;
     RC.TraceThreshold = 1;
+    RC.TraceLinkThreshold = 1;
+    RC.EnableTraceOpt = Phase != 2;
+    RC.TraceOptDropGuardFault =
+        Phase != 2 && Fault == FaultKind::DropTraceGuard;
+    RC.TraceFacts = &Facts;
     ProfileRuntime PFast(Clone->numFunctions());
     configure(PFast);
     Interpreter IFast(*Clone, &PFast);
@@ -770,7 +814,8 @@ DifferentialRunner::checkProgram(const std::string &Source,
   {
     std::string D = checkTraceConsistency(
         *CR.M, Setup, Opts.MaxSteps * 8,
-        RFast.InstrCounts.Steps >= 4 ? RFast.InstrCounts.Steps / 2 : 0);
+        RFast.InstrCounts.Steps >= 4 ? RFast.InstrCounts.Steps / 2 : 0,
+        Opts.Fault);
     if (!D.empty())
       return Fail(FuzzOracle::Trace, D);
   }

@@ -101,6 +101,7 @@ enum class FaultKind : uint8_t {
   ArtifactCrcOff,  ///< read mutated artifacts with CRC verification disabled
   MisclassifyFeasible, ///< claim one executed path id is statically infeasible
   MisinlineCallee, ///< drop the return-value move of every inlined callee
+  DropTraceGuard,  ///< trace optimizer deletes the body's last branch guard
 };
 
 struct FuzzOptions {

@@ -40,6 +40,7 @@ namespace olpp {
 class ProfileRuntime;
 class TraceSink;
 struct ExecPlan;
+struct TraceFeasibilityFacts;
 
 /// Which execution engine runs the program.
 enum class EngineKind : uint8_t {
@@ -66,8 +67,26 @@ struct RunConfig {
   /// the sink slot) or when no ProfileRuntime is present (no hotness
   /// signal without OL path completions).
   bool EnableTraces = true;
-  /// OL path-id completions of one path before recording triggers.
+  /// OL path-id completions of one path before recording triggers
+  /// (0 = record on the first completion).
   uint32_t TraceThreshold = 32;
+
+  /// Trace-local optimizer (interp/TraceOpt.h). EnableTraceOpt off means
+  /// compiled traces run verbatim (the honest A/B baseline for
+  /// --no-trace-opt); TraceOptStages selects individual stages for
+  /// per-stage experiments.
+  bool EnableTraceOpt = true;
+  uint32_t TraceOptStages = 0xFu; // kTraceOptAll
+  /// Side-exit deopts at one guard before a bridge trace is recorded and
+  /// stitched in (0 = linking off).
+  uint32_t TraceLinkThreshold = 8;
+  /// Fuzz-only planted optimizer bug (FaultKind::DropTraceGuard).
+  bool TraceOptDropGuardFault = false;
+  /// Optional static path-feasibility facts (profile/InfeasiblePaths via
+  /// plain data; see interp/TraceOpt.h). Used as a compiler cross-check:
+  /// a trace whose precomputed bumps hit a statically infeasible path id
+  /// is rejected. Never changes observable behavior.
+  const TraceFeasibilityFacts *TraceFacts = nullptr;
 };
 
 /// Dynamic counters of one run.

@@ -1,0 +1,111 @@
+//===--- TraceOpt.h - Trace-local optimizer ---------------------*- C++ -*-===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimization pipeline over CompiledTrace (interp/TraceTier.h). The
+/// compiler already elides every probe — probe state lives symbolically
+/// and counter bumps are a precomputed side table — so this layer attacks
+/// what is left: the straight-line register program and the per-pass guard
+/// sweep. Stages (maskable for A/B measurement):
+///
+///   kFold      — forward value pass: copy propagation, constant folding
+///                with a small value-range (interval) lattice mirroring
+///                the analysis/ValueRange domain, store-to-load forwarding
+///                of globals, and dead-write elimination of overwritten
+///                Const/Move steps. Every removed write gets a
+///                TraceRecovery entry so a deopt inside its live window
+///                still materializes the value — deopt state stays
+///                bit-exact.
+///   kGuardElim — drops branch guards whose condition the value pass
+///                proved (a guard implied by an earlier guard or by the
+///                interval facts), and duplicate callee guards.
+///   kCoalesce  — merges TraceEffect entries that hit the same component
+///                at the same base position (Set;Add -> Set, Add;Add ->
+///                Add, Set;Set -> last), shrinking the deopt effect list.
+///   kBudget    — computes per-guard pass budgets (GuardBudget) from the
+///                collapsed PassEffects, letting the executor run a batch
+///                of K passes with a single guard sweep and one scaled
+///                effect application instead of K of each.
+///
+/// The optimizer never touches accounting: a removed step keeps its cost
+/// inside the surviving Cum* prefixes and the Pass* totals, so DynCounts
+/// stay bit-identical to the untraced engine (the step's register effect
+/// is what recovery re-creates; its cost was always charged as if
+/// executed, exactly like the compiler's ghost steps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OLPP_INTERP_TRACEOPT_H
+#define OLPP_INTERP_TRACEOPT_H
+
+#include "interp/TraceTier.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olpp {
+
+/// Stage bits for TraceSettings::OptStages / TraceOptConfig::Stages.
+enum TraceOptStage : uint32_t {
+  kTraceOptFold = 1u << 0,
+  kTraceOptGuardElim = 1u << 1,
+  kTraceOptCoalesce = 1u << 2,
+  kTraceOptBudget = 1u << 3,
+  kTraceOptAll = (1u << 4) - 1,
+};
+
+struct TraceOptConfig {
+  uint32_t Stages = kTraceOptAll;
+  /// Fuzz-only planted bug: unconditionally delete the last branch guard
+  /// of the body. The differential trace oracle must catch the resulting
+  /// divergence (fuzz/Fuzzer.h FaultKind::DropTraceGuard).
+  bool FaultDropGuard = false;
+};
+
+/// Per-trace optimizer counters (dump/experiments).
+struct TraceOptStats {
+  uint32_t StepsRemoved = 0;
+  uint32_t GuardsRemoved = 0;
+  uint32_t EffectsCoalesced = 0;
+  uint32_t ConstsFolded = 0;
+};
+
+/// Optimizes \p T in place. Safe on any compiled trace, anchor or bridge.
+void optimizeTrace(CompiledTrace &T, const TraceOptConfig &C = {},
+                   TraceOptStats *S = nullptr);
+
+/// Deterministic text dump of a compiled trace body (goldens + debugging).
+std::string dumpTrace(const CompiledTrace &T);
+
+/// Static path knowledge handed across the layering boundary: src/interp
+/// links only olpp_ir, so the profile layer's InfeasiblePaths results are
+/// passed in as plain sorted id intervals per function. Producers (the
+/// driver, the fuzz oracle, tests) fill this from
+/// profile/InfeasiblePaths.h's FunctionInfeasibility.
+struct TraceFeasibilityFacts {
+  struct Interval {
+    int64_t Lo = 0;
+    int64_t Hi = 0; ///< inclusive
+  };
+  /// Per function id: disjoint, sorted infeasible BL/OL path-id intervals.
+  std::vector<std::pair<uint32_t, std::vector<Interval>>> PerFunc;
+
+  bool infeasible(uint32_t FuncId, int64_t Id) const;
+};
+
+/// Cross-checks the trace's precomputed path-counter bumps against the
+/// static feasibility facts: a trace whose guards statically determine its
+/// path ids must only bump ids the analysis proves reachable. Returns
+/// false (trace must be rejected) when any Table-0 bump targets an id the
+/// facts classify infeasible — that can only mean a compiler or optimizer
+/// bug, so the caller treats it like a failed compilation.
+bool traceBumpsFeasible(const CompiledTrace &T,
+                        const TraceFeasibilityFacts &Facts);
+
+} // namespace olpp
+
+#endif // OLPP_INTERP_TRACEOPT_H

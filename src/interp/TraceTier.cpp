@@ -44,6 +44,7 @@ bool PlanTraceCache::install(std::unique_ptr<CompiledTrace> T) {
     for (const auto &E : Cur->Entries)
       if (E.first == T->AnchorPc)
         return false; // lost the race; the first install wins
+  T->prepareRuntime();
   auto Next = std::make_unique<AnchorList>();
   if (Cur)
     Next->Entries = Cur->Entries;
@@ -56,6 +57,29 @@ bool PlanTraceCache::install(std::unique_ptr<CompiledTrace> T) {
   Retired.push_back(std::move(Next));
   Slot.store(NextRaw, std::memory_order_release);
   return true;
+}
+
+bool PlanTraceCache::installBridge(const CompiledTrace &Parent, uint32_t Step,
+                                   std::unique_ptr<CompiledTrace> B) {
+  std::lock_guard<std::mutex> Lock(InstallMu);
+  if (!Parent.BridgeAt || Step >= Parent.Steps.size())
+    return false;
+  if (Parent.BridgeAt[Step].load(std::memory_order_relaxed))
+    return false; // lost the race; the first bridge per exit wins
+  B->prepareRuntime();
+  const CompiledTrace *Raw = B.get();
+  Owned.push_back(std::move(B));
+  Parent.BridgeAt[Step].store(Raw, std::memory_order_release);
+  return true;
+}
+
+std::vector<const CompiledTrace *> PlanTraceCache::all() const {
+  std::lock_guard<std::mutex> Lock(InstallMu);
+  std::vector<const CompiledTrace *> Out;
+  Out.reserve(Owned.size());
+  for (const auto &T : Owned)
+    Out.push_back(T.get());
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1270,16 +1294,22 @@ std::unique_ptr<CompiledTrace> TraceCompiler::run() {
   if (Rec.events().empty())
     return nullptr;
   const uint32_t AnchorF = Rec.anchorFunc();
-  const uint32_t AnchorPc = Rec.anchorPc();
-  if (AnchorF >= P.Funcs.size())
+  const uint32_t StartPc = Rec.anchorPc();
+  const uint32_t EndPc = Rec.endPc();
+  if (AnchorF >= P.Funcs.size() || Rec.endFunc() != AnchorF)
     return nullptr;
 
   Out = std::make_unique<CompiledTrace>();
   Out->FuncId = AnchorF;
-  Out->AnchorPc = AnchorPc;
+  // Bridges start at a side-exit resume point (usually mid-block) and run
+  // to the parent's anchor; AnchorPc names where a completed pass lands.
+  Out->IsBridge = Rec.bridge();
+  Out->AnchorPc = EndPc;
   Out->AnchorBlock = Rec.anchorBlock();
+  Out->StartPc = StartPc;
+  Out->StartBlock = Rec.anchorBlock();
 
-  // The anchor frame: everything entry-relative / unknown; the compiler
+  // The entry frame: everything entry-relative / unknown; the compiler
   // promotes components to known values (emitting guards) on demand.
   CompFrame F;
   F.FuncId = AnchorF;
@@ -1288,12 +1318,12 @@ std::unique_ptr<CompiledTrace> TraceCompiler::run() {
   F.KnownReg.assign(F.FP->NumRegs, 0);
   F.KVal.assign(F.FP->NumRegs, 0);
   Fs.push_back(std::move(F));
-  Pc = AnchorPc;
+  Pc = StartPc;
   CurBlock = Rec.anchorBlock();
   if (Snap.Loops.size() != Fs.front().Loops.size())
     return nullptr;
 
-  while (!(EvIdx == Rec.events().size() && atAnchor() && Pc == AnchorPc &&
+  while (!(EvIdx == Rec.events().size() && atAnchor() && Pc == EndPc &&
            BaseIdx > 0)) {
     if (Failed || BaseIdx >= MaxBaseSteps)
       return nullptr;
@@ -1345,121 +1375,151 @@ std::unique_ptr<CompiledTrace> compileTrace(const ExecPlan &P,
 
 namespace {
 
-bool checkGuards(const CompiledTrace &T, const TraceRunIO &IO,
-                 size_t AnchorIdx) {
+/// Evaluates \p T's entry guards against live state and returns how many
+/// consecutive passes they are guaranteed to keep passing for, capped at
+/// \p Cap (0 = a guard fails right now). Without optimizer budgets every
+/// pass re-checks, so the grant is a single pass; with them (see
+/// TraceOpt.h kTraceOptBudget) a whole batch runs on one sweep.
+uint64_t guardPassBudget(const CompiledTrace &T, const TraceRunIO &IO,
+                         size_t AnchorIdx, uint64_t Cap) {
   const FastFrame &Fr = IO.Frames[AnchorIdx];
   const LoopRegs *Loops = IO.LoopStack.data() + Fr.LoopBase;
   const ProfileRuntime &Prof = IO.Prof;
-  for (const TraceGuard &G : T.Guards) {
+  const bool HasB = T.Budgeted;
+  uint64_t Budget = (HasB && Cap) ? Cap : 1;
+  if (T.Guards.empty())
+    return Budget;
+  for (size_t I = 0; I < T.Guards.size(); ++I) {
+    const TraceGuard &G = T.Guards[I];
+    int64_t Live = 0; ///< Lt-kind live counter value (budget math below)
     switch (G.Kind) {
     case GuardKind::R:
       if (Fr.R != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::LoopActive:
       if (Loops[G.Slot].Active != (G.V != 0))
-        return false;
+        return 0;
       break;
     case GuardKind::LoopRo:
       if (Loops[G.Slot].Ro != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::LoopOlEq:
       if (Loops[G.Slot].Ol != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::LoopOlLt:
-      if (Loops[G.Slot].Ol >= G.V)
-        return false;
+      Live = Loops[G.Slot].Ol;
+      if (Live >= G.V)
+        return 0;
       break;
     case GuardKind::ActiveI:
       if (Fr.ActiveI != (G.V != 0))
-        return false;
+        return 0;
       break;
     case GuardKind::HaveCaller:
       if (Fr.HaveCaller != (G.V != 0))
-        return false;
+        return 0;
       break;
     case GuardKind::RI:
       if (Fr.RI != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::OlIEq:
       if (Fr.OlI != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::OlILt:
-      if (Fr.OlI >= G.V)
-        return false;
+      Live = Fr.OlI;
+      if (Live >= G.V)
+        return 0;
       break;
     case GuardKind::CallerPre:
       if (Fr.CallerPre != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::CallSiteI:
       if (Fr.CallSiteI != static_cast<uint32_t>(G.V))
-        return false;
+        return 0;
       break;
     case GuardKind::ActiveII:
       if (Fr.ActiveII != (G.V != 0))
-        return false;
+        return 0;
       break;
     case GuardKind::RoII:
       if (Fr.RoII != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::OlIIEq:
       if (Fr.OlII != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::OlIILt:
-      if (Fr.OlII >= G.V)
-        return false;
+      Live = Fr.OlII;
+      if (Live >= G.V)
+        return 0;
       break;
     case GuardKind::CalleePathII:
       if (Fr.CalleePathII != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::CallSiteII:
       if (Fr.CallSiteII != static_cast<uint32_t>(G.V))
-        return false;
+        return 0;
       break;
     case GuardKind::CalleeII:
       if (Fr.CalleeII != static_cast<uint32_t>(G.V))
-        return false;
+        return 0;
       break;
     case GuardKind::PendingValid:
       if (Prof.Pending.Valid != (G.V != 0))
-        return false;
+        return 0;
       break;
     case GuardKind::PendingCallee:
       if (Prof.Pending.Callee != static_cast<uint32_t>(G.V))
-        return false;
+        return 0;
       break;
     case GuardKind::PendingPathId:
       if (Prof.Pending.PathId != G.V)
-        return false;
+        return 0;
       break;
     case GuardKind::ShadowDepth:
       if (Prof.ShadowStack.size() != static_cast<uint64_t>(G.V))
-        return false;
+        return 0;
       break;
     case GuardKind::ShadowSiteAt: {
       const auto &SS = Prof.ShadowStack;
       if (SS.size() <= G.Slot ||
           SS[SS.size() - 1 - G.Slot].CallSite != static_cast<uint32_t>(G.V))
-        return false;
+        return 0;
       break;
     }
     case GuardKind::ShadowPreAt: {
       const auto &SS = Prof.ShadowStack;
       if (SS.size() <= G.Slot || SS[SS.size() - 1 - G.Slot].CallerPre != G.V)
-        return false;
+        return 0;
       break;
     }
     }
+    if (!HasB || Budget == 1)
+      continue;
+    const GuardBudget &B = T.Budgets[I];
+    if (B.M == GuardBudget::One) {
+      Budget = 1;
+    } else if (B.M == GuardBudget::DynLt) {
+      // Live < G.V held above; the counter gains Delta (> 0) per pass, so
+      // exactly ceil((V - Live) / Delta) passes stay under the bound.
+      // Unsigned subtraction is exact for any int64 pair with Live < V.
+      const uint64_t Q =
+          static_cast<uint64_t>(G.V) - static_cast<uint64_t>(Live);
+      const uint64_t D = static_cast<uint64_t>(B.Delta);
+      const uint64_t K = Q / D + (Q % D != 0 ? 1 : 0);
+      if (K < Budget)
+        Budget = K;
+    }
   }
-  return true;
+  return Budget;
 }
 
 void applyEffect(const TraceEffect &E, TraceRunIO &IO, size_t AnchorIdx) {
@@ -1551,29 +1611,125 @@ void applyEffect(const TraceEffect &E, TraceRunIO &IO, size_t AnchorIdx) {
   }
 }
 
+/// Applies \p T's collapsed per-pass net effects for \p K completed passes
+/// at once. Sound because PassEffects holds at most one entry per
+/// component: Sets are idempotent across passes and Adds scale linearly;
+/// shadow push/pop entries only occur on single-pass traces (K <= 1 by
+/// construction there).
+void applyPassEffectsScaled(const CompiledTrace &T, TraceRunIO &IO,
+                            size_t AnchorIdx, uint64_t K) {
+  if (K == 0)
+    return;
+  if (K == 1) {
+    for (const TraceEffect &E : T.PassEffects)
+      applyEffect(E, IO, AnchorIdx);
+    return;
+  }
+  for (const TraceEffect &E : T.PassEffects) {
+    switch (E.Kind) {
+    case EffectKind::AddR:
+    case EffectKind::AddRI:
+    case EffectKind::AddOlI:
+    case EffectKind::AddRoII:
+    case EffectKind::AddOlII:
+    case EffectKind::AddLoopRo:
+    case EffectKind::AddLoopOl: {
+      TraceEffect S = E;
+      S.V = static_cast<int64_t>(static_cast<uint64_t>(E.V) * K);
+      applyEffect(S, IO, AnchorIdx);
+      break;
+    }
+    default:
+      applyEffect(E, IO, AnchorIdx);
+      break;
+    }
+  }
+}
+
 } // namespace
 
-void runCompiledTrace(const CompiledTrace &T, TraceRunIO &IO) {
+void runCompiledTrace(const CompiledTrace &Root, TraceRunIO &IO) {
   ++IO.Stats.Enters;
   const size_t AnchorIdx = IO.Frames.size() - 1;
-  uint64_t PassCount = 0;
-  bool Deopt = false;
-  size_t DeoptK = 0;
+  // The segment being executed: the root (anchor) trace, or a bridge
+  // stitched onto one of its side exits. A mid-pass deopt at anchor depth
+  // chases the exit's bridge when one is linked; a completed bridge pass
+  // lands back at the root's anchor and re-enters the root. Every segment
+  // boundary flushes exact engine state first, so a reject at any point
+  // leaves nothing to undo.
+  const CompiledTrace *Seg = &Root;
+  // Completed anchor-to-anchor iterations this enter (full root passes
+  // plus completed bridge passes): the retirement heuristic's notion of
+  // straight-line progress.
+  uint64_t RootProgress = 0;
+  bool AnyProgress = false;
+  // Completed passes of the *current segment run* (reset on every segment
+  // switch): gates Wrap recovery entries, whose value only exists once
+  // this segment has wrapped around the backedge at least once.
+  uint64_t SegPasses = 0;
+  // A clean pass-boundary exit from a segment must land every Wrap entry
+  // (the final value of each whole-pass-dead write) before anything else
+  // reads the anchor frame.
+  const auto MaterializeWraps = [&IO, AnchorIdx](const CompiledTrace &Tr) {
+    if (Tr.Recov.empty())
+      return;
+    int64_t *ARegs = IO.RegStack.data() + IO.Frames[AnchorIdx].RegBase;
+    for (const TraceRecovery &R : Tr.Recov)
+      if (R.Wrap)
+        ARegs[R.R] = R.Copy ? ARegs[R.Src] : R.V;
+  };
   // Base-step index at which the frame currently live at each in-trace
   // depth was created; gates positional effects to the right frame
   // instance on a mid-pass deopt.
   std::vector<uint32_t> DS;
 
   for (;;) {
+    const CompiledTrace &T = *Seg;
+
     // Fuel precondition: the dispatch loop charges one fuel unit per base
     // step *before* executing it, so a pass may start only if every one of
-    // its PassSteps fits under the limit. IO.Steps is flushed once at exit,
-    // so passes already run this entry are counted via PassCount here.
-    if (IO.Steps + (PassCount + 1) * T.PassSteps > IO.MaxSteps)
+    // its PassSteps fits under the limit. Accounting is flushed per batch,
+    // so IO.Steps is current here.
+    uint64_t MaxK = 0;
+    if (IO.Steps + T.PassSteps <= IO.MaxSteps) {
+      const uint64_t FuelK = (IO.MaxSteps - IO.Steps) / T.PassSteps;
+      MaxK = guardPassBudget(T, IO, AnchorIdx, FuelK);
+      if (MaxK > FuelK)
+        MaxK = FuelK;
+      if (MaxK && (!T.MultiPass || T.IsBridge))
+        MaxK = 1;
+    }
+    if (MaxK == 0) {
+      if (T.IsBridge) {
+        // Bridge entry reject: the side exit already restored exact state
+        // and the resume point. Tally churn for the bridge's own
+        // retirement (Dead only — a bridge never blacklists the anchor).
+        const uint64_t BE =
+            T.LifeEnters.fetch_add(1, std::memory_order_relaxed) + 1;
+        const uint64_t BP = T.LifePasses.load(std::memory_order_relaxed);
+        if (BE >= CompiledTrace::RetireCheckEnters && BP * 4 < BE &&
+            !T.Dead.exchange(true, std::memory_order_relaxed))
+          ++IO.Stats.Retired;
+        break;
+      }
+      if (!AnyProgress)
+        ++IO.Stats.EntryRejects;
+      if (SegPasses)
+        MaterializeWraps(T);
+      FastFrame &Top = IO.Frames[AnchorIdx];
+      Top.Pc = T.AnchorPc;
+      Top.Block = T.AnchorBlock;
       break;
-    if (!checkGuards(T, IO, AnchorIdx))
-      break;
+    }
+    if (T.IsBridge) {
+      T.LifeEnters.fetch_add(1, std::memory_order_relaxed);
+      ++IO.Stats.BridgeEnters;
+    }
 
+    uint64_t PassCount = 0;
+    bool Deopt = false;
+    size_t DeoptK = 0;
+    while (PassCount < MaxK) {
     DS.assign(1, 0);
     int64_t *Regs = IO.RegStack.data() + IO.Frames[AnchorIdx].RegBase;
 
@@ -1849,72 +2005,154 @@ void runCompiledTrace(const CompiledTrace &T, TraceRunIO &IO) {
 
   TrPassDone:
     ++PassCount;
-    for (const TraceEffect &E : T.PassEffects)
-      applyEffect(E, IO, AnchorIdx);
-    if (!T.MultiPass)
+    }
+
+    // Batch bookkeeping. Completed passes apply their net effects scaled
+    // (deferred across the batch: steps never read probe state, so the
+    // deferral is invisible), then the deopt path applies the partial
+    // pass's positional effects and recovery entries — exact interpreter
+    // state before anything else looks at it.
+    uint32_t Threshold = 0;
+    applyPassEffectsScaled(T, IO, AnchorIdx, PassCount);
+    if (Deopt) {
+      const TraceStepMeta &Mk = T.Meta[DeoptK];
+      Threshold = Mk.BaseIdx;
+      for (const TraceEffect &E : T.Effects) {
+        if (E.BaseIdx >= Threshold)
+          break;
+        if (E.Depth >= DS.size())
+          continue;
+        if (E.Depth > 0 && E.BaseIdx < DS[E.Depth])
+          continue;
+        applyEffect(E, IO, AnchorIdx);
+      }
+      // Materialize optimizer-removed register writes whose live window
+      // covers the deopt step (anchor-frame registers; sorted by Begin,
+      // later entries overwrite earlier ones by design).
+      if (!T.Recov.empty()) {
+        int64_t *ARegs = IO.RegStack.data() + IO.Frames[AnchorIdx].RegBase;
+        const uint32_t K32 = static_cast<uint32_t>(DeoptK);
+        for (const TraceRecovery &R : T.Recov) {
+          if (R.Begin > K32)
+            break;
+          // Wrap windows hold the previous pass's value: dead until this
+          // segment run has completed at least one pass.
+          if (K32 <= R.End && (!R.Wrap || SegPasses + PassCount > 0))
+            ARegs[R.R] = R.Copy ? ARegs[R.Src] : R.V;
+        }
+      }
+      IO.Steps += PassCount * T.PassSteps + Mk.CumSteps;
+      IO.Base += PassCount * T.PassBase + Mk.CumBase;
+      IO.PCost += PassCount * T.PassPCost + Mk.CumPCost;
+      IO.Blocks += PassCount * T.PassBlocks + Mk.CumBlocks;
+      IO.Calls += PassCount * T.PassCalls + Mk.CumCalls;
+      IO.Stats.TraceSteps += PassCount * T.PassSteps + Mk.CumSteps;
+      FastFrame &Top = IO.Frames.back();
+      Top.Pc = Mk.Pc;
+      Top.Block = Mk.Block;
+      ++IO.Stats.Deopts;
+    } else {
+      IO.Steps += PassCount * T.PassSteps;
+      IO.Base += PassCount * T.PassBase;
+      IO.PCost += PassCount * T.PassPCost;
+      IO.Blocks += PassCount * T.PassBlocks;
+      IO.Calls += PassCount * T.PassCalls;
+      IO.Stats.TraceSteps += PassCount * T.PassSteps;
+    }
+    IO.Stats.Passes += PassCount;
+    SegPasses += PassCount;
+
+    for (const TraceBump &B : T.Bumps) {
+      const uint64_t N =
+          PassCount + ((Deopt && B.BaseIdx < Threshold) ? 1 : 0);
+      if (N == 0)
+        continue;
+      if (B.Table == 0)
+        IO.Prof.PathCounts[B.FuncId].add(B.Id, N);
+      else if (B.Table == 1)
+        IO.Prof.TypeICounts.bump(B.Key, N);
+      else
+        IO.Prof.TypeIICounts.bump(B.Key, N);
+    }
+
+    if (!T.IsBridge && PassCount) {
+      RootProgress += PassCount;
+      AnyProgress = true;
+    }
+
+    if (!Deopt) {
+      if (T.IsBridge) {
+        // Completed bridge pass: control is back at the root's anchor.
+        // Counts as one anchor-to-anchor iteration of straight-line
+        // progress for the tree.
+        T.LifePasses.fetch_add(1, std::memory_order_relaxed);
+        RootProgress += 1;
+        AnyProgress = true;
+        MaterializeWraps(T);
+        Seg = &Root;
+        SegPasses = 0;
+        continue;
+      }
+      if (!T.MultiPass) {
+        MaterializeWraps(T);
+        FastFrame &Top = IO.Frames[AnchorIdx];
+        Top.Pc = T.AnchorPc;
+        Top.Block = T.AnchorBlock;
+        break;
+      }
+      continue; // guards and fuel re-checked at the top
+    }
+
+    // Mid-pass deopt. When it happened at anchor depth, this is a side
+    // exit: chase its bridge if one is stitched in, or ask the
+    // interpreter to record one once the exit proves hot.
+    bool Chase = false;
+    if (DS.size() == 1 && T.ExitDeopts && IO.LinkThreshold) {
+      std::atomic<uint32_t> &Ctr = T.ExitDeopts[DeoptK];
+      const uint32_t Prev = Ctr.load(std::memory_order_relaxed);
+      if (Prev != CompiledTrace::NoBridgeSentinel) {
+        uint32_t Now = Prev + 1;
+        if (Now >= CompiledTrace::NoBridgeSentinel)
+          Now = CompiledTrace::NoBridgeSentinel - 1;
+        Ctr.store(Now, std::memory_order_relaxed);
+        const CompiledTrace *Br =
+            T.BridgeAt[DeoptK].load(std::memory_order_acquire);
+        if (Br && !Br->Dead.load(std::memory_order_relaxed)) {
+          Seg = Br;
+          SegPasses = 0;
+          Chase = true;
+        } else if (!Br && Now == IO.LinkThreshold) {
+          IO.BridgeParent = &T;
+          IO.BridgeStep = static_cast<uint32_t>(DeoptK);
+        }
+      }
+    }
+    if (T.IsBridge) {
+      // A bridge that keeps dying mid-pass is churn like any other trace;
+      // its completion rate (LifePasses counts completions only) decides.
+      const uint64_t BE = T.LifeEnters.load(std::memory_order_relaxed);
+      const uint64_t BP = T.LifePasses.load(std::memory_order_relaxed);
+      if (BE >= CompiledTrace::RetireCheckEnters && BP * 4 < BE &&
+          !T.Dead.exchange(true, std::memory_order_relaxed))
+        ++IO.Stats.Retired;
+    }
+    if (!Chase)
       break;
   }
 
-  uint32_t Threshold = 0;
-  if (Deopt) {
-    const TraceStepMeta &Mk = T.Meta[DeoptK];
-    Threshold = Mk.BaseIdx;
-    for (const TraceEffect &E : T.Effects) {
-      if (E.BaseIdx >= Threshold)
-        break;
-      if (E.Depth >= DS.size())
-        continue;
-      if (E.Depth > 0 && E.BaseIdx < DS[E.Depth])
-        continue;
-      applyEffect(E, IO, AnchorIdx);
-    }
-    IO.Steps += PassCount * T.PassSteps + Mk.CumSteps;
-    IO.Base += PassCount * T.PassBase + Mk.CumBase;
-    IO.PCost += PassCount * T.PassPCost + Mk.CumPCost;
-    IO.Blocks += PassCount * T.PassBlocks + Mk.CumBlocks;
-    IO.Calls += PassCount * T.PassCalls + Mk.CumCalls;
-    IO.Stats.TraceSteps += PassCount * T.PassSteps + Mk.CumSteps;
-    FastFrame &Top = IO.Frames.back();
-    Top.Pc = Mk.Pc;
-    Top.Block = Mk.Block;
-    ++IO.Stats.Deopts;
-  } else {
-    IO.Steps += PassCount * T.PassSteps;
-    IO.Base += PassCount * T.PassBase;
-    IO.PCost += PassCount * T.PassPCost;
-    IO.Blocks += PassCount * T.PassBlocks;
-    IO.Calls += PassCount * T.PassCalls;
-    IO.Stats.TraceSteps += PassCount * T.PassSteps;
-    FastFrame &Top = IO.Frames[AnchorIdx];
-    Top.Pc = T.AnchorPc;
-    Top.Block = T.AnchorBlock;
-  }
-  IO.Stats.Passes += PassCount;
-
-  for (const TraceBump &B : T.Bumps) {
-    const uint64_t N =
-        PassCount + ((Deopt && B.BaseIdx < Threshold) ? 1 : 0);
-    if (N == 0)
-      continue;
-    if (B.Table == 0)
-      IO.Prof.PathCounts[B.FuncId].add(B.Id, N);
-    else if (B.Table == 1)
-      IO.Prof.TypeICounts.bump(B.Key, N);
-    else
-      IO.Prof.TypeIICounts.bump(B.Key, N);
-  }
-
   // Adaptive retirement (see CompiledTrace): once the lifetime average
-  // drops under one completed pass per enter, the trace is churn — every
-  // enter pays setup plus the deopt restore for no straight-line progress.
-  // Blacklisting the anchor keeps this runtime from re-recording it.
+  // drops under one completed anchor-to-anchor iteration per enter, the
+  // tree is churn — every enter pays setup plus the deopt restore for no
+  // straight-line progress. Blacklisting the anchor keeps this runtime
+  // from re-recording it.
   const uint64_t Enters =
-      T.LifeEnters.fetch_add(1, std::memory_order_relaxed) + 1;
+      Root.LifeEnters.fetch_add(1, std::memory_order_relaxed) + 1;
   const uint64_t Passes =
-      T.LifePasses.fetch_add(PassCount, std::memory_order_relaxed) + PassCount;
+      Root.LifePasses.fetch_add(RootProgress, std::memory_order_relaxed) +
+      RootProgress;
   if (Enters >= CompiledTrace::RetireCheckEnters && Passes < Enters &&
-      !T.Dead.exchange(true, std::memory_order_relaxed)) {
-    IO.Prof.Tier.blacklistAnchor(T.FuncId, T.AnchorPc);
+      !Root.Dead.exchange(true, std::memory_order_relaxed)) {
+    IO.Prof.Tier.blacklistAnchor(Root.FuncId, Root.AnchorPc);
     ++IO.Stats.Retired;
   }
 }

@@ -110,13 +110,21 @@ struct GlobalView {
 
 /// One run's tracing-tier counters (RunResult::Trace).
 struct TraceTierStats {
-  uint64_t Recorded = 0;   ///< traces compiled and installed this run
+  uint64_t Recorded = 0;   ///< anchor traces compiled and installed this run
   uint64_t Aborted = 0;    ///< recordings abandoned (caps, unsupported shape)
   uint64_t Enters = 0;     ///< times the dispatch loop entered a trace
   uint64_t Passes = 0;     ///< full straight-line passes executed
+  /// Enters rejected by the entry-guard check before a single pass (or
+  /// bridge segment) ran. Distinct from Deopts: an entry reject costs one
+  /// guard sweep and nothing else, while a mid-pass deopt abandons partial
+  /// straight-line work. The retirement heuristic and the bench columns
+  /// consume them separately.
+  uint64_t EntryRejects = 0;
   uint64_t Deopts = 0;     ///< mid-pass guard exits back to the plan
   uint64_t TraceSteps = 0; ///< base-step equivalents retired inside traces
   uint64_t Retired = 0;    ///< traces marked dead for persistent churn
+  uint64_t Bridges = 0;      ///< bridge traces compiled and linked this run
+  uint64_t BridgeEnters = 0; ///< side exits continued into a bridge trace
 };
 
 //===----------------------------------------------------------------------===//
@@ -148,16 +156,35 @@ public:
              const ProfileRuntime &Prof) {
     Recording = true;
     Abort = false;
+    Bridge = false;
     Depth = 0;
     Func = FuncId;
     Pc = AnchorPc;
     Block = AnchorBlock;
+    EndF = FuncId;
+    EndP = AnchorPc;
     Events.clear();
     Snap.Fr = Anchor;
     Snap.Loops.assign(Slots, Slots + NumSlots);
     Snap.Shadow = Prof.ShadowStack;
     Snap.Pending = Prof.Pending;
   }
+
+  /// Arms a *bridge* recording: starts at a parent trace's side exit (the
+  /// deopt resume point, usually mid-block) and ends when control next
+  /// reaches the parent's anchor at equal depth. The live state at the
+  /// call site *is* the snapshot — the caller invokes this at the exact
+  /// resume point, before any further instruction runs.
+  void beginBridge(uint32_t FuncId, uint32_t StartPc, uint32_t StartBlock,
+                   uint32_t EndFunc, uint32_t EndPc, const FastFrame &Cur,
+                   const LoopRegs *Slots, uint32_t NumSlots,
+                   const ProfileRuntime &Prof) {
+    begin(FuncId, StartPc, StartBlock, Cur, Slots, NumSlots, Prof);
+    Bridge = true;
+    EndF = EndFunc;
+    EndP = EndPc;
+  }
+
   void clear() { Recording = false; }
 
   void onEnter(uint32_t F) override {
@@ -177,10 +204,13 @@ public:
 
   bool recording() const { return Recording; }
   bool aborted() const { return Abort; }
+  bool bridge() const { return Bridge; }
   int depth() const { return Depth; }
   uint32_t anchorFunc() const { return Func; }
   uint32_t anchorPc() const { return Pc; }
   uint32_t anchorBlock() const { return Block; }
+  uint32_t endFunc() const { return EndF; }
+  uint32_t endPc() const { return EndP; }
   const std::vector<TraceEvent> &events() const { return Events; }
   const TraceSnapshot &snapshot() const { return Snap; }
 
@@ -194,8 +224,10 @@ private:
 
   bool Recording = false;
   bool Abort = false;
+  bool Bridge = false;
   int Depth = 0;
   uint32_t Func = 0, Pc = 0, Block = 0;
+  uint32_t EndF = 0, EndP = 0;
   std::vector<TraceEvent> Events;
   TraceSnapshot Snap;
 };
@@ -363,13 +395,61 @@ struct TraceStepMeta {
   uint32_t CumCalls = 0;
 };
 
+/// A register write the optimizer removed from the straight line. The
+/// surviving steps never read it, but a mid-pass deopt landing inside its
+/// live window must still see the value in the anchor frame's registers,
+/// so the executor materializes it on that deopt path. Windows are step
+/// indices into the *optimized* step vector; entry (Begin, End, R) means
+/// "a deopt at step k with Begin <= k <= End must set anchor reg R".
+/// Entries are sorted by Begin and applied in order, so a later removed
+/// write to the same register correctly overwrites an earlier one.
+struct TraceRecovery {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  Reg R = 0;
+  /// Copy == false: R = V. Copy == true: R = anchor reg Src (the optimizer
+  /// proved Src holds the removed value throughout the window).
+  bool Copy = false;
+  /// The cyclic half of a whole-pass-dead write's window: inside [Begin,
+  /// End] the value flowed in from the *previous* pass, so the executor
+  /// applies the entry only once the current segment run has completed a
+  /// pass — and re-applies every Wrap entry wholesale on a clean
+  /// pass-boundary exit, so the interpreter resumes with the write's
+  /// final value in place.
+  bool Wrap = false;
+  Reg Src = 0;
+  int64_t V = 0;
+};
+
+/// Per-entry-guard pass budget, computed by the optimizer from the guard's
+/// evolution under PassEffects. Lets the executor check guards once per
+/// *batch* of passes instead of once per pass: a component untouched by a
+/// pass can never fail later (Inf); a Set-evolving component either keeps
+/// passing forever (Inf) or fails on the second pass (One); a monotone
+/// Add under a Lt bound admits exactly ceil((V - live) / Delta) passes
+/// (DynLt).
+struct GuardBudget {
+  enum Mode : uint8_t { Inf, One, DynLt };
+  Mode M = Inf;
+  int64_t Delta = 0; ///< DynLt: per-pass increment (> 0)
+};
+
 /// A compiled straight-line loop pass, anchored at a taken backward branch
-/// target. Immutable after compilation; references only plan-owned data,
-/// so it is safe to share across every interpreter of the plan.
+/// target — or a *bridge*: a straight line from a parent trace's side exit
+/// back to the parent's anchor (IsBridge below). Immutable after
+/// compilation; references only plan-owned data, so it is safe to share
+/// across every interpreter of the plan.
 struct CompiledTrace {
+  /// Anchor traces: the loop anchor. Bridges: FuncId/AnchorPc/AnchorBlock
+  /// are the *parent's* anchor (where a completed bridge pass lands);
+  /// StartPc/StartBlock are the side-exit resume point the bridge begins
+  /// at.
   uint32_t FuncId = 0;
   uint32_t AnchorPc = 0;
   uint32_t AnchorBlock = 0;
+  uint32_t StartPc = 0;
+  uint32_t StartBlock = 0;
+  bool IsBridge = false;
 
   std::vector<TraceGuard> Guards;
   std::vector<TraceStep> Steps;
@@ -377,6 +457,13 @@ struct CompiledTrace {
   std::vector<TraceEffect> Effects;     ///< full, BaseIdx order (deopt path)
   std::vector<TraceEffect> PassEffects; ///< collapsed net effect (pass end)
   std::vector<TraceBump> Bumps;
+
+  /// Optimizer products (interp/TraceOpt.h). Empty on an unoptimized
+  /// trace; the executor falls back to per-pass guard checks when Budgets
+  /// is empty.
+  std::vector<TraceRecovery> Recov;
+  std::vector<GuardBudget> Budgets; ///< parallel to Guards when Budgeted
+  bool Budgeted = false; ///< budget stage ran (Budgets.size()==Guards.size())
 
   /// Whole-pass accounting totals (ghosts included).
   uint64_t PassSteps = 0;
@@ -403,6 +490,29 @@ struct CompiledTrace {
   mutable std::atomic<uint64_t> LifeEnters{0};
   mutable std::atomic<uint64_t> LifePasses{0};
   mutable std::atomic<bool> Dead{false};
+
+  /// Side-exit linking (trace trees). Per-step tables sized Steps.size(),
+  /// allocated by the cache at install time (prepareRuntime). ExitDeopts
+  /// counts anchor-depth mid-pass deopts at each step; crossing the link
+  /// threshold asks the interpreter to record a bridge from that exit, and
+  /// the sentinel marks an exit whose bridge recording failed (never asked
+  /// again). BridgeAt publishes the stitched-in bridge, first install
+  /// wins.
+  static constexpr uint32_t NoBridgeSentinel = UINT32_MAX;
+  std::unique_ptr<std::atomic<uint32_t>[]> ExitDeopts;
+  std::unique_ptr<std::atomic<const CompiledTrace *>[]> BridgeAt;
+
+  /// Allocates the runtime link tables (idempotent).
+  void prepareRuntime() {
+    if (ExitDeopts || Steps.empty())
+      return;
+    ExitDeopts.reset(new std::atomic<uint32_t>[Steps.size()]);
+    BridgeAt.reset(new std::atomic<const CompiledTrace *>[Steps.size()]);
+    for (size_t I = 0; I < Steps.size(); ++I) {
+      ExitDeopts[I].store(0, std::memory_order_relaxed);
+      BridgeAt[I].store(nullptr, std::memory_order_relaxed);
+    }
+  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -452,25 +562,56 @@ public:
   /// anchor already has a trace.
   bool install(std::unique_ptr<CompiledTrace> T);
 
+  /// Stitches \p B in as the bridge for \p Parent's side exit at step
+  /// \p Step. First bridge per exit wins; returns false (and frees B) when
+  /// the exit already has one. The cache owns the bridge for the plan's
+  /// lifetime, like any other trace.
+  bool installBridge(const CompiledTrace &Parent, uint32_t Step,
+                     std::unique_ptr<CompiledTrace> B);
+
+  /// Every trace this cache owns (anchors and bridges, dead ones
+  /// included), in install order. Test/dump helper; takes the install
+  /// lock.
+  std::vector<const CompiledTrace *> all() const;
+
 private:
   struct AnchorList {
     std::vector<std::pair<uint32_t, const CompiledTrace *>> Entries;
   };
 
   std::vector<std::atomic<const AnchorList *>> Published;
-  std::mutex InstallMu;
+  mutable std::mutex InstallMu;
   std::vector<std::unique_ptr<const AnchorList>> Retired;
   std::vector<std::unique_ptr<const CompiledTrace>> Owned;
 };
 
+/// Everything that shapes what a recorded trace *is*: two runs whose
+/// settings differ in any field must never share compiled traces, because
+/// the traces themselves differ (recording threshold changes which anchors
+/// get recorded and when; the optimizer stage mask and the planted fault
+/// change the compiled bodies; the link threshold changes which bridges
+/// exist).
+struct TraceSettings {
+  uint32_t Threshold = 32;     ///< hotness threshold (0 = first completion)
+  uint32_t LinkThreshold = 8;  ///< side-exit deopts before bridging (0 = off)
+  uint32_t OptStages = 0;      ///< TraceOpt stage mask (0 = unoptimized)
+  bool FaultDropGuard = false; ///< fuzz-only planted optimizer bug
+
+  bool operator==(const TraceSettings &O) const {
+    return Threshold == O.Threshold && LinkThreshold == O.LinkThreshold &&
+           OptStages == O.OptStages && FaultDropGuard == O.FaultDropGuard;
+  }
+};
+
 /// The trace caches of one ExecPlan, keyed by the trace settings that
-/// recorded them (the recording threshold). Plans are shared process-wide
-/// by content fingerprint (interp/PlanCache.h); a single cache per plan
-/// would let traces recorded under one --trace-threshold leak into later
-/// runs of an identical-content module with a different threshold or with
-/// tracing disabled, silently changing the execution tier. Each distinct
-/// threshold therefore gets its own PlanTraceCache, created on first use;
-/// a run with tracing off never asks for one and so never sees a trace.
+/// recorded them. Plans are shared process-wide by content fingerprint
+/// (interp/PlanCache.h); a single cache per plan would let traces recorded
+/// under one settings tuple leak into later runs of an identical-content
+/// module with different settings — a different threshold, a different
+/// optimizer stage mask, or tracing disabled — silently changing the
+/// execution tier. Each distinct settings tuple therefore gets its own
+/// PlanTraceCache, created on first use; a run with tracing off never asks
+/// for one and so never sees a trace.
 ///
 /// Plans are shared as `const`, hence the interior mutability; the
 /// returned cache is itself thread-safe, and the set's own lock is taken
@@ -482,22 +623,22 @@ public:
   PlanTraceCacheSet(const PlanTraceCacheSet &) = delete;
   PlanTraceCacheSet &operator=(const PlanTraceCacheSet &) = delete;
 
-  /// The cache holding the traces recorded at \p Threshold, created on
-  /// first use. Never null.
-  PlanTraceCache *forThreshold(uint32_t Threshold) const {
+  /// The cache holding the traces recorded under \p S, created on first
+  /// use. Never null.
+  PlanTraceCache *forSettings(const TraceSettings &S) const {
     std::lock_guard<std::mutex> Lock(Mu);
     for (const auto &E : Caches)
-      if (E.first == Threshold)
+      if (E.first == S)
         return E.second.get();
-    Caches.emplace_back(Threshold,
-                        std::make_unique<PlanTraceCache>(NumFuncs));
+    Caches.emplace_back(S, std::make_unique<PlanTraceCache>(NumFuncs));
     return Caches.back().second.get();
   }
 
 private:
   size_t NumFuncs;
   mutable std::mutex Mu;
-  mutable std::vector<std::pair<uint32_t, std::unique_ptr<PlanTraceCache>>>
+  mutable std::vector<
+      std::pair<TraceSettings, std::unique_ptr<PlanTraceCache>>>
       Caches;
 };
 
@@ -530,6 +671,17 @@ struct TraceRunIO {
   uint64_t &Blocks;
   uint64_t &Calls;
   TraceTierStats &Stats;
+
+  /// Side-exit linking policy: a side exit whose anchor-depth deopt count
+  /// reaches exactly LinkThreshold requests a bridge recording (0 = never
+  /// link).
+  uint32_t LinkThreshold = 0;
+
+  /// Out: set when the run wants a bridge recorded for Parent's side exit
+  /// at step BridgeStep. The interpreter arms the recorder at the resume
+  /// point it is about to dispatch from.
+  const CompiledTrace *BridgeParent = nullptr;
+  uint32_t BridgeStep = 0;
 };
 
 /// Runs \p T until a guard, fault condition or the fuel precondition stops

@@ -105,6 +105,11 @@ std::string olpp::renderEngineBenchJson(const EngineBenchReport &R) {
     Out += "      \"trace_step_percent\": " + jsonNum(W.TraceStepPercent) +
            ",\n";
     Out += "      \"deopt_rate\": " + jsonNum(W.DeoptRate) + ",\n";
+    Out += "      \"bridges\": " + std::to_string(W.Bridges) + ",\n";
+    Out += "      \"entry_reject_rate\": " + jsonNum(W.EntryRejectRate) +
+           ",\n";
+    Out += "      \"trace_opt_speedup\": " + jsonNum(W.TraceOptSpeedup) +
+           ",\n";
     Out += "      \"solver\": {\"evaluations_worklist\": " +
            std::to_string(W.SolverEvaluationsWorklist) +
            ", \"evaluations_sweep\": " +
@@ -438,7 +443,10 @@ bool olpp::validateEngineBenchJson(const std::string &Text,
         !checkNum(Row, Path, "speedup", Error) ||
         !checkNum(Row, Path, "traces_recorded", Error) ||
         !checkNum(Row, Path, "trace_step_percent", Error) ||
-        !checkNum(Row, Path, "deopt_rate", Error))
+        !checkNum(Row, Path, "deopt_rate", Error) ||
+        !checkNum(Row, Path, "bridges", Error) ||
+        !checkNum(Row, Path, "entry_reject_rate", Error) ||
+        !checkNum(Row, Path, "trace_opt_speedup", Error))
       return false;
     auto Solver = Row.Fields.find("solver");
     if (Solver == Row.Fields.end() || Solver->second.K != JValue::Obj) {

@@ -247,6 +247,51 @@ TEST(FuzzHarness, InjectedMisinlineIsCaughtAndShrunk) {
   EXPECT_EQ(Again.Oracle, FuzzOracle::Opt);
 }
 
+/// The trace-tier mutation test: an optimizer that deletes the trace body's
+/// last branch guard silently runs the stale straight-line tail when the
+/// branch diverges. The trace oracle must catch the divergence, and the
+/// shrinker must reduce the witness to a small looping program that still
+/// records a trace and still reproduces the defect.
+TEST(FuzzHarness, InjectedTraceGuardDropIsCaughtAndShrunk) {
+  FuzzOptions FO;
+  FO.Fault = FaultKind::DropTraceGuard;
+  DifferentialRunner Runner(FO);
+
+  // The fault only fires on seeds whose hot loop records a trace with a
+  // branch guard that actually diverges during the run; scan for one.
+  uint64_t FailingSeed = 0;
+  FuzzFailure Probe;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    if (Runner.checkCase(Seed, &Probe) == CaseStatus::Failed) {
+      FailingSeed = Seed;
+      break;
+    }
+  }
+  ASSERT_NE(FailingSeed, 0u)
+      << "no seed in 1..200 triggered the injected guard drop";
+  EXPECT_EQ(Probe.Oracle, FuzzOracle::Trace) << Probe.Detail;
+
+  FO.SeedBase = FailingSeed;
+  FO.NumSeeds = 1;
+  FO.Shrink = true;
+  FuzzReport Rep = DifferentialRunner(FO).run();
+  ASSERT_EQ(Rep.Failures.size(), 1u);
+  const FuzzFailure &F = Rep.Failures[0];
+  EXPECT_EQ(F.Oracle, FuzzOracle::Trace) << F.Detail;
+  EXPECT_TRUE(F.Shrunk);
+  EXPECT_LE(countCodeLines(F.Source), 30u) << F.Source;
+  EXPECT_LE(countCodeLines(F.Source), countCodeLines(F.OriginalSource));
+
+  // The minimized witness still compiles and still reproduces the defect
+  // under the pinned setup.
+  EXPECT_TRUE(compileMiniC(F.Source).ok()) << F.Source;
+  auto Setup = DifferentialRunner::deriveSetup(FailingSeed);
+  FuzzFailure Again;
+  EXPECT_EQ(DifferentialRunner(FO).checkProgram(F.Source, Setup, &Again),
+            CaseStatus::Failed);
+  EXPECT_EQ(Again.Oracle, FuzzOracle::Trace);
+}
+
 // --- shrinker unit tests -------------------------------------------------
 
 TEST(Shrinker, KeepsThePoisonLine) {
