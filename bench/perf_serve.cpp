@@ -1,0 +1,288 @@
+//===--- perf_serve.cpp - streaming aggregation daemon benchmark ----------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures `olpp serve` ingest under a simulated upload fleet and writes
+/// the BENCH_serve.json report (schema "olpp.bench.serve/v1", committed at
+/// the repo root). The corpus is built in-process: one workload is profiled
+/// once under full instrumentation (OL-2 + interprocedural k=2) and the
+/// artifact expanded into --derive weighted variants (distinct bytes, same
+/// fingerprint — a fleet of machines running the same binary).
+///
+/// Two measurements:
+///
+///   fleet    --clients connections upload --uploads artifacts each against
+///            an in-process daemon (TaskPool sized to all cores), recording
+///            per-upload round-trip latency percentiles,
+///   scaling  the same batch re-run against fresh daemons with jobs = 1, 2,
+///            4, ... capped at hardware_threads.
+///
+/// The bit-identity gate runs in-harness: after the fleet drains, a
+/// SNAPSHOT is requested and must be byte-identical to the offline
+/// mergeArtifacts fold of exactly the uploads acked before its epoch. A
+/// report that fails the gate is not written — its throughput numbers would
+/// describe a server that loses or duplicates data.
+///
+/// Usage: perf_serve [workload] [--clients N] [--uploads N] [--derive K]
+///                   [--out FILE]
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "profdata/Merge.h"
+#include "profdata/ProfData.h"
+#include "profile/Instrumenter.h"
+#include "serve/ServeBench.h"
+#include "serve/Server.h"
+#include "serve/ShardStore.h"
+#include "support/BenchJson.h"
+#include "support/TableWriter.h"
+#include "support/TaskPool.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace olpp;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Profiles \p W once and expands the artifact into \p Derive weighted
+/// variants (weight i scales every counter and sums Runs i times, so each
+/// variant serializes to distinct bytes under one fingerprint).
+bool buildCorpus(const Workload &W, unsigned Derive,
+                 std::vector<std::string> &Corpus) {
+  CompileResult CR = compileMiniC(W.Source);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "error: %s: compile failed:\n%s", W.Name.c_str(),
+                 CR.diagText().c_str());
+    return false;
+  }
+  std::unique_ptr<Module> Instr = CR.M->clone();
+  InstrumentOptions Opts;
+  Opts.LoopOverlap = true;
+  Opts.LoopDegree = 2;
+  Opts.Interproc = true;
+  Opts.InterprocDegree = 2;
+  ModuleInstrumentation MI = instrumentModule(*Instr, Opts);
+  if (!MI.ok()) {
+    std::fprintf(stderr, "error: %s: instrumentation failed: %s\n",
+                 W.Name.c_str(), MI.Errors[0].c_str());
+    return false;
+  }
+  const Function *Main = Instr->findFunction("main");
+  if (!Main) {
+    std::fprintf(stderr, "error: %s: no 'main'\n", W.Name.c_str());
+    return false;
+  }
+  std::vector<int64_t> Args = W.OverheadArgs;
+  Args.resize(Main->NumParams, 0);
+
+  ProfileRuntime Prof(Instr->numFunctions());
+  for (uint32_t F = 0; F < Instr->numFunctions(); ++F)
+    if (MI.Funcs[F].PG)
+      Prof.configurePathStore(F, MI.Funcs[F].PG->numPaths());
+  Interpreter I(*Instr, &Prof);
+  RunConfig RC;
+  RC.MaxSteps = 2'000'000'000;
+  RunResult R = I.run(*Main, Args, RC);
+  if (!R.Ok) {
+    std::fprintf(stderr, "error: %s: profile run failed: %s\n",
+                 W.Name.c_str(), R.Error.c_str());
+    return false;
+  }
+
+  RunMeta Meta;
+  Meta.Workload = W.Name;
+  Meta.Runs = 1;
+  Meta.DynInstrCost = R.Counts.Steps;
+  ProfileArtifact Art = ProfileArtifact::fromRuntime(*CR.M, MI, Prof, Meta);
+
+  Corpus.push_back(serializeProfileArtifact(Art));
+  for (unsigned V = 2; V <= Derive; ++V) {
+    ProfileArtifact Var = makeEmptyLike(Art);
+    std::vector<Diagnostic> Diags;
+    MergeOptions MO;
+    MO.Weight = V;
+    if (!mergeArtifacts(Var, Art, Diags, MO)) {
+      std::fprintf(stderr, "error: %s: deriving variant %u failed\n",
+                   W.Name.c_str(), V);
+      return false;
+    }
+    Corpus.push_back(serializeProfileArtifact(Var));
+  }
+  return true;
+}
+
+/// One daemon lifetime: fresh store + pool(Jobs) + server on an ephemeral
+/// port, a full fleet run, teardown. Returns false (with \p Err) on any
+/// protocol failure or a failed bit-identity check.
+bool runOnce(const std::vector<std::string> &Corpus, unsigned Jobs,
+             unsigned Clients, unsigned Uploads, bool Verify,
+             serve::FleetReport &Out, std::string &Err) {
+  serve::ServeConfig SC;
+  serve::ShardStore Store(SC);
+  TaskPool Pool(Jobs);
+  serve::Server Server(Store, Pool, /*Port=*/0);
+  if (!Server.start(Err))
+    return false;
+  serve::FleetOptions FO;
+  FO.Port = Server.port();
+  FO.Clients = Clients;
+  FO.UploadsPerClient = Uploads;
+  FO.Verify = Verify;
+  bool Ok = serve::runUploadFleet(FO, Corpus, Out, Err);
+  Server.stop();
+  return Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Clients = 32;
+  unsigned Uploads = 64;
+  unsigned Derive = 8;
+  std::string Out = "BENCH_serve.json";
+  std::string Name;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--clients") == 0 && I + 1 < Argc) {
+      Clients = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--uploads") == 0 && I + 1 < Argc) {
+      Uploads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--derive") == 0 && I + 1 < Argc) {
+      Derive = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      Out = Argv[++I];
+    } else {
+      Name = Argv[I];
+    }
+  }
+  if (Clients == 0)
+    Clients = 1;
+  if (Uploads == 0)
+    Uploads = 1;
+  if (Derive == 0)
+    Derive = 1;
+
+  const Workload *W = Name.empty() ? findWorkload("mcf") : findWorkload(Name);
+  if (!W && Name.empty() && !allWorkloads().empty())
+    W = &allWorkloads().front();
+  if (!W) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n", Name.c_str());
+    return 1;
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::string> Corpus;
+  if (!buildCorpus(*W, Derive, Corpus))
+    return 1;
+
+  ServeBenchReport Report;
+  Report.Workload = W->Name;
+  Report.CorpusArtifacts = static_cast<unsigned>(Corpus.size());
+  for (const std::string &C : Corpus)
+    Report.CorpusBytes += C.size();
+  Report.Clients = Clients;
+  Report.UploadsPerClient = Uploads;
+
+  // The headline fleet run: daemon sized to all cores.
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW == 0)
+    HW = 1;
+  serve::FleetReport FR;
+  std::string Err;
+  if (!runOnce(Corpus, /*Jobs=*/0, Clients, Uploads, /*Verify=*/true, FR,
+               Err)) {
+    std::fprintf(stderr, "error: fleet run failed: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!FR.BitIdentity) {
+    std::fprintf(stderr, "error: bit-identity gate failed\n");
+    return 1;
+  }
+  double Secs = FR.WallSeconds > 0 ? FR.WallSeconds : 1e-9;
+  Report.Uploads = FR.Uploads;
+  Report.IngestWallSeconds = FR.WallSeconds;
+  Report.UploadsPerSec = FR.Uploads / Secs;
+  Report.MBPerSec = FR.Bytes / Secs / (1024.0 * 1024.0);
+  Report.P50LatencyUs = serve::percentileUs(FR.LatenciesUs, 50.0);
+  Report.P95LatencyUs = serve::percentileUs(FR.LatenciesUs, 95.0);
+  Report.P99LatencyUs = serve::percentileUs(FR.LatenciesUs, 99.0);
+  Report.SnapshotEpoch = FR.SnapshotEpoch;
+  Report.BitIdentity = FR.BitIdentity;
+
+  // Jobs-scaling curve, capped at hardware_threads: points beyond the
+  // physical core count would measure oversubscription, not scaling.
+  double BaseUps = 0.0;
+  for (unsigned Jobs = 1; Jobs <= HW; Jobs *= 2) {
+    serve::FleetReport SR;
+    if (!runOnce(Corpus, Jobs, Clients, Uploads, /*Verify=*/true, SR, Err)) {
+      std::fprintf(stderr, "error: scaling run (jobs=%u) failed: %s\n", Jobs,
+                   Err.c_str());
+      return 1;
+    }
+    if (!SR.BitIdentity) {
+      std::fprintf(stderr, "error: bit-identity gate failed at jobs=%u\n",
+                   Jobs);
+      return 1;
+    }
+    ServeScalingPoint P;
+    P.Jobs = Jobs;
+    P.Uploads = SR.Uploads;
+    P.WallSeconds = SR.WallSeconds;
+    P.UploadsPerSec = SR.Uploads / (SR.WallSeconds > 0 ? SR.WallSeconds : 1e-9);
+    if (Jobs == 1) {
+      BaseUps = P.UploadsPerSec;
+      P.SpeedupVs1 = 1.0;
+    } else {
+      P.SpeedupVs1 = BaseUps > 0 ? P.UploadsPerSec / BaseUps : 0.0;
+    }
+    Report.JobsScaling.push_back(P);
+  }
+  Report.WallSeconds = secondsSince(T0);
+
+  TableWriter T({"Jobs", "Uploads", "Wall s", "Uploads/s", "Speedup"});
+  for (const ServeScalingPoint &P : Report.JobsScaling) {
+    char Wall[32], Ups[32], Sp[32];
+    std::snprintf(Wall, sizeof(Wall), "%.3f", P.WallSeconds);
+    std::snprintf(Ups, sizeof(Ups), "%.0f", P.UploadsPerSec);
+    std::snprintf(Sp, sizeof(Sp), "%.2fx", P.SpeedupVs1);
+    T.addRow({std::to_string(P.Jobs), std::to_string(P.Uploads), Wall, Ups,
+              Sp});
+  }
+  std::fputs(T.renderText().c_str(), stdout);
+  std::printf("fleet: %llu uploads, %.0f uploads/s, %.2f MB/s, "
+              "p50/p95/p99 %.0f/%.0f/%.0f us, bit-identity OK\n",
+              static_cast<unsigned long long>(Report.Uploads),
+              Report.UploadsPerSec, Report.MBPerSec, Report.P50LatencyUs,
+              Report.P95LatencyUs, Report.P99LatencyUs);
+
+  std::string Error;
+  std::string Rendered = renderServeBenchJson(Report);
+  if (!validateServeBenchJson(Rendered, Error)) {
+    std::fprintf(stderr, "internal error: report is invalid: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  if (!writeServeBenchJson(Out, Report, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", Out.c_str());
+  return 0;
+}

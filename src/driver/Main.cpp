@@ -37,6 +37,8 @@
 #include "profile/InfeasiblePaths.h"
 #include "profile/InstrCheck.h"
 #include "profile/ProfileDecode.h"
+#include "serve/Server.h"
+#include "serve/ServeBench.h"
 #include "support/BenchJson.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
@@ -46,11 +48,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <mutex>
 #include <sstream>
@@ -100,9 +104,11 @@ int usage() {
       "       static analysis report: per-function value ranges, bottom-up\n"
       "       call summaries (purity, globals touched, return range) and\n"
       "       the share of acyclic path ids proven infeasible\n"
-      "  olpp profdata merge -o OUT [--weight N] <in.olpp>...\n"
+      "  olpp profdata merge -o OUT [--weight N] <in.olpp|@list|->...\n"
       "       aggregate artifacts (saturating add; --weight N multiplies\n"
       "       every counter, equivalent to N replays of each input)\n"
+      "       @FILE reads newline-separated artifact paths from FILE and\n"
+      "       '-' reads them from stdin, sidestepping argv length limits\n"
       "  olpp profdata show <file.olpp> [--module file.mc] [--top N]\n"
       "       [--json] [--no-bounds]\n"
       "       provenance, hot paths, coverage; binds to --module (or the\n"
@@ -138,6 +144,22 @@ int usage() {
       "       --emit-profdata DIR  write one .olpp artifact per counter\n"
       "                      shard plus the merged artifact, and cross-check\n"
       "                      artifact-level merge against the in-memory one\n"
+      "  olpp serve [--port P] [--jobs N] [--shards K]\n"
+      "       long-lived aggregation daemon: accepts streamed .olpp uploads\n"
+      "       over a length-prefixed framed socket protocol, validates each\n"
+      "       with the checked reader (malformed frames rejected wholesale,\n"
+      "       never partially merged) and folds them into sharded merge\n"
+      "       trees; SNAPSHOT/STATS queries answer from epoch-based\n"
+      "       snapshots while ingest continues\n"
+      "       --port P       listen port (0 = ephemeral, printed on stdout)\n"
+      "       --jobs N       merge worker threads (0 = all cores)\n"
+      "       --shards K     merge-tree shards (default 16)\n"
+      "  olpp serve-bench --port P [--host H] [--clients N] [--uploads M]\n"
+      "       [--derive K] [--no-verify] <in.olpp>...\n"
+      "       load generator: derives K weighted variants per input\n"
+      "       artifact, uploads them from N concurrent clients (M uploads\n"
+      "       each) and verifies the final snapshot is bit-identical to an\n"
+      "       offline merge of exactly the acked uploads\n"
       "\n"
       "run and bench accept --profile FILE to pre-heat the tracing tier\n"
       "from a matching .olpp artifact (hot paths recorded without warmup;\n"
@@ -149,8 +171,10 @@ int usage() {
       "default 32; 0 = record on the first completion), --no-traces\n"
       "(interpret everything, never trace), --trace-link-threshold N\n"
       "(side-exit deopts before a bridge trace is stitched in, default 8,\n"
-      "0 = never link) and --no-trace-opt (run compiled traces verbatim,\n"
-      "skipping the trace-local optimizer).\n"
+      "0 = never link), --no-trace-opt (run compiled traces verbatim,\n"
+      "skipping the trace-local optimizer) and --trace-dwe-gate N (disable\n"
+      "a trace's wrap-recovery dead-write elimination once its observed\n"
+      "deopt rate exceeds N deopts per 100 enters; 0 = never, default 100).\n"
       "\n"
       "A file name matching an embedded workload (e.g. 'mcf') may be used\n"
       "in place of a path.\n",
@@ -214,6 +238,17 @@ struct Parsed {
   std::string ModuleFile;     ///< profdata show --module FILE
   bool NoBounds = false;      ///< profdata show --no-bounds
   std::string EmitProfdata;   ///< bench --emit-profdata DIR
+  /// --trace-dwe-gate: deopts per 100 trace enters above which a trace's
+  /// Wrap-recovery dead-write elimination is disabled (0 = never).
+  uint32_t TraceDWEGate = 0;
+  bool HasTraceDWEGate = false;
+  std::string Host = "127.0.0.1"; ///< serve-bench --host
+  int Port = -1;                  ///< serve/serve-bench --port (0 = ephemeral)
+  unsigned Clients = 16;          ///< serve-bench --clients
+  unsigned Uploads = 32;          ///< serve-bench --uploads (per client)
+  unsigned Derive = 1;            ///< serve-bench --derive (variants/input)
+  unsigned Shards = 16;           ///< serve --shards
+  bool NoVerify = false;          ///< serve-bench --no-verify
   bool Bad = false;
   bool Ok = false;
 };
@@ -264,6 +299,30 @@ Parsed parseArgs(int Argc, char **Argv, int Start) {
       }
     } else if (A == "--no-trace-opt") {
       P.NoTraceOpt = true;
+    } else if (A == "--trace-dwe-gate" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V < 0) {
+        P.Bad = true;
+      } else {
+        P.TraceDWEGate = static_cast<uint32_t>(V);
+        P.HasTraceDWEGate = true;
+      }
+    } else if (A == "--host" && I + 1 < Argc) {
+      P.Host = Argv[++I];
+    } else if (A == "--port" && I + 1 < Argc) {
+      P.Port = std::atoi(Argv[++I]);
+      if (P.Port < 0 || P.Port > 65535)
+        P.Bad = true;
+    } else if (A == "--clients" && I + 1 < Argc) {
+      P.Clients = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A == "--uploads" && I + 1 < Argc) {
+      P.Uploads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A == "--derive" && I + 1 < Argc) {
+      P.Derive = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A == "--shards" && I + 1 < Argc) {
+      P.Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A == "--no-verify") {
+      P.NoVerify = true;
     } else if ((A == "--jobs" || A == "-j") && I + 1 < Argc) {
       P.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (A == "--smoke") {
@@ -330,8 +389,8 @@ std::vector<int64_t> fitArgs(const Parsed &P, const Module &M) {
 }
 
 /// Applies the tracing-tier knobs (--no-traces, --trace-threshold,
-/// --trace-link-threshold, --no-trace-opt) to a run configuration. Only the
-/// fast engine consults them.
+/// --trace-link-threshold, --no-trace-opt, --trace-dwe-gate) to a run
+/// configuration. Only the fast engine consults them.
 void applyTraceOpts(RunConfig &RC, const Parsed &P) {
   if (P.NoTraces)
     RC.EnableTraces = false;
@@ -341,6 +400,8 @@ void applyTraceOpts(RunConfig &RC, const Parsed &P) {
     RC.TraceLinkThreshold = P.TraceLinkThreshold;
   if (P.NoTraceOpt)
     RC.EnableTraceOpt = false;
+  if (P.HasTraceDWEGate)
+    RC.TraceDWEGate = P.TraceDWEGate;
 }
 
 /// `olpp run <file> --profile art.olpp`: the artifact-driven warmup skip.
@@ -1052,11 +1113,45 @@ int profdataFail(const std::vector<Diagnostic> &Diags) {
   return 1;
 }
 
+/// Expands `@listfile` and `-` (stdin) positionals into artifact paths, one
+/// per non-blank line, so fleet-sized merges are not bounded by argv limits.
+bool expandArtifactInputs(const std::vector<std::string> &Raw,
+                          std::vector<std::string> &Out) {
+  for (const std::string &R : Raw) {
+    if (R == "-" || (R.size() > 1 && R[0] == '@')) {
+      std::ifstream FileIn;
+      std::istream *In = &std::cin;
+      if (R != "-") {
+        FileIn.open(R.substr(1));
+        if (!FileIn) {
+          std::fprintf(stderr, "error: cannot open list file '%s'\n",
+                       R.c_str() + 1);
+          return false;
+        }
+        In = &FileIn;
+      }
+      std::string Line;
+      while (std::getline(*In, Line)) {
+        while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+          Line.pop_back();
+        if (!Line.empty())
+          Out.push_back(Line);
+      }
+    } else {
+      Out.push_back(R);
+    }
+  }
+  return true;
+}
+
 int cmdProfdataMerge(const Parsed &P) {
-  std::vector<std::string> Inputs;
+  std::vector<std::string> Raw;
   if (!P.File.empty())
-    Inputs.push_back(P.File);
-  Inputs.insert(Inputs.end(), P.ExtraFiles.begin(), P.ExtraFiles.end());
+    Raw.push_back(P.File);
+  Raw.insert(Raw.end(), P.ExtraFiles.begin(), P.ExtraFiles.end());
+  std::vector<std::string> Inputs;
+  if (!expandArtifactInputs(Raw, Inputs))
+    return 2;
   if (Inputs.empty()) {
     std::fprintf(stderr,
                  "error: profdata merge needs at least one input artifact\n");
@@ -1539,7 +1634,7 @@ int cmdBench(const Parsed &P) {
     if (!readSource(P.Validate, Text))
       return 1;
     std::string Error;
-    // Sniffs the schema tag: accepts any of the five report schemas.
+    // Sniffs the schema tag: accepts any of the six report schemas.
     if (!validateBenchJson(Text, Error)) {
       std::fprintf(stderr, "%s: invalid: %s\n", P.Validate.c_str(),
                    Error.c_str());
@@ -1547,7 +1642,8 @@ int cmdBench(const Parsed &P) {
     }
     const char *Schema = EngineBenchSchema;
     for (const char *Tag : {PipelineBenchSchema, ProfdataBenchSchema,
-                            AnalyzeBenchSchema, OptBenchSchema})
+                            AnalyzeBenchSchema, OptBenchSchema,
+                            ServeBenchSchema})
       if (Text.find(Tag) != std::string::npos)
         Schema = Tag;
     std::printf("%s: valid %s report\n", P.Validate.c_str(), Schema);
@@ -1661,6 +1757,130 @@ int cmdFuzz(const Parsed &P) {
   return Rep.ok() ? 0 : 1;
 }
 
+//===----------------------------------------------------------------------===//
+// olpp serve / serve-bench: fleet-scale streaming profile aggregation
+//===----------------------------------------------------------------------===//
+
+volatile std::sig_atomic_t ServeStopFlag = 0;
+void serveStopHandler(int) { ServeStopFlag = 1; }
+
+int cmdServe(const Parsed &P) {
+  serve::ServeConfig SC;
+  if (P.Shards)
+    SC.Shards = P.Shards;
+  serve::ShardStore Store(SC);
+  TaskPool Pool(P.Jobs);
+  serve::Server Server(Store, Pool,
+                       P.Port < 0 ? 0 : static_cast<uint16_t>(P.Port));
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  // The "listening on" line is the readiness signal scripts poll for; flush
+  // so it is visible even through a pipe.
+  std::printf("olpp serve: listening on 127.0.0.1:%u (shards=%u, jobs=%u)\n",
+              static_cast<unsigned>(Server.port()),
+              static_cast<unsigned>(SC.Shards), Pool.numWorkers());
+  std::fflush(stdout);
+  ServeStopFlag = 0;
+  std::signal(SIGINT, serveStopHandler);
+  std::signal(SIGTERM, serveStopHandler);
+  while (!ServeStopFlag)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Server.stop();
+  std::printf("olpp serve: shut down; %s\n", Store.statsJson().c_str());
+  return 0;
+}
+
+/// Loads the positional .olpp files and expands each into \p Derive weighted
+/// variants (weight i scales every counter and sums Runs i times, so every
+/// variant serializes to distinct bytes) — a corpus big enough to exercise
+/// the shard trees without shipping thousands of files.
+bool buildUploadCorpus(const std::vector<std::string> &Files, unsigned Derive,
+                       std::vector<std::string> &Corpus) {
+  if (Derive == 0)
+    Derive = 1;
+  for (const std::string &F : Files) {
+    ProfileArtifact A;
+    std::vector<Diagnostic> Diags;
+    if (!readProfileArtifactFile(F, A, Diags)) {
+      std::fprintf(stderr, "error: reading '%s':\n", F.c_str());
+      std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+      return false;
+    }
+    Corpus.push_back(serializeProfileArtifact(A));
+    for (unsigned V = 2; V <= Derive; ++V) {
+      ProfileArtifact W = makeEmptyLike(A);
+      MergeOptions MO;
+      MO.Weight = V;
+      if (!mergeArtifacts(W, A, Diags, MO)) {
+        std::fprintf(stderr, "error: deriving variant %u of '%s':\n", V,
+                     F.c_str());
+        std::fputs(renderDiagnosticsText(Diags).c_str(), stderr);
+        return false;
+      }
+      Corpus.push_back(serializeProfileArtifact(W));
+    }
+  }
+  return true;
+}
+
+int cmdServeBench(const Parsed &P) {
+  if (P.Port < 0) {
+    std::fprintf(stderr, "error: serve-bench requires --port P\n");
+    return 2;
+  }
+  std::vector<std::string> Raw;
+  if (!P.File.empty())
+    Raw.push_back(P.File);
+  Raw.insert(Raw.end(), P.ExtraFiles.begin(), P.ExtraFiles.end());
+  std::vector<std::string> Files;
+  if (!expandArtifactInputs(Raw, Files))
+    return 2;
+  if (Files.empty()) {
+    std::fprintf(stderr,
+                 "error: serve-bench needs at least one input artifact\n");
+    return 2;
+  }
+  std::vector<std::string> Corpus;
+  if (!buildUploadCorpus(Files, P.Derive, Corpus))
+    return 1;
+
+  serve::FleetOptions FO;
+  FO.Host = P.Host;
+  FO.Port = static_cast<uint16_t>(P.Port);
+  FO.Clients = P.Clients ? P.Clients : 1;
+  FO.UploadsPerClient = P.Uploads ? P.Uploads : 1;
+  FO.Verify = !P.NoVerify;
+  serve::FleetReport R;
+  std::string Err;
+  if (!serve::runUploadFleet(FO, Corpus, R, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  double Secs = R.WallSeconds > 0 ? R.WallSeconds : 1e-9;
+  std::printf("serve-bench: %llu upload(s) (%llu rejected) from %u client(s) "
+              "in %.3fs\n",
+              static_cast<unsigned long long>(R.Uploads),
+              static_cast<unsigned long long>(R.Rejected), FO.Clients,
+              R.WallSeconds);
+  std::printf("  throughput: %.0f uploads/s, %.2f MB/s\n", R.Uploads / Secs,
+              R.Bytes / Secs / (1024.0 * 1024.0));
+  std::printf("  latency us: p50 %.0f  p95 %.0f  p99 %.0f\n",
+              serve::percentileUs(R.LatenciesUs, 50.0),
+              serve::percentileUs(R.LatenciesUs, 95.0),
+              serve::percentileUs(R.LatenciesUs, 99.0));
+  if (FO.Verify)
+    std::printf("  snapshot: epoch %llu, fingerprint %016llx, %llu bytes, "
+                "bit-identity %s\n",
+                static_cast<unsigned long long>(R.SnapshotEpoch),
+                static_cast<unsigned long long>(R.Fingerprint),
+                static_cast<unsigned long long>(R.SnapshotBytes),
+                R.BitIdentity ? "OK" : "FAILED");
+  return 0;
+}
+
 int cmdWorkloads() {
   TableWriter T({"Name", "Precision Args", "Overhead Args"});
   for (const Workload &W : allWorkloads()) {
@@ -1695,6 +1915,10 @@ int main(int Argc, char **Argv) {
     return P.Bad ? usage() : cmdBench(P);
   if (Cmd == "fuzz")
     return P.Bad ? usage() : cmdFuzz(P);
+  if (Cmd == "serve")
+    return P.Bad ? usage() : cmdServe(P);
+  if (Cmd == "serve-bench")
+    return P.Bad ? usage() : cmdServeBench(P);
   if (!P.Ok)
     return usage();
   if (Cmd == "run")

@@ -17,8 +17,11 @@
 #include "interp/TraceOpt.h"
 #include "ir/Module.h"
 #include "opt/Optimizer.h"
+#include "profdata/Merge.h"
 #include "profdata/ProfData.h"
 #include "profile/InfeasiblePaths.h"
+#include "serve/Session.h"
+#include "serve/ShardStore.h"
 #include "profile/InstrCheck.h"
 #include "profile/ProfileDecode.h"
 #include "support/Rng.h"
@@ -55,6 +58,8 @@ const char *olpp::fuzzOracleName(FuzzOracle O) {
     return "trace";
   case FuzzOracle::Opt:
     return "opt";
+  case FuzzOracle::Serve:
+    return "serve";
   }
   return "?";
 }
@@ -209,7 +214,9 @@ void applyFault(FaultKind Fault, CounterSnapshot &S) {
   case FaultKind::SkewArtifactRoundtrip:
   case FaultKind::ArtifactCrcOff:
   case FaultKind::MisclassifyFeasible:
+  case FaultKind::MisinlineCallee:
   case FaultKind::DropTraceGuard:
+  case FaultKind::DropFrameAck:
     return; // applied inside their own oracles, not here
   }
 }
@@ -1015,6 +1022,184 @@ DifferentialRunner::checkProgram(const std::string &Source,
       return Fail(FuzzOracle::Opt,
                   "dynamic counts diverge between engines on the optimized "
                   "module");
+  }
+
+  // Oracle 11: streamed aggregation. The run's artifact is expanded into
+  // weighted variants and uploaded to an in-process serve store over the
+  // real framed protocol — shuffled order, a legal duplicate, a corrupted
+  // payload and truncated/oversized frames injected along the way. The
+  // final snapshot must be bit-identical to the offline mergeArtifacts
+  // fold of exactly the acked uploads, and nothing rejected may have moved
+  // a counter.
+  {
+    RunMeta Meta;
+    Meta.Workload = "fuzz";
+    Meta.Instr = Setup.InstrOpts;
+    Meta.Runs = 1;
+    Meta.DynInstrCost = RFast.InstrCounts.Steps;
+    Meta.TimestampUnix = 0;
+    ProfileArtifact Art = ProfileArtifact::fromRuntime(
+        *RFast.BaseModule, RFast.MI, *RFast.Prof, Meta);
+
+    std::vector<std::string> Corpus;
+    std::vector<ProfileArtifact> Variants;
+    for (unsigned V = 1; V <= 4; ++V) {
+      ProfileArtifact Var = makeEmptyLike(Art);
+      std::vector<Diagnostic> MD;
+      MergeOptions MO;
+      MO.Weight = V;
+      if (!mergeArtifacts(Var, Art, MD, MO))
+        return Fail(FuzzOracle::Serve, "deriving an upload variant failed");
+      Corpus.push_back(serializeProfileArtifact(Var));
+      Variants.push_back(std::move(Var));
+    }
+    // Upload order: every variant plus a duplicate of the first (duplicates
+    // are legal fleet traffic), shuffled deterministically from the
+    // artifact's own bytes.
+    std::vector<size_t> Order = {0, 1, 2, 3, 0};
+    uint64_t H = 0xcbf29ce484222325ULL;
+    for (char C : Corpus[0])
+      H = (H ^ static_cast<uint8_t>(C)) * 0x100000001b3ULL;
+    for (size_t I = Order.size(); I > 1; --I) {
+      uint64_t X = H + 0x9E3779B97F4A7C15ULL * I;
+      X ^= X >> 29;
+      X *= 0xBF58476D1CE4E5B9ULL;
+      X ^= X >> 32;
+      std::swap(Order[I - 1], Order[X % I]);
+    }
+
+    serve::ServeConfig SC;
+    SC.FaultDropFold = (Opts.Fault == FaultKind::DropFrameAck);
+    serve::ShardStore Store(SC);
+
+    // Throwaway session 1: a client that dies mid-upload. The truncated
+    // frame must keep the session alive (more bytes could come), be
+    // flagged mid-frame, and leave the store untouched when dropped.
+    {
+      serve::ServeSession S(Store);
+      std::string Reply;
+      std::string F = encodeFrame(FrameType::Upload, Corpus[0]);
+      if (!S.consume(std::string_view(F).substr(0, F.size() / 2), Reply))
+        return Fail(FuzzOracle::Serve,
+                    "truncated upload prefix closed the session early");
+      if (!S.midFrame())
+        return Fail(FuzzOracle::Serve,
+                    "mid-upload disconnect not flagged as mid-frame");
+      if (!Reply.empty())
+        return Fail(FuzzOracle::Serve, "partial frame produced a reply");
+    }
+    // Throwaway session 2: a hostile declared length must be rejected at
+    // the header (structured error, session closed), never allocated.
+    {
+      serve::ServeSession S(Store);
+      std::string Hdr;
+      Hdr.push_back(static_cast<char>(FrameType::Upload));
+      serve::putU32LE(Hdr, 0);
+      serve::putU64LE(Hdr, 1ull << 60);
+      std::string Reply;
+      if (S.consume(Hdr, Reply))
+        return Fail(FuzzOracle::Serve,
+                    "oversized declared length did not close the session");
+      FrameReader RR;
+      RR.feed(Reply);
+      Frame RF;
+      if (RR.next(RF) != FrameStatus::Frame || RF.Type != FrameType::Err)
+        return Fail(FuzzOracle::Serve,
+                    "oversized declared length did not produce an Err reply");
+    }
+    if (!Store.fingerprints().empty())
+      return Fail(FuzzOracle::Serve,
+                  "adversarial frames altered the store's state");
+
+    // The fleet session: shuffled uploads with one corrupted payload
+    // spliced into the middle of the stream.
+    serve::ServeSession Sess(Store);
+    std::vector<size_t> AckedIdx;
+    uint64_t MaxTag = 0;
+    auto UploadOne = [&](std::string_view Bytes, Frame &ReplyFrame,
+                         std::string &D) -> bool {
+      std::string Reply;
+      if (!Sess.consume(encodeFrame(FrameType::Upload, Bytes), Reply)) {
+        D = "upload closed the session";
+        return false;
+      }
+      FrameReader RR;
+      RR.feed(Reply);
+      if (RR.next(ReplyFrame) != FrameStatus::Frame) {
+        D = "upload produced no complete reply frame";
+        return false;
+      }
+      return true;
+    };
+    for (size_t U = 0; U < Order.size(); ++U) {
+      if (U == 2) {
+        // A valid frame around an artifact with one flipped byte: the
+        // checked reader must reject it (oracle 7 proved every byte
+        // corruption detectable) and the session must survive.
+        std::string Bad = Corpus[Order[U]];
+        Bad[Bad.size() / 2] = static_cast<char>(Bad[Bad.size() / 2] ^ 0x20);
+        Frame RF;
+        std::string D;
+        if (!UploadOne(Bad, RF, D))
+          return Fail(FuzzOracle::Serve, "corrupt upload: " + D);
+        serve::ErrCode Code{};
+        std::string Msg;
+        if (RF.Type != FrameType::Err ||
+            !serve::decodeErrPayload(RF.Payload, Code, Msg) ||
+            Code != serve::ErrCode::BadArtifact)
+          return Fail(FuzzOracle::Serve,
+                      "corrupt upload was not rejected with BadArtifact");
+      }
+      Frame RF;
+      std::string D;
+      if (!UploadOne(Corpus[Order[U]], RF, D))
+        return Fail(FuzzOracle::Serve, D);
+      serve::AckInfo Ack;
+      if (RF.Type != FrameType::Ack ||
+          !serve::decodeAckPayload(RF.Payload, Ack))
+        return Fail(FuzzOracle::Serve, "valid upload was not acked");
+      if (Ack.Seq != AckedIdx.size())
+        return Fail(FuzzOracle::Serve,
+                    "ack sequence number out of order: got " +
+                        std::to_string(Ack.Seq) + ", want " +
+                        std::to_string(AckedIdx.size()));
+      AckedIdx.push_back(Order[U]);
+      MaxTag = std::max(MaxTag, Ack.Tag);
+    }
+
+    // Snapshot and the bit-identity contract.
+    std::string Reply;
+    if (!Sess.consume(encodeFrame(FrameType::Snapshot, ""), Reply))
+      return Fail(FuzzOracle::Serve, "snapshot request closed the session");
+    FrameReader RR;
+    RR.feed(Reply);
+    Frame SF;
+    if (RR.next(SF) != FrameStatus::Frame ||
+        SF.Type != FrameType::SnapshotData)
+      return Fail(FuzzOracle::Serve, "snapshot produced no SnapshotData");
+    serve::SnapshotInfo Snap;
+    if (!serve::decodeSnapshotPayload(SF.Payload, Snap))
+      return Fail(FuzzOracle::Serve, "SnapshotData payload undecodable");
+    if (MaxTag > Snap.Epoch)
+      return Fail(FuzzOracle::Serve,
+                  "containment contract broken: ack tag " +
+                      std::to_string(MaxTag) + " > snapshot epoch " +
+                      std::to_string(Snap.Epoch));
+    ProfileArtifact Acc = makeEmptyLike(Art);
+    for (size_t Idx : AckedIdx) {
+      std::vector<Diagnostic> MD;
+      if (!mergeArtifacts(Acc, Variants[Idx], MD))
+        return Fail(FuzzOracle::Serve, "offline fold of acked uploads failed");
+    }
+    if (serializeProfileArtifact(Acc) != Snap.Artifact)
+      return Fail(FuzzOracle::Serve,
+                  "snapshot is not bit-identical to the offline fold of the "
+                  "acked uploads");
+
+    // Orderly shutdown still works after all of the above.
+    Reply.clear();
+    if (Sess.consume(encodeFrame(FrameType::Quit, ""), Reply))
+      return Fail(FuzzOracle::Serve, "Quit did not close the session");
   }
 
   return CaseStatus::Clean;

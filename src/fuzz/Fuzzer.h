@@ -86,6 +86,9 @@ enum class FuzzOracle : uint8_t {
                 ///< optimized module failed verification, re-instrumentation
                 ///< or the instrumentation audit, or disagreed with the
                 ///< reference engine on return value or dynamic counts
+  Serve,        ///< streamed-upload aggregation diverged: a serve snapshot
+                ///< was not bit-identical to the offline fold of the acked
+                ///< uploads, or a malformed/truncated frame altered state
 };
 
 const char *fuzzOracleName(FuzzOracle O);
@@ -102,6 +105,7 @@ enum class FaultKind : uint8_t {
   MisclassifyFeasible, ///< claim one executed path id is statically infeasible
   MisinlineCallee, ///< drop the return-value move of every inlined callee
   DropTraceGuard,  ///< trace optimizer deletes the body's last branch guard
+  DropFrameAck,    ///< serve store acks one upload without folding it
 };
 
 struct FuzzOptions {

@@ -1563,7 +1563,7 @@ void optimizeTrace(CompiledTrace &T, const TraceOptConfig &C,
     ValuePass VP(T, DoFold, DoGuard, Removed, St);
     VP.run();
   }
-  if (DoFold)
+  if (DoFold && (C.Stages & kTraceOptDWE))
     deadWriteElim(T, Removed, Pend, St);
   if (C.FaultDropGuard)
     dropLastBranchGuard(T, Removed);

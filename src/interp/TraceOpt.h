@@ -13,12 +13,18 @@
 ///
 ///   kFold      — forward value pass: copy propagation, constant folding
 ///                with a small value-range (interval) lattice mirroring
-///                the analysis/ValueRange domain, store-to-load forwarding
-///                of globals, and dead-write elimination of overwritten
+///                the analysis/ValueRange domain, and store-to-load
+///                forwarding of globals.
+///   kDWE       — dead-write elimination of overwritten or whole-pass-dead
 ///                Const/Move steps. Every removed write gets a
 ///                TraceRecovery entry so a deopt inside its live window
 ///                still materializes the value — deopt state stays
-///                bit-exact.
+///                bit-exact. Whole-pass-dead writes additionally get a
+///                cyclic Wrap window whose value is re-applied both at
+///                every deopt and at clean exits; that replay scales with
+///                deopt frequency, so the tier can gate this stage off per
+///                trace when the observed deopt rate makes it a net loss
+///                (RunConfig::TraceDWEGate).
 ///   kGuardElim — drops branch guards whose condition the value pass
 ///                proved (a guard implied by an earlier guard or by the
 ///                interval facts), and duplicate callee guards.
@@ -55,7 +61,8 @@ enum TraceOptStage : uint32_t {
   kTraceOptGuardElim = 1u << 1,
   kTraceOptCoalesce = 1u << 2,
   kTraceOptBudget = 1u << 3,
-  kTraceOptAll = (1u << 4) - 1,
+  kTraceOptDWE = 1u << 4,
+  kTraceOptAll = (1u << 5) - 1,
 };
 
 struct TraceOptConfig {

@@ -73,6 +73,39 @@ bool PlanTraceCache::installBridge(const CompiledTrace &Parent, uint32_t Step,
   return true;
 }
 
+const CompiledTrace *PlanTraceCache::swapNoDWE(const CompiledTrace &Root) {
+  std::lock_guard<std::mutex> Lock(InstallMu);
+  // NoDWEAlt is only moved under this lock; a concurrent swap (or a churn
+  // retirement that already killed the root) makes this a no-op.
+  if (!Root.NoDWEAlt || Root.Dead.load(std::memory_order_relaxed))
+    return nullptr;
+  std::atomic<const AnchorList *> &Slot = Published[Root.FuncId];
+  const AnchorList *Cur = Slot.load(std::memory_order_relaxed);
+  if (!Cur)
+    return nullptr;
+  std::unique_ptr<CompiledTrace> Alt = std::move(Root.NoDWEAlt);
+  auto Next = std::make_unique<AnchorList>();
+  Next->Entries = Cur->Entries;
+  bool Found = false;
+  for (auto &E : Next->Entries)
+    if (E.first == Root.AnchorPc && E.second == &Root) {
+      E.second = Alt.get();
+      Found = true;
+    }
+  if (!Found)
+    return nullptr; // the anchor no longer publishes Root
+  Alt->prepareRuntime();
+  const CompiledTrace *Raw = Alt.get();
+  Owned.push_back(std::move(Alt));
+  const AnchorList *NextRaw = Next.get();
+  Retired.push_back(std::move(Next));
+  Slot.store(NextRaw, std::memory_order_release);
+  // Dead *after* the new list is published: a lock-free reader of the old
+  // list sees either the live root or, post-publication, the alternate.
+  Root.Dead.store(true, std::memory_order_relaxed);
+  return Raw;
+}
+
 std::vector<const CompiledTrace *> PlanTraceCache::all() const {
   std::lock_guard<std::mutex> Lock(InstallMu);
   std::vector<const CompiledTrace *> Out;
@@ -1663,6 +1696,11 @@ void runCompiledTrace(const CompiledTrace &Root, TraceRunIO &IO) {
   // straight-line progress.
   uint64_t RootProgress = 0;
   bool AnyProgress = false;
+  // Mid-pass deopts anywhere in the tree this enter; folded into the
+  // root's lifetime counter at exit for the DWE gate (every deopt replays
+  // the deopting segment's recovery windows, so tree-wide is the honest
+  // measure of replay pressure).
+  uint64_t RunDeopts = 0;
   // Completed passes of the *current segment run* (reset on every segment
   // switch): gates Wrap recovery entries, whose value only exists once
   // this segment has wrapped around the backedge at least once.
@@ -2051,6 +2089,7 @@ void runCompiledTrace(const CompiledTrace &Root, TraceRunIO &IO) {
       Top.Pc = Mk.Pc;
       Top.Block = Mk.Block;
       ++IO.Stats.Deopts;
+      ++RunDeopts;
     } else {
       IO.Steps += PassCount * T.PassSteps;
       IO.Base += PassCount * T.PassBase;
@@ -2150,6 +2189,21 @@ void runCompiledTrace(const CompiledTrace &Root, TraceRunIO &IO) {
   const uint64_t Passes =
       Root.LifePasses.fetch_add(RootProgress, std::memory_order_relaxed) +
       RootProgress;
+  const uint64_t Deopts =
+      Root.LifeDeopts.fetch_add(RunDeopts, std::memory_order_relaxed) +
+      RunDeopts;
+  // Deopt-rate DWE gate: once the lifetime rate crosses the threshold the
+  // wrap-recovery replay is costing more than the eliminated writes save;
+  // ask the interpreter to swap in the pre-compiled no-DWE alternate. The
+  // gate outranks churn retirement — the trace still makes straight-line
+  // progress, it is just optimized wrongly for this deopt profile.
+  if (IO.DWEGate && Root.HasWrapDWE &&
+      Enters >= CompiledTrace::RetireCheckEnters &&
+      Deopts * 100 > Enters * static_cast<uint64_t>(IO.DWEGate) &&
+      !Root.Dead.load(std::memory_order_relaxed)) {
+    IO.DWETripped = &Root;
+    return;
+  }
   if (Enters >= CompiledTrace::RetireCheckEnters && Passes < Enters &&
       !Root.Dead.exchange(true, std::memory_order_relaxed)) {
     IO.Prof.Tier.blacklistAnchor(Root.FuncId, Root.AnchorPc);

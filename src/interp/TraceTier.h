@@ -125,6 +125,10 @@ struct TraceTierStats {
   uint64_t Retired = 0;    ///< traces marked dead for persistent churn
   uint64_t Bridges = 0;      ///< bridge traces compiled and linked this run
   uint64_t BridgeEnters = 0; ///< side exits continued into a bridge trace
+  /// Root traces swapped for their no-DWE alternate because the observed
+  /// deopt rate crossed RunConfig::TraceDWEGate (wrap-recovery replay was
+  /// costing more than the eliminated writes saved).
+  uint64_t DWEGated = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -491,6 +495,22 @@ struct CompiledTrace {
   mutable std::atomic<uint64_t> LifePasses{0};
   mutable std::atomic<bool> Dead{false};
 
+  /// Deopt-rate gate for wrap-recovery dead-write elimination. A root
+  /// trace whose optimized body carries cyclic Wrap recovery windows pays
+  /// a replay on every deopt (and a materialization on every clean exit);
+  /// past a deopt rate that replay outweighs the removed writes. When the
+  /// gate is armed (RunConfig::TraceDWEGate > 0) the install path
+  /// pre-compiles the same recording with the DWE stage masked off and
+  /// parks it here; once LifeDeopts/LifeEnters crosses the configured rate
+  /// the cache atomically republishes the anchor with the alternate
+  /// (PlanTraceCache::swapNoDWE) and this trace dies. HasWrapDWE is
+  /// immutable after install — the executor's gate check reads it without
+  /// synchronization; NoDWEAlt is only touched under the cache's install
+  /// lock.
+  bool HasWrapDWE = false;
+  mutable std::unique_ptr<CompiledTrace> NoDWEAlt;
+  mutable std::atomic<uint64_t> LifeDeopts{0};
+
   /// Side-exit linking (trace trees). Per-step tables sized Steps.size(),
   /// allocated by the cache at install time (prepareRuntime). ExitDeopts
   /// counts anchor-depth mid-pass deopts at each step; crossing the link
@@ -569,6 +589,14 @@ public:
   bool installBridge(const CompiledTrace &Parent, uint32_t Step,
                      std::unique_ptr<CompiledTrace> B);
 
+  /// Deopt-rate DWE gate: republishes \p Root's anchor entry with its
+  /// pre-compiled no-DWE alternate and marks \p Root dead. Returns the
+  /// newly published trace, or null when the swap is impossible (no
+  /// alternate, Root already dead/retired, or a concurrent swap won).
+  /// Unlike churn retirement the anchor is NOT blacklisted — the
+  /// replacement keeps executing it.
+  const CompiledTrace *swapNoDWE(const CompiledTrace &Root);
+
   /// Every trace this cache owns (anchors and bridges, dead ones
   /// included), in install order. Test/dump helper; takes the install
   /// lock.
@@ -596,10 +624,16 @@ struct TraceSettings {
   uint32_t LinkThreshold = 8;  ///< side-exit deopts before bridging (0 = off)
   uint32_t OptStages = 0;      ///< TraceOpt stage mask (0 = unoptimized)
   bool FaultDropGuard = false; ///< fuzz-only planted optimizer bug
+  /// Deopts per 100 enters above which a wrap-DWE trace is swapped for its
+  /// no-DWE alternate (0 = gate off). Part of the key: the gate changes
+  /// which compiled bodies an anchor ends up running, so A/B lanes with
+  /// different gates must not share traces.
+  uint32_t DWEGate = 100;
 
   bool operator==(const TraceSettings &O) const {
     return Threshold == O.Threshold && LinkThreshold == O.LinkThreshold &&
-           OptStages == O.OptStages && FaultDropGuard == O.FaultDropGuard;
+           OptStages == O.OptStages && FaultDropGuard == O.FaultDropGuard &&
+           DWEGate == O.DWEGate;
   }
 };
 
@@ -677,11 +711,19 @@ struct TraceRunIO {
   /// link).
   uint32_t LinkThreshold = 0;
 
+  /// Deopt-rate DWE gate threshold, deopts per 100 enters (0 = gate off).
+  uint32_t DWEGate = 0;
+
   /// Out: set when the run wants a bridge recorded for Parent's side exit
   /// at step BridgeStep. The interpreter arms the recorder at the resume
   /// point it is about to dispatch from.
   const CompiledTrace *BridgeParent = nullptr;
   uint32_t BridgeStep = 0;
+
+  /// Out: set when the root's lifetime deopt rate crossed DWEGate and the
+  /// trace carries wrap-recovery DWE; the interpreter asks the cache to
+  /// swap in the no-DWE alternate (PlanTraceCache::swapNoDWE).
+  const CompiledTrace *DWETripped = nullptr;
 };
 
 /// Runs \p T until a guard, fault condition or the fuel precondition stops

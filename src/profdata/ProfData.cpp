@@ -588,7 +588,28 @@ bool olpp::readProfileArtifactBytes(const std::string &Bytes,
                                     ProfileArtifact &Out,
                                     std::vector<Diagnostic> &Diags,
                                     const ProfDataReadOptions &Opts) {
-  std::istringstream IS(Bytes);
+  return readProfileArtifactView(Bytes, Out, Diags, Opts);
+}
+
+namespace {
+/// Read-only streambuf over caller-owned bytes: the istream facade the
+/// checked Reader expects, without copying the input. The const_cast is
+/// safe — a get-area-only streambuf never writes through these pointers.
+class ViewBuf : public std::streambuf {
+public:
+  explicit ViewBuf(std::string_view Bytes) {
+    char *B = const_cast<char *>(Bytes.data());
+    setg(B, B, B + Bytes.size());
+  }
+};
+} // namespace
+
+bool olpp::readProfileArtifactView(std::string_view Bytes,
+                                   ProfileArtifact &Out,
+                                   std::vector<Diagnostic> &Diags,
+                                   const ProfDataReadOptions &Opts) {
+  ViewBuf SB(Bytes);
+  std::istream IS(&SB);
   return readProfileArtifact(IS, Out, Diags, Opts);
 }
 

@@ -89,6 +89,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace olpp {
@@ -185,6 +186,14 @@ bool readProfileArtifact(std::istream &IS, ProfileArtifact &Out,
 bool readProfileArtifactBytes(const std::string &Bytes, ProfileArtifact &Out,
                               std::vector<Diagnostic> &Diags,
                               const ProfDataReadOptions &Opts = {});
+
+/// Same, over a non-owning byte view with no copy of the input. This is the
+/// streaming ingest entry point used by `olpp serve`: an upload payload is
+/// validated straight out of the frame buffer, so a 4 MiB artifact costs one
+/// decode and zero staging copies.
+bool readProfileArtifactView(std::string_view Bytes, ProfileArtifact &Out,
+                             std::vector<Diagnostic> &Diags,
+                             const ProfDataReadOptions &Opts = {});
 
 /// Same, from a file.
 bool readProfileArtifactFile(const std::string &Path, ProfileArtifact &Out,

@@ -1,0 +1,95 @@
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace olpp;
+using namespace olpp::serve;
+
+bool BlockingClient::connectTo(const std::string &Host, uint16_t Port,
+                               std::string &Err) {
+  closeNow();
+  Fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad host address '" + Host + "' (numeric IPv4 expected)";
+    closeNow();
+    return false;
+  }
+  if (connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = std::string("connect: ") + strerror(errno);
+    closeNow();
+    return false;
+  }
+  const int One = 1;
+  setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  Reader = FrameReader();
+  return true;
+}
+
+bool BlockingClient::sendBytes(std::string_view Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    const ssize_t N = write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += size_t(N);
+  }
+  return true;
+}
+
+bool BlockingClient::sendFrame(FrameType Type, std::string_view Payload) {
+  return sendBytes(encodeFrame(Type, Payload));
+}
+
+bool BlockingClient::recvFrame(Frame &Out, std::string &Err) {
+  for (;;) {
+    switch (Reader.next(Out)) {
+    case FrameStatus::Frame:
+      return true;
+    case FrameStatus::Error:
+      Err = "reply framing violation: " + Reader.error();
+      return false;
+    case FrameStatus::NeedMore:
+      break;
+    }
+    char Buf[64 * 1024];
+    const ssize_t N = read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Reader.feed({Buf, size_t(N)});
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Err = N == 0 ? "connection closed by server"
+                 : std::string("read: ") + strerror(errno);
+    return false;
+  }
+}
+
+void BlockingClient::shutdownWrite() {
+  if (Fd >= 0)
+    shutdown(Fd, SHUT_WR);
+}
+
+void BlockingClient::closeNow() {
+  if (Fd >= 0) {
+    close(Fd);
+    Fd = -1;
+  }
+}

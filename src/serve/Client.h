@@ -1,0 +1,56 @@
+//===- Client.h - blocking serve protocol client --------------------------===//
+//
+// The client side of the serve protocol: a plain blocking TCP connection
+// speaking support/Framing.h frames. Used by `olpp serve-bench`, the
+// serve_smoke gate and the end-to-end tests; deliberately simple — one
+// request/response at a time is exactly what a fleet uploader does.
+//
+//===----------------------------------------------------------------------===//
+#ifndef OLPP_SERVE_CLIENT_H
+#define OLPP_SERVE_CLIENT_H
+
+#include "support/Framing.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace olpp::serve {
+
+class BlockingClient {
+public:
+  BlockingClient() = default;
+  ~BlockingClient() { closeNow(); }
+
+  BlockingClient(const BlockingClient &) = delete;
+  BlockingClient &operator=(const BlockingClient &) = delete;
+
+  /// Connect to \p Host:\p Port. False (with \p Err) on failure.
+  bool connectTo(const std::string &Host, uint16_t Port, std::string &Err);
+
+  /// Write raw bytes (used by tests to send deliberately broken streams).
+  bool sendBytes(std::string_view Bytes);
+
+  /// Encode and send one frame.
+  bool sendFrame(FrameType Type, std::string_view Payload);
+
+  /// Block until one complete frame arrives. False (with \p Err) on EOF,
+  /// socket error or a framing violation in the reply stream.
+  bool recvFrame(Frame &Out, std::string &Err);
+
+  /// Half-close: no more writes, replies can still be read.
+  void shutdownWrite();
+
+  /// Hard close (mid-upload disconnects in tests).
+  void closeNow();
+
+  bool connected() const { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+  FrameReader Reader;
+};
+
+} // namespace olpp::serve
+
+#endif // OLPP_SERVE_CLIENT_H

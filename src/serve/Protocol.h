@@ -1,0 +1,136 @@
+//===- Protocol.h - olpp serve message payloads ---------------------------===//
+//
+// Payload layouts for the serve protocol, on top of support/Framing.h
+// frames. All integers little-endian. Client-originated frame types:
+//
+//   Upload (0x01)   raw .olpp artifact bytes
+//   Snapshot (0x02) empty, or u64 fingerprint selector
+//   Stats (0x03)    empty
+//   Quit (0x04)     empty
+//
+// Server replies:
+//
+//   Ack (0x81)          u64 seq | u64 epoch tag | u64 fingerprint
+//   Err (0x82)          u32 code | utf-8 message
+//   SnapshotData (0x83) u64 epoch | u64 fingerprint | artifact bytes
+//   StatsData (0x84)    utf-8 JSON
+//
+// The Ack's epoch tag is the contract behind snapshot exactness: an upload
+// acked with tag T is contained in every snapshot whose epoch E >= T and
+// in none with E < T (see ShardStore.h).
+//
+//===----------------------------------------------------------------------===//
+#ifndef OLPP_SERVE_PROTOCOL_H
+#define OLPP_SERVE_PROTOCOL_H
+
+#include "support/Framing.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace olpp::serve {
+
+/// Structured error codes carried in Err reply payloads.
+enum class ErrCode : uint32_t {
+  BadFrame = 1,     ///< framing violation (length cap, CRC); connection dies
+  BadArtifact = 2,  ///< upload payload rejected by the checked .olpp reader
+  Backpressure = 3, ///< server shed the request under load
+  Internal = 4,     ///< server-side failure (serialization, I/O)
+  BadType = 5,      ///< unknown or inapplicable frame type; connection dies
+  NoData = 6,       ///< snapshot of an empty store / unknown fingerprint
+};
+
+inline void putU32LE(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(char((V >> (8 * I)) & 0xFF));
+}
+
+inline void putU64LE(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(char((V >> (8 * I)) & 0xFF));
+}
+
+inline uint32_t getU32LE(const char *P) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | uint8_t(P[I]);
+  return V;
+}
+
+inline uint64_t getU64LE(const char *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | uint8_t(P[I]);
+  return V;
+}
+
+/// Decoded Ack reply.
+struct AckInfo {
+  uint64_t Seq = 0;         ///< per-connection upload sequence number
+  uint64_t Tag = 0;         ///< epoch tag (snapshot-containment contract)
+  uint64_t Fingerprint = 0; ///< module fingerprint the upload folded into
+};
+
+inline std::string encodeAckPayload(const AckInfo &A) {
+  std::string P;
+  putU64LE(P, A.Seq);
+  putU64LE(P, A.Tag);
+  putU64LE(P, A.Fingerprint);
+  return P;
+}
+
+inline bool decodeAckPayload(std::string_view P, AckInfo &Out) {
+  if (P.size() != 24)
+    return false;
+  Out.Seq = getU64LE(P.data());
+  Out.Tag = getU64LE(P.data() + 8);
+  Out.Fingerprint = getU64LE(P.data() + 16);
+  return true;
+}
+
+inline std::string encodeErrPayload(ErrCode Code, std::string_view Msg) {
+  std::string P;
+  putU32LE(P, uint32_t(Code));
+  P.append(Msg.data(), Msg.size());
+  return P;
+}
+
+inline bool decodeErrPayload(std::string_view P, ErrCode &Code,
+                             std::string &Msg) {
+  if (P.size() < 4)
+    return false;
+  Code = ErrCode(getU32LE(P.data()));
+  Msg.assign(P.data() + 4, P.size() - 4);
+  return true;
+}
+
+/// Decoded SnapshotData reply.
+struct SnapshotInfo {
+  uint64_t Epoch = 0;
+  uint64_t Fingerprint = 0;
+  std::string Artifact; ///< serialized .olpp bytes
+};
+
+inline std::string encodeSnapshotPayload(uint64_t Epoch, uint64_t Fingerprint,
+                                         std::string_view Artifact) {
+  std::string P;
+  P.reserve(16 + Artifact.size());
+  putU64LE(P, Epoch);
+  putU64LE(P, Fingerprint);
+  P.append(Artifact.data(), Artifact.size());
+  return P;
+}
+
+inline bool decodeSnapshotPayload(std::string_view P, SnapshotInfo &Out) {
+  if (P.size() < 16)
+    return false;
+  Out.Epoch = getU64LE(P.data());
+  Out.Fingerprint = getU64LE(P.data() + 8);
+  Out.Artifact.assign(P.data() + 16, P.size() - 16);
+  return true;
+}
+
+} // namespace olpp::serve
+
+#endif // OLPP_SERVE_PROTOCOL_H

@@ -1,0 +1,191 @@
+#include "serve/ServeBench.h"
+#include "profdata/Merge.h"
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+using namespace olpp;
+using namespace olpp::serve;
+
+namespace {
+
+struct ClientOutcome {
+  uint64_t Acked = 0;
+  uint64_t Rejected = 0;
+  uint64_t Bytes = 0;
+  uint64_t MaxTag = 0;
+  std::vector<double> LatUs;
+  /// Corpus index of each acked upload (for the offline fold).
+  std::vector<uint32_t> AckedIdx;
+  std::string Error;
+};
+
+void runOneClient(const FleetOptions &Opts,
+                  const std::vector<std::string> &Corpus, unsigned Id,
+                  ClientOutcome &Out) {
+  BlockingClient C;
+  std::string Err;
+  if (!C.connectTo(Opts.Host, Opts.Port, Err)) {
+    Out.Error = "client " + std::to_string(Id) + ": " + Err;
+    return;
+  }
+  for (unsigned U = 0; U < Opts.UploadsPerClient; ++U) {
+    const uint32_t Idx = uint32_t((Id + uint64_t(U) * Opts.Clients) %
+                                  std::max<size_t>(1, Corpus.size()));
+    const std::string &Payload = Corpus[Idx];
+    const auto T0 = std::chrono::steady_clock::now();
+    if (!C.sendFrame(FrameType::Upload, Payload)) {
+      Out.Error = "client " + std::to_string(Id) + ": upload write failed";
+      return;
+    }
+    Frame Reply;
+    if (!C.recvFrame(Reply, Err)) {
+      Out.Error = "client " + std::to_string(Id) + ": " + Err;
+      return;
+    }
+    const auto T1 = std::chrono::steady_clock::now();
+    if (Reply.Type == FrameType::Ack) {
+      AckInfo A;
+      if (!decodeAckPayload(Reply.Payload, A)) {
+        Out.Error = "client " + std::to_string(Id) + ": malformed ack";
+        return;
+      }
+      ++Out.Acked;
+      Out.Bytes += Payload.size();
+      Out.MaxTag = std::max(Out.MaxTag, A.Tag);
+      Out.AckedIdx.push_back(Idx);
+      Out.LatUs.push_back(
+          std::chrono::duration<double, std::micro>(T1 - T0).count());
+    } else {
+      ++Out.Rejected;
+    }
+  }
+  C.sendFrame(FrameType::Quit, {});
+}
+
+} // namespace
+
+double olpp::serve::percentileUs(const std::vector<double> &Samples,
+                                 double P) {
+  if (Samples.empty())
+    return 0.0;
+  std::vector<double> S = Samples;
+  std::sort(S.begin(), S.end());
+  const double Rank = std::ceil(P / 100.0 * double(S.size()));
+  const size_t I = size_t(std::max(1.0, Rank)) - 1;
+  return S[std::min(I, S.size() - 1)];
+}
+
+bool olpp::serve::runUploadFleet(const FleetOptions &Opts,
+                                 const std::vector<std::string> &Corpus,
+                                 FleetReport &Out, std::string &Err) {
+  if (Corpus.empty()) {
+    Err = "empty upload corpus";
+    return false;
+  }
+  Out = FleetReport();
+
+  std::vector<ClientOutcome> Outcomes(Opts.Clients);
+  const auto T0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Opts.Clients);
+    for (unsigned I = 0; I < Opts.Clients; ++I)
+      Threads.emplace_back(
+          [&, I] { runOneClient(Opts, Corpus, I, Outcomes[I]); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  Out.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+
+  std::vector<uint32_t> AckedIdx;
+  for (const ClientOutcome &O : Outcomes) {
+    if (!O.Error.empty()) {
+      Err = O.Error;
+      return false;
+    }
+    Out.Uploads += O.Acked;
+    Out.Rejected += O.Rejected;
+    Out.Bytes += O.Bytes;
+    Out.MaxAckTag = std::max(Out.MaxAckTag, O.MaxTag);
+    Out.LatenciesUs.insert(Out.LatenciesUs.end(), O.LatUs.begin(),
+                           O.LatUs.end());
+    AckedIdx.insert(AckedIdx.end(), O.AckedIdx.begin(), O.AckedIdx.end());
+  }
+
+  if (!Opts.Verify)
+    return true;
+
+  // Snapshot, then prove the containment contract: every upload above was
+  // acked with tag <= the snapshot's epoch, so the snapshot must be
+  // bit-identical to the offline fold of exactly those uploads.
+  BlockingClient C;
+  if (!C.connectTo(Opts.Host, Opts.Port, Err))
+    return false;
+  if (!C.sendFrame(FrameType::Snapshot, {})) {
+    Err = "snapshot request failed";
+    return false;
+  }
+  Frame Reply;
+  if (!C.recvFrame(Reply, Err))
+    return false;
+  C.sendFrame(FrameType::Quit, {});
+  if (Reply.Type != FrameType::SnapshotData) {
+    Err = "snapshot rejected by server";
+    return false;
+  }
+  SnapshotInfo Snap;
+  if (!decodeSnapshotPayload(Reply.Payload, Snap)) {
+    Err = "malformed snapshot reply";
+    return false;
+  }
+  Out.SnapshotEpoch = Snap.Epoch;
+  Out.Fingerprint = Snap.Fingerprint;
+  Out.SnapshotBytes = Snap.Artifact.size();
+  if (Out.MaxAckTag > Snap.Epoch) {
+    Err = "ack tag exceeds snapshot epoch: containment contract broken";
+    return false;
+  }
+
+  // Offline fold, decoding each distinct corpus entry once.
+  std::vector<Diagnostic> Diags;
+  std::vector<ProfileArtifact> Decoded(Corpus.size());
+  std::vector<char> Have(Corpus.size(), 0);
+  ProfileArtifact Acc;
+  bool AccInit = false;
+  for (uint32_t Idx : AckedIdx) {
+    if (!Have[Idx]) {
+      if (!readProfileArtifactBytes(Corpus[Idx], Decoded[Idx], Diags)) {
+        Err = "offline fold: corpus artifact failed to decode";
+        return false;
+      }
+      Have[Idx] = 1;
+    }
+    if (!AccInit) {
+      Acc = makeEmptyLike(Decoded[Idx]);
+      AccInit = true;
+    }
+    if (!mergeArtifacts(Acc, Decoded[Idx], Diags)) {
+      Err = "offline fold: merge failed";
+      return false;
+    }
+  }
+  if (!AccInit) {
+    Err = "no uploads were acked";
+    return false;
+  }
+  Out.BitIdentity = serializeProfileArtifact(Acc) == Snap.Artifact;
+  if (!Out.BitIdentity) {
+    Err = "snapshot is not bit-identical to the offline fold of the acked "
+          "uploads";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,316 @@
+#include "serve/Server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace olpp;
+using namespace olpp::serve;
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  const int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+Server::Server(ShardStore &Store, TaskPool &Pool, uint16_t Port)
+    : Store(Store), Pool(Pool), RequestedPort(Port) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string &Err) {
+  ListenFd = socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  const int One = 1;
+  setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  Addr.sin_port = htons(RequestedPort);
+  if (bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = std::string("bind: ") + strerror(errno);
+    close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+  BoundPort = ntohs(Addr.sin_port);
+  if (listen(ListenFd, 512) != 0) {
+    Err = std::string("listen: ") + strerror(errno);
+    close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (!setNonBlocking(ListenFd) || pipe(WakeFds) != 0 ||
+      !setNonBlocking(WakeFds[0]) || !setNonBlocking(WakeFds[1])) {
+    Err = "failed to set up nonblocking I/O";
+    close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  Stop.store(false);
+  IoThread = std::thread([this] { ioLoop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (ListenFd < 0 && !IoThread.joinable())
+    return;
+  Stop.store(true);
+  wake();
+  if (IoThread.joinable())
+    IoThread.join();
+  // Wait out in-flight drain tasks (they hold shared_ptrs to connections
+  // but never touch fds), then release everything.
+  for (;;) {
+    bool AnyBusy = false;
+    {
+      std::lock_guard<std::mutex> L(ConnsMu);
+      for (const auto &C : Conns) {
+        std::lock_guard<std::mutex> CL(C->Mu);
+        AnyBusy |= C->Busy;
+      }
+    }
+    if (!AnyBusy)
+      break;
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> L(ConnsMu);
+    for (const auto &C : Conns)
+      close(C->Fd);
+    Conns.clear();
+  }
+  if (ListenFd >= 0) {
+    close(ListenFd);
+    ListenFd = -1;
+  }
+  for (int &Fd : WakeFds)
+    if (Fd >= 0) {
+      close(Fd);
+      Fd = -1;
+    }
+}
+
+size_t Server::connectionCount() const {
+  std::lock_guard<std::mutex> L(ConnsMu);
+  return Conns.size();
+}
+
+void Server::wake() {
+  if (WakeFds[1] >= 0) {
+    const char B = 1;
+    [[maybe_unused]] ssize_t N = write(WakeFds[1], &B, 1);
+  }
+}
+
+void Server::drainConn(const std::shared_ptr<Conn> &C) {
+  for (;;) {
+    std::string Take;
+    {
+      std::lock_guard<std::mutex> L(C->Mu);
+      if (C->In.empty() || C->Dead) {
+        C->Busy = false;
+        break;
+      }
+      Take.swap(C->In);
+    }
+    GlobalBuffered.fetch_sub(Take.size(), std::memory_order_relaxed);
+    std::string Reply;
+    const bool Keep = C->Session.consume(Take, Reply);
+    const bool Mid = C->Session.midFrame();
+    {
+      std::lock_guard<std::mutex> L(C->Mu);
+      C->Out += Reply;
+      C->SessMid = Mid;
+      if (!Keep)
+        C->CloseAfterFlush = true;
+    }
+  }
+  wake(); // re-evaluate poll interest (POLLOUT, close, unpause)
+}
+
+void Server::ioLoop() {
+  const auto Timeout = std::chrono::milliseconds(
+      Store.config().SlowClientTimeoutMs ? Store.config().SlowClientTimeoutMs
+                                         : 0);
+  std::vector<pollfd> Pfds;
+  std::vector<std::shared_ptr<Conn>> Polled;
+  while (!Stop.load(std::memory_order_relaxed)) {
+    Pfds.clear();
+    Polled.clear();
+    const bool GlobalFull =
+        GlobalBuffered.load(std::memory_order_relaxed) >=
+        Store.config().GlobalBudget;
+    Pfds.push_back({ListenFd, short(GlobalFull ? 0 : POLLIN), 0});
+    Pfds.push_back({WakeFds[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> L(ConnsMu);
+      for (const auto &C : Conns) {
+        short Ev = 0;
+        {
+          std::lock_guard<std::mutex> CL(C->Mu);
+          const bool Paused =
+              GlobalFull || C->In.size() >= Store.config().PerConnBudget;
+          if (!C->Dead && !C->CloseAfterFlush && !Paused)
+            Ev |= POLLIN;
+          if (!C->Dead && !C->Out.empty())
+            Ev |= POLLOUT;
+        }
+        Pfds.push_back({C->Fd, Ev, 0});
+        Polled.push_back(C);
+      }
+    }
+    poll(Pfds.data(), Pfds.size(), 100);
+    if (Stop.load(std::memory_order_relaxed))
+      break;
+
+    // Drain wake pipe.
+    if (Pfds[1].revents & POLLIN) {
+      char Buf[256];
+      while (read(WakeFds[0], Buf, sizeof(Buf)) > 0) {
+      }
+    }
+
+    // Accept.
+    if (Pfds[0].revents & POLLIN) {
+      for (;;) {
+        const int Fd = accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          break;
+        if (!setNonBlocking(Fd)) {
+          close(Fd);
+          continue;
+        }
+        const int One = 1;
+        setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+        auto C = std::make_shared<Conn>(Store, Fd);
+        C->LastActive = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> L(ConnsMu);
+        Conns.push_back(std::move(C));
+      }
+    }
+
+    // Per-connection I/O.
+    const auto Now = std::chrono::steady_clock::now();
+    for (size_t I = 0; I < Polled.size(); ++I) {
+      const auto &C = Polled[I];
+      const short Re = Pfds[I + 2].revents;
+      if (Re & (POLLERR | POLLNVAL)) {
+        std::lock_guard<std::mutex> CL(C->Mu);
+        C->Dead = true;
+        continue;
+      }
+      if (Re & POLLIN) {
+        char Buf[64 * 1024];
+        for (;;) {
+          const ssize_t N = read(C->Fd, Buf, sizeof(Buf));
+          if (N > 0) {
+            bool Submit = false;
+            bool OverBudget = false;
+            {
+              std::lock_guard<std::mutex> CL(C->Mu);
+              C->In.append(Buf, size_t(N));
+              C->LastActive = Now;
+              if (!C->Busy && !C->Dead) {
+                C->Busy = true;
+                Submit = true;
+              }
+              OverBudget = C->In.size() >= Store.config().PerConnBudget;
+            }
+            GlobalBuffered.fetch_add(uint64_t(N), std::memory_order_relaxed);
+            if (Submit) {
+              auto CC = C;
+              Pool.submit([this, CC] { drainConn(CC); });
+            }
+            if (OverBudget)
+              break; // stop reading this connection until the pool drains
+            continue;
+          }
+          if (N == 0) {
+            // Peer closed. Fully received frames still drain; a partial
+            // frame in flight is simply discarded — it never reached the
+            // store. Queued replies are flushed, then the fd closes.
+            bool Submit = false;
+            {
+              std::lock_guard<std::mutex> CL(C->Mu);
+              C->CloseAfterFlush = true;
+              if (!C->Busy && !C->In.empty() && !C->Dead) {
+                C->Busy = true;
+                Submit = true;
+              }
+            }
+            if (Submit) {
+              auto CC = C;
+              Pool.submit([this, CC] { drainConn(CC); });
+            }
+          }
+          break; // EOF, EAGAIN or error
+        }
+      } else if ((Re & POLLHUP) && !(Re & POLLOUT)) {
+        std::lock_guard<std::mutex> CL(C->Mu);
+        C->CloseAfterFlush = true;
+      }
+      if (Re & POLLOUT) {
+        std::string Chunk;
+        {
+          std::lock_guard<std::mutex> CL(C->Mu);
+          Chunk = C->Out;
+        }
+        if (!Chunk.empty()) {
+          const ssize_t N = write(C->Fd, Chunk.data(), Chunk.size());
+          std::lock_guard<std::mutex> CL(C->Mu);
+          if (N > 0) {
+            C->Out.erase(0, size_t(N));
+            C->LastActive = Now;
+          } else if (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            C->Dead = true;
+          }
+        }
+      }
+    }
+
+    // Removal + slow-client sweep.
+    {
+      std::lock_guard<std::mutex> L(ConnsMu);
+      for (size_t I = 0; I < Conns.size();) {
+        const auto &C = Conns[I];
+        bool Remove = false;
+        {
+          std::lock_guard<std::mutex> CL(C->Mu);
+          if (Timeout.count() > 0 && !C->Dead &&
+              (C->SessMid || !C->Out.empty() || !C->In.empty()) &&
+              Now - C->LastActive > Timeout)
+            C->Dead = true; // slow client: stuck mid-frame or not draining
+          Remove = C->Dead || (C->CloseAfterFlush && !C->Busy &&
+                               C->In.empty() && C->Out.empty());
+          if (Remove && C->Busy)
+            Remove = false; // let the drain task finish first
+        }
+        if (Remove) {
+          // Return any undrained bytes to the global budget.
+          GlobalBuffered.fetch_sub(C->In.size(), std::memory_order_relaxed);
+          close(C->Fd);
+          Conns.erase(Conns.begin() + long(I));
+        } else {
+          ++I;
+        }
+      }
+    }
+  }
+}

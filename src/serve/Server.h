@@ -1,0 +1,96 @@
+//===- Server.h - olpp serve TCP daemon -----------------------------------===//
+//
+// The transport layer of `olpp serve`: a poll()-based I/O thread owns every
+// socket; protocol work (frame decoding, artifact validation, shard folds)
+// runs on the TaskPool, at most one in-flight task per connection so each
+// connection's frames are processed in order while thousands of connections
+// proceed concurrently.
+//
+// Backpressure is structural, never an unbounded queue:
+//   - per-connection buffered-input budget: a connection over budget stops
+//     being polled for reads until its backlog drains (TCP pushes back),
+//   - global buffered-input budget: over it, every connection stops being
+//     read until the pool catches up,
+//   - slow-client sweep: a connection stuck mid-frame or with undrained
+//     replies past the timeout is closed.
+//
+// A client disconnect mid-frame simply discards the partial frame — frames
+// only reach the store whole, so shard state cannot be half-updated.
+//
+//===----------------------------------------------------------------------===//
+#ifndef OLPP_SERVE_SERVER_H
+#define OLPP_SERVE_SERVER_H
+
+#include "serve/Session.h"
+#include "serve/ShardStore.h"
+#include "support/TaskPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace olpp::serve {
+
+class Server {
+public:
+  /// \p Port 0 binds an ephemeral port; read it back with port().
+  Server(ShardStore &Store, TaskPool &Pool, uint16_t Port);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Bind + listen + start the I/O thread. False (with \p Err) on failure.
+  bool start(std::string &Err);
+
+  /// Stop accepting, close every connection, join the I/O thread.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Live connection count (diagnostics).
+  size_t connectionCount() const;
+
+private:
+  struct Conn {
+    explicit Conn(ShardStore &Store, int Fd)
+        : Fd(Fd), Session(Store) {}
+    const int Fd;
+    ServeSession Session; ///< touched only by the drain task (Busy owner)
+    std::mutex Mu;
+    std::string In;   ///< received, not yet consumed (budgeted)
+    std::string Out;  ///< replies not yet written
+    bool Busy = false;          ///< a drain task is in flight
+    bool CloseAfterFlush = false;
+    bool Dead = false;          ///< drop without flushing
+    bool SessMid = false;       ///< cached Session.midFrame() (sweep)
+    std::chrono::steady_clock::time_point LastActive;
+  };
+
+  void ioLoop();
+  void drainConn(const std::shared_ptr<Conn> &C);
+  void wake();
+
+  ShardStore &Store;
+  TaskPool &Pool;
+  uint16_t RequestedPort;
+  uint16_t BoundPort = 0;
+  int ListenFd = -1;
+  int WakeFds[2] = {-1, -1};
+  std::thread IoThread;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> GlobalBuffered{0};
+  mutable std::mutex ConnsMu;
+  std::vector<std::shared_ptr<Conn>> Conns;
+};
+
+} // namespace olpp::serve
+
+#endif // OLPP_SERVE_SERVER_H

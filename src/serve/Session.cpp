@@ -1,0 +1,79 @@
+#include "serve/Session.h"
+
+using namespace olpp;
+using namespace olpp::serve;
+
+bool ServeSession::consume(std::string_view Bytes, std::string &Out) {
+  Reader.feed(Bytes);
+  Frame F;
+  for (;;) {
+    switch (Reader.next(F)) {
+    case FrameStatus::NeedMore:
+      return true;
+    case FrameStatus::Error:
+      // Framing violations are terminal: reply with the reason and drop
+      // the connection. No resynchronization — a peer that framed one
+      // message wrong cannot be trusted to frame the next one right.
+      Store.stats().FramingErrors.fetch_add(1, std::memory_order_relaxed);
+      Out += encodeFrame(FrameType::Err,
+                         encodeErrPayload(ErrCode::BadFrame, Reader.error()));
+      return false;
+    case FrameStatus::Frame:
+      if (!processFrame(F, Out))
+        return false;
+      break;
+    }
+  }
+}
+
+bool ServeSession::processFrame(const Frame &F, std::string &Out) {
+  switch (F.Type) {
+  case FrameType::Upload: {
+    const UploadResult R = Store.upload(F.Payload);
+    if (R.Status == UploadStatus::Ok) {
+      Out += encodeFrame(FrameType::Ack,
+                         encodeAckPayload({NextSeq++, R.Tag, R.Fingerprint}));
+      return true;
+    }
+    // Rejected wholesale; the connection survives (one bad artifact does
+    // not imply a broken stream — framing still checked out).
+    Out += encodeFrame(FrameType::Err,
+                       encodeErrPayload(ErrCode::BadArtifact, R.Error));
+    return true;
+  }
+  case FrameType::Snapshot: {
+    bool HaveFp = false;
+    uint64_t Fp = 0;
+    if (F.Payload.size() == 8) {
+      HaveFp = true;
+      Fp = getU64LE(F.Payload.data());
+    } else if (!F.Payload.empty()) {
+      Out += encodeFrame(
+          FrameType::Err,
+          encodeErrPayload(ErrCode::BadType,
+                           "snapshot selector must be empty or 8 bytes"));
+      return true;
+    }
+    uint64_t Epoch = 0, OutFp = 0;
+    std::string Bytes, Error;
+    if (!Store.snapshot(HaveFp, Fp, Epoch, OutFp, Bytes, Error)) {
+      Out += encodeFrame(FrameType::Err,
+                         encodeErrPayload(ErrCode::NoData, Error));
+      return true;
+    }
+    Out += encodeFrame(FrameType::SnapshotData,
+                       encodeSnapshotPayload(Epoch, OutFp, Bytes));
+    return true;
+  }
+  case FrameType::Stats:
+    Out += encodeFrame(FrameType::StatsData, Store.statsJson());
+    return true;
+  case FrameType::Quit:
+    return false;
+  default:
+    Out += encodeFrame(FrameType::Err,
+                       encodeErrPayload(ErrCode::BadType,
+                                        "unexpected frame type"));
+    return false;
+  }
+}

@@ -1,0 +1,53 @@
+//===- Session.h - per-connection serve protocol state machine ------------===//
+//
+// One ServeSession per client connection: it owns the incremental frame
+// decoder and turns raw received bytes into store operations and reply
+// bytes. The transport is abstracted away — the TCP server feeds it socket
+// reads, the tests and fuzz oracle 11 feed it adversarial byte slices
+// directly — so every robustness property is proven against the exact code
+// path production traffic takes.
+//
+//===----------------------------------------------------------------------===//
+#ifndef OLPP_SERVE_SESSION_H
+#define OLPP_SERVE_SESSION_H
+
+#include "serve/Protocol.h"
+#include "serve/ShardStore.h"
+#include "support/Framing.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace olpp::serve {
+
+class ServeSession {
+public:
+  explicit ServeSession(ShardStore &Store)
+      : Store(Store), Reader(Store.config().MaxFrameBytes) {}
+
+  /// Feed received bytes; complete frames are processed against the store
+  /// and reply frames are appended to \p Out. Returns false when the
+  /// connection must close (Quit, framing violation, unknown frame type) —
+  /// any already-appended replies should still be flushed to the peer.
+  bool consume(std::string_view Bytes, std::string &Out);
+
+  /// True when the peer stopped sending mid-frame — an upload (or header)
+  /// was cut off. Nothing of a partial frame ever reaches the store.
+  bool midFrame() const { return Reader.midFrame(); }
+
+  /// Uploads acked on this connection (also the next upload's seq number).
+  uint64_t uploadsAcked() const { return NextSeq; }
+
+private:
+  /// Returns false when the connection must close.
+  bool processFrame(const Frame &F, std::string &Out);
+
+  ShardStore &Store;
+  FrameReader Reader;
+  uint64_t NextSeq = 0;
+};
+
+} // namespace olpp::serve
+
+#endif // OLPP_SERVE_SESSION_H

@@ -1,0 +1,177 @@
+#include "serve/ShardStore.h"
+#include "profdata/Merge.h"
+
+#include <algorithm>
+
+using namespace olpp;
+using namespace olpp::serve;
+
+ShardStore::ShardStore(const ServeConfig &Cfg) : Cfg(Cfg) {
+  const uint32_t N = std::max(1u, Cfg.Shards);
+  ShardsV.reserve(N);
+  for (uint32_t I = 0; I < N; ++I)
+    ShardsV.push_back(std::make_unique<Shard>());
+  FaultArmed.store(Cfg.FaultDropFold, std::memory_order_relaxed);
+}
+
+static std::string firstError(const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Severity::Error)
+      return D.Message;
+  return Diags.empty() ? std::string("rejected") : Diags.front().Message;
+}
+
+UploadResult ShardStore::upload(std::string_view Bytes) {
+  // Validate before any lock: a malformed payload is rejected wholesale by
+  // the checked reader and can never reach a shard.
+  ProfileArtifact A;
+  std::vector<Diagnostic> Diags;
+  if (!readProfileArtifactView(Bytes, A, Diags)) {
+    Stats.UploadsRejected.fetch_add(1, std::memory_order_relaxed);
+    return {UploadStatus::Malformed, 0, 0, firstError(Diags)};
+  }
+
+  // FaultDropFold defect switch (fuzz oracle 11 mutation test): ack the
+  // first upload without folding it — the snapshot then disagrees with the
+  // offline fold of the acked set, which the oracle must catch.
+  if (FaultArmed.exchange(false, std::memory_order_relaxed)) {
+    Stats.UploadsAcked.fetch_add(1, std::memory_order_relaxed);
+    Stats.BytesIngested.fetch_add(Bytes.size(), std::memory_order_relaxed);
+    return {UploadStatus::Ok, Epoch.load(), A.Fingerprint, ""};
+  }
+
+  Shard &Sh = shardFor(A.Fingerprint);
+  uint64_t Tag = 0;
+  {
+    std::lock_guard<std::mutex> L(Sh.Mu);
+    // The tag is read under the shard lock: a snapshot bumps the epoch
+    // before visiting any shard, so a fold that lands after the visit
+    // necessarily observes the bumped value and stays out of snapshot E.
+    Tag = Epoch.load();
+    auto It = Sh.Entries.find(A.Fingerprint);
+    if (It == Sh.Entries.end()) {
+      Entry E;
+      E.Hist = makeEmptyLike(A);
+      E.Cur = makeEmptyLike(A);
+      std::vector<Diagnostic> MDiags;
+      if (!mergeArtifacts(E.Cur, A, MDiags)) {
+        Stats.UploadsRejected.fetch_add(1, std::memory_order_relaxed);
+        return {UploadStatus::Incompatible, 0, 0, firstError(MDiags)};
+      }
+      E.CurTag = Tag;
+      E.HasCur = true;
+      Sh.Entries.emplace(A.Fingerprint, std::move(E));
+    } else {
+      Entry &E = It->second;
+      if (E.HasCur && E.CurTag != Tag) {
+        // The open accumulator predates the current epoch: seal it so the
+        // fold below lands with today's tag. Same identity, cannot fail.
+        std::vector<Diagnostic> SDiags;
+        mergeArtifacts(E.Hist, E.Cur, SDiags);
+        E.Cur = ProfileArtifact();
+        E.HasCur = false;
+      }
+      if (!E.HasCur) {
+        // Commit Cur only after the merge succeeds, so an incompatible
+        // upload leaves the entry byte-for-byte untouched.
+        ProfileArtifact C = makeEmptyLike(E.Hist);
+        std::vector<Diagnostic> MDiags;
+        if (!mergeArtifacts(C, A, MDiags)) {
+          Stats.UploadsRejected.fetch_add(1, std::memory_order_relaxed);
+          return {UploadStatus::Incompatible, 0, 0, firstError(MDiags)};
+        }
+        E.Cur = std::move(C);
+        E.CurTag = Tag;
+        E.HasCur = true;
+      } else {
+        std::vector<Diagnostic> MDiags;
+        if (!mergeArtifacts(E.Cur, A, MDiags)) {
+          Stats.UploadsRejected.fetch_add(1, std::memory_order_relaxed);
+          return {UploadStatus::Incompatible, 0, 0, firstError(MDiags)};
+        }
+      }
+    }
+  }
+  Stats.UploadsAcked.fetch_add(1, std::memory_order_relaxed);
+  Stats.BytesIngested.fetch_add(Bytes.size(), std::memory_order_relaxed);
+  return {UploadStatus::Ok, Tag, A.Fingerprint, ""};
+}
+
+std::vector<uint64_t> ShardStore::fingerprints() const {
+  std::vector<uint64_t> Out;
+  for (const auto &ShPtr : ShardsV) {
+    std::lock_guard<std::mutex> L(ShPtr->Mu);
+    for (const auto &KV : ShPtr->Entries)
+      Out.push_back(KV.first);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+bool ShardStore::snapshot(bool HaveFp, uint64_t Fp, uint64_t &EpochOut,
+                          uint64_t &FingerprintOut, std::string &Out,
+                          std::string &Error) {
+  std::lock_guard<std::mutex> SL(SnapMu);
+  if (!HaveFp) {
+    std::vector<uint64_t> Fps = fingerprints();
+    if (Fps.empty()) {
+      Error = "store holds no artifacts";
+      return false;
+    }
+    if (Fps.size() > 1) {
+      Error = "store holds " + std::to_string(Fps.size()) +
+              " fingerprints; pass a selector";
+      return false;
+    }
+    Fp = Fps.front();
+  }
+
+  // Publish snapshot id E = the pre-increment epoch. Every fold from here
+  // on tags itself E+1 (or later) and is excluded below.
+  const uint64_t E = Epoch.fetch_add(1);
+
+  ProfileArtifact Snap;
+  {
+    Shard &Sh = shardFor(Fp);
+    std::lock_guard<std::mutex> L(Sh.Mu);
+    auto It = Sh.Entries.find(Fp);
+    if (It == Sh.Entries.end()) {
+      Error = "no artifacts for requested fingerprint";
+      return false;
+    }
+    Entry &Ent = It->second;
+    if (Ent.HasCur && Ent.CurTag <= E) {
+      std::vector<Diagnostic> SDiags;
+      mergeArtifacts(Ent.Hist, Ent.Cur, SDiags);
+      Ent.Cur = ProfileArtifact();
+      Ent.HasCur = false;
+    }
+    Snap = Ent.Hist;
+  }
+  Out = serializeProfileArtifact(Snap);
+  EpochOut = E;
+  FingerprintOut = Fp;
+  Stats.Snapshots.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::string ShardStore::statsJson() const {
+  std::string J = "{";
+  auto Num = [&J](const char *K, uint64_t V, bool Last = false) {
+    J += "\"";
+    J += K;
+    J += "\": " + std::to_string(V);
+    if (!Last)
+      J += ", ";
+  };
+  Num("uploads_acked", Stats.UploadsAcked.load(std::memory_order_relaxed));
+  Num("uploads_rejected",
+      Stats.UploadsRejected.load(std::memory_order_relaxed));
+  Num("bytes_ingested", Stats.BytesIngested.load(std::memory_order_relaxed));
+  Num("snapshots", Stats.Snapshots.load(std::memory_order_relaxed));
+  Num("framing_errors", Stats.FramingErrors.load(std::memory_order_relaxed));
+  Num("fingerprints", fingerprints().size());
+  Num("epoch", epoch(), /*Last=*/true);
+  J += "}";
+  return J;
+}

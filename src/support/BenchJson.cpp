@@ -866,6 +866,158 @@ bool olpp::validateOptBenchJson(const std::string &Text, std::string &Error) {
   return true;
 }
 
+std::string olpp::renderServeBenchJson(const ServeBenchReport &R) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": " + jsonStr(ServeBenchSchema) + ",\n";
+  renderProvenance(Out, R.Prov);
+  Out += "  \"workload\": " + jsonStr(R.Workload) + ",\n";
+  Out += "  \"corpus_artifacts\": " + std::to_string(R.CorpusArtifacts) +
+         ",\n";
+  Out += "  \"corpus_bytes\": " + std::to_string(R.CorpusBytes) + ",\n";
+  Out += "  \"clients\": " + std::to_string(R.Clients) + ",\n";
+  Out += "  \"uploads_per_client\": " + std::to_string(R.UploadsPerClient) +
+         ",\n";
+  Out += "  \"uploads\": " + std::to_string(R.Uploads) + ",\n";
+  Out += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
+  Out += "  \"ingest_wall_seconds\": " + jsonNum(R.IngestWallSeconds) + ",\n";
+  Out += "  \"uploads_per_sec\": " + jsonNum(R.UploadsPerSec) + ",\n";
+  Out += "  \"mb_per_sec\": " + jsonNum(R.MBPerSec) + ",\n";
+  Out += "  \"p50_latency_us\": " + jsonNum(R.P50LatencyUs) + ",\n";
+  Out += "  \"p95_latency_us\": " + jsonNum(R.P95LatencyUs) + ",\n";
+  Out += "  \"p99_latency_us\": " + jsonNum(R.P99LatencyUs) + ",\n";
+  Out += "  \"snapshot_epoch\": " + std::to_string(R.SnapshotEpoch) + ",\n";
+  Out += std::string("  \"bit_identity\": ") +
+         (R.BitIdentity ? "true" : "false") + ",\n";
+  Out += "  \"jobs_scaling\": [";
+  for (size_t I = 0; I < R.JobsScaling.size(); ++I) {
+    const ServeScalingPoint &P = R.JobsScaling[I];
+    Out += I ? ",\n" : "\n";
+    Out += "    {\n";
+    Out += "      \"jobs\": " + std::to_string(P.Jobs) + ",\n";
+    Out += "      \"uploads\": " + std::to_string(P.Uploads) + ",\n";
+    Out += "      \"wall_seconds\": " + jsonNum(P.WallSeconds) + ",\n";
+    Out += "      \"uploads_per_sec\": " + jsonNum(P.UploadsPerSec) + ",\n";
+    Out += "      \"speedup_vs_1\": " + jsonNum(P.SpeedupVs1) + "\n";
+    Out += "    }";
+  }
+  Out += R.JobsScaling.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool olpp::writeServeBenchJson(const std::string &Path,
+                               const ServeBenchReport &R,
+                               std::string &Error) {
+  return writeTextFile(Path, renderServeBenchJson(R), Error);
+}
+
+bool olpp::validateServeBenchJson(const std::string &Text,
+                                  std::string &Error) {
+  JValue Root;
+  if (!JParser(Text, Error).parse(Root))
+    return false;
+  if (Root.K != JValue::Obj) {
+    Error = "top level: expected an object";
+    return false;
+  }
+  auto Schema = Root.Fields.find("schema");
+  if (Schema == Root.Fields.end() || Schema->second.K != JValue::Str ||
+      Schema->second.S != ServeBenchSchema) {
+    Error = std::string("schema: expected \"") + ServeBenchSchema + "\"";
+    return false;
+  }
+  if (!checkProvenance(Root, Error))
+    return false;
+  auto WName = Root.Fields.find("workload");
+  if (WName == Root.Fields.end() || WName->second.K != JValue::Str ||
+      WName->second.S.empty()) {
+    Error = "top level: missing non-empty string \"workload\"";
+    return false;
+  }
+  if (!checkNum(Root, "top level", "corpus_artifacts", Error) ||
+      !checkNum(Root, "top level", "corpus_bytes", Error) ||
+      !checkNum(Root, "top level", "clients", Error) ||
+      !checkNum(Root, "top level", "uploads_per_client", Error) ||
+      !checkNum(Root, "top level", "uploads", Error) ||
+      !checkNum(Root, "top level", "wall_seconds", Error) ||
+      !checkNum(Root, "top level", "ingest_wall_seconds", Error) ||
+      !checkNum(Root, "top level", "uploads_per_sec", Error) ||
+      !checkNum(Root, "top level", "mb_per_sec", Error) ||
+      !checkNum(Root, "top level", "p50_latency_us", Error) ||
+      !checkNum(Root, "top level", "p95_latency_us", Error) ||
+      !checkNum(Root, "top level", "p99_latency_us", Error) ||
+      !checkNum(Root, "top level", "snapshot_epoch", Error))
+    return false;
+  // Throughput from a run that acked nothing is meaningless.
+  if (Root.Fields.find("uploads")->second.N <= 0 ||
+      Root.Fields.find("uploads_per_sec")->second.N <= 0) {
+    Error = "top level: uploads and uploads_per_sec must be positive";
+    return false;
+  }
+  // Percentiles of one latency distribution are monotone by definition;
+  // an inversion means the harness mislabeled its numbers.
+  const double P50 = Root.Fields.find("p50_latency_us")->second.N;
+  const double P95 = Root.Fields.find("p95_latency_us")->second.N;
+  const double P99 = Root.Fields.find("p99_latency_us")->second.N;
+  if (P50 > P95 || P95 > P99) {
+    Error = "top level: latency percentiles must satisfy p50 <= p95 <= p99";
+    return false;
+  }
+  // The bit-identity gate: a snapshot that is not the exact fold of the
+  // acked uploads describes a server that loses or duplicates profiles —
+  // its throughput numbers are not worth committing.
+  auto Bit = Root.Fields.find("bit_identity");
+  if (Bit == Root.Fields.end() || Bit->second.K != JValue::Bool) {
+    Error = "top level: missing boolean \"bit_identity\"";
+    return false;
+  }
+  if (!Bit->second.B) {
+    Error = "top level: bit_identity must be true (snapshot diverged from "
+            "the offline fold of the acked uploads)";
+    return false;
+  }
+  auto Pts = Root.Fields.find("jobs_scaling");
+  if (Pts == Root.Fields.end() || Pts->second.K != JValue::Arr) {
+    Error = "jobs_scaling: missing or not an array";
+    return false;
+  }
+  if (Pts->second.Elems.empty()) {
+    Error = "jobs_scaling: must have at least one entry";
+    return false;
+  }
+  for (size_t I = 0; I < Pts->second.Elems.size(); ++I) {
+    const JValue &Row = Pts->second.Elems[I];
+    const std::string Path = "jobs_scaling[" + std::to_string(I) + "]";
+    if (Row.K != JValue::Obj) {
+      Error = Path + ": expected an object";
+      return false;
+    }
+    if (!checkNum(Row, Path, "jobs", Error) ||
+        !checkNum(Row, Path, "uploads", Error) ||
+        !checkNum(Row, Path, "wall_seconds", Error) ||
+        !checkNum(Row, Path, "uploads_per_sec", Error) ||
+        !checkNum(Row, Path, "speedup_vs_1", Error))
+      return false;
+    auto Jobs = Row.Fields.find("jobs");
+    auto Sp = Row.Fields.find("speedup_vs_1");
+    if (Jobs->second.N == 1.0 && Sp->second.N != 1.0) {
+      Error = Path + ": jobs=1 point must have speedup_vs_1 == 1";
+      return false;
+    }
+    // Same rule as the pipeline schema: a point the hardware cannot run
+    // concurrently measures scheduler interleaving, not ingest scaling.
+    auto HW = Root.Fields.find("hardware_threads");
+    if (Jobs->second.N > HW->second.N) {
+      Error = Path + ": jobs exceeds hardware_threads (" +
+              std::to_string(static_cast<unsigned>(Jobs->second.N)) + " > " +
+              std::to_string(static_cast<unsigned>(HW->second.N)) +
+              "); oversubscribed points do not measure scaling";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
   JValue Root;
   if (!JParser(Text, Error).parse(Root))
@@ -889,6 +1041,8 @@ bool olpp::validateBenchJson(const std::string &Text, std::string &Error) {
     return validateAnalyzeBenchJson(Text, Error);
   if (Schema->second.S == OptBenchSchema)
     return validateOptBenchJson(Text, Error);
+  if (Schema->second.S == ServeBenchSchema)
+    return validateServeBenchJson(Text, Error);
   Error = "schema: unknown tag \"" + Schema->second.S + "\"";
   return false;
 }

@@ -42,6 +42,13 @@
 ///                            the agreement bit (both modules returned the
 ///                            same result).
 ///
+///   "olpp.bench.serve/v1"    (BENCH_serve.json, bench/perf_serve): the
+///                            streaming aggregation daemon — fleet upload
+///                            throughput, p50/p95/p99 ingest latency, the
+///                            snapshot-vs-offline-merge bit-identity gate,
+///                            and the ingest jobs-scaling curve (capped at
+///                            hardware_threads).
+///
 /// Every schema carries the same provenance pair so reports from different
 /// machines and commits stay comparable: "hardware_threads" (the box's
 /// concurrency) and "git_rev" (the commit the binary was built from,
@@ -308,6 +315,59 @@ bool writeOptBenchJson(const std::string &Path, const OptBenchReport &R,
 
 /// Structurally validates \p Text against the opt v1 schema.
 bool validateOptBenchJson(const std::string &Text, std::string &Error);
+
+//===----------------------------------------------------------------------===//
+// Streaming-aggregation report ("olpp.bench.serve/v1")
+//===----------------------------------------------------------------------===//
+
+inline constexpr const char *ServeBenchSchema = "olpp.bench.serve/v1";
+
+/// One job count's ingest-throughput measurement (the daemon's TaskPool
+/// sized to Jobs workers; the fleet re-runs the same upload batch).
+struct ServeScalingPoint {
+  unsigned Jobs = 1;
+  uint64_t Uploads = 0;
+  double WallSeconds = 0.0;
+  double UploadsPerSec = 0.0;
+  /// This point's throughput over the jobs=1 point's (1.0 for jobs=1).
+  double SpeedupVs1 = 0.0;
+};
+
+struct ServeBenchReport {
+  BenchProvenance Prov = benchProvenance();
+  std::string Workload;         ///< workload the corpus derives from
+  unsigned CorpusArtifacts = 0; ///< distinct artifacts in the corpus
+  uint64_t CorpusBytes = 0;     ///< their total serialized size
+  unsigned Clients = 0;         ///< concurrent fleet connections
+  unsigned UploadsPerClient = 0;
+  uint64_t Uploads = 0; ///< acked uploads in the latency measurement
+  double WallSeconds = 0.0;       ///< whole harness, wall clock
+  double IngestWallSeconds = 0.0; ///< the timed fleet run
+  double UploadsPerSec = 0.0;
+  double MBPerSec = 0.0; ///< acked payload bytes over the timed run
+  /// Per-upload round-trip (send to ack) percentiles, microseconds.
+  double P50LatencyUs = 0.0;
+  double P95LatencyUs = 0.0;
+  double P99LatencyUs = 0.0;
+  uint64_t SnapshotEpoch = 0;
+  /// The in-harness gate: the final snapshot was bit-identical to the
+  /// offline `profdata merge` fold of exactly the acked uploads. A report
+  /// without this property is invalid — its throughput numbers describe a
+  /// server that loses or duplicates data.
+  bool BitIdentity = false;
+  std::vector<ServeScalingPoint> JobsScaling;
+};
+
+/// Renders \p R as pretty-printed JSON (trailing newline included).
+std::string renderServeBenchJson(const ServeBenchReport &R);
+
+/// Renders and writes to \p Path. Returns false and sets \p Error on I/O
+/// failure.
+bool writeServeBenchJson(const std::string &Path, const ServeBenchReport &R,
+                         std::string &Error);
+
+/// Structurally validates \p Text against the serve v1 schema.
+bool validateServeBenchJson(const std::string &Text, std::string &Error);
 
 /// Sniffs the report's schema tag and validates against the matching
 /// schema. Returns false and sets \p Error for unparseable input, an

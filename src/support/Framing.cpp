@@ -1,0 +1,87 @@
+#include "support/Framing.h"
+#include "support/Crc32.h"
+
+namespace olpp {
+
+namespace {
+
+void putU32LE(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(char((V >> (8 * I)) & 0xFF));
+}
+
+void putU64LE(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(char((V >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32LE(const char *P) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | uint8_t(P[I]);
+  return V;
+}
+
+uint64_t getU64LE(const char *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | uint8_t(P[I]);
+  return V;
+}
+
+} // namespace
+
+std::string encodeFrame(FrameType Type, std::string_view Payload) {
+  std::string Out;
+  Out.reserve(FrameHeaderSize + Payload.size());
+  Out.push_back(char(Type));
+  putU32LE(Out, crc32(Payload.data(), Payload.size()));
+  putU64LE(Out, Payload.size());
+  Out.append(Payload.data(), Payload.size());
+  return Out;
+}
+
+void FrameReader::feed(std::string_view Bytes) {
+  if (Poisoned)
+    return;
+  Buf.append(Bytes.data(), Bytes.size());
+}
+
+FrameStatus FrameReader::next(Frame &Out) {
+  if (Poisoned)
+    return FrameStatus::Error;
+  if (Buf.size() < FrameHeaderSize)
+    return FrameStatus::NeedMore;
+
+  // Header complete: validate the declared length before touching (or
+  // waiting for) any payload byte. A hostile 2^60 length must fail here,
+  // not in an allocator.
+  const uint64_t Len = getU64LE(Buf.data() + 5);
+  if (Len > MaxPayload) {
+    Poisoned = true;
+    ErrorMsg = "declared payload length " + std::to_string(Len) +
+               " exceeds cap " + std::to_string(MaxPayload);
+    Buf.clear();
+    Buf.shrink_to_fit();
+    return FrameStatus::Error;
+  }
+  if (Buf.size() - FrameHeaderSize < Len)
+    return FrameStatus::NeedMore;
+
+  const uint32_t WantCrc = getU32LE(Buf.data() + 1);
+  const uint32_t GotCrc = crc32(Buf.data() + FrameHeaderSize, size_t(Len));
+  if (WantCrc != GotCrc) {
+    Poisoned = true;
+    ErrorMsg = "payload crc mismatch";
+    Buf.clear();
+    Buf.shrink_to_fit();
+    return FrameStatus::Error;
+  }
+
+  Out.Type = FrameType(uint8_t(Buf[0]));
+  Out.Payload.assign(Buf.data() + FrameHeaderSize, size_t(Len));
+  Buf.erase(0, FrameHeaderSize + size_t(Len));
+  return FrameStatus::Frame;
+}
+
+} // namespace olpp

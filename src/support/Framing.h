@@ -1,0 +1,113 @@
+//===- Framing.h - length-prefixed frame protocol for olpp serve ----------===//
+//
+// Wire format shared by `olpp serve`, `olpp serve-bench`, the serve tests
+// and fuzz oracle 11. Every message on a serve connection is one frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     1  type          (FrameType, u8)
+//        1     4  payload crc32 (little endian, over the payload bytes)
+//        5     8  payload len   (little endian u64)
+//       13     N  payload
+//
+// The reader is incremental: bytes arrive in arbitrary slices (a slow
+// client may deliver one byte per read), and `next` yields complete
+// frames as they materialize. Two properties matter for robustness:
+//
+//  * Oversized declared lengths are rejected when the 13-byte header
+//    completes, BEFORE any payload allocation — a hostile length field
+//    can never drive the server into bad_alloc.
+//  * Any framing violation (bad length, CRC mismatch) puts the reader in
+//    a sticky Error state; the connection owner replies with a structured
+//    error and closes. No resynchronization is attempted.
+//
+//===----------------------------------------------------------------------===//
+#ifndef OLPP_SUPPORT_FRAMING_H
+#define OLPP_SUPPORT_FRAMING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace olpp {
+
+/// Frame type tags. Client-originated tags have the high bit clear,
+/// server replies have it set; `FrameReader` itself is direction-agnostic
+/// and accepts any tag (type validation is the session's job).
+enum class FrameType : uint8_t {
+  // Client -> server.
+  Upload = 0x01,   ///< payload: raw .olpp artifact bytes
+  Snapshot = 0x02, ///< payload: empty, or u64 LE fingerprint selector
+  Stats = 0x03,    ///< payload: empty
+  Quit = 0x04,     ///< payload: empty; orderly connection shutdown
+  // Server -> client.
+  Ack = 0x81,          ///< payload: u64 seq | u64 epoch tag | u64 fingerprint
+  Err = 0x82,          ///< payload: u32 code | utf-8 message
+  SnapshotData = 0x83, ///< payload: u64 epoch | artifact bytes
+  StatsData = 0x84,    ///< payload: utf-8 JSON
+};
+
+/// A completed frame. The payload is an owned copy: frames outlive the
+/// reader's internal buffer (they are handed to TaskPool folds).
+struct Frame {
+  FrameType Type = FrameType::Upload;
+  std::string Payload;
+};
+
+/// Result of FrameReader::next().
+enum class FrameStatus : uint8_t {
+  Frame,    ///< a complete frame was produced
+  NeedMore, ///< no complete frame buffered; feed more bytes
+  Error,    ///< framing violation; reader is permanently poisoned
+};
+
+/// Byte size of the fixed frame header (type + crc + length).
+inline constexpr size_t FrameHeaderSize = 13;
+
+/// Default cap on a single frame's payload. Artifacts from the embedded
+/// workload suite are a few KiB; 64 MiB leaves three orders of magnitude
+/// of headroom while bounding per-connection memory.
+inline constexpr uint64_t DefaultMaxFramePayload = 64ull << 20;
+
+/// Encode one frame (header + payload) ready to write to a socket.
+std::string encodeFrame(FrameType Type, std::string_view Payload);
+
+/// Incremental decoder for a stream of frames.
+class FrameReader {
+public:
+  explicit FrameReader(uint64_t MaxPayload = DefaultMaxFramePayload)
+      : MaxPayload(MaxPayload) {}
+
+  /// Append raw bytes received from the peer.
+  void feed(std::string_view Bytes);
+
+  /// Try to decode the next complete frame. On FrameStatus::Frame, `Out`
+  /// holds the frame; otherwise `Out` is untouched.
+  FrameStatus next(Frame &Out);
+
+  /// True once a framing violation was seen; all further next() calls
+  /// return Error and feed() becomes a no-op.
+  bool poisoned() const { return Poisoned; }
+
+  /// Human-readable description of the violation (empty when clean).
+  const std::string &error() const { return ErrorMsg; }
+
+  /// True if the buffer ends mid-frame: a partial header, or a complete
+  /// header whose payload has not fully arrived. Used to detect clients
+  /// that disconnect mid-upload.
+  bool midFrame() const { return !Poisoned && !Buf.empty(); }
+
+  /// Bytes currently buffered (diagnostics / budget accounting).
+  size_t buffered() const { return Buf.size(); }
+
+private:
+  uint64_t MaxPayload;
+  std::string Buf;
+  bool Poisoned = false;
+  std::string ErrorMsg;
+};
+
+} // namespace olpp
+
+#endif // OLPP_SUPPORT_FRAMING_H

@@ -292,6 +292,51 @@ TEST(FuzzHarness, InjectedTraceGuardDropIsCaughtAndShrunk) {
   EXPECT_EQ(Again.Oracle, FuzzOracle::Trace);
 }
 
+/// The serve mutation test: a store that acks one upload without folding it
+/// breaks the bit-identity contract between a snapshot and the offline
+/// merge of the acked uploads. Oracle 11 must catch the mismatch, and the
+/// shrinker must reduce the witness while keeping the failure alive.
+TEST(FuzzHarness, InjectedServeFoldDropIsCaughtAndShrunk) {
+  FuzzOptions FO;
+  FO.Fault = FaultKind::DropFrameAck;
+  DifferentialRunner Runner(FO);
+
+  // A dropped fold changes at least the artifact's Runs metadata, so any
+  // seed whose run reaches the serve oracle fails; scan from 1 anyway to
+  // keep the idiom uniform with the other mutation tests.
+  uint64_t FailingSeed = 0;
+  FuzzFailure Probe;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    if (Runner.checkCase(Seed, &Probe) == CaseStatus::Failed) {
+      FailingSeed = Seed;
+      break;
+    }
+  }
+  ASSERT_NE(FailingSeed, 0u)
+      << "no seed in 1..200 triggered the injected fold drop";
+  EXPECT_EQ(Probe.Oracle, FuzzOracle::Serve) << Probe.Detail;
+
+  FO.SeedBase = FailingSeed;
+  FO.NumSeeds = 1;
+  FO.Shrink = true;
+  FuzzReport Rep = DifferentialRunner(FO).run();
+  ASSERT_EQ(Rep.Failures.size(), 1u);
+  const FuzzFailure &F = Rep.Failures[0];
+  EXPECT_EQ(F.Oracle, FuzzOracle::Serve) << F.Detail;
+  EXPECT_TRUE(F.Shrunk);
+  EXPECT_LE(countCodeLines(F.Source), 30u) << F.Source;
+  EXPECT_LE(countCodeLines(F.Source), countCodeLines(F.OriginalSource));
+
+  // The minimized witness still compiles and still reproduces the defect
+  // under the pinned setup.
+  EXPECT_TRUE(compileMiniC(F.Source).ok()) << F.Source;
+  auto Setup = DifferentialRunner::deriveSetup(FailingSeed);
+  FuzzFailure Again;
+  EXPECT_EQ(DifferentialRunner(FO).checkProgram(F.Source, Setup, &Again),
+            CaseStatus::Failed);
+  EXPECT_EQ(Again.Oracle, FuzzOracle::Serve);
+}
+
 // --- shrinker unit tests -------------------------------------------------
 
 TEST(Shrinker, KeepsThePoisonLine) {

@@ -1,0 +1,198 @@
+//===--- FramingTest.cpp - serve frame protocol robustness ----------------===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The length-prefixed frame decoder (support/Framing.h) under hostile
+// transport behavior: every strict prefix of a frame is "need more" and
+// flagged mid-frame, byte-at-a-time delivery reassembles losslessly, a
+// hostile declared length is rejected at header completion before any
+// payload allocation, and CRC violations poison the reader permanently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Framing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+using namespace olpp;
+
+namespace {
+
+std::string bigPayload(size_t N) {
+  std::string P;
+  P.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    P.push_back(static_cast<char>((I * 131 + 7) & 0xFF));
+  return P;
+}
+
+/// A raw 13-byte header with an arbitrary declared length (and an
+/// arbitrary CRC — length validation happens before the payload exists).
+std::string rawHeader(FrameType T, uint32_t Crc, uint64_t Len) {
+  std::string H;
+  H.push_back(static_cast<char>(T));
+  for (int I = 0; I < 4; ++I)
+    H.push_back(static_cast<char>((Crc >> (8 * I)) & 0xFF));
+  for (int I = 0; I < 8; ++I)
+    H.push_back(static_cast<char>((Len >> (8 * I)) & 0xFF));
+  return H;
+}
+
+TEST(ServeFramingTest, RoundTripsPayloadsOfEverySmallSize) {
+  for (size_t N : {size_t(0), size_t(1), size_t(12), size_t(13), size_t(255),
+                   size_t(4096)}) {
+    const std::string P = bigPayload(N);
+    FrameReader R;
+    R.feed(encodeFrame(FrameType::Upload, P));
+    Frame F;
+    ASSERT_EQ(R.next(F), FrameStatus::Frame) << "payload size " << N;
+    EXPECT_EQ(F.Type, FrameType::Upload);
+    EXPECT_EQ(F.Payload, P);
+    EXPECT_EQ(R.next(F), FrameStatus::NeedMore);
+    EXPECT_FALSE(R.midFrame());
+    EXPECT_FALSE(R.poisoned());
+  }
+}
+
+TEST(ServeFramingTest, DecodesBackToBackFramesFromOneFeed) {
+  std::string Stream = encodeFrame(FrameType::Upload, "first") +
+                       encodeFrame(FrameType::Stats, "") +
+                       encodeFrame(FrameType::Snapshot, "12345678");
+  FrameReader R;
+  R.feed(Stream);
+  Frame F;
+  ASSERT_EQ(R.next(F), FrameStatus::Frame);
+  EXPECT_EQ(F.Type, FrameType::Upload);
+  EXPECT_EQ(F.Payload, "first");
+  ASSERT_EQ(R.next(F), FrameStatus::Frame);
+  EXPECT_EQ(F.Type, FrameType::Stats);
+  EXPECT_TRUE(F.Payload.empty());
+  ASSERT_EQ(R.next(F), FrameStatus::Frame);
+  EXPECT_EQ(F.Type, FrameType::Snapshot);
+  EXPECT_EQ(F.Payload, "12345678");
+  EXPECT_EQ(R.next(F), FrameStatus::NeedMore);
+}
+
+// Every strict prefix of a valid frame — cut inside the header or inside
+// the payload — must yield NeedMore (never Frame, never Error), leave the
+// reader unpoisoned, and flag the connection as mid-frame so a client that
+// disconnects there is detected. This is the transport half of the "a
+// truncated upload can never move a counter" guarantee.
+TEST(ServeFramingTest, EveryStrictPrefixIsNeedMoreAndMidFrame) {
+  const std::string Full = encodeFrame(FrameType::Upload, bigPayload(97));
+  for (size_t Cut = 0; Cut < Full.size(); ++Cut) {
+    FrameReader R;
+    R.feed(std::string_view(Full).substr(0, Cut));
+    Frame F;
+    ASSERT_EQ(R.next(F), FrameStatus::NeedMore) << "cut at " << Cut;
+    EXPECT_FALSE(R.poisoned()) << "cut at " << Cut;
+    EXPECT_EQ(R.midFrame(), Cut > 0) << "cut at " << Cut;
+    // The rest completes the frame: truncation is recoverable, not fatal.
+    R.feed(std::string_view(Full).substr(Cut));
+    ASSERT_EQ(R.next(F), FrameStatus::Frame) << "cut at " << Cut;
+    EXPECT_EQ(F.Payload.size(), size_t(97));
+    EXPECT_FALSE(R.midFrame());
+  }
+}
+
+TEST(ServeFramingTest, ByteAtATimeDeliveryReassemblesLosslessly) {
+  const std::string P = bigPayload(64);
+  const std::string Full = encodeFrame(FrameType::Upload, P);
+  FrameReader R;
+  Frame F;
+  for (size_t I = 0; I + 1 < Full.size(); ++I) {
+    R.feed(std::string_view(&Full[I], 1));
+    ASSERT_EQ(R.next(F), FrameStatus::NeedMore) << "after byte " << I;
+    EXPECT_TRUE(R.midFrame());
+  }
+  R.feed(std::string_view(&Full[Full.size() - 1], 1));
+  ASSERT_EQ(R.next(F), FrameStatus::Frame);
+  EXPECT_EQ(F.Payload, P);
+}
+
+// A header declaring an absurd payload length must be rejected the moment
+// the 13th byte arrives — as a framing error, not as an attempted
+// allocation. If the reader tried to reserve 2^60 bytes this test would
+// die with bad_alloc instead of seeing FrameStatus::Error.
+TEST(ServeFramingTest, HostileDeclaredLengthRejectedBeforeAllocation) {
+  for (uint64_t Len : {DefaultMaxFramePayload + 1, uint64_t(1) << 40,
+                       uint64_t(1) << 60, ~uint64_t(0)}) {
+    FrameReader R;
+    R.feed(rawHeader(FrameType::Upload, 0, Len));
+    Frame F;
+    ASSERT_EQ(R.next(F), FrameStatus::Error) << "declared length " << Len;
+    EXPECT_TRUE(R.poisoned());
+    EXPECT_FALSE(R.error().empty());
+    EXPECT_FALSE(R.midFrame()) << "poisoned reader is not 'mid-frame'";
+  }
+}
+
+// The cap is configurable per reader and inclusive: a payload exactly at
+// the cap passes, one byte over fails.
+TEST(ServeFramingTest, ConfiguredPayloadCapIsInclusive) {
+  const uint64_t Cap = 1024;
+  {
+    FrameReader R(Cap);
+    R.feed(encodeFrame(FrameType::Upload, bigPayload(Cap)));
+    Frame F;
+    EXPECT_EQ(R.next(F), FrameStatus::Frame);
+  }
+  {
+    FrameReader R(Cap);
+    R.feed(encodeFrame(FrameType::Upload, bigPayload(Cap + 1)));
+    Frame F;
+    EXPECT_EQ(R.next(F), FrameStatus::Error);
+    EXPECT_TRUE(R.poisoned());
+  }
+}
+
+TEST(ServeFramingTest, CrcMismatchPoisonsPermanently) {
+  std::string Full = encodeFrame(FrameType::Upload, "payload bytes");
+  Full[2] = static_cast<char>(Full[2] ^ 0x01); // flip one CRC bit
+  FrameReader R;
+  R.feed(Full);
+  Frame F;
+  ASSERT_EQ(R.next(F), FrameStatus::Error);
+  EXPECT_TRUE(R.poisoned());
+  EXPECT_FALSE(R.error().empty());
+  // Sticky: a perfectly valid follow-up frame is ignored, feed() is a
+  // no-op, and next() keeps reporting Error. No resynchronization.
+  const size_t Buffered = R.buffered();
+  R.feed(encodeFrame(FrameType::Stats, ""));
+  EXPECT_EQ(R.buffered(), Buffered);
+  EXPECT_EQ(R.next(F), FrameStatus::Error);
+}
+
+TEST(ServeFramingTest, PayloadCorruptionIsCaughtByTheCrc) {
+  const std::string P = bigPayload(50);
+  for (size_t Byte : {size_t(0), size_t(25), size_t(49)}) {
+    std::string Full = encodeFrame(FrameType::Upload, P);
+    Full[FrameHeaderSize + Byte] =
+        static_cast<char>(Full[FrameHeaderSize + Byte] ^ 0x80);
+    FrameReader R;
+    R.feed(Full);
+    Frame F;
+    EXPECT_EQ(R.next(F), FrameStatus::Error) << "corrupt byte " << Byte;
+    EXPECT_TRUE(R.poisoned());
+  }
+}
+
+TEST(ServeFramingTest, ValidFrameThenPartialLeavesReaderMidFrame) {
+  const std::string Second = encodeFrame(FrameType::Upload, bigPayload(40));
+  FrameReader R;
+  R.feed(encodeFrame(FrameType::Upload, "complete"));
+  R.feed(std::string_view(Second).substr(0, Second.size() / 2));
+  Frame F;
+  ASSERT_EQ(R.next(F), FrameStatus::Frame);
+  EXPECT_EQ(F.Payload, "complete");
+  EXPECT_EQ(R.next(F), FrameStatus::NeedMore);
+  EXPECT_TRUE(R.midFrame());
+  EXPECT_FALSE(R.poisoned());
+}
+
+} // namespace

@@ -1,0 +1,513 @@
+//===--- ServeTest.cpp - shard store, session state machine, concurrency --===//
+//
+// Part of the OLPP project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The aggregation daemon's core contracts, proven against the exact code
+// path production traffic takes (ServeSession::consume over raw bytes):
+//
+//   (a) store: a snapshot is bit-identical to the offline mergeArtifacts
+//       fold of exactly the uploads acked with tag <= its epoch; malformed
+//       and incompatible uploads never move a counter,
+//   (b) session: acks carry (seq, tag, fingerprint); one bad artifact does
+//       not kill the connection, but any framing violation does; a client
+//       that dies mid-upload leaves the store byte-for-byte untouched,
+//   (c) concurrency: uploads and snapshots racing across threads keep the
+//       epoch-exactness contract (run under the tsan lane via the
+//       ServeConcurrency* filter in tests/CMakeLists.txt).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profdata/Merge.h"
+#include "profdata/ProfData.h"
+#include "serve/Protocol.h"
+#include "serve/Session.h"
+#include "serve/ShardStore.h"
+#include "support/Framing.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace olpp;
+using namespace olpp::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Builders and decoders
+//===----------------------------------------------------------------------===//
+
+/// One-function artifact with counters derived from \p Seed. Runs = 1, so
+/// a merged accumulator's Meta.Runs counts the uploads it contains — the
+/// lever the concurrency test uses to check epoch exactness.
+ProfileArtifact testArtifact(uint64_t Fp, uint64_t Seed) {
+  ProfileArtifact A;
+  A.Fingerprint = Fp;
+  A.NumFunctions = 1;
+  A.Meta.Workload = "serve-test";
+  A.Meta.Runs = 1;
+  A.Meta.DynInstrCost = 100 + Seed;
+  A.IdSpaces = {8};
+  A.Counters.PathCounts.resize(1);
+  A.Counters.configurePathStore(0, 8);
+  A.Counters.PathCounts[0].add(Seed % 8, 1 + Seed);
+  A.Counters.PathCounts[0].add((Seed + 3) % 8, 7);
+  A.Counters.TypeICounts.bump({0, 0, 0, static_cast<uint32_t>(Seed % 4)}, 2);
+  return A;
+}
+
+/// Serialized offline fold of \p Parts (weight 1 each) — the reference a
+/// snapshot must match bit-for-bit.
+std::string offlineFold(const std::vector<ProfileArtifact> &Parts) {
+  ProfileArtifact Acc = makeEmptyLike(Parts.front());
+  for (const ProfileArtifact &P : Parts) {
+    std::vector<Diagnostic> Diags;
+    EXPECT_TRUE(mergeArtifacts(Acc, P, Diags));
+  }
+  return serializeProfileArtifact(Acc);
+}
+
+/// Decodes every complete reply frame out of \p Bytes.
+std::vector<Frame> decodeReplies(const std::string &Bytes) {
+  std::vector<Frame> Out;
+  FrameReader R;
+  R.feed(Bytes);
+  Frame F;
+  while (R.next(F) == FrameStatus::Frame)
+    Out.push_back(F);
+  EXPECT_FALSE(R.poisoned()) << "reply stream itself misframed";
+  EXPECT_FALSE(R.midFrame()) << "reply stream ends mid-frame";
+  return Out;
+}
+
+AckInfo expectAck(const Frame &F) {
+  AckInfo A;
+  EXPECT_EQ(F.Type, FrameType::Ack);
+  EXPECT_TRUE(decodeAckPayload(F.Payload, A));
+  return A;
+}
+
+void expectErr(const Frame &F, ErrCode Want) {
+  ASSERT_EQ(F.Type, FrameType::Err);
+  ErrCode Code;
+  std::string Msg;
+  ASSERT_TRUE(decodeErrPayload(F.Payload, Code, Msg));
+  EXPECT_EQ(uint32_t(Code), uint32_t(Want)) << Msg;
+  EXPECT_FALSE(Msg.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// ShardStore
+//===----------------------------------------------------------------------===//
+
+TEST(ServeStoreTest, SnapshotMatchesOfflineMergeBitIdentically) {
+  ShardStore Store(ServeConfig{});
+  std::vector<ProfileArtifact> Parts;
+  for (uint64_t S = 0; S < 5; ++S) {
+    Parts.push_back(testArtifact(0x1234, S));
+    const UploadResult R = Store.upload(serializeProfileArtifact(Parts.back()));
+    ASSERT_EQ(uint32_t(R.Status), uint32_t(UploadStatus::Ok)) << R.Error;
+    EXPECT_EQ(R.Fingerprint, 0x1234u);
+  }
+  uint64_t E = 0, Fp = 0;
+  std::string Bytes, Error;
+  ASSERT_TRUE(Store.snapshot(false, 0, E, Fp, Bytes, Error)) << Error;
+  EXPECT_EQ(Fp, 0x1234u);
+  EXPECT_EQ(Bytes, offlineFold(Parts));
+  EXPECT_EQ(Store.stats().UploadsAcked.load(), 5u);
+  EXPECT_EQ(Store.stats().UploadsRejected.load(), 0u);
+}
+
+TEST(ServeStoreTest, EpochTagsBoundSnapshotContainmentExactly) {
+  ShardStore Store(ServeConfig{});
+  const ProfileArtifact A = testArtifact(7, 1), B = testArtifact(7, 2);
+
+  const UploadResult RA = Store.upload(serializeProfileArtifact(A));
+  ASSERT_EQ(uint32_t(RA.Status), uint32_t(UploadStatus::Ok));
+
+  uint64_t E1 = 0, Fp = 0;
+  std::string S1, Error;
+  ASSERT_TRUE(Store.snapshot(false, 0, E1, Fp, S1, Error)) << Error;
+  EXPECT_GE(E1, RA.Tag) << "acked upload must be contained";
+  EXPECT_EQ(S1, offlineFold({A}));
+
+  // A fold after snapshot E1 must carry a strictly later tag and stay out
+  // of E1 — and be contained in the next snapshot.
+  const UploadResult RB = Store.upload(serializeProfileArtifact(B));
+  ASSERT_EQ(uint32_t(RB.Status), uint32_t(UploadStatus::Ok));
+  EXPECT_GT(RB.Tag, E1);
+
+  uint64_t E2 = 0;
+  std::string S2;
+  ASSERT_TRUE(Store.snapshot(false, 0, E2, Fp, S2, Error)) << Error;
+  EXPECT_GE(E2, RB.Tag);
+  EXPECT_GT(E2, E1) << "snapshot ids are strictly increasing";
+  EXPECT_EQ(S2, offlineFold({A, B}));
+}
+
+TEST(ServeStoreTest, MalformedUploadsNeverTouchState) {
+  ShardStore Store(ServeConfig{});
+  const std::string Good = serializeProfileArtifact(testArtifact(9, 0));
+  // A flipped byte anywhere, and every strict-prefix truncation: all must
+  // be rejected wholesale with zero state change (spot positions keep the
+  // test fast; ProfDataTest covers the exhaustive sweep of the reader).
+  for (size_t Pos : {size_t(0), Good.size() / 3, Good.size() / 2,
+                     Good.size() - 1}) {
+    std::string Bad = Good;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x10);
+    const UploadResult R = Store.upload(Bad);
+    EXPECT_EQ(uint32_t(R.Status), uint32_t(UploadStatus::Malformed))
+        << "flipped byte " << Pos;
+    EXPECT_FALSE(R.Error.empty());
+  }
+  for (size_t Cut : {size_t(0), size_t(4), Good.size() / 2, Good.size() - 1}) {
+    const UploadResult R =
+        Store.upload(std::string_view(Good).substr(0, Cut));
+    EXPECT_EQ(uint32_t(R.Status), uint32_t(UploadStatus::Malformed))
+        << "truncated at " << Cut;
+  }
+  EXPECT_TRUE(Store.fingerprints().empty());
+  EXPECT_EQ(Store.stats().UploadsAcked.load(), 0u);
+  EXPECT_EQ(Store.stats().UploadsRejected.load(), 8u);
+  EXPECT_EQ(Store.stats().BytesIngested.load(), 0u);
+}
+
+TEST(ServeStoreTest, IncompatibleUploadLeavesAccumulatorUntouched) {
+  ShardStore Store(ServeConfig{});
+  const ProfileArtifact Good = testArtifact(5, 1);
+  ASSERT_EQ(uint32_t(Store.upload(serializeProfileArtifact(Good)).Status),
+            uint32_t(UploadStatus::Ok));
+
+  // Same fingerprint, different function count: a valid artifact that
+  // cannot merge with the resident entry.
+  ProfileArtifact Clash = testArtifact(5, 2);
+  Clash.NumFunctions = 2;
+  Clash.IdSpaces = {8, 4};
+  Clash.Counters.PathCounts.resize(2);
+  const UploadResult R = Store.upload(serializeProfileArtifact(Clash));
+  EXPECT_EQ(uint32_t(R.Status), uint32_t(UploadStatus::Incompatible));
+  EXPECT_FALSE(R.Error.empty());
+
+  uint64_t E = 0, Fp = 0;
+  std::string Bytes, Error;
+  ASSERT_TRUE(Store.snapshot(false, 0, E, Fp, Bytes, Error)) << Error;
+  EXPECT_EQ(Bytes, offlineFold({Good}))
+      << "rejected upload moved a counter";
+  EXPECT_EQ(Store.stats().UploadsRejected.load(), 1u);
+}
+
+TEST(ServeStoreTest, MultiFingerprintStoreNeedsASelector) {
+  ShardStore Store(ServeConfig{});
+  const ProfileArtifact A = testArtifact(100, 1), B = testArtifact(200, 2);
+  ASSERT_EQ(uint32_t(Store.upload(serializeProfileArtifact(A)).Status),
+            uint32_t(UploadStatus::Ok));
+  ASSERT_EQ(uint32_t(Store.upload(serializeProfileArtifact(B)).Status),
+            uint32_t(UploadStatus::Ok));
+  EXPECT_EQ(Store.fingerprints(), (std::vector<uint64_t>{100, 200}));
+
+  uint64_t E = 0, Fp = 0;
+  std::string Bytes, Error;
+  EXPECT_FALSE(Store.snapshot(false, 0, E, Fp, Bytes, Error));
+  EXPECT_FALSE(Error.empty());
+  ASSERT_TRUE(Store.snapshot(true, 200, E, Fp, Bytes, Error)) << Error;
+  EXPECT_EQ(Fp, 200u);
+  EXPECT_EQ(Bytes, offlineFold({B}));
+  EXPECT_FALSE(Store.snapshot(true, 999, E, Fp, Bytes, Error));
+}
+
+TEST(ServeStoreTest, EmptyStoreHasNoSnapshot) {
+  ShardStore Store(ServeConfig{});
+  uint64_t E = 0, Fp = 0;
+  std::string Bytes, Error;
+  EXPECT_FALSE(Store.snapshot(false, 0, E, Fp, Bytes, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// ServeSession
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSessionTest, AcksCarrySeqTagAndFingerprint) {
+  ShardStore Store(ServeConfig{});
+  ServeSession S(Store);
+  const ProfileArtifact A = testArtifact(0xBEEF, 1), B = testArtifact(0xBEEF, 2);
+
+  std::string Reply;
+  ASSERT_TRUE(S.consume(
+      encodeFrame(FrameType::Upload, serializeProfileArtifact(A)) +
+          encodeFrame(FrameType::Upload, serializeProfileArtifact(B)),
+      Reply));
+  std::vector<Frame> Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 2u);
+  const AckInfo A0 = expectAck(Replies[0]), A1 = expectAck(Replies[1]);
+  EXPECT_EQ(A0.Seq, 0u);
+  EXPECT_EQ(A1.Seq, 1u);
+  EXPECT_EQ(A0.Fingerprint, 0xBEEFu);
+  EXPECT_EQ(A1.Fingerprint, 0xBEEFu);
+  EXPECT_EQ(S.uploadsAcked(), 2u);
+
+  // Snapshot through the protocol: epoch covers both tags, artifact is the
+  // offline fold.
+  Reply.clear();
+  ASSERT_TRUE(S.consume(encodeFrame(FrameType::Snapshot, ""), Reply));
+  Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  ASSERT_EQ(Replies[0].Type, FrameType::SnapshotData);
+  SnapshotInfo Snap;
+  ASSERT_TRUE(decodeSnapshotPayload(Replies[0].Payload, Snap));
+  EXPECT_GE(Snap.Epoch, A0.Tag);
+  EXPECT_GE(Snap.Epoch, A1.Tag);
+  EXPECT_EQ(Snap.Fingerprint, 0xBEEFu);
+  EXPECT_EQ(Snap.Artifact, offlineFold({A, B}));
+
+  // Stats is a JSON document; Quit closes in order.
+  Reply.clear();
+  ASSERT_TRUE(S.consume(encodeFrame(FrameType::Stats, ""), Reply));
+  Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  EXPECT_EQ(Replies[0].Type, FrameType::StatsData);
+  EXPECT_NE(Replies[0].Payload.find("\"uploads_acked\": 2"), std::string::npos);
+  Reply.clear();
+  EXPECT_FALSE(S.consume(encodeFrame(FrameType::Quit, ""), Reply));
+  EXPECT_TRUE(Reply.empty());
+}
+
+TEST(ServeSessionTest, BadArtifactKeepsTheConnectionAlive) {
+  ShardStore Store(ServeConfig{});
+  ServeSession S(Store);
+  const ProfileArtifact Good = testArtifact(3, 1);
+  std::string Bad = serializeProfileArtifact(Good);
+  Bad[Bad.size() / 2] = static_cast<char>(Bad[Bad.size() / 2] ^ 0x40);
+
+  // The frame is valid; only the payload is rotten. Session survives with
+  // a structured error, and the next (good) upload still gets seq 0.
+  std::string Reply;
+  ASSERT_TRUE(S.consume(encodeFrame(FrameType::Upload, Bad), Reply));
+  std::vector<Frame> Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  expectErr(Replies[0], ErrCode::BadArtifact);
+  EXPECT_TRUE(Store.fingerprints().empty());
+
+  Reply.clear();
+  ASSERT_TRUE(S.consume(
+      encodeFrame(FrameType::Upload, serializeProfileArtifact(Good)), Reply));
+  Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  EXPECT_EQ(expectAck(Replies[0]).Seq, 0u)
+      << "rejected uploads must not consume sequence numbers";
+}
+
+TEST(ServeSessionTest, FramingViolationClosesWithBadFrameErr) {
+  ShardStore Store(ServeConfig{});
+  ServeSession S(Store);
+  std::string F =
+      encodeFrame(FrameType::Upload,
+                  serializeProfileArtifact(testArtifact(3, 1)));
+  F[1] = static_cast<char>(F[1] ^ 0x01); // corrupt the frame CRC
+  std::string Reply;
+  EXPECT_FALSE(S.consume(F, Reply));
+  std::vector<Frame> Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  expectErr(Replies[0], ErrCode::BadFrame);
+  EXPECT_TRUE(Store.fingerprints().empty());
+  EXPECT_EQ(Store.stats().FramingErrors.load(), 1u);
+}
+
+TEST(ServeSessionTest, HostileDeclaredLengthClosesAsRejectionNotBadAlloc) {
+  ShardStore Store(ServeConfig{});
+  ServeSession S(Store);
+  std::string Hdr;
+  Hdr.push_back(static_cast<char>(FrameType::Upload));
+  putU32LE(Hdr, 0);
+  putU64LE(Hdr, uint64_t(1) << 60);
+  std::string Reply;
+  EXPECT_FALSE(S.consume(Hdr, Reply));
+  std::vector<Frame> Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  expectErr(Replies[0], ErrCode::BadFrame);
+  EXPECT_TRUE(Store.fingerprints().empty());
+}
+
+TEST(ServeSessionTest, UnknownFrameTypeCloses) {
+  ShardStore Store(ServeConfig{});
+  ServeSession S(Store);
+  std::string Reply;
+  EXPECT_FALSE(S.consume(encodeFrame(static_cast<FrameType>(0x7F), ""), Reply));
+  std::vector<Frame> Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  expectErr(Replies[0], ErrCode::BadType);
+}
+
+TEST(ServeSessionTest, SnapshotSelectorIsValidated) {
+  ShardStore Store(ServeConfig{});
+  ServeSession S(Store);
+  ASSERT_EQ(uint32_t(Store
+                         .upload(serializeProfileArtifact(
+                             testArtifact(0xAA, 1)))
+                         .Status),
+            uint32_t(UploadStatus::Ok));
+  // 3-byte selector: protocol error, but the connection survives.
+  std::string Reply;
+  ASSERT_TRUE(S.consume(encodeFrame(FrameType::Snapshot, "abc"), Reply));
+  std::vector<Frame> Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  expectErr(Replies[0], ErrCode::BadType);
+  // Unknown fingerprint: NoData, connection survives.
+  std::string Sel;
+  putU64LE(Sel, 0xDEAD);
+  Reply.clear();
+  ASSERT_TRUE(S.consume(encodeFrame(FrameType::Snapshot, Sel), Reply));
+  Replies = decodeReplies(Reply);
+  ASSERT_EQ(Replies.size(), 1u);
+  expectErr(Replies[0], ErrCode::NoData);
+}
+
+// A client that disconnects mid-upload: the half-delivered frame is
+// detected as mid-frame, produces no reply, and — the property the whole
+// subsystem leans on — leaves the store byte-for-byte untouched.
+TEST(ServeSessionTest, MidUploadDisconnectLeavesStoreUntouched) {
+  ShardStore Store(ServeConfig{});
+  const ProfileArtifact A = testArtifact(0x77, 1);
+  const std::string Full =
+      encodeFrame(FrameType::Upload, serializeProfileArtifact(A));
+  {
+    ServeSession Dying(Store);
+    std::string Reply;
+    ASSERT_TRUE(Dying.consume(
+        std::string_view(Full).substr(0, Full.size() / 2), Reply));
+    EXPECT_TRUE(Dying.midFrame());
+    EXPECT_TRUE(Reply.empty());
+    EXPECT_EQ(Dying.uploadsAcked(), 0u);
+  } // connection dropped here
+  EXPECT_TRUE(Store.fingerprints().empty());
+  EXPECT_EQ(Store.stats().UploadsAcked.load(), 0u);
+  EXPECT_EQ(Store.stats().BytesIngested.load(), 0u);
+
+  // A fresh connection delivering the same frame whole folds exactly once.
+  ServeSession S(Store);
+  std::string Reply;
+  ASSERT_TRUE(S.consume(Full, Reply));
+  ASSERT_EQ(decodeReplies(Reply).size(), 1u);
+  uint64_t E = 0, Fp = 0;
+  std::string Bytes, Error;
+  ASSERT_TRUE(Store.snapshot(false, 0, E, Fp, Bytes, Error)) << Error;
+  EXPECT_EQ(Bytes, offlineFold({A}));
+}
+
+// Two connections delivering their uploads in interleaved 7-byte slices:
+// each session reassembles only its own stream, both uploads ack, and the
+// snapshot equals the offline fold of both.
+TEST(ServeSessionTest, InterleavedPartialWritesAcrossConnections) {
+  ShardStore Store(ServeConfig{});
+  const ProfileArtifact A = testArtifact(0x55, 1), B = testArtifact(0x55, 9);
+  const std::string FA =
+      encodeFrame(FrameType::Upload, serializeProfileArtifact(A));
+  const std::string FB =
+      encodeFrame(FrameType::Upload, serializeProfileArtifact(B));
+  ServeSession SA(Store), SB(Store);
+  std::string RA, RB;
+  size_t PA = 0, PB = 0;
+  const size_t Chunk = 7;
+  while (PA < FA.size() || PB < FB.size()) {
+    if (PA < FA.size()) {
+      ASSERT_TRUE(SA.consume(
+          std::string_view(FA).substr(PA, Chunk), RA));
+      PA += Chunk;
+    }
+    if (PB < FB.size()) {
+      ASSERT_TRUE(SB.consume(
+          std::string_view(FB).substr(PB, Chunk), RB));
+      PB += Chunk;
+    }
+  }
+  EXPECT_EQ(expectAck(decodeReplies(RA).at(0)).Seq, 0u);
+  EXPECT_EQ(expectAck(decodeReplies(RB).at(0)).Seq, 0u);
+  EXPECT_FALSE(SA.midFrame());
+  EXPECT_FALSE(SB.midFrame());
+
+  uint64_t E = 0, Fp = 0;
+  std::string Bytes, Error;
+  ASSERT_TRUE(Store.snapshot(false, 0, E, Fp, Bytes, Error)) << Error;
+  EXPECT_EQ(Bytes, offlineFold({A, B}));
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency (selected into the tsan lane by ServeConcurrency*)
+//===----------------------------------------------------------------------===//
+
+// Uploads and snapshots racing across threads. Every upload is the same
+// Runs=1 artifact, so a snapshot's Meta.Runs IS the number of uploads it
+// contains — and the epoch-exactness contract pins that number to the
+// count of acks with tag <= the snapshot's epoch, for every snapshot
+// taken mid-race, not just the final one.
+TEST(ServeConcurrencyTest, RacingUploadsAndSnapshotsKeepEpochExactness) {
+  ServeConfig Cfg;
+  Cfg.Shards = 4; // force fingerprint collisions onto shared shards
+  ShardStore Store(Cfg);
+  const ProfileArtifact A = testArtifact(0xF00D, 2);
+  const std::string UploadFrame =
+      encodeFrame(FrameType::Upload, serializeProfileArtifact(A));
+
+  constexpr unsigned Uploaders = 4, PerThread = 16, Snapshots = 12;
+  std::vector<std::vector<uint64_t>> AckTags(Uploaders);
+  std::vector<std::pair<uint64_t, std::string>> Snaps;
+  std::atomic<bool> Done{false};
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Uploaders; ++T)
+    Threads.emplace_back([&, T] {
+      ServeSession S(Store);
+      for (unsigned I = 0; I < PerThread; ++I) {
+        std::string Reply;
+        ASSERT_TRUE(S.consume(UploadFrame, Reply));
+        std::vector<Frame> Replies = decodeReplies(Reply);
+        ASSERT_EQ(Replies.size(), 1u);
+        AckTags[T].push_back(expectAck(Replies[0]).Tag);
+      }
+    });
+  std::thread Snapper([&] {
+    while (!Done.load(std::memory_order_relaxed)) {
+      uint64_t E = 0, Fp = 0;
+      std::string Bytes, Error;
+      if (Store.snapshot(false, 0, E, Fp, Bytes, Error) &&
+          Snaps.size() < Snapshots)
+        Snaps.emplace_back(E, Bytes);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  Done.store(true, std::memory_order_relaxed);
+  Snapper.join();
+
+  // Final snapshot (no races left) contains every acked upload.
+  uint64_t E = 0, Fp = 0;
+  std::string Bytes, Error;
+  ASSERT_TRUE(Store.snapshot(false, 0, E, Fp, Bytes, Error)) << Error;
+  std::vector<ProfileArtifact> All(Uploaders * PerThread, A);
+  EXPECT_EQ(Bytes, offlineFold(All));
+  EXPECT_EQ(Store.stats().UploadsAcked.load(), uint64_t(Uploaders) * PerThread);
+  EXPECT_EQ(Store.stats().UploadsRejected.load(), 0u);
+
+  // Every mid-race snapshot: parse it back and check containment is exact.
+  for (const auto &[SnapE, SnapBytes] : Snaps) {
+    ProfileArtifact Parsed;
+    std::vector<Diagnostic> Diags;
+    ASSERT_TRUE(readProfileArtifactBytes(SnapBytes, Parsed, Diags))
+        << "snapshot taken mid-ingest is not a valid artifact";
+    uint64_t Contained = 0;
+    for (const auto &Tags : AckTags)
+      for (uint64_t Tag : Tags)
+        Contained += Tag <= SnapE ? 1 : 0;
+    EXPECT_EQ(Parsed.Meta.Runs, Contained)
+        << "snapshot " << SnapE << " does not equal the acked set";
+  }
+}
+
+} // namespace
